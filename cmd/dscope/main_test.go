@@ -1,0 +1,24 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestDscopeEndToEnd(t *testing.T) {
+	old := os.Stdout
+	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = null
+	err := run([]string{"-probes", "6", "-ports", "2", "-window", "500ms"})
+	os.Stdout = old
+	null.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDscopeBadFlags(t *testing.T) {
+	if err := run([]string{"-ports", "x"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

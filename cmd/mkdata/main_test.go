@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/rules"
+)
+
+func TestMkdataWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	old := os.Stdout
+	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = null
+	err := run([]string{"-out", dir, "-population", "500"})
+	os.Stdout = old
+	null.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The KEV catalog round-trips through the loader.
+	var kev []datasets.KEVEntry
+	if err := datasets.ReadJSON(filepath.Join(dir, "kev.json"), &kev); err != nil {
+		t.Fatal(err)
+	}
+	if len(kev) != 424 {
+		t.Errorf("kev entries = %d", len(kev))
+	}
+	var pop []datasets.CVERecord
+	if err := datasets.ReadJSON(filepath.Join(dir, "population.json"), &pop); err != nil {
+		t.Fatal(err)
+	}
+	if len(pop) != 500 {
+		t.Errorf("population = %d", len(pop))
+	}
+
+	// The emitted ruleset must parse back through the strict parser.
+	f, err := os.Open(filepath.Join(dir, "study.rules"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	parsed, errs := rules.ParseRuleset(f)
+	if len(errs) != 0 {
+		t.Fatalf("ruleset reparse errors: %v", errs)
+	}
+	if len(parsed) != 77 {
+		t.Errorf("reparsed rules = %d, want 77", len(parsed))
+	}
+
+	csvFile, err := os.Open(filepath.Join(dir, "appendixE.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer csvFile.Close()
+	cves, err := datasets.ReadStudyCSV(csvFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cves) != 63 {
+		t.Errorf("appendixE.csv rows = %d, want 63", len(cves))
+	}
+	orig := datasets.StudyCVEs()
+	for i := range orig {
+		if cves[i] != orig[i] {
+			t.Fatalf("CSV row %d lost fidelity", i)
+		}
+	}
+}
+
+func TestMkdataBadFlags(t *testing.T) {
+	if err := run([]string{"-population", "x"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "The CVE Wayback
+// Machine: Measuring Coordinated Disclosure from Exploits against Two Years
+// of Zero-Days" (IMC 2023).
+//
+// The public API lives in package repro/wayback; the substrates (telescope,
+// IDS, TCP reassembly, rule language, datasets, lifecycle model) live under
+// repro/internal. See README.md for the architecture and EXPERIMENTS.md for
+// paper-vs-measured results; bench_test.go regenerates every table and
+// figure of the paper's evaluation.
+package repro

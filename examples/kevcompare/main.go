@@ -1,0 +1,43 @@
+// KEV comparison (Section 7.2): join the telescope's exploitation evidence
+// against the CISA Known Exploited Vulnerabilities catalog and reproduce
+// Findings 15–17 and Figures 10–11.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/report"
+	"repro/wayback"
+)
+
+func main() {
+	study, err := wayback.NewStudy(wayback.Config{Seed: 1, Scale: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := study.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cmp := res.KEVComparison()
+	fmt.Print(report.KEVTable(cmp).String())
+
+	// Figure 10: KEV's addition-minus-publication distribution. KEV sees
+	// more pre-publication exploitation overall (manual reports reach it),
+	// but with shorter leads than the telescope's longest observations.
+	fmt.Printf("\nFigure 10 — KEV A−P (days): %s\n", report.Sparkline(cmp.KevAMinusP, 64))
+	fmt.Printf("  KEV P(A<P) = %.2f vs telescope %.2f (Finding 16)\n",
+		cmp.KevPrePublicationRate, cmp.DscopePrePublicationRate)
+
+	// Figure 11: per shared CVE, KEV addition date minus the telescope's
+	// first observed exploitation. Positive = telescope saw it first.
+	fmt.Printf("\nFigure 11 — KEV lag behind first telescope observation (days): %s\n",
+		report.Sparkline(cmp.Delta, 64))
+	fmt.Printf("  telescope first on %.0f%% of shared CVEs; >30 days early on %.0f%% (Finding 17)\n",
+		cmp.DscopeFirstShare*100, cmp.Over30DaysShare*100)
+
+	fmt.Println("\ntakeaway: automated telescope-based attribution and KEV's manual")
+	fmt.Println("reporting are complementary — the telescope often leads by a month.")
+}

@@ -1,0 +1,78 @@
+// Live telescope: the paper's capture methodology on a real TCP stack.
+// Binds DSCOPE-style listeners on loopback (accept, stay silent, record the
+// client banner), replays a slice of the study workload against them as
+// real TCP clients, and attributes the captured sessions with the dated IDS
+// — the whole pipeline with no simulation shortcuts.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/scanner"
+	"repro/internal/telescope"
+)
+
+func main() {
+	live, err := telescope.NewLive(telescope.LiveConfig{
+		Ports:        []int{0, 0, 0}, // three instances on ephemeral ports
+		BannerWindow: time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("live telescope instances:")
+	for _, a := range live.Addrs() {
+		fmt.Println("  ", a)
+	}
+
+	rs, err := scanner.StudyRuleset()
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := ids.NewEngine(rs, ids.Config{PortInsensitive: true})
+
+	// A slice of the study workload: exploit payloads plus noise.
+	bps, err := scanner.Build(scanner.Config{Seed: 7, Scale: 2500, Noise: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(bps) > 30 {
+		bps = bps[:30]
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	addrs := live.Addrs()
+	for i, bp := range bps {
+		if err := telescope.Probe(ctx, addrs[i%len(addrs)].String(), bp.Payload); err != nil {
+			log.Fatalf("probe %d: %v", i, err)
+		}
+	}
+	live.Close()
+
+	byCVE := map[string]int{}
+	noise := 0
+	for s := range live.Sessions() {
+		sess := s
+		m, ok := engine.Earliest(&sess)
+		if !ok {
+			noise++
+			continue
+		}
+		cve := "(no CVE ref)"
+		if len(m.CVEs) > 0 {
+			cve = "CVE-" + m.CVEs[0]
+		}
+		byCVE[cve]++
+	}
+	fmt.Printf("\ncaptured over real TCP: %d exploit sessions, %d background\n",
+		len(bps)-noise, noise)
+	for cve, n := range byCVE {
+		fmt.Printf("  %-16s x%d\n", cve, n)
+	}
+	fmt.Println("\nevery attribution above came from banner bytes captured off a real socket.")
+}

@@ -1,0 +1,76 @@
+// Log4Shell case study (Section 7.1): replay the CVE-2021-44228 campaign —
+// including the adversarial obfuscation arms race of Table 6 — through the
+// telescope and IDS, then reproduce Figures 8 and 9.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/report"
+	"repro/wayback"
+)
+
+func main() {
+	study, err := wayback.NewStudy(wayback.Config{Seed: 1, Scale: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := study.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Table 6: the five signature waves Cisco shipped as adversaries
+	// layered Log4j escape sequences over the jndi keyword.
+	fmt.Print(res.Table6().String())
+
+	// Figure 8: the campaign over time. The spike after the December 10
+	// disclosure is visible, with sustained traffic for the following year.
+	f8 := res.Figure8()
+	fmt.Printf("\nFigure 8 — Log4Shell sessions over time (n=%d)\n", len(f8.Times))
+	fmt.Printf("  CDF by days since publication: %s\n", report.Sparkline(f8.CDF, 64))
+	fmt.Printf("  first event %.1f days after disclosure; half of all traffic within %.0f days\n",
+		f8.CDF.Min(), f8.CDF.Median())
+
+	// Figure 9: variant groups during the first weeks. Each group is a
+	// distinct evasion generation; the IDS attributes sessions to variants
+	// by signature, never by ground truth.
+	fmt.Println("\nFigure 9 — variant groups, first 21 days (increasing sophistication):")
+	for _, s := range res.Figure9() {
+		med := 0.0
+		if s.CDF != nil {
+			med = s.CDF.Median()
+		}
+		fmt.Printf("  group %s: %4d sessions, median day %5.1f  %s\n",
+			s.Group, len(s.DaysSince), med, report.Sparkline(s.CDF, 32))
+	}
+
+	// Finding 13/14 headline numbers.
+	rep := findLog4Shell(res)
+	fmt.Printf("\n%d total Log4Shell sessions; %.1f%% struck after a signature was live\n",
+		rep.sessions, rep.mitigated*100)
+}
+
+type l4sReport struct {
+	sessions  int
+	mitigated float64
+}
+
+func findLog4Shell(res *wayback.Results) l4sReport {
+	// Mitigation here uses the earliest signature wave (group A, 9 hours
+	// after publication); the variant-level analysis is in Figure 9.
+	total, mit := 0, 0
+	groupA := res.Figure8()
+	for _, d := range groupA.DaysSince {
+		total++
+		if d > 0.4 { // group A deployed at +9h ≈ 0.375 days
+			mit++
+		}
+	}
+	out := l4sReport{sessions: total}
+	if total > 0 {
+		out.mitigated = float64(mit) / float64(total)
+	}
+	return out
+}

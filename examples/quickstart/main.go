@@ -1,0 +1,43 @@
+// Quickstart: run a scaled-down CVE Wayback Machine study end to end and
+// print the paper's headline results — Table 4 (per-CVE CVD skill) and the
+// quantitative-exposure summary from Section 6.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/wayback"
+)
+
+func main() {
+	// Scale 100 keeps this under a second: every one of the 63 CVEs is
+	// still present, with event volumes divided by 100.
+	study, err := wayback.NewStudy(wayback.Config{Seed: 1, Scale: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := study.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("captured %d sessions -> %d exploit events across %d CVEs\n\n",
+		res.Stats.Sessions, res.Stats.MatchedEvents, res.Stats.DistinctCVEs)
+
+	// Table 4: coordinated-disclosure skill, per CVE. These values are
+	// computed from the embedded Appendix E lifecycles and land on the
+	// paper's printed numbers.
+	fmt.Print(res.Table4().String())
+	fmt.Printf("\nmean skill %.2f (paper: 0.37)\n", res.MeanSkill())
+
+	// Section 6: the same disclosure process looks far more effective when
+	// weighted by actual exploit traffic.
+	fmt.Printf("exploit traffic striking already-defended CVEs: %.1f%% (paper: 95%%)\n",
+		res.MitigatedShare()*100)
+
+	// Finding 7: the counterfactual where IDS vendors join disclosure.
+	f7 := res.Finding7()
+	fmt.Printf("if IDS vendors joined disclosure: D<A %.2f -> %.2f (skill %+.0f%%)\n",
+		f7.BeforeSatisfied, f7.AfterSatisfied, f7.SkillImprovement*100)
+}

@@ -1,0 +1,98 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/wayback"
+)
+
+// TestFullStudyIntegration runs the complete pipeline at full scale — the
+// workload the paper's Appendix E implies (~115 k exploit events), every
+// CVE, IDS attribution, lifecycle assembly, and all headline analyses — and
+// asserts the reproduced values against the paper in one place. This is the
+// repository's "does the whole thing still reproduce the paper" switch; it
+// runs in a few seconds.
+func TestFullStudyIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale study skipped in -short mode")
+	}
+	study, err := wayback.NewStudy(wayback.Config{Seed: 1, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := study.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Scale of the capture (Section 4).
+	if res.Stats.MatchedEvents < 100000 {
+		t.Errorf("exploit events = %d, want the full ~115k", res.Stats.MatchedEvents)
+	}
+	if res.Stats.DistinctCVEs != 63 {
+		t.Errorf("distinct CVEs = %d, want 63", res.Stats.DistinctCVEs)
+	}
+
+	check := func(name string, got, want, tol float64) {
+		t.Helper()
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s = %.3f, want %.3f ± %.3f", name, got, want, tol)
+		}
+	}
+
+	// Table 4 / Finding 3.
+	check("mean skill", res.MeanSkill(), 0.37, 0.01)
+	for _, r := range res.Table4Results() {
+		switch r.Pair.String() {
+		case "D < A":
+			check("Table 4 D<A", r.Satisfied, 0.56, 0.015)
+		case "X < A":
+			check("Table 4 X<A", r.Satisfied, 0.39, 0.01)
+		case "F < P":
+			check("Table 4 F<P", r.Satisfied, 0.13, 0.01)
+		}
+	}
+
+	// Table 5 / Section 6.
+	for _, r := range res.Table5Results() {
+		switch r.Pair.String() {
+		case "D < A":
+			if r.Satisfied < 0.95 {
+				t.Errorf("Table 5 D<A = %.3f, want >= 0.95", r.Satisfied)
+			}
+		case "F < P":
+			if r.Satisfied > 0.03 {
+				t.Errorf("Table 5 F<P = %.3f, want ~0.01", r.Satisfied)
+			}
+		}
+	}
+	if share := res.MitigatedShare(); share < 0.95 {
+		t.Errorf("mitigated share = %.3f, want >= 0.95", share)
+	}
+
+	// Finding 7.
+	f7 := res.Finding7()
+	check("Finding 7 skill gain", f7.SkillImprovement, 0.31, 0.05)
+
+	// Finding 12 via Figure 7.
+	f := res.Figure7()
+	if med := f.Unmit.Quantile(0.5); med < 15 || med > 60 {
+		t.Errorf("unmitigated exposure median = %.0f days, want ~30", med)
+	}
+
+	// Findings 15-17 via the KEV join.
+	kev := res.KEVComparison()
+	if kev.OverlapCount != 44 {
+		t.Errorf("KEV overlap = %d, want 44", kev.OverlapCount)
+	}
+	check("telescope-first share", kev.DscopeFirstShare, 0.59, 0.1)
+
+	// Case studies.
+	if got := len(res.Figure8().Times); got < 5000 {
+		t.Errorf("Log4Shell sessions = %d, want ~6.2k", got)
+	}
+	if got := len(res.Figure12().Times); got < 45000 {
+		t.Errorf("Confluence sessions = %d, want ~50k", got)
+	}
+}

@@ -1,0 +1,251 @@
+// Package artifacts implements the paper's Section 8.2 proposal: machine-
+// readable "disclosure artifacts" that researchers publish alongside a
+// vulnerability, recording the disclosure process itself — who was told
+// when (V), how fixes developed (F), how deployment progressed (D), and
+// what exploitation was known (A). The paper argues venues should require
+// these; this package defines the schema, validation, JSON serialization,
+// and the projection onto the CERT lifecycle model so artifacts plug
+// directly into the repository's analyses.
+package artifacts
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/lifecycle"
+)
+
+// Party classifies a disclosure recipient (Section 8.2's V record).
+type Party string
+
+// Party values.
+const (
+	PartyVendor    Party = "vendor"     // the affected software vendor
+	PartyOS        Party = "os"         // operating-system distributors
+	PartyIDSVendor Party = "ids-vendor" // signature vendors (the paper's focus)
+	PartyCERT      Party = "cert"       // coordination centers
+	PartyGov       Party = "government"
+	PartyPublic    Party = "public" // public announcement
+)
+
+// Disclosure is one notification event.
+type Disclosure struct {
+	Party Party     `json:"party"`
+	Date  time.Time `json:"date"`
+	// Channel documents how (advisory, email, bug tracker, rule release).
+	Channel string `json:"channel,omitempty"`
+	Notes   string `json:"notes,omitempty"`
+}
+
+// Fix is one fix-development record (the F record). Scope distinguishes a
+// direct software fix from a mitigation like an IDS rule.
+type Fix struct {
+	Party     Party     `json:"party"`
+	Available time.Time `json:"available"`
+	Scope     string    `json:"scope,omitempty"`
+}
+
+// DeploymentSample is one fix-deployment observation (the D record): at
+// Date, Fraction of the affected population had the fix.
+type DeploymentSample struct {
+	Date     time.Time `json:"date"`
+	Fraction float64   `json:"fraction"`
+	Source   string    `json:"source,omitempty"`
+}
+
+// Exploitation is one known-exploitation record (the A record).
+// Retrospective marks reports discovered after the fact (the paper asks for
+// adjusted timing when attacks are known retrospectively).
+type Exploitation struct {
+	Observed      time.Time `json:"observed"`
+	Source        string    `json:"source,omitempty"`
+	Retrospective bool      `json:"retrospective,omitempty"`
+}
+
+// Artifact is the complete machine-readable disclosure record for one CVE.
+type Artifact struct {
+	CVE         string             `json:"cve"`
+	Summary     string             `json:"summary,omitempty"`
+	Published   time.Time          `json:"published"`
+	Disclosures []Disclosure       `json:"disclosures,omitempty"`
+	Fixes       []Fix              `json:"fixes,omitempty"`
+	Deployment  []DeploymentSample `json:"deployment,omitempty"`
+	Exploits    []Exploitation     `json:"exploitation,omitempty"`
+	// ExploitPublic is when exploitation knowledge became public (X).
+	ExploitPublic *time.Time `json:"exploitPublic,omitempty"`
+}
+
+// Validate checks structural invariants: identifiers present, dates set,
+// deployment fractions in [0,1] and non-decreasing over time.
+func (a *Artifact) Validate() error {
+	if a.CVE == "" {
+		return fmt.Errorf("artifacts: missing CVE id")
+	}
+	if a.Published.IsZero() {
+		return fmt.Errorf("artifacts: %s missing publication date", a.CVE)
+	}
+	for i, d := range a.Disclosures {
+		if d.Party == "" {
+			return fmt.Errorf("artifacts: %s disclosure %d missing party", a.CVE, i)
+		}
+		if d.Date.IsZero() {
+			return fmt.Errorf("artifacts: %s disclosure %d missing date", a.CVE, i)
+		}
+	}
+	for i, f := range a.Fixes {
+		if f.Available.IsZero() {
+			return fmt.Errorf("artifacts: %s fix %d missing availability date", a.CVE, i)
+		}
+	}
+	samples := append([]DeploymentSample(nil), a.Deployment...)
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Date.Before(samples[j].Date) })
+	prev := -1.0
+	for i, s := range samples {
+		if s.Fraction < 0 || s.Fraction > 1 {
+			return fmt.Errorf("artifacts: %s deployment %d fraction %v out of [0,1]", a.CVE, i, s.Fraction)
+		}
+		if s.Date.IsZero() {
+			return fmt.Errorf("artifacts: %s deployment %d missing date", a.CVE, i)
+		}
+		if s.Fraction < prev {
+			return fmt.Errorf("artifacts: %s deployment regresses at %s (%.2f -> %.2f)",
+				a.CVE, s.Date.Format("2006-01-02"), prev, s.Fraction)
+		}
+		prev = s.Fraction
+	}
+	for i, e := range a.Exploits {
+		if e.Observed.IsZero() {
+			return fmt.Errorf("artifacts: %s exploitation %d missing date", a.CVE, i)
+		}
+	}
+	return nil
+}
+
+// DeployedThreshold is the deployment fraction at which the CERT model's
+// single-point D event is considered reached when projecting an artifact.
+const DeployedThreshold = 0.5
+
+// Timeline projects the artifact onto the six-event CERT model:
+//
+//	V = earliest non-public disclosure (or publication if none),
+//	F = earliest fix availability,
+//	D = first deployment sample at or above DeployedThreshold
+//	    (or F when no deployment data exists, matching the paper's
+//	    immediate-install reading of IDS rules),
+//	P = publication, X = ExploitPublic, A = earliest exploitation.
+func (a *Artifact) Timeline() lifecycle.Timeline {
+	var t lifecycle.Timeline
+	t.CVE = a.CVE
+	t.Set(lifecycle.PublicAware, a.Published)
+
+	v := a.Published
+	for _, d := range a.Disclosures {
+		if d.Party != PartyPublic && d.Date.Before(v) {
+			v = d.Date
+		}
+	}
+	t.Set(lifecycle.VendorAware, v)
+
+	var f time.Time
+	for _, fx := range a.Fixes {
+		if f.IsZero() || fx.Available.Before(f) {
+			f = fx.Available
+		}
+	}
+	if !f.IsZero() {
+		t.Set(lifecycle.FixReady, f)
+	}
+
+	samples := append([]DeploymentSample(nil), a.Deployment...)
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Date.Before(samples[j].Date) })
+	var d time.Time
+	for _, s := range samples {
+		if s.Fraction >= DeployedThreshold {
+			d = s.Date
+			break
+		}
+	}
+	switch {
+	case !d.IsZero():
+		t.Set(lifecycle.FixDeployed, d)
+	case !f.IsZero():
+		t.Set(lifecycle.FixDeployed, f)
+	}
+
+	if a.ExploitPublic != nil {
+		t.Set(lifecycle.ExploitPub, *a.ExploitPublic)
+	}
+	var attack time.Time
+	for _, e := range a.Exploits {
+		if attack.IsZero() || e.Observed.Before(attack) {
+			attack = e.Observed
+		}
+	}
+	if !attack.IsZero() {
+		t.Set(lifecycle.Attacks, attack)
+	}
+	return t
+}
+
+// FromStudy reconstructs the disclosure artifact this study's data implies
+// for one of the 63 CVEs — the paper's point being that researchers should
+// publish these directly instead of the community reverse-engineering them.
+func FromStudy(cveID string) (*Artifact, error) {
+	c := datasets.StudyCVEByID(cveID)
+	if c == nil {
+		return nil, fmt.Errorf("artifacts: CVE-%s is not a study CVE", cveID)
+	}
+	a := &Artifact{
+		CVE:       c.ID,
+		Summary:   c.Description,
+		Published: c.Published,
+	}
+	a.Disclosures = append(a.Disclosures, Disclosure{
+		Party: PartyPublic, Date: c.Published, Channel: "NVD/CVE publication",
+	})
+	if c.DMinusP.Known {
+		at := c.Published.Add(c.DMinusP.D)
+		a.Fixes = append(a.Fixes, Fix{
+			Party: PartyIDSVendor, Available: at, Scope: "NIDS signature",
+		})
+		a.Deployment = append(a.Deployment, DeploymentSample{
+			Date: at, Fraction: 1.0, Source: "immediate rule installation assumption",
+		})
+		if c.TalosDisclosed {
+			a.Disclosures = append(a.Disclosures, Disclosure{
+				Party: PartyIDSVendor, Date: at, Channel: "vendor vulnerability report",
+				Notes: "CVE originally disclosed by the IDS vendor",
+			})
+		}
+	}
+	if c.XMinusP.Known {
+		x := c.Published.Add(c.XMinusP.D)
+		a.ExploitPublic = &x
+	}
+	if c.AMinusP.Known {
+		a.Exploits = append(a.Exploits, Exploitation{
+			Observed:      c.Published.Add(c.AMinusP.D),
+			Source:        "DSCOPE interactive telescope",
+			Retrospective: c.AMinusP.D < 0,
+		})
+	}
+	return a, nil
+}
+
+// StudyCorpus builds the full artifact set for all 63 study CVEs.
+func StudyCorpus() ([]*Artifact, error) {
+	var out []*Artifact
+	for _, c := range datasets.StudyCVEs() {
+		a, err := FromStudy(c.ID)
+		if err != nil {
+			return nil, err
+		}
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

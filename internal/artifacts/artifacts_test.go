@@ -1,0 +1,216 @@
+package artifacts
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lifecycle"
+)
+
+func validArtifact() *Artifact {
+	pub := time.Date(2021, 12, 10, 0, 0, 0, 0, time.UTC)
+	x := pub.Add(4 * 24 * time.Hour)
+	return &Artifact{
+		CVE:       "2021-44228",
+		Summary:   "Log4Shell",
+		Published: pub,
+		Disclosures: []Disclosure{
+			{Party: PartyVendor, Date: pub.Add(-14 * 24 * time.Hour), Channel: "security@ email"},
+			{Party: PartyPublic, Date: pub, Channel: "advisory"},
+		},
+		Fixes: []Fix{
+			{Party: PartyVendor, Available: pub.Add(-24 * time.Hour), Scope: "log4j 2.15.0"},
+			{Party: PartyIDSVendor, Available: pub.Add(9 * time.Hour), Scope: "NIDS signature"},
+		},
+		Deployment: []DeploymentSample{
+			{Date: pub.Add(12 * time.Hour), Fraction: 0.2, Source: "telemetry"},
+			{Date: pub.Add(3 * 24 * time.Hour), Fraction: 0.6, Source: "telemetry"},
+		},
+		Exploits: []Exploitation{
+			{Observed: pub.Add(13 * time.Hour), Source: "telescope"},
+		},
+		ExploitPublic: &x,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := validArtifact().Validate(); err != nil {
+		t.Fatalf("valid artifact rejected: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := map[string]func(*Artifact){
+		"missing cve":          func(a *Artifact) { a.CVE = "" },
+		"missing published":    func(a *Artifact) { a.Published = time.Time{} },
+		"disclosure no party":  func(a *Artifact) { a.Disclosures[0].Party = "" },
+		"disclosure no date":   func(a *Artifact) { a.Disclosures[0].Date = time.Time{} },
+		"fix no date":          func(a *Artifact) { a.Fixes[0].Available = time.Time{} },
+		"deployment fraction":  func(a *Artifact) { a.Deployment[0].Fraction = 1.5 },
+		"deployment no date":   func(a *Artifact) { a.Deployment[0].Date = time.Time{} },
+		"deployment regresses": func(a *Artifact) { a.Deployment[1].Fraction = 0.1 },
+		"exploit no date":      func(a *Artifact) { a.Exploits[0].Observed = time.Time{} },
+	}
+	for name, mutate := range cases {
+		a := validArtifact()
+		mutate(a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid artifact", name)
+		}
+	}
+}
+
+func TestTimelineProjection(t *testing.T) {
+	a := validArtifact()
+	tl := a.Timeline()
+	pub := a.Published
+
+	v, _ := tl.Get(lifecycle.VendorAware)
+	if want := pub.Add(-14 * 24 * time.Hour); !v.Equal(want) {
+		t.Errorf("V = %v, want earliest private disclosure %v", v, want)
+	}
+	f, _ := tl.Get(lifecycle.FixReady)
+	if want := pub.Add(-24 * time.Hour); !f.Equal(want) {
+		t.Errorf("F = %v, want earliest fix %v", f, want)
+	}
+	d, _ := tl.Get(lifecycle.FixDeployed)
+	if want := pub.Add(3 * 24 * time.Hour); !d.Equal(want) {
+		t.Errorf("D = %v, want first sample >= 0.5 (%v)", d, want)
+	}
+	x, _ := tl.Get(lifecycle.ExploitPub)
+	if want := pub.Add(4 * 24 * time.Hour); !x.Equal(want) {
+		t.Errorf("X = %v", x)
+	}
+	attack, _ := tl.Get(lifecycle.Attacks)
+	if want := pub.Add(13 * time.Hour); !attack.Equal(want) {
+		t.Errorf("A = %v", attack)
+	}
+}
+
+func TestTimelineDeploymentFallsBackToFix(t *testing.T) {
+	a := validArtifact()
+	a.Deployment = nil
+	tl := a.Timeline()
+	d, ok := tl.Get(lifecycle.FixDeployed)
+	f, _ := tl.Get(lifecycle.FixReady)
+	if !ok || !d.Equal(f) {
+		t.Errorf("D = %v/%v, want F fallback %v", d, ok, f)
+	}
+}
+
+func TestTimelinePublicOnlyDisclosure(t *testing.T) {
+	a := validArtifact()
+	a.Disclosures = []Disclosure{{Party: PartyPublic, Date: a.Published}}
+	a.Fixes = nil
+	a.Deployment = nil
+	tl := a.Timeline()
+	v, _ := tl.Get(lifecycle.VendorAware)
+	if !v.Equal(a.Published) {
+		t.Errorf("V = %v, want publication", v)
+	}
+	if _, ok := tl.Get(lifecycle.FixReady); ok {
+		t.Error("F should be unknown without fixes")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	a := validArtifact()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(a); err != nil {
+		t.Fatal(err)
+	}
+	var got Artifact
+	if err := json.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.CVE != a.CVE || len(got.Disclosures) != 2 || len(got.Fixes) != 2 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	if got.ExploitPublic == nil || !got.ExploitPublic.Equal(*a.ExploitPublic) {
+		t.Error("ExploitPublic lost")
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("round-tripped artifact invalid: %v", err)
+	}
+}
+
+func TestFromStudy(t *testing.T) {
+	a, err := FromStudy("2021-44228")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Fixes) != 1 || a.Fixes[0].Party != PartyIDSVendor {
+		t.Errorf("fixes = %+v", a.Fixes)
+	}
+	if a.ExploitPublic == nil {
+		t.Error("missing X")
+	}
+	if len(a.Exploits) != 1 || a.Exploits[0].Retrospective {
+		t.Errorf("exploits = %+v", a.Exploits)
+	}
+	if _, err := FromStudy("1999-0001"); err == nil {
+		t.Error("unknown CVE accepted")
+	}
+}
+
+func TestFromStudyRetrospectiveFlag(t *testing.T) {
+	// F5's first observed attack predates publication: the artifact must
+	// mark it retrospective, per Section 8.2's adjusted-timing ask.
+	a, err := FromStudy("2022-1388")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Exploits) != 1 || !a.Exploits[0].Retrospective {
+		t.Errorf("exploits = %+v, want retrospective", a.Exploits)
+	}
+}
+
+func TestFromStudyTalosDisclosure(t *testing.T) {
+	a, err := FromStudy("2021-21799")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range a.Disclosures {
+		if d.Party == PartyIDSVendor {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Talos-disclosed CVE missing IDS-vendor disclosure record")
+	}
+}
+
+// The artifact corpus must reproduce Table 4 when projected onto timelines:
+// the projection and the direct Appendix E reading are two paths to the
+// same lifecycle.
+func TestStudyCorpusReproducesTable4(t *testing.T) {
+	corpus, err := StudyCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != 63 {
+		t.Fatalf("corpus = %d", len(corpus))
+	}
+	var tls []lifecycle.Timeline
+	for _, a := range corpus {
+		tls = append(tls, a.Timeline())
+	}
+	fromArtifacts := core.EvaluateDesiderata(tls, core.PublishedBaselines())
+	direct := core.EvaluateDesiderata(lifecycle.StudyTimelines(), core.PublishedBaselines())
+	for i := range direct {
+		if fromArtifacts[i].SatisfiedCount != direct[i].SatisfiedCount ||
+			fromArtifacts[i].Evaluated != direct[i].Evaluated {
+			t.Errorf("%s: artifacts %d/%d vs direct %d/%d",
+				direct[i].Pair,
+				fromArtifacts[i].SatisfiedCount, fromArtifacts[i].Evaluated,
+				direct[i].SatisfiedCount, direct[i].Evaluated)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/lifecycle"
+)
+
+// Bootstrap confidence intervals (extension). Table 4 rests on 63 CVEs —
+// and as few as 31 for the X-involving desiderata — so point estimates
+// deserve uncertainty. Resampling CVEs with replacement gives percentile
+// intervals for each satisfaction rate and for the mean skill without any
+// distributional assumption.
+
+// CI is a two-sided percentile confidence interval.
+type CI struct {
+	Lo float64
+	Hi float64
+}
+
+// Contains reports whether v lies inside the interval.
+func (c CI) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
+
+// String renders the interval.
+func (c CI) String() string { return fmt.Sprintf("[%.2f, %.2f]", c.Lo, c.Hi) }
+
+// BootstrapResult carries the intervals for one desideratum.
+type BootstrapResult struct {
+	Pair Pair
+	// Satisfied is the point estimate (as in Table 4).
+	Satisfied float64
+	// SatisfiedCI is the bootstrap interval for the satisfaction rate.
+	SatisfiedCI CI
+	// SkillCI is the bootstrap interval for the skill value.
+	SkillCI CI
+}
+
+// BootstrapDesiderata resamples the timelines n times (with replacement)
+// and returns per-desideratum percentile intervals at the given confidence
+// level (e.g. 0.95). Resamples where a desideratum has no evaluable CVEs
+// contribute a zero rate, which keeps the interval honest about sparse
+// pairs.
+func BootstrapDesiderata(timelines []lifecycle.Timeline, baselines map[Pair]float64, n int, level float64, seed int64) ([]BootstrapResult, error) {
+	if n < 10 {
+		return nil, fmt.Errorf("core: bootstrap needs at least 10 resamples, got %d", n)
+	}
+	if level <= 0 || level >= 1 {
+		return nil, fmt.Errorf("core: confidence level %v out of (0,1)", level)
+	}
+	if len(timelines) == 0 {
+		return nil, fmt.Errorf("core: bootstrap needs timelines")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	desiderata := Desiderata()
+	satSamples := make([][]float64, len(desiderata))
+	skillSamples := make([][]float64, len(desiderata))
+
+	resample := make([]lifecycle.Timeline, len(timelines))
+	for trial := 0; trial < n; trial++ {
+		for i := range resample {
+			resample[i] = timelines[rng.Intn(len(timelines))]
+		}
+		results := EvaluateDesiderata(resample, baselines)
+		for di, r := range results {
+			satSamples[di] = append(satSamples[di], r.Satisfied)
+			skillSamples[di] = append(skillSamples[di], r.Skill)
+		}
+	}
+
+	point := EvaluateDesiderata(timelines, baselines)
+	out := make([]BootstrapResult, len(desiderata))
+	for di := range desiderata {
+		out[di] = BootstrapResult{
+			Pair:        desiderata[di],
+			Satisfied:   point[di].Satisfied,
+			SatisfiedCI: percentileCI(satSamples[di], level),
+			SkillCI:     percentileCI(skillSamples[di], level),
+		}
+	}
+	return out, nil
+}
+
+// BootstrapMeanSkill returns the interval for Finding 3's mean skill.
+func BootstrapMeanSkill(timelines []lifecycle.Timeline, baselines map[Pair]float64, n int, level float64, seed int64) (CI, error) {
+	if n < 10 {
+		return CI{}, fmt.Errorf("core: bootstrap needs at least 10 resamples, got %d", n)
+	}
+	if len(timelines) == 0 {
+		return CI{}, fmt.Errorf("core: bootstrap needs timelines")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]float64, 0, n)
+	resample := make([]lifecycle.Timeline, len(timelines))
+	for trial := 0; trial < n; trial++ {
+		for i := range resample {
+			resample[i] = timelines[rng.Intn(len(timelines))]
+		}
+		samples = append(samples, MeanSkill(EvaluateDesiderata(resample, baselines)))
+	}
+	return percentileCI(samples, level), nil
+}
+
+// percentileCI computes the two-sided percentile interval.
+func percentileCI(samples []float64, level float64) CI {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	alpha := (1 - level) / 2
+	lo := int(alpha * float64(len(s)))
+	hi := int((1 - alpha) * float64(len(s)))
+	if hi >= len(s) {
+		hi = len(s) - 1
+	}
+	return CI{Lo: s[lo], Hi: s[hi]}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lifecycle"
+)
+
+func TestBootstrapDesiderata(t *testing.T) {
+	tl := lifecycle.StudyTimelines()
+	results, err := BootstrapDesiderata(tl, PublishedBaselines(), 400, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 9 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.SatisfiedCI.Lo > r.SatisfiedCI.Hi {
+			t.Errorf("%s: inverted interval %v", r.Pair, r.SatisfiedCI)
+		}
+		// The interval must cover the point estimate.
+		if !r.SatisfiedCI.Contains(r.Satisfied) {
+			t.Errorf("%s: CI %v excludes point %.3f", r.Pair, r.SatisfiedCI, r.Satisfied)
+		}
+		// With 63 CVEs the intervals are wide but informative: bounded
+		// within [0,1] and narrower than the trivial interval.
+		if r.SatisfiedCI.Lo < 0 || r.SatisfiedCI.Hi > 1 {
+			t.Errorf("%s: CI %v out of range", r.Pair, r.SatisfiedCI)
+		}
+		if r.SatisfiedCI.Hi-r.SatisfiedCI.Lo >= 0.95 {
+			t.Errorf("%s: CI %v degenerate", r.Pair, r.SatisfiedCI)
+		}
+	}
+	// X<A (n=33) must be wider than P<A (n=62): less data, more spread.
+	var xa, pa BootstrapResult
+	for _, r := range results {
+		switch r.Pair.String() {
+		case "X < A":
+			xa = r
+		case "P < A":
+			pa = r
+		}
+	}
+	if xa.SatisfiedCI.Hi-xa.SatisfiedCI.Lo <= pa.SatisfiedCI.Hi-pa.SatisfiedCI.Lo {
+		t.Errorf("X<A CI %v not wider than P<A CI %v", xa.SatisfiedCI, pa.SatisfiedCI)
+	}
+}
+
+func TestBootstrapMeanSkill(t *testing.T) {
+	tl := lifecycle.StudyTimelines()
+	ci, err := BootstrapMeanSkill(tl, PublishedBaselines(), 400, 0.95, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.Contains(0.37) {
+		t.Errorf("mean-skill CI %v excludes the paper's 0.37", ci)
+	}
+	if ci.Hi-ci.Lo > 0.3 {
+		t.Errorf("mean-skill CI %v implausibly wide", ci)
+	}
+	// Finding 3's qualitative claim — skill is positive — survives the
+	// uncertainty: zero is outside the interval.
+	if ci.Contains(0) {
+		t.Errorf("mean-skill CI %v includes zero; skillfulness not established", ci)
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	tl := lifecycle.StudyTimelines()
+	a, _ := BootstrapMeanSkill(tl, PublishedBaselines(), 100, 0.9, 7)
+	b, _ := BootstrapMeanSkill(tl, PublishedBaselines(), 100, 0.9, 7)
+	if a != b {
+		t.Errorf("same seed differs: %v vs %v", a, b)
+	}
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	tl := lifecycle.StudyTimelines()
+	if _, err := BootstrapDesiderata(tl, PublishedBaselines(), 5, 0.95, 1); err == nil {
+		t.Error("tiny resample count accepted")
+	}
+	if _, err := BootstrapDesiderata(tl, PublishedBaselines(), 100, 1.5, 1); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := BootstrapDesiderata(nil, PublishedBaselines(), 100, 0.95, 1); err == nil {
+		t.Error("empty timelines accepted")
+	}
+	if _, err := BootstrapMeanSkill(nil, PublishedBaselines(), 100, 0.95, 1); err == nil {
+		t.Error("empty timelines accepted for mean skill")
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/ids"
+	"repro/internal/stats"
+)
+
+// Case-study analyses (Section 7.1 and Appendix C): retrospective looks at
+// individual high-profile CVEs through the same event stream.
+
+// SessionCDF is a per-CVE session/event CDF over absolute time (Figures 8
+// and 12).
+type SessionCDF struct {
+	CVE string
+	// Times are the event times, ascending.
+	Times []time.Time
+	// DaysSince are offsets in days from the CVE's publication.
+	DaysSince []float64
+	// CDF over DaysSince.
+	CDF *stats.ECDF
+}
+
+// CaseStudyCDF extracts one CVE's event CDF relative to its publication.
+func CaseStudyCDF(events []ids.Event, cve string, published time.Time) SessionCDF {
+	out := SessionCDF{CVE: cve}
+	for i := range events {
+		if events[i].CVE != cve {
+			continue
+		}
+		out.Times = append(out.Times, events[i].Time)
+	}
+	sort.Slice(out.Times, func(i, j int) bool { return out.Times[i].Before(out.Times[j]) })
+	out.DaysSince = make([]float64, len(out.Times))
+	for i, t := range out.Times {
+		out.DaysSince[i] = t.Sub(published).Hours() / 24
+	}
+	if len(out.DaysSince) > 0 {
+		out.CDF = stats.MustECDF(out.DaysSince)
+	}
+	return out
+}
+
+// VariantSeries is Figure 9: per Log4Shell signature group, the CDF of that
+// group's sessions over a window after publication.
+type VariantSeries struct {
+	Group string
+	SIDs  []int
+	// DaysSince are publication-relative event days within the window.
+	DaysSince []float64
+	CDF       *stats.ECDF
+}
+
+// Log4ShellVariantSeries splits Log4Shell events by Table 6 signature group
+// over the given post-publication window (the paper uses December 2021,
+// ~21 days).
+func Log4ShellVariantSeries(events []ids.Event, windowDays float64) []VariantSeries {
+	groupOf := map[int]string{}
+	var order []string
+	var groupSIDs = map[string][]int{}
+	for _, g := range datasets.Log4ShellGroups() {
+		order = append(order, g.Name)
+		for _, s := range g.SIDs {
+			groupOf[s.SID] = g.Name
+			groupSIDs[g.Name] = append(groupSIDs[g.Name], s.SID)
+		}
+	}
+	pub := datasets.Log4ShellPublished
+	byGroup := map[string][]float64{}
+	for i := range events {
+		ev := &events[i]
+		if ev.CVE != "2021-44228" {
+			continue
+		}
+		g, ok := groupOf[ev.SID]
+		if !ok {
+			continue
+		}
+		rel := ev.Time.Sub(pub).Hours() / 24
+		if rel < 0 || rel > windowDays {
+			continue
+		}
+		byGroup[g] = append(byGroup[g], rel)
+	}
+	var out []VariantSeries
+	for _, g := range order {
+		vs := VariantSeries{Group: g, SIDs: groupSIDs[g], DaysSince: byGroup[g]}
+		sort.Float64s(vs.DaysSince)
+		if len(vs.DaysSince) > 0 {
+			vs.CDF = stats.MustECDF(vs.DaysSince)
+		}
+		out = append(out, vs)
+	}
+	return out
+}
+
+// CaseStudyReport carries the Finding-13/18 style headline numbers for one
+// CVE.
+type CaseStudyReport struct {
+	CVE string
+	// Sessions observed.
+	Sessions int
+	// First and Last event offsets, in days from publication.
+	FirstDay float64
+	LastDay  float64
+	// MitigatedShare is the fraction of the CVE's events that struck after
+	// its rule deployed (Confluence: 99.6% in the paper).
+	MitigatedShare float64
+	// Within30Share is the fraction of post-publication events within the
+	// first 30 days.
+	Within30Share float64
+}
+
+// CaseStudy computes the report for one study CVE.
+func CaseStudy(events []ids.Event, cveID string) CaseStudyReport {
+	rep := CaseStudyReport{CVE: cveID}
+	meta := datasets.StudyCVEByID(cveID)
+	if meta == nil {
+		return rep
+	}
+	var deployed time.Time
+	hasRule := meta.DMinusP.Known
+	if hasRule {
+		deployed = meta.Published.Add(meta.DMinusP.D)
+	}
+	mitigated := 0
+	post, within30 := 0, 0
+	first, last := 0.0, 0.0
+	for i := range events {
+		ev := &events[i]
+		if ev.CVE != cveID {
+			continue
+		}
+		rel := ev.Time.Sub(meta.Published).Hours() / 24
+		if rep.Sessions == 0 || rel < first {
+			first = rel
+		}
+		if rep.Sessions == 0 || rel > last {
+			last = rel
+		}
+		rep.Sessions++
+		if hasRule && ev.Time.After(deployed) {
+			mitigated++
+		}
+		if rel > 0 {
+			post++
+			if rel <= 30 {
+				within30++
+			}
+		}
+	}
+	rep.FirstDay, rep.LastDay = first, last
+	if rep.Sessions > 0 {
+		rep.MitigatedShare = float64(mitigated) / float64(rep.Sessions)
+	}
+	if post > 0 {
+		rep.Within30Share = float64(within30) / float64(post)
+	}
+	return rep
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/datasets"
+)
+
+// Figure 8 / Finding 13: Log4Shell shows rapid exploitation after
+// disclosure with sustained lower-density traffic later.
+func TestLog4ShellCaseStudy(t *testing.T) {
+	events := groundTruthEvents(t, 5)
+	rep := CaseStudy(events, "2021-44228")
+	if rep.Sessions < 500 {
+		t.Fatalf("Log4Shell sessions = %d, want a large campaign", rep.Sessions)
+	}
+	// First variant fired within hours of publication (group A, SID 58723
+	// actually precedes its own rule).
+	if rep.FirstDay > 1 {
+		t.Errorf("first event at day %.2f, want < 1", rep.FirstDay)
+	}
+	// Sustained traffic to the window's end (~447 days after publication).
+	if rep.LastDay < 300 {
+		t.Errorf("last event at day %.2f, want sustained tail", rep.LastDay)
+	}
+	// Front-loaded: a solid share of post-publication traffic in 30 days.
+	if rep.Within30Share < 0.25 {
+		t.Errorf("within-30 share = %.3f, want front-loaded", rep.Within30Share)
+	}
+	cdf := CaseStudyCDF(events, "2021-44228", datasets.Log4ShellPublished)
+	if cdf.CDF == nil || len(cdf.Times) != rep.Sessions {
+		t.Fatal("CDF inconsistent with report")
+	}
+}
+
+// Figure 9 / Finding 14: variant groups appear in order of increasing
+// sophistication during the first month; group A dominates the volume.
+func TestLog4ShellVariantSeries(t *testing.T) {
+	events := groundTruthEvents(t, 5)
+	series := Log4ShellVariantSeries(events, 21)
+	if len(series) != 5 {
+		t.Fatalf("series = %d, want 5 groups", len(series))
+	}
+	byGroup := map[string]VariantSeries{}
+	for _, s := range series {
+		byGroup[s.Group] = s
+	}
+	if len(byGroup["A"].DaysSince) == 0 || len(byGroup["B"].DaysSince) == 0 {
+		t.Fatal("groups A and B must have December traffic")
+	}
+	if len(byGroup["A"].DaysSince) <= len(byGroup["C"].DaysSince) {
+		t.Error("group A should out-volume group C in the first weeks")
+	}
+	// Group E (the request-method variant, released 90 days later) shows
+	// no traffic inside the 21-day window... except its pre-rule scanning
+	// begins at D−88d22h ≈ publication+1.2d, which the post-facto IDS
+	// attributes to SID 59246. Either way, all observations stay inside
+	// the window bounds.
+	for _, s := range series {
+		for _, d := range s.DaysSince {
+			if d < 0 || d > 21 {
+				t.Fatalf("group %s sample %.2f outside window", s.Group, d)
+			}
+		}
+	}
+	// Increasing sophistication: group A's median arrival is earlier than
+	// group D's within the window.
+	if a, d := byGroup["A"], byGroup["D"]; a.CDF != nil && d.CDF != nil {
+		if a.CDF.Median() > d.CDF.Median() {
+			t.Errorf("group A median %.2f later than group D %.2f", a.CDF.Median(), d.CDF.Median())
+		}
+	}
+}
+
+// Figure 12 / Finding 18: Confluence CVE-2022-26134 spikes right after
+// disclosure, is almost entirely mitigated, and keeps rising to the end of
+// the study.
+func TestConfluenceCaseStudy(t *testing.T) {
+	events := groundTruthEvents(t, 5)
+	rep := CaseStudy(events, "2022-26134")
+	if rep.Sessions < 5000 {
+		t.Fatalf("Confluence sessions = %d, want the study's biggest campaign", rep.Sessions)
+	}
+	if rep.MitigatedShare < 0.99 {
+		t.Errorf("Confluence mitigated share = %.4f, want >= 0.99 (paper: 99.6%%)", rep.MitigatedShare)
+	}
+	if rep.LastDay < 200 {
+		t.Errorf("Confluence last event at %.0f days, want traffic to study end", rep.LastDay)
+	}
+}
+
+// Appendix C / Finding 19: the untargeted-OGNL CVE shows traffic from the
+// very beginning of the study, long before its publication.
+func TestUntargetedOGNLLeadingTraffic(t *testing.T) {
+	events := groundTruthEvents(t, 5)
+	meta := datasets.StudyCVEByID("2022-28938")
+	cdf := CaseStudyCDF(events, "2022-28938", meta.Published)
+	if cdf.CDF == nil {
+		t.Fatal("no events")
+	}
+	if cdf.CDF.Min() > -400 {
+		t.Errorf("earliest OGNL event at day %.0f, want ~-444 (study start)", cdf.CDF.Min())
+	}
+	if pre := cdf.CDF.Below(0); pre == 0 {
+		t.Error("no pre-publication OGNL traffic observed")
+	}
+}
+
+func TestCaseStudyUnknownCVE(t *testing.T) {
+	rep := CaseStudy(nil, "1999-0001")
+	if rep.Sessions != 0 {
+		t.Errorf("unknown CVE sessions = %d", rep.Sessions)
+	}
+	cdf := CaseStudyCDF(nil, "1999-0001", time.Now())
+	if cdf.CDF != nil {
+		t.Error("empty CDF should be nil")
+	}
+}

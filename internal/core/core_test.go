@@ -1,0 +1,286 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/lifecycle"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.4f, want %.4f (±%.4f)", name, got, want, tol)
+	}
+}
+
+func table4(t *testing.T) map[string]DesideratumResult {
+	t.Helper()
+	results := EvaluateDesiderata(lifecycle.StudyTimelines(), PublishedBaselines())
+	out := map[string]DesideratumResult{}
+	for _, r := range results {
+		out[r.Pair.String()] = r
+	}
+	return out
+}
+
+// Table 4: satisfaction rates over the 63 study CVEs. These are computed
+// from the embedded Appendix E and must land on the paper's printed values.
+func TestTable4Satisfaction(t *testing.T) {
+	r := table4(t)
+	cases := []struct {
+		pair string
+		want float64
+	}{
+		{"V < A", 0.90}, {"F < P", 0.13}, {"F < X", 0.74}, {"F < A", 0.56},
+		{"D < P", 0.13}, {"D < X", 0.74}, {"D < A", 0.56}, {"P < A", 0.90},
+		{"X < A", 0.39},
+	}
+	for _, c := range cases {
+		approx(t, "satisfied("+c.pair+")", r[c.pair].Satisfied, c.want, 0.015)
+	}
+}
+
+// Table 4: skill values.
+func TestTable4Skill(t *testing.T) {
+	r := table4(t)
+	cases := []struct {
+		pair string
+		want float64
+	}{
+		{"V < A", 0.62}, {"F < P", 0.02}, {"F < X", 0.61}, {"F < A", 0.29},
+		{"D < P", 0.10}, {"D < X", 0.69}, {"D < A", 0.46}, {"P < A", 0.71},
+		{"X < A", -0.21},
+	}
+	for _, c := range cases {
+		approx(t, "skill("+c.pair+")", r[c.pair].Skill, c.want, 0.02)
+	}
+}
+
+// Finding 3: mean skill 0.37, with 8 of 9 desiderata skillful.
+func TestFinding3MeanSkill(t *testing.T) {
+	results := EvaluateDesiderata(lifecycle.StudyTimelines(), PublishedBaselines())
+	approx(t, "mean skill", MeanSkill(results), 0.37, 0.01)
+	if got := SkillfulCount(results); got != 8 {
+		t.Errorf("skillful desiderata = %d, want 8", got)
+	}
+}
+
+// Exact evaluation counts behind the rates (hand-verified from Appendix E).
+func TestTable4Counts(t *testing.T) {
+	r := table4(t)
+	if got := r["F < P"]; got.Evaluated != 60 || got.SatisfiedCount != 8 {
+		t.Errorf("F<P counts = %d/%d, want 8/60", got.SatisfiedCount, got.Evaluated)
+	}
+	if got := r["F < X"]; got.Evaluated != 31 || got.SatisfiedCount != 23 {
+		t.Errorf("F<X counts = %d/%d, want 23/31", got.SatisfiedCount, got.Evaluated)
+	}
+	if got := r["X < A"]; got.Evaluated != 33 || got.SatisfiedCount != 13 {
+		t.Errorf("X<A counts = %d/%d, want 13/33", got.SatisfiedCount, got.Evaluated)
+	}
+	if got := r["P < A"]; got.Evaluated != 62 || got.SatisfiedCount != 56 {
+		t.Errorf("P<A counts = %d/%d, want 56/62", got.SatisfiedCount, got.Evaluated)
+	}
+}
+
+// Finding 7: including the IDS vendor in disclosure lifts D<A satisfaction
+// by about 0.11 and skill by about a third.
+func TestFinding7Counterfactual(t *testing.T) {
+	D, A := lifecycle.FixDeployed, lifecycle.Attacks
+	rep := EvaluateCounterfactual(lifecycle.StudyTimelines(), Pair{A: D, B: A},
+		30*24*time.Hour, PublishedBaselines())
+	if rep.AfterSatisfied <= rep.BeforeSatisfied {
+		t.Fatalf("counterfactual did not improve: %.3f -> %.3f", rep.BeforeSatisfied, rep.AfterSatisfied)
+	}
+	approx(t, "satisfaction gain", rep.AfterSatisfied-rep.BeforeSatisfied, 0.11, 0.03)
+	approx(t, "relative skill improvement", rep.SkillImprovement, 0.32, 0.05)
+}
+
+func TestSkillFormula(t *testing.T) {
+	cases := []struct{ fObs, fBase, want float64 }{
+		{0.5, 0.5, 0},    // baseline performance: no skill
+		{1.0, 0.5, 1},    // perfect: skill 1
+		{0.0, 0.5, -1},   // always-fail
+		{0.75, 0.5, 0.5}, // linear interpolation
+		{0.13, 0.04, 0.09375},
+		{0.3, 1.0, 0}, // degenerate baseline
+	}
+	for _, c := range cases {
+		if got := Skill(c.fObs, c.fBase); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Skill(%v, %v) = %v, want %v", c.fObs, c.fBase, got, c.want)
+		}
+	}
+}
+
+func TestMatrices(t *testing.T) {
+	hs := HouseholderSpringMatrix()
+	tw := ThisWorkMatrix()
+	V, F, D, P, X, A := lifecycle.VendorAware, lifecycle.FixReady, lifecycle.FixDeployed,
+		lifecycle.PublicAware, lifecycle.ExploitPub, lifecycle.Attacks
+
+	// Spot checks against Table 3.
+	if hs.At(V, A) != MarkDesired {
+		t.Error("3a: V<A should be desired")
+	}
+	if hs.At(V, P) != MarkDesired || tw.At(V, P) != MarkRequirement {
+		t.Error("V<P: desired in 3a, required in 3b")
+	}
+	if hs.At(P, X) != MarkDesired || tw.At(P, X) != MarkRequirement {
+		t.Error("P<X: desired in 3a, required in 3b")
+	}
+	if hs.At(A, X) != MarkUndesired || tw.At(A, X) != MarkUndesired {
+		t.Error("A<X undesired in both")
+	}
+	if hs.At(F, D) != MarkRequirement || tw.At(F, D) != MarkRequirement {
+		t.Error("F<D required in both")
+	}
+	if hs.At(D, D) != MarkNone {
+		t.Error("diagonal must be '-'")
+	}
+	// 3a has exactly 3 requirements, 3b has 6.
+	if got := len(hs.Requirements()); got != 3 {
+		t.Errorf("3a requirements = %d, want 3", got)
+	}
+	if got := len(tw.Requirements()); got != 6 {
+		t.Errorf("3b requirements = %d, want 6", got)
+	}
+	_ = X
+	_ = A
+	_ = Pair{}
+	if s := hs.Render(); len(s) == 0 {
+		t.Error("Render empty")
+	}
+}
+
+func TestHistoryEnumeration(t *testing.T) {
+	hs := HouseholderSpringMatrix()
+	tw := ThisWorkMatrix()
+	// V<F<D leaves 6!/3! = 120 valid histories.
+	if got := NumHistories(&hs); got != 120 {
+		t.Errorf("3a histories = %d, want 120", got)
+	}
+	// 3b adds V before P,X and P<X: V<F<D, V<P<X gives 36.
+	if got := NumHistories(&tw); got != 36 {
+		t.Errorf("3b histories = %d, want 36", got)
+	}
+}
+
+func TestBaselineUniformMatchesClosedForm(t *testing.T) {
+	hs := HouseholderSpringMatrix()
+	probs := BaselineProbabilities(&hs, ModelUniform)
+	V, F, D, P, X, A := lifecycle.VendorAware, lifecycle.FixReady, lifecycle.FixDeployed,
+		lifecycle.PublicAware, lifecycle.ExploitPub, lifecycle.Attacks
+	// Under uniform-over-histories with only the V<F<D chain, a free event
+	// lands uniformly among the four positions relative to the chain.
+	approx(t, "P(V<A)", probs[Pair{V, A}], 0.75, 1e-9)
+	approx(t, "P(F<A)", probs[Pair{F, A}], 0.5, 1e-9)
+	approx(t, "P(D<A)", probs[Pair{D, A}], 0.25, 1e-9)
+	approx(t, "P(P<A)", probs[Pair{P, A}], 0.5, 1e-9)
+	approx(t, "P(X<A)", probs[Pair{X, A}], 0.5, 1e-9)
+}
+
+func TestBaselineWalkProbabilitiesSumConsistently(t *testing.T) {
+	hs := HouseholderSpringMatrix()
+	walk := BaselineProbabilities(&hs, ModelWalk)
+	V, A := lifecycle.VendorAware, lifecycle.Attacks
+	// Complementary pairs must sum to 1 (no ties in a total order).
+	pVA := walk[Pair{V, A}]
+	// Recompute the complement through a reversed ad-hoc pair.
+	orders, weights := enumerate(&hs, ModelWalk)
+	var pAV float64
+	for i, o := range orders {
+		if indexOf(o, A) < indexOf(o, V) {
+			pAV += weights[i]
+		}
+	}
+	approx(t, "P(V<A)+P(A<V)", pVA+pAV, 1, 1e-9)
+}
+
+func TestMonteCarloConvergesToExactWalk(t *testing.T) {
+	hs := HouseholderSpringMatrix()
+	exact := BaselineProbabilities(&hs, ModelWalk)
+	mc := MonteCarloBaseline(&hs, 200000, 1)
+	for _, d := range Desiderata() {
+		if math.Abs(exact[d]-mc[d]) > 0.01 {
+			t.Errorf("%s: exact %.4f, MC %.4f", d, exact[d], mc[d])
+		}
+	}
+}
+
+func TestPublishedBaselinesComplete(t *testing.T) {
+	b := PublishedBaselines()
+	for _, d := range Desiderata() {
+		v, ok := b[d]
+		if !ok {
+			t.Errorf("missing baseline for %s", d)
+		}
+		if v <= 0 || v >= 1 {
+			t.Errorf("baseline %s = %v out of (0,1)", d, v)
+		}
+	}
+}
+
+// Window CDFs (Figure 5 family): the satisfaction printed in each caption
+// must match Table 4.
+func TestWindowCDFCaptions(t *testing.T) {
+	tl := lifecycle.StudyTimelines()
+	figs := PaperWindowCDFs(tl)
+	if len(figs) != 9 {
+		t.Fatalf("figures = %d, want 9", len(figs))
+	}
+	captions := map[string]float64{
+		"A - D": 0.56, "P - D": 0.13, "A - P": 0.90,
+		"A - V": 0.90, "P - F": 0.13, "X - F": 0.74,
+		"A - F": 0.56, "X - D": 0.74, "A - X": 0.39,
+	}
+	for _, f := range figs {
+		want, ok := captions[f.Label]
+		if !ok {
+			t.Errorf("unexpected figure %q", f.Label)
+			continue
+		}
+		approx(t, "caption "+f.Label, f.SatisfiedAtZero, want, 0.015)
+	}
+}
+
+// Finding 5: D<A failures are narrow — among CVEs where attacks preceded
+// deployment, the median shortfall is far smaller than the median buffer
+// among successes... specifically many failures are within 30 days.
+func TestFinding5NarrowFailures(t *testing.T) {
+	tl := lifecycle.StudyTimelines()
+	f := NewWindowCDF(tl, lifecycle.Attacks, lifecycle.FixDeployed)
+	// Hypothetical: improving D by 30 days captures a meaningful share of
+	// current failures.
+	base := f.SatisfiedAtZero
+	shifted := f.HypotheticalShift(30)
+	if shifted <= base {
+		t.Errorf("30-day shift did not improve satisfaction: %.3f -> %.3f", base, shifted)
+	}
+	if shifted-base < 0.05 {
+		t.Errorf("30-day shift gain = %.3f, expected a visible mass of narrow failures", shifted-base)
+	}
+}
+
+// Finding 6: a large mass of fixes arrive within 10 days after publication.
+func TestFinding6DeploymentFollowsPublication(t *testing.T) {
+	tl := lifecycle.StudyTimelines()
+	f := NewWindowCDF(tl, lifecycle.PublicAware, lifecycle.FixDeployed) // P - D
+	// P - D in [-10, 0): deployment within 10 days after publication.
+	within10 := f.CDF.At(0) - f.CDF.At(-10)
+	if within10 < 0.25 {
+		t.Errorf("deployments within 10 days of publication = %.3f, want a large mass", within10)
+	}
+}
+
+func TestCounterfactualDoesNotMutateInput(t *testing.T) {
+	tl := lifecycle.StudyTimelines()
+	before := make([]lifecycle.Timeline, len(tl))
+	copy(before, tl)
+	Counterfactual(tl, 30*24*time.Hour)
+	for i := range tl {
+		if tl[i] != before[i] {
+			t.Fatalf("timeline %d mutated", i)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package core implements the paper's analysis: the Householder–Spring CERT
+// model of vulnerability-disclosure event orderings (desiderata, baseline
+// satisfaction probabilities, and the skill metric), evaluated per CVE
+// (Table 4) and per exploit event (Table 5); windows-of-vulnerability
+// distributions (Figures 5, 13–18); the Finding-7 counterfactual; the
+// mitigated-exposure segmentation (Figures 6 and 7); and the KEV comparison
+// (Figures 10 and 11).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lifecycle"
+)
+
+// Pair is an ordered event pair; the desideratum is "A occurs before B".
+type Pair struct {
+	A lifecycle.EventType
+	B lifecycle.EventType
+}
+
+// String renders the pair in the paper's "A < B" form.
+func (p Pair) String() string { return p.A.Letter() + " < " + p.B.Letter() }
+
+// Desiderata returns the nine desiderata evaluated in Table 4, in table
+// order.
+func Desiderata() []Pair {
+	V, F, D, P, X, A := lifecycle.VendorAware, lifecycle.FixReady, lifecycle.FixDeployed,
+		lifecycle.PublicAware, lifecycle.ExploitPub, lifecycle.Attacks
+	return []Pair{
+		{V, A}, {F, P}, {F, X}, {F, A}, {D, P}, {D, X}, {D, A}, {P, A}, {X, A},
+	}
+}
+
+// Marking classifies a cell of the Table 3 desiderata matrix.
+type Marking byte
+
+// Matrix cell markings.
+const (
+	MarkNone        Marking = '-' // impossible or self
+	MarkDesired     Marking = 'd'
+	MarkUndesired   Marking = 'u'
+	MarkRequirement Marking = 'r'
+)
+
+// Matrix is a 6×6 desiderata matrix: Matrix[row][col] classifies "row event
+// precedes column event".
+type Matrix [6][6]Marking
+
+// cell sets m[r][c].
+func (m *Matrix) set(r, c lifecycle.EventType, v Marking) { m[r][c] = v }
+
+// At returns the marking for "a before b".
+func (m *Matrix) At(a, b lifecycle.EventType) Marking { return m[a][b] }
+
+// HouseholderSpringMatrix returns Table 3a, the original model's matrix.
+func HouseholderSpringMatrix() Matrix {
+	V, F, D, P, X, A := lifecycle.VendorAware, lifecycle.FixReady, lifecycle.FixDeployed,
+		lifecycle.PublicAware, lifecycle.ExploitPub, lifecycle.Attacks
+	var m Matrix
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] = MarkNone
+		}
+	}
+	m.set(V, F, MarkRequirement)
+	m.set(V, D, MarkRequirement)
+	m.set(V, P, MarkDesired)
+	m.set(V, X, MarkDesired)
+	m.set(V, A, MarkDesired)
+	m.set(F, D, MarkRequirement)
+	m.set(F, P, MarkDesired)
+	m.set(F, X, MarkDesired)
+	m.set(F, A, MarkDesired)
+	m.set(D, P, MarkDesired)
+	m.set(D, X, MarkDesired)
+	m.set(D, A, MarkDesired)
+	m.set(P, V, MarkUndesired)
+	m.set(P, F, MarkUndesired)
+	m.set(P, D, MarkUndesired)
+	m.set(P, X, MarkDesired)
+	m.set(P, A, MarkDesired)
+	m.set(X, V, MarkUndesired)
+	m.set(X, F, MarkUndesired)
+	m.set(X, D, MarkUndesired)
+	m.set(X, P, MarkUndesired)
+	m.set(X, A, MarkDesired)
+	m.set(A, V, MarkUndesired)
+	m.set(A, F, MarkUndesired)
+	m.set(A, D, MarkUndesired)
+	m.set(A, P, MarkUndesired)
+	m.set(A, X, MarkUndesired)
+	return m
+}
+
+// ThisWorkMatrix returns Table 3b: the paper's matrix as restricted by its
+// collection methodology (public knowledge implies vendor knowledge, so
+// V < P becomes a requirement, and so on).
+func ThisWorkMatrix() Matrix {
+	V, F, D, P, X, A := lifecycle.VendorAware, lifecycle.FixReady, lifecycle.FixDeployed,
+		lifecycle.PublicAware, lifecycle.ExploitPub, lifecycle.Attacks
+	var m Matrix
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] = MarkNone
+		}
+	}
+	m.set(V, F, MarkRequirement)
+	m.set(V, D, MarkRequirement)
+	m.set(V, P, MarkRequirement)
+	m.set(V, X, MarkRequirement)
+	m.set(V, A, MarkDesired)
+	m.set(F, D, MarkRequirement)
+	m.set(F, P, MarkDesired)
+	m.set(F, X, MarkDesired)
+	m.set(F, A, MarkDesired)
+	m.set(D, P, MarkDesired)
+	m.set(D, X, MarkDesired)
+	m.set(D, A, MarkDesired)
+	m.set(P, F, MarkUndesired)
+	m.set(P, D, MarkUndesired)
+	m.set(P, X, MarkRequirement)
+	m.set(P, A, MarkDesired)
+	m.set(X, F, MarkUndesired)
+	m.set(X, D, MarkUndesired)
+	m.set(X, A, MarkDesired)
+	m.set(A, V, MarkUndesired)
+	m.set(A, F, MarkUndesired)
+	m.set(A, D, MarkUndesired)
+	m.set(A, P, MarkUndesired)
+	m.set(A, X, MarkUndesired)
+	return m
+}
+
+// Requirements extracts the matrix's required orderings as pairs.
+func (m *Matrix) Requirements() []Pair {
+	var out []Pair
+	for _, a := range lifecycle.EventTypes() {
+		for _, b := range lifecycle.EventTypes() {
+			if m.At(a, b) == MarkRequirement {
+				out = append(out, Pair{A: a, B: b})
+			}
+		}
+	}
+	return out
+}
+
+// Render prints the matrix in the paper's row/column layout.
+func (m *Matrix) Render() string {
+	s := "      V  F  D  P  X  A\n"
+	for _, a := range lifecycle.EventTypes() {
+		s += fmt.Sprintf("  %s ", a.Letter())
+		for _, b := range lifecycle.EventTypes() {
+			s += fmt.Sprintf("  %c", m.At(a, b))
+		}
+		s += "\n"
+	}
+	return s
+}

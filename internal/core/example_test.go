@@ -1,0 +1,25 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lifecycle"
+)
+
+func ExampleSkill() {
+	// Observed satisfaction 0.90 against a luck baseline of 0.75
+	// (the V < A desideratum in Table 4).
+	fmt.Printf("%.2f\n", core.Skill(0.90, 0.75))
+	// Output: 0.60
+}
+
+func ExampleEvaluateDesiderata() {
+	results := core.EvaluateDesiderata(lifecycle.StudyTimelines(), core.PublishedBaselines())
+	for _, r := range results[:2] {
+		fmt.Printf("%s satisfied %.2f skill %.2f\n", r.Pair, r.Satisfied, r.Skill)
+	}
+	// Output:
+	// V < A satisfied 0.90 skill 0.61
+	// F < P satisfied 0.13 skill 0.03
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/ids"
+	"repro/internal/lifecycle"
+	"repro/internal/scanner"
+)
+
+// groundTruthEvents builds the exploit-event stream from workload
+// blueprints. The telescope/IDS path is validated to agree with blueprint
+// ground truth in the scanner and telescope packages, so the analysis tests
+// can use the cheap path.
+func groundTruthEvents(t testing.TB, scale int) []ids.Event {
+	t.Helper()
+	bps, err := scanner.Build(scanner.Config{Seed: 1, Scale: scale, Noise: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := scanner.SIDPublication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []ids.Event
+	for _, bp := range bps {
+		if bp.CVE == "" {
+			continue
+		}
+		events = append(events, ids.Event{
+			Time: bp.Time, CVE: bp.CVE, SID: bp.SID, Published: pub[bp.SID],
+		})
+	}
+	return events
+}
+
+// Table 5: per-event desiderata. The headline claims must hold: D<A jumps
+// from 0.56 per CVE to ~0.95+ per event; F<P collapses to ~0.01; V<A and
+// P<A are near 1.
+func TestTable5PerEvent(t *testing.T) {
+	events := groundTruthEvents(t, 5)
+	tl := lifecycle.StudyTimelines()
+	results := EvaluatePerEvent(events, tl, PublishedBaselines())
+	byPair := map[string]DesideratumResult{}
+	for _, r := range results {
+		byPair[r.Pair.String()] = r
+	}
+	if got := byPair["D < A"].Satisfied; got < 0.93 {
+		t.Errorf("per-event D<A = %.3f, want >= 0.93 (paper: 0.95)", got)
+	}
+	if got := byPair["V < A"].Satisfied; got < 0.99 {
+		t.Errorf("per-event V<A = %.3f, want ~1.00", got)
+	}
+	if got := byPair["P < A"].Satisfied; got < 0.98 {
+		t.Errorf("per-event P<A = %.3f, want ~0.99", got)
+	}
+	if got := byPair["F < P"].Satisfied; got > 0.03 {
+		t.Errorf("per-event F<P = %.3f, want ~0.01", got)
+	}
+	if got := byPair["X < A"].Satisfied; got < 0.85 {
+		t.Errorf("per-event X<A = %.3f, want ~0.95", got)
+	}
+	// The central contrast of Section 6.2: per-event D<A far exceeds the
+	// per-CVE rate.
+	perCVE := EvaluateDesiderata(tl, PublishedBaselines())
+	var perCVEDA float64
+	for _, r := range perCVE {
+		if r.Pair.String() == "D < A" {
+			perCVEDA = r.Satisfied
+		}
+	}
+	if byPair["D < A"].Satisfied < perCVEDA+0.3 {
+		t.Errorf("per-event D<A (%.3f) should far exceed per-CVE (%.3f)",
+			byPair["D < A"].Satisfied, perCVEDA)
+	}
+}
+
+// Finding 10 / Section 6: exploit traffic is overwhelmingly mitigated.
+func TestMitigatedShare(t *testing.T) {
+	events := groundTruthEvents(t, 5)
+	tl := lifecycle.StudyTimelines()
+	share := MitigatedShare(events, tl)
+	if share < 0.93 {
+		t.Errorf("mitigated share = %.3f, want >= 0.93 (paper: 0.95)", share)
+	}
+}
+
+// Finding 12: roughly half of unmitigated post-publication exposure lands in
+// the first 30 days.
+func TestFinding12UnmitigatedConcentration(t *testing.T) {
+	events := groundTruthEvents(t, 5)
+	tl := lifecycle.StudyTimelines()
+	cdfs := ExposureCDF(events, tl)
+	conc := UnmitigatedConcentration(cdfs, 30)
+	if conc < 0.35 || conc > 0.70 {
+		t.Errorf("30-day unmitigated concentration = %.3f, want ~0.50", conc)
+	}
+	// The mitigated stream must NOT be so concentrated: defended traffic
+	// keeps arriving for the CVE's whole lifetime.
+	post := 1 - cdfs.Mitigated.At(0)
+	mitConc := (cdfs.Mitigated.At(30) - cdfs.Mitigated.At(0)) / post
+	if mitConc >= conc {
+		t.Errorf("mitigated concentration %.3f >= unmitigated %.3f; unmitigated exposure should be the concentrated one", mitConc, conc)
+	}
+}
+
+// Finding 11 / Figure 6: beyond the first 5-day bin, mitigated CVEs
+// dominate the per-bin CVE counts.
+func TestFigure6MitigatedMajority(t *testing.T) {
+	events := groundTruthEvents(t, 5)
+	tl := lifecycle.StudyTimelines()
+	bins := ExposureByBin(events, tl, 5, -50, 200)
+	mitWins := 0
+	contested := 0
+	for i := range bins.Mitigated {
+		if bins.BinStart(i) < 5 {
+			continue // the first post-publication bin may be unmitigated-heavy
+		}
+		if bins.Mitigated[i]+bins.Unmit[i] == 0 {
+			continue
+		}
+		contested++
+		if bins.Mitigated[i] >= bins.Unmit[i] {
+			mitWins++
+		}
+	}
+	if contested == 0 {
+		t.Fatal("no populated bins")
+	}
+	if frac := float64(mitWins) / float64(contested); frac < 0.8 {
+		t.Errorf("mitigated-majority bins = %.2f, want > 0.8", frac)
+	}
+}
+
+// Figure 4: the relative-to-publication event histogram has a visible
+// post-publication spike: the first 15 days outweigh any later 15-day span
+// of the first year on a per-bin basis... compare first bin vs bin at ~6
+// months.
+func TestFigure4PostPublicationSpike(t *testing.T) {
+	events := groundTruthEvents(t, 5)
+	tl := lifecycle.StudyTimelines()
+	h := RelativeEventTimeline(events, tl, 15, -450, 450)
+	if h == nil {
+		t.Fatal("nil histogram")
+	}
+	// The figure's signature is a discontinuity at publication: the first
+	// post-publication bin dwarfs the bins just before publication...
+	firstBin := h.Counts[int((0-(-450))/15)]
+	preBin := h.Counts[int((-30-(-450))/15)]
+	if firstBin < 3*preBin || firstBin == 0 {
+		t.Errorf("post-publication bin (%d) not well above pre-publication bin (%d)", firstBin, preBin)
+	}
+	// ...followed by sustained traffic for months and years.
+	yearOut := h.Counts[int((360-(-450))/15)]
+	if yearOut == 0 {
+		t.Error("no sustained traffic a year after publication")
+	}
+}
+
+// Figure 3: the absolute event rate rises across the study.
+func TestFigure3RisingRate(t *testing.T) {
+	events := groundTruthEvents(t, 5)
+	h := EventTimeline(events, 30, datasets.StudyWindow.Start, datasets.StudyWindow.End)
+	if h == nil {
+		t.Fatal("nil histogram")
+	}
+	n := len(h.Counts)
+	firstHalf, secondHalf := 0, 0
+	for i, c := range h.Counts {
+		if i < n/2 {
+			firstHalf += c
+		} else {
+			secondHalf += c
+		}
+	}
+	if secondHalf <= firstHalf {
+		t.Errorf("event rate not rising: first half %d, second half %d", firstHalf, secondHalf)
+	}
+}
+
+func TestEvaluatePerEventSkipsUnknownCVEs(t *testing.T) {
+	tl := lifecycle.StudyTimelines()
+	events := []ids.Event{{Time: time.Now(), CVE: "1999-9999", SID: 1}}
+	results := EvaluatePerEvent(events, tl, PublishedBaselines())
+	for _, r := range results {
+		if r.Evaluated != 0 {
+			t.Errorf("%s evaluated %d events for unknown CVE", r.Pair, r.Evaluated)
+		}
+	}
+}
+
+// KEV comparison: Figures 10 and 11 plus Findings 15–17.
+func TestKEVComparison(t *testing.T) {
+	kev := datasets.GenerateKEV(datasets.KEVConfig{Seed: 3})
+	tl := lifecycle.StudyTimelines()
+	cmp := CompareKEV(tl, kev)
+
+	if cmp.OverlapCount != 44 {
+		t.Errorf("overlap = %d, want 44", cmp.OverlapCount)
+	}
+	if cmp.OverlapShare < 0.68 || cmp.OverlapShare > 0.72 {
+		t.Errorf("overlap share = %.3f, want ~0.70", cmp.OverlapShare)
+	}
+	// Finding 16: KEV pre-publication exploitation ~18% vs telescope ~10%.
+	if cmp.KevPrePublicationRate < 0.10 || cmp.KevPrePublicationRate > 0.26 {
+		t.Errorf("KEV A<P = %.3f, want ~0.18", cmp.KevPrePublicationRate)
+	}
+	if cmp.DscopePrePublicationRate < 0.07 || cmp.DscopePrePublicationRate > 0.13 {
+		t.Errorf("DSCOPE A<P = %.3f, want ~0.10", cmp.DscopePrePublicationRate)
+	}
+	if cmp.KevPrePublicationRate <= cmp.DscopePrePublicationRate {
+		t.Error("KEV should show a higher pre-publication rate than the telescope")
+	}
+	// Finding 17: 59% telescope-first, 50% by >30 days.
+	if cmp.DscopeFirstShare < 0.50 || cmp.DscopeFirstShare > 0.70 {
+		t.Errorf("telescope-first share = %.3f, want ~0.59", cmp.DscopeFirstShare)
+	}
+	if cmp.Over30DaysShare < 0.35 || cmp.Over30DaysShare > 0.60 {
+		t.Errorf(">30d share = %.3f, want ~0.50", cmp.Over30DaysShare)
+	}
+	if cmp.Delta == nil || cmp.KevAMinusP == nil {
+		t.Fatal("missing distributions")
+	}
+}
+
+// Finding 16's second half: the telescope sees longer pre-publication leads
+// than KEV even though its pre-publication rate is lower.
+func TestFinding16LongLeads(t *testing.T) {
+	kev := datasets.GenerateKEV(datasets.KEVConfig{Seed: 3})
+	tl := lifecycle.StudyTimelines()
+	cmp := CompareKEV(tl, kev)
+
+	// Longest telescope lead (most negative A−P among study CVEs), in days.
+	var worstDscope float64
+	for i := range tl {
+		if d, ok := tl[i].Diff(lifecycle.Attacks, lifecycle.PublicAware); ok {
+			if v := d.Hours() / 24; v < worstDscope {
+				worstDscope = v
+			}
+		}
+	}
+	if worstDscope > -300 {
+		t.Errorf("telescope's longest pre-publication lead = %.0f days, want hundreds", worstDscope)
+	}
+	if kevMin := cmp.KevAMinusP.Min(); kevMin < worstDscope {
+		t.Errorf("KEV lead %.0f days exceeds telescope's %.0f", kevMin, worstDscope)
+	}
+}
+
+func BenchmarkEvaluatePerEvent(b *testing.B) {
+	events := groundTruthEvents(b, 10)
+	tl := lifecycle.StudyTimelines()
+	base := PublishedBaselines()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvaluatePerEvent(events, tl, base)
+	}
+}
+
+func TestProposeKEVAdditions(t *testing.T) {
+	events := groundTruthEvents(t, 20)
+	kev := datasets.GenerateKEV(datasets.KEVConfig{Seed: 3})
+	// minEvents 1: the CVEs KEV lacks are exactly the low-volume ones (the
+	// synthetic catalog's overlap is the top 44 by event count).
+	props := ProposeKEVAdditions(events, kev, 1)
+	if len(props) == 0 {
+		t.Fatal("no proposals")
+	}
+	// Sorted by evidence volume; Confluence must lead.
+	if props[0].CVE != "2022-26134" {
+		t.Errorf("top proposal = %s, want Confluence", props[0].CVE)
+	}
+	// CVEs not in KEV (the 30% the telescope alone sees) must appear.
+	notInCatalog := 0
+	withLead := 0
+	for _, p := range props {
+		if !p.InCatalog {
+			notInCatalog++
+		}
+		if p.LeadDays > 0 {
+			withLead++
+		}
+	}
+	if notInCatalog == 0 {
+		t.Error("no proposals outside the existing catalog")
+	}
+	if withLead == 0 {
+		t.Error("no proposals leading the catalog's manual additions")
+	}
+}
+
+func TestProposeKEVAdditionsThreshold(t *testing.T) {
+	events := groundTruthEvents(t, 20)
+	kev := datasets.GenerateKEV(datasets.KEVConfig{Seed: 3})
+	loose := ProposeKEVAdditions(events, kev, 1)
+	strict := ProposeKEVAdditions(events, kev, 50)
+	if len(strict) >= len(loose) {
+		t.Errorf("threshold did not filter: %d vs %d", len(strict), len(loose))
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/ids"
+	"repro/internal/lifecycle"
+	"repro/internal/stats"
+)
+
+// KEV comparison (Section 7.2): the telescope's exploitation evidence versus
+// CISA's Known Exploited Vulnerabilities catalog.
+
+// KEVComparison summarizes the join between study timelines and KEV.
+type KEVComparison struct {
+	// KevAMinusP is Figure 10: KEV addition minus publication, in days,
+	// over the whole filtered catalog.
+	KevAMinusP *stats.ECDF
+	// KevPrePublicationRate is P(A < P) in KEV (the paper reports 18%).
+	KevPrePublicationRate float64
+	// DscopePrePublicationRate is P(A < P) over study timelines (10%).
+	DscopePrePublicationRate float64
+
+	// OverlapCount is the number of study CVEs present in KEV (44).
+	OverlapCount int
+	// OverlapShare of the 63 (70%).
+	OverlapShare float64
+
+	// DeltaDays is Figure 11: per overlap CVE, KEV addition minus first
+	// telescope-observed exploitation, in days. Positive = telescope first.
+	DeltaDays []float64
+	// Delta is the ECDF of DeltaDays.
+	Delta *stats.ECDF
+	// DscopeFirstShare is the fraction of overlap CVEs the telescope saw
+	// first (59%).
+	DscopeFirstShare float64
+	// Over30DaysShare is the fraction seen >30 days before KEV (50%).
+	Over30DaysShare float64
+}
+
+// CompareKEV joins study timelines against a KEV catalog.
+func CompareKEV(timelines []lifecycle.Timeline, kev datasets.KEVCatalog) KEVComparison {
+	var cmp KEVComparison
+
+	samples := kev.AMinusPSamples()
+	if len(samples) > 0 {
+		cmp.KevAMinusP = stats.MustECDF(samples)
+		cmp.KevPrePublicationRate = cmp.KevAMinusP.Below(0)
+	}
+
+	pre, withA := 0, 0
+	for i := range timelines {
+		a, okA := timelines[i].Get(lifecycle.Attacks)
+		p, okP := timelines[i].Get(lifecycle.PublicAware)
+		if !okA || !okP {
+			continue
+		}
+		withA++
+		if a.Before(p) {
+			pre++
+		}
+	}
+	if withA > 0 {
+		cmp.DscopePrePublicationRate = float64(pre) / float64(withA)
+	}
+
+	var dscopeFirst, over30, joined int
+	for i := range timelines {
+		t := &timelines[i]
+		entry, ok := kev.Overlap[t.CVE]
+		if !ok {
+			continue
+		}
+		cmp.OverlapCount++
+		a, okA := t.Get(lifecycle.Attacks)
+		if !okA {
+			continue
+		}
+		joined++
+		delta := entry.DateAdded.Sub(a)
+		cmp.DeltaDays = append(cmp.DeltaDays, delta.Hours()/24)
+		if delta > 0 {
+			dscopeFirst++
+			if delta > 30*24*time.Hour {
+				over30++
+			}
+		}
+	}
+	if len(timelines) > 0 {
+		cmp.OverlapShare = float64(cmp.OverlapCount) / float64(len(timelines))
+	}
+	if joined > 0 {
+		cmp.DscopeFirstShare = float64(dscopeFirst) / float64(joined)
+		cmp.Over30DaysShare = float64(over30) / float64(joined)
+	}
+	sort.Float64s(cmp.DeltaDays)
+	if len(cmp.DeltaDays) > 0 {
+		cmp.Delta = stats.MustECDF(cmp.DeltaDays)
+	}
+	return cmp
+}
+
+// KEVProposal is one automated catalog addition derived from telescope
+// evidence — the paper's closing recommendation: "application-layer data
+// from interactive Internet telescopes will prove valuable when used to
+// automatically inform additions to vulnerability repositories such as
+// KEV".
+type KEVProposal struct {
+	CVE string
+	// FirstSeen is the earliest exploit event.
+	FirstSeen time.Time
+	// Events is the exploitation evidence volume.
+	Events int
+	// InCatalog reports whether KEV already lists the CVE.
+	InCatalog bool
+	// LeadDays is how many days the proposal beats the catalog's own
+	// addition (0 when not in the catalog or when KEV was first).
+	LeadDays float64
+}
+
+// ProposeKEVAdditions derives automated KEV additions from exploit events:
+// any CVE with at least minEvents observed exploitations. Results are
+// sorted by evidence volume. Proposals for CVEs already in the catalog
+// report how far the telescope's evidence leads the manual addition.
+func ProposeKEVAdditions(events []ids.Event, kev datasets.KEVCatalog, minEvents int) []KEVProposal {
+	if minEvents < 1 {
+		minEvents = 1
+	}
+	type acc struct {
+		first time.Time
+		count int
+	}
+	byCVE := map[string]*acc{}
+	for i := range events {
+		ev := &events[i]
+		if ev.CVE == "" {
+			continue
+		}
+		a := byCVE[ev.CVE]
+		if a == nil {
+			a = &acc{first: ev.Time}
+			byCVE[ev.CVE] = a
+		}
+		if ev.Time.Before(a.first) {
+			a.first = ev.Time
+		}
+		a.count++
+	}
+	var out []KEVProposal
+	for cve, a := range byCVE {
+		if a.count < minEvents {
+			continue
+		}
+		p := KEVProposal{CVE: cve, FirstSeen: a.first, Events: a.count}
+		if entry, ok := kev.Overlap[cve]; ok {
+			p.InCatalog = true
+			if lead := entry.DateAdded.Sub(a.first); lead > 0 {
+				p.LeadDays = lead.Hours() / 24
+			}
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Events != out[j].Events {
+			return out[i].Events > out[j].Events
+		}
+		return out[i].CVE < out[j].CVE
+	})
+	return out
+}

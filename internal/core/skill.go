@@ -1,0 +1,141 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/lifecycle"
+)
+
+// Skill computes the CERT skill metric a_d = (f_obs − f_base)/(1 − f_base):
+// 0 at the baseline rate, 1 at perfect satisfaction, negative below
+// baseline. A baseline of exactly 1 yields 0 by convention (no headroom).
+func Skill(fObs, fBase float64) float64 {
+	if fBase >= 1 {
+		return 0
+	}
+	return (fObs - fBase) / (1 - fBase)
+}
+
+// DesideratumResult is one row of Table 4.
+type DesideratumResult struct {
+	Pair Pair
+	// Evaluated is the number of CVEs where both events are known.
+	Evaluated int
+	// SatisfiedCount of those satisfied the ordering.
+	SatisfiedCount int
+	// Satisfied is the observed satisfaction rate.
+	Satisfied float64
+	// Baseline is the luck-model satisfaction rate.
+	Baseline float64
+	// Skill is the CERT skill value.
+	Skill float64
+}
+
+// EvaluateDesiderata computes Table 4 over a set of CVE timelines: for each
+// desideratum, the satisfaction rate across CVEs where both events are
+// known, against the given baselines.
+func EvaluateDesiderata(timelines []lifecycle.Timeline, baselines map[Pair]float64) []DesideratumResult {
+	out := make([]DesideratumResult, 0, len(Desiderata()))
+	for _, d := range Desiderata() {
+		res := DesideratumResult{Pair: d, Baseline: baselines[d]}
+		for i := range timelines {
+			sat, ok := timelines[i].Before(d.A, d.B)
+			if !ok {
+				continue
+			}
+			res.Evaluated++
+			if sat {
+				res.SatisfiedCount++
+			}
+		}
+		if res.Evaluated > 0 {
+			res.Satisfied = float64(res.SatisfiedCount) / float64(res.Evaluated)
+		}
+		res.Skill = Skill(res.Satisfied, res.Baseline)
+		out = append(out, res)
+	}
+	return out
+}
+
+// MeanSkill averages the skill across results (Finding 3 reports 0.37).
+func MeanSkill(results []DesideratumResult) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range results {
+		s += r.Skill
+	}
+	return s / float64(len(results))
+}
+
+// SkillfulCount returns how many desiderata beat their baseline (Finding 3
+// reports 8 of 9).
+func SkillfulCount(results []DesideratumResult) int {
+	n := 0
+	for _, r := range results {
+		if r.Skill > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Counterfactual implements the Finding-7 experiment: for CVEs whose IDS
+// mitigation followed public announcement by at most window (30 days in the
+// paper), move D (and F) back to the publication date, modeling the IDS
+// vendor being included in coordinated disclosure. Returns adjusted copies.
+func Counterfactual(timelines []lifecycle.Timeline, window time.Duration) []lifecycle.Timeline {
+	out := make([]lifecycle.Timeline, len(timelines))
+	copy(out, timelines)
+	for i := range out {
+		t := &out[i]
+		d, okD := t.Get(lifecycle.FixDeployed)
+		p, okP := t.Get(lifecycle.PublicAware)
+		if !okD || !okP {
+			continue
+		}
+		lag := d.Sub(p)
+		if lag > 0 && lag <= window {
+			t.Set(lifecycle.FixDeployed, p)
+			t.Set(lifecycle.FixReady, p)
+		}
+	}
+	return out
+}
+
+// CounterfactualReport compares a desideratum before and after the
+// counterfactual adjustment.
+type CounterfactualReport struct {
+	Pair            Pair
+	BeforeSatisfied float64
+	AfterSatisfied  float64
+	BeforeSkill     float64
+	AfterSkill      float64
+	// SkillImprovement is the relative skill gain (the paper reports +32%
+	// for D < A).
+	SkillImprovement float64
+}
+
+// EvaluateCounterfactual runs the Finding-7 experiment for one desideratum.
+func EvaluateCounterfactual(timelines []lifecycle.Timeline, d Pair, window time.Duration, baselines map[Pair]float64) CounterfactualReport {
+	before := EvaluateDesiderata(timelines, baselines)
+	after := EvaluateDesiderata(Counterfactual(timelines, window), baselines)
+	rep := CounterfactualReport{Pair: d}
+	for _, r := range before {
+		if r.Pair == d {
+			rep.BeforeSatisfied = r.Satisfied
+			rep.BeforeSkill = r.Skill
+		}
+	}
+	for _, r := range after {
+		if r.Pair == d {
+			rep.AfterSatisfied = r.Satisfied
+			rep.AfterSkill = r.Skill
+		}
+	}
+	if rep.BeforeSkill != 0 {
+		rep.SkillImprovement = (rep.AfterSkill - rep.BeforeSkill) / rep.BeforeSkill
+	}
+	return rep
+}

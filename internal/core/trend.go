@@ -1,0 +1,105 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/lifecycle"
+)
+
+// Skill trend over time. The paper positions its measurement as "a baseline
+// for measuring trends in future vulnerability disclosure" (Section 5
+// takeaways) and expects the dataset to "be useful for analyzing the
+// evolution of CVD effectiveness over time as more years of data are
+// collected" (Section 4). This analysis slices the studied CVEs into
+// publication-date periods and evaluates the CERT skill in each.
+
+// PeriodSkill is one period's evaluation.
+type PeriodSkill struct {
+	// Start and End bound the period (CVEs are assigned by publication).
+	Start time.Time
+	End   time.Time
+	// CVEs is how many studied CVEs fall in the period.
+	CVEs int
+	// MeanSkill across the nine desiderata for this period's CVEs.
+	MeanSkill float64
+	// Results carries the full per-desideratum rows.
+	Results []DesideratumResult
+}
+
+// SkillTrend splits timelines into n equal publication-date periods across
+// the study window and evaluates each. Periods with no CVEs report zero
+// CVEs and no results.
+func SkillTrend(timelines []lifecycle.Timeline, baselines map[Pair]float64, n int) []PeriodSkill {
+	if n < 1 {
+		n = 1
+	}
+	start := datasets.StudyWindow.Start
+	end := datasets.StudyWindow.End
+	span := end.Sub(start) / time.Duration(n)
+	out := make([]PeriodSkill, n)
+	buckets := make([][]lifecycle.Timeline, n)
+	for i := range out {
+		out[i].Start = start.Add(time.Duration(i) * span)
+		out[i].End = out[i].Start.Add(span)
+	}
+	for _, tl := range timelines {
+		p, ok := tl.Get(lifecycle.PublicAware)
+		if !ok {
+			continue
+		}
+		idx := int(p.Sub(start) / span)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			idx = n - 1
+		}
+		buckets[idx] = append(buckets[idx], tl)
+	}
+	for i := range out {
+		out[i].CVEs = len(buckets[i])
+		if len(buckets[i]) == 0 {
+			continue
+		}
+		out[i].Results = EvaluateDesiderata(buckets[i], baselines)
+		out[i].MeanSkill = MeanSkill(out[i].Results)
+	}
+	return out
+}
+
+// ImpactStratifiedSkill splits timelines at a CVSS threshold and evaluates
+// each stratum. Finding 1 argues the telescope's high-impact bias is "at
+// worst neutral"; comparing skill across strata is the check that claim
+// invites.
+type ImpactStratifiedSkill struct {
+	Threshold float64
+	// Critical holds CVEs with Impact >= Threshold, Rest the others.
+	Critical PeriodSkill
+	Rest     PeriodSkill
+}
+
+// StratifyByImpact evaluates desiderata separately for CVEs at or above the
+// CVSS threshold and below it.
+func StratifyByImpact(timelines []lifecycle.Timeline, baselines map[Pair]float64, threshold float64) ImpactStratifiedSkill {
+	var hi, lo []lifecycle.Timeline
+	for _, tl := range timelines {
+		if tl.Impact >= threshold {
+			hi = append(hi, tl)
+		} else {
+			lo = append(lo, tl)
+		}
+	}
+	out := ImpactStratifiedSkill{Threshold: threshold}
+	out.Critical.CVEs = len(hi)
+	out.Rest.CVEs = len(lo)
+	if len(hi) > 0 {
+		out.Critical.Results = EvaluateDesiderata(hi, baselines)
+		out.Critical.MeanSkill = MeanSkill(out.Critical.Results)
+	}
+	if len(lo) > 0 {
+		out.Rest.Results = EvaluateDesiderata(lo, baselines)
+		out.Rest.MeanSkill = MeanSkill(out.Rest.Results)
+	}
+	return out
+}

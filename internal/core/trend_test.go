@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lifecycle"
+)
+
+func TestSkillTrendPartitionsAllCVEs(t *testing.T) {
+	tl := lifecycle.StudyTimelines()
+	for _, n := range []int{1, 2, 4, 8} {
+		periods := SkillTrend(tl, PublishedBaselines(), n)
+		if len(periods) != n {
+			t.Fatalf("n=%d: periods = %d", n, len(periods))
+		}
+		total := 0
+		for i, p := range periods {
+			total += p.CVEs
+			if i > 0 && !periods[i-1].End.Equal(p.Start) {
+				t.Errorf("n=%d: period %d not contiguous", n, i)
+			}
+		}
+		if total != 63 {
+			t.Errorf("n=%d: partitioned %d CVEs, want 63", n, total)
+		}
+	}
+}
+
+func TestSkillTrendSinglePeriodMatchesOverall(t *testing.T) {
+	tl := lifecycle.StudyTimelines()
+	periods := SkillTrend(tl, PublishedBaselines(), 1)
+	overall := MeanSkill(EvaluateDesiderata(tl, PublishedBaselines()))
+	if periods[0].MeanSkill != overall {
+		t.Errorf("single period skill %.4f != overall %.4f", periods[0].MeanSkill, overall)
+	}
+}
+
+func TestSkillTrendHalves(t *testing.T) {
+	tl := lifecycle.StudyTimelines()
+	periods := SkillTrend(tl, PublishedBaselines(), 2)
+	// The study's CVEs are roughly evenly published (Figure 1), so both
+	// halves must be populated and skillful in the aggregate sense.
+	for i, p := range periods {
+		if p.CVEs < 15 {
+			t.Errorf("period %d has only %d CVEs", i, p.CVEs)
+		}
+		if p.MeanSkill < 0.1 {
+			t.Errorf("period %d mean skill %.3f implausibly low", i, p.MeanSkill)
+		}
+	}
+}
+
+func TestSkillTrendDegenerate(t *testing.T) {
+	periods := SkillTrend(nil, PublishedBaselines(), 0)
+	if len(periods) != 1 || periods[0].CVEs != 0 {
+		t.Errorf("degenerate trend = %+v", periods)
+	}
+}
+
+func TestStratifyByImpact(t *testing.T) {
+	tl := lifecycle.StudyTimelines()
+	s := StratifyByImpact(tl, PublishedBaselines(), 9.0)
+	if s.Critical.CVEs+s.Rest.CVEs != 63 {
+		t.Fatalf("strata sum to %d", s.Critical.CVEs+s.Rest.CVEs)
+	}
+	// Finding 1: the set skews critical.
+	if s.Critical.CVEs < 2*s.Rest.CVEs {
+		t.Errorf("critical %d vs rest %d; studied CVEs should skew critical", s.Critical.CVEs, s.Rest.CVEs)
+	}
+	// Both strata exhibit positive skill (the claim that the bias is at
+	// worst neutral would fail if the critical stratum showed none).
+	if s.Critical.MeanSkill <= 0 {
+		t.Errorf("critical-stratum mean skill = %.3f", s.Critical.MeanSkill)
+	}
+	if s.Rest.CVEs > 5 && s.Rest.MeanSkill <= 0 {
+		t.Errorf("non-critical mean skill = %.3f", s.Rest.MeanSkill)
+	}
+}
+
+func TestStratifyDegenerate(t *testing.T) {
+	s := StratifyByImpact(nil, PublishedBaselines(), 9)
+	if s.Critical.CVEs != 0 || s.Rest.CVEs != 0 {
+		t.Errorf("empty stratify = %+v", s)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lifecycle"
+	"repro/internal/stats"
+)
+
+// WindowSamples computes, in days, the distribution of (b − a) across
+// timelines where both events are known. This is the quantity behind the
+// paper's time-series desiderata CDFs: positive values are buffer when the
+// desideratum a<b held, negative values are windows of vulnerability.
+//
+// Figure 5a is WindowSamples(A, D) (A − D), 5b is (P, D), 5c is (A, P);
+// Figures 13–18 are (A,V), (P,F), (X,F), (A,F), (X,D), (A,X).
+func WindowSamples(timelines []lifecycle.Timeline, b, a lifecycle.EventType) []float64 {
+	var out []float64
+	for i := range timelines {
+		d, ok := timelines[i].Diff(b, a)
+		if !ok {
+			continue
+		}
+		out = append(out, d.Hours()/24)
+	}
+	return out
+}
+
+// WindowCDF is one desiderata time-difference figure.
+type WindowCDF struct {
+	// Label is the paper's axis label, e.g. "A - D".
+	Label string
+	// Desideratum is the underlying ordering (a before b means positive
+	// diff values satisfy it).
+	Desideratum Pair
+	// Samples are the day-valued differences.
+	Samples []float64
+	// CDF is the empirical distribution (nil when no samples).
+	CDF *stats.ECDF
+	// SatisfiedAtZero is P(diff > 0), the desideratum satisfaction rate
+	// printed in each figure caption.
+	SatisfiedAtZero float64
+}
+
+// NewWindowCDF builds the figure data for diff = b − a with desideratum
+// a < b.
+func NewWindowCDF(timelines []lifecycle.Timeline, b, a lifecycle.EventType) WindowCDF {
+	samples := WindowSamples(timelines, b, a)
+	w := WindowCDF{
+		Label:       fmt.Sprintf("%s - %s", b.Letter(), a.Letter()),
+		Desideratum: Pair{A: a, B: b},
+		Samples:     samples,
+	}
+	if len(samples) > 0 {
+		w.CDF = stats.MustECDF(samples)
+		w.SatisfiedAtZero = 1 - w.CDF.At(0)
+	}
+	return w
+}
+
+// PaperWindowCDFs returns all nine window figures (5a–5c and 13–18) in
+// paper order.
+func PaperWindowCDFs(timelines []lifecycle.Timeline) []WindowCDF {
+	V, F, D, P, X, A := lifecycle.VendorAware, lifecycle.FixReady, lifecycle.FixDeployed,
+		lifecycle.PublicAware, lifecycle.ExploitPub, lifecycle.Attacks
+	specs := []struct{ b, a lifecycle.EventType }{
+		{A, D}, // Figure 5a
+		{P, D}, // Figure 5b
+		{A, P}, // Figure 5c
+		{A, V}, // Figure 13
+		{P, F}, // Figure 14
+		{X, F}, // Figure 15
+		{A, F}, // Figure 16
+		{X, D}, // Figure 17
+		{A, X}, // Figure 18
+	}
+	out := make([]WindowCDF, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, NewWindowCDF(timelines, s.b, s.a))
+	}
+	return out
+}
+
+// HypotheticalShift answers the paper's "shift the CDF right by x days"
+// reading of the window figures: the satisfaction rate if every CVE's event
+// a happened x days earlier (equivalently, P(diff > -x)).
+func (w WindowCDF) HypotheticalShift(days float64) float64 {
+	if w.CDF == nil {
+		return 0
+	}
+	return 1 - w.CDF.At(-days)
+}

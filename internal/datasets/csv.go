@@ -1,0 +1,131 @@
+package datasets
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Full-fidelity CSV interchange for the study table, so external tooling
+// (and the mkdata command) can round-trip the embedded Appendix E without
+// loss. Column order is stable and versioned by the header row.
+
+var studyCSVHeader = []string{
+	"cve", "published", "events", "description", "vendor", "cwe",
+	"impact", "d_minus_p", "x_minus_p", "a_minus_p", "exploitability", "talos_disclosed",
+}
+
+// WriteStudyCSV writes records with every StudyCVE field.
+func WriteStudyCSV(w io.Writer, cves []StudyCVE) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(studyCSVHeader); err != nil {
+		return err
+	}
+	for _, c := range cves {
+		expl := ""
+		if c.Exploitability >= 0 {
+			expl = strconv.Itoa(c.Exploitability)
+		}
+		row := []string{
+			c.ID,
+			c.Published.Format("2006-01-02"),
+			strconv.Itoa(c.Events),
+			c.Description,
+			c.Vendor,
+			c.CWE,
+			strconv.FormatFloat(c.Impact, 'f', 1, 64),
+			FormatPaperDuration(c.DMinusP),
+			FormatPaperDuration(c.XMinusP),
+			FormatPaperDuration(c.AMinusP),
+			expl,
+			strconv.FormatBool(c.TalosDisclosed),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadStudyCSV parses records written by WriteStudyCSV.
+func ReadStudyCSV(r io.Reader) ([]StudyCVE, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(studyCSVHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("datasets: reading study CSV header: %w", err)
+	}
+	for i, h := range studyCSVHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("datasets: study CSV column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	var out []StudyCVE
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("datasets: study CSV line %d: %w", line, err)
+		}
+		line++
+		c, err := parseStudyRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("datasets: study CSV line %d: %w", line, err)
+		}
+		out = append(out, c)
+	}
+}
+
+func parseStudyRow(row []string) (StudyCVE, error) {
+	var c StudyCVE
+	var err error
+	c.ID = row[0]
+	if c.ID == "" {
+		return c, fmt.Errorf("empty CVE id")
+	}
+	if c.Published, err = parseDate(row[1]); err != nil {
+		return c, err
+	}
+	if c.Events, err = strconv.Atoi(row[2]); err != nil {
+		return c, fmt.Errorf("events %q: %w", row[2], err)
+	}
+	c.Description = row[3]
+	c.Vendor = row[4]
+	c.CWE = row[5]
+	if c.Impact, err = strconv.ParseFloat(row[6], 64); err != nil {
+		return c, fmt.Errorf("impact %q: %w", row[6], err)
+	}
+	if c.DMinusP, err = ParsePaperDuration(row[7]); err != nil {
+		return c, err
+	}
+	if c.XMinusP, err = ParsePaperDuration(row[8]); err != nil {
+		return c, err
+	}
+	if c.AMinusP, err = ParsePaperDuration(row[9]); err != nil {
+		return c, err
+	}
+	c.Exploitability = -1
+	if row[10] != "" {
+		if c.Exploitability, err = strconv.Atoi(row[10]); err != nil {
+			return c, fmt.Errorf("exploitability %q: %w", row[10], err)
+		}
+	}
+	if c.TalosDisclosed, err = strconv.ParseBool(row[11]); err != nil {
+		return c, fmt.Errorf("talos_disclosed %q: %w", row[11], err)
+	}
+	return c, nil
+}
+
+func parseDate(s string) (time.Time, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("date %q: %w", s, err)
+	}
+	return t, nil
+}

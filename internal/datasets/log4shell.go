@@ -1,0 +1,119 @@
+package datasets
+
+import "time"
+
+// Log4ShellPublished is the public-awareness date of CVE-2021-44228.
+var Log4ShellPublished = mustDate("2021-12-10")
+
+// Log4ShellContext is where a Log4Shell variant's payload is injected.
+type Log4ShellContext string
+
+// Injection contexts from Table 6.
+const (
+	CtxHTTPURI    Log4ShellContext = "HTTP URI"
+	CtxHTTPHeader Log4ShellContext = "HTTP Header"
+	CtxHTTPBody   Log4ShellContext = "HTTP Body"
+	CtxHTTPCookie Log4ShellContext = "HTTP Cookie"
+	CtxHTTPMethod Log4ShellContext = "HTTP Request Method"
+	CtxSMTP       Log4ShellContext = "SMTP"
+)
+
+// Log4ShellSID is one signature row of Table 6.
+type Log4ShellSID struct {
+	SID int
+	// AMinusD is the first matching attack time minus the signature's
+	// deployment time: negative means traffic predated the signature.
+	AMinusD Duration
+	// Context is where the payload appears.
+	Context Log4ShellContext
+	// Match is the JNDI lookup keyword the signature targets
+	// (jndi, lower, upper — or a combination).
+	Match string
+	// Adaptation is the adversarial evasion the signature addresses.
+	Adaptation string
+}
+
+// Log4ShellGroup is one signature release wave of Table 6.
+type Log4ShellGroup struct {
+	// Name is the group letter A–E.
+	Name string
+	// DMinusP is the group's release time relative to CVE publication.
+	DMinusP Duration
+	// SIDs are the signatures released together.
+	SIDs []Log4ShellSID
+}
+
+// Deployed returns the group's absolute deployment time.
+func (g Log4ShellGroup) Deployed() time.Time {
+	return Log4ShellPublished.Add(g.DMinusP.D)
+}
+
+// Log4ShellGroups returns Table 6: the five Log4Shell signature waves,
+// showing increasingly sophisticated evasion being addressed over time.
+func Log4ShellGroups() []Log4ShellGroup {
+	sid := func(n int, ad, ctx, match, adapt string) Log4ShellSID {
+		return Log4ShellSID{
+			SID:        n,
+			AMinusD:    MustPaperDuration(ad),
+			Context:    Log4ShellContext(ctx),
+			Match:      match,
+			Adaptation: adapt,
+		}
+	}
+	return []Log4ShellGroup{
+		{
+			Name:    "A",
+			DMinusP: MustPaperDuration("0d 9h"),
+			SIDs: []Log4ShellSID{
+				sid(58722, "0d 4h", "HTTP URI", "jndi", ""),
+				sid(58723, "-0d 6h", "HTTP Header", "jndi", ""),
+				sid(58724, "0d 22h", "HTTP Header", "lower", ""),
+				sid(58725, "105d 5h", "HTTP URI", "lower", ""),
+				sid(58727, "4d 14h", "HTTP Body", "jndi", ""),
+				sid(58731, "8d 21h", "HTTP Header", "upper", ""),
+			},
+		},
+		{
+			Name:    "B",
+			DMinusP: MustPaperDuration("0d 17h"),
+			SIDs: []Log4ShellSID{
+				sid(300057, "21d 10h", "HTTP Cookie", "jndi", ""),
+				sid(58738, "11d 7h", "HTTP Header", "upper", "Escape sequence for $"),
+			},
+		},
+		{
+			Name:    "C",
+			DMinusP: MustPaperDuration("1d 15h"),
+			SIDs: []Log4ShellSID{
+				sid(58739, "8d 12h", "HTTP Header", "lower", "Escape sequence for $"),
+				sid(58741, "136d 16h", "HTTP Body", "jndi", "Escape sequence for jndi"),
+				sid(58742, "5d 0h", "HTTP Header", "jndi", "Escape sequence for jndi"),
+				sid(58744, "4d 19h", "HTTP URI", "jndi", "Escape sequence for jndi"),
+			},
+		},
+		{
+			Name:    "D",
+			DMinusP: MustPaperDuration("3d 11h"),
+			SIDs: []Log4ShellSID{
+				sid(300058, "5d 0h", "HTTP Cookie", "jndi", "Escape sequence for jndi"),
+				sid(58751, "-3d 8h", "SMTP", "jndi/lower/upper", "Extraneous ignored text before jndi"),
+			},
+		},
+		{
+			Name:    "E",
+			DMinusP: MustPaperDuration("90d 3h"),
+			SIDs: []Log4ShellSID{
+				sid(59246, "-88d 22h", "HTTP Request Method", "jndi", ""),
+			},
+		},
+	}
+}
+
+// Log4ShellSIDCount returns the total number of Table 6 signatures.
+func Log4ShellSIDCount() int {
+	n := 0
+	for _, g := range Log4ShellGroups() {
+		n += len(g.SIDs)
+	}
+	return n
+}

@@ -1,0 +1,46 @@
+package datasets
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteJSON writes v as indented JSON to path, creating or truncating it.
+func WriteJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("datasets: creating %s: %w", path, err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("datasets: encoding %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// ReadJSON decodes JSON from path into v.
+func ReadJSON(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("datasets: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return DecodeJSON(f, v)
+}
+
+// DecodeJSON decodes one JSON document from r into v, rejecting trailing
+// garbage.
+func DecodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("datasets: decoding JSON: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("datasets: trailing data after JSON document")
+	}
+	return nil
+}

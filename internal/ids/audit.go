@@ -1,0 +1,124 @@
+package ids
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/rules"
+)
+
+// Root-cause analysis support (paper Section 3.2). Signatures that match
+// traffic *before* their own publication are either the study's most
+// valuable observations (genuine pre-disclosure exploitation) or evidence
+// of an unsound rule (e.g. one that fires on any access to an API endpoint,
+// which credential-stuffing traffic then trips). The paper resolved these
+// by manual analysis and removed CVEs whose rules had false positives.
+//
+// AuditLeadingMatches surfaces exactly the set a human must look at, and
+// Exclusions encodes the outcome of that review as data.
+
+// LeadingMatch is one CVE whose earliest matching traffic precedes the
+// matching rule's publication.
+type LeadingMatch struct {
+	CVE string
+	SID int
+	// RulePublished is the signature's release time.
+	RulePublished time.Time
+	// FirstMatch is the earliest matching session start.
+	FirstMatch time.Time
+	// Lead is how far the traffic precedes the rule.
+	Lead time.Duration
+	// Events is how many of the CVE's events precede the rule.
+	Events int
+	// TotalEvents is the CVE's total event count.
+	TotalEvents int
+}
+
+// AuditLeadingMatches scans attributed events for rule-leading traffic,
+// sorted by lead length (longest first). rulePub maps SIDs to publication
+// times; SIDs missing from the map are skipped (nothing to compare).
+func AuditLeadingMatches(events []Event, rulePub map[int]time.Time) []LeadingMatch {
+	type acc struct {
+		lm    LeadingMatch
+		found bool
+	}
+	byCVE := map[string]*acc{}
+	for i := range events {
+		ev := &events[i]
+		if ev.CVE == "" {
+			continue
+		}
+		pub, ok := rulePub[ev.SID]
+		if !ok || pub.Equal(rules.NeverPublishedSentinel) {
+			// Rules never published during the study have no meaningful
+			// lead; their CVEs' F/D are simply unknown.
+			continue
+		}
+		a := byCVE[ev.CVE]
+		if a == nil {
+			a = &acc{}
+			byCVE[ev.CVE] = a
+		}
+		a.lm.TotalEvents++
+		if !ev.Time.Before(pub) {
+			continue
+		}
+		a.lm.Events++
+		if !a.found || ev.Time.Before(a.lm.FirstMatch) {
+			a.lm.CVE = ev.CVE
+			a.lm.SID = ev.SID
+			a.lm.RulePublished = pub
+			a.lm.FirstMatch = ev.Time
+			a.lm.Lead = pub.Sub(ev.Time)
+			a.found = true
+		}
+	}
+	var out []LeadingMatch
+	for _, a := range byCVE {
+		if a.found {
+			out = append(out, a.lm)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lead != out[j].Lead {
+			return out[i].Lead > out[j].Lead
+		}
+		return out[i].CVE < out[j].CVE
+	})
+	return out
+}
+
+// Exclusions is the outcome of manual root-cause review: CVEs whose rules
+// proved unsound and whose events must be dropped from analysis.
+type Exclusions map[string]string
+
+// NewExclusions builds an exclusion set from (cve, reason) pairs.
+func NewExclusions(pairs ...[2]string) Exclusions {
+	e := Exclusions{}
+	for _, p := range pairs {
+		e[p[0]] = p[1]
+	}
+	return e
+}
+
+// Apply filters events, dropping those attributed to excluded CVEs. The
+// input slice is not modified.
+func (e Exclusions) Apply(events []Event) []Event {
+	if len(e) == 0 {
+		return append([]Event(nil), events...)
+	}
+	out := make([]Event, 0, len(events))
+	for _, ev := range events {
+		if _, drop := e[ev.CVE]; drop {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// Reason returns the recorded justification for excluding a CVE.
+func (e Exclusions) Reason(cve string) (string, bool) {
+	r, ok := e[cve]
+	return r, ok
+}

@@ -1,0 +1,408 @@
+package ids
+
+import (
+	"bytes"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/rules"
+	"repro/internal/tcpasm"
+)
+
+// Match is one rule that fired on a session.
+type Match struct {
+	Rule      *rules.DatedRule
+	SID       int
+	CVEs      []string
+	Published time.Time
+}
+
+// Config configures the engine.
+type Config struct {
+	// PortInsensitive rewrites every rule's port constraints to `any`
+	// before evaluation, as the paper does (Section 3.1).
+	PortInsensitive bool
+	// Env resolves $VAR address specifications. Unresolved variables match
+	// everything.
+	Env map[string][]netip.Prefix
+	// DisablePrefilter turns off the Aho–Corasick candidate prefilter and
+	// evaluates every rule against every session. Used by the ablation
+	// bench; the results must be identical either way.
+	DisablePrefilter bool
+}
+
+// Engine evaluates a dated ruleset over sessions.
+type Engine struct {
+	cfg      Config
+	ruleset  []rules.DatedRule
+	prefilt  *Matcher
+	byPat    [][]int // pattern id -> rule indices
+	noFastPS []int   // rules without a usable fast pattern: always candidates
+	counters []ruleCounters
+}
+
+// NewEngine compiles the ruleset. Rules are copied; callers may mutate their
+// slice afterwards.
+func NewEngine(ruleset []rules.DatedRule, cfg Config) *Engine {
+	e := &Engine{cfg: cfg}
+	e.ruleset = make([]rules.DatedRule, len(ruleset))
+	copy(e.ruleset, ruleset)
+	if cfg.PortInsensitive {
+		for i := range e.ruleset {
+			e.ruleset[i].Rule = e.ruleset[i].Rule.PortInsensitive()
+		}
+	}
+	var patterns [][]byte
+	for i := range e.ruleset {
+		fp := e.ruleset[i].Rule.FastPatternContent()
+		if fp == nil {
+			e.noFastPS = append(e.noFastPS, i)
+			continue
+		}
+		// Reuse pattern slots for identical fast patterns.
+		found := -1
+		for pi, p := range patterns {
+			if bytes.EqualFold(p, fp.Pattern) {
+				found = pi
+				break
+			}
+		}
+		if found < 0 {
+			patterns = append(patterns, fp.Pattern)
+			e.byPat = append(e.byPat, nil)
+			found = len(patterns) - 1
+		}
+		e.byPat[found] = append(e.byPat[found], i)
+	}
+	e.prefilt = NewMatcher(patterns)
+	e.counters = make([]ruleCounters, len(e.ruleset))
+	return e
+}
+
+// NumRules returns the number of compiled rules.
+func (e *Engine) NumRules() int { return len(e.ruleset) }
+
+// Match evaluates the session against the whole ruleset and returns every
+// firing rule, sorted by rule publication time then SID.
+func (e *Engine) Match(s *tcpasm.Session) []Match {
+	bufs := ExtractBuffers(s.ClientData)
+	var candidates []int
+	if e.cfg.DisablePrefilter {
+		candidates = make([]int, len(e.ruleset))
+		for i := range candidates {
+			candidates[i] = i
+		}
+	} else {
+		candidates = append(candidates, e.noFastPS...)
+		seen := map[int32]struct{}{}
+		hit := func(id int32) {
+			if _, dup := seen[id]; dup {
+				return
+			}
+			seen[id] = struct{}{}
+			candidates = append(candidates, e.byPat[id]...)
+		}
+		e.prefilt.Scan(s.ClientData, hit)
+		if len(s.ServerData) > 0 {
+			// to_client rules inspect the server stream.
+			e.prefilt.Scan(s.ServerData, hit)
+		}
+		// Decoded views must reach the full evaluation too: a percent-
+		// encoded URI or a chunk-split body hides its fast pattern from the
+		// raw scan.
+		for i := range bufs.Requests {
+			req := &bufs.Requests[i]
+			if norm := NormalizeURI(req.URI); norm != req.URI {
+				e.prefilt.Scan([]byte(norm), hit)
+			}
+			if req.Body != "" && !bytes.Contains(s.ClientData, []byte(req.Body)) {
+				e.prefilt.Scan([]byte(req.Body), hit)
+			}
+		}
+	}
+	var out []Match
+	for _, ri := range candidates {
+		dr := &e.ruleset[ri]
+		e.counters[ri].evaluated.Add(1)
+		if e.ruleMatches(dr.Rule, s, &bufs) {
+			e.counters[ri].matched.Add(1)
+			out = append(out, Match{
+				Rule:      dr,
+				SID:       dr.Rule.SID,
+				CVEs:      dr.Rule.CVEs(),
+				Published: dr.Published,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Published.Equal(out[j].Published) {
+			return out[i].Published.Before(out[j].Published)
+		}
+		return out[i].SID < out[j].SID
+	})
+	return out
+}
+
+// Earliest returns the earliest-published match, following the paper's
+// retention policy ("for each TCP session, we retain only the
+// earliest-published matching IDS signature"). The second result is false
+// when no rule matched.
+func (e *Engine) Earliest(s *tcpasm.Session) (Match, bool) {
+	ms := e.Match(s)
+	if len(ms) == 0 {
+		return Match{}, false
+	}
+	return ms[0], true
+}
+
+// ruleMatches applies header then payload checks.
+func (e *Engine) ruleMatches(r *rules.Rule, s *tcpasm.Session, bufs *Buffers) bool {
+	if r.Proto != rules.ProtoTCP && r.Proto != rules.ProtoIP {
+		return false
+	}
+	headerOK := e.headerMatches(r, s.Client, s.Server)
+	if !headerOK && r.Dir == rules.DirBidirectional {
+		headerOK = e.headerMatches(r, s.Server, s.Client)
+	}
+	if !headerOK {
+		return false
+	}
+	if r.Flow.ToClient && !r.Flow.ToServer {
+		// The telescope sends no application data, so to_client-only rules
+		// can never fire on its captures; evaluated for completeness.
+		return len(s.ServerData) > 0 && payloadMatches(r, &Buffers{Raw: s.ServerData})
+	}
+	if r.Flow.Established && !s.Complete {
+		// Established-only rules need a full handshake. Mid-stream pickups
+		// are not established from the IDS's perspective.
+		return false
+	}
+	return payloadMatches(r, bufs)
+}
+
+// headerMatches checks the rule header against a (src=client, dst=server)
+// endpoint assignment.
+func (e *Engine) headerMatches(r *rules.Rule, src, dst packet.Endpoint) bool {
+	return r.SrcAddr.Contains(src.Addr, e.cfg.Env) &&
+		r.DstAddr.Contains(dst.Addr, e.cfg.Env) &&
+		r.SrcPorts.Contains(src.Port) &&
+		r.DstPorts.Contains(dst.Port)
+}
+
+// payloadMatches evaluates contents (in order, with positional state per
+// buffer), pcres, and size tests.
+func payloadMatches(r *rules.Rule, bufs *Buffers) bool {
+	if r.Dsize != nil && !r.Dsize.Matches(len(bufs.Raw)) {
+		return false
+	}
+	for _, d := range r.IsDataAts {
+		has := d.Offset < len(bufs.Raw)
+		if has == d.Negated {
+			return false
+		}
+	}
+	for _, bt := range r.ByteTests {
+		if !bt.Eval(bufs.Raw, 0) {
+			return false
+		}
+	}
+	if r.Urilen != nil {
+		ok := false
+		for i := range bufs.Requests {
+			if r.Urilen.Matches(len(bufs.Requests[i].URI)) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(r.Contents) == 0 && len(r.PCREs) == 0 {
+		// Header/size-only rule: everything above already matched.
+		return true
+	}
+	// HTTP-buffer rules evaluate per request; raw-only rules evaluate once.
+	// A rule matches if any single request (plus the raw stream) satisfies
+	// every option. http_uri options additionally see the normalized
+	// request target (Snort semantics: percent-encoding must not evade
+	// URI-bound signatures).
+	n := len(bufs.Requests)
+	if n == 0 {
+		n = 1 // evaluate once with empty HTTP buffers
+	}
+	for reqIdx := 0; reqIdx < n; reqIdx++ {
+		if payloadMatchesForRequest(r, bufs, reqIdx, nil) {
+			return true
+		}
+		if reqIdx < len(bufs.Requests) {
+			raw := bufs.Requests[reqIdx].URI
+			if norm := NormalizeURI(raw); norm != raw {
+				if payloadMatchesForRequest(r, bufs, reqIdx, []byte(norm)) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// payloadMatchesForRequest checks all options against request reqIdx's
+// buffers (and the raw stream). uriOverride, when non-nil, replaces the
+// http_uri buffer text (the normalized-target pass).
+func payloadMatchesForRequest(r *rules.Rule, bufs *Buffers, reqIdx int, uriOverride []byte) bool {
+	uriText := func(text []byte, buf rules.Buffer) []byte {
+		if buf == rules.BufHTTPURI && uriOverride != nil {
+			return uriOverride
+		}
+		return text
+	}
+	// cursor tracks the end of the previous content match per buffer for
+	// distance/within semantics.
+	cursor := map[rules.Buffer]int{}
+	for i := range r.Contents {
+		c := &r.Contents[i]
+		text := uriText(bufferTextFor(bufs, c.Buffer, reqIdx), c.Buffer)
+		pos, ok := findContent(text, c, cursor[c.Buffer])
+		if c.Negated {
+			if ok {
+				return false
+			}
+			continue
+		}
+		if !ok {
+			return false
+		}
+		end := pos + len(c.Pattern)
+		cursor[c.Buffer] = end
+		for _, d := range c.DataAts {
+			has := end+d.Offset < len(text)
+			if has == d.Negated {
+				return false
+			}
+		}
+		for _, bt := range c.ByteTests {
+			if !bt.Eval(text, end) {
+				return false
+			}
+		}
+	}
+	for i := range r.PCREs {
+		p := &r.PCREs[i]
+		text := uriText(bufferTextFor(bufs, p.Buffer, reqIdx), p.Buffer)
+		matched := p.Re.Match(text)
+		if matched == p.Negated {
+			return false
+		}
+	}
+	return true
+}
+
+// bufferTextFor returns the inspection text of buf for request reqIdx.
+func bufferTextFor(bufs *Buffers, buf rules.Buffer, reqIdx int) []byte {
+	if buf == rules.BufRaw {
+		return bufs.Raw
+	}
+	if reqIdx >= len(bufs.Requests) {
+		return nil
+	}
+	req := &bufs.Requests[reqIdx]
+	switch buf {
+	case rules.BufHTTPMethod:
+		return []byte(req.Method)
+	case rules.BufHTTPURI, rules.BufHTTPRawURI:
+		return []byte(req.URI)
+	case rules.BufHTTPHeader:
+		return []byte(req.Headers)
+	case rules.BufHTTPCookie:
+		return []byte(req.Cookie)
+	case rules.BufHTTPBody:
+		return []byte(req.Body)
+	default:
+		return nil
+	}
+}
+
+// findContent locates pattern c in text honoring positional modifiers.
+// prevEnd is the end offset of the previous content match in this buffer
+// (zero when none). It returns the match start and success.
+func findContent(text []byte, c *rules.Content, prevEnd int) (int, bool) {
+	start := 0
+	end := len(text)
+	switch {
+	case c.Distance != nil || c.Within != nil:
+		start = prevEnd
+		if c.Distance != nil {
+			start += *c.Distance
+		}
+		if c.Within != nil {
+			lim := start + *c.Within
+			if lim < end {
+				end = lim
+			}
+		}
+	default:
+		if c.Offset != nil {
+			start = *c.Offset
+		}
+		if c.Depth != nil {
+			lim := start + *c.Depth
+			if lim < end {
+				end = lim
+			}
+		}
+	}
+	if start < 0 {
+		start = 0
+	}
+	if start > len(text) || start > end {
+		return 0, false
+	}
+	window := text[start:end]
+	var idx int
+	if c.Nocase {
+		idx = indexFold(window, c.Pattern)
+	} else {
+		idx = bytes.Index(window, c.Pattern)
+	}
+	if idx < 0 {
+		return 0, false
+	}
+	return start + idx, true
+}
+
+// indexFold is bytes.Index with ASCII case folding.
+func indexFold(haystack, needle []byte) int {
+	if len(needle) == 0 {
+		return 0
+	}
+	if len(needle) > len(haystack) {
+		return -1
+	}
+	first := foldByte(needle[0])
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if foldByte(haystack[i]) != first {
+			continue
+		}
+		ok := true
+		for j := 1; j < len(needle); j++ {
+			if foldByte(haystack[i+j]) != foldByte(needle[j]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return i
+		}
+	}
+	return -1
+}
+
+func foldByte(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + 'a' - 'A'
+	}
+	return c
+}

@@ -1,0 +1,371 @@
+package ids
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/rules"
+	"repro/internal/tcpasm"
+)
+
+func mustRule(t *testing.T, text string) *rules.Rule {
+	t.Helper()
+	r, err := rules.Parse(text)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", text, err)
+	}
+	return r
+}
+
+func httpSession(clientData string, dstPort uint16) *tcpasm.Session {
+	return &tcpasm.Session{
+		Client:     packet.Endpoint{Addr: packet.MustAddr("203.0.113.7"), Port: 45123},
+		Server:     packet.Endpoint{Addr: packet.MustAddr("10.0.0.5"), Port: dstPort},
+		Start:      time.Date(2021, 12, 10, 13, 0, 0, 0, time.UTC),
+		End:        time.Date(2021, 12, 10, 13, 0, 1, 0, time.UTC),
+		ClientData: []byte(clientData),
+		Complete:   true,
+		Closed:     true,
+	}
+}
+
+func engineFor(t *testing.T, cfg Config, ruleTexts ...string) *Engine {
+	t.Helper()
+	var rs []rules.DatedRule
+	for i, text := range ruleTexts {
+		rs = append(rs, rules.DatedRule{
+			Rule:      mustRule(t, text),
+			Published: time.Date(2021, 12, 10+i, 0, 0, 0, 0, time.UTC),
+		})
+	}
+	return NewEngine(rs, cfg)
+}
+
+func TestEngineBasicContentMatch(t *testing.T) {
+	e := engineFor(t, Config{},
+		`alert tcp any any -> any any (msg:"jndi"; content:"${jndi:"; nocase; sid:58722;)`)
+	s := httpSession("GET /?q=${JNDI:ldap://e/a} HTTP/1.1\r\nHost: h\r\n\r\n", 8080)
+	ms := e.Match(s)
+	if len(ms) != 1 || ms[0].SID != 58722 {
+		t.Fatalf("Match = %v", ms)
+	}
+}
+
+func TestEngineHTTPURIBuffer(t *testing.T) {
+	e := engineFor(t, Config{},
+		`alert tcp any any -> any any (msg:"uri"; content:"${jndi:"; http_uri; sid:1;)`)
+	// Pattern in URI: matches.
+	if ms := e.Match(httpSession("GET /?q=${jndi:x} HTTP/1.1\r\nHost: h\r\n\r\n", 80)); len(ms) != 1 {
+		t.Error("URI match failed")
+	}
+	// Pattern only in header: must not match an http_uri rule.
+	if ms := e.Match(httpSession("GET / HTTP/1.1\r\nX-Api: ${jndi:x}\r\n\r\n", 80)); len(ms) != 0 {
+		t.Error("http_uri rule matched header content")
+	}
+}
+
+func TestEngineHTTPHeaderBuffer(t *testing.T) {
+	e := engineFor(t, Config{},
+		`alert tcp any any -> any any (msg:"hdr"; content:"${jndi:"; http_header; sid:2;)`)
+	if ms := e.Match(httpSession("GET / HTTP/1.1\r\nUser-Agent: ${jndi:ldap://e}\r\n\r\n", 80)); len(ms) != 1 {
+		t.Error("header match failed")
+	}
+	if ms := e.Match(httpSession("GET /?${jndi:x} HTTP/1.1\r\nHost: h\r\n\r\n", 80)); len(ms) != 0 {
+		t.Error("http_header rule matched URI content")
+	}
+}
+
+func TestEngineCookieAndMethodBuffers(t *testing.T) {
+	e := engineFor(t, Config{},
+		`alert tcp any any -> any any (msg:"cookie"; content:"${jndi:"; http_cookie; sid:300057;)`,
+		`alert tcp any any -> any any (msg:"method"; content:"${jndi:"; http_method; sid:59246;)`)
+	ms := e.Match(httpSession("GET / HTTP/1.1\r\nCookie: x=${jndi:ldap://e}\r\n\r\n", 80))
+	if len(ms) != 1 || ms[0].SID != 300057 {
+		t.Fatalf("cookie match = %v", ms)
+	}
+	ms = e.Match(httpSession("${jndi:ldap://e/x} / HTTP/1.1\r\nHost: h\r\n\r\n", 80))
+	if len(ms) != 1 || ms[0].SID != 59246 {
+		t.Fatalf("method match = %v", ms)
+	}
+}
+
+func TestEngineBodyBuffer(t *testing.T) {
+	e := engineFor(t, Config{},
+		`alert tcp any any -> any any (msg:"body"; content:"${jndi:"; http_client_body; sid:58727;)`)
+	body := "q=${jndi:ldap://e/a}"
+	raw := "POST /api HTTP/1.1\r\nContent-Length: " + strconv.Itoa(len(body)) + "\r\n\r\n" + body
+	if ms := e.Match(httpSession(raw, 80)); len(ms) != 1 {
+		t.Error("body match failed")
+	}
+}
+
+func TestEnginePortConstraints(t *testing.T) {
+	rule := `alert tcp any any -> any 8090 (msg:"confluence"; content:"${"; sid:59934;)`
+	strict := engineFor(t, Config{}, rule)
+	loose := engineFor(t, Config{PortInsensitive: true}, rule)
+
+	onPort := httpSession("GET /${(x)} HTTP/1.1\r\nHost: h\r\n\r\n", 8090)
+	offPort := httpSession("GET /${(x)} HTTP/1.1\r\nHost: h\r\n\r\n", 8443)
+
+	if len(strict.Match(onPort)) != 1 {
+		t.Error("strict engine missed on-port exploit")
+	}
+	if len(strict.Match(offPort)) != 0 {
+		t.Error("strict engine matched off-port exploit")
+	}
+	if len(loose.Match(offPort)) != 1 {
+		t.Error("port-insensitive engine missed off-port exploit")
+	}
+}
+
+func TestEngineEarliestPublished(t *testing.T) {
+	// Both rules match; the earliest-published one must win even though it
+	// has the higher SID and appears second.
+	var rs []rules.DatedRule
+	rs = append(rs, rules.DatedRule{
+		Rule:      mustRule(t, `alert tcp any any -> any any (msg:"later"; content:"${jndi:"; sid:100;)`),
+		Published: time.Date(2022, 1, 15, 0, 0, 0, 0, time.UTC),
+	})
+	rs = append(rs, rules.DatedRule{
+		Rule:      mustRule(t, `alert tcp any any -> any any (msg:"earlier"; content:"jndi"; sid:200;)`),
+		Published: time.Date(2021, 12, 11, 0, 0, 0, 0, time.UTC),
+	})
+	e := NewEngine(rs, Config{})
+	m, ok := e.Earliest(httpSession("GET /?${jndi:x} HTTP/1.1\r\nHost: h\r\n\r\n", 80))
+	if !ok {
+		t.Fatal("no match")
+	}
+	if m.SID != 200 {
+		t.Errorf("Earliest SID = %d, want 200", m.SID)
+	}
+}
+
+func TestEngineNegatedContent(t *testing.T) {
+	e := engineFor(t, Config{},
+		`alert tcp any any -> any any (msg:"neg"; content:"/api/"; content:!"healthcheck"; sid:5;)`)
+	if len(e.Match(httpSession("GET /api/users HTTP/1.1\r\n\r\n", 80))) != 1 {
+		t.Error("clean request did not match")
+	}
+	if len(e.Match(httpSession("GET /api/healthcheck HTTP/1.1\r\n\r\n", 80))) != 0 {
+		t.Error("negated content did not suppress match")
+	}
+}
+
+func TestEnginePositionalModifiers(t *testing.T) {
+	e := engineFor(t, Config{},
+		`alert tcp any any -> any any (msg:"pos"; content:"GET"; depth:3; content:"/admin"; distance:1; within:10; sid:6;)`)
+	if len(e.Match(httpSession("GET /admin HTTP/1.1\r\n\r\n", 80))) != 1 {
+		t.Error("positional match failed")
+	}
+	// /admin too far away (distance 1, within 10 from end of GET).
+	if len(e.Match(httpSession("GET /x/y/z/q/r/s/admin HTTP/1.1\r\n\r\n", 80))) != 0 {
+		t.Error("within constraint not enforced")
+	}
+	// GET not at start.
+	if len(e.Match(httpSession("xxGET /admin HTTP/1.1\r\n\r\n", 80))) != 0 {
+		t.Error("depth constraint not enforced")
+	}
+}
+
+func TestEnginePCRE(t *testing.T) {
+	e := engineFor(t, Config{},
+		`alert tcp any any -> any any (msg:"ognl"; pcre:"/%24%7B|\$\{/U"; sid:7;)`)
+	if len(e.Match(httpSession("GET /%24%7B(exec)%7D HTTP/1.1\r\nHost: h\r\n\r\n", 80))) != 1 {
+		t.Error("pcre URI match failed")
+	}
+	if len(e.Match(httpSession("GET /plain HTTP/1.1\r\nHost: h\r\n\r\n", 80))) != 0 {
+		t.Error("pcre false positive")
+	}
+}
+
+func TestEngineEstablishedRequiresHandshake(t *testing.T) {
+	e := engineFor(t, Config{},
+		`alert tcp any any -> any any (msg:"est"; flow:to_server,established; content:"attack"; sid:8;)`)
+	s := httpSession("attack bytes", 80)
+	s.Complete = false
+	if len(e.Match(s)) != 0 {
+		t.Error("established rule matched incomplete session")
+	}
+	s.Complete = true
+	if len(e.Match(s)) != 1 {
+		t.Error("established rule missed complete session")
+	}
+}
+
+func TestEngineRawBufferNonHTTP(t *testing.T) {
+	e := engineFor(t, Config{},
+		`alert tcp any any -> any any (msg:"smtp"; content:"MAIL FROM"; nocase; sid:58751;)`)
+	s := httpSession("EHLO x\r\nmail from: <${jndi:ldap://e}>\r\n", 25)
+	if len(e.Match(s)) != 1 {
+		t.Error("raw buffer match on SMTP traffic failed")
+	}
+}
+
+func TestEnginePrefilterEquivalence(t *testing.T) {
+	ruleTexts := []string{
+		`alert tcp any any -> any any (msg:"a"; content:"${jndi:"; nocase; sid:1;)`,
+		`alert tcp any any -> any any (msg:"b"; content:"webLanguage"; sid:2;)`,
+		`alert tcp any any -> any any (msg:"c"; pcre:"/\$\{(lower|upper):/"; sid:3;)`,
+		`alert tcp any any -> any 8090 (msg:"d"; content:"${"; http_uri; sid:4;)`,
+	}
+	fast := engineFor(t, Config{}, ruleTexts...)
+	slow := engineFor(t, Config{DisablePrefilter: true}, ruleTexts...)
+	sessions := []*tcpasm.Session{
+		httpSession("GET /?q=${jndi:ldap} HTTP/1.1\r\nHost: h\r\n\r\n", 80),
+		httpSession("GET /${lower:j}ndi HTTP/1.1\r\nHost: h\r\n\r\n", 80),
+		httpSession("PUT /SDK/webLanguage HTTP/1.1\r\nHost: h\r\n\r\n", 80),
+		httpSession("GET /${(x)} HTTP/1.1\r\nHost: h\r\n\r\n", 8090),
+		httpSession("GET /benign HTTP/1.1\r\nHost: h\r\n\r\n", 80),
+		httpSession("\x01\x02 binary", 443),
+	}
+	for i, s := range sessions {
+		mf := fast.Match(s)
+		msl := slow.Match(s)
+		if len(mf) != len(msl) {
+			t.Fatalf("session %d: prefilter %d matches, full scan %d", i, len(mf), len(msl))
+		}
+		for j := range mf {
+			if mf[j].SID != msl[j].SID {
+				t.Fatalf("session %d match %d: SID %d vs %d", i, j, mf[j].SID, msl[j].SID)
+			}
+		}
+	}
+}
+
+func TestEngineAddrEnv(t *testing.T) {
+	e := engineFor(t, Config{},
+		`alert tcp !203.0.113.0/24 any -> any any (msg:"notfromscanner"; content:"x"; sid:9;)`)
+	s := httpSession("x", 80) // client is 203.0.113.7
+	if len(e.Match(s)) != 0 {
+		t.Error("negated source network matched excluded client")
+	}
+}
+
+func TestEngineNoContentRule(t *testing.T) {
+	// Header-only rules are always candidates (no fast pattern).
+	e := engineFor(t, Config{},
+		`alert tcp any any -> any 23 (msg:"telnet probe"; sid:10;)`)
+	if len(e.Match(httpSession("login: admin", 23))) != 1 {
+		t.Error("header-only rule missed")
+	}
+	if len(e.Match(httpSession("login: admin", 22))) != 0 {
+		t.Error("header-only rule matched wrong port")
+	}
+}
+
+func TestEngineMultipleCVEAttribution(t *testing.T) {
+	e := engineFor(t, Config{},
+		`alert tcp any any -> any any (msg:"multi"; content:"exploit"; reference:cve,2021-1497; reference:cve,2021-1498; sid:11;)`)
+	m, ok := e.Earliest(httpSession("exploit", 80))
+	if !ok {
+		t.Fatal("no match")
+	}
+	if len(m.CVEs) != 2 || m.CVEs[0] != "2021-1497" {
+		t.Errorf("CVEs = %v", m.CVEs)
+	}
+}
+
+func BenchmarkEngineMatch(b *testing.B) {
+	var rs []rules.DatedRule
+	texts := []string{
+		`alert tcp any any -> any any (msg:"a"; content:"${jndi:"; nocase; sid:1;)`,
+		`alert tcp any any -> any any (msg:"b"; content:"webLanguage"; sid:2;)`,
+		`alert tcp any any -> any any (msg:"c"; content:"/cgi-bin/luci"; sid:3;)`,
+		`alert tcp any any -> any any (msg:"d"; content:"XDEBUG"; sid:4;)`,
+		`alert tcp any any -> any any (msg:"e"; content:"/wls-wsat/"; sid:5;)`,
+	}
+	for i, text := range texts {
+		r, err := rules.Parse(text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs = append(rs, rules.DatedRule{Rule: r, Published: time.Unix(int64(i), 0)})
+	}
+	e := NewEngine(rs, Config{})
+	s := httpSession("GET /index.html HTTP/1.1\r\nHost: example\r\nUser-Agent: probe\r\n\r\n", 80)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Match(s)
+	}
+}
+
+func TestEngineDsize(t *testing.T) {
+	e := engineFor(t, Config{},
+		`alert tcp any any -> any any (msg:"overflow probe"; dsize:>200; content:"/goform/"; sid:30;)`)
+	small := httpSession("POST /goform/setmac HTTP/1.1\r\n\r\n", 80)
+	if len(e.Match(small)) != 0 {
+		t.Error("dsize matched undersized payload")
+	}
+	big := httpSession("POST /goform/setmac HTTP/1.1\r\nContent-Length: 300\r\n\r\n"+strings.Repeat("A", 300), 80)
+	if len(e.Match(big)) != 1 {
+		t.Error("dsize missed oversized payload")
+	}
+}
+
+func TestEngineUrilen(t *testing.T) {
+	e := engineFor(t, Config{},
+		`alert tcp any any -> any any (msg:"long uri"; urilen:>50; content:"/__api__/"; sid:31;)`)
+	short := httpSession("GET /__api__/v1 HTTP/1.1\r\n\r\n", 443)
+	if len(e.Match(short)) != 0 {
+		t.Error("urilen matched short URI")
+	}
+	long := httpSession("GET /__api__/v1/logon/"+strings.Repeat("A", 80)+" HTTP/1.1\r\n\r\n", 443)
+	if len(e.Match(long)) != 1 {
+		t.Error("urilen missed long URI")
+	}
+}
+
+func TestEngineIsDataAtRelative(t *testing.T) {
+	e := engineFor(t, Config{},
+		`alert tcp any any -> any any (msg:"trailing overflow"; content:"macaddr="; isdataat:100,relative; sid:32;)`)
+	short := httpSession("macaddr=00:11:22", 80)
+	if len(e.Match(short)) != 0 {
+		t.Error("relative isdataat matched short tail")
+	}
+	long := httpSession("macaddr="+strings.Repeat("A", 150), 80)
+	if len(e.Match(long)) != 1 {
+		t.Error("relative isdataat missed long tail")
+	}
+}
+
+func TestEngineIsDataAtNegated(t *testing.T) {
+	e := engineFor(t, Config{},
+		`alert tcp any any -> any any (msg:"short only"; content:"PING"; isdataat:!50,relative; sid:33;)`)
+	if len(e.Match(httpSession("PING"+strings.Repeat("x", 10), 80))) != 1 {
+		t.Error("negated isdataat missed short payload")
+	}
+	if len(e.Match(httpSession("PING"+strings.Repeat("x", 100), 80))) != 0 {
+		t.Error("negated isdataat matched long payload")
+	}
+}
+
+// Chunk framing must not hide a body pattern from http_client_body rules.
+func TestEngineChunkedEvasion(t *testing.T) {
+	e := engineFor(t, Config{},
+		`alert tcp any any -> any any (msg:"body jndi"; content:"${jndi:"; http_client_body; sid:62;)`)
+	raw := "POST /api HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n" +
+		"4\r\nx=${\r\n5\r\njndi:\r\nd\r\nldap://e/a}&z\r\n0\r\n\r\n"
+	if len(e.Match(httpSession(raw, 80))) != 1 {
+		t.Error("chunk-split body pattern evaded http_client_body rule")
+	}
+}
+
+// to_client rules inspect the server stream (the telescope never sends
+// application data, so on its captures these only fire for synthetic
+// server-side fixtures).
+func TestEngineToClientRules(t *testing.T) {
+	e := engineFor(t, Config{},
+		`alert tcp any any -> any any (msg:"backdoor banner"; flow:to_client; content:"BACKDOOR-OK"; sid:64;)`)
+	s := httpSession("GET / HTTP/1.1\r\n\r\n", 80)
+	if len(e.Match(s)) != 0 {
+		t.Error("to_client rule fired without server data")
+	}
+	s.ServerData = []byte("HTTP/1.1 200 OK\r\n\r\nBACKDOOR-OK ready\r\n")
+	if len(e.Match(s)) != 1 {
+		t.Error("to_client rule missed server-stream pattern")
+	}
+}

@@ -1,0 +1,30 @@
+package ids
+
+import "testing"
+
+func FuzzExtractBuffers(f *testing.F) {
+	f.Add([]byte("GET /?x=${jndi:ldap://e} HTTP/1.1\r\nHost: h\r\nCookie: a=b\r\n\r\n"))
+	f.Add([]byte("POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"))
+	f.Add([]byte("\x16\x03\x01 binary"))
+	f.Add([]byte("EHLO x\r\nMAIL FROM:<a@b>\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := ExtractBuffers(data)
+		if len(b.Raw) != len(data) {
+			t.Fatalf("raw buffer lost bytes: %d vs %d", len(b.Raw), len(data))
+		}
+		for i := range b.Requests {
+			// Extracted buffers must be substrings of the stream (no
+			// synthesis); the Cookie value must not remain in Headers.
+			r := &b.Requests[i]
+			if r.Cookie != "" && len(r.Headers) > 0 {
+				if containsFold(r.Headers, "cookie:") {
+					t.Fatalf("cookie header left in header buffer: %q", r.Headers)
+				}
+			}
+		}
+	})
+}
+
+func containsFold(haystack, needle string) bool {
+	return indexFold([]byte(haystack), []byte(needle)) >= 0
+}

@@ -1,0 +1,313 @@
+// Package ids implements the study's network intrusion detection system: a
+// Snort-style engine that evaluates parsed rules (package rules) over
+// reassembled TCP sessions (package tcpasm), with an Aho–Corasick
+// multi-pattern prefilter for throughput.
+//
+// Two methodological details from the paper are first-class here:
+//
+//   - Port-insensitive evaluation: published IDS rules are often constrained
+//     to service ports, so exploit traffic aimed at non-standard ports would
+//     go undetected; the engine can rewrite every rule to `any` ports.
+//   - Post-facto dated evaluation: the entire capture is evaluated against
+//     the full ruleset regardless of rule publication time, and for every
+//     session only the EARLIEST-PUBLISHED matching signature is retained.
+//     This lets the study observe exploitation that predates the rule (and
+//     even the CVE's publication).
+package ids
+
+import (
+	"bytes"
+	"strings"
+
+	"repro/internal/rules"
+)
+
+// HTTPRequest is one parsed HTTP request extracted from a client stream,
+// pre-sliced into the sticky buffers Snort rules address.
+type HTTPRequest struct {
+	Method string
+	// URI is the raw request target, undecoded (rules match raw bytes).
+	URI string
+	// Headers is the raw header block (everything between the request line
+	// and the blank line), including header names.
+	Headers string
+	// Cookie is the value of the Cookie header, empty if absent.
+	Cookie string
+	// Body is the client body: sliced at Content-Length when present and
+	// dechunked when Transfer-Encoding is chunked (framing must not hide
+	// patterns from body-bound rules).
+	Body string
+}
+
+// Buffers is the set of inspection buffers derived from one session
+// direction. Raw always holds the full stream; HTTP buffers are populated
+// when the stream parses as one or more HTTP requests.
+type Buffers struct {
+	Raw      []byte
+	Requests []HTTPRequest
+}
+
+// ExtractBuffers parses the client stream into inspection buffers. Streams
+// that do not look like HTTP still produce a usable Raw buffer; rules bound
+// to HTTP sticky buffers simply find no candidate text.
+func ExtractBuffers(clientData []byte) Buffers {
+	b := Buffers{Raw: clientData}
+	rest := clientData
+	for len(rest) > 0 && len(b.Requests) < 32 {
+		req, remainder, ok := parseHTTPRequest(rest)
+		if !ok {
+			break
+		}
+		b.Requests = append(b.Requests, req)
+		if len(remainder) >= len(rest) {
+			break
+		}
+		rest = remainder
+	}
+	return b
+}
+
+// httpMethods are the request methods recognized when sniffing a stream for
+// HTTP structure.
+var httpMethods = []string{
+	"GET", "POST", "PUT", "DELETE", "HEAD", "OPTIONS", "PATCH", "TRACE", "CONNECT", "PROPFIND", "SEARCH",
+}
+
+// parseHTTPRequest attempts to parse one request from the head of data.
+func parseHTTPRequest(data []byte) (HTTPRequest, []byte, bool) {
+	lineEnd := bytes.Index(data, []byte("\r\n"))
+	if lineEnd < 0 {
+		// Tolerate bare-LF clients (common in crude scanners).
+		lineEnd = bytes.IndexByte(data, '\n')
+		if lineEnd < 0 {
+			return HTTPRequest{}, nil, false
+		}
+	}
+	line := strings.TrimRight(string(data[:lineEnd]), "\r")
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 {
+		return HTTPRequest{}, nil, false
+	}
+	method := parts[0]
+	known := false
+	for _, m := range httpMethods {
+		if method == m {
+			known = true
+			break
+		}
+	}
+	// Non-standard methods are still HTTP-shaped if the line ends in a
+	// version token; Log4Shell group E signatures match the method buffer
+	// of bogus-method requests.
+	if !known {
+		if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") || !isToken(method) {
+			return HTTPRequest{}, nil, false
+		}
+	}
+	req := HTTPRequest{Method: method, URI: parts[1]}
+
+	// Locate end of header block.
+	afterLine := data[lineEnd:]
+	afterLine = trimLeadingEOL(afterLine)
+	hdrEnd := bytes.Index(afterLine, []byte("\r\n\r\n"))
+	sepLen := 4
+	if hdrEnd < 0 {
+		hdrEnd = bytes.Index(afterLine, []byte("\n\n"))
+		sepLen = 2
+	}
+	var body []byte
+	if hdrEnd < 0 {
+		// Unterminated headers: everything remaining is header text (the
+		// telescope may capture partial requests).
+		req.Headers = string(afterLine)
+	} else {
+		req.Headers = string(afterLine[:hdrEnd])
+		body = afterLine[hdrEnd+sepLen:]
+	}
+	req.Cookie = headerValue(req.Headers, "cookie")
+	if req.Cookie != "" {
+		// Snort's http_header buffer excludes the Cookie header; cookies
+		// are inspected through http_cookie only.
+		req.Headers = stripHeader(req.Headers, "cookie")
+	}
+
+	// Chunked bodies are dechunked before inspection: chunk framing is a
+	// classic evasion surface (patterns split across chunk boundaries would
+	// otherwise never match the body buffer).
+	remainder := []byte(nil)
+	if strings.EqualFold(headerValue(req.Headers, "transfer-encoding"), "chunked") {
+		decoded, rest, ok := dechunk(body)
+		if ok {
+			req.Body = string(decoded)
+			return req, rest, true
+		}
+		// Malformed framing: fall through and inspect the raw body.
+	}
+	if cl := headerValue(req.Headers, "content-length"); cl != "" {
+		n := 0
+		for _, ch := range cl {
+			if ch < '0' || ch > '9' {
+				n = -1
+				break
+			}
+			n = n*10 + int(ch-'0')
+			if n > 1<<24 {
+				n = -1
+				break
+			}
+		}
+		if n >= 0 && n <= len(body) {
+			remainder = body[n:]
+			body = body[:n]
+		}
+	}
+	req.Body = string(body)
+	return req, remainder, true
+}
+
+// dechunk decodes an HTTP/1.1 chunked body. It returns the decoded bytes,
+// the remainder after the terminating zero-chunk, and whether the framing
+// parsed. Trailers are discarded.
+func dechunk(body []byte) (decoded, remainder []byte, ok bool) {
+	rest := body
+	for {
+		lineEnd := bytes.Index(rest, []byte("\r\n"))
+		if lineEnd < 0 {
+			return nil, nil, false
+		}
+		sizeLine := string(rest[:lineEnd])
+		// Chunk extensions (";ext=val") are ignored.
+		if i := strings.IndexByte(sizeLine, ';'); i >= 0 {
+			sizeLine = sizeLine[:i]
+		}
+		size := 0
+		sizeLine = strings.TrimSpace(sizeLine)
+		if sizeLine == "" {
+			return nil, nil, false
+		}
+		for _, c := range sizeLine {
+			v, okd := hexVal(byte(c))
+			if !okd {
+				return nil, nil, false
+			}
+			size = size<<4 | int(v)
+			if size > 1<<24 {
+				return nil, nil, false
+			}
+		}
+		rest = rest[lineEnd+2:]
+		if size == 0 {
+			// Terminating chunk: skip trailers up to the blank line.
+			if i := bytes.Index(rest, []byte("\r\n")); i >= 0 {
+				return decoded, rest[i+2:], true
+			}
+			return decoded, nil, true
+		}
+		if size > len(rest) {
+			// Truncated capture: keep what we have.
+			decoded = append(decoded, rest...)
+			return decoded, nil, true
+		}
+		decoded = append(decoded, rest[:size]...)
+		rest = rest[size:]
+		if len(rest) >= 2 && rest[0] == '\r' && rest[1] == '\n' {
+			rest = rest[2:]
+		}
+	}
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	default:
+		return 0, false
+	}
+}
+
+func trimLeadingEOL(b []byte) []byte {
+	if len(b) >= 2 && b[0] == '\r' && b[1] == '\n' {
+		return b[2:]
+	}
+	if len(b) >= 1 && b[0] == '\n' {
+		return b[1:]
+	}
+	return b
+}
+
+// headerValue extracts the (first) value of name from a raw header block,
+// case-insensitively.
+func headerValue(headers, name string) string {
+	for _, line := range strings.Split(headers, "\n") {
+		line = strings.TrimRight(line, "\r")
+		i := strings.IndexByte(line, ':')
+		if i < 0 {
+			continue
+		}
+		if strings.EqualFold(strings.TrimSpace(line[:i]), name) {
+			return strings.TrimSpace(line[i+1:])
+		}
+	}
+	return ""
+}
+
+// stripHeader removes every line whose header name matches name
+// (case-insensitively) from a raw header block.
+func stripHeader(headers, name string) string {
+	lines := strings.Split(headers, "\n")
+	kept := lines[:0]
+	for _, line := range lines {
+		trimmed := strings.TrimRight(line, "\r")
+		if i := strings.IndexByte(trimmed, ':'); i >= 0 &&
+			strings.EqualFold(strings.TrimSpace(trimmed[:i]), name) {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+func isToken(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c <= ' ' || c >= 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// bufferTexts returns every candidate text for the given rule buffer. HTTP
+// buffers yield one entry per parsed request; Raw yields the whole stream.
+func (b *Buffers) bufferTexts(buf rules.Buffer) [][]byte {
+	switch buf {
+	case rules.BufRaw:
+		return [][]byte{b.Raw}
+	case rules.BufHTTPMethod:
+		return requestField(b.Requests, func(r *HTTPRequest) string { return r.Method })
+	case rules.BufHTTPURI, rules.BufHTTPRawURI:
+		return requestField(b.Requests, func(r *HTTPRequest) string { return r.URI })
+	case rules.BufHTTPHeader:
+		return requestField(b.Requests, func(r *HTTPRequest) string { return r.Headers })
+	case rules.BufHTTPCookie:
+		return requestField(b.Requests, func(r *HTTPRequest) string { return r.Cookie })
+	case rules.BufHTTPBody:
+		return requestField(b.Requests, func(r *HTTPRequest) string { return r.Body })
+	default:
+		return nil
+	}
+}
+
+func requestField(reqs []HTTPRequest, get func(*HTTPRequest) string) [][]byte {
+	out := make([][]byte, 0, len(reqs))
+	for i := range reqs {
+		out = append(out, []byte(get(&reqs[i])))
+	}
+	return out
+}

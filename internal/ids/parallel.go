@@ -1,0 +1,83 @@
+package ids
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/tcpasm"
+)
+
+// MatchSessionsParallel is MatchSessions across a worker pool. The engine is
+// immutable after construction, so workers share it without locking; per-
+// session results land in a preallocated slot array, keeping output order
+// (and therefore downstream analyses) identical to the serial path.
+// workers <= 0 selects GOMAXPROCS.
+func MatchSessionsParallel(sessions []tcpasm.Session, e *Engine, stats *ScanStats, workers int) []Event {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(sessions) < 2*workers {
+		return MatchSessions(sessions, e, stats)
+	}
+
+	type slot struct {
+		ev Event
+		ok bool
+	}
+	slots := make([]slot, len(sessions))
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				s := &sessions[i]
+				m, ok := e.Earliest(s)
+				if !ok {
+					continue
+				}
+				ev := Event{
+					Time:      s.Start,
+					Src:       s.Client,
+					Dst:       s.Server,
+					SID:       m.SID,
+					Published: m.Published,
+					Msg:       m.Rule.Rule.Msg,
+					Bytes:     len(s.ClientData),
+				}
+				if len(m.CVEs) > 0 {
+					ev.CVE = m.CVEs[0]
+				}
+				slots[i] = slot{ev: ev, ok: true}
+			}
+		}()
+	}
+	for i := range sessions {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	events := make([]Event, 0, len(sessions))
+	for i := range slots {
+		if slots[i].ok {
+			events = append(events, slots[i].ev)
+		}
+	}
+	if stats != nil {
+		stats.Sessions = len(sessions)
+		stats.MatchedEvents = len(events)
+		cves := map[string]struct{}{}
+		srcs := map[string]struct{}{}
+		for i := range events {
+			if events[i].CVE != "" {
+				cves[events[i].CVE] = struct{}{}
+			}
+			srcs[events[i].Src.Addr.String()] = struct{}{}
+		}
+		stats.DistinctCVEs = len(cves)
+		stats.DistinctSrcIPs = len(srcs)
+	}
+	return events
+}

@@ -1,0 +1,114 @@
+package ids
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/pcapio"
+	"repro/internal/tcpasm"
+)
+
+// Event is one exploit event: a TCP session whose client payload matched an
+// IDS signature, attributed to the earliest-published matching rule. This is
+// the unit the paper counts 146 k of.
+type Event struct {
+	// Time is the session start (the first captured segment), the paper's
+	// event timestamp.
+	Time time.Time
+	// Src is the scanning client, Dst the telescope endpoint.
+	Src packet.Endpoint
+	Dst packet.Endpoint
+	// SID is the matched signature and Published its release time.
+	SID       int
+	Published time.Time
+	// CVE is the primary CVE attribution ("YYYY-NNNN"), empty when the rule
+	// carries no CVE reference.
+	CVE string
+	// Msg is the rule message.
+	Msg string
+	// Bytes is the client payload length.
+	Bytes int
+}
+
+// ScanStats summarizes a capture scan.
+type ScanStats struct {
+	Packets        int
+	DecodeErrors   int
+	Sessions       int
+	MatchedEvents  int
+	DistinctCVEs   int
+	DistinctSrcIPs int
+}
+
+// ScanCapture replays a capture (classic pcap or pcapng — see
+// pcapio.OpenCapture) through reassembly and the engine, returning one Event
+// per matched session. This is the paper's post-facto evaluation: the
+// capture spans the whole study and the ruleset carries publication dates,
+// so matches may predate their rule's release.
+func ScanCapture(r pcapio.PacketSource, e *Engine) ([]Event, ScanStats, error) {
+	asm := tcpasm.NewAssembler(tcpasm.Config{})
+	var stats ScanStats
+	for {
+		pkt, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, stats, fmt.Errorf("ids: reading capture: %w", err)
+		}
+		stats.Packets++
+		dec, err := packet.Decode(pkt.Data)
+		if err != nil {
+			stats.DecodeErrors++
+			continue
+		}
+		asm.Feed(pkt.Timestamp, dec)
+		if stats.Packets%4096 == 0 {
+			asm.Advance(pkt.Timestamp)
+		}
+	}
+	asm.Flush()
+	sessions := asm.Sessions()
+	events := MatchSessions(sessions, e, &stats)
+	return events, stats, nil
+}
+
+// MatchSessions evaluates sessions against the engine. stats may be nil.
+func MatchSessions(sessions []tcpasm.Session, e *Engine, stats *ScanStats) []Event {
+	var events []Event
+	cves := map[string]struct{}{}
+	srcs := map[packet.Endpoint]struct{}{}
+	for i := range sessions {
+		s := &sessions[i]
+		m, ok := e.Earliest(s)
+		if !ok {
+			continue
+		}
+		ev := Event{
+			Time:      s.Start,
+			Src:       s.Client,
+			Dst:       s.Server,
+			SID:       m.SID,
+			Published: m.Published,
+			Msg:       m.Rule.Rule.Msg,
+			Bytes:     len(s.ClientData),
+		}
+		if len(m.CVEs) > 0 {
+			ev.CVE = m.CVEs[0]
+		}
+		events = append(events, ev)
+		if ev.CVE != "" {
+			cves[ev.CVE] = struct{}{}
+		}
+		srcs[packet.Endpoint{Addr: s.Client.Addr}] = struct{}{}
+	}
+	if stats != nil {
+		stats.Sessions = len(sessions)
+		stats.MatchedEvents = len(events)
+		stats.DistinctCVEs = len(cves)
+		stats.DistinctSrcIPs = len(srcs)
+	}
+	return events
+}

@@ -1,0 +1,55 @@
+package ids
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Rule profiling: per-SID evaluation and match counters, the data Snort's
+// rule-profiling facility exposes so operators can spot hot or dead rules.
+// Counters are atomic, so the parallel matcher updates them safely; they
+// accumulate across Match calls until ResetProfile.
+
+// ruleCounters holds one rule's counters.
+type ruleCounters struct {
+	evaluated atomic.Int64
+	matched   atomic.Int64
+}
+
+// RuleProfile is one rule's profiling snapshot.
+type RuleProfile struct {
+	SID int
+	// Evaluated counts full evaluations (post-prefilter candidacy).
+	Evaluated int64
+	// Matched counts successful matches.
+	Matched int64
+}
+
+// Profile returns per-rule counters sorted by evaluation count (hottest
+// first). Rules never evaluated are included with zeros, so dead rules —
+// patterns that no traffic ever reaches — are visible too.
+func (e *Engine) Profile() []RuleProfile {
+	out := make([]RuleProfile, len(e.ruleset))
+	for i := range e.ruleset {
+		out[i] = RuleProfile{
+			SID:       e.ruleset[i].Rule.SID,
+			Evaluated: e.counters[i].evaluated.Load(),
+			Matched:   e.counters[i].matched.Load(),
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Evaluated != out[j].Evaluated {
+			return out[i].Evaluated > out[j].Evaluated
+		}
+		return out[i].SID < out[j].SID
+	})
+	return out
+}
+
+// ResetProfile zeroes all counters.
+func (e *Engine) ResetProfile() {
+	for i := range e.counters {
+		e.counters[i].evaluated.Store(0)
+		e.counters[i].matched.Store(0)
+	}
+}

@@ -1,0 +1,148 @@
+package packet
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+)
+
+// Packet is a fully decoded Ethernet/IPv4/TCP frame as captured by the
+// telescope. Non-TCP and non-IPv4 frames are rejected by Decode; the study's
+// collection methodology is TCP-only (DSCOPE accepts TCP on all ports).
+type Packet struct {
+	Eth *Ethernet
+	IP  *IPv4
+	TCP *TCP
+}
+
+// Decode parses a full frame starting at the Ethernet layer. It returns an
+// error if any layer is malformed or if the frame is not IPv4/TCP.
+func Decode(data []byte) (*Packet, error) {
+	eth, err := DecodeEthernet(data)
+	if err != nil {
+		return nil, err
+	}
+	if eth.EtherType != EtherTypeIPv4 {
+		return nil, fmt.Errorf("%w: 0x%04x", ErrNotIPv4, eth.EtherType)
+	}
+	ip, err := DecodeIPv4(eth.LayerPayload())
+	if err != nil {
+		return nil, err
+	}
+	if ip.Protocol != IPProtoTCP {
+		return nil, fmt.Errorf("%w: protocol %d", ErrNotTCP, ip.Protocol)
+	}
+	tcp, err := DecodeTCP(ip.LayerPayload())
+	if err != nil {
+		return nil, err
+	}
+	return &Packet{Eth: eth, IP: ip, TCP: tcp}, nil
+}
+
+// Flow returns the directed flow of the packet.
+func (p *Packet) Flow() Flow {
+	return Flow{
+		Src: Endpoint{Addr: p.IP.Src, Port: p.TCP.SrcPort},
+		Dst: Endpoint{Addr: p.IP.Dst, Port: p.TCP.DstPort},
+	}
+}
+
+// Payload returns the application-layer bytes of the packet.
+func (p *Packet) Payload() []byte { return p.TCP.LayerPayload() }
+
+// Builder assembles valid Ethernet/IPv4/TCP frames. It exists so the traffic
+// generator and tests can produce byte-exact wire frames that round-trip
+// through Decode, the pcap files, and TCP reassembly.
+type Builder struct {
+	// SrcMAC and DstMAC are used for every frame. The defaults are
+	// locally administered addresses.
+	SrcMAC MAC
+	DstMAC MAC
+	// TTL for generated IPv4 headers. Defaults to 64 when zero.
+	TTL uint8
+
+	ipID uint16
+	rng  *rand.Rand
+}
+
+// NewBuilder returns a Builder with deterministic IP IDs seeded from seed.
+func NewBuilder(seed int64) *Builder {
+	return &Builder{
+		SrcMAC: MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01},
+		DstMAC: MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x02},
+		TTL:    64,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Segment describes one TCP segment to build.
+type Segment struct {
+	Src     Endpoint
+	Dst     Endpoint
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+	Payload []byte
+}
+
+// Build serializes the segment into a complete Ethernet frame.
+func (b *Builder) Build(seg Segment) ([]byte, error) {
+	if !seg.Src.Addr.Is4() || !seg.Dst.Addr.Is4() {
+		return nil, fmt.Errorf("packet: builder requires IPv4 addresses, got %s -> %s", seg.Src.Addr, seg.Dst.Addr)
+	}
+	window := seg.Window
+	if window == 0 {
+		window = 65535
+	}
+	tcp := &TCP{
+		SrcPort: seg.Src.Port,
+		DstPort: seg.Dst.Port,
+		Seq:     seg.Seq,
+		Ack:     seg.Ack,
+		Flags:   seg.Flags,
+		Window:  window,
+	}
+	tcpBytes, err := tcp.SerializeTo(nil, seg.Src.Addr, seg.Dst.Addr, seg.Payload)
+	if err != nil {
+		return nil, err
+	}
+	b.ipID++
+	ip := &IPv4{
+		ID:       b.ipID,
+		TTL:      b.ttl(),
+		Protocol: IPProtoTCP,
+		Src:      seg.Src.Addr,
+		Dst:      seg.Dst.Addr,
+	}
+	ipBytes, err := ip.SerializeTo(nil, tcpBytes)
+	if err != nil {
+		return nil, err
+	}
+	eth := &Ethernet{Dst: b.DstMAC, Src: b.SrcMAC, EtherType: EtherTypeIPv4}
+	return eth.SerializeTo(nil, ipBytes), nil
+}
+
+func (b *Builder) ttl() uint8 {
+	if b.TTL == 0 {
+		return 64
+	}
+	return b.TTL
+}
+
+// RandomISN returns a pseudorandom initial sequence number. The builder's
+// RNG is seeded, so frame generation is reproducible.
+func (b *Builder) RandomISN() uint32 { return b.rng.Uint32() }
+
+// MustAddr parses a dotted-quad IPv4 address, panicking on failure. Intended
+// for tests and static configuration.
+func MustAddr(s string) netip.Addr {
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	if !a.Is4() {
+		panic(fmt.Sprintf("packet: %s is not IPv4", s))
+	}
+	return a
+}

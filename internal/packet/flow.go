@@ -1,0 +1,47 @@
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Endpoint is one side of a TCP/IPv4 conversation. It is a comparable value
+// type so it can key maps directly.
+type Endpoint struct {
+	Addr netip.Addr
+	Port uint16
+}
+
+// String formats the endpoint as addr:port.
+func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.Addr, e.Port) }
+
+// Flow is a directed (src, dst) endpoint pair identifying one direction of a
+// TCP connection.
+type Flow struct {
+	Src Endpoint
+	Dst Endpoint
+}
+
+// String formats the flow as "src -> dst".
+func (f Flow) String() string { return f.Src.String() + " -> " + f.Dst.String() }
+
+// Reverse returns the flow for the opposite direction.
+func (f Flow) Reverse() Flow { return Flow{Src: f.Dst, Dst: f.Src} }
+
+// Canonical returns a direction-independent key for the connection: the flow
+// whose source endpoint orders before its destination. Both directions of a
+// connection map to the same canonical flow, which is what connection-table
+// keys need.
+func (f Flow) Canonical() Flow {
+	if endpointLess(f.Dst, f.Src) {
+		return f.Reverse()
+	}
+	return f
+}
+
+func endpointLess(a, b Endpoint) bool {
+	if c := a.Addr.Compare(b.Addr); c != 0 {
+		return c < 0
+	}
+	return a.Port < b.Port
+}

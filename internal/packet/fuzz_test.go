@@ -1,0 +1,23 @@
+package packet
+
+import "testing"
+
+func FuzzDecode(f *testing.F) {
+	b := NewBuilder(1)
+	frame, _ := b.Build(Segment{Src: srcEP, Dst: dstEP, Flags: FlagSYN, Payload: []byte("seed")})
+	f.Add(frame)
+	f.Add([]byte{})
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted frames expose consistent views.
+		if p.IP.HeaderLen() < 20 {
+			t.Fatalf("accepted frame with header length %d", p.IP.HeaderLen())
+		}
+		_ = p.Flow()
+		_ = p.Payload()
+	})
+}

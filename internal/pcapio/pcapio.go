@@ -1,0 +1,227 @@
+// Package pcapio reads and writes libpcap capture files (the classic
+// tcpdump format, magic 0xa1b2c3d4 / 0xa1b23c4d). The telescope persists its
+// captures in this format so they can be inspected with standard tooling,
+// and the IDS replays them post facto — exactly the paper's workflow, where
+// two years of pcap are re-evaluated against every signature after the fact.
+//
+// Both microsecond and nanosecond timestamp precisions are supported, as are
+// both byte orders on read (files are written in little-endian, the common
+// convention).
+package pcapio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Magic numbers for the classic pcap format.
+const (
+	magicMicro = 0xa1b2c3d4
+	magicNano  = 0xa1b23c4d
+)
+
+// LinkType values (a tiny subset; the telescope writes Ethernet).
+const (
+	LinkTypeEthernet uint32 = 1
+	LinkTypeRaw      uint32 = 101
+)
+
+const (
+	fileHeaderLen   = 24
+	recordHeaderLen = 16
+	versionMajor    = 2
+	versionMinor    = 4
+)
+
+// Errors returned by the reader.
+var (
+	ErrBadMagic     = errors.New("pcapio: not a pcap file")
+	ErrShortRecord  = errors.New("pcapio: truncated record")
+	ErrSnaplenAbuse = errors.New("pcapio: record length exceeds snaplen")
+)
+
+// Packet is one captured record.
+type Packet struct {
+	// Timestamp of capture.
+	Timestamp time.Time
+	// OrigLen is the original length of the packet on the wire, which may
+	// exceed len(Data) if the capture was truncated at snaplen.
+	OrigLen int
+	// Data is the captured bytes.
+	Data []byte
+}
+
+// Writer writes a pcap file. It buffers internally; call Flush before the
+// underlying writer is closed.
+type Writer struct {
+	w       *bufio.Writer
+	nano    bool
+	snaplen uint32
+	hdr     [recordHeaderLen]byte
+}
+
+// WriterOption configures a Writer.
+type WriterOption func(*Writer)
+
+// WithNanoPrecision makes the writer emit nanosecond-precision timestamps
+// (magic 0xa1b23c4d).
+func WithNanoPrecision() WriterOption { return func(w *Writer) { w.nano = true } }
+
+// WithSnaplen sets the advertised snap length. Records longer than the
+// snaplen are truncated on write with OrigLen preserved.
+func WithSnaplen(n uint32) WriterOption { return func(w *Writer) { w.snaplen = n } }
+
+// NewWriter creates a Writer and emits the file header immediately.
+func NewWriter(w io.Writer, linkType uint32, opts ...WriterOption) (*Writer, error) {
+	pw := &Writer{w: bufio.NewWriter(w), snaplen: 262144}
+	for _, o := range opts {
+		o(pw)
+	}
+	var hdr [fileHeaderLen]byte
+	magic := uint32(magicMicro)
+	if pw.nano {
+		magic = magicNano
+	}
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	binary.LittleEndian.PutUint16(hdr[4:6], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:8], versionMinor)
+	// thiszone and sigfigs are zero by convention.
+	binary.LittleEndian.PutUint32(hdr[16:20], pw.snaplen)
+	binary.LittleEndian.PutUint32(hdr[20:24], linkType)
+	if _, err := pw.w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcapio: writing file header: %w", err)
+	}
+	return pw, nil
+}
+
+// WritePacket appends one record.
+func (w *Writer) WritePacket(ts time.Time, data []byte) error {
+	origLen := len(data)
+	if uint32(len(data)) > w.snaplen {
+		data = data[:w.snaplen]
+	}
+	sec := ts.Unix()
+	var frac int64
+	if w.nano {
+		frac = int64(ts.Nanosecond())
+	} else {
+		frac = int64(ts.Nanosecond()) / 1000
+	}
+	binary.LittleEndian.PutUint32(w.hdr[0:4], uint32(sec))
+	binary.LittleEndian.PutUint32(w.hdr[4:8], uint32(frac))
+	binary.LittleEndian.PutUint32(w.hdr[8:12], uint32(len(data)))
+	binary.LittleEndian.PutUint32(w.hdr[12:16], uint32(origLen))
+	if _, err := w.w.Write(w.hdr[:]); err != nil {
+		return fmt.Errorf("pcapio: writing record header: %w", err)
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return fmt.Errorf("pcapio: writing record data: %w", err)
+	}
+	return nil
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader reads a pcap file.
+type Reader struct {
+	r        *bufio.Reader
+	order    binary.ByteOrder
+	nano     bool
+	snaplen  uint32
+	linkType uint32
+}
+
+// NewReader parses the file header and prepares to iterate records.
+func NewReader(r io.Reader) (*Reader, error) {
+	pr := &Reader{r: bufio.NewReader(r)}
+	var hdr [fileHeaderLen]byte
+	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcapio: reading file header: %w", err)
+	}
+	magicLE := binary.LittleEndian.Uint32(hdr[0:4])
+	magicBE := binary.BigEndian.Uint32(hdr[0:4])
+	switch {
+	case magicLE == magicMicro:
+		pr.order = binary.LittleEndian
+	case magicLE == magicNano:
+		pr.order, pr.nano = binary.LittleEndian, true
+	case magicBE == magicMicro:
+		pr.order = binary.BigEndian
+	case magicBE == magicNano:
+		pr.order, pr.nano = binary.BigEndian, true
+	default:
+		return nil, fmt.Errorf("%w: magic 0x%08x", ErrBadMagic, magicLE)
+	}
+	if major := pr.order.Uint16(hdr[4:6]); major != versionMajor {
+		return nil, fmt.Errorf("pcapio: unsupported version %d.%d", major, pr.order.Uint16(hdr[6:8]))
+	}
+	pr.snaplen = pr.order.Uint32(hdr[16:20])
+	pr.linkType = pr.order.Uint32(hdr[20:24])
+	return pr, nil
+}
+
+// LinkType returns the file's link type.
+func (r *Reader) LinkType() uint32 { return r.linkType }
+
+// Snaplen returns the file's snap length.
+func (r *Reader) Snaplen() uint32 { return r.snaplen }
+
+// NanoPrecision reports whether timestamps carry nanosecond precision.
+func (r *Reader) NanoPrecision() bool { return r.nano }
+
+// Next returns the next record, or io.EOF after the last one. The returned
+// Data is freshly allocated and owned by the caller.
+func (r *Reader) Next() (Packet, error) {
+	var hdr [recordHeaderLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Packet{}, io.EOF
+		}
+		return Packet{}, fmt.Errorf("pcapio: %w: %v", ErrShortRecord, err)
+	}
+	sec := r.order.Uint32(hdr[0:4])
+	frac := r.order.Uint32(hdr[4:8])
+	capLen := r.order.Uint32(hdr[8:12])
+	origLen := r.order.Uint32(hdr[12:16])
+	if r.snaplen > 0 && capLen > r.snaplen {
+		return Packet{}, fmt.Errorf("%w: caplen %d > snaplen %d", ErrSnaplenAbuse, capLen, r.snaplen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Packet{}, fmt.Errorf("pcapio: %w: %v", ErrShortRecord, err)
+	}
+	nanos := int64(frac)
+	if !r.nano {
+		nanos *= 1000
+	}
+	return Packet{
+		Timestamp: time.Unix(int64(sec), nanos).UTC(),
+		OrigLen:   int(origLen),
+		Data:      data,
+	}, nil
+}
+
+// ReadAll drains the reader, returning every record. It is a convenience for
+// tests and small captures; the IDS streams with Next.
+func (r *Reader) ReadAll() ([]Packet, error) {
+	var pkts []Packet
+	for {
+		p, err := r.Next()
+		if err == io.EOF {
+			return pkts, nil
+		}
+		if err != nil {
+			return pkts, err
+		}
+		pkts = append(pkts, p)
+	}
+}
+
+// newBufioWriter exposes bufio construction for internal test fixtures that
+// append blocks to an existing stream.
+func newBufioWriter(w io.Writer) *bufio.Writer { return bufio.NewWriter(w) }

@@ -1,0 +1,286 @@
+package pcapio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRoundTripMicro(t *testing.T) {
+	testRoundTrip(t, false)
+}
+
+func TestRoundTripNano(t *testing.T) {
+	testRoundTrip(t, true)
+}
+
+func testRoundTrip(t *testing.T, nano bool) {
+	t.Helper()
+	var buf bytes.Buffer
+	var opts []WriterOption
+	if nano {
+		opts = append(opts, WithNanoPrecision())
+	}
+	w, err := NewWriter(&buf, LinkTypeEthernet, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Date(2021, 12, 10, 3, 14, 15, 926535000, time.UTC)
+	payloads := [][]byte{
+		[]byte("first"),
+		{},
+		bytes.Repeat([]byte{0xab}, 1500),
+	}
+	for i, p := range payloads {
+		if err := w.WritePacket(ts.Add(time.Duration(i)*time.Second), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeEthernet {
+		t.Errorf("LinkType = %d, want %d", r.LinkType(), LinkTypeEthernet)
+	}
+	if r.NanoPrecision() != nano {
+		t.Errorf("NanoPrecision = %v, want %v", r.NanoPrecision(), nano)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("read %d packets, want %d", len(got), len(payloads))
+	}
+	for i, p := range got {
+		if !bytes.Equal(p.Data, payloads[i]) {
+			t.Errorf("packet %d data mismatch", i)
+		}
+		want := ts.Add(time.Duration(i) * time.Second)
+		if !nano {
+			want = want.Truncate(time.Microsecond)
+		}
+		if !p.Timestamp.Equal(want) {
+			t.Errorf("packet %d timestamp = %v, want %v", i, p.Timestamp, want)
+		}
+		if p.OrigLen != len(payloads[i]) {
+			t.Errorf("packet %d OrigLen = %d, want %d", i, p.OrigLen, len(payloads[i]))
+		}
+	}
+}
+
+func TestSnaplenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, LinkTypeEthernet, WithSnaplen(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x01}, 100)
+	if err := w.WritePacket(time.Unix(0, 0), data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != 10 {
+		t.Errorf("captured %d bytes, want 10", len(p.Data))
+	}
+	if p.OrigLen != 100 {
+		t.Errorf("OrigLen = %d, want 100", p.OrigLen)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data := make([]byte, fileHeaderLen)
+	if _, err := NewReader(bytes.NewReader(data)); err == nil {
+		t.Error("NewReader accepted zero magic")
+	}
+}
+
+func TestBigEndianRead(t *testing.T) {
+	// Hand-construct a big-endian microsecond pcap with one 4-byte record.
+	var buf bytes.Buffer
+	hdr := make([]byte, fileHeaderLen)
+	binary.BigEndian.PutUint32(hdr[0:4], magicMicro)
+	binary.BigEndian.PutUint16(hdr[4:6], versionMajor)
+	binary.BigEndian.PutUint16(hdr[6:8], versionMinor)
+	binary.BigEndian.PutUint32(hdr[16:20], 65535)
+	binary.BigEndian.PutUint32(hdr[20:24], LinkTypeRaw)
+	buf.Write(hdr)
+	rec := make([]byte, recordHeaderLen)
+	binary.BigEndian.PutUint32(rec[0:4], 1639100000)
+	binary.BigEndian.PutUint32(rec[4:8], 123456)
+	binary.BigEndian.PutUint32(rec[8:12], 4)
+	binary.BigEndian.PutUint32(rec[12:16], 4)
+	buf.Write(rec)
+	buf.Write([]byte{1, 2, 3, 4})
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeRaw {
+		t.Errorf("LinkType = %d, want %d", r.LinkType(), LinkTypeRaw)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Unix(1639100000, 123456000).UTC()
+	if !p.Timestamp.Equal(want) {
+		t.Errorf("Timestamp = %v, want %v", p.Timestamp, want)
+	}
+	if !bytes.Equal(p.Data, []byte{1, 2, 3, 4}) {
+		t.Errorf("Data = %v", p.Data)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestTruncatedRecordBody(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, LinkTypeEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(time.Unix(1, 0), []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop off the last 3 bytes of the record body.
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("Next succeeded on truncated record")
+	}
+}
+
+func TestTruncatedRecordHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, LinkTypeEthernet)
+	_ = w.Flush()
+	// Append half a record header.
+	data := append(buf.Bytes(), make([]byte, recordHeaderLen/2)...)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Errorf("Next on half header = %v, want a short-record error", err)
+	}
+}
+
+func TestCaplenExceedsSnaplenRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, LinkTypeEthernet, WithSnaplen(8))
+	_ = w.Flush()
+	rec := make([]byte, recordHeaderLen)
+	binary.LittleEndian.PutUint32(rec[8:12], 100) // caplen 100 > snaplen 8
+	binary.LittleEndian.PutUint32(rec[12:16], 100)
+	data := append(buf.Bytes(), rec...)
+	data = append(data, make([]byte, 100)...)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("Next accepted caplen > snaplen")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, LinkTypeEthernet)
+	_ = w.Flush()
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 0 {
+		t.Errorf("read %d packets from empty file", len(pkts))
+	}
+}
+
+// Property: any sequence of packets round-trips with data intact and
+// timestamps preserved to the file's precision.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(payloads [][]byte, secs []uint32) bool {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, LinkTypeEthernet, WithNanoPrecision())
+		if err != nil {
+			return false
+		}
+		for i, p := range payloads {
+			var sec uint32
+			if i < len(secs) {
+				sec = secs[i]
+			}
+			if err := w.WritePacket(time.Unix(int64(sec), int64(i)).UTC(), p); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		got, err := r.ReadAll()
+		if err != nil || len(got) != len(payloads) {
+			return false
+		}
+		for i := range got {
+			if !bytes.Equal(got[i].Data, payloads[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWritePacket(b *testing.B) {
+	w, err := NewWriter(io.Discard, LinkTypeEthernet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x55}, 600)
+	ts := time.Unix(1639100000, 0)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.WritePacket(ts, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package pcapio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestNgRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewNgWriter(&buf, LinkTypeEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Date(2022, 6, 3, 10, 20, 30, 123456789, time.UTC)
+	payloads := [][]byte{
+		[]byte("alpha"),
+		{},
+		bytes.Repeat([]byte{0xcd}, 999), // forces padding
+	}
+	for i, p := range payloads {
+		if err := w.WritePacket(ts.Add(time.Duration(i)*time.Minute), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewNgReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range payloads {
+		p, err := r.Next()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if !bytes.Equal(p.Data, want) {
+			t.Errorf("packet %d data mismatch (%d vs %d bytes)", i, len(p.Data), len(want))
+		}
+		wantTs := ts.Add(time.Duration(i) * time.Minute)
+		if !p.Timestamp.Equal(wantTs) {
+			t.Errorf("packet %d timestamp %v, want %v", i, p.Timestamp, wantTs)
+		}
+		if p.OrigLen != len(want) {
+			t.Errorf("packet %d OrigLen = %d", i, p.OrigLen)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+	if r.LinkType() != LinkTypeEthernet {
+		t.Errorf("LinkType = %d", r.LinkType())
+	}
+}
+
+func TestNgRejectsClassicPcap(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, LinkTypeEthernet)
+	_ = w.Flush()
+	if _, err := NewNgReader(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("NgReader accepted classic pcap")
+	}
+}
+
+func TestNgSkipsUnknownBlocks(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewNgWriter(&buf, LinkTypeEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Flush()
+	// Append a custom block (type 0x0BAD) then a valid EPB via writer.
+	custom := make([]byte, 16)
+	binary.LittleEndian.PutUint32(custom[0:4], 0x0BAD)
+	binary.LittleEndian.PutUint32(custom[4:8], 16)
+	binary.LittleEndian.PutUint32(custom[12:16], 16)
+	buf.Write(custom)
+	w2 := &NgWriter{w: newBufioWriter(&buf), snaplen: 262144}
+	if err := w2.WritePacket(time.Unix(5, 0), []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	_ = w2.Flush()
+
+	r, err := NewNgReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p.Data) != "after" {
+		t.Errorf("Data = %q", p.Data)
+	}
+}
+
+func TestNgTruncatedBlock(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewNgWriter(&buf, LinkTypeEthernet)
+	_ = w.WritePacket(time.Unix(1, 0), []byte("payload"))
+	_ = w.Flush()
+	trunc := buf.Bytes()[:buf.Len()-6]
+	r, err := NewNgReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Errorf("truncated block read = %v, want error", err)
+	}
+}
+
+func TestOpenCaptureSniffsBothFormats(t *testing.T) {
+	// Classic.
+	var classic bytes.Buffer
+	cw, _ := NewWriter(&classic, LinkTypeEthernet)
+	_ = cw.WritePacket(time.Unix(9, 0), []byte("classic"))
+	_ = cw.Flush()
+	src, err := OpenCapture(bytes.NewReader(classic.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := src.Next()
+	if err != nil || string(p.Data) != "classic" {
+		t.Fatalf("classic read = %q/%v", p.Data, err)
+	}
+
+	// pcapng.
+	var ng bytes.Buffer
+	nw, _ := NewNgWriter(&ng, LinkTypeEthernet)
+	_ = nw.WritePacket(time.Unix(9, 0), []byte("nextgen"))
+	_ = nw.Flush()
+	src, err = OpenCapture(bytes.NewReader(ng.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err = src.Next()
+	if err != nil || string(p.Data) != "nextgen" {
+		t.Fatalf("pcapng read = %q/%v", p.Data, err)
+	}
+
+	// Garbage.
+	if _, err := OpenCapture(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6})); err == nil {
+		t.Error("OpenCapture accepted garbage")
+	}
+}
+
+func TestNgBigEndianRead(t *testing.T) {
+	// Hand-build a big-endian section with one EPB.
+	var buf bytes.Buffer
+	shb := make([]byte, 28)
+	binary.BigEndian.PutUint32(shb[0:4], blockSHB)
+	binary.BigEndian.PutUint32(shb[4:8], 28)
+	binary.BigEndian.PutUint32(shb[8:12], byteOrderMagic)
+	binary.BigEndian.PutUint16(shb[12:14], 1)
+	binary.BigEndian.PutUint64(shb[16:24], 0xFFFFFFFFFFFFFFFF)
+	binary.BigEndian.PutUint32(shb[24:28], 28)
+	buf.Write(shb)
+	idb := make([]byte, 20)
+	binary.BigEndian.PutUint32(idb[0:4], blockIDB)
+	binary.BigEndian.PutUint32(idb[4:8], 20)
+	binary.BigEndian.PutUint16(idb[8:10], 1)
+	binary.BigEndian.PutUint32(idb[12:16], 65535)
+	binary.BigEndian.PutUint32(idb[16:20], 20)
+	buf.Write(idb)
+	data := []byte("beef")
+	epb := make([]byte, 32+len(data))
+	binary.BigEndian.PutUint32(epb[0:4], blockEPB)
+	binary.BigEndian.PutUint32(epb[4:8], uint32(len(epb)))
+	// timestamp in default µs resolution: 1000000 µs = 1 s (low word)
+	binary.BigEndian.PutUint32(epb[16:20], 1000000)
+	binary.BigEndian.PutUint32(epb[20:24], uint32(len(data)))
+	binary.BigEndian.PutUint32(epb[24:28], uint32(len(data)))
+	copy(epb[28:], data)
+	binary.BigEndian.PutUint32(epb[len(epb)-4:], uint32(len(epb)))
+	buf.Write(epb)
+
+	r, err := NewNgReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p.Data) != "beef" {
+		t.Errorf("Data = %q", p.Data)
+	}
+	if !p.Timestamp.Equal(time.Unix(1, 0).UTC()) {
+		t.Errorf("Timestamp = %v, want 1s (µs default resolution)", p.Timestamp)
+	}
+}

@@ -1,0 +1,173 @@
+package pcapio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Capture-file management. Long-running deployments rotate captures into
+// size-bounded segments (DSCOPE produced terabytes over two years); the
+// rotating writer produces them and the multi-file source replays them in
+// order through the same post-facto pipeline.
+
+// RotatingWriter writes classic pcap segments capture-000001.pcap,
+// capture-000002.pcap, ... under a directory, starting a new segment when
+// the current one would exceed MaxBytes.
+type RotatingWriter struct {
+	dir      string
+	prefix   string
+	linkType uint32
+	maxBytes int64
+	opts     []WriterOption
+
+	seq   int
+	size  int64
+	file  *os.File
+	w     *Writer
+	files []string
+}
+
+// NewRotatingWriter creates the directory if needed. maxBytes bounds each
+// segment (minimum one packet per segment regardless of size).
+func NewRotatingWriter(dir, prefix string, linkType uint32, maxBytes int64, opts ...WriterOption) (*RotatingWriter, error) {
+	if maxBytes <= 0 {
+		return nil, fmt.Errorf("pcapio: rotating writer needs positive maxBytes, got %d", maxBytes)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &RotatingWriter{
+		dir: dir, prefix: prefix, linkType: linkType, maxBytes: maxBytes, opts: opts,
+	}, nil
+}
+
+func (r *RotatingWriter) rotate() error {
+	if err := r.closeCurrent(); err != nil {
+		return err
+	}
+	r.seq++
+	name := filepath.Join(r.dir, fmt.Sprintf("%s-%06d.pcap", r.prefix, r.seq))
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	w, err := NewWriter(f, r.linkType, r.opts...)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	r.file, r.w, r.size = f, w, fileHeaderLen
+	r.files = append(r.files, name)
+	return nil
+}
+
+func (r *RotatingWriter) closeCurrent() error {
+	if r.w == nil {
+		return nil
+	}
+	if err := r.w.Flush(); err != nil {
+		return err
+	}
+	err := r.file.Close()
+	r.file, r.w = nil, nil
+	return err
+}
+
+// WritePacket appends one record, rotating first if the segment is full.
+func (r *RotatingWriter) WritePacket(ts time.Time, data []byte) error {
+	recSize := int64(recordHeaderLen + len(data))
+	if r.w == nil || (r.size > fileHeaderLen && r.size+recSize > r.maxBytes) {
+		if err := r.rotate(); err != nil {
+			return err
+		}
+	}
+	if err := r.w.WritePacket(ts, data); err != nil {
+		return err
+	}
+	r.size += recSize
+	return nil
+}
+
+// Flush flushes the current segment (satisfies telescope.PacketWriter).
+func (r *RotatingWriter) Flush() error {
+	if r.w == nil {
+		return nil
+	}
+	return r.w.Flush()
+}
+
+// Close finishes the current segment.
+func (r *RotatingWriter) Close() error { return r.closeCurrent() }
+
+// Files lists the segments written so far, in order.
+func (r *RotatingWriter) Files() []string {
+	return append([]string(nil), r.files...)
+}
+
+// multiFileSource replays capture files sequentially.
+type multiFileSource struct {
+	paths []string
+	idx   int
+	cur   PacketSource
+	file  *os.File
+}
+
+// OpenFiles returns a PacketSource that replays the given capture files
+// (pcap or pcapng, independently sniffed) in order. Close releases the
+// current file.
+func OpenFiles(paths ...string) (*MultiSource, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("pcapio: no capture files")
+	}
+	sorted := append([]string(nil), paths...)
+	sort.Strings(sorted)
+	return &MultiSource{src: multiFileSource{paths: sorted}}, nil
+}
+
+// MultiSource is the sequential multi-file PacketSource.
+type MultiSource struct {
+	src multiFileSource
+}
+
+// Next returns the next packet across all files, or io.EOF after the last.
+func (m *MultiSource) Next() (Packet, error) {
+	for {
+		if m.src.cur == nil {
+			if m.src.idx >= len(m.src.paths) {
+				return Packet{}, io.EOF
+			}
+			f, err := os.Open(m.src.paths[m.src.idx])
+			if err != nil {
+				return Packet{}, err
+			}
+			src, err := OpenCapture(f)
+			if err != nil {
+				f.Close()
+				return Packet{}, fmt.Errorf("pcapio: %s: %w", m.src.paths[m.src.idx], err)
+			}
+			m.src.file, m.src.cur = f, src
+			m.src.idx++
+		}
+		p, err := m.src.cur.Next()
+		if err == io.EOF {
+			m.src.file.Close()
+			m.src.cur, m.src.file = nil, nil
+			continue
+		}
+		return p, err
+	}
+}
+
+// Close releases the currently open file, if any.
+func (m *MultiSource) Close() error {
+	if m.src.file != nil {
+		err := m.src.file.Close()
+		m.src.file, m.src.cur = nil, nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package pcapio
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRotatingWriterSegments(t *testing.T) {
+	dir := t.TempDir()
+	// Each record: 16-byte header + 100 bytes; cap segments near 3 records.
+	rw, err := NewRotatingWriter(dir, "capture", LinkTypeEthernet, fileHeaderLen+3*(recordHeaderLen+100)+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x42}, 100)
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := rw.WritePacket(time.Unix(int64(i), 0), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files := rw.Files()
+	if len(files) < 3 {
+		t.Fatalf("segments = %d, want rotation", len(files))
+	}
+	// Replay everything in order through the multi-file source.
+	src, err := OpenFiles(files...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	count := 0
+	var last time.Time
+	for {
+		p, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count > 0 && p.Timestamp.Before(last) {
+			t.Fatal("multi-file replay out of order")
+		}
+		last = p.Timestamp
+		if !bytes.Equal(p.Data, data) {
+			t.Fatal("data corrupted across rotation")
+		}
+		count++
+	}
+	if count != n {
+		t.Fatalf("replayed %d packets, wrote %d", count, n)
+	}
+}
+
+func TestRotatingWriterOversizedRecord(t *testing.T) {
+	dir := t.TempDir()
+	rw, err := NewRotatingWriter(dir, "c", LinkTypeEthernet, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A record larger than maxBytes still gets written (one per segment).
+	big := make([]byte, 500)
+	if err := rw.WritePacket(time.Unix(0, 0), big); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.WritePacket(time.Unix(1, 0), big); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rw.Files()); got != 2 {
+		t.Errorf("segments = %d, want 2 (one oversized record each)", got)
+	}
+}
+
+func TestNewRotatingWriterValidation(t *testing.T) {
+	if _, err := NewRotatingWriter(t.TempDir(), "c", LinkTypeEthernet, 0); err == nil {
+		t.Error("zero maxBytes accepted")
+	}
+}
+
+func TestOpenFilesErrors(t *testing.T) {
+	if _, err := OpenFiles(); err == nil {
+		t.Error("no files accepted")
+	}
+	src, err := OpenFiles(filepath.Join(t.TempDir(), "missing.pcap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Next(); err == nil {
+		t.Error("missing file read succeeded")
+	}
+}
+
+func TestOpenFilesMixedFormats(t *testing.T) {
+	dir := t.TempDir()
+	classic := filepath.Join(dir, "a-classic.pcap")
+	ng := filepath.Join(dir, "b-next.pcapng")
+
+	writeOne := func(path string, mk func(w io.Writer) (interface {
+		WritePacket(time.Time, []byte) error
+		Flush() error
+	}, error), payload string) {
+		t.Helper()
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		w, err := mk(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WritePacket(time.Unix(9, 0), []byte(payload)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeOne(classic, func(w io.Writer) (interface {
+		WritePacket(time.Time, []byte) error
+		Flush() error
+	}, error) {
+		return NewWriter(w, LinkTypeEthernet)
+	}, "one")
+	writeOne(ng, func(w io.Writer) (interface {
+		WritePacket(time.Time, []byte) error
+		Flush() error
+	}, error) {
+		return NewNgWriter(w, LinkTypeEthernet)
+	}, "two")
+
+	src, err := OpenFiles(classic, ng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	var got []string
+	for {
+		p, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, string(p.Data))
+	}
+	if len(got) != 2 || got[0] != "one" || got[1] != "two" {
+		t.Errorf("mixed replay = %v", got)
+	}
+}

@@ -1,0 +1,127 @@
+package report
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+)
+
+// Builders for the paper's specific tables.
+
+// Table1 reproduces the prior-work survey table (documentation only).
+func Table1() Table {
+	t := Table{
+		Title:   "Table 1: Empirical studies of CVE lifecycles",
+		Headers: []string{"Work", "Attack Traffic", "# CVEs", "Vantage Point", "Dates", "Events"},
+	}
+	t.AddRow("Arbaugh et al.", "yes", "3", "Common Vulnerabilities", "1996-1999", "V F P X A")
+	t.AddRow("Frei et al.", "", "27k", "Commodity CVEs", "1996-2008", "F P X")
+	t.AddRow("Bilge & Dumitras", "yes", "18", "Antivirus Signatures", "2008-2011", "P X A")
+	t.AddRow("Zhang et al.", "", "9", "Cloud OS CVEs", "2012", "P D")
+	t.AddRow("Li & Paxson", "", "3.1k", "Open Source CVEs", "2005-2016", "F P")
+	t.AddRow("Alexopoulos et al.", "", "12k", "Open Source CVEs", "2011-2020", "F P")
+	t.AddRow("Householder et al.", "", "2.7k", "Microsoft CVEs", "2017-2020", "F P A")
+	t.AddRow("Householder et al.", "", "73k", "Commodity CVEs", "2015-2019", "P X")
+	t.AddRow("This Work", "yes", "63", "DSCOPE-observed CVEs", "2021-2023", "V F P D X A")
+	return t
+}
+
+// Table2 lists the data sources (documentation only).
+func Table2() Table {
+	t := Table{
+		Title:   "Table 2: Data Sources",
+		Headers: []string{"Dataset", "Usage"},
+	}
+	t.AddRow("DSCOPE", "Application-layer exploit traffic (A)")
+	t.AddRow("Cisco/Talos ruleset", "Snort Commercial IDS ruleset")
+	t.AddRow("Cisco/Talos history", "Snort IDS rule availability history (F, D)")
+	t.AddRow("Cisco/Talos reports", "Talos vulnerability report history (V)")
+	t.AddRow("NVD", "CVE publication dates and severities (P)")
+	t.AddRow("CISA KEV", "Known Exploited Vulnerabilities (A)")
+	t.AddRow("Suciu et al.", "CVE exploit dates & exploitation (X)")
+	return t
+}
+
+// Table3 renders both desiderata matrices.
+func Table3() string {
+	hs := core.HouseholderSpringMatrix()
+	tw := core.ThisWorkMatrix()
+	return "Table 3a: Householder & Spring\n" + hs.Render() +
+		"\nTable 3b: This work\n" + tw.Render()
+}
+
+// DesiderataTable renders Table 4 or Table 5 rows.
+func DesiderataTable(title string, results []core.DesideratumResult) Table {
+	t := Table{
+		Title:   title,
+		Headers: []string{"Desideratum", "Satisfied", "Baseline", "Skill", "n"},
+	}
+	for _, r := range results {
+		t.AddRow(r.Pair.String(), r.Satisfied, r.Baseline, r.Skill, r.Evaluated)
+	}
+	return t
+}
+
+// Table6 renders the Log4Shell mitigation-variant table.
+func Table6() Table {
+	t := Table{
+		Title:   "Table 6: Log4Shell Mitigation Variants",
+		Headers: []string{"Group", "D - P", "SID", "A - D", "Context", "Match", "Adaptation"},
+	}
+	for _, g := range datasets.Log4ShellGroups() {
+		for i, s := range g.SIDs {
+			dp := ""
+			if i == 0 {
+				dp = datasets.FormatPaperDuration(g.DMinusP)
+			}
+			name := ""
+			if i == 0 {
+				name = g.Name
+			}
+			t.AddRow(name, dp, s.SID, datasets.FormatPaperDuration(s.AMinusD), string(s.Context), s.Match, s.Adaptation)
+		}
+	}
+	return t
+}
+
+// AppendixETable renders the studied-CVE listing.
+func AppendixETable() Table {
+	t := Table{
+		Title: "Appendix E: Studied CVEs",
+		Headers: []string{
+			"CVE", "P", "Events", "Description", "Impact", "D - P", "X - P", "A - P", "Expl.",
+		},
+	}
+	for _, c := range datasets.StudyCVEs() {
+		expl := "-"
+		if c.Exploitability >= 0 {
+			expl = fmt.Sprintf("%d", c.Exploitability)
+		}
+		desc := c.Description
+		if len(desc) > 48 {
+			desc = desc[:45] + "..."
+		}
+		t.AddRow(c.ID, c.Published.Format("2006-01-02"), c.Events, desc, c.Impact,
+			datasets.FormatPaperDuration(c.DMinusP),
+			datasets.FormatPaperDuration(c.XMinusP),
+			datasets.FormatPaperDuration(c.AMinusP),
+			expl)
+	}
+	return t
+}
+
+// KEVTable summarizes the KEV comparison headline numbers (Findings 15-17).
+func KEVTable(cmp core.KEVComparison) Table {
+	t := Table{
+		Title:   "KEV comparison (Section 7.2)",
+		Headers: []string{"Metric", "Value", "Paper"},
+	}
+	t.AddRow("Joinable shared CVEs", len(cmp.DeltaDays), "44")
+	t.AddRow("Study CVEs in KEV", cmp.OverlapCount, "44 (70%)")
+	t.AddRow("KEV P(A < P)", cmp.KevPrePublicationRate, "0.18")
+	t.AddRow("DSCOPE P(A < P)", cmp.DscopePrePublicationRate, "0.10")
+	t.AddRow("Telescope-first share", cmp.DscopeFirstShare, "0.59")
+	t.AddRow("Seen >30d before KEV", cmp.Over30DaysShare, "0.50")
+	return t
+}

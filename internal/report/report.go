@@ -1,0 +1,187 @@
+// Package report renders the study's tables and figure series as aligned
+// ASCII tables and CSV files, matching the rows and columns the paper
+// prints. The renderers are deliberately dumb: analysis packages hand over
+// fully computed values.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Table is a generic titled table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned ASCII.
+func (t Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		_, err := fmt.Fprintln(w, b.String())
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	var sep []string
+	for _, wd := range widths {
+		sep = append(sep, strings.Repeat("-", wd))
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders to a string, for logs and tests.
+func (t Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// WriteCSV writes headers + rows as CSV.
+func (t Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Series is one plottable figure curve: (x, y) points plus labels.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	Points []stats.Point
+}
+
+// FromECDF converts an ECDF into a Series.
+func FromECDF(name, xlabel string, e *stats.ECDF) Series {
+	s := Series{Name: name, XLabel: xlabel, YLabel: "CDF"}
+	if e != nil {
+		s.Points = e.Points()
+	}
+	return s
+}
+
+// WriteSeriesCSV writes one or more series in long form
+// (series,x,y per row) so external plotters can facet them.
+func WriteSeriesCSV(w io.Writer, series ...Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if err := cw.Write([]string{s.Name, fmt.Sprintf("%g", p.X), fmt.Sprintf("%g", p.Y)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Sparkline renders a crude textual CDF: useful for eyeballing shapes in
+// terminal output without a plotting stack.
+func Sparkline(e *stats.ECDF, width int) string {
+	if e == nil || width < 2 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := e.Min(), e.Max()
+	if hi == lo {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(width-1)
+		y := e.At(x)
+		idx := int(y * float64(len(blocks)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(blocks) {
+			idx = len(blocks) - 1
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}
+
+// HistogramTable converts a histogram into a table of bin rows.
+func HistogramTable(title string, binLabel string, h *stats.Histogram, labelFor func(i int) string) Table {
+	t := Table{Title: title, Headers: []string{binLabel, "count"}}
+	for i, c := range h.Counts {
+		label := labelFor(i)
+		t.AddRow(label, c)
+	}
+	if h.Under > 0 {
+		t.AddRow("(below range)", h.Under)
+	}
+	if h.Over > 0 {
+		t.AddRow("(above range)", h.Over)
+	}
+	return t
+}

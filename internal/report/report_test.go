@@ -1,0 +1,119 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lifecycle"
+	"repro/internal/stats"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := Table{Title: "T", Headers: []string{"a", "bb"}}
+	tab.AddRow("x", 1)
+	tab.AddRow("longer", 2.5)
+	out := tab.String()
+	if !strings.Contains(out, "T\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "longer") || !strings.Contains(out, "2.50") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, separator, 2 rows -> 5? title+header+sep+2 = 5
+		if len(lines) != 5 {
+			t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := Table{Headers: []string{"a", "b"}}
+	tab.AddRow("x,y", "z")
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, `"x,y"`) {
+		t.Errorf("CSV quoting broken: %q", got)
+	}
+}
+
+func TestFromECDFAndSeriesCSV(t *testing.T) {
+	e := stats.MustECDF([]float64{1, 2, 2, 3})
+	s := FromECDF("fig", "days", e)
+	if len(s.Points) != 3 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 4 { // header + 3 points
+		t.Errorf("CSV lines = %d:\n%s", got, buf.String())
+	}
+	empty := FromECDF("none", "days", nil)
+	if len(empty.Points) != 0 {
+		t.Error("nil ECDF should give empty series")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	e := stats.MustECDF([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	s := Sparkline(e, 10)
+	if len([]rune(s)) != 10 {
+		t.Errorf("sparkline width = %d", len([]rune(s)))
+	}
+	if Sparkline(nil, 10) != "" {
+		t.Error("nil ECDF sparkline should be empty")
+	}
+}
+
+func TestHistogramTable(t *testing.T) {
+	h, _ := stats.NewHistogram(0, 5, 3)
+	h.Add(1)
+	h.Add(6)
+	h.Add(-2)
+	h.Add(99)
+	tab := HistogramTable("H", "bin", h, func(i int) string { return "b" })
+	out := tab.String()
+	if !strings.Contains(out, "(below range)") || !strings.Contains(out, "(above range)") {
+		t.Errorf("out-of-range rows missing:\n%s", out)
+	}
+}
+
+func TestPaperTables(t *testing.T) {
+	if rows := Table1().Rows; len(rows) != 9 {
+		t.Errorf("Table 1 rows = %d, want 9", len(rows))
+	}
+	if rows := Table2().Rows; len(rows) != 7 {
+		t.Errorf("Table 2 rows = %d, want 7", len(rows))
+	}
+	t3 := Table3()
+	if !strings.Contains(t3, "Table 3a") || !strings.Contains(t3, "Table 3b") {
+		t.Error("Table 3 missing matrices")
+	}
+	if rows := Table6().Rows; len(rows) != 15 {
+		t.Errorf("Table 6 rows = %d, want 15 SIDs", len(rows))
+	}
+	if rows := AppendixETable().Rows; len(rows) != 63 {
+		t.Errorf("Appendix E rows = %d, want 63", len(rows))
+	}
+}
+
+func TestDesiderataTable(t *testing.T) {
+	results := core.EvaluateDesiderata(lifecycle.StudyTimelines(), core.PublishedBaselines())
+	tab := DesiderataTable("Table 4", results)
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	out := tab.String()
+	for _, want := range []string{"V < A", "X < A", "0.90"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package rules
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// AddrSpec is a parsed address specification: `any`, a variable like
+// `$HOME_NET` (resolved against an environment at evaluation time, with
+// unresolved variables treated as `any`), a CIDR prefix, a single address,
+// or a bracketed list of the above. Negation applies to the whole spec.
+type AddrSpec struct {
+	Any      bool
+	Negated  bool
+	Vars     []string
+	Prefixes []netip.Prefix
+}
+
+// AnyAddr returns the `any` specification.
+func AnyAddr() AddrSpec { return AddrSpec{Any: true} }
+
+// Contains reports whether the spec matches addr under the given variable
+// environment (mapping $VAR names without the dollar to prefix lists).
+// Variables absent from env are treated as matching everything, mirroring
+// Snort's common `any` defaults for HOME_NET/EXTERNAL_NET.
+func (s AddrSpec) Contains(addr netip.Addr, env map[string][]netip.Prefix) bool {
+	if s.Any {
+		return true
+	}
+	in := false
+	for _, p := range s.Prefixes {
+		if p.Contains(addr) {
+			in = true
+			break
+		}
+	}
+	if !in {
+		for _, v := range s.Vars {
+			prefixes, ok := env[v]
+			if !ok {
+				in = true // unresolved variable: permissive
+				break
+			}
+			for _, p := range prefixes {
+				if p.Contains(addr) {
+					in = true
+					break
+				}
+			}
+			if in {
+				break
+			}
+		}
+	}
+	if s.Negated {
+		return !in
+	}
+	return in
+}
+
+// String renders the specification in rule syntax.
+func (s AddrSpec) String() string {
+	if s.Any {
+		return "any"
+	}
+	var parts []string
+	for _, v := range s.Vars {
+		parts = append(parts, "$"+v)
+	}
+	for _, p := range s.Prefixes {
+		parts = append(parts, p.String())
+	}
+	body := strings.Join(parts, ",")
+	if len(parts) > 1 {
+		body = "[" + body + "]"
+	}
+	if s.Negated {
+		return "!" + body
+	}
+	return body
+}
+
+// ParseAddrSpec parses an address specification.
+func ParseAddrSpec(text string) (AddrSpec, error) {
+	t := strings.TrimSpace(text)
+	if t == "" {
+		return AddrSpec{}, fmt.Errorf("rules: empty address spec")
+	}
+	var spec AddrSpec
+	if strings.EqualFold(t, "any") {
+		spec.Any = true
+		return spec, nil
+	}
+	if strings.HasPrefix(t, "!") {
+		spec.Negated = true
+		t = strings.TrimSpace(t[1:])
+	}
+	if strings.HasPrefix(t, "[") {
+		if !strings.HasSuffix(t, "]") {
+			return AddrSpec{}, fmt.Errorf("rules: unterminated address list %q", text)
+		}
+		t = t[1 : len(t)-1]
+	}
+	for _, item := range strings.Split(t, ",") {
+		item = strings.TrimSpace(item)
+		switch {
+		case item == "":
+			return AddrSpec{}, fmt.Errorf("rules: empty address list element in %q", text)
+		case strings.HasPrefix(item, "$"):
+			spec.Vars = append(spec.Vars, item[1:])
+		case strings.Contains(item, "/"):
+			p, err := netip.ParsePrefix(item)
+			if err != nil {
+				return AddrSpec{}, fmt.Errorf("rules: bad prefix %q: %w", item, err)
+			}
+			spec.Prefixes = append(spec.Prefixes, p)
+		default:
+			a, err := netip.ParseAddr(item)
+			if err != nil {
+				return AddrSpec{}, fmt.Errorf("rules: bad address %q: %w", item, err)
+			}
+			spec.Prefixes = append(spec.Prefixes, netip.PrefixFrom(a, a.BitLen()))
+		}
+	}
+	return spec, nil
+}

@@ -1,0 +1,187 @@
+package rules
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ByteTest is the byte_test option: read Count bytes at Offset (optionally
+// relative to the previous content match), interpret them as an unsigned
+// integer (big-endian binary by default, or ASCII when String is set), and
+// compare against Value with Op.
+type ByteTest struct {
+	// Count is how many bytes to read (1–8 binary; up to 20 for string).
+	Count int
+	// Op is one of "<", ">", "=", "<=", ">=", "&" (bitwise-and nonzero),
+	// "^" (bitwise-xor nonzero). Negated inverts the result.
+	Op      string
+	Negated bool
+	// Value is the comparison operand.
+	Value uint64
+	// Offset of the read.
+	Offset int
+	// Relative anchors Offset at the end of the previous content match.
+	Relative bool
+	// String interprets the bytes as ASCII digits in the given base.
+	String bool
+	// Base is 10, 16, or 8 (string mode only).
+	Base int
+	// LittleEndian flips binary byte order.
+	LittleEndian bool
+}
+
+// validOps are the accepted comparison operators.
+var validOps = map[string]bool{"<": true, ">": true, "=": true, "<=": true, ">=": true, "&": true, "^": true}
+
+// ParseByteTest parses
+// "count, [!]op, value, offset[, relative][, string, dec|hex|oct][, little|big]".
+func ParseByteTest(s string) (ByteTest, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) < 4 {
+		return ByteTest{}, fmt.Errorf("rules: byte_test needs at least 4 fields: %q", s)
+	}
+	var bt ByteTest
+	var err error
+	bt.Count, err = strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil || bt.Count < 1 {
+		return ByteTest{}, fmt.Errorf("rules: byte_test count %q", parts[0])
+	}
+	op := strings.TrimSpace(parts[1])
+	if strings.HasPrefix(op, "!") {
+		bt.Negated = true
+		op = strings.TrimSpace(op[1:])
+		if op == "" {
+			op = "=" // bare "!" means "not equal"
+		}
+	}
+	if !validOps[op] {
+		return ByteTest{}, fmt.Errorf("rules: byte_test operator %q", parts[1])
+	}
+	bt.Op = op
+	valueStr := strings.TrimSpace(parts[2])
+	bt.Value, err = strconv.ParseUint(strings.TrimPrefix(valueStr, "0x"), base(valueStr), 64)
+	if err != nil {
+		return ByteTest{}, fmt.Errorf("rules: byte_test value %q", parts[2])
+	}
+	bt.Offset, err = strconv.Atoi(strings.TrimSpace(parts[3]))
+	if err != nil {
+		return ByteTest{}, fmt.Errorf("rules: byte_test offset %q", parts[3])
+	}
+	bt.Base = 10
+	for _, p := range parts[4:] {
+		switch strings.TrimSpace(p) {
+		case "relative":
+			bt.Relative = true
+		case "string":
+			bt.String = true
+		case "dec":
+			bt.Base = 10
+		case "hex":
+			bt.Base = 16
+		case "oct":
+			bt.Base = 8
+		case "little":
+			bt.LittleEndian = true
+		case "big":
+			bt.LittleEndian = false
+		default:
+			return ByteTest{}, fmt.Errorf("rules: byte_test modifier %q", p)
+		}
+	}
+	if !bt.String && bt.Count > 8 {
+		return ByteTest{}, fmt.Errorf("rules: byte_test binary count %d exceeds 8", bt.Count)
+	}
+	if bt.String && bt.Count > 20 {
+		return ByteTest{}, fmt.Errorf("rules: byte_test string count %d exceeds 20", bt.Count)
+	}
+	return bt, nil
+}
+
+func base(s string) int {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		return 16
+	}
+	return 10
+}
+
+// Eval applies the test to data with the previous content match ending at
+// prevEnd (0 when none or when the test is absolute).
+func (bt ByteTest) Eval(data []byte, prevEnd int) bool {
+	start := bt.Offset
+	if bt.Relative {
+		start += prevEnd
+	}
+	if start < 0 || start+bt.Count > len(data) {
+		return false
+	}
+	raw := data[start : start+bt.Count]
+	var v uint64
+	if bt.String {
+		parsed, err := strconv.ParseUint(strings.TrimSpace(string(raw)), bt.Base, 64)
+		if err != nil {
+			return false
+		}
+		v = parsed
+	} else {
+		if bt.LittleEndian {
+			for i := bt.Count - 1; i >= 0; i-- {
+				v = v<<8 | uint64(raw[i])
+			}
+		} else {
+			for i := 0; i < bt.Count; i++ {
+				v = v<<8 | uint64(raw[i])
+			}
+		}
+	}
+	var res bool
+	switch bt.Op {
+	case "<":
+		res = v < bt.Value
+	case ">":
+		res = v > bt.Value
+	case "<=":
+		res = v <= bt.Value
+	case ">=":
+		res = v >= bt.Value
+	case "&":
+		res = v&bt.Value != 0
+	case "^":
+		res = v^bt.Value != 0
+	default:
+		res = v == bt.Value
+	}
+	if bt.Negated {
+		return !res
+	}
+	return res
+}
+
+// String renders the option value in rule syntax.
+func (bt ByteTest) render() string {
+	op := bt.Op
+	if bt.Negated {
+		op = "!" + op
+	}
+	fields := []string{
+		strconv.Itoa(bt.Count), op, strconv.FormatUint(bt.Value, 10), strconv.Itoa(bt.Offset),
+	}
+	if bt.Relative {
+		fields = append(fields, "relative")
+	}
+	if bt.String {
+		fields = append(fields, "string")
+		switch bt.Base {
+		case 16:
+			fields = append(fields, "hex")
+		case 8:
+			fields = append(fields, "oct")
+		default:
+			fields = append(fields, "dec")
+		}
+	}
+	if bt.LittleEndian {
+		fields = append(fields, "little")
+	}
+	return strings.Join(fields, ",")
+}

@@ -1,0 +1,156 @@
+package rules
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseByteTest(t *testing.T) {
+	bt, err := ParseByteTest("4, >, 1000, 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Count != 4 || bt.Op != ">" || bt.Value != 1000 || bt.Offset != 0 {
+		t.Errorf("bt = %+v", bt)
+	}
+	bt, err = ParseByteTest("2, !=, 0x1F, 8, relative, little")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bt.Negated || bt.Op != "=" || bt.Value != 0x1f || !bt.Relative || !bt.LittleEndian {
+		t.Errorf("bt = %+v", bt)
+	}
+	bt, err = ParseByteTest("5, =, 65535, 0, string, dec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bt.String || bt.Base != 10 {
+		t.Errorf("bt = %+v", bt)
+	}
+}
+
+func TestParseByteTestErrors(t *testing.T) {
+	bad := []string{
+		"", "4,>", "x,>,1,0", "4,??,1,0", "4,>,x,0", "4,>,1,x",
+		"4,>,1,0,sideways", "9,>,1,0", "21,=,1,0,string,dec",
+	}
+	for _, s := range bad {
+		if _, err := ParseByteTest(s); err == nil {
+			t.Errorf("ParseByteTest accepted %q", s)
+		}
+	}
+}
+
+func TestByteTestEvalBinary(t *testing.T) {
+	data := []byte{0x00, 0x00, 0x04, 0x00, 0xff} // bytes 0-3 big-endian = 1024
+	cases := []struct {
+		spec string
+		want bool
+	}{
+		{"4, >, 1000, 0", true},
+		{"4, >, 1024, 0", false},
+		{"4, >=, 1024, 0", true},
+		{"4, =, 1024, 0", true},
+		{"4, !=, 1024, 0", false},
+		{"4, <, 2000, 0", true},
+		{"1, =, 255, 4", true},
+		{"1, &, 0x80, 4", true},
+		{"1, &, 0x80, 0", false},
+		{"1, ^, 255, 4", false},         // 0xff ^ 0xff == 0
+		{"2, =, 1024, 1, little", true}, // bytes 1-2 LE: 0x00, 0x04 -> 0x0400 = 1024
+		{"4, =, 9, 9", false},           // out of range
+	}
+	for _, c := range cases {
+		bt, err := ParseByteTest(c.spec)
+		if err != nil {
+			t.Fatalf("ParseByteTest(%q): %v", c.spec, err)
+		}
+		if got := bt.Eval(data, 0); got != c.want {
+			t.Errorf("%q.Eval = %v, want %v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestByteTestEvalString(t *testing.T) {
+	data := []byte("Content-Length: 1337\r\n")
+	bt, err := ParseByteTest("4, >, 1000, 16, string, dec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bt.Eval(data, 0) {
+		t.Error("string byte_test missed 1337 > 1000")
+	}
+	bt, _ = ParseByteTest("4, >, 2000, 16, string, dec")
+	if bt.Eval(data, 0) {
+		t.Error("string byte_test matched 1337 > 2000")
+	}
+	// Non-numeric text fails closed.
+	bt, _ = ParseByteTest("4, >, 0, 0, string, dec")
+	if bt.Eval(data, 0) {
+		t.Error("non-numeric string parsed as number")
+	}
+}
+
+func TestByteTestRelative(t *testing.T) {
+	data := []byte("HDR:\x00\x10rest")
+	bt, err := ParseByteTest("2, =, 16, 0, relative")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bt.Eval(data, 4) { // prevEnd 4: reads bytes 4-5 = 0x0010 = 16
+		t.Error("relative byte_test missed")
+	}
+	if bt.Eval(data, 0) {
+		t.Error("relative byte_test matched at wrong anchor")
+	}
+}
+
+func TestByteTestRenderRoundTrip(t *testing.T) {
+	f := func(count uint8, opSel uint8, value uint16, offset int8, rel, str, little bool) bool {
+		ops := []string{"<", ">", "=", "<=", ">=", "&", "^"}
+		bt := ByteTest{
+			Count:        int(count%8) + 1,
+			Op:           ops[int(opSel)%len(ops)],
+			Value:        uint64(value),
+			Offset:       int(offset),
+			Relative:     rel,
+			String:       str,
+			Base:         10,
+			LittleEndian: little && !str,
+		}
+		parsed, err := ParseByteTest(bt.render())
+		if err != nil {
+			return false
+		}
+		data := []byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, '1', '2', '3'}
+		for _, prev := range []int{0, 2} {
+			if parsed.Eval(data, prev) != bt.Eval(data, prev) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRuleWithByteTest(t *testing.T) {
+	r, err := Parse(`alert tcp any any -> any 4900 (msg:"moxa len"; content:"MOXA"; byte_test:2,>,64,0,relative; sid:40;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Contents[0].ByteTests) != 1 {
+		t.Fatalf("ByteTests = %+v", r.Contents[0].ByteTests)
+	}
+	r2, err := Parse(`alert tcp any any -> any any (msg:"abs"; byte_test:1,=,0x16,0; sid:41;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.ByteTests) != 1 || r2.ByteTests[0].Value != 0x16 {
+		t.Fatalf("rule-level ByteTests = %+v", r2.ByteTests)
+	}
+	if _, err := Parse(`alert tcp any any -> any any (msg:"bad"; byte_test:2,>,64,0,relative; sid:42;)`); err == nil {
+		t.Error("relative byte_test without content accepted")
+	}
+}

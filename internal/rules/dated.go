@@ -1,0 +1,100 @@
+package rules
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Dated-ruleset file format: the interchange format cmd/mkdata writes and
+// the replay tooling reads. Each rule is preceded by a publication comment:
+//
+//	# published: 2021-12-10T09:00:00Z
+//	alert tcp any any -> any any (msg:"..."; sid:58722;)
+//
+// The publication date is what post-facto evaluation needs to place F and D
+// in the lifecycle. Rules without a preceding date comment get the zero
+// time (callers decide whether that is an error); the special value
+// "never-during-study" marks rules whose release the study never observed.
+
+// NeverPublishedSentinel is the timestamp used for rules marked
+// "never-during-study" in dated ruleset files.
+var NeverPublishedSentinel = time.Date(2100, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// publishedPrefix introduces a publication comment.
+const publishedPrefix = "# published:"
+
+// ParseDatedRuleset reads a dated ruleset file. Like ParseRuleset it
+// collects per-line errors rather than aborting.
+func ParseDatedRuleset(r io.Reader) ([]DatedRule, []error) {
+	var out []DatedRule
+	var errs []error
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	var pending time.Time
+	var havePending bool
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, publishedPrefix) {
+			val := strings.TrimSpace(line[len(publishedPrefix):])
+			if val == "never-during-study" {
+				pending = NeverPublishedSentinel
+				havePending = true
+				continue
+			}
+			t, err := time.Parse(time.RFC3339, val)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("line %d: bad publication date %q: %w", lineNo, val, err))
+				havePending = false
+				continue
+			}
+			pending = t
+			havePending = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		rule, err := Parse(line)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("line %d: %w", lineNo, err))
+			havePending = false
+			continue
+		}
+		if !havePending {
+			errs = append(errs, fmt.Errorf("line %d: rule sid %d has no preceding publication comment", lineNo, rule.SID))
+			continue
+		}
+		out = append(out, DatedRule{Rule: rule, Published: pending})
+		havePending = false
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("rules: reading dated ruleset: %w", err))
+	}
+	return out, errs
+}
+
+// WriteDatedRuleset writes rules in the dated-ruleset format.
+func WriteDatedRuleset(w io.Writer, rs []DatedRule) error {
+	for _, dr := range rs {
+		pub := dr.Published.Format(time.RFC3339)
+		if dr.Published.Equal(NeverPublishedSentinel) {
+			pub = "never-during-study"
+		}
+		text := dr.Rule.Raw
+		if text == "" {
+			text = dr.Rule.Render()
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n%s\n", publishedPrefix, pub, text); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package rules_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/rules"
+)
+
+func ExampleParse() {
+	r, err := rules.Parse(`alert tcp any any -> any 8090 (msg:"Confluence OGNL"; content:"/%24%7B"; http_uri; reference:cve,2022-26134; sid:59934; rev:1;)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.SID, r.CVEs()[0], r.DstPorts.Contains(8090), r.DstPorts.Contains(80))
+	// Output: 59934 2022-26134 true false
+}
+
+func ExampleRule_PortInsensitive() {
+	r, err := rules.Parse(`alert tcp any any -> any 8090 (msg:"x"; content:"p"; sid:1;)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.PortInsensitive().DstPorts.Contains(80))
+	// Output: true
+}

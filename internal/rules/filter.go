@@ -1,0 +1,19 @@
+package rules
+
+// FilterByCVE returns the dated rules whose CVE references satisfy keep.
+// Rules without any CVE reference are dropped (the study analyzes CVE-
+// attributed traffic only). This is the paper's Section 3.1 step: "We
+// filter signatures to those matching CVEs published during the study
+// period."
+func FilterByCVE(rs []DatedRule, keep func(cve string) bool) []DatedRule {
+	var out []DatedRule
+	for _, dr := range rs {
+		for _, cve := range dr.Rule.CVEs() {
+			if keep(cve) {
+				out = append(out, dr)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package rules
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// NumTest is a numeric comparison used by size-testing options (dsize,
+// urilen): exact, less-than, greater-than, or an exclusive range N<>M.
+type NumTest struct {
+	// Op is one of "=", "<", ">", "<>".
+	Op string
+	Lo int
+	Hi int
+}
+
+// Matches applies the test to n.
+func (t NumTest) Matches(n int) bool {
+	switch t.Op {
+	case "<":
+		return n < t.Lo
+	case ">":
+		return n > t.Lo
+	case "<>":
+		return n > t.Lo && n < t.Hi
+	default:
+		return n == t.Lo
+	}
+}
+
+// String renders the test in rule syntax.
+func (t NumTest) String() string {
+	switch t.Op {
+	case "<", ">":
+		return t.Op + strconv.Itoa(t.Lo)
+	case "<>":
+		return fmt.Sprintf("%d<>%d", t.Lo, t.Hi)
+	default:
+		return strconv.Itoa(t.Lo)
+	}
+}
+
+// ParseNumTest parses "N", "<N", ">N", or "N<>M".
+func ParseNumTest(s string) (NumTest, error) {
+	v := strings.TrimSpace(s)
+	if v == "" {
+		return NumTest{}, fmt.Errorf("rules: empty numeric test")
+	}
+	if i := strings.Index(v, "<>"); i >= 0 {
+		lo, err1 := strconv.Atoi(strings.TrimSpace(v[:i]))
+		hi, err2 := strconv.Atoi(strings.TrimSpace(v[i+2:]))
+		if err1 != nil || err2 != nil || lo > hi {
+			return NumTest{}, fmt.Errorf("rules: bad range test %q", s)
+		}
+		return NumTest{Op: "<>", Lo: lo, Hi: hi}, nil
+	}
+	op := "="
+	switch v[0] {
+	case '<':
+		op = "<"
+		v = strings.TrimSpace(v[1:])
+	case '>':
+		op = ">"
+		v = strings.TrimSpace(v[1:])
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return NumTest{}, fmt.Errorf("rules: bad numeric test %q", s)
+	}
+	return NumTest{Op: op, Lo: n}, nil
+}
+
+// IsDataAt is the isdataat option: requires that data exists at the given
+// offset, optionally relative to the previous content match, optionally
+// negated ("!N,relative" asserts data does NOT extend that far).
+type IsDataAt struct {
+	Offset   int
+	Relative bool
+	Negated  bool
+}
+
+// ParseIsDataAt parses "N[,relative]" with optional leading '!'.
+func ParseIsDataAt(s string) (IsDataAt, error) {
+	v := strings.TrimSpace(s)
+	var d IsDataAt
+	if strings.HasPrefix(v, "!") {
+		d.Negated = true
+		v = strings.TrimSpace(v[1:])
+	}
+	parts := strings.Split(v, ",")
+	n, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil || n < 0 {
+		return IsDataAt{}, fmt.Errorf("rules: bad isdataat %q", s)
+	}
+	d.Offset = n
+	for _, p := range parts[1:] {
+		switch strings.TrimSpace(p) {
+		case "relative":
+			d.Relative = true
+		case "rawbytes":
+			// Accepted; this engine always inspects raw reassembled bytes.
+		default:
+			return IsDataAt{}, fmt.Errorf("rules: unknown isdataat modifier %q", p)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,134 @@
+package rules
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseNumTest(t *testing.T) {
+	cases := []struct {
+		in      string
+		n       int
+		matches bool
+	}{
+		{"100", 100, true},
+		{"100", 99, false},
+		{"<100", 99, true},
+		{"<100", 100, false},
+		{">100", 101, true},
+		{">100", 100, false},
+		{"5<>10", 7, true},
+		{"5<>10", 5, false},
+		{"5<>10", 10, false},
+		{" > 64 ", 65, true},
+	}
+	for _, c := range cases {
+		nt, err := ParseNumTest(c.in)
+		if err != nil {
+			t.Errorf("ParseNumTest(%q): %v", c.in, err)
+			continue
+		}
+		if got := nt.Matches(c.n); got != c.matches {
+			t.Errorf("%q.Matches(%d) = %v, want %v", c.in, c.n, got, c.matches)
+		}
+	}
+}
+
+func TestParseNumTestErrors(t *testing.T) {
+	for _, s := range []string{"", "abc", "-5", "10<>5", "<>", "5<>x"} {
+		if _, err := ParseNumTest(s); err == nil {
+			t.Errorf("ParseNumTest accepted %q", s)
+		}
+	}
+}
+
+func TestNumTestStringRoundTrip(t *testing.T) {
+	f := func(lo uint16, hi uint16, opSel uint8) bool {
+		l, h := int(lo), int(hi)
+		if l > h {
+			l, h = h, l
+		}
+		var nt NumTest
+		switch opSel % 4 {
+		case 0:
+			nt = NumTest{Op: "=", Lo: l}
+		case 1:
+			nt = NumTest{Op: "<", Lo: l}
+		case 2:
+			nt = NumTest{Op: ">", Lo: l}
+		default:
+			nt = NumTest{Op: "<>", Lo: l, Hi: h}
+		}
+		parsed, err := ParseNumTest(nt.String())
+		if err != nil {
+			return false
+		}
+		for _, n := range []int{0, l - 1, l, l + 1, h, h + 1} {
+			if n < 0 {
+				continue
+			}
+			if parsed.Matches(n) != nt.Matches(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseIsDataAt(t *testing.T) {
+	d, err := ParseIsDataAt("100,relative")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Offset != 100 || !d.Relative || d.Negated {
+		t.Errorf("d = %+v", d)
+	}
+	d, err = ParseIsDataAt("!512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Negated || d.Relative || d.Offset != 512 {
+		t.Errorf("d = %+v", d)
+	}
+	if _, err := ParseIsDataAt("x"); err == nil {
+		t.Error("accepted garbage")
+	}
+	if _, err := ParseIsDataAt("5,sideways"); err == nil {
+		t.Error("accepted unknown modifier")
+	}
+}
+
+func TestParseRuleWithSizeOptions(t *testing.T) {
+	r, err := Parse(`alert tcp any any -> any any (msg:"overflow"; dsize:>512; content:"/login"; isdataat:400,relative; urilen:>256; sid:20;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dsize == nil || !r.Dsize.Matches(600) || r.Dsize.Matches(512) {
+		t.Errorf("dsize = %+v", r.Dsize)
+	}
+	if r.Urilen == nil || !r.Urilen.Matches(300) {
+		t.Errorf("urilen = %+v", r.Urilen)
+	}
+	if len(r.Contents[0].DataAts) != 1 || !r.Contents[0].DataAts[0].Relative {
+		t.Errorf("DataAts = %+v", r.Contents[0].DataAts)
+	}
+}
+
+func TestParseRuleIsDataAtAbsolute(t *testing.T) {
+	r, err := Parse(`alert tcp any any -> any any (msg:"big"; isdataat:1000; sid:21;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.IsDataAts) != 1 || r.IsDataAts[0].Relative {
+		t.Errorf("IsDataAts = %+v", r.IsDataAts)
+	}
+}
+
+func TestParseRuleRelativeIsDataAtWithoutContent(t *testing.T) {
+	if _, err := Parse(`alert tcp any any -> any any (msg:"x"; isdataat:5,relative; sid:22;)`); err == nil {
+		t.Error("relative isdataat without content accepted")
+	}
+}

@@ -1,0 +1,548 @@
+package rules
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a single rule.
+func Parse(text string) (*Rule, error) {
+	raw := strings.TrimSpace(text)
+	open := strings.IndexByte(raw, '(')
+	if open < 0 || !strings.HasSuffix(raw, ")") {
+		return nil, fmt.Errorf("rules: missing option parentheses in %q", truncate(raw))
+	}
+	header := strings.TrimSpace(raw[:open])
+	body := raw[open+1 : len(raw)-1]
+
+	r := &Rule{Raw: raw, Metadata: map[string]string{}}
+	if err := parseHeader(header, r); err != nil {
+		return nil, err
+	}
+	if err := parseOptions(body, r); err != nil {
+		return nil, fmt.Errorf("%w (rule %q)", err, truncate(raw))
+	}
+	if r.SID == 0 {
+		return nil, fmt.Errorf("rules: rule missing sid: %q", truncate(raw))
+	}
+	return r, nil
+}
+
+func truncate(s string) string {
+	if len(s) > 80 {
+		return s[:77] + "..."
+	}
+	return s
+}
+
+// parseHeader parses "action proto srcaddr srcports dir dstaddr dstports".
+// Bracketed lists may contain spaces, so we split fields with a
+// bracket-aware scanner rather than strings.Fields.
+func parseHeader(header string, r *Rule) error {
+	fields := splitHeaderFields(header)
+	if len(fields) != 7 {
+		return fmt.Errorf("rules: header has %d fields, want 7: %q", len(fields), header)
+	}
+	switch Action(fields[0]) {
+	case ActionAlert, ActionDrop, ActionLog, ActionPass:
+		r.Action = Action(fields[0])
+	default:
+		return fmt.Errorf("rules: unknown action %q", fields[0])
+	}
+	switch Proto(fields[1]) {
+	case ProtoTCP, ProtoUDP, ProtoICMP, ProtoIP:
+		r.Proto = Proto(fields[1])
+	default:
+		return fmt.Errorf("rules: unknown protocol %q", fields[1])
+	}
+	var err error
+	if r.SrcAddr, err = ParseAddrSpec(fields[2]); err != nil {
+		return err
+	}
+	if r.SrcPorts, err = ParsePortSpec(fields[3]); err != nil {
+		return err
+	}
+	switch fields[4] {
+	case "->":
+		r.Dir = DirToServer
+	case "<>":
+		r.Dir = DirBidirectional
+	default:
+		return fmt.Errorf("rules: unknown direction %q", fields[4])
+	}
+	if r.DstAddr, err = ParseAddrSpec(fields[5]); err != nil {
+		return err
+	}
+	if r.DstPorts, err = ParsePortSpec(fields[6]); err != nil {
+		return err
+	}
+	return nil
+}
+
+// splitHeaderFields splits on whitespace outside brackets.
+func splitHeaderFields(s string) []string {
+	var fields []string
+	depth := 0
+	start := -1
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '[':
+			depth++
+		case c == ']':
+			depth--
+		}
+		if c == ' ' || c == '\t' {
+			if depth == 0 && start >= 0 {
+				fields = append(fields, s[start:i])
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		fields = append(fields, s[start:])
+	}
+	return fields
+}
+
+// option is one "key" or "key:value" pair from the rule body.
+type option struct {
+	key   string
+	value string
+}
+
+// parseOptions parses the semicolon-separated option list.
+func parseOptions(body string, r *Rule) error {
+	opts, err := splitOptions(body)
+	if err != nil {
+		return err
+	}
+	var lastContent *Content
+	for _, o := range opts {
+		switch o.key {
+		case "msg":
+			r.Msg = unquote(o.value)
+		case "sid":
+			n, err := strconv.Atoi(strings.TrimSpace(o.value))
+			if err != nil {
+				return fmt.Errorf("rules: bad sid %q", o.value)
+			}
+			r.SID = n
+		case "rev":
+			n, err := strconv.Atoi(strings.TrimSpace(o.value))
+			if err != nil {
+				return fmt.Errorf("rules: bad rev %q", o.value)
+			}
+			r.Rev = n
+		case "gid":
+			n, err := strconv.Atoi(strings.TrimSpace(o.value))
+			if err != nil {
+				return fmt.Errorf("rules: bad gid %q", o.value)
+			}
+			r.GID = n
+		case "content":
+			c, err := parseContent(o.value)
+			if err != nil {
+				return err
+			}
+			r.Contents = append(r.Contents, c)
+			lastContent = &r.Contents[len(r.Contents)-1]
+		case "nocase":
+			if lastContent == nil {
+				return fmt.Errorf("rules: nocase without preceding content")
+			}
+			lastContent.Nocase = true
+		case "fast_pattern":
+			if lastContent == nil {
+				return fmt.Errorf("rules: fast_pattern without preceding content")
+			}
+			lastContent.FastPattern = true
+		case "offset", "depth", "distance", "within":
+			if lastContent == nil {
+				return fmt.Errorf("rules: %s without preceding content", o.key)
+			}
+			n, err := strconv.Atoi(strings.TrimSpace(o.value))
+			if err != nil {
+				return fmt.Errorf("rules: bad %s %q", o.key, o.value)
+			}
+			switch o.key {
+			case "offset":
+				lastContent.Offset = &n
+			case "depth":
+				lastContent.Depth = &n
+			case "distance":
+				lastContent.Distance = &n
+			case "within":
+				lastContent.Within = &n
+			}
+		case "http_method", "http_uri", "http_raw_uri", "http_header", "http_cookie", "http_client_body":
+			if lastContent == nil {
+				return fmt.Errorf("rules: %s without preceding content", o.key)
+			}
+			lastContent.Buffer = bufferFromKeyword(o.key)
+		case "pcre":
+			p, err := parsePCRE(o.value)
+			if err != nil {
+				return err
+			}
+			r.PCREs = append(r.PCREs, p)
+		case "reference":
+			parts := strings.SplitN(strings.TrimSpace(o.value), ",", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("rules: bad reference %q", o.value)
+			}
+			r.References = append(r.References, Reference{
+				System: strings.TrimSpace(parts[0]),
+				ID:     strings.TrimSpace(parts[1]),
+			})
+		case "flow":
+			for _, f := range strings.Split(o.value, ",") {
+				switch strings.TrimSpace(f) {
+				case "to_server", "from_client":
+					r.Flow.ToServer = true
+				case "to_client", "from_server":
+					r.Flow.ToClient = true
+				case "established":
+					r.Flow.Established = true
+				case "stateless", "not_established", "no_stream", "only_stream":
+					// Accepted and ignored: session-level evaluation
+					// subsumes these stream qualifiers.
+				default:
+					return fmt.Errorf("rules: unknown flow keyword %q", f)
+				}
+			}
+		case "metadata":
+			for _, kv := range strings.Split(o.value, ",") {
+				kv = strings.TrimSpace(kv)
+				if kv == "" {
+					continue
+				}
+				if i := strings.IndexByte(kv, ' '); i > 0 {
+					r.Metadata[kv[:i]] = strings.TrimSpace(kv[i+1:])
+				} else {
+					r.Metadata[kv] = ""
+				}
+			}
+		case "dsize":
+			nt, err := ParseNumTest(o.value)
+			if err != nil {
+				return err
+			}
+			r.Dsize = &nt
+		case "urilen":
+			nt, err := ParseNumTest(o.value)
+			if err != nil {
+				return err
+			}
+			r.Urilen = &nt
+		case "isdataat":
+			d, err := ParseIsDataAt(o.value)
+			if err != nil {
+				return err
+			}
+			if d.Relative {
+				if lastContent == nil {
+					return fmt.Errorf("rules: relative isdataat without preceding content")
+				}
+				lastContent.DataAts = append(lastContent.DataAts, d)
+			} else {
+				r.IsDataAts = append(r.IsDataAts, d)
+			}
+		case "byte_test":
+			bt, err := ParseByteTest(o.value)
+			if err != nil {
+				return err
+			}
+			if bt.Relative {
+				if lastContent == nil {
+					return fmt.Errorf("rules: relative byte_test without preceding content")
+				}
+				lastContent.ByteTests = append(lastContent.ByteTests, bt)
+			} else {
+				r.ByteTests = append(r.ByteTests, bt)
+			}
+		case "classtype", "priority", "service", "detection_filter", "threshold", "flowbits":
+			// Recognized Snort options that do not affect this study's
+			// matching semantics; recorded raw in Metadata for fidelity.
+			r.Metadata["opt:"+o.key] = o.value
+		default:
+			return fmt.Errorf("rules: unsupported option %q", o.key)
+		}
+	}
+	return nil
+}
+
+func bufferFromKeyword(k string) Buffer {
+	switch k {
+	case "http_method":
+		return BufHTTPMethod
+	case "http_uri":
+		return BufHTTPURI
+	case "http_raw_uri":
+		return BufHTTPRawURI
+	case "http_header":
+		return BufHTTPHeader
+	case "http_cookie":
+		return BufHTTPCookie
+	case "http_client_body":
+		return BufHTTPBody
+	default:
+		return BufRaw
+	}
+}
+
+// splitOptions splits the option body on semicolons outside quoted strings.
+func splitOptions(body string) ([]option, error) {
+	var opts []option
+	var cur strings.Builder
+	inQuote := false
+	escaped := false
+	flush := func() error {
+		text := strings.TrimSpace(cur.String())
+		cur.Reset()
+		if text == "" {
+			return nil
+		}
+		if i := strings.IndexByte(text, ':'); i >= 0 {
+			opts = append(opts, option{key: strings.TrimSpace(text[:i]), value: strings.TrimSpace(text[i+1:])})
+		} else {
+			opts = append(opts, option{key: text})
+		}
+		return nil
+	}
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if escaped {
+			cur.WriteByte(c)
+			escaped = false
+			continue
+		}
+		switch c {
+		case '\\':
+			if inQuote {
+				cur.WriteByte(c)
+				escaped = true
+				continue
+			}
+			cur.WriteByte(c)
+		case '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case ';':
+			if inQuote {
+				cur.WriteByte(c)
+				continue
+			}
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("rules: unterminated quote in options")
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return opts, nil
+}
+
+// unquote strips surrounding quotes and resolves backslash escapes.
+func unquote(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			b.WriteByte(s[i])
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// parseContent decodes a content value: optional leading '!', then a quoted
+// pattern where |..| sections are space-separated hex bytes and backslash
+// escapes protect ", ;, \ and |.
+func parseContent(value string) (Content, error) {
+	v := strings.TrimSpace(value)
+	var c Content
+	if strings.HasPrefix(v, "!") {
+		c.Negated = true
+		v = strings.TrimSpace(v[1:])
+	}
+	if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+		return Content{}, fmt.Errorf("rules: content pattern not quoted: %q", value)
+	}
+	v = v[1 : len(v)-1]
+	var out []byte
+	inHex := false
+	var hexBuf strings.Builder
+	for i := 0; i < len(v); i++ {
+		ch := v[i]
+		if inHex {
+			if ch == '|' {
+				bytesOut, err := decodeHexRun(hexBuf.String())
+				if err != nil {
+					return Content{}, err
+				}
+				out = append(out, bytesOut...)
+				hexBuf.Reset()
+				inHex = false
+				continue
+			}
+			hexBuf.WriteByte(ch)
+			continue
+		}
+		switch ch {
+		case '|':
+			inHex = true
+		case '\\':
+			if i+1 >= len(v) {
+				return Content{}, fmt.Errorf("rules: dangling escape in content %q", value)
+			}
+			i++
+			out = append(out, v[i])
+		default:
+			out = append(out, ch)
+		}
+	}
+	if inHex {
+		return Content{}, fmt.Errorf("rules: unterminated hex section in content %q", value)
+	}
+	if len(out) == 0 {
+		return Content{}, fmt.Errorf("rules: empty content pattern")
+	}
+	c.Pattern = out
+	return c, nil
+}
+
+func decodeHexRun(s string) ([]byte, error) {
+	var out []byte
+	for _, tok := range strings.Fields(s) {
+		if len(tok) != 2 {
+			return nil, fmt.Errorf("rules: bad hex byte %q", tok)
+		}
+		n, err := strconv.ParseUint(tok, 16, 8)
+		if err != nil {
+			return nil, fmt.Errorf("rules: bad hex byte %q", tok)
+		}
+		out = append(out, byte(n))
+	}
+	return out, nil
+}
+
+// parsePCRE compiles a pcre option value of the form "/expr/flags" (optional
+// leading '!'). PCRE flags i, s, m translate to Go regexp flags; buffer
+// flags U (uri), H (header), C (cookie), P (body), M (method) select the
+// inspection buffer; R, B, O, G and others are accepted and ignored.
+func parsePCRE(value string) (PCRE, error) {
+	v := strings.TrimSpace(value)
+	var p PCRE
+	if strings.HasPrefix(v, "!") {
+		p.Negated = true
+		v = strings.TrimSpace(v[1:])
+	}
+	v = strings.TrimSpace(unquoteOnly(v))
+	if len(v) < 2 || v[0] != '/' {
+		return PCRE{}, fmt.Errorf("rules: pcre must be /expr/flags, got %q", value)
+	}
+	end := strings.LastIndexByte(v, '/')
+	if end <= 0 {
+		return PCRE{}, fmt.Errorf("rules: pcre missing closing slash: %q", value)
+	}
+	expr := v[1:end]
+	flags := v[end+1:]
+	var goFlags string
+	for _, f := range flags {
+		switch f {
+		case 'i':
+			goFlags += "i"
+		case 's':
+			goFlags += "s"
+		case 'm':
+			goFlags += "m"
+		case 'x':
+			// Extended mode is uncommon; normalize by stripping whitespace
+			// is risky, so reject to surface the rule for manual handling.
+			return PCRE{}, fmt.Errorf("rules: pcre /x flag unsupported: %q", value)
+		case 'U':
+			p.Buffer = BufHTTPURI
+		case 'H':
+			p.Buffer = BufHTTPHeader
+		case 'C':
+			p.Buffer = BufHTTPCookie
+		case 'P':
+			p.Buffer = BufHTTPBody
+		case 'M':
+			p.Buffer = BufHTTPMethod
+		case 'R', 'B', 'O', 'G', 'D', 'A', 'E':
+			// Positional/perf flags without an analogue in this engine.
+		default:
+			return PCRE{}, fmt.Errorf("rules: unknown pcre flag %q in %q", string(f), value)
+		}
+	}
+	full := expr
+	if goFlags != "" {
+		full = "(?" + goFlags + ")" + expr
+	}
+	re, err := regexp.Compile(full)
+	if err != nil {
+		return PCRE{}, fmt.Errorf("rules: pcre %q: %w", value, err)
+	}
+	p.Expr = v
+	p.Re = re
+	return p, nil
+}
+
+// unquoteOnly strips one level of surrounding double quotes without escape
+// processing (pcre bodies keep their backslashes).
+func unquoteOnly(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// ParseRuleset reads a rules file: one rule per line, with '#' comments and
+// blank lines skipped. It returns all rules plus per-line errors wrapped
+// with line numbers; parsing continues past bad lines so a single malformed
+// rule does not discard a ruleset.
+func ParseRuleset(r io.Reader) ([]*Rule, []error) {
+	var out []*Rule
+	var errs []error
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rule, err := Parse(line)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("line %d: %w", lineNo, err))
+			continue
+		}
+		out = append(out, rule)
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("rules: reading ruleset: %w", err))
+	}
+	return out, errs
+}

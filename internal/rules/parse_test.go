@@ -1,0 +1,410 @@
+package rules
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const log4shellRule = `alert tcp $EXTERNAL_NET any -> $HOME_NET any (msg:"SERVER-OTHER Apache Log4j logging remote code execution attempt"; flow:to_server,established; content:"${jndi:"; fast_pattern; nocase; http_header; reference:cve,2021-44228; metadata:policy balanced-ips drop, ruleset community; sid:58722; rev:4;)`
+
+func TestParseLog4shell(t *testing.T) {
+	r, err := Parse(log4shellRule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Action != ActionAlert || r.Proto != ProtoTCP {
+		t.Errorf("action/proto = %s/%s", r.Action, r.Proto)
+	}
+	if r.SID != 58722 || r.Rev != 4 {
+		t.Errorf("sid/rev = %d/%d", r.SID, r.Rev)
+	}
+	if !strings.Contains(r.Msg, "Log4j") {
+		t.Errorf("msg = %q", r.Msg)
+	}
+	if len(r.Contents) != 1 {
+		t.Fatalf("contents = %d", len(r.Contents))
+	}
+	c := r.Contents[0]
+	if string(c.Pattern) != "${jndi:" {
+		t.Errorf("pattern = %q", c.Pattern)
+	}
+	if !c.Nocase || !c.FastPattern || c.Buffer != BufHTTPHeader {
+		t.Errorf("modifiers = %+v", c)
+	}
+	if got := r.CVEs(); len(got) != 1 || got[0] != "2021-44228" {
+		t.Errorf("CVEs = %v", got)
+	}
+	if !r.Flow.ToServer || !r.Flow.Established {
+		t.Errorf("flow = %+v", r.Flow)
+	}
+	if r.Metadata["policy"] != "balanced-ips drop" {
+		t.Errorf("metadata = %v", r.Metadata)
+	}
+}
+
+func TestParseHexContent(t *testing.T) {
+	r, err := Parse(`alert tcp any any -> any 445 (msg:"hex"; content:"|90 90|AB|00|"; sid:1;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x90, 0x90, 'A', 'B', 0x00}
+	if !bytes.Equal(r.Contents[0].Pattern, want) {
+		t.Errorf("pattern = %v, want %v", r.Contents[0].Pattern, want)
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	r, err := Parse(`alert tcp any any -> any any (msg:"escape \"test\""; content:"a\;b\"c\\d\|e"; sid:2;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Msg != `escape "test"` {
+		t.Errorf("msg = %q", r.Msg)
+	}
+	if got := string(r.Contents[0].Pattern); got != `a;b"c\d|e` {
+		t.Errorf("pattern = %q", got)
+	}
+}
+
+func TestParseNegatedContent(t *testing.T) {
+	r, err := Parse(`alert tcp any any -> any any (msg:"neg"; content:!"benign"; sid:3;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contents[0].Negated {
+		t.Error("negation not parsed")
+	}
+}
+
+func TestParsePositionalModifiers(t *testing.T) {
+	r, err := Parse(`alert tcp any any -> any any (msg:"pos"; content:"GET"; offset:0; depth:3; content:"/admin"; distance:1; within:20; sid:4;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Contents) != 2 {
+		t.Fatalf("contents = %d", len(r.Contents))
+	}
+	c0, c1 := r.Contents[0], r.Contents[1]
+	if c0.Offset == nil || *c0.Offset != 0 || c0.Depth == nil || *c0.Depth != 3 {
+		t.Errorf("c0 = %+v", c0)
+	}
+	if c1.Distance == nil || *c1.Distance != 1 || c1.Within == nil || *c1.Within != 20 {
+		t.Errorf("c1 = %+v", c1)
+	}
+}
+
+func TestParsePCRE(t *testing.T) {
+	r, err := Parse(`alert tcp any any -> any any (msg:"pcre"; pcre:"/%24%7B|\$\{/Ui"; sid:5;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PCREs) != 1 {
+		t.Fatalf("pcres = %d", len(r.PCREs))
+	}
+	p := r.PCREs[0]
+	if p.Buffer != BufHTTPURI {
+		t.Errorf("buffer = %v", p.Buffer)
+	}
+	if !p.Re.MatchString("/x?q=${jndi}") {
+		t.Error("pcre should match ${")
+	}
+	if !p.Re.MatchString("/x?q=%24%7Bjndi") {
+		t.Error("pcre should match %24%7B")
+	}
+	if p.Re.MatchString("/plain") {
+		t.Error("pcre should not match plain URI")
+	}
+}
+
+func TestParsePCRECaseInsensitive(t *testing.T) {
+	r, err := Parse(`alert tcp any any -> any any (msg:"x"; pcre:"/SeLeCt/i"; sid:6;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.PCREs[0].Re.MatchString("union select 1") {
+		t.Error("case-insensitive pcre failed")
+	}
+}
+
+func TestParsePCRENegated(t *testing.T) {
+	r, err := Parse(`alert tcp any any -> any any (msg:"x"; pcre:!"/ok/"; sid:7;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.PCREs[0].Negated {
+		t.Error("negated pcre not parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`alert tcp any any -> any any`, // no options
+		`alert tcp any any -> any any (content:"x"; sid:1;`,     // unterminated
+		`alert tcp any any => any any (msg:"x"; sid:1;)`,        // bad direction
+		`frob tcp any any -> any any (msg:"x"; sid:1;)`,         // bad action
+		`alert xtp any any -> any any (msg:"x"; sid:1;)`,        // bad proto
+		`alert tcp any any -> any any (msg:"x";)`,               // missing sid
+		`alert tcp any any -> any any (content:"|zz|"; sid:1;)`, // bad hex
+		`alert tcp any any -> any any (content:"a|90"; sid:1;)`, // unterminated hex
+		`alert tcp any any -> any any (nocase; sid:1;)`,         // orphan modifier
+		`alert tcp any any -> any any (content:""; sid:1;)`,     // empty pattern
+		`alert tcp any any -> any 99999 (content:"x"; sid:1;)`,  // bad port
+		`alert tcp any any -> any any (pcre:"/(/"; sid:1;)`,     // bad regex
+		`alert tcp any any -> any any (frobnicate:"x"; sid:1;)`, // unknown option
+		`alert tcp any any -> any any (msg:"x"; sid:abc;)`,      // bad sid
+		`alert tcp any [80 -> any any (msg:"x"; sid:1;)`,        // header field count
+		`alert tcp any any -> any any (flow:sideways; sid:1;)`,  // bad flow keyword
+		`alert tcp 10.0.0.999 any -> any any (msg:"x"; sid:1;)`, // bad address
+		`alert tcp any any -> any any (pcre:"/a/x"; sid:1;)`,    // /x flag
+		`alert tcp any any -> any any (content:"a\"; sid:1;)`,   // dangling escape...
+	}
+	for _, text := range bad {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse accepted %q", text)
+		}
+	}
+}
+
+func TestPortSpec(t *testing.T) {
+	cases := []struct {
+		spec    string
+		port    uint16
+		matches bool
+	}{
+		{"any", 1, true},
+		{"80", 80, true},
+		{"80", 81, false},
+		{"!80", 80, false},
+		{"!80", 443, true},
+		{"[80,443]", 443, true},
+		{"[80,443]", 8080, false},
+		{"8000:8100", 8090, true},
+		{"8000:8100", 7999, false},
+		{"![8000:8100,22]", 22, false},
+		{"![8000:8100,22]", 443, true},
+		{":1024", 80, true},
+		{":1024", 2048, false},
+		{"60000:", 65535, true},
+	}
+	for _, c := range cases {
+		spec, err := ParsePortSpec(c.spec)
+		if err != nil {
+			t.Errorf("ParsePortSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if got := spec.Contains(c.port); got != c.matches {
+			t.Errorf("%q.Contains(%d) = %v, want %v", c.spec, c.port, got, c.matches)
+		}
+	}
+}
+
+func TestPortSpecErrors(t *testing.T) {
+	for _, s := range []string{"", "abc", "70000", "[80", "100:50", "80,,90"} {
+		if _, err := ParsePortSpec(s); err == nil {
+			t.Errorf("ParsePortSpec accepted %q", s)
+		}
+	}
+}
+
+func TestPortSpecString(t *testing.T) {
+	for _, s := range []string{"any", "80", "!80", "8000:8100"} {
+		spec, err := ParsePortSpec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := spec.String(); got != s {
+			t.Errorf("String() = %q, want %q", got, s)
+		}
+	}
+}
+
+func TestAddrSpec(t *testing.T) {
+	env := map[string][]netip.Prefix{
+		"HOME_NET": {netip.MustParsePrefix("10.0.0.0/8")},
+	}
+	cases := []struct {
+		spec    string
+		addr    string
+		matches bool
+	}{
+		{"any", "1.2.3.4", true},
+		{"$HOME_NET", "10.1.2.3", true},
+		{"$HOME_NET", "192.168.0.1", false},
+		{"$UNDEFINED", "192.168.0.1", true}, // unresolved variables are permissive
+		{"192.0.2.0/24", "192.0.2.200", true},
+		{"192.0.2.0/24", "192.0.3.1", false},
+		{"!$HOME_NET", "10.0.0.1", false},
+		{"!$HOME_NET", "8.8.8.8", true},
+		{"[10.0.0.1,192.0.2.0/24]", "10.0.0.1", true},
+		{"[10.0.0.1,192.0.2.0/24]", "10.0.0.2", false},
+	}
+	for _, c := range cases {
+		spec, err := ParseAddrSpec(c.spec)
+		if err != nil {
+			t.Errorf("ParseAddrSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if got := spec.Contains(netip.MustParseAddr(c.addr), env); got != c.matches {
+			t.Errorf("%q.Contains(%s) = %v, want %v", c.spec, c.addr, got, c.matches)
+		}
+	}
+}
+
+func TestAddrSpecErrors(t *testing.T) {
+	for _, s := range []string{"", "[10.0.0.1", "10.0.0.0/33", "300.1.1.1", "[,]"} {
+		if _, err := ParseAddrSpec(s); err == nil {
+			t.Errorf("ParseAddrSpec accepted %q", s)
+		}
+	}
+}
+
+func TestPortInsensitive(t *testing.T) {
+	r, err := Parse(`alert tcp any any -> any 8090 (msg:"confluence"; content:"${"; sid:10;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DstPorts.Contains(80) {
+		t.Fatal("original rule should be port-limited")
+	}
+	pi := r.PortInsensitive()
+	if !pi.DstPorts.Contains(80) || !pi.SrcPorts.Contains(1) {
+		t.Error("PortInsensitive did not widen ports")
+	}
+	// Original must be unchanged.
+	if r.DstPorts.Contains(80) {
+		t.Error("PortInsensitive mutated the original")
+	}
+}
+
+func TestFastPatternContent(t *testing.T) {
+	r, err := Parse(`alert tcp any any -> any any (msg:"fp"; content:"short"; content:"muchlongerpattern"; content:!"neg"; sid:11;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := r.FastPatternContent()
+	if fp == nil || string(fp.Pattern) != "muchlongerpattern" {
+		t.Errorf("FastPatternContent = %v", fp)
+	}
+
+	r2, err := Parse(`alert tcp any any -> any any (msg:"fp2"; content:"short"; fast_pattern; content:"muchlongerpattern"; sid:12;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2 := r2.FastPatternContent()
+	if fp2 == nil || string(fp2.Pattern) != "short" {
+		t.Errorf("explicit fast_pattern not honored: %v", fp2)
+	}
+
+	r3, err := Parse(`alert tcp any any -> any any (msg:"none"; pcre:"/x/"; sid:13;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.FastPatternContent() != nil {
+		t.Error("rule without content returned a fast pattern")
+	}
+}
+
+func TestParseRuleset(t *testing.T) {
+	input := `
+# Comment line
+alert tcp any any -> any 80 (msg:"one"; content:"a"; sid:100;)
+
+this is not a rule
+alert tcp any any -> any 443 (msg:"two"; content:"b"; sid:101;)
+`
+	got, errs := ParseRuleset(strings.NewReader(input))
+	if len(got) != 2 {
+		t.Errorf("parsed %d rules, want 2", len(got))
+	}
+	if len(errs) != 1 {
+		t.Errorf("got %d errors, want 1: %v", len(errs), errs)
+	}
+	if len(errs) == 1 && !strings.Contains(errs[0].Error(), "line 5") {
+		t.Errorf("error missing line number: %v", errs[0])
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	r, err := Parse(`alert tcp any any <> any any (msg:"bidir"; content:"x"; sid:14;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dir != DirBidirectional {
+		t.Errorf("Dir = %v", r.Dir)
+	}
+	if r.Dir.String() != "<>" {
+		t.Errorf("Dir.String() = %q", r.Dir.String())
+	}
+}
+
+func TestHeaderWithBracketLists(t *testing.T) {
+	r, err := Parse(`alert tcp [10.0.0.0/8, 192.0.2.1] [80, 443] -> any any (msg:"lists"; content:"x"; sid:15;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.SrcPorts.Contains(443) || r.SrcPorts.Contains(22) {
+		t.Errorf("src ports = %v", r.SrcPorts)
+	}
+	if !r.SrcAddr.Contains(netip.MustParseAddr("10.9.9.9"), nil) {
+		t.Error("src addr list failed")
+	}
+}
+
+func TestCVEsMultiple(t *testing.T) {
+	r, err := Parse(`alert tcp any any -> any any (msg:"multi"; content:"x"; reference:cve,2021-1497; reference:cve,CVE-2021-1498; reference:url,example.com; sid:16;)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.CVEs()
+	if len(got) != 2 || got[0] != "2021-1497" || got[1] != "2021-1498" {
+		t.Errorf("CVEs = %v", got)
+	}
+}
+
+// Property: parsing never panics on arbitrary input.
+func TestParseNoPanicProperty(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a parsed rule's port specs are consistent with Contains over the
+// whole port space when round-tripped through String.
+func TestPortSpecRoundTripProperty(t *testing.T) {
+	f := func(lo, hi uint16, neg bool) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		spec := PortSpec{Negated: neg, Ranges: []PortRange{{Lo: lo, Hi: hi}}}
+		parsed, err := ParsePortSpec(spec.String())
+		if err != nil {
+			return false
+		}
+		for _, p := range []uint16{0, lo, hi, 65535, lo / 2, hi/2 + lo/2} {
+			if spec.Contains(p) != parsed.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(log4shellRule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package rules
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PortRange is an inclusive port range.
+type PortRange struct {
+	Lo uint16
+	Hi uint16
+}
+
+// PortSpec is a parsed port specification: `any`, a single port, a range
+// `8000:8100`, a negation `!80`, or a bracketed list `[80,443,8000:8100]`.
+type PortSpec struct {
+	// Any matches every port.
+	Any bool
+	// Negated inverts the whole specification.
+	Negated bool
+	// Ranges are the included ranges (single ports are degenerate ranges).
+	Ranges []PortRange
+}
+
+// AnyPorts returns the `any` specification.
+func AnyPorts() PortSpec { return PortSpec{Any: true} }
+
+// Contains reports whether the specification matches port p.
+func (s PortSpec) Contains(p uint16) bool {
+	if s.Any {
+		return true
+	}
+	in := false
+	for _, r := range s.Ranges {
+		if p >= r.Lo && p <= r.Hi {
+			in = true
+			break
+		}
+	}
+	if s.Negated {
+		return !in
+	}
+	return in
+}
+
+// String renders the specification in rule syntax.
+func (s PortSpec) String() string {
+	if s.Any {
+		return "any"
+	}
+	var parts []string
+	for _, r := range s.Ranges {
+		if r.Lo == r.Hi {
+			parts = append(parts, strconv.Itoa(int(r.Lo)))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d:%d", r.Lo, r.Hi))
+		}
+	}
+	body := strings.Join(parts, ",")
+	if len(parts) > 1 {
+		body = "[" + body + "]"
+	}
+	if s.Negated {
+		return "!" + body
+	}
+	return body
+}
+
+// ParsePortSpec parses a port specification.
+func ParsePortSpec(text string) (PortSpec, error) {
+	t := strings.TrimSpace(text)
+	if t == "" {
+		return PortSpec{}, fmt.Errorf("rules: empty port spec")
+	}
+	var spec PortSpec
+	if strings.EqualFold(t, "any") {
+		spec.Any = true
+		return spec, nil
+	}
+	if strings.HasPrefix(t, "!") {
+		spec.Negated = true
+		t = strings.TrimSpace(t[1:])
+	}
+	if strings.HasPrefix(t, "[") {
+		if !strings.HasSuffix(t, "]") {
+			return PortSpec{}, fmt.Errorf("rules: unterminated port list %q", text)
+		}
+		t = t[1 : len(t)-1]
+	}
+	for _, item := range strings.Split(t, ",") {
+		r, err := parsePortRange(strings.TrimSpace(item))
+		if err != nil {
+			return PortSpec{}, err
+		}
+		spec.Ranges = append(spec.Ranges, r)
+	}
+	return spec, nil
+}
+
+func parsePortRange(item string) (PortRange, error) {
+	if item == "" {
+		return PortRange{}, fmt.Errorf("rules: empty port range element")
+	}
+	if i := strings.IndexByte(item, ':'); i >= 0 {
+		loS, hiS := item[:i], item[i+1:]
+		lo, hi := uint16(0), uint16(65535)
+		var err error
+		if loS != "" {
+			if lo, err = parsePort(loS); err != nil {
+				return PortRange{}, err
+			}
+		}
+		if hiS != "" {
+			if hi, err = parsePort(hiS); err != nil {
+				return PortRange{}, err
+			}
+		}
+		if lo > hi {
+			return PortRange{}, fmt.Errorf("rules: inverted port range %q", item)
+		}
+		return PortRange{Lo: lo, Hi: hi}, nil
+	}
+	p, err := parsePort(item)
+	if err != nil {
+		return PortRange{}, err
+	}
+	return PortRange{Lo: p, Hi: p}, nil
+}
+
+func parsePort(s string) (uint16, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 || n > 65535 {
+		return 0, fmt.Errorf("rules: invalid port %q", s)
+	}
+	return uint16(n), nil
+}

@@ -1,0 +1,168 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render reconstructs canonical rule text from the AST. The output parses
+// back to an equivalent rule (Parse(r.Render()) matches the same traffic),
+// which the test suite verifies over the whole study ruleset. Option order
+// follows Snort convention: msg, flow, detection options in original
+// order-relevant sequence, size tests, references, metadata, sid/rev.
+func (r *Rule) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %s %s %s %s %s (",
+		r.Action, r.Proto, r.SrcAddr.String(), r.SrcPorts.String(),
+		r.Dir.String(), r.DstAddr.String(), r.DstPorts.String())
+
+	if r.Msg != "" {
+		fmt.Fprintf(&b, "msg:\"%s\"; ", escapeOption(r.Msg))
+	}
+	if flow := renderFlow(r.Flow); flow != "" {
+		fmt.Fprintf(&b, "flow:%s; ", flow)
+	}
+	for i := range r.Contents {
+		renderContent(&b, &r.Contents[i])
+	}
+	for _, p := range r.PCREs {
+		if p.Negated {
+			fmt.Fprintf(&b, "pcre:!\"%s\"; ", p.Expr)
+		} else {
+			fmt.Fprintf(&b, "pcre:\"%s\"; ", p.Expr)
+		}
+	}
+	if r.Dsize != nil {
+		fmt.Fprintf(&b, "dsize:%s; ", r.Dsize.String())
+	}
+	if r.Urilen != nil {
+		fmt.Fprintf(&b, "urilen:%s; ", r.Urilen.String())
+	}
+	for _, d := range r.IsDataAts {
+		fmt.Fprintf(&b, "isdataat:%s; ", renderIsDataAt(d))
+	}
+	for _, bt := range r.ByteTests {
+		fmt.Fprintf(&b, "byte_test:%s; ", bt.render())
+	}
+	for _, ref := range r.References {
+		fmt.Fprintf(&b, "reference:%s,%s; ", ref.System, ref.ID)
+	}
+	fmt.Fprintf(&b, "sid:%d; ", r.SID)
+	if r.Rev > 0 {
+		fmt.Fprintf(&b, "rev:%d; ", r.Rev)
+	}
+	if r.GID > 0 {
+		fmt.Fprintf(&b, "gid:%d; ", r.GID)
+	}
+	out := strings.TrimRight(b.String(), " ")
+	return out + ")"
+}
+
+func renderFlow(f FlowOpts) string {
+	var parts []string
+	if f.ToServer {
+		parts = append(parts, "to_server")
+	}
+	if f.ToClient {
+		parts = append(parts, "to_client")
+	}
+	if f.Established {
+		parts = append(parts, "established")
+	}
+	return strings.Join(parts, ",")
+}
+
+func renderContent(b *strings.Builder, c *Content) {
+	b.WriteString("content:")
+	if c.Negated {
+		b.WriteString("!")
+	}
+	fmt.Fprintf(b, "\"%s\"; ", encodePattern(c.Pattern))
+	if c.Nocase {
+		b.WriteString("nocase; ")
+	}
+	if c.FastPattern {
+		b.WriteString("fast_pattern; ")
+	}
+	if c.Offset != nil {
+		fmt.Fprintf(b, "offset:%d; ", *c.Offset)
+	}
+	if c.Depth != nil {
+		fmt.Fprintf(b, "depth:%d; ", *c.Depth)
+	}
+	if c.Distance != nil {
+		fmt.Fprintf(b, "distance:%d; ", *c.Distance)
+	}
+	if c.Within != nil {
+		fmt.Fprintf(b, "within:%d; ", *c.Within)
+	}
+	if c.Buffer != BufRaw {
+		fmt.Fprintf(b, "%s; ", c.Buffer)
+	}
+	for _, d := range c.DataAts {
+		fmt.Fprintf(b, "isdataat:%s; ", renderIsDataAt(d))
+	}
+	for _, bt := range c.ByteTests {
+		fmt.Fprintf(b, "byte_test:%s; ", bt.render())
+	}
+}
+
+func renderIsDataAt(d IsDataAt) string {
+	s := ""
+	if d.Negated {
+		s = "!"
+	}
+	s += fmt.Sprintf("%d", d.Offset)
+	if d.Relative {
+		s += ",relative"
+	}
+	return s
+}
+
+// encodePattern renders pattern bytes in content syntax: printable ASCII
+// stays literal (with specials escaped), everything else becomes a |xx|
+// hex section.
+func encodePattern(pattern []byte) string {
+	var b strings.Builder
+	inHex := false
+	for _, c := range pattern {
+		printable := c >= 0x20 && c < 0x7f
+		if printable && c != '|' && c != '"' && c != ';' && c != '\\' && c != ':' {
+			if inHex {
+				b.WriteString("|")
+				inHex = false
+			}
+			b.WriteByte(c)
+			continue
+		}
+		if printable {
+			// Escapable special character.
+			if inHex {
+				b.WriteString("|")
+				inHex = false
+			}
+			b.WriteByte('\\')
+			b.WriteByte(c)
+			continue
+		}
+		if !inHex {
+			b.WriteString("|")
+			inHex = true
+		} else {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%02x", c)
+	}
+	if inHex {
+		b.WriteString("|")
+	}
+	return b.String()
+}
+
+// escapeOption escapes msg-style option text.
+func escapeOption(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, `;`, `\;`)
+	return s
+}

@@ -1,0 +1,126 @@
+package rules
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// equivalentRules compares the semantic fields of two rules (Raw differs by
+// construction).
+func equivalentRules(t *testing.T, a, b *Rule) {
+	t.Helper()
+	if a.Action != b.Action || a.Proto != b.Proto || a.Dir != b.Dir {
+		t.Errorf("header mismatch: %v/%v/%v vs %v/%v/%v", a.Action, a.Proto, a.Dir, b.Action, b.Proto, b.Dir)
+	}
+	if a.Msg != b.Msg || a.SID != b.SID || a.Rev != b.Rev {
+		t.Errorf("identity mismatch: %q/%d/%d vs %q/%d/%d", a.Msg, a.SID, a.Rev, b.Msg, b.SID, b.Rev)
+	}
+	if a.SrcPorts.String() != b.SrcPorts.String() || a.DstPorts.String() != b.DstPorts.String() {
+		t.Errorf("ports mismatch: %s/%s vs %s/%s", a.SrcPorts, a.DstPorts, b.SrcPorts, b.DstPorts)
+	}
+	if a.Flow != b.Flow {
+		t.Errorf("flow mismatch: %+v vs %+v", a.Flow, b.Flow)
+	}
+	if len(a.Contents) != len(b.Contents) {
+		t.Fatalf("content count %d vs %d", len(a.Contents), len(b.Contents))
+	}
+	for i := range a.Contents {
+		ca, cb := a.Contents[i], b.Contents[i]
+		if !bytes.Equal(ca.Pattern, cb.Pattern) {
+			t.Errorf("content %d pattern %q vs %q", i, ca.Pattern, cb.Pattern)
+		}
+		if ca.Negated != cb.Negated || ca.Nocase != cb.Nocase || ca.Buffer != cb.Buffer || ca.FastPattern != cb.FastPattern {
+			t.Errorf("content %d modifiers differ: %+v vs %+v", i, ca, cb)
+		}
+		if (ca.Offset == nil) != (cb.Offset == nil) || (ca.Offset != nil && *ca.Offset != *cb.Offset) {
+			t.Errorf("content %d offset differs", i)
+		}
+		if len(ca.ByteTests) != len(cb.ByteTests) || len(ca.DataAts) != len(cb.DataAts) {
+			t.Errorf("content %d assertions differ", i)
+		}
+	}
+	if len(a.PCREs) != len(b.PCREs) {
+		t.Fatalf("pcre count %d vs %d", len(a.PCREs), len(b.PCREs))
+	}
+	for i := range a.PCREs {
+		if a.PCREs[i].Expr != b.PCREs[i].Expr || a.PCREs[i].Negated != b.PCREs[i].Negated ||
+			a.PCREs[i].Buffer != b.PCREs[i].Buffer {
+			t.Errorf("pcre %d differs: %+v vs %+v", i, a.PCREs[i], b.PCREs[i])
+		}
+	}
+	if len(a.References) != len(b.References) {
+		t.Errorf("references %d vs %d", len(a.References), len(b.References))
+	}
+}
+
+func TestRenderRoundTripBasic(t *testing.T) {
+	texts := []string{
+		log4shellRule,
+		`alert tcp any any -> any 445 (msg:"hex"; content:"|90 90|AB|00|"; sid:1;)`,
+		`alert tcp any any -> any any (msg:"esc \"x\""; content:"a\;b\"c"; nocase; sid:2;)`,
+		`alert tcp any any -> any any (msg:"pos"; content:"GET"; offset:0; depth:3; content:"/x"; distance:1; within:20; sid:3;)`,
+		`alert tcp any any -> any any (msg:"neg"; content:!"benign"; pcre:!"/ok/i"; sid:4;)`,
+		`alert tcp any [80,443] <> any 8000:8100 (msg:"lists"; content:"q"; sid:5;)`,
+		`alert tcp any any -> any any (msg:"sz"; dsize:>512; urilen:5<>100; isdataat:1000; content:"p"; isdataat:50,relative; byte_test:2,>,64,0,relative; sid:6;)`,
+	}
+	for _, text := range texts {
+		orig, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", text, err)
+		}
+		rendered := orig.Render()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("reparse of rendered rule failed: %v\nrendered: %s", err, rendered)
+		}
+		equivalentRules(t, orig, back)
+	}
+}
+
+// Property: arbitrary binary content patterns survive render + reparse.
+func TestRenderPatternRoundTripProperty(t *testing.T) {
+	f := func(pattern []byte) bool {
+		if len(pattern) == 0 {
+			return true
+		}
+		if len(pattern) > 64 {
+			pattern = pattern[:64]
+		}
+		r := &Rule{
+			Action: ActionAlert, Proto: ProtoTCP,
+			SrcAddr: AnyAddr(), SrcPorts: AnyPorts(),
+			DstAddr: AnyAddr(), DstPorts: AnyPorts(),
+			Msg: "prop", SID: 99,
+			Contents: []Content{{Pattern: pattern}},
+			Metadata: map[string]string{},
+		}
+		back, err := Parse(r.Render())
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back.Contents[0].Pattern, pattern)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodePattern(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want string
+	}{
+		{[]byte("abc"), "abc"},
+		{[]byte{0x90, 0x90}, "|90 90|"},
+		{[]byte("a\x00b"), "a|00|b"},
+		{[]byte(`q"x`), `q\"x`},
+		{[]byte("a;b"), `a\;b`},
+		{[]byte("p|q"), `p\|q`},
+	}
+	for _, c := range cases {
+		if got := encodePattern(c.in); got != c.want {
+			t.Errorf("encodePattern(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

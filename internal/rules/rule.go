@@ -1,0 +1,240 @@
+// Package rules implements the subset of the Snort rule language the study
+// needs: rule headers (action, protocol, address and port specifications,
+// direction), and the payload-detection options used by the embedded
+// ruleset (content with its positional modifiers and HTTP sticky buffers,
+// pcre, flow, msg, sid/rev, reference, and metadata).
+//
+// The package is purely syntactic: it parses rule text into a typed AST and
+// validates it. Evaluation lives in package ids, which also implements the
+// paper's two methodological twists — port-insensitive rewriting and
+// post-facto evaluation of dated rulesets.
+package rules
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"time"
+)
+
+// Action is the rule action (alert, drop, ...).
+type Action string
+
+// Actions accepted by the parser.
+const (
+	ActionAlert Action = "alert"
+	ActionDrop  Action = "drop"
+	ActionLog   Action = "log"
+	ActionPass  Action = "pass"
+)
+
+// Proto is the rule protocol.
+type Proto string
+
+// Protocols accepted by the parser. The telescope captures TCP only, but
+// rulesets legitimately contain other protocols; they parse and simply never
+// match TCP sessions.
+const (
+	ProtoTCP  Proto = "tcp"
+	ProtoUDP  Proto = "udp"
+	ProtoICMP Proto = "icmp"
+	ProtoIP   Proto = "ip"
+)
+
+// Direction of a rule header.
+type Direction int
+
+// Directions.
+const (
+	DirToServer      Direction = iota // ->
+	DirBidirectional                  // <>
+)
+
+func (d Direction) String() string {
+	if d == DirBidirectional {
+		return "<>"
+	}
+	return "->"
+}
+
+// Buffer identifies which reassembled/extracted buffer a content or pcre
+// option inspects. Snort 2 modifier style ("content:...; http_uri;") is what
+// the study ruleset uses.
+type Buffer int
+
+// Buffers.
+const (
+	BufRaw Buffer = iota // entire client (or matching-direction) stream
+	BufHTTPMethod
+	BufHTTPURI    // request target; engines also match its normalized form
+	BufHTTPRawURI // request target, raw bytes only (no normalization pass)
+	BufHTTPHeader
+	BufHTTPCookie
+	BufHTTPBody
+)
+
+// String names the buffer as in rule text.
+func (b Buffer) String() string {
+	switch b {
+	case BufHTTPMethod:
+		return "http_method"
+	case BufHTTPURI:
+		return "http_uri"
+	case BufHTTPRawURI:
+		return "http_raw_uri"
+	case BufHTTPHeader:
+		return "http_header"
+	case BufHTTPCookie:
+		return "http_cookie"
+	case BufHTTPBody:
+		return "http_client_body"
+	default:
+		return "raw"
+	}
+}
+
+// Content is one content option with its modifiers.
+type Content struct {
+	// Pattern is the decoded byte pattern (pipe-hex escapes resolved).
+	Pattern []byte
+	// Negated reports a `content:!"..."` match (pattern must NOT occur).
+	Negated bool
+	// Nocase makes matching case-insensitive.
+	Nocase bool
+	// Buffer the pattern applies to.
+	Buffer Buffer
+	// Positional modifiers. Offset/Depth anchor to the start of the buffer;
+	// Distance/Within are relative to the end of the previous content match.
+	// Nil means unset.
+	Offset   *int
+	Depth    *int
+	Distance *int
+	Within   *int
+	// FastPattern marks the content chosen for the multi-pattern prefilter.
+	FastPattern bool
+	// DataAts are relative isdataat assertions anchored at this content's
+	// match end.
+	DataAts []IsDataAt
+	// ByteTests are relative byte_test assertions anchored at this
+	// content's match end.
+	ByteTests []ByteTest
+}
+
+// PCRE is one pcre option.
+type PCRE struct {
+	// Expr is the original /expr/flags text.
+	Expr string
+	// Re is the compiled Go regexp (flags translated where possible).
+	Re *regexp.Regexp
+	// Negated inverts the match.
+	Negated bool
+	// Buffer the expression applies to (from U/H/C/P/M flags).
+	Buffer Buffer
+}
+
+// Reference is one reference option (e.g. cve,2021-44228).
+type Reference struct {
+	System string
+	ID     string
+}
+
+// FlowOpts records the flow: option keywords the study uses.
+type FlowOpts struct {
+	ToServer    bool
+	ToClient    bool
+	Established bool
+}
+
+// Rule is a parsed rule.
+type Rule struct {
+	Action   Action
+	Proto    Proto
+	SrcAddr  AddrSpec
+	SrcPorts PortSpec
+	Dir      Direction
+	DstAddr  AddrSpec
+	DstPorts PortSpec
+
+	Msg        string
+	SID        int
+	Rev        int
+	GID        int
+	Flow       FlowOpts
+	Contents   []Content
+	PCREs      []PCRE
+	References []Reference
+	Metadata   map[string]string
+	// Dsize constrains the application-layer payload size.
+	Dsize *NumTest
+	// Urilen constrains the normalized URI length (HTTP requests only).
+	Urilen *NumTest
+	// IsDataAts are rule-level (non-relative) data-presence assertions
+	// against the raw stream. Relative assertions attach to their
+	// preceding Content.
+	IsDataAts []IsDataAt
+	// ByteTests are rule-level (non-relative) byte tests against the raw
+	// stream. Relative tests attach to their preceding Content.
+	ByteTests []ByteTest
+
+	// Raw is the original rule text.
+	Raw string
+}
+
+// CVEs returns the CVE identifiers referenced by the rule, in "YYYY-NNNN"
+// form (upper-cased, CVE- prefix stripped).
+func (r *Rule) CVEs() []string {
+	var out []string
+	for _, ref := range r.References {
+		if !strings.EqualFold(ref.System, "cve") {
+			continue
+		}
+		id := strings.ToUpper(ref.ID)
+		id = strings.TrimPrefix(id, "CVE-")
+		out = append(out, id)
+	}
+	return out
+}
+
+// PortInsensitive returns a copy of the rule with both port specifications
+// widened to `any`. The paper modifies all rules this way so exploit traffic
+// aimed at non-standard ports is still detected (Section 3.1).
+func (r *Rule) PortInsensitive() *Rule {
+	cp := *r
+	cp.SrcPorts = AnyPorts()
+	cp.DstPorts = AnyPorts()
+	return &cp
+}
+
+// FastPatternContent returns the content option used for prefiltering: the
+// one flagged fast_pattern, else the longest non-negated pattern. It returns
+// nil if the rule has no usable content (such rules must be evaluated
+// unconditionally).
+func (r *Rule) FastPatternContent() *Content {
+	var best *Content
+	for i := range r.Contents {
+		c := &r.Contents[i]
+		if c.Negated {
+			continue
+		}
+		if c.FastPattern {
+			return c
+		}
+		if best == nil || len(c.Pattern) > len(best.Pattern) {
+			best = c
+		}
+	}
+	return best
+}
+
+// DatedRule pairs a rule with its publication time. The IDS evaluates the
+// full ruleset post facto and downstream analysis compares match times with
+// publication times, so publication is data, not a filter, at match time.
+type DatedRule struct {
+	Rule      *Rule
+	Published time.Time
+}
+
+// String renders an abbreviated description for logs and tables.
+func (r *Rule) String() string {
+	return fmt.Sprintf("sid:%d rev:%d %q", r.SID, r.Rev, r.Msg)
+}

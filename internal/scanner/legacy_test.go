@@ -1,0 +1,117 @@
+package scanner
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/ids"
+	"repro/internal/packet"
+	"repro/internal/rules"
+)
+
+func TestLegacyRulesetParses(t *testing.T) {
+	rs, err := LegacyRuleset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 10 {
+		t.Fatalf("legacy rules = %d, want 10", len(rs))
+	}
+	for _, dr := range rs {
+		if dr.Published.After(datasets.StudyWindow.Start) {
+			t.Errorf("legacy rule sid %d published %v, inside study window", dr.Rule.SID, dr.Published)
+		}
+		if len(dr.Rule.CVEs()) != 1 || !isLegacyCVE(dr.Rule.CVEs()[0]) {
+			t.Errorf("legacy rule sid %d CVEs = %v", dr.Rule.SID, dr.Rule.CVEs())
+		}
+	}
+}
+
+// Legacy payloads match their own rules under the FULL ruleset, exactly.
+func TestLegacyAttributionExact(t *testing.T) {
+	full, err := FullRuleset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := ids.NewEngine(full, ids.Config{PortInsensitive: true})
+	rng := rand.New(rand.NewSource(4))
+	for _, ex := range LegacyExploits() {
+		for trial := 0; trial < 3; trial++ {
+			bp := Blueprint{
+				Time:    datasets.StudyWindow.Start,
+				Src:     mustAddr("45.95.168.9"),
+				DstPort: ex.Port,
+				Payload: ex.Craft(rng),
+			}
+			ms := e.Match(sessionFor(bp))
+			if len(ms) != 1 || ms[0].SID != ex.SID {
+				var got []int
+				for _, m := range ms {
+					got = append(got, m.SID)
+				}
+				t.Fatalf("CVE-%s matched %v, want [%d]:\n%s", ex.CVE, got, ex.SID, bp.Payload)
+			}
+		}
+	}
+}
+
+// The paper's filter removes every legacy signature and keeps every study
+// signature: the filtered full ruleset IS the study ruleset.
+func TestFilterReproducesStudyRuleset(t *testing.T) {
+	full, err := FullRuleset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered := rules.FilterByCVE(full, func(cve string) bool {
+		return datasets.StudyCVEByID(cve) != nil
+	})
+	study, err := StudyRuleset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered) != len(study) {
+		t.Fatalf("filtered = %d rules, study = %d", len(filtered), len(study))
+	}
+	for i := range filtered {
+		if filtered[i].Rule.SID != study[i].Rule.SID {
+			t.Fatalf("rule %d: sid %d vs %d", i, filtered[i].Rule.SID, study[i].Rule.SID)
+		}
+	}
+}
+
+// Legacy traffic is invisible to the filtered (study) engine but fully
+// attributed by the unfiltered one.
+func TestLegacyTrafficFilteredOut(t *testing.T) {
+	bps, err := Build(Config{Seed: 13, Scale: 1000, Noise: 5, LegacyScans: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	study := studyEngine(t)
+	full, err := FullRuleset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullEngine := ids.NewEngine(full, ids.Config{PortInsensitive: true})
+
+	legacySeen := 0
+	for _, bp := range bps {
+		if !bp.Legacy {
+			continue
+		}
+		legacySeen++
+		if ms := study.Match(sessionFor(bp)); len(ms) != 0 {
+			t.Fatalf("filtered engine attributed legacy traffic to sid %d", ms[0].SID)
+		}
+		ms := fullEngine.Match(sessionFor(bp))
+		if len(ms) != 1 || ms[0].SID != bp.SID {
+			t.Fatalf("full engine missed legacy traffic (got %d matches)", len(ms))
+		}
+	}
+	if legacySeen != 40 {
+		t.Fatalf("legacy blueprints = %d, want 40", legacySeen)
+	}
+}
+
+func mustAddr(s string) netip.Addr { return packet.MustAddr(s) }

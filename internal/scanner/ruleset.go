@@ -1,0 +1,74 @@
+package scanner
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/rules"
+)
+
+// NeverPublished marks rules whose release the study never observed
+// (Appendix E prints "-" for D−P). The rule still exists for post-facto
+// evaluation, but lifecycle analysis treats F and D as unknown. It is the
+// same sentinel the dated-ruleset file format uses.
+var NeverPublished = rules.NeverPublishedSentinel
+
+// StudyRuleset builds the full dated ruleset for the study: one signature
+// per CVE (except Log4Shell) published at the paper's D time (P + D−P), plus
+// the fifteen Log4Shell variant signatures published at their Table 6 group
+// times.
+func StudyRuleset() ([]rules.DatedRule, error) {
+	var out []rules.DatedRule
+	for _, ex := range Exploits() {
+		r, err := rules.Parse(ex.Rule)
+		if err != nil {
+			return nil, fmt.Errorf("scanner: rule for CVE-%s: %w", ex.CVE, err)
+		}
+		study := datasets.StudyCVEByID(ex.CVE)
+		if study == nil {
+			return nil, fmt.Errorf("scanner: exploit CVE-%s not in study data", ex.CVE)
+		}
+		pub := NeverPublished
+		if study.DMinusP.Known {
+			pub = study.Published.Add(study.DMinusP.D)
+		}
+		out = append(out, rules.DatedRule{Rule: r, Published: pub})
+	}
+	for _, v := range log4ShellVariants() {
+		r, err := rules.Parse(log4ShellRule(v))
+		if err != nil {
+			return nil, fmt.Errorf("scanner: Log4Shell rule sid %d: %w", v.SID, err)
+		}
+		group, err := log4ShellGroupFor(v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rules.DatedRule{Rule: r, Published: group.Deployed()})
+	}
+	return out, nil
+}
+
+func log4ShellGroupFor(v log4ShellVariant) (datasets.Log4ShellGroup, error) {
+	for _, g := range datasets.Log4ShellGroups() {
+		if g.Name == v.Group {
+			return g, nil
+		}
+	}
+	return datasets.Log4ShellGroup{}, fmt.Errorf("scanner: Log4Shell variant sid %d references unknown group %q", v.SID, v.Group)
+}
+
+// SIDPublication returns each SID's publication time (study and legacy
+// signatures), the input to the paper's rule-availability analysis (events
+// F and D).
+func SIDPublication() (map[int]time.Time, error) {
+	rs, err := FullRuleset()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]time.Time, len(rs))
+	for _, dr := range rs {
+		out[dr.Rule.SID] = dr.Published
+	}
+	return out, nil
+}

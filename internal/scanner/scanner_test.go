@@ -1,0 +1,404 @@
+package scanner
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/ids"
+	"repro/internal/packet"
+	"repro/internal/rules"
+	"repro/internal/tcpasm"
+)
+
+func sessionFor(bp Blueprint) *tcpasm.Session {
+	return &tcpasm.Session{
+		Client:     packet.Endpoint{Addr: bp.Src, Port: 40000},
+		Server:     packet.Endpoint{Addr: packet.MustAddr("10.0.0.1"), Port: bp.DstPort},
+		Start:      bp.Time,
+		End:        bp.Time.Add(time.Second),
+		ClientData: bp.Payload,
+		Complete:   true,
+		Closed:     true,
+	}
+}
+
+func studyEngine(t *testing.T) *ids.Engine {
+	t.Helper()
+	rs, err := StudyRuleset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids.NewEngine(rs, ids.Config{PortInsensitive: true})
+}
+
+func TestStudyRulesetParses(t *testing.T) {
+	rs, err := StudyRuleset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 62 per-CVE rules (63 minus Log4Shell) + 15 Log4Shell variants.
+	if len(rs) != 62+15 {
+		t.Fatalf("ruleset size = %d, want 77", len(rs))
+	}
+	sids := map[int]bool{}
+	for _, dr := range rs {
+		if sids[dr.Rule.SID] {
+			t.Errorf("duplicate SID %d", dr.Rule.SID)
+		}
+		sids[dr.Rule.SID] = true
+		if len(dr.Rule.CVEs()) == 0 {
+			t.Errorf("rule sid %d has no CVE reference", dr.Rule.SID)
+		}
+	}
+}
+
+func TestRulePublicationMatchesAppendix(t *testing.T) {
+	pubs, err := SIDPublication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hikvision: D = P + 49d21h.
+	hik := datasets.StudyCVEByID("2021-36260")
+	want := hik.Published.Add(hik.DMinusP.D)
+	if got := pubs[900027]; !got.Equal(want) {
+		t.Errorf("Hikvision rule published %v, want %v", got, want)
+	}
+	// CVEs without a D date map to the NeverPublished sentinel.
+	for _, sid := range []int{900009, 900044, 900062} { // 31166, 22965, 44877
+		if got := pubs[sid]; !got.Equal(NeverPublished) {
+			t.Errorf("sid %d published %v, want NeverPublished", sid, got)
+		}
+	}
+	// Log4Shell group A deploys 9h after publication.
+	wantA := datasets.Log4ShellPublished.Add(9 * time.Hour)
+	if got := pubs[58722]; !got.Equal(wantA) {
+		t.Errorf("sid 58722 published %v, want %v", got, wantA)
+	}
+}
+
+// Every exploit payload must be attributed to exactly its own signature by
+// the real engine — the calibration the whole pipeline relies on.
+func TestExploitAttributionExact(t *testing.T) {
+	e := studyEngine(t)
+	rng := rand.New(rand.NewSource(1))
+	for _, ex := range Exploits() {
+		for trial := 0; trial < 5; trial++ {
+			bp := Blueprint{
+				Time:    datasets.StudyWindow.Start.Add(time.Hour),
+				Src:     packet.MustAddr("185.220.100.5"),
+				DstPort: ex.Port,
+				Payload: ex.Craft(rng),
+				CVE:     ex.CVE,
+				SID:     ex.SID,
+			}
+			ms := e.Match(sessionFor(bp))
+			if len(ms) == 0 {
+				t.Fatalf("CVE-%s payload matched no rule:\n%s", ex.CVE, bp.Payload)
+			}
+			if len(ms) > 1 {
+				var got []int
+				for _, m := range ms {
+					got = append(got, m.SID)
+				}
+				t.Fatalf("CVE-%s payload matched %d rules %v:\n%s", ex.CVE, len(ms), got, bp.Payload)
+			}
+			if ms[0].SID != ex.SID {
+				t.Fatalf("CVE-%s payload matched sid %d, want %d", ex.CVE, ms[0].SID, ex.SID)
+			}
+		}
+	}
+}
+
+// Every Log4Shell variant payload must match exactly its own SID.
+func TestLog4ShellVariantAttributionExact(t *testing.T) {
+	e := studyEngine(t)
+	rng := rand.New(rand.NewSource(2))
+	for _, v := range log4ShellVariants() {
+		for trial := 0; trial < 5; trial++ {
+			port := uint16(8080)
+			if v.Context == datasets.CtxSMTP {
+				port = 25
+			}
+			bp := Blueprint{
+				Time:    datasets.Log4ShellPublished,
+				Src:     packet.MustAddr("185.220.100.6"),
+				DstPort: port,
+				Payload: craftLog4Shell(v, rng),
+			}
+			ms := e.Match(sessionFor(bp))
+			if len(ms) != 1 {
+				var got []int
+				for _, m := range ms {
+					got = append(got, m.SID)
+				}
+				t.Fatalf("variant sid %d matched %v:\n%s", v.SID, got, bp.Payload)
+			}
+			if ms[0].SID != v.SID {
+				t.Fatalf("variant sid %d matched sid %d:\n%s", v.SID, ms[0].SID, bp.Payload)
+			}
+			if ms[0].CVEs[0] != "2021-44228" {
+				t.Fatalf("variant sid %d attributed to %v", v.SID, ms[0].CVEs)
+			}
+		}
+	}
+}
+
+// Noise payloads must never match any rule.
+func TestNoiseNeverMatches(t *testing.T) {
+	e := studyEngine(t)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		bp := Blueprint{
+			Time:    datasets.StudyWindow.Start.Add(time.Duration(i) * time.Hour),
+			Src:     packet.MustAddr("23.128.0.9"),
+			DstPort: noisePort(rng),
+			Payload: noisePayload(rng),
+		}
+		if ms := e.Match(sessionFor(bp)); len(ms) != 0 {
+			t.Fatalf("noise payload matched sid %d:\n%s", ms[0].SID, bp.Payload)
+		}
+	}
+}
+
+func TestExploitsCoverAllStudyCVEs(t *testing.T) {
+	have := map[string]bool{}
+	for _, ex := range Exploits() {
+		if have[ex.CVE] {
+			t.Errorf("duplicate exploit for CVE-%s", ex.CVE)
+		}
+		have[ex.CVE] = true
+	}
+	for _, c := range datasets.StudyCVEs() {
+		if c.ID == "2021-44228" {
+			continue
+		}
+		if !have[c.ID] {
+			t.Errorf("no exploit definition for CVE-%s", c.ID)
+		}
+	}
+	if len(have) != 62 {
+		t.Errorf("exploit definitions = %d, want 62", len(have))
+	}
+}
+
+func TestLog4ShellVariantWeightsCoverVolume(t *testing.T) {
+	var sum float64
+	for _, v := range log4ShellVariants() {
+		if v.Weight <= 0 {
+			t.Errorf("sid %d weight %v", v.SID, v.Weight)
+		}
+		sum += v.Weight
+	}
+	if sum < 0.95 || sum > 1.05 {
+		t.Errorf("variant weights sum to %.3f, want ~1", sum)
+	}
+}
+
+func TestBuildWorkload(t *testing.T) {
+	bps, err := Build(Config{Seed: 1, Scale: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bps) == 0 {
+		t.Fatal("empty workload")
+	}
+	// Sorted by time, inside the window.
+	for i := range bps {
+		if i > 0 && bps[i].Time.Before(bps[i-1].Time) {
+			t.Fatal("workload not time-sorted")
+		}
+		if bps[i].Time.Before(datasets.StudyWindow.Start) || bps[i].Time.After(datasets.StudyWindow.End) {
+			t.Fatalf("blueprint at %v outside study window", bps[i].Time)
+		}
+	}
+	// Every CVE is represented.
+	cves := map[string]int{}
+	noise := 0
+	for _, bp := range bps {
+		if bp.CVE == "" {
+			noise++
+			continue
+		}
+		cves[bp.CVE]++
+	}
+	if len(cves) != 63 {
+		t.Errorf("workload covers %d CVEs, want 63", len(cves))
+	}
+	if noise == 0 {
+		t.Error("workload has no background noise")
+	}
+	// Volume ratios survive scaling: Confluence dominates.
+	if cves["2022-26134"] < cves["2021-22893"] {
+		t.Error("scaled volumes lost their ordering")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(Config{Seed: 42, Scale: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(Config{Seed: 42, Scale: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Time.Equal(b[i].Time) || a[i].Src != b[i].Src || a[i].CVE != b[i].CVE || string(a[i].Payload) != string(b[i].Payload) {
+			t.Fatalf("blueprint %d differs between same-seed builds", i)
+		}
+	}
+}
+
+func TestBuildFirstEventsMatchAppendix(t *testing.T) {
+	bps, err := Build(Config{Seed: 7, Scale: 100, Noise: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstSeen := map[string]time.Time{}
+	for _, bp := range bps {
+		if bp.CVE == "" {
+			continue
+		}
+		if _, ok := firstSeen[bp.CVE]; !ok {
+			firstSeen[bp.CVE] = bp.Time
+		}
+	}
+	// Hikvision's first attack is P + 30d4h per the appendix.
+	hik := datasets.StudyCVEByID("2021-36260")
+	want := hik.Published.Add(hik.AMinusP.D)
+	if got := firstSeen["2021-36260"]; !got.Equal(want) {
+		t.Errorf("Hikvision first event %v, want %v", got, want)
+	}
+	// The untargeted-OGNL CVE's first attack predates the window start and
+	// is clamped to it (Appendix C: traffic from the study's beginning).
+	if got := firstSeen["2022-28938"]; !got.Equal(datasets.StudyWindow.Start) {
+		t.Errorf("untargeted OGNL first event %v, want window start", got)
+	}
+}
+
+// End-to-end ground truth: run a scaled workload through the real engine and
+// verify per-session attribution equals the blueprint's intent.
+func TestWorkloadAttributionEndToEnd(t *testing.T) {
+	bps, err := Build(Config{Seed: 9, Scale: 400, Noise: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := studyEngine(t)
+	for _, bp := range bps {
+		ms := e.Match(sessionFor(bp))
+		if bp.CVE == "" {
+			if len(ms) != 0 {
+				t.Fatalf("noise matched sid %d: %q", ms[0].SID, bp.Payload)
+			}
+			continue
+		}
+		if len(ms) != 1 || ms[0].SID != bp.SID {
+			var got []int
+			for _, m := range ms {
+				got = append(got, m.SID)
+			}
+			t.Fatalf("CVE-%s expected sid %d, matched %v:\n%s", bp.CVE, bp.SID, got, bp.Payload)
+		}
+	}
+}
+
+func TestChoosePortOffPort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	off := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if choosePort(rng, 8090, 0.2) != 8090 {
+			off++
+		}
+	}
+	frac := float64(off) / n
+	if frac < 0.15 || frac > 0.25 {
+		t.Errorf("off-port fraction = %.3f, want ~0.2", frac)
+	}
+}
+
+func TestStudyRulesetParsesThroughRulesetParser(t *testing.T) {
+	// Rule text must be valid under the strict parser used for external
+	// ruleset files too.
+	for _, ex := range Exploits() {
+		if _, err := rules.Parse(ex.Rule); err != nil {
+			t.Errorf("CVE-%s rule does not parse: %v", ex.CVE, err)
+		}
+	}
+	for _, v := range log4ShellVariants() {
+		if _, err := rules.Parse(log4ShellRule(v)); err != nil {
+			t.Errorf("sid %d rule does not parse: %v", v.SID, err)
+		}
+	}
+}
+
+func BenchmarkBuildWorkload(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(Config{Seed: int64(i), Scale: 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The whole study ruleset must survive a render → reparse cycle with
+// identical matching behavior on real traffic.
+func TestStudyRulesetRenderRoundTrip(t *testing.T) {
+	orig, err := StudyRuleset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := make([]rules.DatedRule, len(orig))
+	for i, dr := range orig {
+		back, err := rules.Parse(dr.Rule.Render())
+		if err != nil {
+			t.Fatalf("sid %d: reparse failed: %v\nrendered: %s", dr.Rule.SID, err, dr.Rule.Render())
+		}
+		rendered[i] = rules.DatedRule{Rule: back, Published: dr.Published}
+	}
+	e1 := ids.NewEngine(orig, ids.Config{PortInsensitive: true})
+	e2 := ids.NewEngine(rendered, ids.Config{PortInsensitive: true})
+	bps, err := Build(Config{Seed: 31, Scale: 500, Noise: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bp := range bps {
+		s := sessionFor(bp)
+		m1 := e1.Match(s)
+		m2 := e2.Match(s)
+		if len(m1) != len(m2) {
+			t.Fatalf("rendered ruleset diverges on %q: %d vs %d matches", bp.Payload, len(m1), len(m2))
+		}
+		for i := range m1 {
+			if m1[i].SID != m2[i].SID {
+				t.Fatalf("rendered ruleset sid %d vs %d", m1[i].SID, m2[i].SID)
+			}
+		}
+	}
+}
+
+// Payload crafting is a pure function of its RNG: same stream, same bytes.
+func TestCraftDeterministic(t *testing.T) {
+	for _, ex := range Exploits() {
+		a := ex.Craft(rand.New(rand.NewSource(9)))
+		b := ex.Craft(rand.New(rand.NewSource(9)))
+		if string(a) != string(b) {
+			t.Errorf("CVE-%s craft not deterministic", ex.CVE)
+		}
+		if len(a) == 0 || len(a) > 4096 {
+			t.Errorf("CVE-%s payload size %d out of bounds", ex.CVE, len(a))
+		}
+	}
+	for _, v := range log4ShellVariants() {
+		a := craftLog4Shell(v, rand.New(rand.NewSource(9)))
+		b := craftLog4Shell(v, rand.New(rand.NewSource(9)))
+		if string(a) != string(b) {
+			t.Errorf("variant sid %d craft not deterministic", v.SID)
+		}
+	}
+}

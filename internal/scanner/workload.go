@@ -1,0 +1,301 @@
+package scanner
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/netsim"
+)
+
+// Blueprint is one planned scanning session: who sends what, when, at which
+// service port. The telescope turns blueprints into captured TCP sessions.
+type Blueprint struct {
+	// Time the session starts.
+	Time time.Time
+	// Src is the scanner's address.
+	Src netip.Addr
+	// DstPort is the targeted service port. The paper's scanners often
+	// spray non-standard ports, motivating port-insensitive rules.
+	DstPort uint16
+	// Payload is the client's application-layer bytes.
+	Payload []byte
+	// CVE is the intended target ("" for background noise). Ground truth
+	// for validating IDS attribution; the pipeline itself never reads it.
+	CVE string
+	// SID is the signature expected to match (0 for noise).
+	SID int
+	// Legacy marks traffic targeting longstanding (pre-study) CVEs: the
+	// bulk of what real telescopes see. The study's filtered ruleset
+	// deliberately does not attribute it.
+	Legacy bool
+}
+
+// Config tunes workload generation.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Scale divides each CVE's event count (minimum one event per CVE, one
+	// per Log4Shell variant). Scale 1 reproduces the full ~115 k-event
+	// appendix volume; tests use larger scales. Zero means 100.
+	Scale int
+	// Noise is the number of background-radiation sessions (credential
+	// stuffing, crawlers, TLS probes) that must match no rule. Zero means
+	// one tenth of the exploit volume.
+	Noise int
+	// LegacyScans is the number of sessions exploiting longstanding
+	// pre-study CVEs (Shellshock, Struts, GPON, ...). Real telescopes see
+	// mostly this; the study's signature filter excludes it. Zero disables.
+	LegacyScans int
+	// OffPortFraction is the share of exploit sessions aimed at a port
+	// other than the exploit's nominal one. Zero means 0.2.
+	OffPortFraction float64
+	// ScannerSources is the exploit-scanner population size (the paper saw
+	// 3.6 k distinct sources). Zero means 360.
+	ScannerSources int
+	// BurstWeight forwards to netsim.CampaignTimes. Zero keeps its default.
+	BurstWeight float64
+	// End overrides the end of the generation window. Zero means the study
+	// window's end.
+	End time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 100
+	}
+	if c.OffPortFraction == 0 {
+		c.OffPortFraction = 0.2
+	}
+	if c.ScannerSources == 0 {
+		c.ScannerSources = 360
+	}
+	if c.End.IsZero() {
+		c.End = datasets.StudyWindow.End
+	}
+	return c
+}
+
+// scannerPool is the address space exploit scanners come from: a mix of
+// hosting providers and residential-looking space.
+var scannerPoolPrefixes = []string{
+	"185.220.100.0/22", "45.155.204.0/22", "194.31.98.0/23",
+	"91.241.19.0/24", "103.77.192.0/22", "5.188.206.0/23",
+}
+
+// defaultLog4ShellEvents is Log4Shell's Appendix E event count, apportioned
+// across variants by weight.
+const defaultLog4ShellEvents = 6254
+
+// Build generates the full workload: every study CVE's campaign (Log4Shell
+// split across its Table 6 variants), plus background noise, sorted by time.
+func Build(cfg Config) ([]Blueprint, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pool := netsim.MustPool(cfg.Seed+1, scannerPoolPrefixes...)
+	scanners := netsim.NewSources(cfg.Seed+2, pool, cfg.ScannerSources)
+
+	exploits := Exploits()
+	exByCVE := make(map[string]*Exploit, len(exploits))
+	for i := range exploits {
+		exByCVE[exploits[i].CVE] = &exploits[i]
+	}
+
+	var out []Blueprint
+	for _, c := range datasets.StudyCVEs() {
+		if c.ID == "2021-44228" {
+			continue // Log4Shell handled per variant below
+		}
+		ex, ok := exByCVE[c.ID]
+		if !ok {
+			return nil, fmt.Errorf("scanner: no exploit definition for CVE-%s", c.ID)
+		}
+		n := scaledCount(c.Events, cfg.Scale)
+		first := clampToWindow(firstAttack(c))
+		burst := first
+		if c.Published.After(burst) {
+			// Pre-publication observations are sporadic; the campaign's
+			// burst follows the public announcement (Figure 5c).
+			burst = c.Published
+		}
+		// Announcement-driven bursts fade with how late exploitation began:
+		// a CVE first exploited months after disclosure is a sustained
+		// legacy-scanning target (Hikvision, routers), not a
+		// drop-everything campaign. The weight decays with the first
+		// attack's lag behind publication.
+		bw := cfg.BurstWeight
+		if bw == 0 {
+			bw = 0.45
+		}
+		if lag := first.Sub(c.Published); lag > 0 {
+			bw *= math.Exp(-lag.Hours() / 24 / 7)
+		}
+		times := netsim.CampaignTimes{
+			First:       first,
+			BurstStart:  burst,
+			End:         cfg.End,
+			BurstWeight: bw,
+			TailPower:   2, // rising legacy-scanning rate (Figure 3)
+		}.Sample(rng, n)
+		for _, t := range times {
+			out = append(out, Blueprint{
+				Time:    t,
+				Src:     scanners.Pick(),
+				DstPort: choosePort(rng, ex.Port, cfg.OffPortFraction),
+				Payload: ex.Craft(rng),
+				CVE:     c.ID,
+				SID:     ex.SID,
+			})
+		}
+	}
+
+	// Log4Shell variants.
+	groups := map[string]datasets.Log4ShellGroup{}
+	var sidMeta = map[int]datasets.Log4ShellSID{}
+	for _, g := range datasets.Log4ShellGroups() {
+		groups[g.Name] = g
+		for _, s := range g.SIDs {
+			sidMeta[s.SID] = s
+		}
+	}
+	for _, v := range log4ShellVariants() {
+		meta, ok := sidMeta[v.SID]
+		if !ok {
+			return nil, fmt.Errorf("scanner: Log4Shell sid %d missing from Table 6 data", v.SID)
+		}
+		n := scaledCount(int(float64(defaultLog4ShellEvents)*v.Weight), cfg.Scale)
+		first := groups[v.Group].Deployed().Add(meta.AMinusD.D)
+		times := netsim.CampaignTimes{
+			First:       clampToWindow(first),
+			End:         cfg.End,
+			BurstWeight: 0.6, // Log4Shell was front-loaded (Figure 8)
+			BurstMean:   20 * 24 * time.Hour,
+		}.Sample(rng, n)
+		for _, t := range times {
+			port := choosePort(rng, 8080, cfg.OffPortFraction)
+			if v.Context == datasets.CtxSMTP {
+				port = 25
+			}
+			out = append(out, Blueprint{
+				Time:    t,
+				Src:     scanners.Pick(),
+				DstPort: port,
+				Payload: craftLog4Shell(v, rng),
+				CVE:     "2021-44228",
+				SID:     v.SID,
+			})
+		}
+	}
+
+	// Legacy scanning: longstanding-CVE exploitation from the broad botnet
+	// population, spread over the whole window (Mirai-style persistence).
+	legacyPool := netsim.MustPool(cfg.Seed+5, "45.95.168.0/21", "92.255.85.0/24", "196.251.80.0/20")
+	legacySources := netsim.NewSources(cfg.Seed+6, legacyPool, 1500)
+	winSpan := cfg.End.Sub(datasets.StudyWindow.Start)
+	for i := 0; i < cfg.LegacyScans; i++ {
+		payload, port, cve, sid := craftLegacy(rng)
+		out = append(out, Blueprint{
+			Time:    datasets.StudyWindow.Start.Add(time.Duration(rng.Int63n(int64(winSpan)))),
+			Src:     legacySources.Pick(),
+			DstPort: choosePort(rng, port, cfg.OffPortFraction),
+			Payload: payload,
+			CVE:     cve,
+			SID:     sid,
+			Legacy:  true,
+		})
+	}
+
+	// Background radiation: high-volume, rule-free traffic from a much
+	// larger source population (the paper: 15 M contacts, 3.6 k exploiters).
+	noiseCount := cfg.Noise
+	if noiseCount == 0 {
+		noiseCount = len(out) / 10
+	}
+	noisePool := netsim.MustPool(cfg.Seed+3, "23.128.0.0/16", "162.142.0.0/16", "167.94.0.0/16")
+	noiseSources := netsim.NewSources(cfg.Seed+4, noisePool, 2000)
+	span := cfg.End.Sub(datasets.StudyWindow.Start)
+	for i := 0; i < noiseCount; i++ {
+		t := datasets.StudyWindow.Start.Add(time.Duration(rng.Int63n(int64(span))))
+		out = append(out, Blueprint{
+			Time:    t,
+			Src:     noiseSources.Pick(),
+			DstPort: noisePort(rng),
+			Payload: noisePayload(rng),
+		})
+	}
+
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out, nil
+}
+
+// firstAttack derives a CVE's first-event time. CVEs with an unmeasured A−P
+// (printed "-") still produced traffic in the paper; a 30-day default keeps
+// them in the stream without affecting per-CVE A analyses (which read the
+// appendix directly).
+func firstAttack(c datasets.StudyCVE) time.Time {
+	if c.AMinusP.Known {
+		return c.Published.Add(c.AMinusP.D)
+	}
+	return c.Published.Add(30 * 24 * time.Hour)
+}
+
+func clampToWindow(t time.Time) time.Time {
+	if t.Before(datasets.StudyWindow.Start) {
+		return datasets.StudyWindow.Start
+	}
+	if t.After(datasets.StudyWindow.End) {
+		return datasets.StudyWindow.End
+	}
+	return t
+}
+
+func scaledCount(events, scale int) int {
+	n := events / scale
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// choosePort returns the nominal port or, with the configured probability, a
+// scanner-sprayed alternative.
+func choosePort(rng *rand.Rand, nominal uint16, offFraction float64) uint16 {
+	if rng.Float64() >= offFraction {
+		return nominal
+	}
+	alts := []uint16{80, 81, 443, 8000, 8080, 8081, 8088, 8443, 8888, 9000, 9090}
+	p := alts[rng.Intn(len(alts))]
+	if p == nominal {
+		p++
+	}
+	return p
+}
+
+func noisePort(rng *rand.Rand) uint16 {
+	ports := []uint16{22, 23, 80, 443, 445, 3389, 5900, 8080}
+	return ports[rng.Intn(len(ports))]
+}
+
+// noisePayload produces traffic shaped like the bulk of what the telescope
+// sees: credential stuffing, generic crawling, and protocol probes that
+// match no CVE signature.
+func noisePayload(rng *rand.Rand) []byte {
+	switch rng.Intn(5) {
+	case 0: // credential stuffing
+		user := pick(rng, []string{"admin", "root", "user", "test"})
+		pass := pick(rng, []string{"admin", "123456", "password", "letmein"})
+		return httpPost("/login", "username="+user+"&password="+pass)
+	case 1: // benign-looking crawl
+		return httpGet(pick(rng, []string{"/", "/robots.txt", "/favicon.ico", "/index.html"}))
+	case 2: // TLS ClientHello-ish binary
+		return []byte{0x16, 0x03, 0x01, 0x00, 0x8d, 0x01, 0x00, 0x00, 0x89, 0x03, 0x03, byte(rng.Intn(256)), byte(rng.Intn(256))}
+	case 3: // SSH banner
+		return []byte("SSH-2.0-Go\r\n")
+	default: // telnet-style login probe
+		return []byte("root\r\n12345\r\n")
+	}
+}

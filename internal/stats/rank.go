@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SpearmanRho computes Spearman's rank correlation coefficient between two
+// equal-length samples, with average ranks for ties. It returns an error
+// for mismatched or too-short inputs, and 0 when either variable is
+// constant (correlation undefined).
+func SpearmanRho(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: rank correlation needs equal lengths, got %d and %d", len(xs), len(ys))
+	}
+	if len(xs) < 3 {
+		return 0, fmt.Errorf("stats: rank correlation needs at least 3 samples, got %d", len(xs))
+	}
+	rx := ranks(xs)
+	ry := ranks(ys)
+	return pearson(rx, ry)
+}
+
+// ranks assigns average ranks (1-based) with ties sharing their mean rank.
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(idx); {
+		j := i
+		for j < len(idx) && xs[idx[j]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank of the tie group [i, j).
+		avg := float64(i+j+1) / 2 // ranks are 1-based: (i+1 + j) / 2
+		for k := i; k < j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j
+	}
+	return out
+}
+
+// pearson computes the Pearson correlation of two equal-length samples,
+// returning 0 when either is constant.
+func pearson(xs, ys []float64) (float64, error) {
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0, nil
+	}
+	return cov / (math.Sqrt(vx) * math.Sqrt(vy)), nil
+}

@@ -1,0 +1,328 @@
+// Package tcpasm reassembles captured TCP segments into application-layer
+// sessions. This is the stage between the telescope's raw pcap and the IDS:
+// the paper evaluates Snort signatures over TCP sessions, retaining the
+// earliest-published matching signature per session.
+//
+// The assembler tracks connections by canonical flow, identifies the client
+// as the SYN initiator (falling back to first-packet source when the
+// handshake was not captured), buffers out-of-order segments in sequence
+// space, tolerates retransmission and overlap, and emits a Session when the
+// connection closes (FIN/RST from both or either side) or when the assembler
+// is flushed at an idle horizon.
+//
+// DSCOPE sends no application-layer response, so sessions are dominated by
+// client-to-server bytes ("client banner data"); the server stream is still
+// reassembled for generality.
+package tcpasm
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// Session is a reassembled TCP conversation.
+type Session struct {
+	// Client and Server identify the two endpoints. Client is the
+	// connection initiator.
+	Client packet.Endpoint
+	Server packet.Endpoint
+	// Start is the timestamp of the first captured segment, End of the last.
+	Start time.Time
+	End   time.Time
+	// ClientData is the in-order application-layer byte stream from client
+	// to server; ServerData the reverse direction.
+	ClientData []byte
+	ServerData []byte
+	// Packets is the number of captured segments in the conversation.
+	Packets int
+	// Complete reports whether the three-way handshake was observed.
+	Complete bool
+	// Closed reports whether the conversation ended with FIN or RST (as
+	// opposed to being flushed at an idle timeout).
+	Closed bool
+	// DroppedBytes counts payload bytes the assembler could not retain
+	// (stream cap reached or the out-of-order buffer overflowed). Nonzero
+	// values mean ClientData/ServerData are incomplete — the IDS treats
+	// such sessions normally, but audits can weigh them differently.
+	DroppedBytes int
+}
+
+// Config tunes the assembler.
+type Config struct {
+	// MaxStreamBytes caps the bytes retained per direction per session.
+	// Bytes past the cap are dropped (counted, not stored). Zero means the
+	// default of 1 MiB. The telescope emulates an unresponsive service, so
+	// real sessions are small; the cap guards against pathological input.
+	MaxStreamBytes int
+	// IdleTimeout closes a session that has seen no segment for this long
+	// when Advance is called. Zero means the default of 10 minutes (the
+	// DSCOPE instance lifetime: nothing can outlive its instance).
+	IdleTimeout time.Duration
+	// MaxPending caps buffered out-of-order segments per direction. Zero
+	// means the default of 64.
+	MaxPending int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxStreamBytes == 0 {
+		c.MaxStreamBytes = 1 << 20
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 10 * time.Minute
+	}
+	if c.MaxPending == 0 {
+		c.MaxPending = 64
+	}
+	return c
+}
+
+// Assembler consumes decoded packets and emits Sessions.
+type Assembler struct {
+	cfg   Config
+	conns map[packet.Flow]*conn
+	out   []Session
+}
+
+// NewAssembler creates an Assembler with the given configuration.
+func NewAssembler(cfg Config) *Assembler {
+	return &Assembler{
+		cfg:   cfg.withDefaults(),
+		conns: make(map[packet.Flow]*conn),
+	}
+}
+
+// halfStream is one direction of a connection.
+type halfStream struct {
+	// nextSeq is the next expected sequence number once initialized.
+	nextSeq  uint32
+	seqValid bool
+	data     []byte
+	dropped  int
+	pending  []pendingSeg
+	sawFin   bool
+	finSeq   uint32
+}
+
+type pendingSeg struct {
+	seq     uint32
+	payload []byte
+}
+
+type conn struct {
+	client   packet.Endpoint
+	server   packet.Endpoint
+	start    time.Time
+	last     time.Time
+	packets  int
+	complete bool
+	synSeen  bool
+	c2s      halfStream
+	s2c      halfStream
+	closed   bool
+}
+
+// Feed processes one decoded packet captured at ts. Completed sessions are
+// queued; drain them with Sessions.
+func (a *Assembler) Feed(ts time.Time, p *packet.Packet) {
+	flow := p.Flow()
+	key := flow.Canonical()
+	c, ok := a.conns[key]
+	if !ok {
+		c = &conn{start: ts, last: ts}
+		if p.TCP.SYN() && !p.TCP.ACK() {
+			c.client, c.server = flow.Src, flow.Dst
+			c.synSeen = true
+		} else {
+			// Mid-stream pickup: assume the first seen source is the client.
+			c.client, c.server = flow.Src, flow.Dst
+		}
+		a.conns[key] = c
+	}
+	c.last = ts
+	c.packets++
+
+	fromClient := flow.Src == c.client
+	if p.TCP.SYN() && !p.TCP.ACK() && !c.synSeen {
+		// A SYN after mid-stream pickup re-anchors the client.
+		c.client, c.server = flow.Src, flow.Dst
+		c.synSeen = true
+		fromClient = true
+	}
+	if p.TCP.SYN() && p.TCP.ACK() && c.synSeen {
+		c.complete = true
+	}
+
+	dir := &c.c2s
+	if !fromClient {
+		dir = &c.s2c
+	}
+	a.feedDir(dir, p.TCP)
+
+	if p.TCP.RST() {
+		c.closed = true
+		a.finish(key, c)
+		return
+	}
+	if c.c2s.sawFin && c.s2c.sawFin {
+		c.closed = true
+		a.finish(key, c)
+	}
+}
+
+// feedDir integrates one segment into a direction's stream.
+func (a *Assembler) feedDir(h *halfStream, t *packet.TCP) {
+	seq := t.Seq
+	payload := t.LayerPayload()
+
+	if t.SYN() {
+		// SYN consumes one sequence number; data begins at seq+1.
+		h.nextSeq = seq + 1
+		h.seqValid = true
+		return
+	}
+	if !h.seqValid {
+		// Mid-stream pickup: anchor at this segment.
+		h.nextSeq = seq
+		h.seqValid = true
+	}
+	if len(payload) > 0 {
+		a.insert(h, seq, payload)
+	}
+	if t.FIN() {
+		h.sawFin = true
+		h.finSeq = seq + uint32(len(payload))
+	}
+}
+
+// insert places payload at seq, delivering in-order bytes and buffering
+// out-of-order ones.
+func (a *Assembler) insert(h *halfStream, seq uint32, payload []byte) {
+	diff := int32(seq - h.nextSeq)
+	switch {
+	case diff == 0:
+		a.deliver(h, payload)
+	case diff < 0:
+		// Retransmission or partial overlap: keep only the new suffix.
+		overlap := -diff
+		if int(overlap) < len(payload) {
+			a.deliver(h, payload[overlap:])
+		}
+		return
+	default:
+		// Future segment: buffer a copy (the decode buffer may be reused).
+		if len(h.pending) < a.cfg.MaxPending {
+			cp := make([]byte, len(payload))
+			copy(cp, payload)
+			h.pending = append(h.pending, pendingSeg{seq: seq, payload: cp})
+		} else {
+			h.dropped += len(payload)
+		}
+		return
+	}
+	a.drainPending(h)
+}
+
+// deliver appends in-order bytes, honoring the per-stream cap, and advances
+// the expected sequence number.
+func (a *Assembler) deliver(h *halfStream, payload []byte) {
+	h.nextSeq += uint32(len(payload))
+	room := a.cfg.MaxStreamBytes - len(h.data)
+	if room <= 0 {
+		h.dropped += len(payload)
+		return
+	}
+	if len(payload) > room {
+		h.dropped += len(payload) - room
+		payload = payload[:room]
+	}
+	h.data = append(h.data, payload...)
+}
+
+// drainPending repeatedly delivers buffered segments that have become
+// contiguous with the stream head.
+func (a *Assembler) drainPending(h *halfStream) {
+	for {
+		progress := false
+		// Sort so the earliest usable segment is found first; pending lists
+		// are tiny (MaxPending) so this is cheap.
+		sort.Slice(h.pending, func(i, j int) bool {
+			return int32(h.pending[i].seq-h.nextSeq) < int32(h.pending[j].seq-h.nextSeq)
+		})
+		remaining := h.pending[:0]
+		for _, seg := range h.pending {
+			diff := int32(seg.seq - h.nextSeq)
+			switch {
+			case diff == 0:
+				a.deliver(h, seg.payload)
+				progress = true
+			case diff < 0:
+				if int(-diff) < len(seg.payload) {
+					a.deliver(h, seg.payload[-diff:])
+					progress = true
+				}
+				// Fully duplicate data is discarded.
+			default:
+				remaining = append(remaining, seg)
+			}
+		}
+		h.pending = remaining
+		if !progress {
+			return
+		}
+	}
+}
+
+// finish emits the session for c and forgets the connection.
+func (a *Assembler) finish(key packet.Flow, c *conn) {
+	a.out = append(a.out, Session{
+		Client:       c.client,
+		Server:       c.server,
+		Start:        c.start,
+		End:          c.last,
+		ClientData:   c.c2s.data,
+		ServerData:   c.s2c.data,
+		Packets:      c.packets,
+		Complete:     c.complete,
+		Closed:       c.closed,
+		DroppedBytes: c.c2s.dropped + c.s2c.dropped,
+	})
+	delete(a.conns, key)
+}
+
+// Advance informs the assembler of the current capture time, closing any
+// connection idle past the configured timeout.
+func (a *Assembler) Advance(now time.Time) {
+	for key, c := range a.conns {
+		if now.Sub(c.last) >= a.cfg.IdleTimeout {
+			a.finish(key, c)
+		}
+	}
+}
+
+// Flush closes all open connections regardless of idleness. Call at end of
+// capture.
+func (a *Assembler) Flush() {
+	for key, c := range a.conns {
+		a.finish(key, c)
+	}
+}
+
+// Sessions returns and clears the queue of completed sessions, ordered by
+// session end time (map iteration during Flush is unordered, and downstream
+// analyses index sessions temporally).
+func (a *Assembler) Sessions() []Session {
+	s := a.out
+	a.out = nil
+	sort.Slice(s, func(i, j int) bool {
+		if !s[i].End.Equal(s[j].End) {
+			return s[i].End.Before(s[j].End)
+		}
+		return s[i].Start.Before(s[j].Start)
+	})
+	return s
+}
+
+// OpenConns reports the number of connections still being tracked.
+func (a *Assembler) OpenConns() int { return len(a.conns) }

@@ -1,0 +1,292 @@
+// Package telescope implements DSCOPE, the paper's cloud-based interactive
+// Internet telescope, in two modes:
+//
+//   - Simulated mode: a deterministic model of the deployment — a fleet of
+//     short-lived instances (10-minute lifetime) cycling pseudorandomly
+//     through cloud IPv4 space — that converts scanner blueprints into
+//     captured TCP sessions, either directly or as byte-exact pcap files
+//     (handshake, payload segments, teardown) for post-facto IDS replay.
+//   - Live mode (listener.go): real TCP listeners that accept connections,
+//     send no application-layer response, and record the client banner —
+//     the actual DSCOPE instance behaviour, runnable on loopback.
+//
+// Both modes yield the same session records, so everything downstream of
+// capture is mode-agnostic.
+package telescope
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/scanner"
+	"repro/internal/tcpasm"
+)
+
+// SimConfig tunes the simulated telescope.
+type SimConfig struct {
+	// Seed drives instance address assignment and TCP details.
+	Seed int64
+	// InstanceLifetime is how long each instance keeps its address before
+	// being replaced (the paper found ~10 minutes optimal). Zero means 10
+	// minutes.
+	InstanceLifetime time.Duration
+	// Concurrent is the number of instances live at once (the real
+	// deployment ran ~300). Zero means 30, a scaled-down default.
+	Concurrent int
+	// PoolPrefixes is the cloud address space instances draw from. Empty
+	// means a built-in set of provider-like prefixes.
+	PoolPrefixes []string
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.InstanceLifetime == 0 {
+		c.InstanceLifetime = 10 * time.Minute
+	}
+	if c.Concurrent == 0 {
+		c.Concurrent = 30
+	}
+	if len(c.PoolPrefixes) == 0 {
+		c.PoolPrefixes = []string{
+			"3.208.0.0/16", "18.204.0.0/16", "34.192.0.0/16",
+			"44.192.0.0/16", "52.0.0.0/16", "54.144.0.0/16",
+		}
+	}
+	return c
+}
+
+// Telescope is the simulated deployment.
+type Telescope struct {
+	cfg  SimConfig
+	pool *netsim.Pool
+}
+
+// NewSim creates a simulated telescope.
+func NewSim(cfg SimConfig) *Telescope {
+	cfg = cfg.withDefaults()
+	return &Telescope{
+		cfg:  cfg,
+		pool: netsim.MustPool(cfg.Seed, cfg.PoolPrefixes...),
+	}
+}
+
+// InstanceAt returns the telescope endpoint that receives a session starting
+// at time t, choosing among the concurrently live instances. The mapping is
+// a pure function of (epoch, slot, seed): instances churn every lifetime
+// period, and addresses recur the way cloud reallocation recurs.
+func (t *Telescope) InstanceAt(at time.Time, slotHint uint64) netip.Addr {
+	epoch := at.Unix() / int64(t.cfg.InstanceLifetime/time.Second)
+	slot := slotHint % uint64(t.cfg.Concurrent)
+	h := fnv.New64a()
+	var buf [24]byte
+	put64(buf[0:8], uint64(epoch))
+	put64(buf[8:16], slot)
+	put64(buf[16:24], uint64(t.cfg.Seed))
+	h.Write(buf[:])
+	return t.addrFromHash(h.Sum64())
+}
+
+func put64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// addrFromHash maps a hash onto the pool's address space deterministically.
+func (t *Telescope) addrFromHash(h uint64) netip.Addr {
+	n := h % t.pool.Size()
+	// Walk the pool's prefixes the same way Pool.Next does, but indexed
+	// rather than random so the mapping is stable.
+	return t.pool.AddrAt(n)
+}
+
+// Session materializes one blueprint into a reassembled session record with
+// the receiving instance filled in.
+func (t *Telescope) Session(bp scanner.Blueprint) tcpasm.Session {
+	srcPort := uint16(32768 + (hash64(bp.Src.String())+uint64(bp.Time.UnixNano()))%28000)
+	dst := t.InstanceAt(bp.Time, hash64(bp.Src.String()))
+	return tcpasm.Session{
+		Client:     packet.Endpoint{Addr: bp.Src, Port: srcPort},
+		Server:     packet.Endpoint{Addr: dst, Port: bp.DstPort},
+		Start:      bp.Time,
+		End:        bp.Time.Add(time.Duration(2+len(bp.Payload)/1200) * 120 * time.Millisecond),
+		ClientData: bp.Payload,
+		Packets:    5 + len(bp.Payload)/1200,
+		Complete:   true,
+		Closed:     true,
+	}
+}
+
+// Sessions materializes a whole workload (the fast path used by large
+// experiments; byte-identical analysis inputs to the pcap path).
+func (t *Telescope) Sessions(bps []scanner.Blueprint) []tcpasm.Session {
+	out := make([]tcpasm.Session, len(bps))
+	for i, bp := range bps {
+		out[i] = t.Session(bp)
+	}
+	return out
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// PacketWriter is the capture sink WritePcap emits into; both the classic
+// pcap writer and the pcapng writer satisfy it.
+type PacketWriter interface {
+	WritePacket(ts time.Time, data []byte) error
+	Flush() error
+}
+
+// WritePcap converts blueprints into a full packet capture: for each session
+// a three-way handshake, client payload segments (the instance never sends
+// application data), and a FIN teardown, all with valid checksums. The
+// result replays through packet decoding, TCP reassembly, and the IDS
+// exactly like a real capture.
+func (t *Telescope) WritePcap(bps []scanner.Blueprint, w PacketWriter) error {
+	b := packet.NewBuilder(t.cfg.Seed)
+	const mss = 1200
+	for i := range bps {
+		bp := &bps[i]
+		s := t.Session(*bp)
+		cli := s.Client
+		srv := s.Server
+		isn := b.RandomISN()
+		srvISN := b.RandomISN()
+		ts := bp.Time
+
+		write := func(seg packet.Segment) error {
+			frame, err := b.Build(seg)
+			if err != nil {
+				return err
+			}
+			if err := w.WritePacket(ts, frame); err != nil {
+				return err
+			}
+			ts = ts.Add(20 * time.Millisecond)
+			return nil
+		}
+
+		if err := write(packet.Segment{Src: cli, Dst: srv, Seq: isn, Flags: packet.FlagSYN}); err != nil {
+			return fmt.Errorf("telescope: session %d: %w", i, err)
+		}
+		if err := write(packet.Segment{Src: srv, Dst: cli, Seq: srvISN, Ack: isn + 1, Flags: packet.FlagSYN | packet.FlagACK}); err != nil {
+			return err
+		}
+		if err := write(packet.Segment{Src: cli, Dst: srv, Seq: isn + 1, Ack: srvISN + 1, Flags: packet.FlagACK}); err != nil {
+			return err
+		}
+		seq := isn + 1
+		payload := bp.Payload
+		for off := 0; off < len(payload); off += mss {
+			end := off + mss
+			if end > len(payload) {
+				end = len(payload)
+			}
+			if err := write(packet.Segment{
+				Src: cli, Dst: srv,
+				Seq: seq, Ack: srvISN + 1,
+				Flags:   packet.FlagPSH | packet.FlagACK,
+				Payload: payload[off:end],
+			}); err != nil {
+				return err
+			}
+			seq += uint32(end - off)
+		}
+		if err := write(packet.Segment{Src: cli, Dst: srv, Seq: seq, Ack: srvISN + 1, Flags: packet.FlagFIN | packet.FlagACK}); err != nil {
+			return err
+		}
+		if err := write(packet.Segment{Src: srv, Dst: cli, Seq: srvISN + 1, Ack: seq + 1, Flags: packet.FlagFIN | packet.FlagACK}); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// CoverageStats summarizes address-space coverage of a captured workload,
+// the numbers behind the paper's Section 4 scale claims.
+type CoverageStats struct {
+	Sessions           int
+	UniqueTelescopeIPs int
+	UniqueSourceIPs    int
+}
+
+// Coverage computes coverage statistics over materialized sessions.
+func Coverage(sessions []tcpasm.Session) CoverageStats {
+	dsts := map[netip.Addr]struct{}{}
+	srcs := map[netip.Addr]struct{}{}
+	for i := range sessions {
+		dsts[sessions[i].Server.Addr] = struct{}{}
+		srcs[sessions[i].Client.Addr] = struct{}{}
+	}
+	return CoverageStats{
+		Sessions:           len(sessions),
+		UniqueTelescopeIPs: len(dsts),
+		UniqueSourceIPs:    len(srcs),
+	}
+}
+
+// SessionsToPcap reconstructs canonical wire frames (handshake, client
+// payload, teardown) from session records and writes them as a capture.
+// This is how live-mode captures — which exist only as session records —
+// enter the same post-facto replay path as simulated captures: the
+// reconstruction is lossless for everything the IDS inspects (endpoints,
+// timing, client bytes).
+func SessionsToPcap(sessions []tcpasm.Session, w PacketWriter, seed int64) error {
+	b := packet.NewBuilder(seed)
+	const mss = 1200
+	for i := range sessions {
+		s := &sessions[i]
+		isn := b.RandomISN()
+		srvISN := b.RandomISN()
+		ts := s.Start
+		write := func(seg packet.Segment) error {
+			frame, err := b.Build(seg)
+			if err != nil {
+				return err
+			}
+			if err := w.WritePacket(ts, frame); err != nil {
+				return err
+			}
+			ts = ts.Add(20 * time.Millisecond)
+			return nil
+		}
+		if err := write(packet.Segment{Src: s.Client, Dst: s.Server, Seq: isn, Flags: packet.FlagSYN}); err != nil {
+			return fmt.Errorf("telescope: session %d: %w", i, err)
+		}
+		if err := write(packet.Segment{Src: s.Server, Dst: s.Client, Seq: srvISN, Ack: isn + 1, Flags: packet.FlagSYN | packet.FlagACK}); err != nil {
+			return err
+		}
+		if err := write(packet.Segment{Src: s.Client, Dst: s.Server, Seq: isn + 1, Ack: srvISN + 1, Flags: packet.FlagACK}); err != nil {
+			return err
+		}
+		seq := isn + 1
+		for off := 0; off < len(s.ClientData); off += mss {
+			end := off + mss
+			if end > len(s.ClientData) {
+				end = len(s.ClientData)
+			}
+			if err := write(packet.Segment{
+				Src: s.Client, Dst: s.Server,
+				Seq: seq, Ack: srvISN + 1,
+				Flags:   packet.FlagPSH | packet.FlagACK,
+				Payload: s.ClientData[off:end],
+			}); err != nil {
+				return err
+			}
+			seq += uint32(end - off)
+		}
+		if err := write(packet.Segment{Src: s.Client, Dst: s.Server, Seq: seq, Ack: srvISN + 1, Flags: packet.FlagFIN | packet.FlagACK}); err != nil {
+			return err
+		}
+		if err := write(packet.Segment{Src: s.Server, Dst: s.Client, Seq: srvISN + 1, Ack: seq + 1, Flags: packet.FlagFIN | packet.FlagACK}); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

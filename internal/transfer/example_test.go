@@ -1,0 +1,18 @@
+package transfer_test
+
+import (
+	"fmt"
+
+	"repro/internal/transfer"
+)
+
+func ExampleDetector_Classify() {
+	d := transfer.NewDetector()
+	exploit := []byte("GET /%24%7B(%23a%3D%40org.apache...)%7D/ HTTP/1.1\r\nHost: t\r\n\r\n")
+	d.Learn("CVE-2022-26134", exploit, 8090)
+
+	// The same payload shape against a port the family never targeted.
+	m, ok := d.Classify(exploit, 8080)
+	fmt.Println(ok, m.Family, m.NovelPort)
+	// Output: true CVE-2022-26134 true
+}

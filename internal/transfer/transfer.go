@@ -1,0 +1,196 @@
+// Package transfer implements the paper's Finding-19 direction: detecting
+// the application of known exploit payloads to novel domains. The
+// Confluence case study showed generic OGNL-injection scanning — payloads
+// that were not aimed at Confluence (wrong port, no product targeting) yet
+// would have exploited it — and the paper proposes using such
+// transferability to proactively discover exposures.
+//
+// The detector builds a structural fingerprint per known exploit family
+// (from sample payloads) and classifies new sessions by Jaccard similarity
+// over normalized character shingles. A match at high similarity on a port
+// the family has never targeted is exactly the "known payload, novel
+// domain" signal the paper describes.
+package transfer
+
+import (
+	"sort"
+)
+
+// shingleLen is the character n-gram length for fingerprints. Four bytes
+// balances specificity (catches `${(#a=` style operators) against
+// robustness to per-payload variation (hosts, tokens).
+const shingleLen = 4
+
+// Fingerprint is a normalized shingle set.
+type Fingerprint map[string]struct{}
+
+// normalize maps a payload onto its structural skeleton: ASCII lowercased,
+// digit runs collapsed to '#', so scanner-varied values (hosts, ports,
+// tokens) do not dominate similarity.
+func normalize(payload []byte) []byte {
+	out := make([]byte, 0, len(payload))
+	lastDigit := false
+	for _, c := range payload {
+		switch {
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+'a'-'A')
+			lastDigit = false
+		case c >= '0' && c <= '9':
+			if !lastDigit {
+				out = append(out, '#')
+			}
+			lastDigit = true
+		default:
+			out = append(out, c)
+			lastDigit = false
+		}
+	}
+	return out
+}
+
+// NewFingerprint computes the shingle set of one payload.
+func NewFingerprint(payload []byte) Fingerprint {
+	n := normalize(payload)
+	fp := Fingerprint{}
+	for i := 0; i+shingleLen <= len(n); i++ {
+		fp[string(n[i:i+shingleLen])] = struct{}{}
+	}
+	return fp
+}
+
+// Jaccard returns |a∩b| / |a∪b| (0 for two empty sets).
+func Jaccard(a, b Fingerprint) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for s := range small {
+		if _, ok := large[s]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// Family is one known exploit cluster.
+type Family struct {
+	// Name identifies the family (typically "CVE-...").
+	Name string
+	// samples are the fingerprints of known payload instances.
+	samples []Fingerprint
+	// ports the family has been observed targeting.
+	ports map[uint16]int
+}
+
+// Detector classifies sessions against known families.
+type Detector struct {
+	families []*Family
+	// MatchThreshold is the minimum similarity to report a family match.
+	// Zero means the default of 0.5.
+	MatchThreshold float64
+}
+
+// NewDetector returns an empty detector.
+func NewDetector() *Detector { return &Detector{} }
+
+// Learn adds one known exploit observation (payload + targeted port) to a
+// family, creating the family on first sight.
+func (d *Detector) Learn(family string, payload []byte, port uint16) {
+	f := d.family(family)
+	f.samples = append(f.samples, NewFingerprint(payload))
+	f.ports[port]++
+}
+
+func (d *Detector) family(name string) *Family {
+	for _, f := range d.families {
+		if f.Name == name {
+			return f
+		}
+	}
+	f := &Family{Name: name, ports: map[uint16]int{}}
+	d.families = append(d.families, f)
+	return f
+}
+
+// Families returns the known family names.
+func (d *Detector) Families() []string {
+	out := make([]string, len(d.families))
+	for i, f := range d.families {
+		out[i] = f.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Match is a classification result.
+type Match struct {
+	// Family is the best-matching known exploit family.
+	Family string
+	// Similarity is the maximum Jaccard similarity against the family's
+	// samples.
+	Similarity float64
+	// NovelPort reports that the session targeted a port the family has
+	// never been seen on — the "known exploit payload, novel domain"
+	// signal of Finding 19.
+	NovelPort bool
+	// Port is the targeted port.
+	Port uint16
+}
+
+// Classify scores a session payload against every family and returns the
+// best match, if any clears the threshold.
+func (d *Detector) Classify(payload []byte, port uint16) (Match, bool) {
+	threshold := d.MatchThreshold
+	if threshold == 0 {
+		threshold = 0.5
+	}
+	fp := NewFingerprint(payload)
+	var best Match
+	found := false
+	for _, f := range d.families {
+		for _, s := range f.samples {
+			sim := Jaccard(fp, s)
+			if sim >= threshold && (!found || sim > best.Similarity) {
+				_, seen := f.ports[port]
+				best = Match{Family: f.Name, Similarity: sim, NovelPort: !seen, Port: port}
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// TransferReport summarizes a scan for cross-domain exploit application.
+type TransferReport struct {
+	// Sessions scanned and matched.
+	Sessions int
+	Matched  int
+	// NovelDomain are matches on ports their family never targeted.
+	NovelDomain []Match
+}
+
+// Scan classifies a batch of (payload, port) observations.
+func (d *Detector) Scan(payloads [][]byte, ports []uint16) TransferReport {
+	rep := TransferReport{}
+	for i := range payloads {
+		rep.Sessions++
+		var port uint16
+		if i < len(ports) {
+			port = ports[i]
+		}
+		m, ok := d.Classify(payloads[i], port)
+		if !ok {
+			continue
+		}
+		rep.Matched++
+		if m.NovelPort {
+			rep.NovelDomain = append(rep.NovelDomain, m)
+		}
+	}
+	return rep
+}

@@ -1,0 +1,195 @@
+package transfer
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/scanner"
+)
+
+func TestNormalize(t *testing.T) {
+	got := string(normalize([]byte("GET /Api/123/456?x=9 HTTP/1.1")))
+	want := "get /api/#/#?x=# http/#.#"
+	if got != want {
+		t.Errorf("normalize = %q, want %q", got, want)
+	}
+}
+
+func TestJaccardBasics(t *testing.T) {
+	a := NewFingerprint([]byte("the quick brown fox"))
+	if got := Jaccard(a, a); got != 1 {
+		t.Errorf("self similarity = %v", got)
+	}
+	b := NewFingerprint([]byte("zzzzzzzzzzzz"))
+	if got := Jaccard(a, b); got != 0 {
+		t.Errorf("disjoint similarity = %v", got)
+	}
+	if got := Jaccard(Fingerprint{}, Fingerprint{}); got != 0 {
+		t.Errorf("empty similarity = %v", got)
+	}
+}
+
+func TestJaccardSymmetric(t *testing.T) {
+	a := NewFingerprint([]byte("GET /%24%7B(exec)%7D HTTP/1.1"))
+	b := NewFingerprint([]byte("GET /%24%7B(calc)%7D HTTP/1.1"))
+	if Jaccard(a, b) != Jaccard(b, a) {
+		t.Error("Jaccard not symmetric")
+	}
+	if sim := Jaccard(a, b); sim < 0.5 {
+		t.Errorf("similar payloads sim = %v, want high", sim)
+	}
+}
+
+// Variants of the same exploit must cluster; different exploits must not.
+func TestFamilyClustering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var ognl, hikvision *scanner.Exploit
+	for i, ex := range scanner.Exploits() {
+		switch ex.CVE {
+		case "2022-26134":
+			e := scanner.Exploits()[i]
+			ognl = &e
+		case "2021-36260":
+			e := scanner.Exploits()[i]
+			hikvision = &e
+		}
+	}
+	if ognl == nil || hikvision == nil {
+		t.Fatal("exploit definitions missing")
+	}
+	a := NewFingerprint(ognl.Craft(rng))
+	b := NewFingerprint(ognl.Craft(rng))
+	c := NewFingerprint(hikvision.Craft(rng))
+	if sim := Jaccard(a, b); sim < 0.7 {
+		t.Errorf("same-family similarity = %.2f, want high", sim)
+	}
+	if sim := Jaccard(a, c); sim > 0.45 {
+		t.Errorf("cross-family similarity = %.2f, want low", sim)
+	}
+}
+
+// The Finding 19 scenario: generic OGNL scanning hitting a non-Confluence
+// port is recognized as the known OGNL exploit family on a novel domain.
+func TestFinding19NovelDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var confluence scanner.Exploit
+	for _, ex := range scanner.Exploits() {
+		if ex.CVE == "2022-26134" {
+			confluence = ex
+		}
+	}
+	d := NewDetector()
+	// Learn the Confluence OGNL family from its known on-port traffic.
+	for i := 0; i < 5; i++ {
+		d.Learn("CVE-2022-26134", confluence.Craft(rng), 8090)
+	}
+
+	// An OGNL payload sprayed at port 8080: same exploit structure, port
+	// the family has never targeted.
+	m, ok := d.Classify(confluence.Craft(rng), 8080)
+	if !ok {
+		t.Fatal("known payload not recognized")
+	}
+	if m.Family != "CVE-2022-26134" {
+		t.Errorf("family = %s", m.Family)
+	}
+	if !m.NovelPort {
+		t.Error("novel port not flagged")
+	}
+	// The same payload on the known port is not novel.
+	m, ok = d.Classify(confluence.Craft(rng), 8090)
+	if !ok || m.NovelPort {
+		t.Errorf("on-port classification = %+v/%v", m, ok)
+	}
+}
+
+func TestClassifyRejectsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var confluence scanner.Exploit
+	for _, ex := range scanner.Exploits() {
+		if ex.CVE == "2022-26134" {
+			confluence = ex
+		}
+	}
+	d := NewDetector()
+	d.Learn("CVE-2022-26134", confluence.Craft(rng), 8090)
+	if _, ok := d.Classify([]byte("GET /robots.txt HTTP/1.1\r\nHost: x\r\n\r\n"), 8090); ok {
+		t.Error("benign crawl classified as exploit")
+	}
+	if _, ok := d.Classify([]byte("SSH-2.0-Go\r\n"), 22); ok {
+		t.Error("SSH banner classified as exploit")
+	}
+}
+
+func TestScanReport(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var confluence scanner.Exploit
+	for _, ex := range scanner.Exploits() {
+		if ex.CVE == "2022-26134" {
+			confluence = ex
+		}
+	}
+	d := NewDetector()
+	for i := 0; i < 3; i++ {
+		d.Learn("CVE-2022-26134", confluence.Craft(rng), 8090)
+	}
+	payloads := [][]byte{
+		confluence.Craft(rng),                       // known port
+		confluence.Craft(rng),                       // novel port
+		[]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"), // noise
+	}
+	rep := d.Scan(payloads, []uint16{8090, 443, 80})
+	if rep.Sessions != 3 || rep.Matched != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+	if len(rep.NovelDomain) != 1 || rep.NovelDomain[0].Port != 443 {
+		t.Errorf("novel domain = %+v", rep.NovelDomain)
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	d := NewDetector()
+	d.Learn("b", []byte("xxxx"), 1)
+	d.Learn("a", []byte("yyyy"), 2)
+	d.Learn("b", []byte("zzzz"), 3)
+	fams := d.Families()
+	if len(fams) != 2 || fams[0] != "a" || fams[1] != "b" {
+		t.Errorf("families = %v", fams)
+	}
+}
+
+// Log4Shell obfuscation variants are similar enough to cluster as one
+// family at a moderate threshold — the arms-race payloads share the JNDI
+// lookup skeleton.
+func TestLog4ShellVariantsShareFamily(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	bps, err := scanner.Build(scanner.Config{Seed: 5, Scale: 500, Noise: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDetector()
+	d.MatchThreshold = 0.35
+	learned := 0
+	var held [][]byte
+	var heldPorts []uint16
+	for _, bp := range bps {
+		if bp.CVE != "2021-44228" {
+			continue
+		}
+		if learned < 10 {
+			d.Learn("CVE-2021-44228", bp.Payload, bp.DstPort)
+			learned++
+		} else if len(held) < 20 {
+			held = append(held, bp.Payload)
+			heldPorts = append(heldPorts, bp.DstPort)
+		}
+	}
+	if learned == 0 || len(held) == 0 {
+		t.Skip("not enough Log4Shell traffic at this scale")
+	}
+	rep := d.Scan(held, heldPorts)
+	if float64(rep.Matched)/float64(rep.Sessions) < 0.5 {
+		t.Errorf("held-out Log4Shell recognized %d/%d, want majority", rep.Matched, rep.Sessions)
+	}
+	_ = rng
+}

@@ -1,0 +1,22 @@
+package wayback_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/wayback"
+)
+
+// Example runs a scaled-down study and prints the headline skill number.
+func Example() {
+	study, err := wayback.NewStudy(wayback.Config{Seed: 1, Scale: 500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := study.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CVEs: %d, mean CVD skill: %.2f\n", res.Stats.DistinctCVEs, res.MeanSkill())
+	// Output: CVEs: 63, mean CVD skill: 0.37
+}

@@ -1,0 +1,72 @@
+package wayback
+
+import (
+	"time"
+
+	"repro/internal/artifacts"
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/scanner"
+	"repro/internal/transfer"
+)
+
+// Extensions: the paper's Section 8 / Finding 19 proposals, runnable
+// against study results.
+
+// DisclosureArtifacts reconstructs the machine-readable disclosure artifacts
+// (Section 8.2) the study's data implies for all 63 CVEs.
+func (r *Results) DisclosureArtifacts() ([]*artifacts.Artifact, error) {
+	return artifacts.StudyCorpus()
+}
+
+// AuditLeadingMatches surfaces CVEs whose traffic precedes their signature's
+// publication — the inputs to the paper's Section 3.2 manual root-cause
+// review.
+func (r *Results) AuditLeadingMatches(rulePub map[int]time.Time) []ids.LeadingMatch {
+	return ids.AuditLeadingMatches(r.Events, rulePub)
+}
+
+// TransferScan runs the Finding-19 transferability detector over the study's
+// events: it learns each CVE's payload family from that CVE's first
+// observations, then reports later sessions whose payloads match a known
+// family on a port the family never targeted.
+func (r *Results) TransferScan(samplesPerFamily int) transfer.TransferReport {
+	if samplesPerFamily <= 0 {
+		samplesPerFamily = 5
+	}
+	det := transfer.NewDetector()
+	// Events do not retain payload bytes (only the IDS verdict), so the
+	// detector learns and scans over the regenerated workload, which
+	// determinism guarantees matches the capture the study analyzed.
+	bps, err := scanner.Build(scanner.Config{
+		Seed: r.cfg.Seed, Scale: r.cfg.Scale, Noise: r.cfg.Noise,
+	})
+	if err != nil {
+		return transfer.TransferReport{}
+	}
+	learned := map[string]int{}
+	var payloads [][]byte
+	var ports []uint16
+	for _, bp := range bps {
+		if bp.CVE == "" || bp.Legacy {
+			payloads = append(payloads, bp.Payload)
+			ports = append(ports, bp.DstPort)
+			continue
+		}
+		if learned[bp.CVE] < samplesPerFamily {
+			det.Learn("CVE-"+bp.CVE, bp.Payload, bp.DstPort)
+			learned[bp.CVE]++
+			continue
+		}
+		payloads = append(payloads, bp.Payload)
+		ports = append(ports, bp.DstPort)
+	}
+	return det.Scan(payloads, ports)
+}
+
+// SkillTrend evaluates CVD skill over publication-date periods — the
+// "evolution of CVD effectiveness over time" analysis the paper anticipates
+// its dataset enabling.
+func (r *Results) SkillTrend(periods int) []core.PeriodSkill {
+	return core.SkillTrend(r.Timelines, core.PublishedBaselines(), periods)
+}

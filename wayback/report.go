@@ -1,0 +1,72 @@
+package wayback
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// WriteReport renders a self-contained markdown study report: capture
+// scale, Table 4 with skill, the Section 6 exposure headlines, the
+// Finding 7 counterfactual, the KEV comparison, and the skill trend — the
+// numbers a reader checks against the paper, regenerated from this run.
+func (r *Results) WriteReport(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("# CVE Wayback Machine — study report\n\n")
+
+	fmt.Fprintf(&b, "## Capture\n\n")
+	fmt.Fprintf(&b, "- sessions: %d\n", r.Stats.Sessions)
+	fmt.Fprintf(&b, "- exploit events: %d\n", r.Stats.MatchedEvents)
+	fmt.Fprintf(&b, "- distinct CVEs: %d (paper: 63)\n", r.Stats.DistinctCVEs)
+	fmt.Fprintf(&b, "- distinct scanner sources: %d\n", r.Stats.DistinctSrcIPs)
+	if r.Coverage.UniqueTelescopeIPs > 0 {
+		fmt.Fprintf(&b, "- unique telescope instance IPs: %d\n", r.Coverage.UniqueTelescopeIPs)
+	}
+	b.WriteString("\n## Table 4 — CVD skill per CVE\n\n")
+	b.WriteString("| Desideratum | Satisfied | Baseline | Skill | n |\n|---|---|---|---|---|\n")
+	for _, row := range r.Table4Results() {
+		fmt.Fprintf(&b, "| %s | %.2f | %.2f | %.2f | %d |\n",
+			row.Pair, row.Satisfied, row.Baseline, row.Skill, row.Evaluated)
+	}
+	fmt.Fprintf(&b, "\nMean skill **%.2f** (paper: 0.37).\n", r.MeanSkill())
+
+	b.WriteString("\n## Section 6 — quantitative exposure\n\n")
+	fmt.Fprintf(&b, "- exploit traffic striking defended CVEs: **%.1f%%** (paper: 95%%)\n",
+		r.MitigatedShare()*100)
+	f7cdf := r.Figure7()
+	if f7cdf.Unmit != nil {
+		fmt.Fprintf(&b, "- median unmitigated exposure at **%+.0f days** from publication (paper: ~30)\n",
+			f7cdf.Unmit.Quantile(0.5))
+	}
+	var da5 core.DesideratumResult
+	for _, row := range r.Table5Results() {
+		if row.Pair.String() == "D < A" {
+			da5 = row
+		}
+	}
+	fmt.Fprintf(&b, "- per-event D < A: **%.2f** (paper: 0.95; per-CVE: 0.56)\n", da5.Satisfied)
+
+	f7 := r.Finding7()
+	b.WriteString("\n## Finding 7 — IDS vendors in disclosure (counterfactual)\n\n")
+	fmt.Fprintf(&b, "D < A satisfaction %.2f → %.2f; skill %+.0f%% (paper: +32%%).\n",
+		f7.BeforeSatisfied, f7.AfterSatisfied, f7.SkillImprovement*100)
+
+	kev := r.KEVComparison()
+	b.WriteString("\n## Section 7.2 — KEV comparison\n\n")
+	fmt.Fprintf(&b, "- study CVEs in KEV: %d/63 (paper: 44)\n", kev.OverlapCount)
+	fmt.Fprintf(&b, "- telescope-first share: %.0f%% (paper: 59%%)\n", kev.DscopeFirstShare*100)
+	fmt.Fprintf(&b, "- seen >30 days before KEV: %.0f%% (paper: 50%%)\n", kev.Over30DaysShare*100)
+	fmt.Fprintf(&b, "- KEV P(A<P): %.2f vs telescope %.2f (paper: 0.18 vs 0.10)\n",
+		kev.KevPrePublicationRate, kev.DscopePrePublicationRate)
+
+	b.WriteString("\n## Skill trend (publication halves)\n\n")
+	for _, p := range r.SkillTrend(2) {
+		fmt.Fprintf(&b, "- %s → %s: %d CVEs, mean skill %.2f\n",
+			p.Start.Format("2006-01"), p.End.Format("2006-01"), p.CVEs, p.MeanSkill)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}

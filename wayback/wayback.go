@@ -1,0 +1,324 @@
+// Package wayback is the public entry point of the CVE Wayback Machine
+// reproduction: it wires the full measurement pipeline together — workload
+// generation (the simulated adversarial Internet), the DSCOPE telescope
+// (simulated capture or byte-exact pcap), TCP reassembly, the dated Snort
+// engine with port-insensitive post-facto evaluation, lifecycle assembly,
+// and the paper's analyses — and exposes one method per table and figure of
+// the paper's evaluation.
+//
+// Typical use:
+//
+//	study, err := wayback.NewStudy(wayback.Config{Seed: 1, Scale: 50})
+//	if err != nil { ... }
+//	res, err := study.Run()
+//	if err != nil { ... }
+//	fmt.Print(res.Table4().String())
+package wayback
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/ids"
+	"repro/internal/lifecycle"
+	"repro/internal/pcapio"
+	"repro/internal/report"
+	"repro/internal/rules"
+	"repro/internal/scanner"
+	"repro/internal/stats"
+	"repro/internal/telescope"
+)
+
+// Config controls a study run.
+type Config struct {
+	// Seed drives every random choice; equal seeds give identical studies.
+	Seed int64
+	// Scale divides the paper's per-CVE event volumes (Scale 1 ≈ 115 k
+	// exploit events). Zero means 50 (~2.3 k events), which keeps example
+	// runs fast while preserving every CVE.
+	Scale int
+	// Noise is the number of non-exploit background sessions. Zero means
+	// one tenth of the exploit volume.
+	Noise int
+	// UsePcap routes capture through real pcap bytes and the full
+	// decode/reassemble path instead of the fast session path. Slower,
+	// byte-exact; results are identical (verified by tests).
+	UsePcap bool
+	// PortSensitive disables the paper's port-insensitive rule rewriting
+	// (used by the ablation bench). Default false: rules are rewritten.
+	PortSensitive bool
+	// PipelineTimelines derives lifecycles from the measured pipeline
+	// output instead of the embedded Appendix E offsets. Appendix
+	// timelines (the default) reproduce the paper's Table 4 exactly;
+	// pipeline timelines validate the end-to-end measurement path.
+	PipelineTimelines bool
+	// LegacyScans adds sessions exploiting longstanding pre-study CVEs —
+	// the bulk of real telescope traffic, which the paper's signature
+	// filter excludes from analysis. Zero disables.
+	LegacyScans int
+	// UnfilteredRules skips the paper's filter-to-study-window step, so
+	// legacy CVEs appear in the attributed events (the filtering
+	// ablation). Default false: the paper's methodology.
+	UnfilteredRules bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 50
+	}
+	return c
+}
+
+// Study is a configured, compiled study: ruleset parsed, engine built.
+type Study struct {
+	cfg     Config
+	engine  *ids.Engine
+	ruleset map[int]time.Time
+	tel     *telescope.Telescope
+}
+
+// NewStudy compiles the study ruleset and telescope.
+func NewStudy(cfg Config) (*Study, error) {
+	cfg = cfg.withDefaults()
+	// The engine gets the FULL signature set minus the paper's filter: only
+	// rules for CVEs published during the study window are analyzed
+	// (Section 3.1). The unfiltered variant exists for the ablation.
+	rs, err := scanner.FullRuleset()
+	if err != nil {
+		return nil, fmt.Errorf("wayback: building ruleset: %w", err)
+	}
+	if !cfg.UnfilteredRules {
+		rs = rules.FilterByCVE(rs, func(cve string) bool {
+			return datasets.StudyCVEByID(cve) != nil
+		})
+	}
+	pub, err := scanner.SIDPublication()
+	if err != nil {
+		return nil, err
+	}
+	return &Study{
+		cfg:     cfg,
+		engine:  ids.NewEngine(rs, ids.Config{PortInsensitive: !cfg.PortSensitive}),
+		ruleset: pub,
+		tel:     telescope.NewSim(telescope.SimConfig{Seed: cfg.Seed}),
+	}, nil
+}
+
+// Results carries everything the analyses need.
+type Results struct {
+	cfg Config
+	// Events are the IDS-attributed exploit events.
+	Events []ids.Event
+	// Stats summarizes the capture scan.
+	Stats ids.ScanStats
+	// Coverage summarizes telescope address-space churn.
+	Coverage telescope.CoverageStats
+	// Timelines are the per-CVE lifecycles used for analysis.
+	Timelines []lifecycle.Timeline
+	// KEV is the comparison catalog.
+	KEV datasets.KEVCatalog
+
+	baselines map[core.Pair]float64
+}
+
+// Run generates the workload, captures it, runs the IDS, and assembles
+// lifecycles.
+func (s *Study) Run() (*Results, error) {
+	bps, err := scanner.Build(scanner.Config{
+		Seed:        s.cfg.Seed,
+		Scale:       s.cfg.Scale,
+		Noise:       s.cfg.Noise,
+		LegacyScans: s.cfg.LegacyScans,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wayback: building workload: %w", err)
+	}
+	res := &Results{cfg: s.cfg, baselines: core.PublishedBaselines()}
+
+	if s.cfg.UsePcap {
+		var buf bytes.Buffer
+		w, err := pcapio.NewWriter(&buf, pcapio.LinkTypeEthernet, pcapio.WithNanoPrecision())
+		if err != nil {
+			return nil, err
+		}
+		if err := s.tel.WritePcap(bps, w); err != nil {
+			return nil, fmt.Errorf("wayback: writing capture: %w", err)
+		}
+		r, err := pcapio.NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		res.Events, res.Stats, err = ids.ScanCapture(r, s.engine)
+		if err != nil {
+			return nil, fmt.Errorf("wayback: scanning capture: %w", err)
+		}
+	} else {
+		sessions := s.tel.Sessions(bps)
+		res.Coverage = telescope.Coverage(sessions)
+		// Parallel matching preserves session order, so results are
+		// byte-identical to the serial path (tested in package ids).
+		res.Events = ids.MatchSessionsParallel(sessions, s.engine, &res.Stats, 0)
+	}
+
+	if s.cfg.PipelineTimelines {
+		res.Timelines = lifecycle.FromPipeline(res.Events, s.ruleset)
+	} else {
+		res.Timelines = lifecycle.StudyTimelines()
+	}
+	res.KEV = datasets.GenerateKEV(datasets.KEVConfig{Seed: s.cfg.Seed})
+	return res, nil
+}
+
+// Engine exposes the compiled IDS engine (for custom pipelines and the
+// live-telescope example).
+func (s *Study) Engine() *ids.Engine { return s.engine }
+
+// RulePublications exposes the SID → publication-time map.
+func (s *Study) RulePublications() map[int]time.Time { return s.ruleset }
+
+// ---- Tables ----
+
+// Table1 returns the prior-work survey table.
+func (r *Results) Table1() report.Table { return report.Table1() }
+
+// Table2 returns the data-source table.
+func (r *Results) Table2() report.Table { return report.Table2() }
+
+// Table3 renders both desiderata matrices.
+func (r *Results) Table3() string { return report.Table3() }
+
+// Table4 evaluates the per-CVE desiderata.
+func (r *Results) Table4() report.Table {
+	return report.DesiderataTable("Table 4: Desiderata satisfaction per CVE",
+		r.Table4Results())
+}
+
+// Table4Results returns the raw Table 4 rows.
+func (r *Results) Table4Results() []core.DesideratumResult {
+	return core.EvaluateDesiderata(r.Timelines, r.baselines)
+}
+
+// Table5 evaluates the per-event desiderata.
+func (r *Results) Table5() report.Table {
+	return report.DesiderataTable("Table 5: Desiderata satisfaction per exploit event",
+		r.Table5Results())
+}
+
+// Table5Results returns the raw Table 5 rows.
+func (r *Results) Table5Results() []core.DesideratumResult {
+	return core.EvaluatePerEvent(r.Events, r.Timelines, r.baselines)
+}
+
+// Table6 renders the Log4Shell variant table.
+func (r *Results) Table6() report.Table { return report.Table6() }
+
+// AppendixE renders the studied-CVE listing.
+func (r *Results) AppendixE() report.Table { return report.AppendixETable() }
+
+// ---- Figures ----
+
+// Figure1 bins observed CVEs by publication date (quarterly).
+func (r *Results) Figure1() *stats.Histogram {
+	h, _ := stats.NewHistogram(0, 91, 9)
+	for _, c := range datasets.StudyCVEs() {
+		h.Add(c.Published.Sub(datasets.StudyWindow.Start).Hours() / 24)
+	}
+	return h
+}
+
+// Figure2 returns the impact CDFs: studied vs KEV vs all CVEs.
+func (r *Results) Figure2() []report.Series {
+	pop := datasets.GeneratePopulation(datasets.PopulationConfig{Seed: r.cfg.Seed})
+	return []report.Series{
+		report.FromECDF("studied", "CVSS", stats.MustECDF(datasets.StudyImpactSamples())),
+		report.FromECDF("kev", "CVSS", stats.MustECDF(r.KEV.ImpactSamples())),
+		report.FromECDF("all", "CVSS", stats.MustECDF(datasets.ImpactSamples(pop))),
+	}
+}
+
+// Figure3 is the absolute exploit-event timeline (30-day bins).
+func (r *Results) Figure3() *stats.Histogram {
+	return core.EventTimeline(r.Events, 30, datasets.StudyWindow.Start, datasets.StudyWindow.End)
+}
+
+// Figure4 is the publication-relative event timeline (15-day bins).
+func (r *Results) Figure4() *stats.Histogram {
+	return core.RelativeEventTimeline(r.Events, r.Timelines, 15, -450, 450)
+}
+
+// Figure5 returns the three headline window CDFs (A−D, P−D, A−P).
+func (r *Results) Figure5() []core.WindowCDF {
+	all := core.PaperWindowCDFs(r.Timelines)
+	return all[:3]
+}
+
+// Figures13to18 returns the appendix window CDFs.
+func (r *Results) Figures13to18() []core.WindowCDF {
+	all := core.PaperWindowCDFs(r.Timelines)
+	return all[3:]
+}
+
+// Figure6 is the mitigated/unmitigated CVE-per-bin histogram.
+func (r *Results) Figure6() core.ExposureBins {
+	return core.ExposureByBin(r.Events, r.Timelines, 5, -50, 200)
+}
+
+// Figure7 is the mitigated/unmitigated cumulative exposure CDF.
+func (r *Results) Figure7() core.ExposureCDFs {
+	return core.ExposureCDF(r.Events, r.Timelines)
+}
+
+// Figure8 is the Log4Shell session CDF.
+func (r *Results) Figure8() core.SessionCDF {
+	return core.CaseStudyCDF(r.Events, "2021-44228", datasets.Log4ShellPublished)
+}
+
+// Figure9 is the Log4Shell variant-group series over the first month.
+func (r *Results) Figure9() []core.VariantSeries {
+	return core.Log4ShellVariantSeries(r.Events, 21)
+}
+
+// Figure10 is the KEV A−P CDF.
+func (r *Results) Figure10() report.Series {
+	cmp := r.KEVComparison()
+	return report.FromECDF("kev A-P", "days", cmp.KevAMinusP)
+}
+
+// Figure11 is the DSCOPE-vs-KEV first-exploitation delta CDF.
+func (r *Results) Figure11() report.Series {
+	cmp := r.KEVComparison()
+	return report.FromECDF("KEV added - first DSCOPE attack", "days", cmp.Delta)
+}
+
+// Figure12 is the Confluence session CDF.
+func (r *Results) Figure12() core.SessionCDF {
+	meta := datasets.StudyCVEByID("2022-26134")
+	return core.CaseStudyCDF(r.Events, "2022-26134", meta.Published)
+}
+
+// ---- Findings ----
+
+// Finding7 runs the IDS-vendor-inclusion counterfactual for D < A.
+func (r *Results) Finding7() core.CounterfactualReport {
+	return core.EvaluateCounterfactual(r.Timelines,
+		core.Pair{A: lifecycle.FixDeployed, B: lifecycle.Attacks},
+		30*24*time.Hour, r.baselines)
+}
+
+// KEVComparison joins timelines against the KEV catalog (Findings 15–17).
+func (r *Results) KEVComparison() core.KEVComparison {
+	return core.CompareKEV(r.Timelines, r.KEV)
+}
+
+// MitigatedShare is the Section 6 headline exposure number.
+func (r *Results) MitigatedShare() float64 {
+	return core.MitigatedShare(r.Events, r.Timelines)
+}
+
+// MeanSkill is Finding 3's headline.
+func (r *Results) MeanSkill() float64 {
+	return core.MeanSkill(r.Table4Results())
+}
