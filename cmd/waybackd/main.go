@@ -1,0 +1,176 @@
+// Command waybackd is the streaming counterpart of waybackctl: a daemon
+// that tails a directory of rotating pcap segments (as written by a
+// telescope's packet recorder, or by waybackfeed), incrementally reassembles
+// and matches the traffic against the dated IDS ruleset, appends attributed
+// events to a crash-safe on-disk event store, and serves the paper's tables
+// and figures over HTTP — recomputed only when new events land.
+//
+// Usage:
+//
+//	waybackd -watch capture/ -store events/ [-addr :8416] [-seed 1]
+//	         [-prefix dscope] [-timelines pipeline|appendix]
+//	         [-poll 100ms] [-flush-idle 2s] [-batch 256] [-workers 0]
+//
+// Shutdown (SIGINT/SIGTERM) drains: every byte already captured flows
+// through to the store before the process exits, so a restart resumes with
+// nothing lost but traffic recorded after the signal.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/eventstore"
+	"repro/internal/ingest"
+	"repro/internal/serve"
+	"repro/wayback"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "waybackd:", err)
+		os.Exit(1)
+	}
+}
+
+// daemon holds the wired components; split from run so tests can drive the
+// exact production wiring in-process.
+type daemon struct {
+	study    *wayback.Study
+	store    *eventstore.Store
+	pipeline *ingest.Pipeline
+	server   *serve.Server
+}
+
+type daemonConfig struct {
+	watchDir  string
+	storeDir  string
+	prefix    string
+	seed      int64
+	timelines string
+	poll      time.Duration
+	flushIdle time.Duration
+	batch     int
+	workers   int
+}
+
+func openDaemon(cfg daemonConfig) (*daemon, error) {
+	switch cfg.timelines {
+	case "pipeline", "appendix":
+	default:
+		return nil, fmt.Errorf("-timelines must be pipeline or appendix, got %q", cfg.timelines)
+	}
+	study, err := wayback.NewStudy(wayback.Config{
+		Seed:              cfg.seed,
+		PipelineTimelines: cfg.timelines == "pipeline",
+	})
+	if err != nil {
+		return nil, err
+	}
+	store, err := wayback.OpenStore(cfg.storeDir)
+	if err != nil {
+		return nil, err
+	}
+	pipeline, err := ingest.Start(ingest.Config{
+		Dir:           cfg.watchDir,
+		Prefix:        cfg.prefix,
+		Engine:        study.Engine(),
+		Store:         store,
+		PollInterval:  cfg.poll,
+		FlushIdle:     cfg.flushIdle,
+		BatchSessions: cfg.batch,
+		MatchWorkers:  cfg.workers,
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	server, err := serve.New(serve.Config{Study: study, Store: store, Ingest: pipeline})
+	if err != nil {
+		pipeline.Close()
+		store.Close()
+		return nil, err
+	}
+	return &daemon{study: study, store: store, pipeline: pipeline, server: server}, nil
+}
+
+// close drains and shuts down in dependency order: stop ingesting (which
+// consumes everything already on disk), then close the store.
+func (d *daemon) close() error {
+	err := d.pipeline.Close()
+	if cerr := d.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("waybackd", flag.ContinueOnError)
+	watch := fs.String("watch", "", "directory of rotating pcap segments to tail (required)")
+	storeDir := fs.String("store", "", "event store directory (required)")
+	prefix := fs.String("prefix", "dscope", "segment filename prefix")
+	addr := fs.String("addr", ":8416", "HTTP listen address")
+	seed := fs.Int64("seed", 1, "analysis seed (KEV catalog, population model)")
+	timelines := fs.String("timelines", "pipeline", "lifecycle source: pipeline (from ingested events) or appendix")
+	poll := fs.Duration("poll", 100*time.Millisecond, "tail poll interval")
+	flushIdle := fs.Duration("flush-idle", 2*time.Second, "flush open connections after this much capture silence")
+	batch := fs.Int("batch", 256, "sessions per match batch")
+	workers := fs.Int("workers", 0, "match workers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *watch == "" || *storeDir == "" {
+		return errors.New("-watch and -store are required")
+	}
+
+	d, err := openDaemon(daemonConfig{
+		watchDir: *watch, storeDir: *storeDir, prefix: *prefix,
+		seed: *seed, timelines: *timelines,
+		poll: *poll, flushIdle: *flushIdle, batch: *batch, workers: *workers,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: d.server.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+	fmt.Printf("waybackd: tailing %s (prefix %s), store %s, listening on %s\n",
+		*watch, *prefix, *storeDir, *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		d.close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("waybackd: draining")
+	// Drain order: finish ingesting what is on disk, then stop answering
+	// queries (the last answers see the fully drained store), then close.
+	drainErr := d.pipeline.Close()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if err := d.store.Close(); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	m := d.pipeline.Metrics()
+	fmt.Printf("waybackd: drained (%d packets, %d sessions, %d events, %d segments)\n",
+		m.Packets, m.Sessions, m.Events, m.SegmentsDone)
+	return drainErr
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pcapio"
+	"repro/internal/scanner"
+	"repro/internal/telescope"
+	"repro/wayback"
+)
+
+// TestDaemonEndToEnd is the acceptance test for the whole waybackd stack:
+// a seeded study capture is replayed into the watch directory as rotating
+// segments while the daemon runs; once ingest lag reaches zero, the HTTP
+// API's Table 4 must equal the batch Study.Run() rendering byte for byte —
+// streaming capture, reassembly, matching, the store, and the query layer
+// all collapse to the same analysis as the one-shot pipeline.
+func TestDaemonEndToEnd(t *testing.T) {
+	const seed, scale = 1, 50
+
+	// Batch truth.
+	study, err := wayback.NewStudy(wayback.Config{Seed: seed, Scale: scale, PipelineTimelines: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := study.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTable4 := batch.Table4().String()
+
+	watchDir := t.TempDir()
+	d, err := openDaemon(daemonConfig{
+		watchDir: watchDir, storeDir: t.TempDir(), prefix: "dscope",
+		seed: seed, timelines: "pipeline",
+		poll: 5 * time.Millisecond, flushIdle: 50 * time.Millisecond,
+		batch: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.server.Handler())
+	defer ts.Close()
+
+	// Feed: the same workload the batch study generates, written as rotating
+	// segments while the daemon is already tailing (waybackfeed's behavior).
+	bps, err := scanner.Build(scanner.Config{Seed: seed, Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := telescope.NewSim(telescope.SimConfig{Seed: seed}).Sessions(bps)
+	rw, err := pcapio.NewRotatingWriter(watchDir, "dscope", pcapio.LinkTypeEthernet, 256<<10,
+		pcapio.WithNanoPrecision())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for start := 0; start < len(sessions); start += 500 {
+		end := start + 500
+		if end > len(sessions) {
+			end = len(sessions)
+		}
+		if err := telescope.SessionsToPcap(sessions[start:end], rw, seed); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rw.Files()) < 2 {
+		t.Fatalf("capture fit in %d segment(s); rotation untested", len(rw.Files()))
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+
+	// Wait for ingest lag to reach zero, via the public metrics endpoint.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		_, metrics := get("/metrics")
+		if strings.Contains(metrics, "waybackd_ingest_idle 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ingest never idle:\n%s", metrics)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	code, got := get("/v1/tables/4")
+	if code != http.StatusOK {
+		t.Fatalf("tables/4: %d: %s", code, got)
+	}
+	if got != wantTable4 {
+		t.Errorf("streamed Table 4 differs from batch run:\n--- streamed ---\n%s--- batch ---\n%s", got, wantTable4)
+	}
+
+	// A second fetch must be a cache hit at the same generation.
+	if _, again := get("/v1/tables/4"); again != got {
+		t.Error("repeated fetch differs")
+	}
+	_, metrics := get("/metrics")
+	if !strings.Contains(metrics, "waybackd_cache_hits") || !strings.Contains(metrics, "waybackd_ingest_segments_done") {
+		t.Errorf("metrics incomplete:\n%s", metrics)
+	}
+
+	// Graceful drain; all batch events must have reached the store.
+	if err := d.close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := int(d.pipeline.Metrics().Events); got != len(batch.Events) {
+		t.Errorf("daemon stored %d events, batch found %d", got, len(batch.Events))
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -watch/-store accepted")
+	}
+	if err := run([]string{"-watch", t.TempDir(), "-store", t.TempDir(), "-timelines", "bogus"}); err == nil {
+		t.Error("bogus -timelines accepted")
+	}
+}

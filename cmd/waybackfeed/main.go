@@ -1,0 +1,86 @@
+// Command waybackfeed generates the simulated telescope capture as rotating
+// pcap segments in a watch directory — the traffic source for waybackd. It
+// is the deployment stand-in for a live telescope's packet recorder: same
+// segment naming, same rotation behavior, optionally paced so the daemon
+// genuinely tails a growing capture.
+//
+// Usage:
+//
+//	waybackfeed -dir capture/ [-seed 1] [-scale 50] [-noise 0]
+//	            [-prefix dscope] [-segment-bytes 262144] [-delay 0]
+//
+// With the same seed and scale, waybackd's analyses over this capture match
+// a batch wayback.Study run byte for byte.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/pcapio"
+	"repro/internal/scanner"
+	"repro/internal/telescope"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "waybackfeed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("waybackfeed", flag.ContinueOnError)
+	dir := fs.String("dir", "", "watch directory to write segments into (required)")
+	prefix := fs.String("prefix", "dscope", "segment filename prefix")
+	seed := fs.Int64("seed", 1, "study seed")
+	scale := fs.Int("scale", 50, "event volume divisor (1 = full 115k-event study)")
+	noise := fs.Int("noise", 0, "non-exploit background sessions (0 = one tenth of exploits)")
+	segBytes := fs.Int64("segment-bytes", 256<<10, "rotate segments at this size")
+	delay := fs.Duration("delay", 0, "pause between 100-session chunks (paces the feed for live tailing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+
+	bps, err := scanner.Build(scanner.Config{Seed: *seed, Scale: *scale, Noise: *noise})
+	if err != nil {
+		return err
+	}
+	tel := telescope.NewSim(telescope.SimConfig{Seed: *seed})
+	sessions := tel.Sessions(bps)
+
+	// Nanosecond precision so session start times survive the pcap round
+	// trip exactly — the byte-for-byte table equality depends on it.
+	rw, err := pcapio.NewRotatingWriter(*dir, *prefix, pcapio.LinkTypeEthernet, *segBytes,
+		pcapio.WithNanoPrecision())
+	if err != nil {
+		return err
+	}
+	const chunk = 100
+	for start := 0; start < len(sessions); start += chunk {
+		end := start + chunk
+		if end > len(sessions) {
+			end = len(sessions)
+		}
+		if err := telescope.SessionsToPcap(sessions[start:end], rw, *seed); err != nil {
+			rw.Close()
+			return err
+		}
+		if *delay > 0 && end < len(sessions) {
+			time.Sleep(*delay)
+		}
+	}
+	if err := rw.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d sessions as %d segments under %s\n", len(sessions), len(rw.Files()), *dir)
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pcapio"
+)
+
+func TestFeedWritesReplayableSegments(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-dir", dir, "-seed", "1", "-scale", "500",
+		"-segment-bytes", "32768", "-prefix", "feed",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "feed-*.pcap"))
+	if err != nil || len(files) < 2 {
+		t.Fatalf("wrote %d segments (err %v); rotation untested", len(files), err)
+	}
+	// Every segment must replay cleanly end to end.
+	src, err := pcapio.OpenFiles(files...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	packets := 0
+	for {
+		_, err := src.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			t.Fatalf("after %d packets: %v", packets, err)
+		}
+		packets++
+	}
+	if packets == 0 {
+		t.Fatal("no packets written")
+	}
+	// Deterministic: a second run with the same seed writes identical bytes.
+	dir2 := t.TempDir()
+	if err := run([]string{"-dir", dir2, "-seed", "1", "-scale", "500",
+		"-segment-bytes", "32768", "-prefix", "feed"}); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(filepath.Join(dir2, filepath.Base(files[0])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("same seed produced different capture bytes")
+	}
+
+	if err := run([]string{}); err == nil {
+		t.Error("missing -dir accepted")
+	}
+}

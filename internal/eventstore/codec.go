@@ -1,0 +1,216 @@
+package eventstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"net/netip"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/packet"
+)
+
+// On-disk format. Each shard file is:
+//
+//	8-byte magic "EVLOG\x00\x01\n"
+//	repeated records: u32 payload length | u32 CRC-32 (IEEE) of payload | payload
+//
+// Everything is little-endian. The length prefix plus CRC makes the tail
+// self-describing: on open, the store replays records until the first
+// short, oversized, or corrupt one and truncates the file there — a torn
+// append from a crash costs at most the torn record, never the log.
+//
+// A payload encodes one ids.Event:
+//
+//	i64 sec, u32 nsec            session start (Time)
+//	u8 addrLen, addr bytes, u16 port   source endpoint
+//	u8 addrLen, addr bytes, u16 port   destination endpoint
+//	u32 SID
+//	i64 sec, u32 nsec            rule publication time
+//	u16 len, bytes               CVE
+//	u16 len, bytes               Msg
+//	u32 Bytes
+//
+// Timestamps are (seconds, nanoseconds) rather than UnixNano so the full
+// time.Time range survives — the study ruleset uses a year-2090 sentinel
+// for never-published rules, and zero times must round-trip too.
+
+var fileMagic = [8]byte{'E', 'V', 'L', 'O', 'G', 0x00, 0x01, '\n'}
+
+const (
+	recordFrameLen = 8 // u32 length + u32 crc
+	// maxRecordLen bounds a single record payload; anything larger in a
+	// length prefix is treated as trailing garbage. Msg and CVE are u16-
+	// length strings, so valid payloads are far below this.
+	maxRecordLen = 1 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// appendEvent appends ev's payload encoding to buf.
+func appendEvent(buf []byte, ev *ids.Event) []byte {
+	buf = appendTime(buf, ev.Time)
+	buf = appendEndpoint(buf, ev.Src)
+	buf = appendEndpoint(buf, ev.Dst)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ev.SID))
+	buf = appendTime(buf, ev.Published)
+	buf = appendString16(buf, ev.CVE)
+	buf = appendString16(buf, ev.Msg)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ev.Bytes))
+	return buf
+}
+
+func appendTime(buf []byte, t time.Time) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.Unix()))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Nanosecond()))
+	return buf
+}
+
+func appendEndpoint(buf []byte, e packet.Endpoint) []byte {
+	addr := e.Addr.AsSlice() // nil for the zero Addr
+	buf = append(buf, byte(len(addr)))
+	buf = append(buf, addr...)
+	buf = binary.LittleEndian.AppendUint16(buf, e.Port)
+	return buf
+}
+
+func appendString16(buf []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// decodeEvent decodes one payload. It returns an error (never panics) on
+// any malformed input, since payloads come off disk.
+func decodeEvent(b []byte) (ids.Event, error) {
+	var ev ids.Event
+	d := decoder{b: b}
+	ev.Time = d.time()
+	ev.Src = d.endpoint()
+	ev.Dst = d.endpoint()
+	ev.SID = int(d.u32())
+	ev.Published = d.time()
+	ev.CVE = d.string16()
+	ev.Msg = d.string16()
+	ev.Bytes = int(d.u32())
+	if d.err != nil {
+		return ids.Event{}, d.err
+	}
+	if len(d.b) != 0 {
+		return ids.Event{}, fmt.Errorf("eventstore: %d stray bytes after event", len(d.b))
+	}
+	return ev, nil
+}
+
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b) < n {
+		d.err = fmt.Errorf("eventstore: event payload truncated (%d of %d bytes)", len(d.b), n)
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) time() time.Time {
+	b := d.take(12)
+	if b == nil {
+		return time.Time{}
+	}
+	sec := int64(binary.LittleEndian.Uint64(b[0:8]))
+	nsec := binary.LittleEndian.Uint32(b[8:12])
+	return time.Unix(sec, int64(nsec)).UTC()
+}
+
+func (d *decoder) endpoint() packet.Endpoint {
+	lb := d.take(1)
+	if lb == nil {
+		return packet.Endpoint{}
+	}
+	n := int(lb[0])
+	var ep packet.Endpoint
+	if n > 0 {
+		ab := d.take(n)
+		if ab == nil {
+			return packet.Endpoint{}
+		}
+		addr, ok := netip.AddrFromSlice(ab)
+		if !ok {
+			d.err = fmt.Errorf("eventstore: bad address length %d", n)
+			return packet.Endpoint{}
+		}
+		ep.Addr = addr
+	}
+	ep.Port = d.u16()
+	return ep
+}
+
+func (d *decoder) string16() string {
+	n := int(d.u16())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// appendFrame appends a length+CRC framed record to buf.
+func appendFrame(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
+	return append(buf, payload...)
+}
+
+// scanFrames walks framed records in b, calling fn for each intact payload.
+// It returns the byte offset of the first incomplete or corrupt frame —
+// the truncation point for crash recovery — and whether the whole buffer
+// was clean.
+func scanFrames(b []byte, fn func(payload []byte) error) (good int, clean bool, err error) {
+	off := 0
+	for {
+		if len(b)-off < recordFrameLen {
+			return off, len(b) == off, nil
+		}
+		length := binary.LittleEndian.Uint32(b[off : off+4])
+		sum := binary.LittleEndian.Uint32(b[off+4 : off+8])
+		if length > maxRecordLen || len(b)-off-recordFrameLen < int(length) {
+			return off, false, nil
+		}
+		payload := b[off+recordFrameLen : off+recordFrameLen+int(length)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return off, false, nil
+		}
+		if err := fn(payload); err != nil {
+			return off, false, err
+		}
+		off += recordFrameLen + int(length)
+	}
+}

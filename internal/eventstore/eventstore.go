@@ -1,0 +1,412 @@
+// Package eventstore is the daemon's incremental event log: a sharded,
+// append-only binary store of IDS exploit events (ids.Event) that survives
+// crashes and serves consistent point-in-time snapshots while appends
+// continue.
+//
+// Design:
+//
+//   - Events are routed to a shard by their CVE (falling back to SID), so
+//     one CVE's history lives in one shard file and per-CVE queries touch a
+//     single log.
+//   - Each shard file is length-prefixed, CRC-checked records behind a
+//     magic header. Opening a store replays every shard and truncates
+//     trailing garbage — a torn append costs the torn record, nothing else.
+//   - Readers never block writers and vice versa: each shard publishes its
+//     event slice through an atomic pointer, and appends extend the slice
+//     before republishing, so a reader's view is an immutable prefix.
+//   - Every append bumps a store-wide generation. Snapshot() materializes
+//     (and caches, keyed by generation) a merged, time-ordered view —
+//     downstream analyses and the HTTP layer key their own caches off the
+//     same generation, so nothing is recomputed until new data lands.
+package eventstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ids"
+)
+
+// Options tunes a store.
+type Options struct {
+	// Shards is the number of shard files. Zero means 4. The count is
+	// sticky: it is recorded on first open and reused (a mismatch is an
+	// error, since routing depends on it).
+	Shards int
+	// SyncEvery forces an fsync after every n appended batches. Zero
+	// disables periodic syncs (Close still syncs); crash-safety then means
+	// "no corruption", not "no loss of the last moments".
+	SyncEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards == 0 {
+		o.Shards = 4
+	}
+	return o
+}
+
+// Store is an on-disk event log open for appending and querying.
+type Store struct {
+	dir    string
+	opts   Options
+	shards []*shard
+	gen    atomic.Uint64
+
+	appended atomic.Uint64 // batches since last sync
+
+	snapMu sync.Mutex
+	snap   atomic.Pointer[Snapshot]
+
+	closeMu sync.Mutex
+	closed  bool
+}
+
+type shard struct {
+	mu     sync.Mutex
+	f      *os.File
+	size   int64
+	events atomic.Pointer[[]ids.Event]
+}
+
+// Open opens (creating if needed) the store in dir and recovers every
+// shard, truncating any torn tail left by a crash.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := checkShardCount(dir, &opts); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts}
+	for i := 0; i < opts.Shards; i++ {
+		sh, n, err := openShard(filepath.Join(dir, shardName(i)))
+		if err != nil {
+			for _, prev := range s.shards {
+				prev.f.Close()
+			}
+			return nil, err
+		}
+		s.shards = append(s.shards, sh)
+		if n > 0 {
+			s.gen.Add(1) // recovered data is generation 1+
+		}
+	}
+	return s, nil
+}
+
+func shardName(i int) string { return fmt.Sprintf("events-%02d.log", i) }
+
+// checkShardCount pins the shard count in a marker file so reopening with a
+// different Options.Shards (which would misroute CVEs) fails loudly.
+func checkShardCount(dir string, opts *Options) error {
+	marker := filepath.Join(dir, "SHARDS")
+	b, err := os.ReadFile(marker)
+	if os.IsNotExist(err) {
+		return os.WriteFile(marker, []byte(strconv.Itoa(opts.Shards)+"\n"), 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	n, convErr := strconv.Atoi(string(trimNL(b)))
+	if convErr != nil || n <= 0 {
+		return fmt.Errorf("eventstore: corrupt shard marker %q in %s", b, dir)
+	}
+	if n != opts.Shards {
+		return fmt.Errorf("eventstore: store %s has %d shards, opened with %d", dir, n, opts.Shards)
+	}
+	return nil
+}
+
+func trimNL(b []byte) []byte {
+	for len(b) > 0 && (b[len(b)-1] == '\n' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// openShard reads one shard file, truncates trailing garbage, and leaves
+// the handle positioned for appends. It returns the recovered event count.
+func openShard(path string) (*shard, int, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	var events []ids.Event
+	var size int64
+	switch {
+	case len(raw) == 0:
+		if _, err := f.Write(fileMagic[:]); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+		size = int64(len(fileMagic))
+	case len(raw) < len(fileMagic) || [8]byte(raw[:8]) != fileMagic:
+		f.Close()
+		return nil, 0, fmt.Errorf("eventstore: %s is not an event log", path)
+	default:
+		good, _, err := scanFrames(raw[len(fileMagic):], func(payload []byte) error {
+			ev, err := decodeEvent(payload)
+			if err != nil {
+				return err
+			}
+			events = append(events, ev)
+			return nil
+		})
+		if err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("eventstore: %s: %w", path, err)
+		}
+		size = int64(len(fileMagic) + good)
+		if size < int64(len(raw)) {
+			// Torn tail from a crash: drop it.
+			if err := f.Truncate(size); err != nil {
+				f.Close()
+				return nil, 0, err
+			}
+		}
+	}
+	if _, err := f.Seek(size, 0); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	sh := &shard{f: f, size: size}
+	sh.events.Store(&events)
+	return sh, len(events), nil
+}
+
+// shardFor routes an event: by CVE when attributed, by SID otherwise.
+func (s *Store) shardFor(ev *ids.Event) int {
+	h := fnv.New32a()
+	if ev.CVE != "" {
+		h.Write([]byte(ev.CVE))
+	} else {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(uint64(ev.SID) >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// Append appends one event. See AppendBatch.
+func (s *Store) Append(ev ids.Event) error { return s.AppendBatch([]ids.Event{ev}) }
+
+// AppendBatch durably appends a batch of events (one generation bump for
+// the whole batch). Events within the batch keep their order within each
+// shard. Concurrent AppendBatch calls are safe; concurrent snapshots never
+// block on them.
+func (s *Store) AppendBatch(events []ids.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	groups := make(map[int][]ids.Event)
+	for i := range events {
+		si := s.shardFor(&events[i])
+		groups[si] = append(groups[si], events[i])
+	}
+	for si, group := range groups {
+		if err := s.shards[si].append(group); err != nil {
+			return err
+		}
+	}
+	s.gen.Add(1)
+	if n := s.opts.SyncEvery; n > 0 && s.appended.Add(1)%uint64(n) == 0 {
+		if err := s.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sh *shard) append(events []ids.Event) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var buf []byte
+	var payload []byte
+	for i := range events {
+		payload = appendEvent(payload[:0], &events[i])
+		buf = appendFrame(buf, payload)
+	}
+	if _, err := sh.f.Write(buf); err != nil {
+		return fmt.Errorf("eventstore: appending: %w", err)
+	}
+	sh.size += int64(len(buf))
+	// Publish to readers: extending the slice only ever writes past every
+	// published length, so holders of older headers see a stable prefix.
+	cur := *sh.events.Load()
+	next := append(cur, events...)
+	sh.events.Store(&next)
+	return nil
+}
+
+// Generation returns the current store generation. It changes exactly when
+// new data lands, so it is a complete cache key for derived results.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
+
+// Len returns the number of stored events.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += len(*sh.events.Load())
+	}
+	return n
+}
+
+// SizeBytes returns the total on-disk size of the shard logs.
+func (s *Store) SizeBytes() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.size
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Sync fsyncs every shard file.
+func (s *Store) Sync() error {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		err := sh.f.Sync()
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the shard files. The store must not be used
+// afterwards.
+func (s *Store) Close() error {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if err := sh.f.Sync(); err != nil && first == nil {
+			first = err
+		}
+		if err := sh.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		sh.mu.Unlock()
+	}
+	return first
+}
+
+// Snapshot returns a consistent point-in-time view of the store. Snapshots
+// are cheap when nothing changed (the previous one is reused) and immutable
+// forever; appends after the call are invisible to it.
+func (s *Store) Snapshot() *Snapshot {
+	if sn := s.snap.Load(); sn != nil && sn.gen == s.gen.Load() {
+		return sn
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	for {
+		gen := s.gen.Load()
+		if sn := s.snap.Load(); sn != nil && sn.gen == gen {
+			return sn
+		}
+		parts := make([][]ids.Event, len(s.shards))
+		total := 0
+		for i, sh := range s.shards {
+			parts[i] = *sh.events.Load()
+			total += len(parts[i])
+		}
+		if s.gen.Load() != gen {
+			continue // an append raced the reads; retry for a stable view
+		}
+		merged := make([]ids.Event, 0, total)
+		for _, p := range parts {
+			merged = append(merged, p...)
+		}
+		sort.SliceStable(merged, func(i, j int) bool {
+			a, b := &merged[i], &merged[j]
+			if !a.Time.Equal(b.Time) {
+				return a.Time.Before(b.Time)
+			}
+			if a.SID != b.SID {
+				return a.SID < b.SID
+			}
+			if a.Src.Addr != b.Src.Addr {
+				return a.Src.Addr.Less(b.Src.Addr)
+			}
+			return a.Src.Port < b.Src.Port
+		})
+		sn := &Snapshot{gen: gen, events: merged}
+		s.snap.Store(sn)
+		return sn
+	}
+}
+
+// Snapshot is an immutable, time-ordered view of the store at one
+// generation.
+type Snapshot struct {
+	gen    uint64
+	events []ids.Event
+
+	once  sync.Once
+	byCVE map[string][]ids.Event
+}
+
+// Generation identifies the store state this snapshot reflects.
+func (sn *Snapshot) Generation() uint64 { return sn.gen }
+
+// Len returns the number of events in the snapshot.
+func (sn *Snapshot) Len() int { return len(sn.events) }
+
+// Events returns the full time-ordered event slice. Callers must treat it
+// as read-only; it is shared by every user of the snapshot.
+func (sn *Snapshot) Events() []ids.Event { return sn.events }
+
+// CVE returns the events attributed to one CVE (in "YYYY-NNNN" form), in
+// time order. The per-CVE index is built lazily on first use.
+func (sn *Snapshot) CVE(cve string) []ids.Event {
+	sn.index()
+	return sn.byCVE[cve]
+}
+
+// CVEs returns the attributed CVE identifiers present, sorted.
+func (sn *Snapshot) CVEs() []string {
+	sn.index()
+	out := make([]string, 0, len(sn.byCVE))
+	for cve := range sn.byCVE {
+		out = append(out, cve)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (sn *Snapshot) index() {
+	sn.once.Do(func() {
+		sn.byCVE = make(map[string][]ids.Event)
+		for i := range sn.events {
+			if cve := sn.events[i].CVE; cve != "" {
+				sn.byCVE[cve] = append(sn.byCVE[cve], sn.events[i])
+			}
+		}
+	})
+}

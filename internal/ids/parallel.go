@@ -32,22 +32,9 @@ func MatchSessionsParallel(sessions []tcpasm.Session, e *Engine, stats *ScanStat
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				s := &sessions[i]
-				m, ok := e.Earliest(s)
+				ev, ok := matchSession(&sessions[i], e)
 				if !ok {
 					continue
-				}
-				ev := Event{
-					Time:      s.Start,
-					Src:       s.Client,
-					Dst:       s.Server,
-					SID:       m.SID,
-					Published: m.Published,
-					Msg:       m.Rule.Rule.Msg,
-					Bytes:     len(s.ClientData),
-				}
-				if len(m.CVEs) > 0 {
-					ev.CVE = m.CVEs[0]
 				}
 				slots[i] = slot{ev: ev, ok: true}
 			}
@@ -65,19 +52,6 @@ func MatchSessionsParallel(sessions []tcpasm.Session, e *Engine, stats *ScanStat
 			events = append(events, slots[i].ev)
 		}
 	}
-	if stats != nil {
-		stats.Sessions = len(sessions)
-		stats.MatchedEvents = len(events)
-		cves := map[string]struct{}{}
-		srcs := map[string]struct{}{}
-		for i := range events {
-			if events[i].CVE != "" {
-				cves[events[i].CVE] = struct{}{}
-			}
-			srcs[events[i].Src.Addr.String()] = struct{}{}
-		}
-		stats.DistinctCVEs = len(cves)
-		stats.DistinctSrcIPs = len(srcs)
-	}
+	setMatchStats(stats, len(sessions), events)
 	return events
 }

@@ -78,37 +78,37 @@ func ScanCapture(r pcapio.PacketSource, e *Engine) ([]Event, ScanStats, error) {
 // MatchSessions evaluates sessions against the engine. stats may be nil.
 func MatchSessions(sessions []tcpasm.Session, e *Engine, stats *ScanStats) []Event {
 	var events []Event
-	cves := map[string]struct{}{}
-	srcs := map[packet.Endpoint]struct{}{}
 	for i := range sessions {
 		s := &sessions[i]
-		m, ok := e.Earliest(s)
+		ev, ok := matchSession(s, e)
 		if !ok {
 			continue
 		}
-		ev := Event{
-			Time:      s.Start,
-			Src:       s.Client,
-			Dst:       s.Server,
-			SID:       m.SID,
-			Published: m.Published,
-			Msg:       m.Rule.Rule.Msg,
-			Bytes:     len(s.ClientData),
-		}
-		if len(m.CVEs) > 0 {
-			ev.CVE = m.CVEs[0]
-		}
 		events = append(events, ev)
-		if ev.CVE != "" {
-			cves[ev.CVE] = struct{}{}
-		}
-		srcs[packet.Endpoint{Addr: s.Client.Addr}] = struct{}{}
 	}
-	if stats != nil {
-		stats.Sessions = len(sessions)
-		stats.MatchedEvents = len(events)
-		stats.DistinctCVEs = len(cves)
-		stats.DistinctSrcIPs = len(srcs)
-	}
+	setMatchStats(stats, len(sessions), events)
 	return events
+}
+
+// matchSession evaluates one session, returning its attributed event when a
+// rule fires. Both the serial and parallel paths build events here, so the
+// attribution (earliest-published rule, primary CVE) cannot diverge.
+func matchSession(s *tcpasm.Session, e *Engine) (Event, bool) {
+	m, ok := e.Earliest(s)
+	if !ok {
+		return Event{}, false
+	}
+	ev := Event{
+		Time:      s.Start,
+		Src:       s.Client,
+		Dst:       s.Server,
+		SID:       m.SID,
+		Published: m.Published,
+		Msg:       m.Rule.Rule.Msg,
+		Bytes:     len(s.ClientData),
+	}
+	if len(m.CVEs) > 0 {
+		ev.CVE = m.CVEs[0]
+	}
+	return ev, true
 }

@@ -1,0 +1,63 @@
+package ids
+
+import "net/netip"
+
+// StatsBuilder accumulates ScanStats incrementally. It is the one shared
+// aggregation used by MatchSessions, MatchSessionsParallel, and the
+// streaming ingest pipeline, so the three paths cannot drift: a session
+// counts once, an event counts once, and distinct CVEs and source
+// addresses are deduplicated across every batch fed to the builder.
+type StatsBuilder struct {
+	sessions int
+	matched  int
+	cves     map[string]struct{}
+	srcs     map[netip.Addr]struct{}
+}
+
+// NewStatsBuilder returns an empty builder.
+func NewStatsBuilder() *StatsBuilder {
+	return &StatsBuilder{
+		cves: make(map[string]struct{}),
+		srcs: make(map[netip.Addr]struct{}),
+	}
+}
+
+// AddSessions records n scanned sessions (matched or not).
+func (b *StatsBuilder) AddSessions(n int) { b.sessions += n }
+
+// AddEvents folds a batch of attributed events into the totals.
+func (b *StatsBuilder) AddEvents(events []Event) {
+	b.matched += len(events)
+	for i := range events {
+		if events[i].CVE != "" {
+			b.cves[events[i].CVE] = struct{}{}
+		}
+		b.srcs[events[i].Src.Addr] = struct{}{}
+	}
+}
+
+// Stats returns the aggregate. The builder remains usable afterwards.
+func (b *StatsBuilder) Stats() ScanStats {
+	return ScanStats{
+		Sessions:       b.sessions,
+		MatchedEvents:  b.matched,
+		DistinctCVEs:   len(b.cves),
+		DistinctSrcIPs: len(b.srcs),
+	}
+}
+
+// setMatchStats fills the match-derived fields of stats (leaving the
+// capture-derived Packets and DecodeErrors untouched). stats may be nil.
+func setMatchStats(stats *ScanStats, sessions int, events []Event) {
+	if stats == nil {
+		return
+	}
+	b := NewStatsBuilder()
+	b.AddSessions(sessions)
+	b.AddEvents(events)
+	agg := b.Stats()
+	stats.Sessions = agg.Sessions
+	stats.MatchedEvents = agg.MatchedEvents
+	stats.DistinctCVEs = agg.DistinctCVEs
+	stats.DistinctSrcIPs = agg.DistinctSrcIPs
+}

@@ -1,0 +1,554 @@
+// Package ingest is the daemon's streaming capture pipeline: it tails a
+// directory of rotating pcap segments as a telescope writes them,
+// incrementally reassembles TCP sessions, evaluates them against the dated
+// IDS ruleset in bounded batches, and appends the attributed events to an
+// eventstore — the continuous counterpart of the one-shot ids.ScanCapture
+// batch path, producing the identical event set for the same capture.
+//
+// Shape:
+//
+//	tailer goroutine:  segments -> decode -> tcpasm -> session batches
+//	matcher goroutine: batches  -> ids.MatchSessionsParallel -> store
+//
+// The two stages are joined by a bounded channel, so a slow matcher
+// backpressures the tailer instead of buffering unboundedly. The matcher is
+// a single goroutine (parallelism lives inside MatchSessionsParallel), so
+// events reach the store in session order. Close drains: everything already
+// on disk is consumed, open connections are flushed, the final batches are
+// matched and appended, then the goroutines exit.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/eventstore"
+	"repro/internal/ids"
+	"repro/internal/packet"
+	"repro/internal/pcapio"
+	"repro/internal/tcpasm"
+)
+
+// Config wires a Pipeline.
+type Config struct {
+	// Dir is the watch directory; Prefix the rotating-segment prefix
+	// (RotatingWriter naming: prefix-000001.pcap). Prefix defaults to
+	// "dscope".
+	Dir    string
+	Prefix string
+	// Engine evaluates sessions; Store receives the events. Both required.
+	Engine *ids.Engine
+	Store  *eventstore.Store
+	// PollInterval is how often the tailer re-checks for new bytes when it
+	// has caught up. Zero means 100ms.
+	PollInterval time.Duration
+	// FlushIdle flushes still-open connections after the watch directory
+	// has been quiet for this long (wall clock) — sessions that will never
+	// see a FIN still reach the IDS. Zero means 2s.
+	FlushIdle time.Duration
+	// BatchSessions is the target sessions per match batch. Zero means 256.
+	BatchSessions int
+	// QueueDepth bounds the batches in flight between tailer and matcher.
+	// Zero means 4.
+	QueueDepth int
+	// MatchWorkers is passed to ids.MatchSessionsParallel. Zero selects
+	// GOMAXPROCS.
+	MatchWorkers int
+	// Assembler tunes TCP reassembly (stream caps, idle horizon in capture
+	// time).
+	Assembler tcpasm.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Prefix == "" {
+		c.Prefix = "dscope"
+	}
+	if c.PollInterval == 0 {
+		c.PollInterval = 100 * time.Millisecond
+	}
+	if c.FlushIdle == 0 {
+		c.FlushIdle = 2 * time.Second
+	}
+	if c.BatchSessions == 0 {
+		c.BatchSessions = 256
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4
+	}
+	return c
+}
+
+// Metrics is a point-in-time view of pipeline progress, the numbers behind
+// the daemon's /metrics endpoint.
+type Metrics struct {
+	// Counters since start.
+	Packets      uint64
+	DecodeErrors uint64
+	Sessions     uint64
+	Events       uint64
+	Batches      uint64
+	SegmentsDone uint64
+	SkippedBytes uint64 // trailing garbage in completed segments
+	// Gauges.
+	OpenConns       int   // connections still assembling
+	PendingSessions int   // assembled sessions not yet handed to the matcher
+	QueuedBatches   int   // batches waiting for the matcher
+	PendingBytes    int64 // capture bytes on disk not yet consumed
+	// LastBatchLatency is the match+append time of the most recent batch.
+	LastBatchLatency time.Duration
+}
+
+// Lag is the total unprocessed backlog: bytes on disk plus work buffered
+// inside the pipeline, in rough units of "things left to do". Zero means
+// every byte written so far has flowed through to the store.
+func (m Metrics) Lag() int64 {
+	return m.PendingBytes + int64(m.OpenConns) + int64(m.PendingSessions) + int64(m.QueuedBatches)
+}
+
+// Idle reports whether the pipeline has fully caught up with the on-disk
+// capture: nothing pending at any stage.
+func (m Metrics) Idle() bool { return m.Lag() == 0 }
+
+// Pipeline is a running ingest pipeline.
+type Pipeline struct {
+	cfg Config
+	asm *tcpasm.Assembler
+
+	batchCh chan []tcpasm.Session
+	stop    chan struct{}
+	tailerD chan struct{}
+	matchD  chan struct{}
+
+	packets      atomic.Uint64
+	decodeErrs   atomic.Uint64
+	sessions     atomic.Uint64
+	events       atomic.Uint64
+	shipped      atomic.Uint64 // batches handed to the matcher
+	batches      atomic.Uint64 // batches fully matched and appended
+	segmentsDone atomic.Uint64
+	skippedBytes atomic.Uint64
+	openConns    atomic.Int64
+	pendingSess  atomic.Int64
+	consumed     atomic.Int64 // bytes consumed across all segments
+	lastBatchNs  atomic.Int64
+
+	errMu    sync.Mutex
+	firstErr error
+
+	ckptMu    sync.Mutex
+	finalCkpt checkpoint
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Start begins tailing. The returned Pipeline runs until Close.
+func Start(cfg Config) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Engine == nil || cfg.Store == nil {
+		return nil, errors.New("ingest: Config needs Engine and Store")
+	}
+	if cfg.Dir == "" {
+		return nil, errors.New("ingest: Config needs a watch Dir")
+	}
+	if _, err := os.Stat(cfg.Dir); err != nil {
+		return nil, fmt.Errorf("ingest: watch dir: %w", err)
+	}
+	p := &Pipeline{
+		cfg:     cfg,
+		asm:     tcpasm.NewAssembler(cfg.Assembler),
+		batchCh: make(chan []tcpasm.Session, cfg.QueueDepth),
+		stop:    make(chan struct{}),
+		tailerD: make(chan struct{}),
+		matchD:  make(chan struct{}),
+	}
+	go p.tailer()
+	go p.matcher()
+	return p, nil
+}
+
+// Err returns the first fatal pipeline error (store append failure,
+// unreadable segment), or nil.
+func (p *Pipeline) Err() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.firstErr
+}
+
+func (p *Pipeline) fail(err error) {
+	p.errMu.Lock()
+	if p.firstErr == nil {
+		p.firstErr = err
+	}
+	p.errMu.Unlock()
+}
+
+// Close drains and stops the pipeline: all bytes already on disk are
+// consumed, open connections flush, and the final events land in the store
+// before Close returns. Safe to call more than once.
+func (p *Pipeline) Close() error {
+	p.closeOnce.Do(func() {
+		close(p.stop)
+		<-p.tailerD
+		<-p.matchD
+		// Every drained event is now appended; record the resume position.
+		p.ckptMu.Lock()
+		ck := p.finalCkpt
+		p.ckptMu.Unlock()
+		if err := p.saveCheckpoint(ck); err != nil {
+			p.fail(err)
+		}
+		p.closeErr = p.Err()
+	})
+	return p.closeErr
+}
+
+// Metrics returns a consistent-enough view of pipeline progress. The
+// PendingBytes gauge stats the watch directory, so it reflects writers that
+// appended after the last poll.
+func (p *Pipeline) Metrics() Metrics {
+	m := Metrics{
+		Packets:          p.packets.Load(),
+		DecodeErrors:     p.decodeErrs.Load(),
+		Sessions:         p.sessions.Load(),
+		Events:           p.events.Load(),
+		Batches:          p.batches.Load(),
+		SegmentsDone:     p.segmentsDone.Load(),
+		SkippedBytes:     p.skippedBytes.Load(),
+		OpenConns:        int(p.openConns.Load()),
+		PendingSessions:  int(p.pendingSess.Load()),
+		LastBatchLatency: time.Duration(p.lastBatchNs.Load()),
+	}
+	// Loading done before shipped keeps the difference non-negative; the
+	// counter pair (rather than len(batchCh)) also covers the batch the
+	// matcher is working on right now.
+	done := p.batches.Load()
+	m.QueuedBatches = int(p.shipped.Load() - done)
+	var onDisk int64
+	if segs, err := pcapio.Segments(p.cfg.Dir, p.cfg.Prefix); err == nil {
+		for _, seg := range segs {
+			if info, err := os.Stat(seg); err == nil {
+				onDisk += info.Size()
+			}
+		}
+	}
+	if pending := onDisk - p.consumed.Load(); pending > 0 {
+		m.PendingBytes = pending
+	}
+	return m
+}
+
+// tailState tracks the tailer's position in the segment sequence.
+type tailState struct {
+	segIdx  int
+	file    *os.File
+	tail    *pcapio.TailReader
+	path    string
+	lastOff int64
+	lastTS  time.Time
+	pending []tcpasm.Session
+	ckpt    checkpoint
+}
+
+// checkpoint records a clean-drain ingest position: every segment sorting
+// before Segment is fully consumed, and Segment itself is consumed through
+// Offset. Written only after a drain — when the assembler is flushed and
+// every resulting event is in the store — so resuming from it is exact.
+// After a hard crash the previous checkpoint stands, and the capture since
+// then is re-ingested (events from it appear again).
+type checkpoint struct {
+	Segment string // basename of the last segment read
+	Offset  int64  // bytes of it consumed
+}
+
+// checkpointPath keeps the position alongside the store's own durable
+// state, one file per watch prefix.
+func (p *Pipeline) checkpointPath() string {
+	return filepath.Join(p.cfg.Store.Dir(), "INGEST-"+p.cfg.Prefix)
+}
+
+func (p *Pipeline) loadCheckpoint() (checkpoint, bool) {
+	b, err := os.ReadFile(p.checkpointPath())
+	if err != nil {
+		return checkpoint{}, false
+	}
+	seg, offStr, ok := strings.Cut(strings.TrimSpace(string(b)), " ")
+	if !ok {
+		return checkpoint{}, false
+	}
+	off, err := strconv.ParseInt(offStr, 10, 64)
+	if err != nil || seg == "" || off < 0 {
+		return checkpoint{}, false
+	}
+	return checkpoint{Segment: seg, Offset: off}, true
+}
+
+func (p *Pipeline) saveCheckpoint(ck checkpoint) error {
+	if ck.Segment == "" {
+		return nil
+	}
+	path := p.checkpointPath()
+	tmp := path + ".tmp"
+	data := fmt.Sprintf("%s %d\n", ck.Segment, ck.Offset)
+	if err := os.WriteFile(tmp, []byte(data), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// restore positions the tailer at the stored checkpoint: fully-consumed
+// segments are skipped outright, and the checkpointed segment is fast-
+// forwarded record by record without feeding the assembler (its sessions
+// already flowed to the store during the drain that wrote the checkpoint).
+func (p *Pipeline) restore(st *tailState) error {
+	ck, ok := p.loadCheckpoint()
+	if !ok {
+		return nil
+	}
+	segs, err := pcapio.Segments(p.cfg.Dir, p.cfg.Prefix)
+	if err != nil {
+		return err
+	}
+	idx := -1
+	for i, seg := range segs {
+		if filepath.Base(seg) == ck.Segment {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		// The checkpointed segment is gone (rotated away, or a fresh watch
+		// dir): nothing to resume against, ingest from the beginning.
+		return nil
+	}
+	for i := 0; i < idx; i++ {
+		if info, err := os.Stat(segs[i]); err == nil {
+			p.consumed.Add(info.Size())
+		}
+	}
+	st.segIdx = idx
+	st.path = segs[idx]
+	f, err := os.Open(st.path)
+	if err != nil {
+		return err
+	}
+	st.file = f
+	st.tail = pcapio.NewTailReader(f)
+	for st.tail.Offset() < ck.Offset {
+		if _, err := st.tail.Next(); err != nil {
+			if err == io.EOF {
+				break // segment shrank or checkpoint past EOF; resume here
+			}
+			f.Close()
+			st.file, st.tail = nil, nil
+			return fmt.Errorf("ingest: resuming %s: %w", st.path, err)
+		}
+	}
+	st.lastOff = st.tail.Offset()
+	p.consumed.Add(st.lastOff)
+	return nil
+}
+
+func (p *Pipeline) tailer() {
+	defer close(p.tailerD)
+	defer close(p.batchCh)
+	st := &tailState{}
+	defer func() {
+		if st.file != nil {
+			st.file.Close()
+		}
+	}()
+	if err := p.restore(st); err != nil {
+		p.fail(err)
+		p.drain(st)
+		return
+	}
+	lastProgress := time.Now()
+	for {
+		select {
+		case <-p.stop:
+			p.drain(st)
+			return
+		default:
+		}
+		progress, err := p.pump(st, false)
+		if err != nil {
+			p.fail(err)
+			p.drain(st)
+			return
+		}
+		if progress {
+			lastProgress = time.Now()
+			continue
+		}
+		// Caught up. If the directory has been quiet long enough, flush
+		// connections idling in the assembler and ship even a partial
+		// batch — neither should be held hostage by a stalled writer.
+		if time.Since(lastProgress) >= p.cfg.FlushIdle {
+			if p.asm.OpenConns() > 0 {
+				p.emit(st, p.asm.Flush)
+			}
+			p.flushPending(st, 0)
+		}
+		select {
+		case <-p.stop:
+			p.drain(st)
+			return
+		case <-time.After(p.cfg.PollInterval):
+		}
+	}
+}
+
+// drain consumes every byte already on disk, flushes the assembler, and
+// ships all remaining sessions.
+func (p *Pipeline) drain(st *tailState) {
+	for {
+		progress, err := p.pump(st, true)
+		if err != nil {
+			p.fail(err)
+			break
+		}
+		if !progress {
+			break
+		}
+	}
+	p.emit(st, p.asm.Flush)
+	p.flushPending(st, 0)
+	// The assembler is empty and every session has been handed to the
+	// matcher; once the matcher also drains (Close waits for it before
+	// writing the checkpoint), this position is safe to resume from.
+	p.ckptMu.Lock()
+	p.finalCkpt = st.ckpt
+	p.ckptMu.Unlock()
+}
+
+// pump consumes currently-available records, feeding the assembler and
+// emitting full batches. It reports whether any byte of progress was made.
+// During final drain the last segment is treated as complete.
+func (p *Pipeline) pump(st *tailState, draining bool) (bool, error) {
+	segs, err := pcapio.Segments(p.cfg.Dir, p.cfg.Prefix)
+	if err != nil {
+		return false, err
+	}
+	if st.tail == nil {
+		if st.segIdx >= len(segs) {
+			return false, nil
+		}
+		st.path = segs[st.segIdx]
+		f, err := os.Open(st.path)
+		if err != nil {
+			return false, err
+		}
+		st.file = f
+		st.tail = pcapio.NewTailReader(f)
+		st.lastOff = 0
+	}
+	progress := false
+	caughtUp := false
+	for n := 0; n < 8192; n++ {
+		pkt, err := st.tail.Next()
+		if err == io.EOF {
+			caughtUp = true
+			break
+		}
+		if err != nil {
+			return progress, fmt.Errorf("ingest: %s: %w", st.path, err)
+		}
+		p.packets.Add(1)
+		st.lastTS = pkt.Timestamp
+		dec, err := packet.Decode(pkt.Data)
+		if err != nil {
+			p.decodeErrs.Add(1)
+			continue
+		}
+		p.asm.Feed(pkt.Timestamp, dec)
+	}
+	if off := st.tail.Offset(); off > st.lastOff {
+		p.consumed.Add(off - st.lastOff)
+		st.lastOff = off
+		progress = true
+	}
+	st.ckpt = checkpoint{Segment: filepath.Base(st.path), Offset: st.lastOff}
+	// Segment completion: the writer has moved on once a newer segment
+	// exists (RotatingWriter appends only to the newest); during the final
+	// drain the last segment is complete by definition. Only then does a
+	// remainder past the last whole record mean a torn tail (writer crash)
+	// rather than an in-flight append — skip it, the way the eventstore
+	// truncates garbage on open.
+	complete := st.segIdx+1 < len(segs) || draining
+	if caughtUp && complete {
+		if rem, err := st.tail.Remainder(); err == nil && rem > 0 {
+			p.skippedBytes.Add(uint64(rem))
+			p.consumed.Add(rem)
+			st.ckpt.Offset += rem
+		}
+		st.file.Close()
+		st.file, st.tail = nil, nil
+		p.segmentsDone.Add(1)
+		st.segIdx++
+		if st.segIdx < len(segs) {
+			progress = true // a further segment is ready right now
+		}
+	}
+	// Hand completed sessions downstream.
+	if !st.lastTS.IsZero() {
+		p.emit(st, func() { p.asm.Advance(st.lastTS) })
+	}
+	return progress, nil
+}
+
+// emit runs fn (an assembler state change), collects completed sessions,
+// and ships any full batches.
+func (p *Pipeline) emit(st *tailState, fn func()) {
+	fn()
+	sessions := p.asm.Sessions()
+	if len(sessions) > 0 {
+		p.sessions.Add(uint64(len(sessions)))
+		st.pending = append(st.pending, sessions...)
+		p.pendingSess.Store(int64(len(st.pending)))
+	}
+	p.openConns.Store(int64(p.asm.OpenConns()))
+	p.flushPending(st, p.cfg.BatchSessions)
+}
+
+// flushPending ships batches while at least min sessions are pending (min 0
+// ships everything). The send blocks when the matcher is behind — that is
+// the backpressure.
+func (p *Pipeline) flushPending(st *tailState, min int) {
+	for len(st.pending) > 0 && len(st.pending) >= min {
+		n := p.cfg.BatchSessions
+		if n > len(st.pending) {
+			n = len(st.pending)
+		}
+		batch := make([]tcpasm.Session, n)
+		copy(batch, st.pending[:n])
+		st.pending = st.pending[n:]
+		p.pendingSess.Store(int64(len(st.pending)))
+		p.shipped.Add(1)
+		p.batchCh <- batch
+	}
+}
+
+func (p *Pipeline) matcher() {
+	defer close(p.matchD)
+	for batch := range p.batchCh {
+		start := time.Now()
+		events := ids.MatchSessionsParallel(batch, p.cfg.Engine, nil, p.cfg.MatchWorkers)
+		if len(events) > 0 {
+			if err := p.cfg.Store.AppendBatch(events); err != nil {
+				p.fail(err)
+			}
+			p.events.Add(uint64(len(events)))
+		}
+		p.batches.Add(1)
+		p.lastBatchNs.Store(int64(time.Since(start)))
+	}
+}

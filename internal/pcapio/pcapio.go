@@ -136,6 +136,40 @@ type Reader struct {
 	linkType uint32
 }
 
+// fileHeader is a parsed classic-pcap file header, shared between the
+// buffered Reader and the incremental TailReader.
+type fileHeader struct {
+	order    binary.ByteOrder
+	nano     bool
+	snaplen  uint32
+	linkType uint32
+}
+
+// parseFileHeader decodes the 24-byte classic pcap file header.
+func parseFileHeader(hdr []byte) (fileHeader, error) {
+	var fh fileHeader
+	magicLE := binary.LittleEndian.Uint32(hdr[0:4])
+	magicBE := binary.BigEndian.Uint32(hdr[0:4])
+	switch {
+	case magicLE == magicMicro:
+		fh.order = binary.LittleEndian
+	case magicLE == magicNano:
+		fh.order, fh.nano = binary.LittleEndian, true
+	case magicBE == magicMicro:
+		fh.order = binary.BigEndian
+	case magicBE == magicNano:
+		fh.order, fh.nano = binary.BigEndian, true
+	default:
+		return fh, fmt.Errorf("%w: magic 0x%08x", ErrBadMagic, magicLE)
+	}
+	if major := fh.order.Uint16(hdr[4:6]); major != versionMajor {
+		return fh, fmt.Errorf("pcapio: unsupported version %d.%d", major, fh.order.Uint16(hdr[6:8]))
+	}
+	fh.snaplen = fh.order.Uint32(hdr[16:20])
+	fh.linkType = fh.order.Uint32(hdr[20:24])
+	return fh, nil
+}
+
 // NewReader parses the file header and prepares to iterate records.
 func NewReader(r io.Reader) (*Reader, error) {
 	pr := &Reader{r: bufio.NewReader(r)}
@@ -143,25 +177,12 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("pcapio: reading file header: %w", err)
 	}
-	magicLE := binary.LittleEndian.Uint32(hdr[0:4])
-	magicBE := binary.BigEndian.Uint32(hdr[0:4])
-	switch {
-	case magicLE == magicMicro:
-		pr.order = binary.LittleEndian
-	case magicLE == magicNano:
-		pr.order, pr.nano = binary.LittleEndian, true
-	case magicBE == magicMicro:
-		pr.order = binary.BigEndian
-	case magicBE == magicNano:
-		pr.order, pr.nano = binary.BigEndian, true
-	default:
-		return nil, fmt.Errorf("%w: magic 0x%08x", ErrBadMagic, magicLE)
+	fh, err := parseFileHeader(hdr[:])
+	if err != nil {
+		return nil, err
 	}
-	if major := pr.order.Uint16(hdr[4:6]); major != versionMajor {
-		return nil, fmt.Errorf("pcapio: unsupported version %d.%d", major, pr.order.Uint16(hdr[6:8]))
-	}
-	pr.snaplen = pr.order.Uint32(hdr[16:20])
-	pr.linkType = pr.order.Uint32(hdr[20:24])
+	pr.order, pr.nano = fh.order, fh.nano
+	pr.snaplen, pr.linkType = fh.snaplen, fh.linkType
 	return pr, nil
 }
 

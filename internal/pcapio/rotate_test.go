@@ -2,6 +2,7 @@ package pcapio
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -57,6 +58,173 @@ func TestRotatingWriterSegments(t *testing.T) {
 	}
 	if count != n {
 		t.Fatalf("replayed %d packets, wrote %d", count, n)
+	}
+}
+
+// TestRotatingWriterTwelveSegmentsReplayOrder is the >9-segment regression:
+// sequence numbers are zero-padded in filenames, so the sort.Strings inside
+// OpenFiles must replay 12 segments in write order (an unpadded "-10" would
+// sort before "-2" and scramble the capture timeline).
+func TestRotatingWriterTwelveSegmentsReplayOrder(t *testing.T) {
+	dir := t.TempDir()
+	// One record per segment: each record alone exceeds maxBytes.
+	rw, err := NewRotatingWriter(dir, "capture", LinkTypeEthernet, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	for i := 0; i < n; i++ {
+		payload := bytes.Repeat([]byte{byte(i)}, 100)
+		if err := rw.WritePacket(time.Unix(int64(i), 0), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files := rw.Files()
+	if len(files) != n {
+		t.Fatalf("segments = %d, want %d", len(files), n)
+	}
+	// Deliberately shuffle the argument order: OpenFiles must restore write
+	// order by name alone.
+	shuffled := append([]string(nil), files...)
+	for i := range shuffled {
+		j := (i * 7) % len(shuffled)
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	src, err := OpenFiles(shuffled...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for i := 0; i < n; i++ {
+		p, err := src.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if p.Timestamp.Unix() != int64(i) {
+			t.Fatalf("record %d replayed at ts %d: segments out of write order", i, p.Timestamp.Unix())
+		}
+		if p.Data[0] != byte(i) {
+			t.Fatalf("record %d carries payload byte %#x", i, p.Data[0])
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("after %d records err = %v, want io.EOF", n, err)
+	}
+}
+
+// TestMultiSourceTruncatedFinalSegment: a capture directory whose last
+// segment was torn mid-record (writer crash) must surface a clear error
+// from the multi-file replay, not silently end the capture early.
+func TestMultiSourceTruncatedFinalSegment(t *testing.T) {
+	dir := t.TempDir()
+	rw, err := NewRotatingWriter(dir, "c", LinkTypeEthernet, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := rw.WritePacket(time.Unix(int64(i), 0), make([]byte, 120)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files := rw.Files()
+	// Tear the final segment inside its record payload.
+	last := files[len(files)-1]
+	info, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, info.Size()-40); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenFiles(files...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	var n int
+	var readErr error
+	for {
+		_, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			readErr = err
+			break
+		}
+		n++
+	}
+	if readErr == nil {
+		t.Fatalf("replayed %d records with no error from the torn segment", n)
+	}
+	if !errors.Is(readErr, ErrShortRecord) {
+		t.Fatalf("err = %v, want ErrShortRecord", readErr)
+	}
+	if n != 2 {
+		t.Fatalf("replayed %d complete records before the tear, want 2", n)
+	}
+}
+
+// TestMultiSourceTruncatedMixedFormats mirrors the crash-recovery story for
+// a pcapng final segment: the error must name the problem, not EOF.
+func TestMultiSourceTruncatedMixedFormats(t *testing.T) {
+	dir := t.TempDir()
+	classic := filepath.Join(dir, "a.pcap")
+	ng := filepath.Join(dir, "b.pcapng")
+	cf, err := os.Create(classic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := NewWriter(cf, LinkTypeEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.WritePacket(time.Unix(0, 0), []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cf.Close()
+	nf, err := os.Create(ng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNgWriter(nf, LinkTypeEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.WritePacket(time.Unix(1, 0), bytes.Repeat([]byte{0xcc}, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	nf.Close()
+	info, err := os.Stat(ng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(ng, info.Size()-30); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenFiles(classic, ng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = src.Next()
+	if err == nil || err == io.EOF {
+		t.Fatalf("truncated pcapng segment read returned %v, want a loud error", err)
 	}
 }
 

@@ -1,0 +1,121 @@
+package pcapio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Tailing support for live ingest: a long-running deployment appends to the
+// newest capture segment while a consumer replays it concurrently. The
+// TailReader reads a classic pcap file at record granularity and never
+// consumes a partial record, so it can resume exactly where it stopped once
+// the writer has appended more bytes.
+
+// TailReader incrementally reads a classic pcap file that may still be
+// growing. Next returns io.EOF whenever no complete record is currently
+// available — including before the file header has fully landed — and a
+// later call picks up from the same position. Unlike Reader, a truncated
+// trailing record is not an error: it is simply data that has not arrived
+// yet. Whether it ever will is the caller's call (see Remainder).
+type TailReader struct {
+	f      *os.File
+	off    int64
+	parsed bool
+	hdr    fileHeader
+}
+
+// NewTailReader tails f from the beginning. The caller retains ownership of
+// the file handle.
+func NewTailReader(f *os.File) *TailReader { return &TailReader{f: f} }
+
+// Offset returns the byte offset of the first unconsumed byte: everything
+// before it has been returned as complete records (or is the file header).
+func (t *TailReader) Offset() int64 { return t.off }
+
+// LinkType returns the file's link type; valid once Next has returned at
+// least one record (the header must have been parsed).
+func (t *TailReader) LinkType() uint32 { return t.hdr.linkType }
+
+// Next returns the next complete record. io.EOF means "nothing more right
+// now": the position is retained and Next may be called again after the
+// writer appends. Malformed headers and snaplen abuse are permanent errors.
+func (t *TailReader) Next() (Packet, error) {
+	if !t.parsed {
+		var hdr [fileHeaderLen]byte
+		n, err := t.f.ReadAt(hdr[:], 0)
+		if n < fileHeaderLen {
+			if err != nil && err != io.EOF {
+				return Packet{}, err
+			}
+			return Packet{}, io.EOF
+		}
+		fh, err := parseFileHeader(hdr[:])
+		if err != nil {
+			return Packet{}, err
+		}
+		t.hdr = fh
+		t.parsed = true
+		t.off = fileHeaderLen
+	}
+	var rec [recordHeaderLen]byte
+	n, err := t.f.ReadAt(rec[:], t.off)
+	if n < recordHeaderLen {
+		if err != nil && err != io.EOF {
+			return Packet{}, err
+		}
+		return Packet{}, io.EOF
+	}
+	sec := t.hdr.order.Uint32(rec[0:4])
+	frac := t.hdr.order.Uint32(rec[4:8])
+	capLen := t.hdr.order.Uint32(rec[8:12])
+	origLen := t.hdr.order.Uint32(rec[12:16])
+	if t.hdr.snaplen > 0 && capLen > t.hdr.snaplen {
+		return Packet{}, fmt.Errorf("%w: caplen %d > snaplen %d", ErrSnaplenAbuse, capLen, t.hdr.snaplen)
+	}
+	data := make([]byte, capLen)
+	n, err = t.f.ReadAt(data, t.off+recordHeaderLen)
+	if n < int(capLen) {
+		if err != nil && err != io.EOF {
+			return Packet{}, err
+		}
+		return Packet{}, io.EOF
+	}
+	t.off += recordHeaderLen + int64(capLen)
+	nanos := int64(frac)
+	if !t.hdr.nano {
+		nanos *= 1000
+	}
+	return Packet{
+		Timestamp: time.Unix(int64(sec), nanos).UTC(),
+		OrigLen:   int(origLen),
+		Data:      data,
+	}, nil
+}
+
+// Remainder reports how many bytes past the consumed offset the file holds.
+// For a segment the writer has finished (a newer segment exists), a nonzero
+// remainder is trailing garbage from an interrupted write: the ingest
+// pipeline skips it, exactly as the eventstore truncates a torn tail.
+func (t *TailReader) Remainder() (int64, error) {
+	info, err := t.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size() - t.off, nil
+}
+
+// Segments lists the capture segments under dir whose base name starts with
+// "prefix-", sorted by name. RotatingWriter zero-pads sequence numbers, so
+// lexical order is write order.
+func Segments(dir, prefix string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, prefix+"-*.pcap"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	return matches, nil
+}

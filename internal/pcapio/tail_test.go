@@ -1,0 +1,192 @@
+package pcapio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestTailReaderIncremental grows a capture file in stages — partial header,
+// full header, partial record, full record — and checks the tailer returns
+// io.EOF without losing position until each piece completes.
+func TestTailReaderIncremental(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "grow.pcap")
+
+	// Render a complete two-record capture into memory first.
+	var full bytes.Buffer
+	w, err := NewWriter(&full, LinkTypeEthernet, WithNanoPrecision())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := bytes.Repeat([]byte{0xaa}, 60)
+	p2 := bytes.Repeat([]byte{0xbb}, 90)
+	if err := w.WritePacket(time.Unix(10, 500), p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(time.Unix(11, 0), p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	tr := NewTailReader(rf)
+
+	grow := func(upto int) {
+		t.Helper()
+		cur, err := f.Seek(0, io.SeekEnd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(raw[cur:upto]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expectEOF := func(stage string) {
+		t.Helper()
+		if _, err := tr.Next(); err != io.EOF {
+			t.Fatalf("%s: err = %v, want io.EOF", stage, err)
+		}
+	}
+
+	expectEOF("empty file")
+	grow(fileHeaderLen - 4)
+	expectEOF("partial header")
+	grow(fileHeaderLen + recordHeaderLen - 2)
+	expectEOF("partial record header")
+	grow(fileHeaderLen + recordHeaderLen + len(p1) - 1)
+	expectEOF("partial record body")
+	grow(fileHeaderLen + recordHeaderLen + len(p1))
+	pkt, err := tr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pkt.Data, p1) || !pkt.Timestamp.Equal(time.Unix(10, 500).UTC()) {
+		t.Fatalf("first record = %d bytes @ %v", len(pkt.Data), pkt.Timestamp)
+	}
+	expectEOF("after first record")
+	grow(len(raw))
+	pkt, err = tr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pkt.Data, p2) {
+		t.Fatalf("second record = %d bytes", len(pkt.Data))
+	}
+	expectEOF("fully consumed")
+	if rem, err := tr.Remainder(); err != nil || rem != 0 {
+		t.Fatalf("remainder = %d, %v", rem, err)
+	}
+	if tr.LinkType() != LinkTypeEthernet {
+		t.Fatalf("link type = %d", tr.LinkType())
+	}
+}
+
+func TestTailReaderRemainderDetectsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f, LinkTypeEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(time.Unix(1, 0), []byte("complete")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-record: a bare half record header.
+	if _, err := f.Write([]byte{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	tr := NewTailReader(rf)
+	if _, err := tr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Next(); err != io.EOF {
+		t.Fatalf("torn tail err = %v, want io.EOF", err)
+	}
+	rem, err := tr.Remainder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rem != 5 {
+		t.Fatalf("remainder = %d, want 5", rem)
+	}
+}
+
+func TestTailReaderBadMagicIsPermanent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.pcap")
+	if err := os.WriteFile(path, bytes.Repeat([]byte{0xff}, 64), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr := NewTailReader(f)
+	if _, err := tr.Next(); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestSegmentsListsInWriteOrder(t *testing.T) {
+	dir := t.TempDir()
+	rw, err := NewRotatingWriter(dir, "cap", LinkTypeEthernet, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 11; i++ {
+		if err := rw.WritePacket(time.Unix(int64(i), 0), make([]byte, 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A decoy with a different prefix must not be listed.
+	if err := os.WriteFile(filepath.Join(dir, "other-000001.pcap"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := Segments(dir, "cap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rw.Files()
+	if len(segs) != len(want) {
+		t.Fatalf("Segments = %d files, writer produced %d", len(segs), len(want))
+	}
+	for i := range segs {
+		if segs[i] != want[i] {
+			t.Fatalf("segment %d: %s != %s", i, segs[i], want[i])
+		}
+	}
+}

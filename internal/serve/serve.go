@@ -1,0 +1,413 @@
+// Package serve is waybackd's query layer: an HTTP API that computes the
+// paper's tables and figures from live event-store snapshots instead of a
+// one-shot batch run.
+//
+// Every analysis endpoint is generation-cached: the event store bumps a
+// generation exactly when new events land, so a response body computed at
+// generation g is valid until the store moves past g. Between ingest batches
+// — the common case for a telescope, where most polls find nothing new —
+// every request is a cache hit and costs a map lookup, not a study
+// evaluation.
+//
+// Endpoints:
+//
+//	GET /healthz                 liveness
+//	GET /metrics                 ingest + store + cache metrics (Prometheus text)
+//	GET /v1/events               attributed events (filters: cve, since, until, limit)
+//	GET /v1/lifecycles/{cve}     one CVE's lifecycle events
+//	GET /v1/tables/{n}           paper table n (1-6, E) as rendered text
+//	GET /v1/figures/{id}         paper figure id (1-18) as CSV
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/eventstore"
+	"repro/internal/ids"
+	"repro/internal/ingest"
+	"repro/internal/lifecycle"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/wayback"
+)
+
+// Config wires a Server.
+type Config struct {
+	// Study supplies the analysis configuration (timeline mode, seed for the
+	// KEV catalog). Required.
+	Study *wayback.Study
+	// Store is the event store snapshots come from. Required.
+	Store *eventstore.Store
+	// Ingest, when set, contributes pipeline metrics to /metrics.
+	Ingest *ingest.Pipeline
+}
+
+// Server computes API responses from store snapshots.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	// Results derived from the latest snapshot, keyed by generation.
+	resMu  sync.Mutex
+	res    *wayback.Results
+	resGen uint64
+	resSet bool
+
+	// Rendered response bodies, keyed by endpoint + generation.
+	cacheMu sync.Mutex
+	cache   map[string]cacheEntry
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+type cacheEntry struct {
+	gen   uint64
+	body  []byte
+	ctype string
+}
+
+// New builds a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Study == nil || cfg.Store == nil {
+		return nil, fmt.Errorf("serve: Config needs Study and Store")
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), cache: make(map[string]cacheEntry)}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/lifecycles/{cve}", s.handleLifecycle)
+	s.mux.HandleFunc("GET /v1/tables/{n}", s.handleTable)
+	s.mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
+	return s, nil
+}
+
+// Handler returns the routable HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats reports response-cache hits and misses since start.
+func (s *Server) CacheStats() (hits, misses uint64) {
+	return s.hits.Load(), s.misses.Load()
+}
+
+// results returns the Results for the store's current snapshot, recomputing
+// only when the generation moved.
+func (s *Server) results() (*wayback.Results, uint64) {
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	if s.resSet && s.resGen == s.cfg.Store.Generation() {
+		return s.res, s.resGen
+	}
+	s.res, s.resGen = s.cfg.Study.ResultsFromStore(s.cfg.Store)
+	s.resSet = true
+	return s.res, s.resGen
+}
+
+// serveCached answers from the response cache when the store generation has
+// not moved since the body was built.
+func (s *Server) serveCached(w http.ResponseWriter, key string, build func(res *wayback.Results) ([]byte, string, error)) {
+	res, gen := s.results()
+	s.cacheMu.Lock()
+	e, ok := s.cache[key]
+	s.cacheMu.Unlock()
+	if ok && e.gen == gen {
+		s.hits.Add(1)
+		s.write(w, gen, e.body, e.ctype)
+		return
+	}
+	s.misses.Add(1)
+	body, ctype, err := build(res)
+	if err != nil {
+		var nf errNotFound
+		if errors.As(err, &nf) {
+			http.Error(w, nf.msg, http.StatusNotFound)
+		} else {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	s.cacheMu.Lock()
+	s.cache[key] = cacheEntry{gen: gen, body: body, ctype: ctype}
+	s.cacheMu.Unlock()
+	s.write(w, gen, body, ctype)
+}
+
+func (s *Server) write(w http.ResponseWriter, gen uint64, body []byte, ctype string) {
+	w.Header().Set("Content-Type", ctype)
+	w.Header().Set("X-Store-Generation", strconv.FormatUint(gen, 10))
+	w.Write(body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics emits Prometheus text exposition. Never cached: gauges move
+// without the store generation changing.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b bytes.Buffer
+	g := func(name string, v any) { fmt.Fprintf(&b, "waybackd_%s %v\n", name, v) }
+	g("store_events", s.cfg.Store.Len())
+	g("store_bytes", s.cfg.Store.SizeBytes())
+	g("store_generation", s.cfg.Store.Generation())
+	g("cache_hits", s.hits.Load())
+	g("cache_misses", s.misses.Load())
+	if p := s.cfg.Ingest; p != nil {
+		m := p.Metrics()
+		g("ingest_packets", m.Packets)
+		g("ingest_decode_errors", m.DecodeErrors)
+		g("ingest_sessions", m.Sessions)
+		g("ingest_events", m.Events)
+		g("ingest_batches", m.Batches)
+		g("ingest_segments_done", m.SegmentsDone)
+		g("ingest_skipped_bytes", m.SkippedBytes)
+		g("ingest_open_conns", m.OpenConns)
+		g("ingest_pending_sessions", m.PendingSessions)
+		g("ingest_queued_batches", m.QueuedBatches)
+		g("ingest_pending_bytes", m.PendingBytes)
+		g("ingest_lag", m.Lag())
+		idle := 0
+		if m.Idle() {
+			idle = 1
+		}
+		g("ingest_idle", idle)
+		g("ingest_batch_latency_seconds", m.LastBatchLatency.Seconds())
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(b.Bytes())
+}
+
+// eventJSON is the wire form of an attributed event.
+type eventJSON struct {
+	Time      time.Time `json:"time"`
+	Src       string    `json:"src"`
+	Dst       string    `json:"dst"`
+	SID       int       `json:"sid"`
+	CVE       string    `json:"cve,omitempty"`
+	Published time.Time `json:"rule_published"`
+	Msg       string    `json:"msg"`
+	Bytes     int       `json:"bytes"`
+}
+
+func toEventJSON(ev ids.Event) eventJSON {
+	return eventJSON{
+		Time: ev.Time, Src: ev.Src.String(), Dst: ev.Dst.String(),
+		SID: ev.SID, CVE: ev.CVE, Published: ev.Published,
+		Msg: ev.Msg, Bytes: ev.Bytes,
+	}
+}
+
+// handleEvents serves the raw attributed events off the current snapshot.
+// Filtered views are cheap slices of the snapshot, so they are built per
+// request rather than cached.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sn := s.cfg.Store.Snapshot()
+	events := sn.Events()
+	q := r.URL.Query()
+	if cve := trimCVE(q.Get("cve")); cve != "" {
+		events = sn.CVE(cve)
+	}
+	since, err := parseTimeParam(q.Get("since"))
+	if err != nil {
+		http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	until, err := parseTimeParam(q.Get("until"))
+	if err != nil {
+		http.Error(w, "bad until: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit < 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+	}
+	out := struct {
+		Generation uint64      `json:"generation"`
+		Total      int         `json:"total"`
+		Events     []eventJSON `json:"events"`
+	}{Generation: sn.Generation(), Events: []eventJSON{}}
+	for _, ev := range events {
+		if !since.IsZero() && ev.Time.Before(since) {
+			continue
+		}
+		if !until.IsZero() && !ev.Time.Before(until) {
+			continue
+		}
+		out.Total++
+		if limit == 0 || len(out.Events) < limit {
+			out.Events = append(out.Events, toEventJSON(ev))
+		}
+	}
+	body, err := json.Marshal(out)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.write(w, sn.Generation(), body, "application/json")
+}
+
+func parseTimeParam(v string) (time.Time, error) {
+	if v == "" {
+		return time.Time{}, nil
+	}
+	return time.Parse(time.RFC3339, v)
+}
+
+// trimCVE normalizes "CVE-2021-44228" to the repo's bare "2021-44228" form.
+func trimCVE(cve string) string {
+	return strings.TrimPrefix(strings.TrimPrefix(cve, "CVE-"), "cve-")
+}
+
+func (s *Server) handleLifecycle(w http.ResponseWriter, r *http.Request) {
+	cve := trimCVE(r.PathValue("cve"))
+	s.serveCached(w, "lifecycle/"+cve, func(res *wayback.Results) ([]byte, string, error) {
+		for i := range res.Timelines {
+			if res.Timelines[i].CVE == cve {
+				return marshalTimeline(&res.Timelines[i])
+			}
+		}
+		return nil, "", errNotFound{"no lifecycle for CVE-" + cve}
+	})
+}
+
+// errNotFound lets a cache builder signal 404 instead of 500.
+type errNotFound struct{ msg string }
+
+func (e errNotFound) Error() string { return e.msg }
+
+func marshalTimeline(tl *lifecycle.Timeline) ([]byte, string, error) {
+	out := struct {
+		CVE        string            `json:"cve"`
+		Impact     float64           `json:"impact"`
+		EventCount int               `json:"event_count"`
+		Events     map[string]string `json:"events"`
+	}{CVE: "CVE-" + tl.CVE, Impact: tl.Impact, EventCount: tl.EventCount, Events: map[string]string{}}
+	for _, e := range lifecycle.EventTypes() {
+		if tl.Events[e].Known {
+			out.Events[e.Letter()] = tl.Events[e].At.UTC().Format(time.RFC3339)
+		}
+	}
+	body, err := json.Marshal(out)
+	return body, "application/json", err
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	n := r.PathValue("n")
+	s.serveCached(w, "table/"+n, func(res *wayback.Results) ([]byte, string, error) {
+		var text string
+		switch n {
+		case "1":
+			text = res.Table1().String()
+		case "2":
+			text = res.Table2().String()
+		case "3":
+			text = res.Table3()
+		case "4":
+			text = res.Table4().String()
+		case "5":
+			text = res.Table5().String()
+		case "6":
+			text = res.Table6().String()
+		case "E", "e":
+			text = res.AppendixE().String()
+		default:
+			return nil, "", errNotFound{fmt.Sprintf("unknown table %q (1-6, E)", n)}
+		}
+		return []byte(text), "text/plain; charset=utf-8", nil
+	})
+}
+
+// handleFigure serves the paper's figures as CSV, in the same shapes
+// waybackctl's `all` command writes to disk.
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.serveCached(w, "figure/"+id, func(res *wayback.Results) ([]byte, string, error) {
+		n, err := strconv.Atoi(id)
+		if err != nil {
+			return nil, "", errNotFound{fmt.Sprintf("figure wants a number 1-18, got %q", id)}
+		}
+		switch n {
+		case 1:
+			return histogramCSV("figure1", "days-into-study", res.Figure1())
+		case 2:
+			return seriesCSV(res.Figure2()...)
+		case 3:
+			return histogramCSV("figure3", "days-into-study", res.Figure3())
+		case 4:
+			return histogramCSV("figure4", "days-since-publication", res.Figure4())
+		case 5:
+			var series []report.Series
+			for _, f := range res.Figure5() {
+				series = append(series, report.FromECDF(f.Label, "days", f.CDF))
+			}
+			return seriesCSV(series...)
+		case 6:
+			f := res.Figure6()
+			tab := report.Table{Title: "Figure 6", Headers: []string{"bin-start-days", "mitigated", "unmitigated"}}
+			for i := range f.Mitigated {
+				tab.AddRow(fmt.Sprintf("%g", f.BinStart(i)), f.Mitigated[i], f.Unmit[i])
+			}
+			return tableCSV(tab)
+		case 7:
+			f := res.Figure7()
+			return seriesCSV(
+				report.FromECDF("mitigated", "days", f.Mitigated),
+				report.FromECDF("unmitigated", "days", f.Unmit))
+		case 8:
+			return seriesCSV(report.FromECDF("log4shell", "days", res.Figure8().CDF))
+		case 9:
+			var series []report.Series
+			for _, g := range res.Figure9() {
+				series = append(series, report.FromECDF("group "+g.Group, "days", g.CDF))
+			}
+			return seriesCSV(series...)
+		case 10:
+			return seriesCSV(res.Figure10())
+		case 11:
+			return seriesCSV(res.Figure11())
+		case 12:
+			return seriesCSV(report.FromECDF("confluence", "days", res.Figure12().CDF))
+		case 13, 14, 15, 16, 17, 18:
+			f := res.Figures13to18()[n-13]
+			return seriesCSV(report.FromECDF(f.Label, "days", f.CDF))
+		default:
+			return nil, "", errNotFound{fmt.Sprintf("unknown figure %d", n)}
+		}
+	})
+}
+
+func histogramCSV(name, binLabel string, h *stats.Histogram) ([]byte, string, error) {
+	tab := report.HistogramTable(name, binLabel, h, func(i int) string {
+		return fmt.Sprintf("%g", h.BinStart(i))
+	})
+	return tableCSV(tab)
+}
+
+func tableCSV(tab report.Table) ([]byte, string, error) {
+	var b bytes.Buffer
+	if err := tab.WriteCSV(&b); err != nil {
+		return nil, "", err
+	}
+	return b.Bytes(), "text/csv", nil
+}
+
+func seriesCSV(series ...report.Series) ([]byte, string, error) {
+	var b bytes.Buffer
+	if err := report.WriteSeriesCSV(&b, series...); err != nil {
+		return nil, "", err
+	}
+	return b.Bytes(), "text/csv", nil
+}

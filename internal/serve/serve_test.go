@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/wayback"
+)
+
+type fixture struct {
+	study *wayback.Study
+	batch *wayback.Results
+	srv   *Server
+	store interface {
+		AppendBatch([]ids.Event) error
+	}
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	study, err := wayback.NewStudy(wayback.Config{Seed: 1, PipelineTimelines: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := study.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := wayback.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	if err := store.AppendBatch(batch.Events); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Study: study, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{study: study, batch: batch, srv: srv, store: store}
+}
+
+func (f *fixture) get(t *testing.T, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	f.srv.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+func (f *fixture) getOK(t *testing.T, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := f.get(t, path)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", path, rec.Code, rec.Body.String())
+	}
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	f := newFixture(t)
+	if got := f.getOK(t, "/healthz").Body.String(); got != "ok\n" {
+		t.Fatalf("healthz said %q", got)
+	}
+}
+
+// TestTablesMatchBatchRun: every table endpoint returns exactly what the
+// batch study renders for the same events.
+func TestTablesMatchBatchRun(t *testing.T) {
+	f := newFixture(t)
+	want := map[string]string{
+		"1": f.batch.Table1().String(),
+		"2": f.batch.Table2().String(),
+		"3": f.batch.Table3(),
+		"4": f.batch.Table4().String(),
+		"5": f.batch.Table5().String(),
+		"6": f.batch.Table6().String(),
+		"E": f.batch.AppendixE().String(),
+	}
+	for n, text := range want {
+		rec := f.getOK(t, "/v1/tables/"+n)
+		if rec.Body.String() != text {
+			t.Errorf("table %s differs from batch run:\n%s", n, rec.Body.String())
+		}
+	}
+	if rec := f.get(t, "/v1/tables/9"); rec.Code != http.StatusNotFound {
+		t.Errorf("table 9 gave %d, want 404", rec.Code)
+	}
+}
+
+// TestGenerationCache: unchanged store means cache hits; an append
+// invalidates exactly by bumping the generation.
+func TestGenerationCache(t *testing.T) {
+	f := newFixture(t)
+	first := f.getOK(t, "/v1/tables/4")
+	hits0, misses0 := f.srv.CacheStats()
+	if misses0 == 0 {
+		t.Fatal("first request was not a miss")
+	}
+	second := f.getOK(t, "/v1/tables/4")
+	hits1, misses1 := f.srv.CacheStats()
+	if hits1 != hits0+1 || misses1 != misses0 {
+		t.Fatalf("second request hits %d->%d misses %d->%d", hits0, hits1, misses0, misses1)
+	}
+	if first.Body.String() != second.Body.String() {
+		t.Fatal("cached body differs")
+	}
+	if first.Header().Get("X-Store-Generation") == "" {
+		t.Fatal("no generation header")
+	}
+	// A CVE-less event bumps the generation without changing Table 4.
+	if err := f.store.AppendBatch([]ids.Event{{SID: 999999, Msg: "unattributed"}}); err != nil {
+		t.Fatal(err)
+	}
+	third := f.getOK(t, "/v1/tables/4")
+	_, misses2 := f.srv.CacheStats()
+	if misses2 != misses0+1 {
+		t.Fatalf("append did not invalidate: misses %d -> %d", misses0, misses2)
+	}
+	if third.Body.String() != first.Body.String() {
+		t.Fatal("unattributed event changed Table 4")
+	}
+	if third.Header().Get("X-Store-Generation") == first.Header().Get("X-Store-Generation") {
+		t.Fatal("generation header did not advance")
+	}
+}
+
+func TestLifecycleEndpoint(t *testing.T) {
+	f := newFixture(t)
+	// Accepts the canonical "CVE-" prefix and the bare form.
+	for _, path := range []string{"/v1/lifecycles/CVE-2021-44228", "/v1/lifecycles/2021-44228"} {
+		rec := f.getOK(t, path)
+		var got struct {
+			CVE        string            `json:"cve"`
+			EventCount int               `json:"event_count"`
+			Events     map[string]string `json:"events"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if got.CVE != "CVE-2021-44228" || got.EventCount == 0 {
+			t.Fatalf("%s: %+v", path, got)
+		}
+		for _, letter := range []string{"A", "F"} {
+			if got.Events[letter] == "" {
+				t.Errorf("%s: missing %s event: %v", path, letter, got.Events)
+			}
+		}
+	}
+	if rec := f.get(t, "/v1/lifecycles/CVE-1999-0001"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown CVE gave %d, want 404", rec.Code)
+	}
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	f := newFixture(t)
+	var all struct {
+		Generation uint64 `json:"generation"`
+		Total      int    `json:"total"`
+		Events     []struct {
+			CVE string `json:"cve"`
+			Src string `json:"src"`
+		} `json:"events"`
+	}
+	rec := f.getOK(t, "/v1/events?limit=10")
+	if err := json.Unmarshal(rec.Body.Bytes(), &all); err != nil {
+		t.Fatal(err)
+	}
+	if all.Total != len(f.batch.Events) {
+		t.Fatalf("total %d, want %d", all.Total, len(f.batch.Events))
+	}
+	if len(all.Events) != 10 || all.Generation == 0 {
+		t.Fatalf("limit ignored: %d events, generation %d", len(all.Events), all.Generation)
+	}
+	if !strings.Contains(all.Events[0].Src, ":") {
+		t.Fatalf("src not addr:port: %q", all.Events[0].Src)
+	}
+
+	rec = f.getOK(t, "/v1/events?cve=CVE-2021-44228")
+	var filtered struct {
+		Total  int `json:"total"`
+		Events []struct {
+			CVE string `json:"cve"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &filtered); err != nil {
+		t.Fatal(err)
+	}
+	if filtered.Total == 0 || filtered.Total >= all.Total {
+		t.Fatalf("cve filter total %d (all %d)", filtered.Total, all.Total)
+	}
+	for _, ev := range filtered.Events {
+		if ev.CVE != "2021-44228" {
+			t.Fatalf("filter leaked %q", ev.CVE)
+		}
+	}
+	if rec := f.get(t, "/v1/events?since=notatime"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad since gave %d", rec.Code)
+	}
+}
+
+func TestFigureEndpoints(t *testing.T) {
+	f := newFixture(t)
+	for _, id := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "18"} {
+		rec := f.getOK(t, "/v1/figures/"+id)
+		body := rec.Body.String()
+		if body == "" {
+			t.Errorf("figure %s: empty body", id)
+			continue
+		}
+		header := strings.SplitN(body, "\n", 2)[0]
+		if !strings.Contains(header, ",") {
+			t.Errorf("figure %s: first line not CSV: %q", id, header)
+		}
+	}
+	if rec := f.get(t, "/v1/figures/19"); rec.Code != http.StatusNotFound {
+		t.Errorf("figure 19 gave %d, want 404", rec.Code)
+	}
+	if rec := f.get(t, "/v1/figures/x"); rec.Code != http.StatusNotFound {
+		t.Errorf("figure x gave %d, want 404", rec.Code)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	f := newFixture(t)
+	body := f.getOK(t, "/metrics").Body.String()
+	for _, want := range []string{"waybackd_store_events ", "waybackd_store_generation ", "waybackd_cache_hits "} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, "waybackd_ingest_") {
+		t.Error("ingest metrics present without a pipeline")
+	}
+}

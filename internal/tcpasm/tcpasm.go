@@ -301,6 +301,16 @@ func (a *Assembler) Advance(now time.Time) {
 	}
 }
 
+// Drain advances the idle horizon to now and returns every session
+// completed so far (FIN/RST-closed or newly idled out), ordered by end
+// time. This is the streaming counterpart of Flush+Sessions: a live ingest
+// pipeline calls Drain after each batch of packets so finished
+// conversations flow downstream while long-lived ones keep assembling.
+func (a *Assembler) Drain(now time.Time) []Session {
+	a.Advance(now)
+	return a.Sessions()
+}
+
 // Flush closes all open connections regardless of idleness. Call at end of
 // capture.
 func (a *Assembler) Flush() {

@@ -421,3 +421,60 @@ func TestDroppedBytesAccounting(t *testing.T) {
 		t.Errorf("pending-overflow DroppedBytes = %d, want 10 (two 5-byte segments)", s2.DroppedBytes)
 	}
 }
+
+// TestDrainIncremental drives two conversations: one FIN-closed early, one
+// left idle. Drain must deliver the closed one immediately, keep the idle
+// one assembling until the horizon passes it, and leave nothing behind.
+func TestDrainIncremental(t *testing.T) {
+	a := NewAssembler(Config{IdleTimeout: time.Minute})
+	f := newFlow(t, a)
+	f.handshake()
+	f.clientSend([]byte("GET / HTTP/1.1\r\n\r\n"))
+	f.closeBoth()
+
+	// A second, idle conversation from a different client port.
+	idleCli := packet.Endpoint{Addr: cli.Addr, Port: 50001}
+	b := packet.NewBuilder(7)
+	feedAt := func(ts time.Time, seg packet.Segment) {
+		t.Helper()
+		frame, err := b.Build(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := packet.Decode(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Feed(ts, p)
+	}
+	idleStart := f.ts
+	feedAt(idleStart, packet.Segment{Src: idleCli, Dst: srv, Seq: 500, Flags: packet.FlagSYN})
+	feedAt(idleStart, packet.Segment{Src: srv, Dst: idleCli, Seq: 900, Ack: 501, Flags: packet.FlagSYN | packet.FlagACK})
+	feedAt(idleStart, packet.Segment{Src: idleCli, Dst: srv, Seq: 501, Ack: 901, Flags: packet.FlagPSH | packet.FlagACK, Payload: []byte("partial")})
+
+	got := a.Drain(idleStart)
+	if len(got) != 1 {
+		t.Fatalf("first drain = %d sessions, want 1 (the closed one)", len(got))
+	}
+	if !got[0].Closed || string(got[0].ClientData) != "GET / HTTP/1.1\r\n\r\n" {
+		t.Fatalf("drained wrong session: %+v", got[0])
+	}
+	if a.OpenConns() != 1 {
+		t.Fatalf("open conns = %d, want the idle one", a.OpenConns())
+	}
+	// Nothing new: drain is empty, idle conversation still assembling.
+	if got := a.Drain(idleStart.Add(30 * time.Second)); len(got) != 0 {
+		t.Fatalf("premature drain = %d sessions", len(got))
+	}
+	// Past the idle horizon the second conversation flushes, un-Closed.
+	got = a.Drain(idleStart.Add(2 * time.Minute))
+	if len(got) != 1 {
+		t.Fatalf("final drain = %d sessions, want 1", len(got))
+	}
+	if got[0].Closed || string(got[0].ClientData) != "partial" {
+		t.Fatalf("idle session wrong: %+v", got[0])
+	}
+	if a.OpenConns() != 0 {
+		t.Fatalf("open conns = %d after full drain", a.OpenConns())
+	}
+}

@@ -136,7 +136,7 @@ func (s *Study) Run() (*Results, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wayback: building workload: %w", err)
 	}
-	res := &Results{cfg: s.cfg, baselines: core.PublishedBaselines()}
+	res := newResults(s.cfg)
 
 	if s.cfg.UsePcap {
 		var buf bytes.Buffer
@@ -163,13 +163,23 @@ func (s *Study) Run() (*Results, error) {
 		res.Events = ids.MatchSessionsParallel(sessions, s.engine, &res.Stats, 0)
 	}
 
-	if s.cfg.PipelineTimelines {
-		res.Timelines = lifecycle.FromPipeline(res.Events, s.ruleset)
-	} else {
-		res.Timelines = lifecycle.StudyTimelines()
-	}
-	res.KEV = datasets.GenerateKEV(datasets.KEVConfig{Seed: s.cfg.Seed})
+	res.finish(s)
 	return res, nil
+}
+
+func newResults(cfg Config) *Results {
+	return &Results{cfg: cfg, baselines: core.PublishedBaselines()}
+}
+
+// finish derives everything downstream of the event set: timelines per the
+// study configuration, and the KEV comparison catalog.
+func (r *Results) finish(s *Study) {
+	if s.cfg.PipelineTimelines {
+		r.Timelines = lifecycle.FromPipeline(r.Events, s.ruleset)
+	} else {
+		r.Timelines = lifecycle.StudyTimelines()
+	}
+	r.KEV = datasets.GenerateKEV(datasets.KEVConfig{Seed: s.cfg.Seed})
 }
 
 // Engine exposes the compiled IDS engine (for custom pipelines and the
