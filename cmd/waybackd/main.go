@@ -10,6 +10,15 @@
 //	waybackd -watch capture/ -store events/ [-addr :8416] [-seed 1]
 //	         [-prefix dscope] [-timelines pipeline|appendix]
 //	         [-poll 100ms] [-flush-idle 2s] [-batch 256] [-workers 0]
+//	         [-fleet-listen :8417] [-stale-after 0]
+//
+// With -fleet-listen the daemon is also (or, without -watch, purely) a fleet
+// coordinator: waybacksensor nodes connect over the fleet wire protocol and
+// their batches are ingested exactly once — per-sensor high watermarks
+// persisted alongside the store drop redelivered batches idempotently — with
+// per-sensor liveness on GET /v1/fleet. With -stale-after the /healthz
+// endpoint degrades to 503 once the store has received nothing for that
+// long, so a load balancer ejects a stalled coordinator.
 //
 // Shutdown (SIGINT/SIGTERM) drains: every byte already captured flows
 // through to the store before the process exits, so a restart resumes with
@@ -28,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/eventstore"
+	"repro/internal/fleet"
 	"repro/internal/ingest"
 	"repro/internal/serve"
 	"repro/wayback"
@@ -45,20 +55,23 @@ func main() {
 type daemon struct {
 	study    *wayback.Study
 	store    *eventstore.Store
-	pipeline *ingest.Pipeline
+	pipeline *ingest.Pipeline // nil in coordinator-only mode
+	fleet    *fleet.Listener  // nil without -fleet-listen
 	server   *serve.Server
 }
 
 type daemonConfig struct {
-	watchDir  string
-	storeDir  string
-	prefix    string
-	seed      int64
-	timelines string
-	poll      time.Duration
-	flushIdle time.Duration
-	batch     int
-	workers   int
+	watchDir    string // empty = no local tail (fleet-only coordinator)
+	storeDir    string
+	prefix      string
+	seed        int64
+	timelines   string
+	poll        time.Duration
+	flushIdle   time.Duration
+	batch       int
+	workers     int
+	fleetListen string        // empty = fleet listener off
+	staleAfter  time.Duration // zero = healthz never degrades
 }
 
 func openDaemon(cfg daemonConfig) (*daemon, error) {
@@ -74,37 +87,79 @@ func openDaemon(cfg daemonConfig) (*daemon, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.watchDir == "" && cfg.fleetListen == "" {
+		return nil, errors.New("need -watch, -fleet-listen, or both")
+	}
 	store, err := wayback.OpenStore(cfg.storeDir)
 	if err != nil {
 		return nil, err
 	}
-	pipeline, err := ingest.Start(ingest.Config{
-		Dir:           cfg.watchDir,
-		Prefix:        cfg.prefix,
-		Engine:        study.Engine(),
-		Store:         store,
-		PollInterval:  cfg.poll,
-		FlushIdle:     cfg.flushIdle,
-		BatchSessions: cfg.batch,
-		MatchWorkers:  cfg.workers,
-	})
+	var pipeline *ingest.Pipeline
+	if cfg.watchDir != "" {
+		pipeline, err = ingest.Start(ingest.Config{
+			Dir:           cfg.watchDir,
+			Prefix:        cfg.prefix,
+			Engine:        study.Engine(),
+			Store:         store,
+			PollInterval:  cfg.poll,
+			FlushIdle:     cfg.flushIdle,
+			BatchSessions: cfg.batch,
+			MatchWorkers:  cfg.workers,
+		})
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
+	var fl *fleet.Listener
+	if cfg.fleetListen != "" {
+		fl, err = fleet.Listen(fleet.ListenerConfig{
+			Addr: cfg.fleetListen,
+			Sink: store,
+			Dir:  store.Dir(),
+		})
+		if err != nil {
+			if pipeline != nil {
+				pipeline.Close()
+			}
+			store.Close()
+			return nil, err
+		}
+	}
+	srvCfg := serve.Config{
+		Study: study, Store: store, Ingest: pipeline,
+		StaleAfter: cfg.staleAfter,
+	}
+	if fl != nil {
+		srvCfg.Fleet = fl
+	}
+	server, err := serve.New(srvCfg)
 	if err != nil {
+		if fl != nil {
+			fl.Close()
+		}
+		if pipeline != nil {
+			pipeline.Close()
+		}
 		store.Close()
 		return nil, err
 	}
-	server, err := serve.New(serve.Config{Study: study, Store: store, Ingest: pipeline})
-	if err != nil {
-		pipeline.Close()
-		store.Close()
-		return nil, err
-	}
-	return &daemon{study: study, store: store, pipeline: pipeline, server: server}, nil
+	return &daemon{study: study, store: store, pipeline: pipeline, fleet: fl, server: server}, nil
 }
 
 // close drains and shuts down in dependency order: stop ingesting (which
-// consumes everything already on disk), then close the store.
+// consumes everything already on disk), stop accepting fleet batches (each
+// applied batch has its watermark recorded first), then close the store.
 func (d *daemon) close() error {
-	err := d.pipeline.Close()
+	var err error
+	if d.pipeline != nil {
+		err = d.pipeline.Close()
+	}
+	if d.fleet != nil {
+		if ferr := d.fleet.Close(); err == nil {
+			err = ferr
+		}
+	}
 	if cerr := d.store.Close(); err == nil {
 		err = cerr
 	}
@@ -123,17 +178,23 @@ func run(args []string) error {
 	flushIdle := fs.Duration("flush-idle", 2*time.Second, "flush open connections after this much capture silence")
 	batch := fs.Int("batch", 256, "sessions per match batch")
 	workers := fs.Int("workers", 0, "match workers (0 = GOMAXPROCS)")
+	fleetListen := fs.String("fleet-listen", "", "accept fleet sensors on this address (\":8417\"); empty = off")
+	staleAfter := fs.Duration("stale-after", 0, "healthz answers 503 after this long without new events; 0 = never")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *watch == "" || *storeDir == "" {
-		return errors.New("-watch and -store are required")
+	if *storeDir == "" {
+		return errors.New("-store is required")
+	}
+	if *watch == "" && *fleetListen == "" {
+		return errors.New("need -watch (local capture), -fleet-listen (coordinator), or both")
 	}
 
 	d, err := openDaemon(daemonConfig{
 		watchDir: *watch, storeDir: *storeDir, prefix: *prefix,
 		seed: *seed, timelines: *timelines,
 		poll: *poll, flushIdle: *flushIdle, batch: *batch, workers: *workers,
+		fleetListen: *fleetListen, staleAfter: *staleAfter,
 	})
 	if err != nil {
 		return err
@@ -146,8 +207,17 @@ func run(args []string) error {
 			errCh <- err
 		}
 	}()
-	fmt.Printf("waybackd: tailing %s (prefix %s), store %s, listening on %s\n",
-		*watch, *prefix, *storeDir, *addr)
+	switch {
+	case *watch != "" && *fleetListen != "":
+		fmt.Printf("waybackd: tailing %s, fleet on %s, store %s, listening on %s\n",
+			*watch, *fleetListen, *storeDir, *addr)
+	case *fleetListen != "":
+		fmt.Printf("waybackd: fleet coordinator on %s, store %s, listening on %s\n",
+			*fleetListen, *storeDir, *addr)
+	default:
+		fmt.Printf("waybackd: tailing %s (prefix %s), store %s, listening on %s\n",
+			*watch, *prefix, *storeDir, *addr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -158,9 +228,19 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 	fmt.Println("waybackd: draining")
-	// Drain order: finish ingesting what is on disk, then stop answering
-	// queries (the last answers see the fully drained store), then close.
-	drainErr := d.pipeline.Close()
+	// Drain order: finish ingesting what is on disk, stop accepting fleet
+	// batches (every applied batch gets its watermark recorded, so sensors
+	// redeliver only what was never applied), then stop answering queries
+	// (the last answers see the fully drained store), then close.
+	var drainErr error
+	if d.pipeline != nil {
+		drainErr = d.pipeline.Close()
+	}
+	if d.fleet != nil {
+		if err := d.fleet.Close(); err != nil && drainErr == nil {
+			drainErr = err
+		}
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && drainErr == nil {
@@ -169,8 +249,14 @@ func run(args []string) error {
 	if err := d.store.Close(); err != nil && drainErr == nil {
 		drainErr = err
 	}
-	m := d.pipeline.Metrics()
-	fmt.Printf("waybackd: drained (%d packets, %d sessions, %d events, %d segments)\n",
-		m.Packets, m.Sessions, m.Events, m.SegmentsDone)
+	if d.pipeline != nil {
+		m := d.pipeline.Metrics()
+		fmt.Printf("waybackd: drained (%d packets, %d sessions, %d events, %d segments)\n",
+			m.Packets, m.Sessions, m.Events, m.SegmentsDone)
+	} else {
+		batches, events, dups := d.fleet.Totals()
+		fmt.Printf("waybackd: drained (%d fleet batches, %d events, %d duplicates dropped)\n",
+			batches, events, dups)
+	}
 	return drainErr
 }

@@ -90,7 +90,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 		return resp.StatusCode, string(body)
 	}
 
-	if code, body := get("/healthz"); code != http.StatusOK || body != "ok\n" {
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.HasPrefix(body, "ok\n") {
 		t.Fatalf("healthz: %d %q", code, body)
 	}
 

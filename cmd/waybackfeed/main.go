@@ -8,9 +8,16 @@
 //
 //	waybackfeed -dir capture/ [-seed 1] [-scale 50] [-noise 0]
 //	            [-prefix dscope] [-segment-bytes 262144] [-delay 0]
+//	            [-shard 0 -shards 1]
 //
 // With the same seed and scale, waybackd's analyses over this capture match
 // a batch wayback.Study run byte for byte.
+//
+// With -shards N, only the sessions whose destination falls in -shard's
+// slice of the telescope address space are written — the capture a single
+// fleet sensor would see. N feeds with shards 0..N-1 partition the full
+// study exactly: every session lands in one shard, so a sensor per shard
+// converges to the same analysis as one unsharded daemon.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/pcapio"
 	"repro/internal/scanner"
 	"repro/internal/telescope"
@@ -40,11 +48,16 @@ func run(args []string) error {
 	noise := fs.Int("noise", 0, "non-exploit background sessions (0 = one tenth of exploits)")
 	segBytes := fs.Int64("segment-bytes", 256<<10, "rotate segments at this size")
 	delay := fs.Duration("delay", 0, "pause between 100-session chunks (paces the feed for live tailing)")
+	shard := fs.Int("shard", 0, "write only this address-space shard of the capture")
+	shards := fs.Int("shards", 1, "total shards the capture is split into")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dir == "" {
 		return fmt.Errorf("-dir is required")
+	}
+	if *shards < 1 || *shard < 0 || *shard >= *shards {
+		return fmt.Errorf("-shard %d out of range of -shards %d", *shard, *shards)
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
@@ -56,6 +69,15 @@ func run(args []string) error {
 	}
 	tel := telescope.NewSim(telescope.SimConfig{Seed: *seed})
 	sessions := tel.Sessions(bps)
+	if *shards > 1 {
+		kept := sessions[:0]
+		for i := range sessions {
+			if fleet.ShardOf(sessions[i].Server.Addr, *shards) == *shard {
+				kept = append(kept, sessions[i])
+			}
+		}
+		sessions = kept
+	}
 
 	// Nanosecond precision so session start times survive the pcap round
 	// trip exactly — the byte-for-byte table equality depends on it.

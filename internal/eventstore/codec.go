@@ -182,6 +182,28 @@ func (d *decoder) string16() string {
 	return string(b)
 }
 
+// EncodeEvent appends ev's binary payload encoding to buf. The encoding is
+// the store's on-disk record payload; the fleet wire protocol reuses it so a
+// sensor's batches and the coordinator's log speak one format.
+func EncodeEvent(buf []byte, ev *ids.Event) []byte { return appendEvent(buf, ev) }
+
+// DecodeEvent decodes one EncodeEvent payload. It returns an error (never
+// panics) on malformed input.
+func DecodeEvent(payload []byte) (ids.Event, error) { return decodeEvent(payload) }
+
+// AppendFrame appends a length+CRC framed record to buf — the store's
+// self-describing record framing, exported for other framed logs (the fleet
+// spool, watermark journal, and wire protocol) to share.
+func AppendFrame(buf, payload []byte) []byte { return appendFrame(buf, payload) }
+
+// ScanFrames walks AppendFrame records in b, calling fn for each intact
+// payload. It returns the byte offset of the first incomplete or corrupt
+// frame — the truncation point for crash recovery — and whether the whole
+// buffer was clean. fn errors abort the scan.
+func ScanFrames(b []byte, fn func(payload []byte) error) (good int, clean bool, err error) {
+	return scanFrames(b, fn)
+}
+
 // appendFrame appends a length+CRC framed record to buf.
 func appendFrame(buf, payload []byte) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))

@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ids"
 )
@@ -69,10 +70,11 @@ type Store struct {
 }
 
 type shard struct {
-	mu     sync.Mutex
-	f      *os.File
-	size   int64
-	events atomic.Pointer[[]ids.Event]
+	mu         sync.Mutex
+	f          *os.File
+	size       int64
+	events     atomic.Pointer[[]ids.Event]
+	lastAppend atomic.Int64 // UnixNano of the most recent append; 0 = none since open
 }
 
 // Open opens (creating if needed) the store in dir and recovers every
@@ -250,6 +252,7 @@ func (sh *shard) append(events []ids.Event) error {
 	cur := *sh.events.Load()
 	next := append(cur, events...)
 	sh.events.Store(&next)
+	sh.lastAppend.Store(time.Now().UnixNano())
 	return nil
 }
 
@@ -279,6 +282,50 @@ func (s *Store) SizeBytes() int64 {
 
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
+
+// ShardStats is one shard file's share of the store: how many records it
+// holds, its on-disk size, and when it last received an append (zero if
+// nothing has landed since open — recovered data does not count).
+type ShardStats struct {
+	Shard      int
+	Records    int
+	SizeBytes  int64
+	LastAppend time.Time
+}
+
+// ShardStats reports per-shard record counts, sizes, and last-append times,
+// in shard order. It is the /metrics view of routing balance: a hot or stale
+// shard shows up here long before the aggregate Len does.
+func (s *Store) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i].Shard = i
+		out[i].Records = len(*sh.events.Load())
+		sh.mu.Lock()
+		out[i].SizeBytes = sh.size
+		sh.mu.Unlock()
+		if ns := sh.lastAppend.Load(); ns != 0 {
+			out[i].LastAppend = time.Unix(0, ns).UTC()
+		}
+	}
+	return out
+}
+
+// LastAppend returns the time of the most recent append to any shard, or the
+// zero time if nothing has been appended since open. Health checks compare it
+// against a staleness window to spot a coordinator whose ingest has stalled.
+func (s *Store) LastAppend() time.Time {
+	var max int64
+	for _, sh := range s.shards {
+		if ns := sh.lastAppend.Load(); ns > max {
+			max = ns
+		}
+	}
+	if max == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, max).UTC()
+}
 
 // Sync fsyncs every shard file.
 func (s *Store) Sync() error {

@@ -310,3 +310,98 @@ func TestSnapshotCachedPerGeneration(t *testing.T) {
 		t.Fatalf("snapshot lens %d, %d", a.Len(), c.Len())
 	}
 }
+
+func TestShardStatsAndLastAppend(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if !st.LastAppend().IsZero() {
+		t.Fatal("empty store claims a last append")
+	}
+	for _, sh := range st.ShardStats() {
+		if sh.Records != 0 || !sh.LastAppend.IsZero() {
+			t.Fatalf("empty store shard stats %+v", sh)
+		}
+	}
+
+	var want []ids.Event
+	for i := 0; i < 200; i++ {
+		want = append(want, testEvent(i))
+	}
+	before := time.Now()
+	if err := st.AppendBatch(want); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.ShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("%d shard stats, want 4", len(stats))
+	}
+	var records int
+	var size int64
+	for i, sh := range stats {
+		if sh.Shard != i {
+			t.Fatalf("shard %d reported as %d", i, sh.Shard)
+		}
+		records += sh.Records
+		size += sh.SizeBytes
+		if sh.Records > 0 && sh.LastAppend.Before(before) {
+			t.Fatalf("shard %d last append %v predates the append", i, sh.LastAppend)
+		}
+	}
+	if records != len(want) {
+		t.Fatalf("shard records sum to %d, want %d", records, len(want))
+	}
+	if size != st.SizeBytes() {
+		t.Fatalf("shard bytes sum to %d, store says %d", size, st.SizeBytes())
+	}
+	if la := st.LastAppend(); la.Before(before) || time.Since(la) > time.Minute {
+		t.Fatalf("store LastAppend %v", la)
+	}
+
+	// Reopen: counts and sizes recover from disk; append recency does not
+	// survive a restart (it is process liveness, not history).
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err = Open(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recovered int
+	for _, sh := range st.ShardStats() {
+		recovered += sh.Records
+	}
+	if recovered != len(want) {
+		t.Fatalf("recovered shard records sum to %d, want %d", recovered, len(want))
+	}
+	if !st.LastAppend().IsZero() {
+		t.Fatal("reopened store claims in-process append recency")
+	}
+}
+
+// BenchmarkAppendBatch measures store append throughput (events/sec) at the
+// ingest pipeline's default batch size. The baseline lives in
+// BENCH_fleet.json.
+func BenchmarkAppendBatch(b *testing.B) {
+	st, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	batch := make([]ids.Event, 256)
+	for i := range batch {
+		batch[i] = testEvent(i)
+	}
+	b.SetBytes(int64(len(batch)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.AppendBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(batch))/b.Elapsed().Seconds(), "events/s")
+}

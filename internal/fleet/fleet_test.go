@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/packet"
+)
+
+func testEvents(t testing.TB, n int) []ids.Event {
+	t.Helper()
+	out := make([]ids.Event, n)
+	for i := range out {
+		out[i] = ids.Event{
+			Time:      time.Date(2021, 11, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Second),
+			Src:       packet.Endpoint{Addr: packet.MustAddr(fmt.Sprintf("203.0.113.%d", 1+i%250)), Port: uint16(40000 + i%1000)},
+			Dst:       packet.Endpoint{Addr: packet.MustAddr(fmt.Sprintf("18.204.7.%d", 1+i%200)), Port: 443},
+			SID:       58722 + i%7,
+			Published: time.Date(2021, 12, 10, 12, 0, 0, 123456789, time.UTC),
+			Msg:       "SERVER-OTHER Apache Log4j logging remote code execution attempt",
+			Bytes:     512 + i,
+		}
+		if i%5 != 4 {
+			out[i].CVE = fmt.Sprintf("2021-%d", 44220+i%9)
+		}
+	}
+	return out
+}
+
+func eventsEqual(a, b ids.Event) bool {
+	return a.Time.Equal(b.Time) && a.Src == b.Src && a.Dst == b.Dst &&
+		a.SID == b.SID && a.Published.Equal(b.Published) &&
+		a.CVE == b.CVE && a.Msg == b.Msg && a.Bytes == b.Bytes
+}
+
+// memSink collects applied batches; optionally fails appends on demand.
+type memSink struct {
+	mu      sync.Mutex
+	events  []ids.Event
+	batches int
+	failErr error
+}
+
+func (m *memSink) AppendBatch(events []ids.Event) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.failErr != nil {
+		return m.failErr
+	}
+	m.events = append(m.events, events...)
+	m.batches++
+	return nil
+}
+
+func (m *memSink) snapshot() []ids.Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]ids.Event(nil), m.events...)
+}
+
+func (m *memSink) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.events)
+}

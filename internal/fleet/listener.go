@@ -1,0 +1,370 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// Sink receives applied event batches. *eventstore.Store satisfies it.
+type Sink interface {
+	AppendBatch(events []ids.Event) error
+}
+
+// ListenerConfig wires a coordinator-side fleet listener.
+type ListenerConfig struct {
+	// Addr is the TCP listen address (":8417" style). Ignored when Listener
+	// is set.
+	Addr string
+	// Listener, when non-nil, is used instead of binding Addr (tests bind
+	// 127.0.0.1:0 themselves).
+	Listener net.Listener
+	// Sink receives each applied batch. Required.
+	Sink Sink
+	// Dir holds the watermark journal — give it the eventstore directory so
+	// dedup state and event log live together. Required.
+	Dir string
+	// IdleTimeout closes a connection that has sent nothing (not even a
+	// heartbeat) for this long. Zero means 60s.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds ack/handshake writes. Zero means 10s.
+	WriteTimeout time.Duration
+}
+
+func (c ListenerConfig) withDefaults() ListenerConfig {
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 60 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// SensorStatus is one sensor's liveness and progress as the coordinator
+// sees it — the rows behind GET /v1/fleet and the per-sensor /metrics
+// gauges.
+type SensorStatus struct {
+	ID         string    `json:"id"`
+	Shard      int       `json:"shard"`
+	Shards     int       `json:"shards"`
+	Codec      string    `json:"codec"`
+	Connected  bool      `json:"connected"`
+	RemoteAddr string    `json:"remote_addr,omitempty"`
+	LastSeen   time.Time `json:"last_seen"`
+	// Watermark is the highest applied batch sequence (durable).
+	Watermark uint64 `json:"watermark"`
+	// Batches/Events/DupBatches count what this process applied or dropped
+	// since start (they reset on coordinator restart; Watermark does not).
+	Batches    uint64 `json:"batches"`
+	Events     uint64 `json:"events"`
+	DupBatches uint64 `json:"dup_batches"`
+	// SpooledBatches and IngestLag are the sensor's own view from its last
+	// heartbeat: how far behind the fleet is even when the wire is quiet.
+	SpooledBatches uint32 `json:"spooled_batches"`
+	IngestLag      int64  `json:"ingest_lag"`
+}
+
+// Listener accepts sensor connections and performs exactly-once ingest.
+type Listener struct {
+	cfg ListenerConfig
+	ln  net.Listener
+	wm  *Watermarks
+
+	mu      sync.Mutex
+	sensors map[string]*sensorState
+	conns   map[net.Conn]struct{}
+
+	batches atomic.Uint64
+	events  atomic.Uint64
+	dups    atomic.Uint64
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// sensorState serializes batch application per sensor (an old zombie
+// connection must not interleave with its replacement) and holds status.
+type sensorState struct {
+	mu     sync.Mutex
+	status SensorStatus
+	conn   net.Conn // active connection, nil when disconnected
+}
+
+// Listen opens the watermark journal and starts accepting sensors.
+func Listen(cfg ListenerConfig) (*Listener, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Sink == nil || cfg.Dir == "" {
+		return nil, errors.New("fleet: ListenerConfig needs Sink and Dir")
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		if cfg.Addr == "" {
+			return nil, errors.New("fleet: ListenerConfig needs Addr or Listener")
+		}
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	wm, err := OpenWatermarks(cfg.Dir)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	l := &Listener{
+		cfg: cfg, ln: ln, wm: wm,
+		sensors: map[string]*sensorState{},
+		conns:   map[net.Conn]struct{}{},
+	}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the bound listen address.
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+// Watermarks exposes the dedup journal (tests audit it; serve reports it).
+func (l *Listener) Watermarks() *Watermarks { return l.wm }
+
+// Totals reports batches applied, events applied, and duplicate batches
+// dropped since this process started.
+func (l *Listener) Totals() (batches, events, dups uint64) {
+	return l.batches.Load(), l.events.Load(), l.dups.Load()
+}
+
+// Err returns the first fatal apply error (sink append or watermark write
+// failure), or nil. Connection-level errors are not fatal: the sensor
+// reconnects and redelivers.
+func (l *Listener) Err() error {
+	l.errMu.Lock()
+	defer l.errMu.Unlock()
+	return l.firstErr
+}
+
+func (l *Listener) fail(err error) {
+	l.errMu.Lock()
+	if l.firstErr == nil {
+		l.firstErr = err
+	}
+	l.errMu.Unlock()
+}
+
+// Sensors returns every known sensor's status, sorted by ID.
+func (l *Listener) Sensors() []SensorStatus {
+	l.mu.Lock()
+	states := make([]*sensorState, 0, len(l.sensors))
+	for _, st := range l.sensors {
+		states = append(states, st)
+	}
+	l.mu.Unlock()
+	out := make([]SensorStatus, 0, len(states))
+	for _, st := range states {
+		st.mu.Lock()
+		s := st.status
+		s.Watermark = l.wm.Get(s.ID)
+		st.mu.Unlock()
+		out = append(out, s)
+	}
+	sortStatuses(out)
+	return out
+}
+
+func sortStatuses(s []SensorStatus) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].ID < s[j-1].ID; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Close stops accepting, closes live connections, waits for handlers to
+// finish their current batch (so every applied batch has its watermark
+// recorded), and closes the journal.
+func (l *Listener) Close() error {
+	if !l.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := l.ln.Close()
+	l.mu.Lock()
+	for c := range l.conns {
+		c.Close()
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+	if werr := l.wm.Close(); err == nil {
+		err = werr
+	}
+	if aerr := l.Err(); err == nil {
+		err = aerr
+	}
+	return err
+}
+
+func (l *Listener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return // closed
+		}
+		l.mu.Lock()
+		if l.closed.Load() {
+			l.mu.Unlock()
+			conn.Close()
+			return
+		}
+		l.conns[conn] = struct{}{}
+		l.wg.Add(1)
+		l.mu.Unlock()
+		go l.handle(conn)
+	}
+}
+
+func (l *Listener) handle(conn net.Conn) {
+	defer l.wg.Done()
+	defer func() {
+		conn.Close()
+		l.mu.Lock()
+		delete(l.conns, conn)
+		l.mu.Unlock()
+	}()
+
+	conn.SetReadDeadline(time.Now().Add(l.cfg.IdleTimeout))
+	frame, err := readFrame(conn, nil)
+	if err != nil {
+		return
+	}
+	h, err := decodeHello(frame)
+	if err != nil {
+		return
+	}
+
+	st := l.register(h, conn)
+	defer l.disconnect(st, conn)
+
+	ack := helloAck{Version: ProtocolVersion, Watermark: l.wm.Get(h.SensorID)}
+	conn.SetWriteDeadline(time.Now().Add(l.cfg.WriteTimeout))
+	if err := writeFrame(conn, ack.encode()); err != nil {
+		return
+	}
+
+	var buf []byte
+	for {
+		conn.SetReadDeadline(time.Now().Add(l.cfg.IdleTimeout))
+		frame, err := readFrame(conn, buf)
+		if err != nil {
+			return
+		}
+		buf = frame
+		if len(frame) == 0 {
+			return
+		}
+		switch frame[0] {
+		case msgBatch:
+			b, err := decodeBatch(frame)
+			if err != nil {
+				return
+			}
+			ackTo, ok := l.apply(st, h.SensorID, b)
+			if !ok {
+				return
+			}
+			conn.SetWriteDeadline(time.Now().Add(l.cfg.WriteTimeout))
+			if err := writeFrame(conn, encodeAck(ackTo)); err != nil {
+				return
+			}
+		case msgHeartbeat:
+			hb, err := decodeHeartbeat(frame)
+			if err != nil {
+				return
+			}
+			st.mu.Lock()
+			st.status.LastSeen = time.Now().UTC()
+			st.status.SpooledBatches = hb.Spooled
+			st.status.IngestLag = hb.IngestLag
+			st.mu.Unlock()
+		default:
+			return // protocol error; let the sensor reconnect
+		}
+	}
+}
+
+// apply performs the exactly-once step for one batch: duplicates (at or
+// below the watermark) are dropped and re-acked; the next-in-sequence batch
+// is appended to the sink and the watermark advanced before the ack; a gap
+// (sequence beyond watermark+1) fails the connection so the sensor resyncs
+// from the handshake. Returns the cumulative ack and whether the connection
+// may continue.
+func (l *Listener) apply(st *sensorState, id string, b batchMsg) (uint64, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	w := l.wm.Get(id)
+	st.status.LastSeen = time.Now().UTC()
+	switch {
+	case b.Seq <= w:
+		l.dups.Add(1)
+		st.status.DupBatches++
+		return w, true
+	case b.Seq != w+1:
+		return 0, false // gap: redelivery lost a batch; force a resync
+	}
+	if err := l.cfg.Sink.AppendBatch(b.Events); err != nil {
+		l.fail(fmt.Errorf("fleet: applying batch %d from %s: %w", b.Seq, id, err))
+		return 0, false
+	}
+	if err := l.wm.Advance(id, b.Seq); err != nil {
+		// The events are in the sink but the watermark is not durable; fail
+		// the connection without acking so redelivery is the worst case.
+		l.fail(err)
+		return 0, false
+	}
+	l.batches.Add(1)
+	l.events.Add(uint64(len(b.Events)))
+	st.status.Batches++
+	st.status.Events += uint64(len(b.Events))
+	return b.Seq, true
+}
+
+// register notes a (re)connected sensor, superseding any previous
+// connection's status row.
+func (l *Listener) register(h hello, conn net.Conn) *sensorState {
+	l.mu.Lock()
+	st, ok := l.sensors[h.SensorID]
+	if !ok {
+		st = &sensorState{}
+		l.sensors[h.SensorID] = st
+	}
+	l.mu.Unlock()
+	st.mu.Lock()
+	st.status.ID = h.SensorID
+	st.status.Shard = int(h.ShardIndex)
+	st.status.Shards = int(h.ShardCount)
+	st.status.Codec = h.Codec.String()
+	st.status.Connected = true
+	st.status.RemoteAddr = conn.RemoteAddr().String()
+	st.status.LastSeen = time.Now().UTC()
+	st.conn = conn
+	st.mu.Unlock()
+	return st
+}
+
+// disconnect clears Connected unless a newer connection already took over.
+func (l *Listener) disconnect(st *sensorState, conn net.Conn) {
+	st.mu.Lock()
+	if st.conn == conn {
+		st.conn = nil
+		st.status.Connected = false
+	}
+	st.mu.Unlock()
+}

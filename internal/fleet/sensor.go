@@ -1,0 +1,374 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// ShipperConfig wires a sensor-side shipper.
+type ShipperConfig struct {
+	// Addr is the coordinator's fleet address. Required.
+	Addr string
+	// SensorID names this sensor to the coordinator. Required, and must be
+	// stable across restarts: it keys the coordinator's watermark.
+	SensorID string
+	// Shard/Shards advertise which slice of the address space this sensor
+	// captures (Shards 0 means 1).
+	Shard, Shards int
+	// StateDir holds the spool. Required.
+	StateDir string
+	// Codec compresses outgoing batches. Default snappy.
+	Codec Codec
+	// Window bounds unacked batches in flight. Zero means 8.
+	Window int
+	// HeartbeatEvery paces liveness while idle. Zero means 1s.
+	HeartbeatEvery time.Duration
+	// BackoffMin/BackoffMax bound reconnect backoff (exponential, with up to
+	// 50% jitter). Zero means 50ms / 5s.
+	BackoffMin, BackoffMax time.Duration
+	// DialTimeout bounds one connect attempt. Zero means 5s.
+	DialTimeout time.Duration
+	// WriteTimeout bounds one frame write. Zero means 10s.
+	WriteTimeout time.Duration
+	// Lag, when set, reports local ingest backlog for heartbeats.
+	Lag func() int64
+	// Dial replaces net.DialTimeout (tests route through a flaky proxy).
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+func (c ShipperConfig) withDefaults() ShipperConfig {
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Codec == 0 {
+		c.Codec = CodecSnappy
+	}
+	if c.Window == 0 {
+		c.Window = 8
+	}
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = time.Second
+	}
+	if c.BackoffMin == 0 {
+		c.BackoffMin = 50 * time.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.Dial == nil {
+		c.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return c
+}
+
+// ShipperMetrics is a point-in-time view of shipping progress.
+type ShipperMetrics struct {
+	Connected  bool
+	Reconnects uint64 // connection attempts beyond the first
+	SentBatch  uint64 // batch frames written (includes redeliveries)
+	AckedSeq   uint64 // highest cumulative ack
+	LastSeq    uint64 // highest spooled sequence
+	Spooled    int    // unacked batches
+}
+
+// Shipper spools event batches durably and ships them to the coordinator
+// with a bounded in-flight window, reconnecting with jittered exponential
+// backoff. It is the ingest pipeline's Sink on a sensor: AppendBatch lands
+// in the spool (so nothing is lost while the coordinator is away) and the
+// run loop drains the spool over the wire in sequence order.
+type Shipper struct {
+	cfg   ShipperConfig
+	spool *spool
+	rng   *rand.Rand
+	rngMu sync.Mutex
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	connMu sync.Mutex
+	conn   net.Conn
+
+	connected  atomic.Bool
+	reconnects atomic.Uint64
+	sent       atomic.Uint64
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// StartShipper opens (recovering) the spool and starts the ship loop.
+func StartShipper(cfg ShipperConfig) (*Shipper, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Addr == "" || cfg.SensorID == "" || cfg.StateDir == "" {
+		return nil, errors.New("fleet: ShipperConfig needs Addr, SensorID, StateDir")
+	}
+	if cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
+		return nil, fmt.Errorf("fleet: shard %d out of range of %d", cfg.Shard, cfg.Shards)
+	}
+	sp, err := openSpool(cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	h.Write([]byte(cfg.SensorID))
+	s := &Shipper{
+		cfg:   cfg,
+		spool: sp,
+		rng:   rand.New(rand.NewSource(int64(h.Sum64()))),
+		wake:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go s.run()
+	return s, nil
+}
+
+// AppendBatch spools one event batch for delivery (ingest.Sink). The write
+// is durable before return; delivery is asynchronous.
+func (s *Shipper) AppendBatch(events []ids.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	if _, err := s.spool.Add(events); err != nil {
+		return err
+	}
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Metrics returns current shipping progress.
+func (s *Shipper) Metrics() ShipperMetrics {
+	return ShipperMetrics{
+		Connected:  s.connected.Load(),
+		Reconnects: s.reconnects.Load(),
+		SentBatch:  s.sent.Load(),
+		AckedSeq:   s.spool.Acked(),
+		LastSeq:    s.spool.LastSeq(),
+		Spooled:    s.spool.Depth(),
+	}
+}
+
+// Drained reports whether every spooled batch has been acked.
+func (s *Shipper) Drained() bool { return s.spool.Depth() == 0 }
+
+// WaitDrained blocks until the spool is fully acked or ctx ends.
+func (s *Shipper) WaitDrained(ctx context.Context) error {
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if s.Drained() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Close stops the ship loop and closes the spool. Unacked batches stay
+// spooled on disk and resume on the next StartShipper with the same
+// StateDir; use WaitDrained first for a clean flush.
+func (s *Shipper) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.connMu.Lock()
+		if s.conn != nil {
+			s.conn.Close()
+		}
+		s.connMu.Unlock()
+		<-s.done
+		s.closeErr = s.spool.Close()
+	})
+	return s.closeErr
+}
+
+func (s *Shipper) stopped() bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Shipper) run() {
+	defer close(s.done)
+	backoff := s.cfg.BackoffMin
+	first := true
+	for {
+		if s.stopped() {
+			return
+		}
+		if !first {
+			s.reconnects.Add(1)
+		}
+		first = false
+		shipped, err := s.session()
+		s.connected.Store(false)
+		if s.stopped() {
+			return
+		}
+		if err == nil {
+			return // stop requested inside session
+		}
+		if shipped {
+			backoff = s.cfg.BackoffMin // the link worked; churn, not outage
+		}
+		s.rngMu.Lock()
+		jitter := time.Duration(s.rng.Int63n(int64(backoff)/2 + 1))
+		s.rngMu.Unlock()
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(backoff + jitter):
+		}
+		backoff *= 2
+		if backoff > s.cfg.BackoffMax {
+			backoff = s.cfg.BackoffMax
+		}
+	}
+}
+
+// session runs one connection: dial, handshake, then ship until error or
+// stop. It reports whether the handshake succeeded (resets backoff) and
+// returns nil exactly when stopping.
+func (s *Shipper) session() (shipped bool, err error) {
+	conn, err := s.cfg.Dial(s.cfg.Addr, s.cfg.DialTimeout)
+	if err != nil {
+		return false, err
+	}
+	s.connMu.Lock()
+	if s.stopped() {
+		s.connMu.Unlock()
+		conn.Close()
+		return false, nil
+	}
+	s.conn = conn
+	s.connMu.Unlock()
+	defer func() {
+		conn.Close()
+		s.connMu.Lock()
+		if s.conn == conn {
+			s.conn = nil
+		}
+		s.connMu.Unlock()
+	}()
+
+	h := hello{
+		Version:    ProtocolVersion,
+		SensorID:   s.cfg.SensorID,
+		ShardIndex: uint32(s.cfg.Shard),
+		ShardCount: uint32(s.cfg.Shards),
+		Codec:      s.cfg.Codec,
+	}
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	if err := writeFrame(conn, h.encode()); err != nil {
+		return false, err
+	}
+	conn.SetReadDeadline(time.Now().Add(s.cfg.DialTimeout))
+	frame, err := readFrame(conn, nil)
+	if err != nil {
+		return false, err
+	}
+	ack, err := decodeHelloAck(frame)
+	if err != nil {
+		return false, err
+	}
+	conn.SetReadDeadline(time.Time{})
+	if err := s.spool.AckTo(ack.Watermark); err != nil {
+		return true, err
+	}
+	s.connected.Store(true)
+
+	// Reader: acks in, errors out.
+	acks := make(chan uint64, 64)
+	readErr := make(chan error, 1)
+	go func() {
+		var buf []byte
+		for {
+			frame, err := readFrame(conn, buf)
+			if err != nil {
+				readErr <- err
+				return
+			}
+			buf = frame
+			w, err := decodeAck(frame)
+			if err != nil {
+				readErr <- err
+				return
+			}
+			select {
+			case acks <- w:
+			case <-s.stop:
+				readErr <- errors.New("fleet: stopping")
+				return
+			}
+		}
+	}()
+
+	hb := time.NewTicker(s.cfg.HeartbeatEvery)
+	defer hb.Stop()
+	lastSent := s.spool.Acked()
+	for {
+		// Fill the window with the next unacked batches.
+		for int(lastSent-s.spool.Acked()) < s.cfg.Window {
+			b, ok := s.spool.NextAfter(lastSent)
+			if !ok {
+				break
+			}
+			payload, err := encodeBatch(b.seq, b.events, s.cfg.Codec)
+			if err != nil {
+				return true, err
+			}
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			if err := writeFrame(conn, payload); err != nil {
+				return true, err
+			}
+			s.sent.Add(1)
+			lastSent = b.seq
+		}
+		select {
+		case w := <-acks:
+			if err := s.spool.AckTo(w); err != nil {
+				return true, err
+			}
+		case err := <-readErr:
+			return true, err
+		case <-s.wake:
+		case <-hb.C:
+			msg := heartbeat{NextSeq: s.spool.LastSeq() + 1, Spooled: uint32(s.spool.Depth())}
+			if s.cfg.Lag != nil {
+				msg.IngestLag = s.cfg.Lag()
+			}
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			if err := writeFrame(conn, msg.encode()); err != nil {
+				return true, err
+			}
+		case <-s.stop:
+			return true, nil
+		}
+	}
+}

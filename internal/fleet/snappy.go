@@ -1,0 +1,210 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// An in-repo implementation of the snappy block format
+// (https://github.com/google/snappy/blob/main/format_description.txt) so the
+// wire protocol gets an LZ77 fast path without any dependency. The encoder is
+// a greedy single-pass matcher over a small hash table — the classic snappy
+// shape — and emits only literal, copy1, and copy2 elements; the decoder
+// additionally accepts copy4 for compatibility with other encoders.
+//
+// A batch of encoded events is highly repetitive (shared rule messages, CVE
+// strings, adjacent timestamps), so even this simple matcher routinely beats
+// 3x while staying far cheaper than deflate.
+
+const (
+	snapTagLiteral = 0x00
+	snapTagCopy1   = 0x01
+	snapTagCopy2   = 0x02
+	snapTagCopy4   = 0x03
+
+	// snapMaxOffset is the largest back-reference the encoder emits (copy2's
+	// u16 offset); inputs longer than this still encode fine, matches just
+	// never reach further back.
+	snapMaxOffset = 1<<16 - 1
+
+	// snapTableBits sizes the candidate table: 2^14 entries is the stock
+	// snappy working set, fitting in L1/L2.
+	snapTableBits = 14
+)
+
+// snappyEncode appends the snappy-block encoding of src to dst and returns
+// the extended slice. The empty input encodes to the single byte 0x00 (a
+// zero-length preamble).
+func snappyEncode(dst, src []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	if len(src) == 0 {
+		return dst
+	}
+	if len(src) < 4 {
+		return snapEmitLiteral(dst, src)
+	}
+
+	var table [1 << snapTableBits]int32
+	for i := range table {
+		table[i] = -1
+	}
+	hash := func(u uint32) uint32 {
+		return (u * 0x1e35a7bd) >> (32 - snapTableBits)
+	}
+
+	s := 0   // next byte to consider
+	lit := 0 // start of pending literal run
+	limit := len(src) - 4
+	for s <= limit {
+		cur := binary.LittleEndian.Uint32(src[s:])
+		h := hash(cur)
+		cand := table[h]
+		table[h] = int32(s)
+		if cand < 0 || s-int(cand) > snapMaxOffset ||
+			binary.LittleEndian.Uint32(src[cand:]) != cur {
+			s++
+			continue
+		}
+		// Extend the match forward.
+		length := 4
+		for s+length < len(src) && src[int(cand)+length] == src[s+length] {
+			length++
+		}
+		if lit < s {
+			dst = snapEmitLiteral(dst, src[lit:s])
+		}
+		dst = snapEmitCopy(dst, s-int(cand), length)
+		s += length
+		lit = s
+	}
+	if lit < len(src) {
+		dst = snapEmitLiteral(dst, src[lit:])
+	}
+	return dst
+}
+
+func snapEmitLiteral(dst, lit []byte) []byte {
+	n := len(lit) - 1
+	switch {
+	case n < 60:
+		dst = append(dst, byte(n)<<2|snapTagLiteral)
+	case n < 1<<8:
+		dst = append(dst, 60<<2|snapTagLiteral, byte(n))
+	case n < 1<<16:
+		dst = append(dst, 61<<2|snapTagLiteral, byte(n), byte(n>>8))
+	case n < 1<<24:
+		dst = append(dst, 62<<2|snapTagLiteral, byte(n), byte(n>>8), byte(n>>16))
+	default:
+		dst = append(dst, 63<<2|snapTagLiteral, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	}
+	return append(dst, lit...)
+}
+
+func snapEmitCopy(dst []byte, offset, length int) []byte {
+	// Long matches split into 64-byte copy2 elements; the tail never drops
+	// below 4 (the copy1 minimum), hence the 68/64 staging.
+	for length >= 68 {
+		dst = append(dst, 63<<2|snapTagCopy2, byte(offset), byte(offset>>8))
+		length -= 64
+	}
+	if length > 64 {
+		dst = append(dst, 59<<2|snapTagCopy2, byte(offset), byte(offset>>8))
+		length -= 60
+	}
+	if length >= 12 || offset >= 2048 {
+		return append(dst, byte(length-1)<<2|snapTagCopy2, byte(offset), byte(offset>>8))
+	}
+	return append(dst, byte(offset>>8)<<5|byte(length-4)<<2|snapTagCopy1, byte(offset))
+}
+
+// snappyDecode decodes a snappy block, rejecting (never panicking on) any
+// malformed input and any preamble larger than maxLen, since blocks arrive
+// off the network.
+func snappyDecode(src []byte, maxLen int) ([]byte, error) {
+	want, n := binary.Uvarint(src)
+	if n <= 0 {
+		return nil, fmt.Errorf("fleet: snappy: bad length preamble")
+	}
+	if want > uint64(maxLen) {
+		return nil, fmt.Errorf("fleet: snappy: declared length %d exceeds limit %d", want, maxLen)
+	}
+	src = src[n:]
+	out := make([]byte, 0, want)
+	for len(src) > 0 {
+		tag := src[0]
+		switch tag & 0x03 {
+		case snapTagLiteral:
+			length := int(tag >> 2)
+			extra := 0
+			if length >= 60 {
+				extra = length - 59 // 1..4 length bytes follow
+				if len(src) < 1+extra {
+					return nil, fmt.Errorf("fleet: snappy: truncated literal header")
+				}
+				length = 0
+				for i := extra; i > 0; i-- {
+					length = length<<8 | int(src[i])
+				}
+			}
+			length++
+			src = src[1+extra:]
+			if len(src) < length {
+				return nil, fmt.Errorf("fleet: snappy: truncated literal body")
+			}
+			out = append(out, src[:length]...)
+			src = src[length:]
+		case snapTagCopy1:
+			if len(src) < 2 {
+				return nil, fmt.Errorf("fleet: snappy: truncated copy1")
+			}
+			length := 4 + int(tag>>2&0x07)
+			offset := int(tag>>5)<<8 | int(src[1])
+			src = src[2:]
+			var err error
+			if out, err = snapCopy(out, offset, length); err != nil {
+				return nil, err
+			}
+		case snapTagCopy2:
+			if len(src) < 3 {
+				return nil, fmt.Errorf("fleet: snappy: truncated copy2")
+			}
+			length := 1 + int(tag>>2)
+			offset := int(binary.LittleEndian.Uint16(src[1:3]))
+			src = src[3:]
+			var err error
+			if out, err = snapCopy(out, offset, length); err != nil {
+				return nil, err
+			}
+		default: // snapTagCopy4
+			if len(src) < 5 {
+				return nil, fmt.Errorf("fleet: snappy: truncated copy4")
+			}
+			length := 1 + int(tag>>2)
+			offset := int(binary.LittleEndian.Uint32(src[1:5]))
+			src = src[5:]
+			var err error
+			if out, err = snapCopy(out, offset, length); err != nil {
+				return nil, err
+			}
+		}
+		if uint64(len(out)) > want {
+			return nil, fmt.Errorf("fleet: snappy: output exceeds declared length %d", want)
+		}
+	}
+	if uint64(len(out)) != want {
+		return nil, fmt.Errorf("fleet: snappy: decoded %d bytes, declared %d", len(out), want)
+	}
+	return out, nil
+}
+
+// snapCopy appends length bytes starting offset bytes back in out. Byte-wise
+// so overlapping copies (offset < length, the RLE case) behave per spec.
+func snapCopy(out []byte, offset, length int) ([]byte, error) {
+	if offset <= 0 || offset > len(out) {
+		return nil, fmt.Errorf("fleet: snappy: copy offset %d outside %d decoded bytes", offset, len(out))
+	}
+	for i := 0; i < length; i++ {
+		out = append(out, out[len(out)-offset])
+	}
+	return out, nil
+}

@@ -1,0 +1,266 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/eventstore"
+	"repro/internal/ids"
+)
+
+// spool is the sensor's durable outbound queue: every batch headed upstream
+// is first appended (with its assigned sequence number) to a crash-safe
+// framed log, so a dead coordinator — or a dead sensor — loses nothing. The
+// log uses the eventstore's record framing and the same recovery rule: on
+// open, replay until the first torn frame and truncate there.
+//
+// Acks only advance an in-memory watermark; the file compacts (rewrites with
+// just the unacked suffix) once the acked prefix dominates, so steady-state
+// disk use tracks the unacked window, not history.
+type spool struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	size    int64
+	pending []spoolBatch // unacked, ascending seq
+	acked   uint64       // highest acked (and pruned) sequence
+	lastSeq uint64       // highest assigned sequence
+	// ackedBytes estimates the on-disk bytes belonging to acked batches,
+	// the compaction trigger.
+	ackedBytes int64
+}
+
+type spoolBatch struct {
+	seq    uint64
+	events []ids.Event
+	bytes  int64 // on-disk footprint, for compaction accounting
+}
+
+var spoolMagic = [8]byte{'F', 'S', 'P', 'L', 0x00, 0x01, '\n'}
+
+// spoolCompactAt triggers a rewrite once this many acked bytes accumulate.
+const spoolCompactAt = 4 << 20
+
+// openSpool opens (creating if needed) the spool log in dir.
+func openSpool(dir string) (*spool, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, "spool.log")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	sp := &spool{f: f, path: path}
+	switch {
+	case len(raw) == 0:
+		if _, err := f.Write(spoolMagic[:]); err != nil {
+			f.Close()
+			return nil, err
+		}
+		sp.size = int64(len(spoolMagic))
+	case len(raw) < len(spoolMagic) || [8]byte(raw[:8]) != spoolMagic:
+		f.Close()
+		return nil, fmt.Errorf("fleet: %s is not a spool log", path)
+	default:
+		good, _, err := eventstore.ScanFrames(raw[len(spoolMagic):], func(payload []byte) error {
+			b, err := decodeSpoolBatch(payload)
+			if err != nil {
+				return err
+			}
+			b.bytes = int64(len(payload) + 8)
+			if b.seq > sp.lastSeq {
+				sp.lastSeq = b.seq
+			}
+			sp.pending = append(sp.pending, b)
+			return nil
+		})
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: %s: %w", path, err)
+		}
+		sp.size = int64(len(spoolMagic) + good)
+		if sp.size < int64(len(raw)) {
+			if err := f.Truncate(sp.size); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	if _, err := f.Seek(sp.size, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return sp, nil
+}
+
+// spool batch payload: u64 seq | u32 count | framed events.
+func encodeSpoolBatch(seq uint64, events []ids.Event) []byte {
+	buf := binary.LittleEndian.AppendUint64(nil, seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(events)))
+	var tmp []byte
+	for i := range events {
+		tmp = eventstore.EncodeEvent(tmp[:0], &events[i])
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tmp)))
+		buf = append(buf, tmp...)
+	}
+	return buf
+}
+
+func decodeSpoolBatch(b []byte) (spoolBatch, error) {
+	var out spoolBatch
+	if len(b) < 12 {
+		return out, fmt.Errorf("fleet: spool batch header truncated")
+	}
+	out.seq = binary.LittleEndian.Uint64(b)
+	count := binary.LittleEndian.Uint32(b[8:12])
+	b = b[12:]
+	out.events = make([]ids.Event, 0, count)
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return out, fmt.Errorf("fleet: spool event frame truncated")
+		}
+		n := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < n {
+			return out, fmt.Errorf("fleet: spool event frame overruns record")
+		}
+		ev, err := eventstore.DecodeEvent(b[:n])
+		if err != nil {
+			return out, err
+		}
+		out.events = append(out.events, ev)
+		b = b[n:]
+	}
+	if uint32(len(out.events)) != count {
+		return out, fmt.Errorf("fleet: spool batch holds %d events, declared %d", len(out.events), count)
+	}
+	return out, nil
+}
+
+// Add assigns the next sequence number to events, appends the batch durably,
+// and returns the assigned sequence.
+func (sp *spool) Add(events []ids.Event) (uint64, error) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	seq := sp.lastSeq + 1
+	payload := encodeSpoolBatch(seq, events)
+	frame := eventstore.AppendFrame(nil, payload)
+	if _, err := sp.f.Write(frame); err != nil {
+		return 0, fmt.Errorf("fleet: spooling batch %d: %w", seq, err)
+	}
+	sp.size += int64(len(frame))
+	sp.lastSeq = seq
+	sp.pending = append(sp.pending, spoolBatch{seq: seq, events: events, bytes: int64(len(frame))})
+	return seq, nil
+}
+
+// AckTo drops every batch with seq <= w. Compaction happens opportunistically
+// once enough acked bytes accumulate and nothing is pending (the cheap
+// moment: the rewrite is then just the header).
+func (sp *spool) AckTo(w uint64) error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if w <= sp.acked {
+		return nil
+	}
+	for len(sp.pending) > 0 && sp.pending[0].seq <= w {
+		sp.ackedBytes += sp.pending[0].bytes
+		sp.pending = sp.pending[1:]
+	}
+	if w > sp.acked {
+		sp.acked = w
+	}
+	if sp.ackedBytes >= spoolCompactAt {
+		return sp.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked rewrites the log with only the unacked suffix.
+func (sp *spool) compactLocked() error {
+	tmp := sp.path + ".tmp"
+	buf := append([]byte(nil), spoolMagic[:]...)
+	for _, b := range sp.pending {
+		buf = eventstore.AppendFrame(buf, encodeSpoolBatch(b.seq, b.events))
+	}
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(tmp, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(int64(len(buf)), 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := os.Rename(tmp, sp.path); err != nil {
+		f.Close()
+		return err
+	}
+	old := sp.f
+	sp.f = f
+	sp.size = int64(len(buf))
+	sp.ackedBytes = 0
+	return old.Close()
+}
+
+// NextAfter returns the first pending batch with seq > after.
+func (sp *spool) NextAfter(after uint64) (spoolBatch, bool) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	for _, b := range sp.pending {
+		if b.seq > after {
+			return b, true
+		}
+	}
+	return spoolBatch{}, false
+}
+
+// Depth returns how many batches are spooled but unacked.
+func (sp *spool) Depth() int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return len(sp.pending)
+}
+
+// LastSeq returns the highest assigned sequence number.
+func (sp *spool) LastSeq() uint64 {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.lastSeq
+}
+
+// Acked returns the highest acked sequence number.
+func (sp *spool) Acked() uint64 {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.acked
+}
+
+// Sync fsyncs the log.
+func (sp *spool) Sync() error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.f.Sync()
+}
+
+// Close syncs and closes the log.
+func (sp *spool) Close() error {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if err := sp.f.Sync(); err != nil {
+		sp.f.Close()
+		return err
+	}
+	return sp.f.Close()
+}

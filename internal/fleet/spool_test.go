@@ -1,0 +1,217 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSpoolAddAckRecover(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := openSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := testEvents(t, 30)
+	for i := 0; i < 10; i++ {
+		seq, err := sp.Add(events[i*3 : i*3+3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("batch %d assigned seq %d", i, seq)
+		}
+	}
+	if sp.Depth() != 10 || sp.LastSeq() != 10 {
+		t.Fatalf("depth %d lastSeq %d", sp.Depth(), sp.LastSeq())
+	}
+	if err := sp.AckTo(4); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Depth() != 6 || sp.Acked() != 4 {
+		t.Fatalf("after ack: depth %d acked %d", sp.Depth(), sp.Acked())
+	}
+	// Stale (regressive) acks are no-ops.
+	if err := sp.AckTo(2); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Acked() != 4 {
+		t.Fatalf("ack regressed to %d", sp.Acked())
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: acks are in-memory only, so all 10 batches replay; sequence
+	// numbering continues where it left off.
+	sp, err = openSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	if sp.Depth() != 10 || sp.LastSeq() != 10 {
+		t.Fatalf("recovered depth %d lastSeq %d", sp.Depth(), sp.LastSeq())
+	}
+	b, ok := sp.NextAfter(4)
+	if !ok || b.seq != 5 || len(b.events) != 3 {
+		t.Fatalf("NextAfter(4): ok=%v seq=%d n=%d", ok, b.seq, len(b.events))
+	}
+	if !eventsEqual(b.events[0], events[12]) {
+		t.Fatalf("recovered batch 5 starts with %+v, want %+v", b.events[0], events[12])
+	}
+	if seq, err := sp.Add(events[:1]); err != nil || seq != 11 {
+		t.Fatalf("post-recovery Add: seq=%d err=%v", seq, err)
+	}
+	if _, ok := sp.NextAfter(11); ok {
+		t.Fatal("NextAfter past the end returned a batch")
+	}
+}
+
+func TestSpoolTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := openSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := testEvents(t, 4)
+	for i := 0; i < 4; i++ {
+		if _, err := sp.Add(events[i : i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "spool.log")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-frame: drop the last 5 bytes (a crashed write).
+	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sp, err = openSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	if sp.Depth() != 3 || sp.LastSeq() != 3 {
+		t.Fatalf("torn tail: depth %d lastSeq %d, want 3/3", sp.Depth(), sp.LastSeq())
+	}
+	// The torn batch's sequence is reassigned — redelivery, not loss.
+	if seq, err := sp.Add(events[3:4]); err != nil || seq != 4 {
+		t.Fatalf("re-add after tear: seq=%d err=%v", seq, err)
+	}
+}
+
+func TestSpoolRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "spool.log"), []byte("not a spool at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openSpool(dir); err == nil {
+		t.Fatal("foreign file opened as spool")
+	}
+}
+
+func TestSpoolCompaction(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := openSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	// Each batch is ~60KB encoded; ack enough to cross the 4MB trigger.
+	events := testEvents(t, 500)
+	var last uint64
+	for i := 0; i < 120; i++ {
+		seq, err := sp.Add(events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = seq
+	}
+	before, err := os.Stat(filepath.Join(dir, "spool.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.AckTo(last - 1); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(filepath.Join(dir, "spool.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink the log: %d -> %d", before.Size(), after.Size())
+	}
+	// The surviving batch is intact and appends continue.
+	b, ok := sp.NextAfter(last - 1)
+	if !ok || b.seq != last || len(b.events) != len(events) {
+		t.Fatalf("post-compaction batch: ok=%v seq=%d n=%d", ok, b.seq, len(b.events))
+	}
+	if seq, err := sp.Add(events[:1]); err != nil || seq != last+1 {
+		t.Fatalf("post-compaction Add: seq=%d err=%v", seq, err)
+	}
+}
+
+func TestWatermarksAdvanceRecoverCompact(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWatermarks(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Get("nope") != 0 {
+		t.Fatal("unknown sensor has nonzero watermark")
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := w.Advance("s1", seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Advance("s2", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Advance("s1", 5); err == nil {
+		t.Fatal("non-advancing watermark accepted")
+	}
+	if err := w.Advance("s1", 3); err == nil {
+		t.Fatal("regressing watermark accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err = OpenWatermarks(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if got := w.All(); len(got) != 2 || got["s1"] != 5 || got["s2"] != 100 {
+		t.Fatalf("recovered marks %v", got)
+	}
+
+	// Torn tail: drop bytes off the journal; earlier records still recover.
+	path := filepath.Join(dir, "FLEET-WATERMARKS.log")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err = OpenWatermarks(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if w.Get("s1") != 5 {
+		t.Fatalf("torn journal lost s1: %d", w.Get("s1"))
+	}
+	// s2's single record was the tail and is gone — its batches redeliver.
+	if w.Get("s2") != 0 {
+		t.Fatalf("torn tail kept s2 at %d", w.Get("s2"))
+	}
+}

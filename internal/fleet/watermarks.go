@@ -1,0 +1,201 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/eventstore"
+)
+
+// Watermarks is the coordinator's per-sensor high-watermark journal: the
+// durable record, kept alongside the eventstore, of the highest batch
+// sequence applied from each sensor. A batch at or below its sensor's
+// watermark has already been ingested — redelivery after a reconnect or a
+// coordinator restart is dropped idempotently, which is what turns the wire
+// protocol's at-least-once retransmission into exactly-once ingest.
+//
+// The journal is an append-only framed log (one record per advance) with the
+// eventstore's torn-tail recovery; on open the last record per sensor wins.
+// It compacts to one record per sensor when the appended history grows past
+// a threshold. Each advance is written before the batch is acked, so an ack
+// implies the watermark — and therefore the dedup decision — is on disk.
+type Watermarks struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	size  int64
+	marks map[string]uint64
+}
+
+var wmMagic = [8]byte{'F', 'W', 'M', 'K', 0x00, 0x01, '\n'}
+
+// wmCompactAt triggers a rewrite once the journal grows past this size.
+const wmCompactAt = 1 << 20
+
+// OpenWatermarks opens (creating if needed) the journal in dir — typically
+// the eventstore directory, so store and watermarks live or die together.
+func OpenWatermarks(dir string) (*Watermarks, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, "FLEET-WATERMARKS.log")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := &Watermarks{f: f, path: path, marks: map[string]uint64{}}
+	switch {
+	case len(raw) == 0:
+		if _, err := f.Write(wmMagic[:]); err != nil {
+			f.Close()
+			return nil, err
+		}
+		w.size = int64(len(wmMagic))
+	case len(raw) < len(wmMagic) || [8]byte(raw[:8]) != wmMagic:
+		f.Close()
+		return nil, fmt.Errorf("fleet: %s is not a watermark journal", path)
+	default:
+		good, _, err := eventstore.ScanFrames(raw[len(wmMagic):], func(payload []byte) error {
+			id, seq, err := decodeMark(payload)
+			if err != nil {
+				return err
+			}
+			if seq > w.marks[id] {
+				w.marks[id] = seq
+			}
+			return nil
+		})
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: %s: %w", path, err)
+		}
+		w.size = int64(len(wmMagic) + good)
+		if w.size < int64(len(raw)) {
+			if err := f.Truncate(w.size); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	if _, err := f.Seek(w.size, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func encodeMark(id string, seq uint64) []byte {
+	buf := appendString16(nil, id)
+	return binary.LittleEndian.AppendUint64(buf, seq)
+}
+
+func decodeMark(b []byte) (string, uint64, error) {
+	if len(b) < 2 {
+		return "", 0, fmt.Errorf("fleet: watermark record truncated")
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	if len(b) != n+8 {
+		return "", 0, fmt.Errorf("fleet: watermark record of %d bytes, want %d", len(b), n+8)
+	}
+	return string(b[:n]), binary.LittleEndian.Uint64(b[n:]), nil
+}
+
+// Get returns the sensor's high watermark (0 if never seen).
+func (w *Watermarks) Get(id string) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.marks[id]
+}
+
+// Advance durably raises the sensor's watermark to seq. Regressions are
+// rejected: the caller applies batches in sequence order, so a smaller seq
+// means a logic error, not a retry.
+func (w *Watermarks) Advance(id string, seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if cur := w.marks[id]; seq <= cur {
+		return fmt.Errorf("fleet: watermark for %s would regress %d -> %d", id, cur, seq)
+	}
+	frame := eventstore.AppendFrame(nil, encodeMark(id, seq))
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("fleet: advancing watermark for %s: %w", id, err)
+	}
+	w.size += int64(len(frame))
+	w.marks[id] = seq
+	if w.size >= wmCompactAt {
+		return w.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked rewrites the journal as one record per sensor.
+func (w *Watermarks) compactLocked() error {
+	ids := make([]string, 0, len(w.marks))
+	for id := range w.marks {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	buf := append([]byte(nil), wmMagic[:]...)
+	for _, id := range ids {
+		buf = eventstore.AppendFrame(buf, encodeMark(id, w.marks[id]))
+	}
+	tmp := w.path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(tmp, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(int64(len(buf)), 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		f.Close()
+		return err
+	}
+	old := w.f
+	w.f = f
+	w.size = int64(len(buf))
+	return old.Close()
+}
+
+// All returns a copy of every sensor's watermark.
+func (w *Watermarks) All() map[string]uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[string]uint64, len(w.marks))
+	for id, seq := range w.marks {
+		out[id] = seq
+	}
+	return out
+}
+
+// Sync fsyncs the journal.
+func (w *Watermarks) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Sync()
+}
+
+// Close syncs and closes the journal.
+func (w *Watermarks) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

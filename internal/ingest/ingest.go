@@ -44,9 +44,19 @@ type Config struct {
 	// "dscope".
 	Dir    string
 	Prefix string
-	// Engine evaluates sessions; Store receives the events. Both required.
+	// Engine evaluates sessions. Required.
 	Engine *ids.Engine
-	Store  *eventstore.Store
+	// Store receives the events. Either Store or Sink is required; when both
+	// are set, Sink wins.
+	Store *eventstore.Store
+	// Sink, when set, receives event batches instead of a local store — a
+	// sensor node points this at its fleet shipper so matched events head
+	// upstream rather than to disk-local analysis.
+	Sink Sink
+	// CheckpointDir holds the drained-position checkpoint. Empty means the
+	// Store's directory (checkpointing is disabled for a Sink-only pipeline
+	// with no CheckpointDir).
+	CheckpointDir string
 	// PollInterval is how often the tailer re-checks for new bytes when it
 	// has caught up. Zero means 100ms.
 	PollInterval time.Duration
@@ -67,9 +77,21 @@ type Config struct {
 	Assembler tcpasm.Config
 }
 
+// Sink receives matched event batches. *eventstore.Store satisfies it, as
+// does the fleet shipper.
+type Sink interface {
+	AppendBatch(events []ids.Event) error
+}
+
 func (c Config) withDefaults() Config {
 	if c.Prefix == "" {
 		c.Prefix = "dscope"
+	}
+	if c.Sink == nil && c.Store != nil {
+		c.Sink = c.Store
+	}
+	if c.CheckpointDir == "" && c.Store != nil {
+		c.CheckpointDir = c.Store.Dir()
 	}
 	if c.PollInterval == 0 {
 		c.PollInterval = 100 * time.Millisecond
@@ -153,8 +175,8 @@ type Pipeline struct {
 // Start begins tailing. The returned Pipeline runs until Close.
 func Start(cfg Config) (*Pipeline, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Engine == nil || cfg.Store == nil {
-		return nil, errors.New("ingest: Config needs Engine and Store")
+	if cfg.Engine == nil || cfg.Sink == nil {
+		return nil, errors.New("ingest: Config needs Engine and a Store or Sink")
 	}
 	if cfg.Dir == "" {
 		return nil, errors.New("ingest: Config needs a watch Dir")
@@ -269,14 +291,22 @@ type checkpoint struct {
 	Offset  int64  // bytes of it consumed
 }
 
-// checkpointPath keeps the position alongside the store's own durable
-// state, one file per watch prefix.
+// checkpointPath keeps the position alongside the sink's own durable state
+// (the store directory, or a sensor's state directory), one file per watch
+// prefix. Empty means checkpointing is off.
 func (p *Pipeline) checkpointPath() string {
-	return filepath.Join(p.cfg.Store.Dir(), "INGEST-"+p.cfg.Prefix)
+	if p.cfg.CheckpointDir == "" {
+		return ""
+	}
+	return filepath.Join(p.cfg.CheckpointDir, "INGEST-"+p.cfg.Prefix)
 }
 
 func (p *Pipeline) loadCheckpoint() (checkpoint, bool) {
-	b, err := os.ReadFile(p.checkpointPath())
+	path := p.checkpointPath()
+	if path == "" {
+		return checkpoint{}, false
+	}
+	b, err := os.ReadFile(path)
 	if err != nil {
 		return checkpoint{}, false
 	}
@@ -292,10 +322,10 @@ func (p *Pipeline) loadCheckpoint() (checkpoint, bool) {
 }
 
 func (p *Pipeline) saveCheckpoint(ck checkpoint) error {
-	if ck.Segment == "" {
+	path := p.checkpointPath()
+	if ck.Segment == "" || path == "" {
 		return nil
 	}
-	path := p.checkpointPath()
 	tmp := path + ".tmp"
 	data := fmt.Sprintf("%s %d\n", ck.Segment, ck.Offset)
 	if err := os.WriteFile(tmp, []byte(data), 0o644); err != nil {
@@ -543,7 +573,7 @@ func (p *Pipeline) matcher() {
 		start := time.Now()
 		events := ids.MatchSessionsParallel(batch, p.cfg.Engine, nil, p.cfg.MatchWorkers)
 		if len(events) > 0 {
-			if err := p.cfg.Store.AppendBatch(events); err != nil {
+			if err := p.cfg.Sink.AppendBatch(events); err != nil {
 				p.fail(err)
 			}
 			p.events.Add(uint64(len(events)))

@@ -11,9 +11,11 @@
 //
 // Endpoints:
 //
-//	GET /healthz                 liveness
-//	GET /metrics                 ingest + store + cache metrics (Prometheus text)
+//	GET /healthz                 liveness + staleness (503 once the store has
+//	                             received nothing past Config.StaleAfter)
+//	GET /metrics                 ingest + store + fleet + cache metrics (Prometheus text)
 //	GET /v1/events               attributed events (filters: cve, since, until, limit)
+//	GET /v1/fleet                per-sensor liveness, watermarks, and lag
 //	GET /v1/lifecycles/{cve}     one CVE's lifecycle events
 //	GET /v1/tables/{n}           paper table n (1-6, E) as rendered text
 //	GET /v1/figures/{id}         paper figure id (1-18) as CSV
@@ -32,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/eventstore"
+	"repro/internal/fleet"
 	"repro/internal/ids"
 	"repro/internal/ingest"
 	"repro/internal/lifecycle"
@@ -49,12 +52,26 @@ type Config struct {
 	Store *eventstore.Store
 	// Ingest, when set, contributes pipeline metrics to /metrics.
 	Ingest *ingest.Pipeline
+	// Fleet, when set, backs GET /v1/fleet and per-sensor /metrics gauges.
+	Fleet FleetSource
+	// StaleAfter, when positive, makes /healthz answer 503 once the store
+	// has received nothing for this long (measured from the later of server
+	// start and the last append) — the signal a load balancer needs to
+	// eject a coordinator whose ingest has stalled.
+	StaleAfter time.Duration
+}
+
+// FleetSource is the slice of *fleet.Listener the server reads.
+type FleetSource interface {
+	Sensors() []fleet.SensorStatus
+	Totals() (batches, events, dups uint64)
 }
 
 // Server computes API responses from store snapshots.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
 
 	// Results derived from the latest snapshot, keyed by generation.
 	resMu  sync.Mutex
@@ -80,10 +97,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Study == nil || cfg.Store == nil {
 		return nil, fmt.Errorf("serve: Config needs Study and Store")
 	}
-	s := &Server{cfg: cfg, mux: http.NewServeMux(), cache: make(map[string]cacheEntry)}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now(), cache: make(map[string]cacheEntry)}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/fleet", s.handleFleet)
 	s.mux.HandleFunc("GET /v1/lifecycles/{cve}", s.handleLifecycle)
 	s.mux.HandleFunc("GET /v1/tables/{n}", s.handleTable)
 	s.mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
@@ -146,9 +164,67 @@ func (s *Server) write(w http.ResponseWriter, gen uint64, body []byte, ctype str
 	w.Write(body)
 }
 
+// handleHealthz reports liveness plus the lag a load balancer should act on.
+// The first line is "ok" or "stale"; subsequent lines carry ingest and fleet
+// backlog. With StaleAfter configured, a store that has received nothing for
+// that long (counting from server start for an empty store) answers 503 so
+// the balancer ejects this coordinator.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	var ingestLag int64
+	if p := s.cfg.Ingest; p != nil {
+		ingestLag = p.Metrics().Lag()
+	}
+	var fleetLag int64
+	if f := s.cfg.Fleet; f != nil {
+		for _, sensor := range f.Sensors() {
+			fleetLag += int64(sensor.SpooledBatches) + sensor.IngestLag
+		}
+	}
+	last := s.cfg.Store.LastAppend()
+	if last.IsZero() || last.Before(s.start) {
+		last = s.start
+	}
+	age := time.Since(last)
+	stale := s.cfg.StaleAfter > 0 && age > s.cfg.StaleAfter
+
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	if stale {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "stale")
+	} else {
+		fmt.Fprintln(w, "ok")
+	}
+	fmt.Fprintf(w, "ingest_lag %d\n", ingestLag)
+	fmt.Fprintf(w, "fleet_lag %d\n", fleetLag)
+	fmt.Fprintf(w, "store_age_seconds %.3f\n", age.Seconds())
+}
+
+// handleFleet serves per-sensor liveness and progress. Never cached: the
+// gauges (connectedness, lag, heartbeat age) move without the store
+// generation changing.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Fleet == nil {
+		http.Error(w, "fleet listener not enabled", http.StatusNotFound)
+		return
+	}
+	sensors := s.cfg.Fleet.Sensors()
+	batches, events, dups := s.cfg.Fleet.Totals()
+	out := struct {
+		Sensors    []fleet.SensorStatus `json:"sensors"`
+		Batches    uint64               `json:"batches"`
+		Events     uint64               `json:"events"`
+		DupBatches uint64               `json:"dup_batches"`
+	}{Sensors: sensors, Batches: batches, Events: events, DupBatches: dups}
+	if out.Sensors == nil {
+		out.Sensors = []fleet.SensorStatus{}
+	}
+	body, err := json.Marshal(out)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
 }
 
 // handleMetrics emits Prometheus text exposition. Never cached: gauges move
@@ -159,8 +235,40 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g("store_events", s.cfg.Store.Len())
 	g("store_bytes", s.cfg.Store.SizeBytes())
 	g("store_generation", s.cfg.Store.Generation())
+	for _, sh := range s.cfg.Store.ShardStats() {
+		label := fmt.Sprintf("{shard=\"%d\"}", sh.Shard)
+		g("store_shard_records"+label, sh.Records)
+		g("store_shard_bytes"+label, sh.SizeBytes)
+		var lastUnix int64
+		if !sh.LastAppend.IsZero() {
+			lastUnix = sh.LastAppend.Unix()
+		}
+		g("store_shard_last_append_seconds"+label, lastUnix)
+	}
 	g("cache_hits", s.hits.Load())
 	g("cache_misses", s.misses.Load())
+	if f := s.cfg.Fleet; f != nil {
+		sensors := f.Sensors()
+		batches, events, dups := f.Totals()
+		g("fleet_sensors", len(sensors))
+		g("fleet_batches", batches)
+		g("fleet_events", events)
+		g("fleet_dup_batches", dups)
+		for _, sensor := range sensors {
+			label := fmt.Sprintf("{sensor=%q}", sensor.ID)
+			connected := 0
+			if sensor.Connected {
+				connected = 1
+			}
+			g("fleet_sensor_connected"+label, connected)
+			g("fleet_sensor_watermark"+label, sensor.Watermark)
+			g("fleet_sensor_events"+label, sensor.Events)
+			g("fleet_sensor_dup_batches"+label, sensor.DupBatches)
+			g("fleet_sensor_spooled_batches"+label, sensor.SpooledBatches)
+			g("fleet_sensor_ingest_lag"+label, sensor.IngestLag)
+			g("fleet_sensor_last_seen_seconds"+label, sensor.LastSeen.Unix())
+		}
+	}
 	if p := s.cfg.Ingest; p != nil {
 		m := p.Metrics()
 		g("ingest_packets", m.Packets)

