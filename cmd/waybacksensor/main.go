@@ -7,6 +7,11 @@
 // Matched events are spooled durably before they are sent, so a dead
 // coordinator (or a sensor restart) loses nothing: delivery resumes from the
 // coordinator's acked watermark with exactly-once ingest on the far side.
+// The exactly-once guarantee covers wire-level redelivery and clean
+// shutdowns; a hard sensor crash (kill -9, power loss) re-captures the
+// window since the last ingest checkpoint — written at every idle flush —
+// and re-ships those events under fresh sequence numbers the coordinator
+// cannot recognize as duplicates.
 //
 // Usage:
 //
@@ -144,7 +149,11 @@ type shardSink struct {
 }
 
 func (s *shardSink) AppendBatch(events []ids.Event) error {
-	kept := events[:0]
+	// A fresh slice, not events[:0]: filtering in place would rearrange the
+	// caller's batch while the shipper's spool holds the kept events past
+	// this call — correctness must not hinge on the caller never touching
+	// its slice again.
+	kept := make([]ids.Event, 0, len(events))
 	for i := range events {
 		if fleet.ShardOf(events[i].Dst.Addr, s.shards) == s.shard {
 			kept = append(kept, events[i])

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -13,6 +14,8 @@ import (
 
 	"repro/internal/eventstore"
 	"repro/internal/fleet"
+	"repro/internal/ids"
+	"repro/internal/packet"
 	"repro/internal/pcapio"
 	"repro/internal/scanner"
 	"repro/internal/serve"
@@ -341,6 +344,49 @@ func TestFleetEndToEnd(t *testing.T) {
 		t.Fatalf("coordinator knows %d sensors, want %d", len(statuses), shards)
 	}
 	t.Logf("proxy kills: %d; per-sensor: %+v", proxy.kills.Load(), statuses)
+}
+
+// collectSink records batches and keeps the slices it was handed, the way
+// the fleet shipper's spool does.
+type collectSink struct{ batches [][]ids.Event }
+
+func (c *collectSink) AppendBatch(events []ids.Event) error {
+	c.batches = append(c.batches, events)
+	return nil
+}
+
+// TestShardSinkDoesNotMutateCaller: the shard filter must hand its inner
+// sink a fresh slice. Filtering with events[:0] would rearrange the caller's
+// batch in place while the spool retains the filtered view — correctness
+// must not depend on the caller discarding the batch after AppendBatch.
+func TestShardSinkDoesNotMutateCaller(t *testing.T) {
+	const shards = 3
+	events := make([]ids.Event, 30)
+	for i := range events {
+		events[i] = ids.Event{
+			Dst: packet.Endpoint{Addr: packet.MustAddr(fmt.Sprintf("18.204.9.%d", i+1)), Port: 443},
+			SID: i,
+		}
+	}
+	orig := append([]ids.Event(nil), events...)
+	inner := &collectSink{}
+	s := &shardSink{inner: inner, shard: 0, shards: shards}
+	if err := s.AppendBatch(events); err != nil {
+		t.Fatal(err)
+	}
+	for i := range events {
+		if events[i] != orig[i] {
+			t.Fatalf("AppendBatch mutated the caller's slice at %d: %+v", i, events[i])
+		}
+	}
+	if len(inner.batches) != 1 {
+		t.Fatalf("%d inner batches", len(inner.batches))
+	}
+	for _, ev := range inner.batches[0] {
+		if fleet.ShardOf(ev.Dst.Addr, shards) != 0 {
+			t.Fatalf("kept event outside shard 0: %+v", ev)
+		}
+	}
 }
 
 func TestRunFlagValidation(t *testing.T) {

@@ -196,6 +196,12 @@ func DecodeEvent(payload []byte) (ids.Event, error) { return decodeEvent(payload
 // spool, watermark journal, and wire protocol) to share.
 func AppendFrame(buf, payload []byte) []byte { return appendFrame(buf, payload) }
 
+// MaxRecordLen is the largest frame payload ScanFrames accepts; anything
+// beyond it is treated as corruption. Writers that recover their logs via
+// ScanFrames must keep each AppendFrame payload at or below this bound, or
+// their own valid frames read back as trailing garbage.
+const MaxRecordLen = maxRecordLen
+
 // ScanFrames walks AppendFrame records in b, calling fn for each intact
 // payload. It returns the byte offset of the first incomplete or corrupt
 // frame — the truncation point for crash recovery — and whether the whole

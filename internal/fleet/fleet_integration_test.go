@@ -252,6 +252,64 @@ func TestListenerDropsStaleRedelivery(t *testing.T) {
 	}
 }
 
+// TestShipperAckProgressTimeout: a coordinator that handshakes and then goes
+// silent (half-open link: power loss behind a NAT, dropped peer) must not
+// stall shipping until the TCP retransmission timeout. The shipper's
+// ack-progress timer has to fail the session and reconnect.
+func TestShipperAckProgressTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Blackhole coordinator: completes the handshake, then reads and
+	// discards frames without ever acking.
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				if _, err := readFrame(conn, nil); err != nil {
+					return
+				}
+				ack := helloAck{Version: ProtocolVersion, Watermark: 0}
+				if err := writeFrame(conn, ack.encode()); err != nil {
+					return
+				}
+				var buf []byte
+				for {
+					frame, err := readFrame(conn, buf)
+					if err != nil {
+						return
+					}
+					buf = frame
+				}
+			}(conn)
+		}
+	}()
+
+	cfg := fastShipper(ln.Addr().String(), "half-open", t.TempDir())
+	cfg.AckTimeout = 100 * time.Millisecond
+	s, err := StartShipper(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.AppendBatch(testEvents(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Metrics().Reconnects == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no reconnect despite a silent coordinator: %+v", s.Metrics())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // TestManySensorsConcurrent: several shippers interleave; the sink ends with
 // the exact union, each sensor's stream applied in order.
 func TestManySensorsConcurrent(t *testing.T) {

@@ -16,6 +16,12 @@ type Sink interface {
 	AppendBatch(events []ids.Event) error
 }
 
+// syncer is implemented by sinks with durable state (*eventstore.Store).
+// When the Sink is one, its appends are flushed before each watermark
+// advance: the watermark must never claim events the sink could still lose
+// to power loss, because the sensor will not resend below the watermark.
+type syncer interface{ Sync() error }
+
 // ListenerConfig wires a coordinator-side fleet listener.
 type ListenerConfig struct {
 	// Addr is the TCP listen address (":8417" style). Ignored when Listener
@@ -72,9 +78,10 @@ type SensorStatus struct {
 
 // Listener accepts sensor connections and performs exactly-once ingest.
 type Listener struct {
-	cfg ListenerConfig
-	ln  net.Listener
-	wm  *Watermarks
+	cfg      ListenerConfig
+	ln       net.Listener
+	wm       *Watermarks
+	sinkSync syncer // cfg.Sink when it can fsync, else nil
 
 	mu      sync.Mutex
 	sensors map[string]*sensorState
@@ -126,6 +133,7 @@ func Listen(cfg ListenerConfig) (*Listener, error) {
 		sensors: map[string]*sensorState{},
 		conns:   map[net.Conn]struct{}{},
 	}
+	l.sinkSync, _ = cfg.Sink.(syncer)
 	l.wg.Add(1)
 	go l.acceptLoop()
 	return l, nil
@@ -302,10 +310,11 @@ func (l *Listener) handle(conn net.Conn) {
 
 // apply performs the exactly-once step for one batch: duplicates (at or
 // below the watermark) are dropped and re-acked; the next-in-sequence batch
-// is appended to the sink and the watermark advanced before the ack; a gap
-// (sequence beyond watermark+1) fails the connection so the sensor resyncs
-// from the handshake. Returns the cumulative ack and whether the connection
-// may continue.
+// is appended to the sink, the sink flushed (when it can fsync), and the
+// watermark durably advanced — all before the ack, so an acked batch can
+// never be un-applied by a crash. A gap (sequence beyond watermark+1) fails
+// the connection so the sensor resyncs from the handshake. Returns the
+// cumulative ack and whether the connection may continue.
 func (l *Listener) apply(st *sensorState, id string, b batchMsg) (uint64, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -322,6 +331,12 @@ func (l *Listener) apply(st *sensorState, id string, b batchMsg) (uint64, bool) 
 	if err := l.cfg.Sink.AppendBatch(b.Events); err != nil {
 		l.fail(fmt.Errorf("fleet: applying batch %d from %s: %w", b.Seq, id, err))
 		return 0, false
+	}
+	if l.sinkSync != nil {
+		if err := l.sinkSync.Sync(); err != nil {
+			l.fail(fmt.Errorf("fleet: syncing sink after batch %d from %s: %w", b.Seq, id, err))
+			return 0, false
+		}
 	}
 	if err := l.wm.Advance(id, b.Seq); err != nil {
 		// The events are in the sink but the watermark is not durable; fail

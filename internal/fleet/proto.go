@@ -26,6 +26,12 @@
 //
 // On reconnect the handshake's watermark tells the sensor where to resume;
 // everything still spooled above it is resent in order.
+//
+// The watermark dedups wire-level redelivery: the same spooled batch sent
+// twice. It cannot recognize events a sensor re-captured after a hard crash
+// (they arrive under fresh sequence numbers), so end-to-end exactly-once is
+// the joint property of this protocol and the sensor's ingest checkpoint,
+// which bounds re-capture to the window since the last idle flush.
 package fleet
 
 import (

@@ -32,6 +32,13 @@ type ShipperConfig struct {
 	Window int
 	// HeartbeatEvery paces liveness while idle. Zero means 1s.
 	HeartbeatEvery time.Duration
+	// AckTimeout fails the session when batches are in flight but the
+	// coordinator has acked nothing for this long. Small heartbeat writes
+	// keep succeeding into the socket buffer on a half-open connection
+	// (coordinator power loss, NAT drop), so without this the session would
+	// stall for the TCP retransmission timeout (~15+ min) while the spool
+	// backlog grows silently. Checked at heartbeat cadence. Zero means 15s.
+	AckTimeout time.Duration
 	// BackoffMin/BackoffMax bound reconnect backoff (exponential, with up to
 	// 50% jitter). Zero means 50ms / 5s.
 	BackoffMin, BackoffMax time.Duration
@@ -57,6 +64,9 @@ func (c ShipperConfig) withDefaults() ShipperConfig {
 	}
 	if c.HeartbeatEvery == 0 {
 		c.HeartbeatEvery = time.Second
+	}
+	if c.AckTimeout == 0 {
+		c.AckTimeout = 15 * time.Second
 	}
 	if c.BackoffMin == 0 {
 		c.BackoffMin = 50 * time.Millisecond
@@ -142,7 +152,9 @@ func StartShipper(cfg ShipperConfig) (*Shipper, error) {
 }
 
 // AppendBatch spools one event batch for delivery (ingest.Sink). The write
-// is durable before return; delivery is asynchronous.
+// survives a process crash before return (it is in the OS page cache, not
+// necessarily on disk — Sync forces it down, and the ingest checkpointer
+// does so before advancing past it); delivery is asynchronous.
 func (s *Shipper) AppendBatch(events []ids.Event) error {
 	if len(events) == 0 {
 		return nil
@@ -168,6 +180,11 @@ func (s *Shipper) Metrics() ShipperMetrics {
 		Spooled:    s.spool.Depth(),
 	}
 }
+
+// Sync fsyncs the spool, making every batch accepted by AppendBatch durable.
+// The ingest pipeline calls this (as its Sink's optional syncer) before
+// advancing its capture checkpoint past the events it handed over.
+func (s *Shipper) Sync() error { return s.spool.Sync() }
 
 // Drained reports whether every spooled batch has been acked.
 func (s *Shipper) Drained() bool { return s.spool.Depth() == 0 }
@@ -332,6 +349,12 @@ func (s *Shipper) session() (shipped bool, err error) {
 	hb := time.NewTicker(s.cfg.HeartbeatEvery)
 	defer hb.Stop()
 	lastSent := s.spool.Acked()
+	// lastHeard is the ack-progress clock: it advances on every ack received
+	// and every batch write (so an idle spell before the first in-flight
+	// batch never counts against the coordinator). The window bound makes
+	// that safe — once acks stop, at most Window more writes succeed before
+	// the clock runs untouched and the timeout trips.
+	lastHeard := time.Now()
 	for {
 		// Fill the window with the next unacked batches.
 		for int(lastSent-s.spool.Acked()) < s.cfg.Window {
@@ -349,16 +372,21 @@ func (s *Shipper) session() (shipped bool, err error) {
 			}
 			s.sent.Add(1)
 			lastSent = b.seq
+			lastHeard = time.Now()
 		}
 		select {
 		case w := <-acks:
 			if err := s.spool.AckTo(w); err != nil {
 				return true, err
 			}
+			lastHeard = time.Now()
 		case err := <-readErr:
 			return true, err
 		case <-s.wake:
 		case <-hb.C:
+			if inflight := lastSent - s.spool.Acked(); inflight > 0 && time.Since(lastHeard) > s.cfg.AckTimeout {
+				return true, fmt.Errorf("fleet: %d batches in flight with no ack in %v; presuming a dead link", inflight, s.cfg.AckTimeout)
+			}
 			msg := heartbeat{NextSeq: s.spool.LastSeq() + 1, Spooled: uint32(s.spool.Depth())}
 			if s.cfg.Lag != nil {
 				msg.IngestLag = s.cfg.Lag()

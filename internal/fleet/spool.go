@@ -3,6 +3,7 @@ package fleet
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
@@ -15,7 +16,10 @@ import (
 // is first appended (with its assigned sequence number) to a crash-safe
 // framed log, so a dead coordinator — or a dead sensor — loses nothing. The
 // log uses the eventstore's record framing and the same recovery rule: on
-// open, replay until the first torn frame and truncate there.
+// open, replay until the first torn frame and truncate there. Every frame
+// written honors the scan's record-size limit (Add splits larger batches),
+// and recovery refuses — loudly, instead of truncating — a frame that is
+// intact but oversized, so the truncation rule can never eat valid batches.
 //
 // Acks only advance an in-memory watermark; the file compacts (rewrites with
 // just the unacked suffix) once the acked prefix dominates, so steady-state
@@ -43,6 +47,12 @@ var spoolMagic = [8]byte{'F', 'S', 'P', 'L', 0x00, 0x01, '\n'}
 
 // spoolCompactAt triggers a rewrite once this many acked bytes accumulate.
 const spoolCompactAt = 4 << 20
+
+// spoolMaxPayload caps one spooled frame's payload: recovery scans with the
+// eventstore's record limit, so a larger frame — however valid when written
+// — would read back as corruption, truncating every batch from it onward.
+// Add splits bigger appends across consecutive sequence numbers instead.
+const spoolMaxPayload = eventstore.MaxRecordLen
 
 // openSpool opens (creating if needed) the spool log in dir.
 func openSpool(dir string) (*spool, error) {
@@ -89,6 +99,10 @@ func openSpool(dir string) (*spool, error) {
 		}
 		sp.size = int64(len(spoolMagic) + good)
 		if sp.size < int64(len(raw)) {
+			if oversizedFrame(raw[sp.size:]) {
+				f.Close()
+				return nil, fmt.Errorf("fleet: %s: intact frame beyond the %d-byte scan limit at offset %d; refusing to truncate unacked batches", path, spoolMaxPayload, sp.size)
+			}
 			if err := f.Truncate(sp.size); err != nil {
 				f.Close()
 				return nil, err
@@ -102,6 +116,25 @@ func openSpool(dir string) (*spool, error) {
 	return sp, nil
 }
 
+// oversizedFrame reports whether b begins with a complete, CRC-valid frame
+// whose payload exceeds the recovery scan limit. ScanFrames stops at such a
+// frame exactly as it stops at a torn tail, but the two must not be treated
+// alike: a torn tail is a crashed append (safe to truncate), while an intact
+// oversized frame is real spooled data whose truncation would silently drop
+// every unacked batch from it onward and regress lastSeq into already-acked
+// sequence space.
+func oversizedFrame(b []byte) bool {
+	if len(b) < 8 {
+		return false
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if uint64(n) <= spoolMaxPayload || uint64(len(b)-8) < uint64(n) {
+		return false
+	}
+	sum := binary.LittleEndian.Uint32(b[4:8])
+	return crc32.Checksum(b[8:8+int(n)], wireCRC) == sum
+}
+
 // spool batch payload: u64 seq | u32 count | framed events.
 func encodeSpoolBatch(seq uint64, events []ids.Event) []byte {
 	buf := binary.LittleEndian.AppendUint64(nil, seq)
@@ -113,6 +146,33 @@ func encodeSpoolBatch(seq uint64, events []ids.Event) []byte {
 		buf = append(buf, tmp...)
 	}
 	return buf
+}
+
+// encodeSpoolBatchCapped encodes as many leading events as fit under the
+// spoolMaxPayload cap with sequence seq, returning the payload and the
+// events left over for the next frame. A single event too large for a frame
+// of its own is an error (encoded events are bounded far below the cap by
+// their u16-length strings; this guards against a codec change breaking that
+// invariant silently).
+func encodeSpoolBatchCapped(seq uint64, events []ids.Event) ([]byte, []ids.Event, error) {
+	buf := binary.LittleEndian.AppendUint64(nil, seq)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // count, patched below
+	var tmp []byte
+	n := 0
+	for i := range events {
+		tmp = eventstore.EncodeEvent(tmp[:0], &events[i])
+		if len(buf)+4+len(tmp) > spoolMaxPayload {
+			if n == 0 {
+				return nil, nil, fmt.Errorf("fleet: event encodes to %d bytes, beyond the %d-byte spool frame cap", len(tmp), spoolMaxPayload)
+			}
+			break
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tmp)))
+		buf = append(buf, tmp...)
+		n++
+	}
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(n))
+	return buf, events[n:], nil
 }
 
 func decodeSpoolBatch(b []byte) (spoolBatch, error) {
@@ -146,21 +206,33 @@ func decodeSpoolBatch(b []byte) (spoolBatch, error) {
 	return out, nil
 }
 
-// Add assigns the next sequence number to events, appends the batch durably,
-// and returns the assigned sequence.
+// Add assigns sequence numbers to events, appends them durably, and returns
+// the last assigned sequence. A batch whose encoding would exceed the
+// recovery scan limit is split across consecutive sequence numbers, so every
+// frame written is one recovery can read back.
 func (sp *spool) Add(events []ids.Event) (uint64, error) {
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
-	seq := sp.lastSeq + 1
-	payload := encodeSpoolBatch(seq, events)
-	frame := eventstore.AppendFrame(nil, payload)
-	if _, err := sp.f.Write(frame); err != nil {
-		return 0, fmt.Errorf("fleet: spooling batch %d: %w", seq, err)
+	for len(events) > 0 {
+		seq := sp.lastSeq + 1
+		payload, rest, err := encodeSpoolBatchCapped(seq, events)
+		if err != nil {
+			return 0, err
+		}
+		frame := eventstore.AppendFrame(nil, payload)
+		if _, err := sp.f.Write(frame); err != nil {
+			return 0, fmt.Errorf("fleet: spooling batch %d: %w", seq, err)
+		}
+		// Copy the kept events: pending outlives this call and must not
+		// alias a slice the caller still owns.
+		n := len(events) - len(rest)
+		evs := append([]ids.Event(nil), events[:n]...)
+		sp.size += int64(len(frame))
+		sp.lastSeq = seq
+		sp.pending = append(sp.pending, spoolBatch{seq: seq, events: evs, bytes: int64(len(frame))})
+		events = rest
 	}
-	sp.size += int64(len(frame))
-	sp.lastSeq = seq
-	sp.pending = append(sp.pending, spoolBatch{seq: seq, events: events, bytes: int64(len(frame))})
-	return seq, nil
+	return sp.lastSeq, nil
 }
 
 // AckTo drops every batch with seq <= w. Compaction happens opportunistically
@@ -178,6 +250,13 @@ func (sp *spool) AckTo(w uint64) error {
 	}
 	if w > sp.acked {
 		sp.acked = w
+	}
+	if w > sp.lastSeq {
+		// The coordinator has applied sequences this spool no longer
+		// remembers (state lost to a torn tail or a fresh StateDir). Adopt
+		// its numbering so freshly assigned sequences never collide with
+		// already-applied ones and get dropped as duplicates.
+		sp.lastSeq = w
 	}
 	if sp.ackedBytes >= spoolCompactAt {
 		return sp.compactLocked()

@@ -3,7 +3,11 @@ package fleet
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/internal/eventstore"
+	"repro/internal/ids"
 )
 
 func TestSpoolAddAckRecover(t *testing.T) {
@@ -102,6 +106,156 @@ func TestSpoolTornTailTruncated(t *testing.T) {
 	// The torn batch's sequence is reassigned — redelivery, not loss.
 	if seq, err := sp.Add(events[3:4]); err != nil || seq != 4 {
 		t.Fatalf("re-add after tear: seq=%d err=%v", seq, err)
+	}
+}
+
+// bigEvents returns n events whose encodings are ~sz bytes each, for
+// exercising the frame cap.
+func bigEvents(t testing.TB, n, sz int) []ids.Event {
+	t.Helper()
+	out := testEvents(t, n)
+	msg := strings.Repeat("x", sz)
+	for i := range out {
+		out[i].Msg = msg
+	}
+	return out
+}
+
+// TestSpoolSplitsOversizedAdd: one Add whose encoding exceeds the recovery
+// scan limit must split into several frames, each readable back — written
+// as a single frame it would be truncated as corruption on reopen, silently
+// dropping the batch and every later one.
+func TestSpoolSplitsOversizedAdd(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := openSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~40 events x ~60KB ≈ 2.4MB encoded: needs at least 3 frames.
+	events := bigEvents(t, 40, 60<<10)
+	last, err := sp.Add(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last < 3 {
+		t.Fatalf("2.4MB batch fit in %d frame(s); the cap is not splitting", last)
+	}
+	if sp.Depth() != int(last) {
+		t.Fatalf("depth %d, want %d", sp.Depth(), last)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery must see every split frame and every event, in order.
+	sp, err = openSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	if sp.LastSeq() != last || sp.Depth() != int(last) {
+		t.Fatalf("recovered lastSeq=%d depth=%d, want %d/%d", sp.LastSeq(), sp.Depth(), last, last)
+	}
+	var got []ids.Event
+	for seq := uint64(0); ; {
+		b, ok := sp.NextAfter(seq)
+		if !ok {
+			break
+		}
+		got = append(got, b.events...)
+		seq = b.seq
+	}
+	if len(got) != len(events) {
+		t.Fatalf("recovered %d events, want %d", len(got), len(events))
+	}
+	for i := range got {
+		if !eventsEqual(got[i], events[i]) {
+			t.Fatalf("event %d corrupted across the split", i)
+		}
+	}
+}
+
+// TestSpoolAddDoesNotAliasCaller: the spool must copy what it retains; a
+// caller that reuses its batch slice must not corrupt pending batches.
+func TestSpoolAddDoesNotAliasCaller(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := openSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	events := testEvents(t, 3)
+	batch := append([]ids.Event(nil), events...)
+	if _, err := sp.Add(batch); err != nil {
+		t.Fatal(err)
+	}
+	batch[0].Msg = "clobbered"
+	b, ok := sp.NextAfter(0)
+	if !ok || !eventsEqual(b.events[0], events[0]) {
+		t.Fatalf("pending batch aliased the caller's slice: %+v", b.events[0])
+	}
+}
+
+// TestSpoolRefusesIntactOversizedFrame: a complete CRC-valid frame beyond
+// the scan limit is real data, not a torn tail; open must fail loudly
+// rather than truncate it (and everything after it) away.
+func TestSpoolRefusesIntactOversizedFrame(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := openSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Add(testEvents(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "spool.log")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oversize := eventstore.AppendFrame(raw, make([]byte, spoolMaxPayload+1))
+	if err := os.WriteFile(path, oversize, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openSpool(dir); err == nil {
+		t.Fatal("spool with an intact oversized frame opened (and truncated it) silently")
+	}
+	// A torn oversize frame is still just a torn tail: recoverable.
+	if err := os.WriteFile(path, oversize[:len(oversize)-64], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sp, err = openSpool(dir)
+	if err != nil {
+		t.Fatalf("torn oversized tail not truncated: %v", err)
+	}
+	sp.Close()
+}
+
+// TestSpoolAdoptsForeignWatermark: when the coordinator's watermark is ahead
+// of everything this spool remembers (sensor state lost), AckTo must adopt
+// that numbering — otherwise fresh batches would reuse applied sequences and
+// be dropped as duplicates forever.
+func TestSpoolAdoptsForeignWatermark(t *testing.T) {
+	sp, err := openSpool(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	if err := sp.AckTo(7); err != nil {
+		t.Fatal(err)
+	}
+	if sp.LastSeq() != 7 {
+		t.Fatalf("lastSeq %d after adopting watermark 7", sp.LastSeq())
+	}
+	seq, err := sp.Add(testEvents(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 8 {
+		t.Fatalf("next batch got seq %d, want 8 (would be dropped as a duplicate)", seq)
 	}
 }
 

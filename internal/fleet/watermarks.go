@@ -21,8 +21,11 @@ import (
 // The journal is an append-only framed log (one record per advance) with the
 // eventstore's torn-tail recovery; on open the last record per sensor wins.
 // It compacts to one record per sensor when the appended history grows past
-// a threshold. Each advance is written before the batch is acked, so an ack
-// implies the watermark — and therefore the dedup decision — is on disk.
+// a threshold. Each advance is written and fsynced before the batch is
+// acked, so an ack implies the watermark — and therefore the dedup decision
+// — survives even power loss. That ordering is load-bearing: once acked, the
+// sensor may prune the batch, and a watermark that regressed afterwards
+// would ask for a sequence nobody can resend.
 type Watermarks struct {
 	mu    sync.Mutex
 	f     *os.File
@@ -130,6 +133,11 @@ func (w *Watermarks) Advance(id string, seq uint64) error {
 	if _, err := w.f.Write(frame); err != nil {
 		return fmt.Errorf("fleet: advancing watermark for %s: %w", id, err)
 	}
+	// The ack that follows this advance promises the sensor it may prune the
+	// batch, so the record must be on disk — not in the page cache — first.
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("fleet: syncing watermark for %s: %w", id, err)
+	}
 	w.size += int64(len(frame))
 	w.marks[id] = seq
 	if w.size >= wmCompactAt {
@@ -155,6 +163,12 @@ func (w *Watermarks) compactLocked() error {
 	}
 	f, err := os.OpenFile(tmp, os.O_RDWR, 0o644)
 	if err != nil {
+		return err
+	}
+	// The rewrite replaces records already acked as durable; it must hit the
+	// disk before it replaces the journal.
+	if err := f.Sync(); err != nil {
+		f.Close()
 		return err
 	}
 	if _, err := f.Seek(int64(len(buf)), 0); err != nil {

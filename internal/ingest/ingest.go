@@ -83,6 +83,12 @@ type Sink interface {
 	AppendBatch(events []ids.Event) error
 }
 
+// syncer is implemented by sinks with durable state (*eventstore.Store, the
+// fleet shipper). The checkpoint never advances past events such a sink has
+// not yet fsynced: a checkpoint that outran the sink would skip re-ingesting
+// capture whose events were lost with the page cache.
+type syncer interface{ Sync() error }
+
 func (c Config) withDefaults() Config {
 	if c.Prefix == "" {
 		c.Prefix = "dscope"
@@ -165,8 +171,14 @@ type Pipeline struct {
 	errMu    sync.Mutex
 	firstErr error
 
-	ckptMu    sync.Mutex
-	finalCkpt checkpoint
+	// Checkpoint plumbing: the tailer proposes a candidate at each drain-
+	// consistent point (idle flush, final drain) along with how many batches
+	// had been shipped by then; the checkpoint is persisted once the matcher
+	// has applied that many, by whichever side gets there second.
+	ckptMu      sync.Mutex
+	candCkpt    checkpoint
+	candShipped uint64
+	savedCkpt   checkpoint
 
 	closeOnce sync.Once
 	closeErr  error
@@ -221,13 +233,9 @@ func (p *Pipeline) Close() error {
 		close(p.stop)
 		<-p.tailerD
 		<-p.matchD
-		// Every drained event is now appended; record the resume position.
-		p.ckptMu.Lock()
-		ck := p.finalCkpt
-		p.ckptMu.Unlock()
-		if err := p.saveCheckpoint(ck); err != nil {
-			p.fail(err)
-		}
+		// Every drained event is now applied; the final candidate from the
+		// drain is safe to persist.
+		p.maybeCheckpoint()
 		p.closeErr = p.Err()
 	})
 	return p.closeErr
@@ -280,12 +288,19 @@ type tailState struct {
 	ckpt    checkpoint
 }
 
-// checkpoint records a clean-drain ingest position: every segment sorting
-// before Segment is fully consumed, and Segment itself is consumed through
-// Offset. Written only after a drain — when the assembler is flushed and
-// every resulting event is in the store — so resuming from it is exact.
-// After a hard crash the previous checkpoint stands, and the capture since
-// then is re-ingested (events from it appear again).
+// checkpoint records a drain-consistent ingest position: every segment
+// sorting before Segment is fully consumed, and Segment itself is consumed
+// through Offset. One is persisted only when the assembler has been flushed,
+// every session handed to the matcher has been matched and appended, and a
+// durable sink has fsynced — which holds at each idle flush while running
+// and at the final drain on Close — so resuming from it is exact.
+//
+// After a hard crash (kill -9, power loss) the newest persisted checkpoint
+// stands and the capture after it is re-ingested: its events appear again,
+// and when the sink is a fleet shipper they re-ship under fresh sequence
+// numbers the coordinator cannot recognize as duplicates. End-to-end
+// exactly-once therefore holds across clean shutdowns; a hard crash can
+// duplicate at most the window since the last idle-flush checkpoint.
 type checkpoint struct {
 	Segment string // basename of the last segment read
 	Offset  int64  // bytes of it consumed
@@ -332,6 +347,50 @@ func (p *Pipeline) saveCheckpoint(ck checkpoint) error {
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// noteCheckpoint records a candidate position. The caller (the tailer)
+// guarantees the drain-consistency half: the assembler is flushed and every
+// session from capture before ck has been handed to the matcher. The shipped
+// count captures the other half — once that many batches are applied, the
+// candidate is exact.
+func (p *Pipeline) noteCheckpoint(ck checkpoint) {
+	if ck.Segment == "" {
+		return
+	}
+	p.ckptMu.Lock()
+	p.candCkpt = ck
+	p.candShipped = p.shipped.Load()
+	p.ckptMu.Unlock()
+	// The matcher may already have applied everything (and so will never
+	// call maybeCheckpoint again for this candidate) — try here too.
+	p.maybeCheckpoint()
+}
+
+// maybeCheckpoint persists the candidate once the matcher has applied every
+// batch it covers, syncing a durable sink first. Called by the tailer right
+// after proposing a candidate and by the matcher after each batch; the mutex
+// makes the save single-writer.
+func (p *Pipeline) maybeCheckpoint() {
+	if p.Err() != nil {
+		return // a failed append may sit below the candidate; don't skip it
+	}
+	p.ckptMu.Lock()
+	defer p.ckptMu.Unlock()
+	if p.candCkpt.Segment == "" || p.candCkpt == p.savedCkpt || p.batches.Load() < p.candShipped {
+		return
+	}
+	if s, ok := p.cfg.Sink.(syncer); ok {
+		if err := s.Sync(); err != nil {
+			p.fail(err)
+			return
+		}
+	}
+	if err := p.saveCheckpoint(p.candCkpt); err != nil {
+		p.fail(err)
+		return
+	}
+	p.savedCkpt = p.candCkpt
 }
 
 // restore positions the tailer at the stored checkpoint: fully-consumed
@@ -427,6 +486,10 @@ func (p *Pipeline) tailer() {
 				p.emit(st, p.asm.Flush)
 			}
 			p.flushPending(st, 0)
+			// The assembler is empty and every session is with the matcher:
+			// this position is drain-consistent, so a crash past this point
+			// re-ingests only capture newer than the idle flush.
+			p.noteCheckpoint(st.ckpt)
 		}
 		select {
 		case <-p.stop:
@@ -453,11 +516,9 @@ func (p *Pipeline) drain(st *tailState) {
 	p.emit(st, p.asm.Flush)
 	p.flushPending(st, 0)
 	// The assembler is empty and every session has been handed to the
-	// matcher; once the matcher also drains (Close waits for it before
-	// writing the checkpoint), this position is safe to resume from.
-	p.ckptMu.Lock()
-	p.finalCkpt = st.ckpt
-	p.ckptMu.Unlock()
+	// matcher; the position persists once the matcher drains too (Close
+	// calls maybeCheckpoint again after both goroutines exit).
+	p.noteCheckpoint(st.ckpt)
 }
 
 // pump consumes currently-available records, feeding the assembler and
@@ -580,5 +641,6 @@ func (p *Pipeline) matcher() {
 		}
 		p.batches.Add(1)
 		p.lastBatchNs.Store(int64(time.Since(start)))
+		p.maybeCheckpoint()
 	}
 }

@@ -349,6 +349,63 @@ func TestPipelineResumesFromCheckpoint(t *testing.T) {
 	}
 }
 
+// TestPipelineCheckpointsAtIdleFlush: the checkpoint must be persisted at
+// idle-flush points while the pipeline is running — not only on Close — so a
+// hard crash (kill -9) re-ingests just the window since the last flush
+// instead of the whole capture (which, through a fleet shipper, would land
+// as duplicates the coordinator cannot recognize).
+func TestPipelineCheckpointsAtIdleFlush(t *testing.T) {
+	watch, storeDir := t.TempDir(), t.TempDir()
+	sessions := testSessions(100)
+	writeSegmentFile(t, filepath.Join(watch, "dscope-000001.pcap"), sessions)
+
+	store, err := eventstore.Open(storeDir, eventstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	p, err := Start(Config{
+		Dir: watch, Engine: testEngine(t), Store: store,
+		PollInterval: 2 * time.Millisecond, FlushIdle: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(storeDir, "INGEST-dscope")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if b, err := os.ReadFile(ckpt); err == nil && len(b) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint written while running; only Close persists it")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The mid-run checkpoint must be exact: a pipeline resumed from it (as
+	// after a crash) ingests nothing it already stored.
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := store.Snapshot().Len()
+	if before == 0 {
+		t.Fatal("nothing stored")
+	}
+	p2, err := Start(Config{
+		Dir: watch, Engine: testEngine(t), Store: store,
+		PollInterval: 2 * time.Millisecond, FlushIdle: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if after := store.Snapshot().Len(); after != before {
+		t.Fatalf("resume re-ingested: %d -> %d events", before, after)
+	}
+}
+
 func TestStartValidation(t *testing.T) {
 	store, err := eventstore.Open(t.TempDir(), eventstore.Options{})
 	if err != nil {
