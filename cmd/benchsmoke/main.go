@@ -1,0 +1,158 @@
+// Command benchsmoke compares `go test -bench` output against the recorded
+// baseline in BENCH_fleet.json and fails on regressions, so CI catches a
+// change that quietly slows the ingest hot path. It reads benchmark output
+// on stdin:
+//
+//	go test -run xxx -bench . -benchtime 1s ./internal/fleet/ | benchsmoke -baseline BENCH_fleet.json
+//
+// A benchmark regresses when its ns/op exceeds the baseline by more than
+// -threshold (default 0.30, i.e. 30%), or its events/s falls below the
+// baseline by the same margin. CI runners are noisy shared machines, hence
+// the generous default; the point is to catch the 2x cliff, not a 5% drift.
+// Benchmarks present in the output but absent from the baseline (or the
+// reverse) are reported but never fatal, so adding a benchmark does not
+// break CI before the baseline is regenerated.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke:", err)
+		os.Exit(1)
+	}
+}
+
+type baseline struct {
+	Description string      `json:"description"`
+	Benchmarks  []benchSpec `json:"benchmarks"`
+}
+
+type benchSpec struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// result is one parsed benchmark output line.
+type result struct {
+	name         string
+	nsPerOp      float64
+	eventsPerSec float64
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchsmoke", flag.ContinueOnError)
+	basePath := fs.String("baseline", "BENCH_fleet.json", "baseline JSON file")
+	threshold := fs.Float64("threshold", 0.30, "allowed fractional regression before failing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		return err
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", *basePath, err)
+	}
+	want := make(map[string]benchSpec, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		want[b.Name] = b
+	}
+
+	results, err := parseBench(stdin)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+
+	failed := 0
+	seen := make(map[string]bool, len(results))
+	for _, r := range results {
+		seen[r.name] = true
+		b, ok := want[r.name]
+		if !ok {
+			fmt.Fprintf(stdout, "SKIP %s: not in baseline\n", r.name)
+			continue
+		}
+		ok = true
+		if b.NsPerOp > 0 && r.nsPerOp > b.NsPerOp*(1+*threshold) {
+			fmt.Fprintf(stdout, "FAIL %s: %.0f ns/op vs baseline %.0f (+%.0f%%, limit +%.0f%%)\n",
+				r.name, r.nsPerOp, b.NsPerOp, 100*(r.nsPerOp/b.NsPerOp-1), 100**threshold)
+			ok = false
+		}
+		if b.EventsPerSec > 0 && r.eventsPerSec > 0 && r.eventsPerSec < b.EventsPerSec*(1-*threshold) {
+			fmt.Fprintf(stdout, "FAIL %s: %.0f events/s vs baseline %.0f (-%.0f%%, limit -%.0f%%)\n",
+				r.name, r.eventsPerSec, b.EventsPerSec, 100*(1-r.eventsPerSec/b.EventsPerSec), 100**threshold)
+			ok = false
+		}
+		if ok {
+			fmt.Fprintf(stdout, "ok   %s: %.0f ns/op (baseline %.0f)\n", r.name, r.nsPerOp, b.NsPerOp)
+		} else {
+			failed++
+		}
+	}
+	for name := range want {
+		if !seen[name] {
+			fmt.Fprintf(stdout, "SKIP %s: in baseline but not in output\n", name)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", failed, 100**threshold)
+	}
+	return nil
+}
+
+// parseBench extracts results from `go test -bench` text output. A benchmark
+// line looks like:
+//
+//	BenchmarkFleetThroughput/sensors=4-8   112610   12252 ns/op   8.16 MB/s   326744 events/s
+//
+// The trailing -N on the name is the GOMAXPROCS suffix, stripped so names
+// match the baseline regardless of runner core count. Everything after the
+// iteration count is value/unit pairs.
+func parseBench(r io.Reader) ([]result, error) {
+	var out []result
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		res := result{name: name}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.nsPerOp = v
+			case "events/s":
+				res.eventsPerSec = v
+			}
+		}
+		if res.nsPerOp > 0 {
+			out = append(out, res)
+		}
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/fleet
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFleetThroughput/sensors=1-8         	  807720	      1747 ns/op	  57.25 MB/s	    572567 events/s
+BenchmarkFleetThroughput/sensors=4-8         	  208508	      6287 ns/op	  15.91 MB/s	    636501 events/s
+BenchmarkSnappyEncode-8   	   12675	     94549 ns/op	 661.16 MB/s	         5.018 ratio
+PASS
+ok  	repro/internal/fleet	5.899s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(got), got)
+	}
+	if got[0].name != "BenchmarkFleetThroughput/sensors=1" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", got[0].name)
+	}
+	if got[1].nsPerOp != 6287 || got[1].eventsPerSec != 636501 {
+		t.Errorf("sensors=4 parsed as %+v", got[1])
+	}
+	if got[2].eventsPerSec != 0 {
+		t.Errorf("snappy bench has no events/s, parsed %+v", got[2])
+	}
+}
+
+func writeBaseline(t *testing.T, specs []benchSpec) string {
+	t.Helper()
+	raw, err := json.Marshal(baseline{Benchmarks: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPassesWithinThreshold(t *testing.T) {
+	path := writeBaseline(t, []benchSpec{
+		{Name: "BenchmarkFleetThroughput/sensors=4", NsPerOp: 6000, EventsPerSec: 600000},
+	})
+	var out strings.Builder
+	err := run([]string{"-baseline", path}, strings.NewReader(sampleOutput), &out)
+	if err != nil {
+		t.Fatalf("run failed: %v\n%s", err, out.String())
+	}
+	// Benchmarks missing from the baseline are reported, never fatal.
+	if !strings.Contains(out.String(), "SKIP BenchmarkSnappyEncode") {
+		t.Errorf("missing SKIP line:\n%s", out.String())
+	}
+}
+
+func TestRunFailsOnNsRegression(t *testing.T) {
+	path := writeBaseline(t, []benchSpec{
+		{Name: "BenchmarkFleetThroughput/sensors=4", NsPerOp: 4000},
+	})
+	var out strings.Builder
+	err := run([]string{"-baseline", path}, strings.NewReader(sampleOutput), &out)
+	if err == nil {
+		t.Fatalf("6287 ns/op vs 4000 baseline passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkFleetThroughput/sensors=4") {
+		t.Errorf("missing FAIL line:\n%s", out.String())
+	}
+}
+
+func TestRunFailsOnThroughputRegression(t *testing.T) {
+	path := writeBaseline(t, []benchSpec{
+		// ns/op generous, events/s far above measured: only the throughput
+		// check should trip.
+		{Name: "BenchmarkFleetThroughput/sensors=4", NsPerOp: 1 << 30, EventsPerSec: 2000000},
+	})
+	var out strings.Builder
+	err := run([]string{"-baseline", path}, strings.NewReader(sampleOutput), &out)
+	if err == nil {
+		t.Fatalf("636501 events/s vs 2000000 baseline passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "events/s") {
+		t.Errorf("failure not attributed to events/s:\n%s", out.String())
+	}
+}
+
+func TestRunThresholdFlag(t *testing.T) {
+	path := writeBaseline(t, []benchSpec{
+		{Name: "BenchmarkFleetThroughput/sensors=4", NsPerOp: 6000},
+	})
+	// +5% over baseline: fine at 30%, fatal at 1%.
+	if err := run([]string{"-baseline", path}, strings.NewReader(sampleOutput), &strings.Builder{}); err != nil {
+		t.Fatalf("default threshold: %v", err)
+	}
+	if err := run([]string{"-baseline", path, "-threshold", "0.01"}, strings.NewReader(sampleOutput), &strings.Builder{}); err == nil {
+		t.Fatal("1% threshold accepted a 5% regression")
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	path := writeBaseline(t, nil)
+	if err := run([]string{"-baseline", path}, strings.NewReader("PASS\n"), &strings.Builder{}); err == nil {
+		t.Fatal("empty benchmark output accepted")
+	}
+}

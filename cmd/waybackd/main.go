@@ -10,7 +10,8 @@
 //	waybackd -watch capture/ -store events/ [-addr :8416] [-seed 1]
 //	         [-prefix dscope] [-timelines pipeline|appendix]
 //	         [-poll 100ms] [-flush-idle 2s] [-batch 256] [-workers 0]
-//	         [-fleet-listen :8417] [-stale-after 0]
+//	         [-fleet-listen :8417] [-stale-after 0] [-commit-interval 0]
+//	         [-pprof-listen localhost:6060]
 //
 // With -fleet-listen the daemon is also (or, without -watch, purely) a fleet
 // coordinator: waybacksensor nodes connect over the fleet wire protocol and
@@ -19,6 +20,16 @@
 // per-sensor liveness on GET /v1/fleet. With -stale-after the /healthz
 // endpoint degrades to 503 once the store has received nothing for that
 // long, so a load balancer ejects a stalled coordinator.
+//
+// Fleet batches are made durable by a group-commit pipeline: appends from all
+// sensors run concurrently, and a single committer coalesces everything
+// pending into one fsync before any ack leaves. -commit-interval bounds how
+// long the committer gathers; the zero default is adaptive — each commit
+// absorbs whatever queued while the previous fsync ran, so the group size
+// tracks the device's own latency. Set it above zero only to trade ack
+// latency for larger groups on stores where fsync is cheap but frequent.
+// -pprof-listen exposes net/http/pprof on its own address (never on -addr),
+// for profiling a live coordinator.
 //
 // Shutdown (SIGINT/SIGTERM) drains: every byte already captured flows
 // through to the store before the process exits, so a restart resumes with
@@ -31,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -72,6 +84,10 @@ type daemonConfig struct {
 	workers     int
 	fleetListen string        // empty = fleet listener off
 	staleAfter  time.Duration // zero = healthz never degrades
+	// commitInterval is how long the fleet committer gathers appended
+	// batches before one coalesced fsync; zero lets the fsync itself pace
+	// grouping (adaptive group commit).
+	commitInterval time.Duration
 }
 
 func openDaemon(cfg daemonConfig) (*daemon, error) {
@@ -114,9 +130,10 @@ func openDaemon(cfg daemonConfig) (*daemon, error) {
 	var fl *fleet.Listener
 	if cfg.fleetListen != "" {
 		fl, err = fleet.Listen(fleet.ListenerConfig{
-			Addr: cfg.fleetListen,
-			Sink: store,
-			Dir:  store.Dir(),
+			Addr:           cfg.fleetListen,
+			Sink:           store,
+			Dir:            store.Dir(),
+			CommitInterval: cfg.commitInterval,
 		})
 		if err != nil {
 			if pipeline != nil {
@@ -180,6 +197,8 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "match workers (0 = GOMAXPROCS)")
 	fleetListen := fs.String("fleet-listen", "", "accept fleet sensors on this address (\":8417\"); empty = off")
 	staleAfter := fs.Duration("stale-after", 0, "healthz answers 503 after this long without new events; 0 = never")
+	commitInterval := fs.Duration("commit-interval", 0, "fleet group-commit gather window; 0 = adaptive (fsync-paced)")
+	pprofListen := fs.String("pprof-listen", "", "serve net/http/pprof on this address (\"localhost:6060\"); empty = off")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -195,9 +214,29 @@ func run(args []string) error {
 		seed: *seed, timelines: *timelines,
 		poll: *poll, flushIdle: *flushIdle, batch: *batch, workers: *workers,
 		fleetListen: *fleetListen, staleAfter: *staleAfter,
+		commitInterval: *commitInterval,
 	})
 	if err != nil {
 		return err
+	}
+
+	if *pprofListen != "" {
+		// pprof stays off the public handler: an explicit mux on its own
+		// listener, so profiling exposure is an operator decision.
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Addr: *pprofListen, Handler: pprofMux}
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "waybackd: pprof:", err)
+			}
+		}()
+		defer pprofSrv.Close()
+		fmt.Printf("waybackd: pprof on %s\n", *pprofListen)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: d.server.Handler()}

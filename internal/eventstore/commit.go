@@ -1,0 +1,192 @@
+package eventstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The commit journal is what turns the store's per-shard fsyncs into one
+// atomic durability point. Each Commit appends a single record naming the
+// byte size every shard log had when its contents were forced to disk, plus
+// an opaque caller payload (the fleet coordinator stores its per-sensor
+// watermarks there, so "these events are durable" and "these batches are
+// applied" become one record that is either wholly on disk or wholly absent).
+//
+// On open, the last intact record is the recovery contract: anything a shard
+// file holds beyond its committed size is an uncommitted tail — appended,
+// maybe even flushed by the page cache, but never promised durable — and is
+// truncated away. Without that truncation a crash between append and commit
+// could leave events in the store that the commit meta does not cover, and a
+// redelivering sensor would apply them twice.
+//
+// File layout: 8-byte magic, then AppendFrame records. Record payload:
+//
+//	u32 shardCount | shardCount x u64 committed size | u32 metaLen | meta
+//
+// The journal compacts to its newest record once it grows past a threshold,
+// the same tmp-write + fsync + rename dance the watermark journal uses.
+
+var commitMagic = [8]byte{'E', 'V', 'C', 'M', 'T', 0x00, 0x01, '\n'}
+
+const (
+	commitLogName = "COMMITS.log"
+	// commitCompactAt triggers a rewrite once the journal grows past this
+	// size. Only the newest record matters, so compaction keeps exactly one.
+	commitCompactAt = 1 << 20
+)
+
+// commitRecord is one journalled durability point.
+type commitRecord struct {
+	sizes []int64
+	meta  []byte
+}
+
+type commitJournal struct {
+	f    *os.File
+	path string
+	size int64
+	last *commitRecord // newest recovered or appended record, nil if none
+}
+
+// openCommitJournal opens (creating if needed) the journal in dir and
+// recovers the newest intact record, truncating any torn tail.
+func openCommitJournal(dir string) (*commitJournal, error) {
+	path := filepath.Join(dir, commitLogName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	j := &commitJournal{f: f, path: path}
+	switch {
+	case len(raw) == 0:
+		if _, err := f.Write(commitMagic[:]); err != nil {
+			f.Close()
+			return nil, err
+		}
+		j.size = int64(len(commitMagic))
+	case len(raw) < len(commitMagic) || [8]byte(raw[:8]) != commitMagic:
+		f.Close()
+		return nil, fmt.Errorf("eventstore: %s is not a commit journal", path)
+	default:
+		good, _, err := scanFrames(raw[len(commitMagic):], func(payload []byte) error {
+			rec, err := decodeCommitRecord(payload)
+			if err != nil {
+				return err
+			}
+			j.last = rec
+			return nil
+		})
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("eventstore: %s: %w", path, err)
+		}
+		j.size = int64(len(commitMagic) + good)
+		if j.size < int64(len(raw)) {
+			if err := f.Truncate(j.size); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	if _, err := f.Seek(j.size, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+func encodeCommitRecord(sizes []int64, meta []byte) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(sizes)))
+	for _, n := range sizes {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(n))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(meta)))
+	return append(buf, meta...)
+}
+
+func decodeCommitRecord(b []byte) (*commitRecord, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("eventstore: commit record truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if n <= 0 || n > 1<<16 || len(b) < n*8+4 {
+		return nil, fmt.Errorf("eventstore: commit record declares %d shards in %d bytes", n, len(b))
+	}
+	rec := &commitRecord{sizes: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		rec.sizes[i] = int64(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+	}
+	metaLen := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if len(b) != metaLen {
+		return nil, fmt.Errorf("eventstore: commit record meta is %d bytes, declared %d", len(b), metaLen)
+	}
+	rec.meta = append([]byte(nil), b...)
+	return rec, nil
+}
+
+// append writes and fsyncs one record, making it the recovery point.
+func (j *commitJournal) append(sizes []int64, meta []byte) error {
+	rec := &commitRecord{sizes: append([]int64(nil), sizes...), meta: append([]byte(nil), meta...)}
+	frame := appendFrame(nil, encodeCommitRecord(rec.sizes, rec.meta))
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("eventstore: appending commit record: %w", err)
+	}
+	// The record is the durability promise for everything the shard fsyncs
+	// just covered — it must hit the disk, not the page cache, before the
+	// caller acts on it (acks a sensor, advances a checkpoint).
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("eventstore: syncing commit journal: %w", err)
+	}
+	j.size += int64(len(frame))
+	j.last = rec
+	if j.size >= commitCompactAt {
+		return j.compact()
+	}
+	return nil
+}
+
+// compact rewrites the journal as its single newest record.
+func (j *commitJournal) compact() error {
+	buf := append([]byte(nil), commitMagic[:]...)
+	buf = appendFrame(buf, encodeCommitRecord(j.last.sizes, j.last.meta))
+	tmp := j.path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(tmp, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	// The rewrite replaces a record already promised durable; it must be on
+	// disk before it replaces the journal.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Seek(int64(len(buf)), 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		f.Close()
+		return err
+	}
+	old := j.f
+	j.f = f
+	j.size = int64(len(buf))
+	return old.Close()
+}
+
+func (j *commitJournal) Close() error {
+	return j.f.Close()
+}

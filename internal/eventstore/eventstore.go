@@ -18,9 +18,19 @@
 //     (and caches, keyed by generation) a merged, time-ordered view —
 //     downstream analyses and the HTTP layer key their own caches off the
 //     same generation, so nothing is recomputed until new data lands.
+//   - Durability is group-committed: appends land in shard files (and in
+//     readers' views) immediately, but only Commit/Sync makes them crash
+//     durable — it fsyncs just the shards dirtied since the last commit,
+//     then journals the committed shard sizes (plus an opaque caller meta
+//     payload) in one fsynced record. On open, anything a shard holds
+//     beyond its committed size is truncated: a crash between append and
+//     commit can never leave half-promised events behind. Callers that
+//     coalesce many appends into one Commit pay one fsync per dirty shard
+//     plus one journal fsync for the whole group, not per batch.
 package eventstore
 
 import (
+	"bytes"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -40,9 +50,9 @@ type Options struct {
 	// sticky: it is recorded on first open and reused (a mismatch is an
 	// error, since routing depends on it).
 	Shards int
-	// SyncEvery forces an fsync after every n appended batches. Zero
-	// disables periodic syncs (Close still syncs); crash-safety then means
-	// "no corruption", not "no loss of the last moments".
+	// SyncEvery forces a commit after every n appended batches. Zero
+	// disables periodic commits (Close still commits); crash-safety then
+	// means "no corruption", not "no loss of the last moments".
 	SyncEvery int
 }
 
@@ -62,6 +72,20 @@ type Store struct {
 
 	appended atomic.Uint64 // batches since last sync
 
+	// appendMu lets Commit take a consistent batch-aligned cut of shard
+	// sizes: appends hold it shared for the whole batch, the committer holds
+	// it exclusively for microseconds while reading sizes. No I/O ever
+	// happens under the exclusive hold, so appends stream on while the
+	// committer fsyncs.
+	appendMu sync.RWMutex
+
+	// commitMu serializes Commit/Sync (the fleet committer and the local
+	// ingest pipeline may both be durability callers on one store) and
+	// guards cj and meta.
+	commitMu sync.Mutex
+	cj       *commitJournal
+	meta     []byte // opaque payload of the newest commit record
+
 	snapMu sync.Mutex
 	snap   atomic.Pointer[Snapshot]
 
@@ -73,12 +97,17 @@ type shard struct {
 	mu         sync.Mutex
 	f          *os.File
 	size       int64
+	synced     int64 // bytes covered by the last commit (guarded by Store.commitMu)
 	events     atomic.Pointer[[]ids.Event]
 	lastAppend atomic.Int64 // UnixNano of the most recent append; 0 = none since open
 }
 
 // Open opens (creating if needed) the store in dir and recovers every
-// shard, truncating any torn tail left by a crash.
+// shard. Recovery trusts the commit journal: a shard's contents beyond its
+// last committed size are an uncommitted tail (appended but never promised
+// durable) and are truncated, as is any torn frame. A store without a
+// commit journal (pre-group-commit, or one that never committed) adopts
+// every intact record, matching the old recovery contract.
 func Open(dir string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -87,13 +116,30 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := checkShardCount(dir, &opts); err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, opts: opts}
+	cj, err := openCommitJournal(dir)
+	if err != nil {
+		return nil, err
+	}
+	if cj.last != nil && len(cj.last.sizes) != opts.Shards {
+		cj.Close()
+		return nil, fmt.Errorf("eventstore: commit journal in %s covers %d shards, store has %d",
+			dir, len(cj.last.sizes), opts.Shards)
+	}
+	s := &Store{dir: dir, opts: opts, cj: cj}
+	if cj.last != nil {
+		s.meta = append([]byte(nil), cj.last.meta...)
+	}
 	for i := 0; i < opts.Shards; i++ {
-		sh, n, err := openShard(filepath.Join(dir, shardName(i)))
+		committed := int64(-1) // no journal record: adopt every intact record
+		if cj.last != nil {
+			committed = cj.last.sizes[i]
+		}
+		sh, n, err := openShard(filepath.Join(dir, shardName(i)), committed)
 		if err != nil {
 			for _, prev := range s.shards {
 				prev.f.Close()
 			}
+			cj.Close()
 			return nil, err
 		}
 		s.shards = append(s.shards, sh)
@@ -136,7 +182,14 @@ func trimNL(b []byte) []byte {
 
 // openShard reads one shard file, truncates trailing garbage, and leaves
 // the handle positioned for appends. It returns the recovered event count.
-func openShard(path string) (*shard, int, error) {
+// committed, when >= 0, is the shard's size in the last commit record: it
+// bounds what recovery trusts — bytes beyond it are an uncommitted tail and
+// are dropped even when their frames are intact, so a crash between append
+// and commit never resurrects events the commit meta does not cover. Bytes
+// below it recover frame by frame as before (a tear inside the committed
+// region means storage failure; recovery salvages the intact prefix rather
+// than refusing to open).
+func openShard(path string, committed int64) (*shard, int, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, 0, err
@@ -159,7 +212,11 @@ func openShard(path string) (*shard, int, error) {
 		f.Close()
 		return nil, 0, fmt.Errorf("eventstore: %s is not an event log", path)
 	default:
-		good, _, err := scanFrames(raw[len(fileMagic):], func(payload []byte) error {
+		trust := raw
+		if committed >= int64(len(fileMagic)) && committed < int64(len(raw)) {
+			trust = raw[:committed]
+		}
+		good, _, err := scanFrames(trust[len(fileMagic):], func(payload []byte) error {
 			ev, err := decodeEvent(payload)
 			if err != nil {
 				return err
@@ -173,7 +230,7 @@ func openShard(path string) (*shard, int, error) {
 		}
 		size = int64(len(fileMagic) + good)
 		if size < int64(len(raw)) {
-			// Torn tail from a crash: drop it.
+			// Torn or uncommitted tail from a crash: drop it.
 			if err := f.Truncate(size); err != nil {
 				f.Close()
 				return nil, 0, err
@@ -184,7 +241,7 @@ func openShard(path string) (*shard, int, error) {
 		f.Close()
 		return nil, 0, err
 	}
-	sh := &shard{f: f, size: size}
+	sh := &shard{f: f, size: size, synced: size}
 	sh.events.Store(&events)
 	return sh, len(events), nil
 }
@@ -207,10 +264,12 @@ func (s *Store) shardFor(ev *ids.Event) int {
 // Append appends one event. See AppendBatch.
 func (s *Store) Append(ev ids.Event) error { return s.AppendBatch([]ids.Event{ev}) }
 
-// AppendBatch durably appends a batch of events (one generation bump for
-// the whole batch). Events within the batch keep their order within each
-// shard. Concurrent AppendBatch calls are safe; concurrent snapshots never
-// block on them.
+// AppendBatch appends a batch of events (one generation bump for the whole
+// batch). Events within the batch keep their order within each shard, and
+// the batch is readable immediately; it becomes crash durable at the next
+// Commit/Sync. Concurrent AppendBatch calls are safe — batches for
+// different shards write in parallel — and concurrent snapshots never block
+// on them.
 func (s *Store) AppendBatch(events []ids.Event) error {
 	if len(events) == 0 {
 		return nil
@@ -220,12 +279,18 @@ func (s *Store) AppendBatch(events []ids.Event) error {
 		si := s.shardFor(&events[i])
 		groups[si] = append(groups[si], events[i])
 	}
+	// The shared hold spans the whole batch so the committer's exclusive cut
+	// always lands on a batch boundary — a commit record can never cover half
+	// a batch's shards.
+	s.appendMu.RLock()
 	for si, group := range groups {
 		if err := s.shards[si].append(group); err != nil {
+			s.appendMu.RUnlock()
 			return err
 		}
 	}
 	s.gen.Add(1)
+	s.appendMu.RUnlock()
 	if n := s.opts.SyncEvery; n > 0 && s.appended.Add(1)%uint64(n) == 0 {
 		if err := s.Sync(); err != nil {
 			return err
@@ -235,14 +300,16 @@ func (s *Store) AppendBatch(events []ids.Event) error {
 }
 
 func (sh *shard) append(events []ids.Event) error {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	// Encode outside the lock: only the file write and the publish need to
+	// serialize with other appenders to this shard.
 	var buf []byte
 	var payload []byte
 	for i := range events {
 		payload = appendEvent(payload[:0], &events[i])
 		buf = appendFrame(buf, payload)
 	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if _, err := sh.f.Write(buf); err != nil {
 		return fmt.Errorf("eventstore: appending: %w", err)
 	}
@@ -327,21 +394,71 @@ func (s *Store) LastAppend() time.Time {
 	return time.Unix(0, max).UTC()
 }
 
-// Sync fsyncs every shard file.
-func (s *Store) Sync() error {
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		err := sh.f.Sync()
-		sh.mu.Unlock()
-		if err != nil {
-			return err
+// Sync makes every appended batch crash durable. It is Commit preserving
+// the current commit meta: only shards dirtied since the last commit are
+// fsynced, then one journal record seals the group.
+func (s *Store) Sync() error { return s.Commit(nil) }
+
+// Commit group-commits everything appended so far: it takes a batch-aligned
+// cut of shard sizes, fsyncs just the shards that grew since the last
+// commit, then writes one fsynced journal record of the committed sizes
+// plus meta. After Commit returns, a crash recovers exactly this cut — no
+// more, and (absent storage failure) no less.
+//
+// meta is an opaque caller payload stored in the same record, so a caller's
+// own progress marks (the fleet coordinator's per-sensor watermarks) become
+// durable atomically with the events they describe. nil preserves the
+// previous commit's meta (Sync's behavior); pass an empty non-nil slice to
+// clear it. The last committed meta is recovered at Open via CommitMeta.
+func (s *Store) Commit(meta []byte) error {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	if meta == nil {
+		meta = s.meta
+	}
+	// Consistent cut: exclusive hold waits out in-flight batches and blocks
+	// new ones for a few loads, nothing more. Fsyncs happen after release,
+	// concurrently with new appends — they cover at least the cut.
+	s.appendMu.Lock()
+	sizes := make([]int64, len(s.shards))
+	for i, sh := range s.shards {
+		sizes[i] = sh.size
+	}
+	s.appendMu.Unlock()
+	dirty := false
+	for i, sh := range s.shards {
+		if sizes[i] > sh.synced {
+			if err := sh.f.Sync(); err != nil {
+				return fmt.Errorf("eventstore: syncing shard %d: %w", i, err)
+			}
+			dirty = true
 		}
 	}
+	if !dirty && s.cj.last != nil && bytes.Equal(meta, s.meta) {
+		return nil // nothing new since the last commit record
+	}
+	if err := s.cj.append(sizes, meta); err != nil {
+		return err
+	}
+	for i, sh := range s.shards {
+		if sizes[i] > sh.synced {
+			sh.synced = sizes[i]
+		}
+	}
+	s.meta = append([]byte(nil), meta...)
 	return nil
 }
 
-// Close syncs and closes the shard files. The store must not be used
-// afterwards.
+// CommitMeta returns (a copy of) the opaque payload of the newest commit
+// record — at open, the one recovery trusted.
+func (s *Store) CommitMeta() []byte {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	return append([]byte(nil), s.meta...)
+}
+
+// Close commits and closes the shard files and journal. The store must not
+// be used afterwards.
 func (s *Store) Close() error {
 	s.closeMu.Lock()
 	defer s.closeMu.Unlock()
@@ -349,17 +466,19 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
-	var first error
+	first := s.Commit(nil)
 	for _, sh := range s.shards {
 		sh.mu.Lock()
-		if err := sh.f.Sync(); err != nil && first == nil {
-			first = err
-		}
 		if err := sh.f.Close(); err != nil && first == nil {
 			first = err
 		}
 		sh.mu.Unlock()
 	}
+	s.commitMu.Lock()
+	if err := s.cj.Close(); err != nil && first == nil {
+		first = err
+	}
+	s.commitMu.Unlock()
 	return first
 }
 

@@ -1,0 +1,284 @@
+package fleet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the coordinator's group-commit machinery. The per-batch hot
+// path used to be append → fsync sink → fsync watermark → ack, serialized
+// under one sensor lock — two fsyncs per batch, so every sensor beyond the
+// second just queued behind the disk. Now batches from all sensors append
+// concurrently (the eventstore shards its logs and locks), and each append
+// enqueues a commitReq. A single committer goroutine drains the queue and
+// coalesces everything pending into ONE durability point: one fsync round of
+// only-dirty shards plus one commit record carrying every advanced sensor
+// watermark. Only after that point are the queued acks released, so the
+// exactly-once contract is untouched — an ack still implies the batch and
+// its watermark are on disk; what changed is how many batches share the
+// price of getting there.
+
+// commitReq asks the committer to make one batch's application durable and
+// then release its ack. Requests with appended=false are waiters: duplicate
+// deliveries of a batch that is applied but not yet durable — they advance
+// nothing, they just may not be acked before the covering commit lands.
+type commitReq struct {
+	id       string
+	seq      uint64
+	appended bool
+	conn     net.Conn
+	ack      *ackSender
+}
+
+// CommitStats exposes the committer's health for /metrics: how hard the
+// group commit is working and how much coalescing it achieves.
+type CommitStats struct {
+	// Commits is the number of group commits completed.
+	Commits uint64 `json:"commits"`
+	// CoalescedBatches is the total number of batch requests those commits
+	// covered; CoalescedBatches/Commits is the average group size.
+	CoalescedBatches uint64 `json:"coalesced_batches"`
+	// LastBatches is the size of the most recent group.
+	LastBatches uint64 `json:"last_batches"`
+	// LastFsyncNanos is the wall time of the most recent commit's durability
+	// round (shard fsyncs + commit record).
+	LastFsyncNanos uint64 `json:"last_fsync_nanos"`
+	// QueueDepth is the commit queue backlog right now.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// CommitStats reports the committer's counters.
+func (l *Listener) CommitStats() CommitStats {
+	return CommitStats{
+		Commits:          l.commits.Load(),
+		CoalescedBatches: l.coalesced.Load(),
+		LastBatches:      l.lastBatches.Load(),
+		LastFsyncNanos:   l.lastFsyncNanos.Load(),
+		QueueDepth:       len(l.commitCh),
+	}
+}
+
+// commitLoop is the single committer goroutine. It exits when the queue is
+// closed, after committing whatever was still pending (so Close never drops
+// an applied-but-unacked batch's watermark).
+func (l *Listener) commitLoop() {
+	defer close(l.commitDone)
+	for {
+		first, ok := <-l.commitCh
+		if !ok {
+			return
+		}
+		reqs := l.collect(first)
+		if l.aborted() {
+			continue // test-only crash simulation: drain, never commit
+		}
+		l.commit(reqs)
+	}
+}
+
+// collect gathers the group for one commit: the first request plus everything
+// already queued (nonblocking drain, the adaptive policy — whatever piled up
+// during the previous fsync commits together) or, with CommitInterval set,
+// everything that arrives within the interval, capped at MaxCommitBatch.
+func (l *Listener) collect(first commitReq) []commitReq {
+	reqs := append(make([]commitReq, 0, 16), first)
+	var timeout <-chan time.Time
+	if l.cfg.CommitInterval > 0 {
+		t := time.NewTimer(l.cfg.CommitInterval)
+		defer t.Stop()
+		timeout = t.C
+	}
+	for len(reqs) < l.cfg.MaxCommitBatch {
+		if timeout != nil {
+			select {
+			case r, ok := <-l.commitCh:
+				if !ok {
+					return reqs
+				}
+				reqs = append(reqs, r)
+			case <-timeout:
+				return reqs
+			case <-l.abortCh:
+				return reqs
+			}
+			continue
+		}
+		select {
+		case r, ok := <-l.commitCh:
+			if !ok {
+				return reqs
+			}
+			reqs = append(reqs, r)
+		default:
+			return reqs
+		}
+	}
+	return reqs
+}
+
+// commit makes one group of batches durable and releases their acks.
+func (l *Listener) commit(reqs []commitReq) {
+	start := time.Now()
+	advances := make(map[string]uint64, 4)
+	for _, r := range reqs {
+		if r.appended && r.seq > advances[r.id] {
+			advances[r.id] = r.seq
+		}
+	}
+	var err error
+	if l.metaSink != nil {
+		// The watermarks ride inside the sink's commit record, so "events
+		// durable" and "batches applied" are one atomic disk state — there is
+		// no crash window where one exists without the other.
+		if err = l.metaSink.Commit(l.wm.encodeWith(advances)); err == nil {
+			l.wm.adopt(advances)
+		}
+	} else {
+		// No commit-record sink: fsync the sink (when it can) first, then the
+		// watermark journal, preserving the original ordering — a crash
+		// between the two costs redelivery, never loss.
+		if l.sinkSync != nil {
+			err = l.sinkSync.Sync()
+		}
+		if err == nil {
+			err = l.wm.AdvanceAll(advances)
+		}
+	}
+	if err != nil {
+		// Durability failed: nothing is acked, every involved connection is
+		// failed so its sensor resyncs and redelivers. That downgrade — acked
+		// exactly-once to unacked at-least-once — is the contract.
+		l.fail(fmt.Errorf("fleet: group commit of %d batches: %w", len(reqs), err))
+		for _, r := range reqs {
+			r.conn.Close()
+		}
+		return
+	}
+	l.commits.Add(1)
+	l.coalesced.Add(uint64(len(reqs)))
+	l.lastBatches.Store(uint64(len(reqs)))
+	l.lastFsyncNanos.Store(uint64(time.Since(start)))
+	for _, r := range reqs {
+		r.ack.push(l.wm.Get(r.id))
+	}
+}
+
+func (l *Listener) aborted() bool {
+	select {
+	case <-l.abortCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// ackSender writes cumulative acks on one connection from its own goroutine,
+// so a slow group commit (or a slow peer) stalls ack delivery, never the
+// connection's read loop. Acks are cumulative, so only the newest watermark
+// matters: pushes coalesce into an atomic max plus a one-slot kick.
+type ackSender struct {
+	conn    net.Conn
+	timeout time.Duration
+	latest  atomic.Uint64
+	kick    chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+func newAckSender(conn net.Conn, timeout time.Duration) *ackSender {
+	a := &ackSender{
+		conn:    conn,
+		timeout: timeout,
+		kick:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go a.run()
+	return a
+}
+
+// push raises the watermark to send. Safe from any goroutine, including the
+// committer after the connection is gone (it becomes a no-op).
+func (a *ackSender) push(w uint64) {
+	for {
+		cur := a.latest.Load()
+		if w <= cur || a.latest.CompareAndSwap(cur, w) {
+			break
+		}
+	}
+	select {
+	case a.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (a *ackSender) run() {
+	defer close(a.done)
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-a.kick:
+		}
+		// Every kick sends a frame, even at an unchanged watermark — a
+		// duplicate delivery of an already-durable batch is answered by
+		// re-acking the watermark as-is. Bursts coalesce through the one-slot
+		// kick, and cumulative acks are idempotent on the sensor side.
+		a.conn.SetWriteDeadline(time.Now().Add(a.timeout))
+		if err := writeFrame(a.conn, encodeAck(a.latest.Load())); err != nil {
+			// Fail the whole connection: the read loop unblocks and the
+			// sensor redelivers everything unacked after reconnecting.
+			a.conn.Close()
+			return
+		}
+	}
+}
+
+// close stops the writer goroutine; pending pushes are dropped (the sensor's
+// next handshake learns the watermark anyway).
+func (a *ackSender) close() {
+	close(a.stop)
+	<-a.done
+}
+
+// The decode pool: connection read loops hand compressed batch frames to a
+// bounded set of workers so snappy/deflate decode runs on all cores instead
+// of serially inside each read loop, with frame copies recycled through a
+// sync.Pool and each worker reusing one decompression scratch buffer.
+
+type decodeJob struct {
+	buf *[]byte           // pooled copy of the wire frame
+	out chan decodeResult // buffered(1): the worker never blocks on delivery
+}
+
+type decodeResult struct {
+	batch batchMsg
+	err   error
+}
+
+var frameBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 32<<10); return &b },
+}
+
+// decodeScratchMax caps the per-worker decompression buffer a worker keeps
+// between jobs; an outlier batch larger than this decodes fine but its
+// buffer is not retained.
+const decodeScratchMax = 4 << 20
+
+func (l *Listener) decodeWorker() {
+	defer l.decodeWg.Done()
+	var scratch []byte
+	for job := range l.decodeCh {
+		m, sc, err := decodeBatchScratch(*job.buf, scratch)
+		if cap(sc) <= decodeScratchMax {
+			scratch = sc
+		} else {
+			scratch = nil
+		}
+		frameBufPool.Put(job.buf) // events never alias the frame: DecodeEvent copies
+		job.out <- decodeResult{batch: m, err: err}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,6 +22,17 @@ type Sink interface {
 // advance: the watermark must never claim events the sink could still lose
 // to power loss, because the sensor will not resend below the watermark.
 type syncer interface{ Sync() error }
+
+// metaCommitter is implemented by sinks whose durability point can carry an
+// opaque payload atomically (*eventstore.Store's commit record). When the
+// Sink is one, the listener stores the fleet watermarks IN the sink's commit
+// record instead of a separate journal fsync: one durable write covers both
+// "these events exist" and "these batches are applied", closing the crash
+// window between them and halving the fsyncs per group commit.
+type metaCommitter interface {
+	Commit(meta []byte) error
+	CommitMeta() []byte
+}
 
 // ListenerConfig wires a coordinator-side fleet listener.
 type ListenerConfig struct {
@@ -40,6 +52,19 @@ type ListenerConfig struct {
 	IdleTimeout time.Duration
 	// WriteTimeout bounds ack/handshake writes. Zero means 10s.
 	WriteTimeout time.Duration
+	// CommitInterval is how long the committer gathers batches into one
+	// group commit. Zero means adaptive: commit whatever queued while the
+	// previous commit's fsync was in flight — lowest latency when idle,
+	// widest coalescing exactly when the disk is the bottleneck. Set it
+	// above zero only to trade ack latency for fewer, larger fsyncs on
+	// storage with expensive flushes.
+	CommitInterval time.Duration
+	// MaxCommitBatch caps how many batches one group commit covers. Zero
+	// means 256.
+	MaxCommitBatch int
+	// DecodeWorkers sizes the shared batch-decode pool. Zero means
+	// GOMAXPROCS.
+	DecodeWorkers int
 }
 
 func (c ListenerConfig) withDefaults() ListenerConfig {
@@ -48,6 +73,12 @@ func (c ListenerConfig) withDefaults() ListenerConfig {
 	}
 	if c.WriteTimeout == 0 {
 		c.WriteTimeout = 10 * time.Second
+	}
+	if c.MaxCommitBatch == 0 {
+		c.MaxCommitBatch = 256
+	}
+	if c.DecodeWorkers == 0 {
+		c.DecodeWorkers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -77,11 +108,18 @@ type SensorStatus struct {
 }
 
 // Listener accepts sensor connections and performs exactly-once ingest.
+//
+// The hot path is a group-commit pipeline: each connection's read loop only
+// reads frames (batch decode runs in a shared worker pool, ack writes on a
+// dedicated goroutine), appends land in the sink concurrently across
+// sensors, and a single committer coalesces all pending batches into one
+// durability point before releasing their acks. See committer.go.
 type Listener struct {
 	cfg      ListenerConfig
 	ln       net.Listener
 	wm       *Watermarks
-	sinkSync syncer // cfg.Sink when it can fsync, else nil
+	sinkSync syncer        // cfg.Sink when it can fsync, else nil
+	metaSink metaCommitter // cfg.Sink when watermarks can ride its commit record, else nil
 
 	mu      sync.Mutex
 	sensors map[string]*sensorState
@@ -90,6 +128,17 @@ type Listener struct {
 	batches atomic.Uint64
 	events  atomic.Uint64
 	dups    atomic.Uint64
+
+	commitCh   chan commitReq
+	commitDone chan struct{}
+	abortCh    chan struct{} // closed by abandon(): simulate a crash, commit nothing more
+	decodeCh   chan decodeJob
+	decodeWg   sync.WaitGroup
+
+	commits        atomic.Uint64
+	coalesced      atomic.Uint64
+	lastBatches    atomic.Uint64
+	lastFsyncNanos atomic.Uint64
 
 	wg     sync.WaitGroup
 	closed atomic.Bool
@@ -100,7 +149,13 @@ type Listener struct {
 
 // sensorState serializes batch application per sensor (an old zombie
 // connection must not interleave with its replacement) and holds status.
+// applyMu orders appends and commit-queue entries; mu guards only the
+// status row, so heartbeats and /v1/fleet reads never wait on disk.
 type sensorState struct {
+	applyMu     sync.Mutex
+	applied     uint64 // highest batch sequence appended to the sink (≥ the durable watermark)
+	appliedInit bool
+
 	mu     sync.Mutex
 	status SensorStatus
 	conn   net.Conn // active connection, nil when disconnected
@@ -130,10 +185,34 @@ func Listen(cfg ListenerConfig) (*Listener, error) {
 	}
 	l := &Listener{
 		cfg: cfg, ln: ln, wm: wm,
-		sensors: map[string]*sensorState{},
-		conns:   map[net.Conn]struct{}{},
+		sensors:    map[string]*sensorState{},
+		conns:      map[net.Conn]struct{}{},
+		commitCh:   make(chan commitReq, 2*cfg.MaxCommitBatch),
+		commitDone: make(chan struct{}),
+		abortCh:    make(chan struct{}),
+		decodeCh:   make(chan decodeJob, 2*cfg.DecodeWorkers),
 	}
 	l.sinkSync, _ = cfg.Sink.(syncer)
+	l.metaSink, _ = cfg.Sink.(metaCommitter)
+	if l.metaSink != nil {
+		// Watermarks written by a previous run live in the sink's commit
+		// record; merge them with any journal-file marks (from a pre-group-
+		// commit store), newest per sensor wins.
+		if meta := l.metaSink.CommitMeta(); len(meta) > 0 {
+			marks, err := decodeMeta(meta)
+			if err != nil {
+				ln.Close()
+				wm.Close()
+				return nil, err
+			}
+			l.wm.adopt(marks)
+		}
+	}
+	l.decodeWg.Add(cfg.DecodeWorkers)
+	for i := 0; i < cfg.DecodeWorkers; i++ {
+		go l.decodeWorker()
+	}
+	go l.commitLoop()
 	l.wg.Add(1)
 	go l.acceptLoop()
 	return l, nil
@@ -151,9 +230,9 @@ func (l *Listener) Totals() (batches, events, dups uint64) {
 	return l.batches.Load(), l.events.Load(), l.dups.Load()
 }
 
-// Err returns the first fatal apply error (sink append or watermark write
-// failure), or nil. Connection-level errors are not fatal: the sensor
-// reconnects and redelivers.
+// Err returns the first fatal apply error (sink append or commit failure),
+// or nil. Connection-level errors are not fatal: the sensor reconnects and
+// redelivers.
 func (l *Listener) Err() error {
 	l.errMu.Lock()
 	defer l.errMu.Unlock()
@@ -197,11 +276,26 @@ func sortStatuses(s []SensorStatus) {
 }
 
 // Close stops accepting, closes live connections, waits for handlers to
-// finish their current batch (so every applied batch has its watermark
-// recorded), and closes the journal.
+// finish, lets the committer flush every still-queued batch (so each applied
+// batch has its watermark made durable), and closes the journal.
 func (l *Listener) Close() error {
+	return l.shutdown(false)
+}
+
+// abandon is a test hook: tear down like Close but commit NOTHING queued —
+// the process-death simulation for crash-consistency tests. Batches already
+// appended to the sink but not yet group-committed are exactly the state a
+// kill between append and commit leaves behind.
+func (l *Listener) abandon() error {
+	return l.shutdown(true)
+}
+
+func (l *Listener) shutdown(abort bool) error {
 	if !l.closed.CompareAndSwap(false, true) {
 		return nil
+	}
+	if abort {
+		close(l.abortCh)
 	}
 	err := l.ln.Close()
 	l.mu.Lock()
@@ -210,10 +304,14 @@ func (l *Listener) Close() error {
 	}
 	l.mu.Unlock()
 	l.wg.Wait()
+	close(l.decodeCh)
+	l.decodeWg.Wait()
+	close(l.commitCh)
+	<-l.commitDone
 	if werr := l.wm.Close(); err == nil {
 		err = werr
 	}
-	if aerr := l.Err(); err == nil {
+	if aerr := l.Err(); err == nil && !abort {
 		err = aerr
 	}
 	return err
@@ -238,6 +336,11 @@ func (l *Listener) acceptLoop() {
 		go l.handle(conn)
 	}
 }
+
+// pendingBatches bounds how many decoded-but-unapplied batches one
+// connection may have in flight — the read loop's backpressure when apply
+// or the committer falls behind.
+const pendingBatches = 64
 
 func (l *Listener) handle(conn net.Conn) {
 	defer l.wg.Done()
@@ -267,6 +370,28 @@ func (l *Listener) handle(conn net.Conn) {
 		return
 	}
 
+	sender := newAckSender(conn, l.cfg.WriteTimeout)
+	defer sender.close()
+
+	// The apply goroutine consumes decode results in arrival order; the read
+	// loop below never waits on decode, disk, or the peer's ack reads.
+	pending := make(chan chan decodeResult, pendingBatches)
+	applyDone := make(chan struct{})
+	go func() {
+		defer close(applyDone)
+		for out := range pending {
+			res := <-out
+			if res.err != nil || !l.apply(st, h.SensorID, conn, sender, res.batch) {
+				conn.Close() // unblocks the read loop, which closes pending
+				for range pending {
+				}
+				return
+			}
+		}
+	}()
+	defer func() { <-applyDone }()
+	defer close(pending)
+
 	var buf []byte
 	for {
 		conn.SetReadDeadline(time.Now().Add(l.cfg.IdleTimeout))
@@ -280,18 +405,11 @@ func (l *Listener) handle(conn net.Conn) {
 		}
 		switch frame[0] {
 		case msgBatch:
-			b, err := decodeBatch(frame)
-			if err != nil {
-				return
-			}
-			ackTo, ok := l.apply(st, h.SensorID, b)
-			if !ok {
-				return
-			}
-			conn.SetWriteDeadline(time.Now().Add(l.cfg.WriteTimeout))
-			if err := writeFrame(conn, encodeAck(ackTo)); err != nil {
-				return
-			}
+			bp := frameBufPool.Get().(*[]byte)
+			*bp = append((*bp)[:0], frame...)
+			out := make(chan decodeResult, 1)
+			l.decodeCh <- decodeJob{buf: bp, out: out}
+			pending <- out
 		case msgHeartbeat:
 			hb, err := decodeHeartbeat(frame)
 			if err != nil {
@@ -308,47 +426,57 @@ func (l *Listener) handle(conn net.Conn) {
 	}
 }
 
-// apply performs the exactly-once step for one batch: duplicates (at or
-// below the watermark) are dropped and re-acked; the next-in-sequence batch
-// is appended to the sink, the sink flushed (when it can fsync), and the
-// watermark durably advanced — all before the ack, so an acked batch can
-// never be un-applied by a crash. A gap (sequence beyond watermark+1) fails
-// the connection so the sensor resyncs from the handshake. Returns the
-// cumulative ack and whether the connection may continue.
-func (l *Listener) apply(st *sensorState, id string, b batchMsg) (uint64, bool) {
+// apply performs the exactly-once step for one batch. The next-in-sequence
+// batch is appended to the sink (concurrently with other sensors — the sink
+// locks per shard) and queued for the group commit; its ack is released only
+// once the committer has made the batch AND its watermark durable, so an
+// acked batch can never be un-applied by a crash. Duplicates at or below the
+// durable watermark are re-acked immediately; duplicates of an applied but
+// not-yet-durable batch wait in the commit queue for the covering commit. A
+// gap (sequence beyond applied+1) fails the connection so the sensor resyncs
+// from the handshake. Returns whether the connection may continue.
+func (l *Listener) apply(st *sensorState, id string, conn net.Conn, sender *ackSender, b batchMsg) bool {
+	st.applyMu.Lock()
+	defer st.applyMu.Unlock()
+	if !st.appliedInit {
+		st.applied = l.wm.Get(id)
+		st.appliedInit = true
+	}
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	w := l.wm.Get(id)
 	st.status.LastSeen = time.Now().UTC()
+	st.mu.Unlock()
 	switch {
-	case b.Seq <= w:
+	case b.Seq <= st.applied:
 		l.dups.Add(1)
+		st.mu.Lock()
 		st.status.DupBatches++
-		return w, true
-	case b.Seq != w+1:
-		return 0, false // gap: redelivery lost a batch; force a resync
+		st.mu.Unlock()
+		if w := l.wm.Get(id); b.Seq <= w {
+			sender.push(w) // already durable: re-ack straight away
+		} else {
+			// Applied but its group commit is still in flight; queue a waiter
+			// so the ack waits for durability like the original delivery did.
+			l.commitCh <- commitReq{id: id, seq: b.Seq, conn: conn, ack: sender}
+		}
+		return true
+	case b.Seq != st.applied+1:
+		return false // gap: redelivery lost a batch; force a resync
 	}
 	if err := l.cfg.Sink.AppendBatch(b.Events); err != nil {
 		l.fail(fmt.Errorf("fleet: applying batch %d from %s: %w", b.Seq, id, err))
-		return 0, false
+		return false
 	}
-	if l.sinkSync != nil {
-		if err := l.sinkSync.Sync(); err != nil {
-			l.fail(fmt.Errorf("fleet: syncing sink after batch %d from %s: %w", b.Seq, id, err))
-			return 0, false
-		}
-	}
-	if err := l.wm.Advance(id, b.Seq); err != nil {
-		// The events are in the sink but the watermark is not durable; fail
-		// the connection without acking so redelivery is the worst case.
-		l.fail(err)
-		return 0, false
-	}
+	st.applied = b.Seq
 	l.batches.Add(1)
 	l.events.Add(uint64(len(b.Events)))
+	st.mu.Lock()
 	st.status.Batches++
 	st.status.Events += uint64(len(b.Events))
-	return b.Seq, true
+	st.mu.Unlock()
+	// Enqueued under applyMu so this sensor's requests enter the commit
+	// queue in sequence order; the ack is the committer's job now.
+	l.commitCh <- commitReq{id: id, seq: b.Seq, appended: true, conn: conn, ack: sender}
+	return true
 }
 
 // register notes a (re)connected sensor, superseding any previous

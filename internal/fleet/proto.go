@@ -32,6 +32,23 @@
 // (they arrive under fresh sequence numbers), so end-to-end exactly-once is
 // the joint property of this protocol and the sensor's ingest checkpoint,
 // which bounds re-capture to the window since the last idle flush.
+//
+// # Group commit
+//
+// The coordinator does not fsync per batch. Appends from all sensors land in
+// the sharded event log concurrently; a single committer goroutine coalesces
+// every batch pending at that moment into one durability point — one fsync
+// round of only-dirty shards plus one commit record that carries every
+// advanced sensor watermark — and only then releases the queued acks. The
+// exactly-once boundary is unchanged: an ack still means "this batch and the
+// watermark that dedups its redelivery are both on disk". What coalescing
+// changes is the failure granularity — a crash between append and group
+// commit discards the whole unacked group (the eventstore truncates back to
+// its last commit record on restart) and every affected sensor redelivers
+// from its durable watermark. Nothing acked is ever lost; nothing unacked is
+// ever applied twice. Ack latency is bounded by the commit interval
+// (ListenerConfig.CommitInterval, default adaptive: each group is whatever
+// arrived during the previous group's fsync).
 package fleet
 
 import (
@@ -113,10 +130,22 @@ var wireCRC = crc32.MakeTable(crc32.IEEE)
 // writeFrame writes one framed payload: u32 length | u32 CRC | payload,
 // little-endian — AppendFrame's format on a socket.
 func writeFrame(w io.Writer, payload []byte) error {
+	frame := eventstore.AppendFrame(make([]byte, 0, 8+len(payload)), payload)
+	return writeRawFrame(w, payload, frame)
+}
+
+// writeFrameReusing is writeFrame assembling the wire bytes in *scratch, for
+// hot paths (batch sends, acks) that would otherwise allocate and copy a
+// frame per message.
+func writeFrameReusing(w io.Writer, payload []byte, scratch *[]byte) error {
+	*scratch = eventstore.AppendFrame((*scratch)[:0], payload)
+	return writeRawFrame(w, payload, *scratch)
+}
+
+func writeRawFrame(w io.Writer, payload, frame []byte) error {
 	if len(payload) > maxFrame {
 		return fmt.Errorf("fleet: frame of %d bytes exceeds limit", len(payload))
 	}
-	frame := eventstore.AppendFrame(make([]byte, 0, 8+len(payload)), payload)
 	_, err := w.Write(frame)
 	return err
 }
@@ -226,14 +255,23 @@ type batchMsg struct {
 // framed EncodeEvent payloads (u32 length | bytes), then the concatenation is
 // compressed with the given codec.
 func encodeBatch(seq uint64, events []ids.Event, codec Codec) ([]byte, error) {
-	var raw []byte
+	buf, _, err := encodeBatchScratch(nil, nil, seq, events, codec)
+	return buf, err
+}
+
+// encodeBatchScratch is encodeBatch building into dst's storage and using
+// raw's storage for the uncompressed concatenation, so the shipper's send
+// loop reuses two buffers instead of allocating both per batch. Returns the
+// encoded message and the (possibly grown) raw scratch.
+func encodeBatchScratch(dst, raw []byte, seq uint64, events []ids.Event, codec Codec) ([]byte, []byte, error) {
+	raw = raw[:0]
 	var tmp []byte
 	for i := range events {
 		tmp = eventstore.EncodeEvent(tmp[:0], &events[i])
 		raw = binary.LittleEndian.AppendUint32(raw, uint32(len(tmp)))
 		raw = append(raw, tmp...)
 	}
-	buf := []byte{msgBatch}
+	buf := append(dst[:0], msgBatch)
 	buf = binary.LittleEndian.AppendUint64(buf, seq)
 	buf = append(buf, byte(codec))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(events)))
@@ -247,38 +285,47 @@ func encodeBatch(seq uint64, events []ids.Event, codec Codec) ([]byte, error) {
 		var cb bytes.Buffer
 		zw, err := flate.NewWriter(&cb, flate.BestSpeed)
 		if err != nil {
-			return nil, err
+			return nil, raw, err
 		}
 		if _, err := zw.Write(raw); err != nil {
-			return nil, err
+			return nil, raw, err
 		}
 		if err := zw.Close(); err != nil {
-			return nil, err
+			return nil, raw, err
 		}
 		buf = append(buf, cb.Bytes()...)
 	default:
-		return nil, fmt.Errorf("fleet: cannot encode with %v", codec)
+		return nil, raw, fmt.Errorf("fleet: cannot encode with %v", codec)
 	}
-	return buf, nil
+	return buf, raw, nil
 }
 
 // decodeBatch decodes any codec's batch (the coordinator accepts them all,
 // whatever the handshake advertised).
 func decodeBatch(b []byte) (batchMsg, error) {
+	m, _, err := decodeBatchScratch(b, nil)
+	return m, err
+}
+
+// decodeBatchScratch is decodeBatch with a reusable decompression buffer:
+// scratch's storage holds the decompressed payload during decoding and the
+// (possibly grown) buffer is returned for the next call. Safe to reuse
+// immediately — decoded events never alias it (DecodeEvent copies).
+func decodeBatchScratch(b, scratch []byte) (batchMsg, []byte, error) {
 	d := wireDecoder{b: b}
 	var m batchMsg
 	if t := d.u8(); t != msgBatch {
-		return m, fmt.Errorf("fleet: expected Batch, got message type %d", t)
+		return m, scratch, fmt.Errorf("fleet: expected Batch, got message type %d", t)
 	}
 	m.Seq = d.u64()
 	codec := Codec(d.u8())
 	count := d.u32()
 	rawLen := d.u32()
 	if d.err != nil {
-		return m, d.err
+		return m, scratch, d.err
 	}
 	if rawLen > maxBatchRaw {
-		return m, fmt.Errorf("fleet: batch declares %d raw bytes, limit %d", rawLen, maxBatchRaw)
+		return m, scratch, fmt.Errorf("fleet: batch declares %d raw bytes, limit %d", rawLen, maxBatchRaw)
 	}
 	var raw []byte
 	switch codec {
@@ -286,10 +333,11 @@ func decodeBatch(b []byte) (batchMsg, error) {
 		raw = d.b
 	case CodecSnappy:
 		var err error
-		raw, err = snappyDecode(d.b, int(rawLen))
+		raw, err = snappyDecodeInto(scratch, d.b, int(rawLen))
 		if err != nil {
-			return m, err
+			return m, scratch, err
 		}
+		scratch = raw
 	case CodecDeflate:
 		zr := flate.NewReader(bytes.NewReader(d.b))
 		var err error
@@ -298,35 +346,35 @@ func decodeBatch(b []byte) (batchMsg, error) {
 			err = cerr
 		}
 		if err != nil {
-			return m, fmt.Errorf("fleet: inflating batch: %w", err)
+			return m, scratch, fmt.Errorf("fleet: inflating batch: %w", err)
 		}
 	default:
-		return m, fmt.Errorf("fleet: batch uses unknown %v", codec)
+		return m, scratch, fmt.Errorf("fleet: batch uses unknown %v", codec)
 	}
 	if len(raw) != int(rawLen) {
-		return m, fmt.Errorf("fleet: batch decompressed to %d bytes, declared %d", len(raw), rawLen)
+		return m, scratch, fmt.Errorf("fleet: batch decompressed to %d bytes, declared %d", len(raw), rawLen)
 	}
 	m.Events = make([]ids.Event, 0, count)
 	for len(raw) > 0 {
 		if len(raw) < 4 {
-			return m, fmt.Errorf("fleet: truncated event frame in batch")
+			return m, scratch, fmt.Errorf("fleet: truncated event frame in batch")
 		}
 		n := binary.LittleEndian.Uint32(raw)
 		raw = raw[4:]
 		if uint32(len(raw)) < n {
-			return m, fmt.Errorf("fleet: event frame of %d bytes overruns batch", n)
+			return m, scratch, fmt.Errorf("fleet: event frame of %d bytes overruns batch", n)
 		}
 		ev, err := eventstore.DecodeEvent(raw[:n])
 		if err != nil {
-			return m, err
+			return m, scratch, err
 		}
 		m.Events = append(m.Events, ev)
 		raw = raw[n:]
 	}
 	if uint32(len(m.Events)) != count {
-		return m, fmt.Errorf("fleet: batch holds %d events, declared %d", len(m.Events), count)
+		return m, scratch, fmt.Errorf("fleet: batch holds %d events, declared %d", len(m.Events), count)
 	}
-	return m, nil
+	return m, scratch, nil
 }
 
 func encodeAck(watermark uint64) []byte {

@@ -355,6 +355,9 @@ func (s *Shipper) session() (shipped bool, err error) {
 	// that safe — once acks stop, at most Window more writes succeed before
 	// the clock runs untouched and the timeout trips.
 	lastHeard := time.Now()
+	// Per-session scratch for the send hot path: wire encoding, raw batch
+	// concatenation, and frame assembly each reuse one buffer across batches.
+	var wireBuf, rawBuf, frameBuf []byte
 	for {
 		// Fill the window with the next unacked batches.
 		for int(lastSent-s.spool.Acked()) < s.cfg.Window {
@@ -362,12 +365,13 @@ func (s *Shipper) session() (shipped bool, err error) {
 			if !ok {
 				break
 			}
-			payload, err := encodeBatch(b.seq, b.events, s.cfg.Codec)
+			payload, raw, err := encodeBatchScratch(wireBuf, rawBuf, b.seq, b.events, s.cfg.Codec)
 			if err != nil {
 				return true, err
 			}
+			wireBuf, rawBuf = payload, raw
 			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-			if err := writeFrame(conn, payload); err != nil {
+			if err := writeFrameReusing(conn, payload, &frameBuf); err != nil {
 				return true, err
 			}
 			s.sent.Add(1)

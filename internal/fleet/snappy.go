@@ -3,6 +3,8 @@ package fleet
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
+	"sync"
 )
 
 // An in-repo implementation of the snappy block format
@@ -32,6 +34,19 @@ const (
 	snapTableBits = 14
 )
 
+// snapTable is a reusable candidate table. Initializing 64KB of entries per
+// encode call costs more than compressing a typical event batch, so tables
+// are pooled and carry a running base offset: an entry is live only if its
+// value exceeds the current call's base, which makes every entry left by an
+// earlier encode self-invalidating — no per-call clear. The table re-zeroes
+// only when base nears overflow (once per ~2GB encoded through it).
+type snapTable struct {
+	entries [1 << snapTableBits]int32
+	base    int32
+}
+
+var snapTablePool = sync.Pool{New: func() any { return new(snapTable) }}
+
 // snappyEncode appends the snappy-block encoding of src to dst and returns
 // the extended slice. The empty input encodes to the single byte 0x00 (a
 // zero-length preamble).
@@ -44,10 +59,12 @@ func snappyEncode(dst, src []byte) []byte {
 		return snapEmitLiteral(dst, src)
 	}
 
-	var table [1 << snapTableBits]int32
-	for i := range table {
-		table[i] = -1
+	t := snapTablePool.Get().(*snapTable)
+	if t.base > math.MaxInt32-int32(len(src))-1 {
+		*t = snapTable{}
 	}
+	base := t.base
+	t.base = base + int32(len(src)) + 1
 	hash := func(u uint32) uint32 {
 		return (u * 0x1e35a7bd) >> (32 - snapTableBits)
 	}
@@ -58,28 +75,29 @@ func snappyEncode(dst, src []byte) []byte {
 	for s <= limit {
 		cur := binary.LittleEndian.Uint32(src[s:])
 		h := hash(cur)
-		cand := table[h]
-		table[h] = int32(s)
-		if cand < 0 || s-int(cand) > snapMaxOffset ||
+		cand := int(t.entries[h]-base) - 1 // negative when empty or stale
+		t.entries[h] = base + 1 + int32(s)
+		if cand < 0 || s-cand > snapMaxOffset ||
 			binary.LittleEndian.Uint32(src[cand:]) != cur {
 			s++
 			continue
 		}
 		// Extend the match forward.
 		length := 4
-		for s+length < len(src) && src[int(cand)+length] == src[s+length] {
+		for s+length < len(src) && src[cand+length] == src[s+length] {
 			length++
 		}
 		if lit < s {
 			dst = snapEmitLiteral(dst, src[lit:s])
 		}
-		dst = snapEmitCopy(dst, s-int(cand), length)
+		dst = snapEmitCopy(dst, s-cand, length)
 		s += length
 		lit = s
 	}
 	if lit < len(src) {
 		dst = snapEmitLiteral(dst, src[lit:])
 	}
+	snapTablePool.Put(t)
 	return dst
 }
 
@@ -121,6 +139,14 @@ func snapEmitCopy(dst []byte, offset, length int) []byte {
 // malformed input and any preamble larger than maxLen, since blocks arrive
 // off the network.
 func snappyDecode(src []byte, maxLen int) ([]byte, error) {
+	return snappyDecodeInto(nil, src, maxLen)
+}
+
+// snappyDecodeInto is snappyDecode appending into dst's storage (dst is
+// overwritten from its start), so a caller decoding in a loop — the
+// coordinator's decode workers — reuses one scratch buffer instead of
+// allocating per block.
+func snappyDecodeInto(dst, src []byte, maxLen int) ([]byte, error) {
 	want, n := binary.Uvarint(src)
 	if n <= 0 {
 		return nil, fmt.Errorf("fleet: snappy: bad length preamble")
@@ -129,7 +155,10 @@ func snappyDecode(src []byte, maxLen int) ([]byte, error) {
 		return nil, fmt.Errorf("fleet: snappy: declared length %d exceeds limit %d", want, maxLen)
 	}
 	src = src[n:]
-	out := make([]byte, 0, want)
+	out := dst[:0]
+	if uint64(cap(out)) < want {
+		out = make([]byte, 0, want)
+	}
 	for len(src) > 0 {
 		tag := src[0]
 		switch tag & 0x03 {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -35,6 +36,11 @@ type spool struct {
 	// ackedBytes estimates the on-disk bytes belonging to acked batches,
 	// the compaction trigger.
 	ackedBytes int64
+	// encBuf and frameBuf are Add's reusable encode and frame scratch —
+	// spooling is once per shipped batch, so per-call allocations here show
+	// up directly in sensor throughput.
+	encBuf   []byte
+	frameBuf []byte
 }
 
 type spoolBatch struct {
@@ -154,8 +160,8 @@ func encodeSpoolBatch(seq uint64, events []ids.Event) []byte {
 // of its own is an error (encoded events are bounded far below the cap by
 // their u16-length strings; this guards against a codec change breaking that
 // invariant silently).
-func encodeSpoolBatchCapped(seq uint64, events []ids.Event) ([]byte, []ids.Event, error) {
-	buf := binary.LittleEndian.AppendUint64(nil, seq)
+func encodeSpoolBatchCapped(dst []byte, seq uint64, events []ids.Event) ([]byte, []ids.Event, error) {
+	buf := binary.LittleEndian.AppendUint64(dst[:0], seq)
 	buf = binary.LittleEndian.AppendUint32(buf, 0) // count, patched below
 	var tmp []byte
 	n := 0
@@ -215,11 +221,13 @@ func (sp *spool) Add(events []ids.Event) (uint64, error) {
 	defer sp.mu.Unlock()
 	for len(events) > 0 {
 		seq := sp.lastSeq + 1
-		payload, rest, err := encodeSpoolBatchCapped(seq, events)
+		payload, rest, err := encodeSpoolBatchCapped(sp.encBuf, seq, events)
 		if err != nil {
 			return 0, err
 		}
-		frame := eventstore.AppendFrame(nil, payload)
+		sp.encBuf = payload
+		frame := eventstore.AppendFrame(sp.frameBuf[:0], payload)
+		sp.frameBuf = frame
 		if _, err := sp.f.Write(frame); err != nil {
 			return 0, fmt.Errorf("fleet: spooling batch %d: %w", seq, err)
 		}
@@ -236,8 +244,10 @@ func (sp *spool) Add(events []ids.Event) (uint64, error) {
 }
 
 // AckTo drops every batch with seq <= w. Compaction happens opportunistically
-// once enough acked bytes accumulate and nothing is pending (the cheap
-// moment: the rewrite is then just the header).
+// once acked bytes both pass the threshold and dominate the file, so each
+// rewrite retires at least as many bytes as it copies — without the dominance
+// check, a deep pending backlog would be re-encoded on every threshold
+// crossing, turning acks quadratic.
 func (sp *spool) AckTo(w uint64) error {
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
@@ -258,37 +268,46 @@ func (sp *spool) AckTo(w uint64) error {
 		// already-applied ones and get dropped as duplicates.
 		sp.lastSeq = w
 	}
-	if sp.ackedBytes >= spoolCompactAt {
+	if sp.ackedBytes >= spoolCompactAt && sp.ackedBytes*2 >= sp.size {
 		return sp.compactLocked()
 	}
 	return nil
 }
 
-// compactLocked rewrites the log with only the unacked suffix.
+// compactLocked rewrites the log with only the unacked suffix. Acks are
+// cumulative, so the pending batches are always a contiguous tail of the
+// file; the rewrite copies that byte range as-is rather than re-encoding
+// every pending event (which made deep-backlog compaction the hottest path
+// in the whole shipper).
 func (sp *spool) compactLocked() error {
-	tmp := sp.path + ".tmp"
-	buf := append([]byte(nil), spoolMagic[:]...)
+	var pendBytes int64
 	for _, b := range sp.pending {
-		buf = eventstore.AppendFrame(buf, encodeSpoolBatch(b.seq, b.events))
+		pendBytes += b.bytes
 	}
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return err
-	}
-	f, err := os.OpenFile(tmp, os.O_RDWR, 0o644)
+	tmp := sp.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err := f.Seek(int64(len(buf)), 0); err != nil {
+	if _, err := f.Write(spoolMagic[:]); err != nil {
 		f.Close()
 		return err
 	}
+	if pendBytes > 0 {
+		src := io.NewSectionReader(sp.f, sp.size-pendBytes, pendBytes)
+		if _, err := io.Copy(f, src); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	size := int64(len(spoolMagic)) + pendBytes
 	if err := os.Rename(tmp, sp.path); err != nil {
 		f.Close()
 		return err
 	}
 	old := sp.f
 	sp.f = f
-	sp.size = int64(len(buf))
+	sp.size = size
 	sp.ackedBytes = 0
 	return old.Close()
 }

@@ -146,6 +146,107 @@ func (w *Watermarks) Advance(id string, seq uint64) error {
 	return nil
 }
 
+// AdvanceAll durably raises several sensors' watermarks with one write and
+// one fsync — the group-commit path when the sink has no commit record of
+// its own. Entries at or below the current mark are skipped (the committer
+// computes a max per sensor, but defensive beats sorry); an empty or fully
+// stale map is free.
+func (w *Watermarks) AdvanceAll(marks map[string]uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var frames []byte
+	for id, seq := range marks {
+		if seq > w.marks[id] {
+			frames = eventstore.AppendFrame(frames, encodeMark(id, seq))
+		}
+	}
+	if len(frames) == 0 {
+		return nil
+	}
+	if _, err := w.f.Write(frames); err != nil {
+		return fmt.Errorf("fleet: advancing %d watermarks: %w", len(marks), err)
+	}
+	// One fsync covers every sensor in the group — the acks the committer
+	// releases next all depend on it.
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("fleet: syncing %d watermarks: %w", len(marks), err)
+	}
+	w.size += int64(len(frames))
+	for id, seq := range marks {
+		if seq > w.marks[id] {
+			w.marks[id] = seq
+		}
+	}
+	if w.size >= wmCompactAt {
+		return w.compactLocked()
+	}
+	return nil
+}
+
+// adopt merges marks into memory without journalling. Used when the marks'
+// durability lives elsewhere: recovering them from the eventstore's commit
+// record at startup, and tracking them after each commit thereafter.
+func (w *Watermarks) adopt(marks map[string]uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for id, seq := range marks {
+		if seq > w.marks[id] {
+			w.marks[id] = seq
+		}
+	}
+}
+
+// encodeWith returns the commit-record meta encoding of the current marks
+// merged with extra (max per sensor): the journal's framed records, sorted
+// by sensor id, without the file magic. Deterministic so an idle commit
+// re-encoding unchanged marks is byte-identical and the store's no-op fast
+// path can skip the fsync.
+func (w *Watermarks) encodeWith(extra map[string]uint64) []byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	merged := make(map[string]uint64, len(w.marks)+len(extra))
+	for id, seq := range w.marks {
+		merged[id] = seq
+	}
+	for id, seq := range extra {
+		if seq > merged[id] {
+			merged[id] = seq
+		}
+	}
+	ids := make([]string, 0, len(merged))
+	for id := range merged {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var buf []byte
+	for _, id := range ids {
+		buf = eventstore.AppendFrame(buf, encodeMark(id, merged[id]))
+	}
+	return buf
+}
+
+// decodeMeta parses an encodeWith payload back into marks.
+func decodeMeta(b []byte) (map[string]uint64, error) {
+	out := map[string]uint64{}
+	good, _, err := eventstore.ScanFrames(b, func(payload []byte) error {
+		id, seq, err := decodeMark(payload)
+		if err != nil {
+			return err
+		}
+		if seq > out[id] {
+			out[id] = seq
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if good != len(b) {
+		return nil, fmt.Errorf("fleet: %d stray bytes in watermark commit meta", len(b)-good)
+	}
+	return out, nil
+}
+
 // compactLocked rewrites the journal as one record per sensor.
 func (w *Watermarks) compactLocked() error {
 	ids := make([]string, 0, len(w.marks))

@@ -254,6 +254,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		g("fleet_batches", batches)
 		g("fleet_events", events)
 		g("fleet_dup_batches", dups)
+		// Group-commit health, when the source exposes it (the concrete
+		// *fleet.Listener does; the interface stays minimal for tests).
+		if cs, ok := f.(interface{ CommitStats() fleet.CommitStats }); ok {
+			st := cs.CommitStats()
+			g("fleet_commits_total", st.Commits)
+			g("fleet_commit_coalesced_batches_total", st.CoalescedBatches)
+			g("fleet_commit_queue_depth", st.QueueDepth)
+			g("fleet_commit_last_batches", st.LastBatches)
+			g("fleet_commit_last_fsync_seconds", float64(st.LastFsyncNanos)/1e9)
+		}
 		for _, sensor := range sensors {
 			label := fmt.Sprintf("{sensor=%q}", sensor.ID)
 			connected := 0

@@ -320,6 +320,53 @@ func TestFleetEndpoint(t *testing.T) {
 	}
 }
 
+// commitFleet is a fakeFleet that also reports group-commit stats, like the
+// concrete *fleet.Listener.
+type commitFleet struct{ fakeFleet }
+
+func (f *commitFleet) CommitStats() fleet.CommitStats {
+	return fleet.CommitStats{
+		Commits: 7, CoalescedBatches: 21, LastBatches: 5,
+		LastFsyncNanos: 2_500_000, QueueDepth: 3,
+	}
+}
+
+func TestMetricsCommitGauges(t *testing.T) {
+	f := newFixture(t)
+
+	// A source without CommitStats (the minimal interface) emits no commit
+	// gauges rather than zeros that would look like a stalled committer.
+	srv, err := New(Config{Study: f.study, Store: f.store.(*eventstore.Store), Fleet: &fakeFleet{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if strings.Contains(rec.Body.String(), "fleet_commits_total") {
+		t.Fatalf("commit gauges emitted without a CommitStats source:\n%s", rec.Body.String())
+	}
+
+	srv, err = New(Config{Study: f.study, Store: f.store.(*eventstore.Store), Fleet: &commitFleet{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	metrics := rec.Body.String()
+	for _, want := range []string{
+		"waybackd_fleet_commits_total 7",
+		"waybackd_fleet_commit_coalesced_batches_total 21",
+		"waybackd_fleet_commit_queue_depth 3",
+		"waybackd_fleet_commit_last_batches 5",
+		"waybackd_fleet_commit_last_fsync_seconds 0.0025",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
 func TestHealthzStaleness(t *testing.T) {
 	f := newFixture(t)
 	srv, err := New(Config{Study: f.study, Store: f.store.(*eventstore.Store), StaleAfter: 50 * time.Millisecond})
