@@ -9,6 +9,9 @@
 // -threshold (default 0.30, i.e. 30%), or its events/s falls below the
 // baseline by the same margin. CI runners are noisy shared machines, hence
 // the generous default; the point is to catch the 2x cliff, not a 5% drift.
+// allocs/op (present when the bench ran with -benchmem) is different: a
+// baseline of 0 is a hard zero-allocation guarantee — any allocation fails,
+// no threshold — while a nonzero baseline uses the usual margin.
 // Benchmarks present in the output but absent from the baseline (or the
 // reverse) are reported but never fatal, so adding a benchmark does not
 // break CI before the baseline is regenerated.
@@ -41,6 +44,10 @@ type benchSpec struct {
 	Name         string  `json:"name"`
 	NsPerOp      float64 `json:"ns_per_op"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// AllocsPerOp is a pointer because zero is meaningful: a recorded 0
+	// demands the benchmark stay allocation-free, while an absent field
+	// skips the check entirely.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // result is one parsed benchmark output line.
@@ -48,6 +55,8 @@ type result struct {
 	name         string
 	nsPerOp      float64
 	eventsPerSec float64
+	allocsPerOp  float64
+	hasAllocs    bool
 }
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
@@ -97,6 +106,17 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "FAIL %s: %.0f events/s vs baseline %.0f (-%.0f%%, limit -%.0f%%)\n",
 				r.name, r.eventsPerSec, b.EventsPerSec, 100*(1-r.eventsPerSec/b.EventsPerSec), 100**threshold)
 			ok = false
+		}
+		if b.AllocsPerOp != nil && r.hasAllocs {
+			switch base := *b.AllocsPerOp; {
+			case base == 0 && r.allocsPerOp > 0:
+				fmt.Fprintf(stdout, "FAIL %s: %.0f allocs/op, baseline demands zero\n", r.name, r.allocsPerOp)
+				ok = false
+			case base > 0 && r.allocsPerOp > base*(1+*threshold):
+				fmt.Fprintf(stdout, "FAIL %s: %.0f allocs/op vs baseline %.0f (+%.0f%%, limit +%.0f%%)\n",
+					r.name, r.allocsPerOp, base, 100*(r.allocsPerOp/base-1), 100**threshold)
+				ok = false
+			}
 		}
 		if ok {
 			fmt.Fprintf(stdout, "ok   %s: %.0f ns/op (baseline %.0f)\n", r.name, r.nsPerOp, b.NsPerOp)
@@ -148,6 +168,9 @@ func parseBench(r io.Reader) ([]result, error) {
 				res.nsPerOp = v
 			case "events/s":
 				res.eventsPerSec = v
+			case "allocs/op":
+				res.allocsPerOp = v
+				res.hasAllocs = true
 			}
 		}
 		if res.nsPerOp > 0 {

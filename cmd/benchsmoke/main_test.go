@@ -15,6 +15,8 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkFleetThroughput/sensors=1-8         	  807720	      1747 ns/op	  57.25 MB/s	    572567 events/s
 BenchmarkFleetThroughput/sensors=4-8         	  208508	      6287 ns/op	  15.91 MB/s	    636501 events/s
 BenchmarkSnappyEncode-8   	   12675	     94549 ns/op	 661.16 MB/s	         5.018 ratio
+BenchmarkDecode/into-8    	40910366	        29.40 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDecode/legacy-8  	10764813	       110.4 ns/op	      80 B/op	       1 allocs/op
 PASS
 ok  	repro/internal/fleet	5.899s
 `
@@ -24,8 +26,8 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 3 {
-		t.Fatalf("parsed %d results, want 3: %+v", len(got), got)
+	if len(got) != 5 {
+		t.Fatalf("parsed %d results, want 5: %+v", len(got), got)
 	}
 	if got[0].name != "BenchmarkFleetThroughput/sensors=1" {
 		t.Errorf("GOMAXPROCS suffix not stripped: %q", got[0].name)
@@ -35,6 +37,51 @@ func TestParseBench(t *testing.T) {
 	}
 	if got[2].eventsPerSec != 0 {
 		t.Errorf("snappy bench has no events/s, parsed %+v", got[2])
+	}
+	if got[2].hasAllocs {
+		t.Errorf("snappy bench ran without -benchmem, parsed %+v", got[2])
+	}
+	if !got[3].hasAllocs || got[3].allocsPerOp != 0 {
+		t.Errorf("decode/into allocs parsed as %+v", got[3])
+	}
+	if !got[4].hasAllocs || got[4].allocsPerOp != 1 {
+		t.Errorf("decode/legacy allocs parsed as %+v", got[4])
+	}
+}
+
+func floatPtr(v float64) *float64 { return &v }
+
+func TestRunAllocChecks(t *testing.T) {
+	// A zero baseline is a hard zero-allocation guarantee; the legacy decode
+	// is held to its one allocation with the usual threshold.
+	path := writeBaseline(t, []benchSpec{
+		{Name: "BenchmarkDecode/into", NsPerOp: 1 << 30, AllocsPerOp: floatPtr(0)},
+		{Name: "BenchmarkDecode/legacy", NsPerOp: 1 << 30, AllocsPerOp: floatPtr(1)},
+	})
+	if err := run([]string{"-baseline", path}, strings.NewReader(sampleOutput), &strings.Builder{}); err != nil {
+		t.Fatalf("matching alloc counts failed: %v", err)
+	}
+
+	// One allocation against a zero baseline must fail even though it is
+	// within any percentage threshold of... zero.
+	path = writeBaseline(t, []benchSpec{
+		{Name: "BenchmarkDecode/legacy", NsPerOp: 1 << 30, AllocsPerOp: floatPtr(0)},
+	})
+	var out strings.Builder
+	if err := run([]string{"-baseline", path, "-threshold", "10"}, strings.NewReader(sampleOutput), &out); err == nil {
+		t.Fatalf("1 alloc/op vs zero baseline passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "baseline demands zero") {
+		t.Errorf("failure not attributed to the zero-alloc guarantee:\n%s", out.String())
+	}
+
+	// Output without -benchmem carries no allocs/op: the check is skipped,
+	// not failed, so the baseline stays usable with plain bench runs.
+	noMem := strings.ReplaceAll(sampleOutput,
+		"\t       0 B/op\t       0 allocs/op", "")
+	noMem = strings.ReplaceAll(noMem, "\t      80 B/op\t       1 allocs/op", "")
+	if err := run([]string{"-baseline", path}, strings.NewReader(noMem), &strings.Builder{}); err != nil {
+		t.Fatalf("benchmem-less output tripped the alloc check: %v", err)
 	}
 }
 

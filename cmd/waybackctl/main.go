@@ -46,6 +46,8 @@ func run(args []string) error {
 	pipeline := fs.Bool("pipeline", false, "derive lifecycles from the measured pipeline instead of Appendix E")
 	out := fs.String("out", "paper-out", "output directory for 'all'")
 	rulesPath := fs.String("rules", "", "dated ruleset file for 'replay' (default: the built-in study ruleset)")
+	reasmShards := fs.Int("reasm-shards", 0, "flow-sharded reassembly width (0 = min(8, GOMAXPROCS); output is identical for every value)")
+	matchWorkers := fs.Int("match-workers", 0, "signature-matching worker pool size (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,11 +55,12 @@ func run(args []string) error {
 		return fmt.Errorf("missing command (summary | table N | figure N | finding7 | kev | all | replay FILE)")
 	}
 	if fs.Arg(0) == "replay" {
-		return replay(fs.Args()[1:], *rulesPath)
+		return replay(fs.Args()[1:], *rulesPath, *reasmShards, *matchWorkers)
 	}
 
 	study, err := wayback.NewStudy(wayback.Config{
 		Seed: *seed, Scale: *scale, UsePcap: *pcap, PipelineTimelines: *pipeline,
+		ReasmShards: *reasmShards, MatchWorkers: *matchWorkers,
 	})
 	if err != nil {
 		return err
@@ -418,8 +421,10 @@ func writeAll(res *wayback.Results, dir string) error {
 
 // replay scans on-disk captures (pcap or pcapng, one or many — rotated
 // segments replay in filename order) against a dated ruleset — the study's
-// post-facto evaluation as a standalone tool.
-func replay(paths []string, rulesPath string) error {
+// post-facto evaluation as a standalone tool. Each segment gets its own
+// decoder goroutine feeding the flow-sharded assembler, so multi-segment
+// replays parallelize while producing the exact serial-scan output.
+func replay(paths []string, rulesPath string, shards, workers int) error {
 	if len(paths) == 0 || paths[0] == "" {
 		return fmt.Errorf("replay needs at least one capture file")
 	}
@@ -447,12 +452,21 @@ func replay(paths []string, rulesPath string) error {
 	}
 	engine := ids.NewEngine(ruleset, ids.Config{PortInsensitive: true})
 
-	src, err := pcapio.OpenFiles(paths...)
-	if err != nil {
-		return err
+	// One source per file, in the same sorted order OpenFiles replays them,
+	// so segments decode in parallel.
+	sorted := append([]string(nil), paths...)
+	sort.Strings(sorted)
+	srcs := make([]pcapio.PacketSource, len(sorted))
+	for i, path := range sorted {
+		src, err := pcapio.OpenFiles(path)
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		srcs[i] = src
 	}
-	defer src.Close()
-	events, stats, err := ids.ScanCapture(src, engine)
+	events, stats, err := ids.ScanCaptureSharded(srcs, engine,
+		ids.ScanConfig{Shards: shards, MatchWorkers: workers})
 	if err != nil {
 		return err
 	}

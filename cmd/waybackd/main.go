@@ -82,6 +82,7 @@ type daemonConfig struct {
 	flushIdle   time.Duration
 	batch       int
 	workers     int
+	reasmShards int           // flow-sharded reassembly width; 0 = default
 	fleetListen string        // empty = fleet listener off
 	staleAfter  time.Duration // zero = healthz never degrades
 	// commitInterval is how long the fleet committer gathers appended
@@ -121,6 +122,7 @@ func openDaemon(cfg daemonConfig) (*daemon, error) {
 			FlushIdle:     cfg.flushIdle,
 			BatchSessions: cfg.batch,
 			MatchWorkers:  cfg.workers,
+			DecodeShards:  cfg.reasmShards,
 		})
 		if err != nil {
 			store.Close()
@@ -195,6 +197,8 @@ func run(args []string) error {
 	flushIdle := fs.Duration("flush-idle", 2*time.Second, "flush open connections after this much capture silence")
 	batch := fs.Int("batch", 256, "sessions per match batch")
 	workers := fs.Int("workers", 0, "match workers (0 = GOMAXPROCS)")
+	fs.IntVar(workers, "match-workers", 0, "alias of -workers")
+	reasmShards := fs.Int("reasm-shards", 0, "flow-sharded reassembly width (0 = min(8, GOMAXPROCS))")
 	fleetListen := fs.String("fleet-listen", "", "accept fleet sensors on this address (\":8417\"); empty = off")
 	staleAfter := fs.Duration("stale-after", 0, "healthz answers 503 after this long without new events; 0 = never")
 	commitInterval := fs.Duration("commit-interval", 0, "fleet group-commit gather window; 0 = adaptive (fsync-paced)")
@@ -213,6 +217,7 @@ func run(args []string) error {
 		watchDir: *watch, storeDir: *storeDir, prefix: *prefix,
 		seed: *seed, timelines: *timelines,
 		poll: *poll, flushIdle: *flushIdle, batch: *batch, workers: *workers,
+		reasmShards: *reasmShards,
 		fleetListen: *fleetListen, staleAfter: *staleAfter,
 		commitInterval: *commitInterval,
 	})

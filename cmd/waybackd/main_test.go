@@ -39,7 +39,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 		watchDir: watchDir, storeDir: t.TempDir(), prefix: "dscope",
 		seed: seed, timelines: "pipeline",
 		poll: 5 * time.Millisecond, flushIdle: 50 * time.Millisecond,
-		batch: 256,
+		batch: 256, reasmShards: 3,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -120,8 +120,17 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Error("repeated fetch differs")
 	}
 	_, metrics := get("/metrics")
-	if !strings.Contains(metrics, "waybackd_cache_hits") || !strings.Contains(metrics, "waybackd_ingest_segments_done") {
-		t.Errorf("metrics incomplete:\n%s", metrics)
+	for _, want := range []string{
+		"waybackd_cache_hits",
+		"waybackd_ingest_segments_done",
+		"waybackd_ingest_sessions_total",
+		`waybackd_ingest_shard_open_conns{shard="0"}`,
+		`waybackd_ingest_shard_queue_depth{shard="2"}`, // reasmShards=3 → shards 0..2
+		`waybackd_ingest_shard_packets{shard="1"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
 	}
 
 	// Graceful drain; all batch events must have reached the store.

@@ -73,6 +73,7 @@ type sensorConfig struct {
 	flushIdle   time.Duration
 	batch       int
 	workers     int
+	reasmShards int // flow-sharded reassembly width; 0 = default
 
 	// test knobs
 	backoffMin     time.Duration
@@ -129,6 +130,7 @@ func openSensor(cfg sensorConfig) (*sensor, error) {
 		FlushIdle:     cfg.flushIdle,
 		BatchSessions: cfg.batch,
 		MatchWorkers:  cfg.workers,
+		DecodeShards:  cfg.reasmShards,
 	})
 	if err != nil {
 		shipper.Close()
@@ -194,6 +196,8 @@ func run(args []string) error {
 	flushIdle := fs.Duration("flush-idle", 2*time.Second, "flush open connections after this much capture silence")
 	batch := fs.Int("batch", 256, "sessions per match batch")
 	workers := fs.Int("workers", 0, "match workers (0 = GOMAXPROCS)")
+	fs.IntVar(workers, "match-workers", 0, "alias of -workers")
+	reasmShards := fs.Int("reasm-shards", 0, "flow-sharded reassembly width (0 = min(8, GOMAXPROCS))")
 	filter := fs.Bool("shard-filter", true, "drop events outside this sensor's shard (lets sensors share one capture)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -210,7 +214,8 @@ func run(args []string) error {
 		id: *id, shard: *shard, shards: *shards, seed: *seed,
 		codec: *codec, window: *window, heartbeat: *heartbeat,
 		prefix: *prefix, poll: *poll, flushIdle: *flushIdle,
-		batch: *batch, workers: *workers, enforceShardOf: *filter,
+		batch: *batch, workers: *workers, reasmShards: *reasmShards,
+		enforceShardOf: *filter,
 	})
 	if err != nil {
 		return err

@@ -4,7 +4,12 @@
 //
 // The public API lives in package repro/wayback; the substrates (telescope,
 // IDS, TCP reassembly, rule language, datasets, lifecycle model) live under
-// repro/internal. See README.md for the architecture and EXPERIMENTS.md for
-// paper-vs-measured results; bench_test.go regenerates every table and
+// repro/internal. The capture-to-session front-end is parallel end to end —
+// allocation-free packet decode (packet.DecodeInto), flow-sharded TCP
+// reassembly (tcpasm.Sharded), and per-segment pcap fan-out
+// (ids.ScanCaptureSharded) — and provably output-identical to the serial
+// path: scan_parity_test.go asserts byte-identical events and Table 4 for
+// every shard width. See README.md for the architecture and EXPERIMENTS.md
+// for paper-vs-measured results; bench_test.go regenerates every table and
 // figure of the paper's evaluation.
 package repro

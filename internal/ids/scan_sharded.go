@@ -1,0 +1,117 @@
+package ids
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/packet"
+	"repro/internal/pcapio"
+	"repro/internal/tcpasm"
+)
+
+// Parallel capture scan: one decoder goroutine per capture segment feeds a
+// flow-sharded assembler (see tcpasm.Sharded), and the merged sessions are
+// matched by a worker pool. Output is byte-identical to ScanCapture over the
+// concatenated segments — same events, same order, same stats — for any
+// shard or worker count.
+
+// ScanConfig tunes ScanCaptureSharded. The zero value picks sensible
+// defaults for the host.
+type ScanConfig struct {
+	// Shards is the reassembly shard count; zero means the tcpasm default
+	// of min(8, GOMAXPROCS).
+	Shards int
+	// MatchWorkers is the signature-matching pool size; zero means
+	// GOMAXPROCS (see MatchSessionsParallel).
+	MatchWorkers int
+	// Assembler overrides reassembly limits (idle timeout, stream caps).
+	// Its Shards field is superseded by ScanConfig.Shards when that is set.
+	Assembler tcpasm.Config
+}
+
+// ScanCaptureSharded replays one or more capture segments through the
+// parallel front-end. srcs must be time-ordered (segment N captured before
+// segment N+1) — pcapio.OpenFiles order, or the single capture of a
+// one-element slice. Sources implementing pcapio.ZeroCopySource (every
+// source pcapio produces) are read without per-record allocation.
+//
+// Stats accounting matches ScanCapture: Packets counts records read,
+// DecodeErrors counts undecodable ones, across all segments.
+func ScanCaptureSharded(srcs []pcapio.PacketSource, e *Engine, cfg ScanConfig) ([]Event, ScanStats, error) {
+	var stats ScanStats
+	if len(srcs) == 0 {
+		return nil, stats, fmt.Errorf("ids: no capture sources")
+	}
+	acfg := cfg.Assembler
+	if cfg.Shards != 0 {
+		acfg.Shards = cfg.Shards
+	}
+	asm := tcpasm.NewSharded(acfg, len(srcs))
+
+	var packets, decodeErrs atomic.Int64
+	errs := make([]error, len(srcs))
+	var wg sync.WaitGroup
+	for i, src := range srcs {
+		wg.Add(1)
+		go func(i int, src pcapio.PacketSource) {
+			defer wg.Done()
+			f := asm.Feeder(i)
+			defer f.Close()
+			errs[i] = decodeLoop(src, f, &packets, &decodeErrs)
+		}(i, src)
+	}
+	wg.Wait()
+	sessions := asm.Wait()
+
+	stats.Packets = int(packets.Load())
+	stats.DecodeErrors = int(decodeErrs.Load())
+	for i, err := range errs {
+		if err != nil {
+			return nil, stats, fmt.Errorf("ids: segment %d: %w", i, err)
+		}
+	}
+	events := MatchSessionsParallel(sessions, e, &stats, cfg.MatchWorkers)
+	return events, stats, nil
+}
+
+// decodeLoop reads src to EOF, decoding each record into a pooled item and
+// routing it to its flow's shard. Zero-copy sources lend the item's buffer
+// to NextInto; others cost one copy per record.
+func decodeLoop(src pcapio.PacketSource, f *tcpasm.Feeder, packets, decodeErrs *atomic.Int64) error {
+	zc, zeroCopy := src.(pcapio.ZeroCopySource)
+	var rec pcapio.Packet
+	for {
+		it := f.Get()
+		var err error
+		if zeroCopy {
+			// Lend the item's buffer to the reader; take back whatever
+			// (possibly grown) buffer it filled.
+			rec.Data = it.Buf
+			err = zc.NextInto(&rec)
+			it.Buf = rec.Data
+		} else {
+			rec, err = src.Next()
+			if err == nil {
+				it.Buf = append(it.Buf[:0], rec.Data...)
+			}
+		}
+		if err == io.EOF {
+			f.Recycle(it)
+			return nil
+		}
+		if err != nil {
+			f.Recycle(it)
+			return fmt.Errorf("reading capture: %w", err)
+		}
+		packets.Add(1)
+		if derr := packet.DecodeInto(&it.Pkt, it.Buf); derr != nil {
+			decodeErrs.Add(1)
+			f.Recycle(it)
+			continue
+		}
+		it.TS = rec.Timestamp
+		f.Feed(it)
+	}
+}

@@ -7,8 +7,9 @@
 //
 // Shape:
 //
-//	tailer goroutine:  segments -> decode -> tcpasm -> session batches
-//	matcher goroutine: batches  -> ids.MatchSessionsParallel -> store
+//	tailer goroutine:   segments -> zero-copy decode -> flow-sharded tcpasm
+//	shard workers:      per-flow reassembly (tcpasm.Sharded, DecodeShards)
+//	matcher goroutine:  session batches -> ids.MatchSessionsParallel -> store
 //
 // The two stages are joined by a bounded channel, so a slow matcher
 // backpressures the tailer instead of buffering unboundedly. The matcher is
@@ -72,6 +73,10 @@ type Config struct {
 	// MatchWorkers is passed to ids.MatchSessionsParallel. Zero selects
 	// GOMAXPROCS.
 	MatchWorkers int
+	// DecodeShards overrides Assembler.Shards for the flow-sharded
+	// reassembly stage (see tcpasm.Sharded); zero defers to Assembler.Shards
+	// and its default of min(8, GOMAXPROCS).
+	DecodeShards int
 	// Assembler tunes TCP reassembly (stream caps, idle horizon in capture
 	// time).
 	Assembler tcpasm.Config
@@ -147,8 +152,9 @@ func (m Metrics) Idle() bool { return m.Lag() == 0 }
 
 // Pipeline is a running ingest pipeline.
 type Pipeline struct {
-	cfg Config
-	asm *tcpasm.Assembler
+	cfg    Config
+	asm    *tcpasm.Sharded
+	feeder *tcpasm.Feeder // owned by the tailer goroutine
 
 	batchCh chan []tcpasm.Session
 	stop    chan struct{}
@@ -196,14 +202,19 @@ func Start(cfg Config) (*Pipeline, error) {
 	if _, err := os.Stat(cfg.Dir); err != nil {
 		return nil, fmt.Errorf("ingest: watch dir: %w", err)
 	}
+	acfg := cfg.Assembler
+	if cfg.DecodeShards != 0 {
+		acfg.Shards = cfg.DecodeShards
+	}
 	p := &Pipeline{
 		cfg:     cfg,
-		asm:     tcpasm.NewAssembler(cfg.Assembler),
+		asm:     tcpasm.NewSharded(acfg, 1),
 		batchCh: make(chan []tcpasm.Session, cfg.QueueDepth),
 		stop:    make(chan struct{}),
 		tailerD: make(chan struct{}),
 		matchD:  make(chan struct{}),
 	}
+	p.feeder = p.asm.Feeder(0)
 	go p.tailer()
 	go p.matcher()
 	return p, nil
@@ -240,6 +251,10 @@ func (p *Pipeline) Close() error {
 	})
 	return p.closeErr
 }
+
+// ShardStats snapshots the reassembly shards (open connections, queue
+// depth, packets applied) for the daemon's /metrics endpoint.
+func (p *Pipeline) ShardStats() []tcpasm.ShardStat { return p.asm.ShardStats() }
 
 // Metrics returns a consistent-enough view of pipeline progress. The
 // PendingBytes gauge stats the watch directory, so it reflects writers that
@@ -480,11 +495,11 @@ func (p *Pipeline) tailer() {
 		}
 		// Caught up. If the directory has been quiet long enough, flush
 		// connections idling in the assembler and ship even a partial
-		// batch — neither should be held hostage by a stalled writer.
+		// batch — neither should be held hostage by a stalled writer. The
+		// FlushSessions barrier also settles any batches still queued to
+		// shard workers, so the checkpoint below is exact.
 		if time.Since(lastProgress) >= p.cfg.FlushIdle {
-			if p.asm.OpenConns() > 0 {
-				p.emit(st, p.asm.Flush)
-			}
+			p.emit(st, p.asm.FlushSessions())
 			p.flushPending(st, 0)
 			// The assembler is empty and every session is with the matcher:
 			// this position is drain-consistent, so a crash past this point
@@ -500,8 +515,8 @@ func (p *Pipeline) tailer() {
 	}
 }
 
-// drain consumes every byte already on disk, flushes the assembler, and
-// ships all remaining sessions.
+// drain consumes every byte already on disk, flushes the assembler, ships
+// all remaining sessions, and retires the shard workers.
 func (p *Pipeline) drain(st *tailState) {
 	for {
 		progress, err := p.pump(st, true)
@@ -513,7 +528,12 @@ func (p *Pipeline) drain(st *tailState) {
 			break
 		}
 	}
-	p.emit(st, p.asm.Flush)
+	p.emit(st, p.asm.FlushSessions())
+	// Shut the shard workers down. Everything was flushed at the barrier
+	// above, so Wait's leftovers are empty; collect them anyway so a future
+	// change there cannot silently lose sessions.
+	p.feeder.Close()
+	p.emit(st, p.asm.Wait())
 	p.flushPending(st, 0)
 	// The assembler is empty and every session has been handed to the
 	// matcher; the position persists once the matcher drains too (Close
@@ -544,23 +564,32 @@ func (p *Pipeline) pump(st *tailState, draining bool) (bool, error) {
 	}
 	progress := false
 	caughtUp := false
+	var rec pcapio.Packet
 	for n := 0; n < 8192; n++ {
-		pkt, err := st.tail.Next()
+		// Lend the pooled item's buffer to the tail reader, decode in place,
+		// and route to the flow's shard — no per-record allocation.
+		it := p.feeder.Get()
+		rec.Data = it.Buf
+		err := st.tail.NextInto(&rec)
+		it.Buf = rec.Data
 		if err == io.EOF {
+			p.feeder.Recycle(it)
 			caughtUp = true
 			break
 		}
 		if err != nil {
+			p.feeder.Recycle(it)
 			return progress, fmt.Errorf("ingest: %s: %w", st.path, err)
 		}
 		p.packets.Add(1)
-		st.lastTS = pkt.Timestamp
-		dec, err := packet.Decode(pkt.Data)
-		if err != nil {
+		st.lastTS = rec.Timestamp
+		if derr := packet.DecodeInto(&it.Pkt, it.Buf); derr != nil {
 			p.decodeErrs.Add(1)
+			p.feeder.Recycle(it)
 			continue
 		}
-		p.asm.Feed(pkt.Timestamp, dec)
+		it.TS = rec.Timestamp
+		p.feeder.Feed(it)
 	}
 	if off := st.tail.Offset(); off > st.lastOff {
 		p.consumed.Add(off - st.lastOff)
@@ -589,18 +618,17 @@ func (p *Pipeline) pump(st *tailState, draining bool) (bool, error) {
 			progress = true // a further segment is ready right now
 		}
 	}
-	// Hand completed sessions downstream.
+	// Hand completed sessions downstream. Drain is a shard barrier: cheap
+	// relative to the up-to-8192 records fed above.
 	if !st.lastTS.IsZero() {
-		p.emit(st, func() { p.asm.Advance(st.lastTS) })
+		p.emit(st, p.asm.Drain(st.lastTS))
 	}
 	return progress, nil
 }
 
-// emit runs fn (an assembler state change), collects completed sessions,
+// emit queues completed sessions (from a Drain/FlushSessions/Wait barrier)
 // and ships any full batches.
-func (p *Pipeline) emit(st *tailState, fn func()) {
-	fn()
-	sessions := p.asm.Sessions()
+func (p *Pipeline) emit(st *tailState, sessions []tcpasm.Session) {
 	if len(sessions) > 0 {
 		p.sessions.Add(uint64(len(sessions)))
 		st.pending = append(st.pending, sessions...)

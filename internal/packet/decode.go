@@ -9,34 +9,58 @@ import (
 // Packet is a fully decoded Ethernet/IPv4/TCP frame as captured by the
 // telescope. Non-TCP and non-IPv4 frames are rejected by Decode; the study's
 // collection methodology is TCP-only (DSCOPE accepts TCP on all ports).
+//
+// The layer pointers point into the Packet's own embedded backing headers
+// (one struct, one allocation — or zero with DecodeInto), so a decoded
+// Packet must be passed by pointer: copying the value would leave the copy's
+// pointers aimed at the original.
 type Packet struct {
 	Eth *Ethernet
 	IP  *IPv4
 	TCP *TCP
+
+	// Backing storage for the layer pointers above. DecodeInto overwrites
+	// these in place, which is what makes the hot decode path allocation-free.
+	eth Ethernet
+	ip  IPv4
+	tcp TCP
 }
 
 // Decode parses a full frame starting at the Ethernet layer. It returns an
 // error if any layer is malformed or if the frame is not IPv4/TCP.
 func Decode(data []byte) (*Packet, error) {
-	eth, err := DecodeEthernet(data)
-	if err != nil {
+	p := new(Packet)
+	if err := DecodeInto(p, data); err != nil {
 		return nil, err
 	}
-	if eth.EtherType != EtherTypeIPv4 {
-		return nil, fmt.Errorf("%w: 0x%04x", ErrNotIPv4, eth.EtherType)
+	return p, nil
+}
+
+// DecodeInto decodes a full frame into p without allocating: the embedded
+// backing headers are overwritten in place and every payload slice aliases
+// data, so p may be reused across frames as long as each frame's buffer
+// stays untouched until downstream consumers (reassembly copies what it
+// retains) are done with the packet. On error the layer pointers are
+// cleared, so a stale previous decode cannot be mistaken for this frame's.
+func DecodeInto(p *Packet, data []byte) error {
+	p.Eth, p.IP, p.TCP = nil, nil, nil
+	if err := p.eth.DecodeFrom(data); err != nil {
+		return err
 	}
-	ip, err := DecodeIPv4(eth.LayerPayload())
-	if err != nil {
-		return nil, err
+	if p.eth.EtherType != EtherTypeIPv4 {
+		return fmt.Errorf("%w: 0x%04x", ErrNotIPv4, p.eth.EtherType)
 	}
-	if ip.Protocol != IPProtoTCP {
-		return nil, fmt.Errorf("%w: protocol %d", ErrNotTCP, ip.Protocol)
+	if err := p.ip.DecodeFrom(p.eth.LayerPayload()); err != nil {
+		return err
 	}
-	tcp, err := DecodeTCP(ip.LayerPayload())
-	if err != nil {
-		return nil, err
+	if p.ip.Protocol != IPProtoTCP {
+		return fmt.Errorf("%w: protocol %d", ErrNotTCP, p.ip.Protocol)
 	}
-	return &Packet{Eth: eth, IP: ip, TCP: tcp}, nil
+	if err := p.tcp.DecodeFrom(p.ip.LayerPayload()); err != nil {
+		return err
+	}
+	p.Eth, p.IP, p.TCP = &p.eth, &p.ip, &p.tcp
+	return nil
 }
 
 // Flow returns the directed flow of the packet.

@@ -91,18 +91,28 @@ type Ethernet struct {
 // ethernetHeaderLen is the length of an Ethernet II header without VLAN tags.
 const ethernetHeaderLen = 14
 
-// DecodeEthernet parses an Ethernet II frame. The returned layer's payload
-// aliases data; callers that retain it across buffer reuse must copy.
-func DecodeEthernet(data []byte) (*Ethernet, error) {
+// DecodeFrom parses an Ethernet II frame into e, overwriting every field.
+// The payload aliases data; callers that retain it across buffer reuse must
+// copy. On error e is left in an unspecified state.
+func (e *Ethernet) DecodeFrom(data []byte) error {
 	if len(data) < ethernetHeaderLen {
-		return nil, fmt.Errorf("ethernet header: %w (%d bytes)", ErrTruncated, len(data))
+		return fmt.Errorf("ethernet header: %w (%d bytes)", ErrTruncated, len(data))
 	}
-	var e Ethernet
 	copy(e.Dst[:], data[0:6])
 	copy(e.Src[:], data[6:12])
 	e.EtherType = binary.BigEndian.Uint16(data[12:14])
 	e.payload = data[14:]
-	return &e, nil
+	return nil
+}
+
+// DecodeEthernet parses an Ethernet II frame. The returned layer's payload
+// aliases data; callers that retain it across buffer reuse must copy.
+func DecodeEthernet(data []byte) (*Ethernet, error) {
+	e := new(Ethernet)
+	if err := e.DecodeFrom(data); err != nil {
+		return nil, err
+	}
+	return e, nil
 }
 
 // LayerType implements Layer.
@@ -140,36 +150,37 @@ type IPv4 struct {
 // ipv4MinHeaderLen is the length of an IPv4 header without options.
 const ipv4MinHeaderLen = 20
 
-// DecodeIPv4 parses an IPv4 header and validates its checksum.
-func DecodeIPv4(data []byte) (*IPv4, error) {
+// DecodeFrom parses an IPv4 header into ip, validating its checksum and
+// overwriting every field. Options and payload alias data. On error ip is
+// left in an unspecified state.
+func (ip *IPv4) DecodeFrom(data []byte) error {
 	if len(data) < ipv4MinHeaderLen {
-		return nil, fmt.Errorf("ipv4 header: %w (%d bytes)", ErrTruncated, len(data))
+		return fmt.Errorf("ipv4 header: %w (%d bytes)", ErrTruncated, len(data))
 	}
 	if v := data[0] >> 4; v != 4 {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+		return fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
 	ihl := data[0] & 0x0f
 	hdrLen := int(ihl) * 4
 	if hdrLen < ipv4MinHeaderLen {
-		return nil, fmt.Errorf("%w: IHL %d", ErrBadHdrLen, ihl)
+		return fmt.Errorf("%w: IHL %d", ErrBadHdrLen, ihl)
 	}
 	if len(data) < hdrLen {
-		return nil, fmt.Errorf("ipv4 options: %w", ErrTruncated)
+		return fmt.Errorf("ipv4 options: %w", ErrTruncated)
 	}
 	totalLen := binary.BigEndian.Uint16(data[2:4])
 	if int(totalLen) < hdrLen {
-		return nil, fmt.Errorf("%w: total length %d < header length %d", ErrBadHdrLen, totalLen, hdrLen)
+		return fmt.Errorf("%w: total length %d < header length %d", ErrBadHdrLen, totalLen, hdrLen)
 	}
 	end := int(totalLen)
 	if end > len(data) {
 		// Captured frames may include Ethernet padding beyond the IP total
 		// length, but a total length beyond the captured data is truncation.
-		return nil, fmt.Errorf("ipv4 body: %w (total length %d, have %d)", ErrTruncated, totalLen, len(data))
+		return fmt.Errorf("ipv4 body: %w (total length %d, have %d)", ErrTruncated, totalLen, len(data))
 	}
 	if Checksum(data[:hdrLen]) != 0 {
-		return nil, fmt.Errorf("ipv4 header: %w", ErrBadChecksum)
+		return fmt.Errorf("ipv4 header: %w", ErrBadChecksum)
 	}
-	var ip IPv4
 	ip.IHL = ihl
 	ip.TOS = data[1]
 	ip.Length = totalLen
@@ -182,11 +193,21 @@ func DecodeIPv4(data []byte) (*IPv4, error) {
 	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
 	ip.Src = netip.AddrFrom4([4]byte(data[12:16]))
 	ip.Dst = netip.AddrFrom4([4]byte(data[16:20]))
+	ip.Options = nil
 	if hdrLen > ipv4MinHeaderLen {
 		ip.Options = data[ipv4MinHeaderLen:hdrLen]
 	}
 	ip.payload = data[hdrLen:end]
-	return &ip, nil
+	return nil
+}
+
+// DecodeIPv4 parses an IPv4 header and validates its checksum.
+func DecodeIPv4(data []byte) (*IPv4, error) {
+	ip := new(IPv4)
+	if err := ip.DecodeFrom(data); err != nil {
+		return nil, err
+	}
+	return ip, nil
 }
 
 // LayerType implements Layer.
@@ -254,21 +275,22 @@ type TCP struct {
 // tcpMinHeaderLen is the length of a TCP header without options.
 const tcpMinHeaderLen = 20
 
-// DecodeTCP parses a TCP header. Checksum validation requires the IP
-// pseudo-header, so it is performed separately by VerifyTCPChecksum.
-func DecodeTCP(data []byte) (*TCP, error) {
+// DecodeFrom parses a TCP header into t, overwriting every field. Options
+// and payload alias data. Checksum validation requires the IP pseudo-header,
+// so it is performed separately by VerifyTCPChecksum. On error t is left in
+// an unspecified state.
+func (t *TCP) DecodeFrom(data []byte) error {
 	if len(data) < tcpMinHeaderLen {
-		return nil, fmt.Errorf("tcp header: %w (%d bytes)", ErrTruncated, len(data))
+		return fmt.Errorf("tcp header: %w (%d bytes)", ErrTruncated, len(data))
 	}
 	dataOff := data[12] >> 4
 	hdrLen := int(dataOff) * 4
 	if hdrLen < tcpMinHeaderLen {
-		return nil, fmt.Errorf("%w: data offset %d", ErrBadHdrLen, dataOff)
+		return fmt.Errorf("%w: data offset %d", ErrBadHdrLen, dataOff)
 	}
 	if len(data) < hdrLen {
-		return nil, fmt.Errorf("tcp options: %w", ErrTruncated)
+		return fmt.Errorf("tcp options: %w", ErrTruncated)
 	}
-	var t TCP
 	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
 	t.DstPort = binary.BigEndian.Uint16(data[2:4])
 	t.Seq = binary.BigEndian.Uint32(data[4:8])
@@ -278,11 +300,22 @@ func DecodeTCP(data []byte) (*TCP, error) {
 	t.Window = binary.BigEndian.Uint16(data[14:16])
 	t.Checksum = binary.BigEndian.Uint16(data[16:18])
 	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	t.Options = nil
 	if hdrLen > tcpMinHeaderLen {
 		t.Options = data[tcpMinHeaderLen:hdrLen]
 	}
 	t.payload = data[hdrLen:]
-	return &t, nil
+	return nil
+}
+
+// DecodeTCP parses a TCP header. Checksum validation requires the IP
+// pseudo-header, so it is performed separately by VerifyTCPChecksum.
+func DecodeTCP(data []byte) (*TCP, error) {
+	t := new(TCP)
+	if err := t.DecodeFrom(data); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // LayerType implements Layer.

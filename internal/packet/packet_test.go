@@ -274,13 +274,23 @@ func BenchmarkDecode(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := Decode(frame); err != nil {
-			b.Fatal(err)
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Decode(frame); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
+	b.Run("into", func(b *testing.B) {
+		var p Packet
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := DecodeInto(&p, frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkBuild(b *testing.B) {

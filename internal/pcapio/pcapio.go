@@ -198,33 +198,53 @@ func (r *Reader) NanoPrecision() bool { return r.nano }
 // Next returns the next record, or io.EOF after the last one. The returned
 // Data is freshly allocated and owned by the caller.
 func (r *Reader) Next() (Packet, error) {
+	var p Packet
+	if err := r.NextInto(&p); err != nil {
+		return Packet{}, err
+	}
+	return p, nil
+}
+
+// NextInto reads the next record into p, reusing p.Data's backing array when
+// its capacity suffices — the allocation-free read path for the streaming
+// front-end. On a non-nil error (including io.EOF after the last record) the
+// contents of p are unspecified.
+func (r *Reader) NextInto(p *Packet) error {
 	var hdr [recordHeaderLen]byte
 	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
 		if err == io.EOF {
-			return Packet{}, io.EOF
+			return io.EOF
 		}
-		return Packet{}, fmt.Errorf("pcapio: %w: %v", ErrShortRecord, err)
+		return fmt.Errorf("pcapio: %w: %v", ErrShortRecord, err)
 	}
 	sec := r.order.Uint32(hdr[0:4])
 	frac := r.order.Uint32(hdr[4:8])
 	capLen := r.order.Uint32(hdr[8:12])
 	origLen := r.order.Uint32(hdr[12:16])
 	if r.snaplen > 0 && capLen > r.snaplen {
-		return Packet{}, fmt.Errorf("%w: caplen %d > snaplen %d", ErrSnaplenAbuse, capLen, r.snaplen)
+		return fmt.Errorf("%w: caplen %d > snaplen %d", ErrSnaplenAbuse, capLen, r.snaplen)
 	}
-	data := make([]byte, capLen)
-	if _, err := io.ReadFull(r.r, data); err != nil {
-		return Packet{}, fmt.Errorf("pcapio: %w: %v", ErrShortRecord, err)
+	growData(p, int(capLen))
+	if _, err := io.ReadFull(r.r, p.Data); err != nil {
+		return fmt.Errorf("pcapio: %w: %v", ErrShortRecord, err)
 	}
 	nanos := int64(frac)
 	if !r.nano {
 		nanos *= 1000
 	}
-	return Packet{
-		Timestamp: time.Unix(int64(sec), nanos).UTC(),
-		OrigLen:   int(origLen),
-		Data:      data,
-	}, nil
+	p.Timestamp = time.Unix(int64(sec), nanos).UTC()
+	p.OrigLen = int(origLen)
+	return nil
+}
+
+// growData resizes p.Data to n bytes, reusing the backing array when its
+// capacity allows and allocating only to grow.
+func growData(p *Packet, n int) {
+	if cap(p.Data) >= n {
+		p.Data = p.Data[:n]
+	} else {
+		p.Data = make([]byte, n)
+	}
 }
 
 // ReadAll drains the reader, returning every record. It is a convenience for

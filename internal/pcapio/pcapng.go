@@ -119,6 +119,7 @@ type NgReader struct {
 	order    binary.ByteOrder
 	linkType uint32
 	tsresol  []time.Duration // per-interface tick duration
+	buf      []byte          // reused block-body scratch for NextInto
 }
 
 // NewNgReader parses the Section Header Block.
@@ -153,80 +154,101 @@ func NewNgReader(r io.Reader) (*NgReader, error) {
 // LinkType returns the first interface's link type (0 before any IDB).
 func (r *NgReader) LinkType() uint32 { return r.linkType }
 
-// Next returns the next packet, skipping non-packet blocks, or io.EOF.
+// Next returns the next packet, skipping non-packet blocks, or io.EOF. The
+// returned Data is freshly allocated and owned by the caller.
 func (r *NgReader) Next() (Packet, error) {
+	var p Packet
+	if err := r.NextInto(&p); err != nil {
+		return Packet{}, err
+	}
+	return p, nil
+}
+
+// NextInto is Next into a caller-owned Packet: block bodies land in an
+// internal scratch buffer and the packet bytes are copied into p.Data,
+// reusing its capacity. Steady-state reads allocate nothing. On a non-nil
+// error the contents of p are unspecified.
+func (r *NgReader) NextInto(p *Packet) error {
 	for {
 		var head [8]byte
 		if _, err := io.ReadFull(r.r, head[:]); err != nil {
 			if err == io.EOF {
-				return Packet{}, io.EOF
+				return io.EOF
 			}
-			return Packet{}, fmt.Errorf("pcapio: reading block header: %w", err)
+			return fmt.Errorf("pcapio: reading block header: %w", err)
 		}
 		blockType := r.order.Uint32(head[0:4])
 		blockLen := r.order.Uint32(head[4:8])
 		if blockLen < 12 || blockLen%4 != 0 {
-			return Packet{}, fmt.Errorf("pcapio: block length %d invalid", blockLen)
+			return fmt.Errorf("pcapio: block length %d invalid", blockLen)
 		}
-		body := make([]byte, blockLen-12)
+		bodyLen := int(blockLen - 12)
+		if cap(r.buf) < bodyLen {
+			r.buf = make([]byte, bodyLen)
+		}
+		body := r.buf[:bodyLen]
 		if _, err := io.ReadFull(r.r, body); err != nil {
-			return Packet{}, fmt.Errorf("pcapio: %w: %v", ErrShortRecord, err)
+			return fmt.Errorf("pcapio: %w: %v", ErrShortRecord, err)
 		}
 		var trailer [4]byte
 		if _, err := io.ReadFull(r.r, trailer[:]); err != nil {
-			return Packet{}, fmt.Errorf("pcapio: %w: missing trailer", ErrShortRecord)
+			return fmt.Errorf("pcapio: %w: missing trailer", ErrShortRecord)
 		}
 		if r.order.Uint32(trailer[:]) != blockLen {
-			return Packet{}, fmt.Errorf("pcapio: block trailer mismatch")
+			return fmt.Errorf("pcapio: block trailer mismatch")
 		}
 		switch blockType {
 		case blockIDB:
 			if len(body) < 8 {
-				return Packet{}, fmt.Errorf("pcapio: IDB too short")
+				return fmt.Errorf("pcapio: IDB too short")
 			}
 			if len(r.tsresol) == 0 {
 				r.linkType = uint32(r.order.Uint16(body[0:2]))
 			}
 			r.tsresol = append(r.tsresol, parseTsresol(body[8:], r.order))
 		case blockEPB:
-			return r.parseEPB(body)
+			return r.parseEPBInto(p, body)
 		case blockSPB:
 			// Simple Packet Block: original length then data, no timestamp.
 			if len(body) < 4 {
-				return Packet{}, fmt.Errorf("pcapio: SPB too short")
+				return fmt.Errorf("pcapio: SPB too short")
 			}
 			origLen := int(r.order.Uint32(body[0:4]))
 			data := body[4:]
 			if origLen < len(data) {
 				data = data[:origLen]
 			}
-			return Packet{Timestamp: time.Unix(0, 0).UTC(), OrigLen: origLen, Data: append([]byte(nil), data...)}, nil
+			growData(p, len(data))
+			copy(p.Data, data)
+			p.Timestamp = time.Unix(0, 0).UTC()
+			p.OrigLen = origLen
+			return nil
 		default:
 			// Unknown block: skip (already consumed).
 		}
 	}
 }
 
-func (r *NgReader) parseEPB(body []byte) (Packet, error) {
+func (r *NgReader) parseEPBInto(p *Packet, body []byte) error {
 	if len(body) < 20 {
-		return Packet{}, fmt.Errorf("pcapio: EPB too short")
+		return fmt.Errorf("pcapio: EPB too short")
 	}
 	iface := int(r.order.Uint32(body[0:4]))
 	ts := uint64(r.order.Uint32(body[4:8]))<<32 | uint64(r.order.Uint32(body[8:12]))
 	capLen := int(r.order.Uint32(body[12:16]))
 	origLen := int(r.order.Uint32(body[16:20]))
 	if capLen < 0 || 20+capLen > len(body) {
-		return Packet{}, fmt.Errorf("pcapio: EPB captured length %d exceeds block", capLen)
+		return fmt.Errorf("pcapio: EPB captured length %d exceeds block", capLen)
 	}
 	tick := time.Microsecond // pcapng default resolution is 10^-6
 	if iface < len(r.tsresol) && r.tsresol[iface] > 0 {
 		tick = r.tsresol[iface]
 	}
-	return Packet{
-		Timestamp: time.Unix(0, int64(ts)*int64(tick)).UTC(),
-		OrigLen:   origLen,
-		Data:      append([]byte(nil), body[20:20+capLen]...),
-	}, nil
+	growData(p, capLen)
+	copy(p.Data, body[20:20+capLen])
+	p.Timestamp = time.Unix(0, int64(ts)*int64(tick)).UTC()
+	p.OrigLen = origLen
+	return nil
 }
 
 // parseTsresol scans IDB options for if_tsresol (code 9) and returns the
@@ -282,4 +304,15 @@ func OpenCapture(r io.Reader) (PacketSource, error) {
 type PacketSource interface {
 	// Next returns the next packet or io.EOF.
 	Next() (Packet, error)
+}
+
+// ZeroCopySource is a PacketSource that can also read records into a
+// caller-owned Packet, reusing its Data capacity so steady-state reads
+// allocate nothing. Every source in this package implements it; consumers
+// type-assert and fall back to Next for foreign sources.
+type ZeroCopySource interface {
+	PacketSource
+	// NextInto reads the next record into p. On a non-nil error (including
+	// io.EOF) the contents of p are unspecified.
+	NextInto(p *Packet) error
 }

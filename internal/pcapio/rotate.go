@@ -135,30 +135,52 @@ type MultiSource struct {
 
 // Next returns the next packet across all files, or io.EOF after the last.
 func (m *MultiSource) Next() (Packet, error) {
+	var p Packet
+	if err := m.NextInto(&p); err != nil {
+		return Packet{}, err
+	}
+	return p, nil
+}
+
+// NextInto is Next into a caller-owned Packet, reusing its Data capacity.
+// OpenCapture always yields zero-copy sources, so the fast path is hit for
+// every file this package can open.
+func (m *MultiSource) NextInto(p *Packet) error {
 	for {
 		if m.src.cur == nil {
 			if m.src.idx >= len(m.src.paths) {
-				return Packet{}, io.EOF
+				return io.EOF
 			}
 			f, err := os.Open(m.src.paths[m.src.idx])
 			if err != nil {
-				return Packet{}, err
+				return err
 			}
 			src, err := OpenCapture(f)
 			if err != nil {
 				f.Close()
-				return Packet{}, fmt.Errorf("pcapio: %s: %w", m.src.paths[m.src.idx], err)
+				return fmt.Errorf("pcapio: %s: %w", m.src.paths[m.src.idx], err)
 			}
 			m.src.file, m.src.cur = f, src
 			m.src.idx++
 		}
-		p, err := m.src.cur.Next()
+		var err error
+		if zc, ok := m.src.cur.(ZeroCopySource); ok {
+			err = zc.NextInto(p)
+		} else {
+			var pkt Packet
+			pkt, err = m.src.cur.Next()
+			if err == nil {
+				growData(p, len(pkt.Data))
+				copy(p.Data, pkt.Data)
+				p.Timestamp, p.OrigLen = pkt.Timestamp, pkt.OrigLen
+			}
+		}
 		if err == io.EOF {
 			m.src.file.Close()
 			m.src.cur, m.src.file = nil, nil
 			continue
 		}
-		return p, err
+		return err
 	}
 }
 

@@ -44,18 +44,30 @@ func (t *TailReader) LinkType() uint32 { return t.hdr.linkType }
 // now": the position is retained and Next may be called again after the
 // writer appends. Malformed headers and snaplen abuse are permanent errors.
 func (t *TailReader) Next() (Packet, error) {
+	var p Packet
+	if err := t.NextInto(&p); err != nil {
+		return Packet{}, err
+	}
+	return p, nil
+}
+
+// NextInto is Next into a caller-owned Packet, reusing p.Data's backing
+// array when its capacity suffices. On a non-nil error (including the
+// retryable io.EOF) the contents of p are unspecified; the read position is
+// retained exactly as for Next.
+func (t *TailReader) NextInto(p *Packet) error {
 	if !t.parsed {
 		var hdr [fileHeaderLen]byte
 		n, err := t.f.ReadAt(hdr[:], 0)
 		if n < fileHeaderLen {
 			if err != nil && err != io.EOF {
-				return Packet{}, err
+				return err
 			}
-			return Packet{}, io.EOF
+			return io.EOF
 		}
 		fh, err := parseFileHeader(hdr[:])
 		if err != nil {
-			return Packet{}, err
+			return err
 		}
 		t.hdr = fh
 		t.parsed = true
@@ -65,35 +77,33 @@ func (t *TailReader) Next() (Packet, error) {
 	n, err := t.f.ReadAt(rec[:], t.off)
 	if n < recordHeaderLen {
 		if err != nil && err != io.EOF {
-			return Packet{}, err
+			return err
 		}
-		return Packet{}, io.EOF
+		return io.EOF
 	}
 	sec := t.hdr.order.Uint32(rec[0:4])
 	frac := t.hdr.order.Uint32(rec[4:8])
 	capLen := t.hdr.order.Uint32(rec[8:12])
 	origLen := t.hdr.order.Uint32(rec[12:16])
 	if t.hdr.snaplen > 0 && capLen > t.hdr.snaplen {
-		return Packet{}, fmt.Errorf("%w: caplen %d > snaplen %d", ErrSnaplenAbuse, capLen, t.hdr.snaplen)
+		return fmt.Errorf("%w: caplen %d > snaplen %d", ErrSnaplenAbuse, capLen, t.hdr.snaplen)
 	}
-	data := make([]byte, capLen)
-	n, err = t.f.ReadAt(data, t.off+recordHeaderLen)
+	growData(p, int(capLen))
+	n, err = t.f.ReadAt(p.Data, t.off+recordHeaderLen)
 	if n < int(capLen) {
 		if err != nil && err != io.EOF {
-			return Packet{}, err
+			return err
 		}
-		return Packet{}, io.EOF
+		return io.EOF
 	}
 	t.off += recordHeaderLen + int64(capLen)
 	nanos := int64(frac)
 	if !t.hdr.nano {
 		nanos *= 1000
 	}
-	return Packet{
-		Timestamp: time.Unix(int64(sec), nanos).UTC(),
-		OrigLen:   int(origLen),
-		Data:      data,
-	}, nil
+	p.Timestamp = time.Unix(int64(sec), nanos).UTC()
+	p.OrigLen = int(origLen)
+	return nil
 }
 
 // Remainder reports how many bytes past the consumed offset the file holds.

@@ -1,0 +1,215 @@
+package pcapio
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeTestCapture writes n classic-pcap records of varying sizes and
+// returns the file bytes plus the expected packets.
+func writeTestCapture(t *testing.T, n int) ([]byte, []Packet) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, LinkTypeEthernet, WithNanoPrecision())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2021, 3, 1, 12, 0, 0, 0, time.UTC)
+	var want []Packet
+	for i := 0; i < n; i++ {
+		data := bytes.Repeat([]byte{byte(i)}, 20+(i*37)%400)
+		ts := base.Add(time.Duration(i) * time.Millisecond)
+		if err := w.WritePacket(ts, data); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, Packet{Timestamp: ts, OrigLen: len(data), Data: data})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), want
+}
+
+func checkSame(t *testing.T, i int, got, want Packet) {
+	t.Helper()
+	if !got.Timestamp.Equal(want.Timestamp) {
+		t.Fatalf("record %d: timestamp %v, want %v", i, got.Timestamp, want.Timestamp)
+	}
+	if got.OrigLen != want.OrigLen {
+		t.Fatalf("record %d: origlen %d, want %d", i, got.OrigLen, want.OrigLen)
+	}
+	if !bytes.Equal(got.Data, want.Data) {
+		t.Fatalf("record %d: data mismatch (%d vs %d bytes)", i, len(got.Data), len(want.Data))
+	}
+}
+
+// TestReaderNextIntoReusesBuffer: NextInto must return the same records as
+// Next while reusing one buffer across records once it has grown.
+func TestReaderNextIntoReusesBuffer(t *testing.T) {
+	raw, want := writeTestCapture(t, 24)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Packet{Data: make([]byte, 0, 512)}
+	backing := &p.Data[:1][0]
+	for i := 0; ; i++ {
+		err := r.NextInto(&p)
+		if err == io.EOF {
+			if i != len(want) {
+				t.Fatalf("got %d records, want %d", i, len(want))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSame(t, i, p, want[i])
+		if &p.Data[0] != backing {
+			t.Fatalf("record %d: NextInto reallocated despite sufficient capacity", i)
+		}
+	}
+}
+
+// TestNgReaderNextIntoMatchesNext holds the pcapng zero-copy path to the
+// allocating one.
+func TestNgReaderNextIntoMatchesNext(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewNgWriter(&buf, LinkTypeEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 16; i++ {
+		if err := w.WritePacket(base.Add(time.Duration(i)*time.Second), bytes.Repeat([]byte{byte(i)}, 10+i*13)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	plain, err := NewNgReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := NewNgReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Packet
+	for i := 0; ; i++ {
+		want, werr := plain.Next()
+		gerr := zero.NextInto(&p)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("record %d: Next err %v, NextInto err %v", i, werr, gerr)
+		}
+		if werr == io.EOF {
+			break
+		}
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		checkSame(t, i, p, want)
+	}
+}
+
+// TestTailReaderNextIntoIncremental: the zero-copy tail path must retain
+// its position across io.EOF exactly like Next.
+func TestTailReaderNextIntoIncremental(t *testing.T) {
+	raw, want := writeTestCapture(t, 6)
+	path := filepath.Join(t.TempDir(), "seg.pcap")
+	// Land only half the file first; the tail must stop cleanly mid-record.
+	half := len(raw) / 2
+	if err := os.WriteFile(path, raw[:half], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr := NewTailReader(f)
+	var p Packet
+	got := 0
+	for {
+		if err := tr.NextInto(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		checkSame(t, got, p, want[got])
+		got++
+	}
+	if got == len(want) {
+		t.Fatal("expected a partial read before the rest of the file lands")
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if err := tr.NextInto(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		checkSame(t, got, p, want[got])
+		got++
+	}
+	if got != len(want) {
+		t.Fatalf("got %d records total, want %d", got, len(want))
+	}
+}
+
+// TestMultiSourceNextInto replays rotated segments through the zero-copy
+// interface and checks record identity with the allocating path.
+func TestMultiSourceNextInto(t *testing.T) {
+	dir := t.TempDir()
+	rw, err := NewRotatingWriter(dir, "zc", LinkTypeEthernet, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2021, 9, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 40; i++ {
+		if err := rw.WritePacket(base.Add(time.Duration(i)*time.Second), bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files := rw.Files()
+	if len(files) < 2 {
+		t.Fatalf("want multiple segments, got %d", len(files))
+	}
+
+	plain, err := OpenFiles(files...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	zero, err := OpenFiles(files...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer zero.Close()
+	var p Packet
+	for i := 0; ; i++ {
+		want, werr := plain.Next()
+		gerr := zero.NextInto(&p)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("record %d: Next err %v, NextInto err %v", i, werr, gerr)
+		}
+		if werr == io.EOF {
+			break
+		}
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		checkSame(t, i, p, want)
+	}
+}

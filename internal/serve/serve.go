@@ -299,6 +299,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		g("ingest_idle", idle)
 		g("ingest_batch_latency_seconds", m.LastBatchLatency.Seconds())
+		// Explicit _total spelling for the sessions counter (the bare
+		// ingest_sessions gauge name predates it and is kept for
+		// compatibility).
+		g("ingest_sessions_total", m.Sessions)
+		for _, sh := range p.ShardStats() {
+			label := fmt.Sprintf("{shard=\"%d\"}", sh.Shard)
+			g("ingest_shard_open_conns"+label, sh.OpenConns)
+			g("ingest_shard_queue_depth"+label, sh.Queued)
+			g("ingest_shard_packets"+label, sh.Packets)
+		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write(b.Bytes())

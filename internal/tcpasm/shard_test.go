@@ -1,0 +1,393 @@
+package tcpasm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// feedEvent is one captured frame with its timestamp.
+type feedEvent struct {
+	ts    time.Time
+	frame []byte
+}
+
+// genTraffic builds a deterministic interleaved capture: nFlows scripted
+// conversations (handshakes, bidirectional data, out-of-order chunks,
+// FIN/RST/abandoned endings) merged onto one non-decreasing timeline. With
+// many active flows and tens of milliseconds between events, revisit gaps
+// routinely exceed the 2s IdleTimeout the parity tests configure, so the
+// Feed-level idle split is exercised organically.
+func genTraffic(t testing.TB, seed int64, nFlows int) []feedEvent {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	bld := packet.NewBuilder(seed)
+
+	type flowScript struct {
+		segs []packet.Segment
+		next int
+	}
+	flows := make([]*flowScript, nFlows)
+	for i := range flows {
+		c := packet.Endpoint{
+			Addr: packet.MustAddr(fmt.Sprintf("192.0.2.%d", 1+rng.Intn(250))),
+			Port: uint16(40000 + i),
+		}
+		s := packet.Endpoint{
+			Addr: packet.MustAddr(fmt.Sprintf("198.51.100.%d", 1+rng.Intn(250))),
+			Port: []uint16{23, 80, 443, 8080}[rng.Intn(4)],
+		}
+		cseq := rng.Uint32()
+		sseq := rng.Uint32()
+		fs := &flowScript{}
+		fs.segs = append(fs.segs,
+			packet.Segment{Src: c, Dst: s, Seq: cseq, Flags: packet.FlagSYN},
+			packet.Segment{Src: s, Dst: c, Seq: sseq, Ack: cseq + 1, Flags: packet.FlagSYN | packet.FlagACK},
+			packet.Segment{Src: c, Dst: s, Seq: cseq + 1, Ack: sseq + 1, Flags: packet.FlagACK},
+		)
+		cseq, sseq = cseq+1, sseq+1
+
+		// Client payload in chunks, occasionally shuffled out of order.
+		payload := bytes.Repeat([]byte{byte('a' + i%26)}, 30+rng.Intn(400))
+		var chunks []packet.Segment
+		for off := 0; off < len(payload); {
+			n := 1 + rng.Intn(60)
+			if off+n > len(payload) {
+				n = len(payload) - off
+			}
+			chunks = append(chunks, packet.Segment{
+				Src: c, Dst: s, Seq: cseq + uint32(off), Ack: sseq,
+				Flags: packet.FlagPSH | packet.FlagACK, Payload: payload[off : off+n],
+			})
+			off += n
+		}
+		if rng.Intn(3) == 0 {
+			rng.Shuffle(len(chunks), func(a, b int) { chunks[a], chunks[b] = chunks[b], chunks[a] })
+		}
+		fs.segs = append(fs.segs, chunks...)
+		cseq += uint32(len(payload))
+		if rng.Intn(2) == 0 {
+			resp := []byte("ACK\r\n")
+			fs.segs = append(fs.segs, packet.Segment{
+				Src: s, Dst: c, Seq: sseq, Ack: cseq,
+				Flags: packet.FlagPSH | packet.FlagACK, Payload: resp,
+			})
+			sseq += uint32(len(resp))
+		}
+		switch rng.Intn(3) {
+		case 0: // clean close
+			fs.segs = append(fs.segs,
+				packet.Segment{Src: c, Dst: s, Seq: cseq, Ack: sseq, Flags: packet.FlagFIN | packet.FlagACK},
+				packet.Segment{Src: s, Dst: c, Seq: sseq, Ack: cseq + 1, Flags: packet.FlagFIN | packet.FlagACK},
+			)
+		case 1: // abort
+			fs.segs = append(fs.segs, packet.Segment{Src: c, Dst: s, Seq: cseq, Flags: packet.FlagRST})
+		default: // abandoned: idles out or is flushed at end of capture
+		}
+		flows[i] = fs
+	}
+
+	// Merge onto one timeline: pick a random unfinished flow per step.
+	var events []feedEvent
+	ts := time.Date(2021, 5, 10, 8, 0, 0, 0, time.UTC)
+	live := make([]int, 0, nFlows)
+	for i := range flows {
+		live = append(live, i)
+	}
+	for len(live) > 0 {
+		k := rng.Intn(len(live))
+		fs := flows[live[k]]
+		frame, err := bld.Build(fs.segs[fs.next])
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, feedEvent{ts: ts, frame: frame})
+		ts = ts.Add(time.Duration(20+rng.Intn(120)) * time.Millisecond)
+		fs.next++
+		if fs.next == len(fs.segs) {
+			live = append(live[:k], live[k+1:]...)
+		}
+	}
+	return events
+}
+
+// serialSessions is the reference: one Assembler, the serial scan cadence.
+func serialSessions(t testing.TB, cfg Config, events []feedEvent) []Session {
+	t.Helper()
+	a := NewAssembler(cfg)
+	for i, ev := range events {
+		p, err := packet.Decode(ev.frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Feed(ev.ts, p)
+		if (i+1)%advanceEvery == 0 {
+			a.Advance(ev.ts)
+		}
+	}
+	a.Flush()
+	return a.Sessions()
+}
+
+// feedSharded decodes events into pooled items and routes them through f.
+func feedSharded(t testing.TB, f *Feeder, events []feedEvent) {
+	t.Helper()
+	for _, ev := range events {
+		it := f.Get()
+		it.TS = ev.ts
+		it.Buf = append(it.Buf[:0], ev.frame...)
+		if err := packet.DecodeInto(&it.Pkt, it.Buf); err != nil {
+			t.Error(err)
+			f.Recycle(it)
+			continue
+		}
+		f.Feed(it)
+	}
+}
+
+func diffSessions(t *testing.T, got, want []Session) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d sessions, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("session %d differs:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestShardedParity: for every shard count and seed, the sharded batch scan
+// must emit byte-identical sessions in identical order to the serial path.
+func TestShardedParity(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		events := genTraffic(t, seed, 40)
+		cfg := Config{IdleTimeout: 2 * time.Second}
+		want := serialSessions(t, cfg, events)
+		if len(want) < 40 {
+			t.Fatalf("seed %d: weak test input, only %d sessions", seed, len(want))
+		}
+		for _, shards := range []int{1, 3, 8} {
+			t.Run(fmt.Sprintf("seed%d_shards%d", seed, shards), func(t *testing.T) {
+				cfg := cfg
+				cfg.Shards = shards
+				s := NewSharded(cfg, 1)
+				feedSharded(t, s.Feeder(0), events)
+				s.Feeder(0).Close()
+				diffSessions(t, s.Wait(), want)
+			})
+		}
+	}
+}
+
+// TestShardedParityMultiFeeder splits the capture into time-ordered chunks
+// fed concurrently by one feeder each, mimicking the multi-segment pcap
+// fan-out. Flows spanning chunk boundaries must still reassemble exactly as
+// in the serial scan.
+func TestShardedParityMultiFeeder(t *testing.T) {
+	events := genTraffic(t, 7, 48)
+	cfg := Config{IdleTimeout: 2 * time.Second, Shards: 4}
+	want := serialSessions(t, cfg, events)
+
+	for _, feeders := range []int{2, 3, 5} {
+		t.Run(fmt.Sprintf("feeders%d", feeders), func(t *testing.T) {
+			s := NewSharded(cfg, feeders)
+			chunk := (len(events) + feeders - 1) / feeders
+			var wg sync.WaitGroup
+			for i := 0; i < feeders; i++ {
+				lo := i * chunk
+				hi := lo + chunk
+				if hi > len(events) {
+					hi = len(events)
+				}
+				wg.Add(1)
+				go func(f *Feeder, evs []feedEvent) {
+					defer wg.Done()
+					feedSharded(t, f, evs)
+					f.Close()
+				}(s.Feeder(i), events[lo:hi])
+			}
+			wg.Wait()
+			diffSessions(t, s.Wait(), want)
+		})
+	}
+}
+
+// TestShardedStreamingBarriers interleaves Drain and FlushSessions with
+// feeding — the ingest pipeline's cadence — and checks every batch against
+// the serial assembler draining at the same points.
+func TestShardedStreamingBarriers(t *testing.T) {
+	events := genTraffic(t, 11, 32)
+	cfg := Config{IdleTimeout: 2 * time.Second, Shards: 3}
+
+	ref := NewAssembler(cfg)
+	s := NewSharded(cfg, 1)
+	f := s.Feeder(0)
+	const batch = 150
+	for lo := 0; lo < len(events); lo += batch {
+		hi := lo + batch
+		if hi > len(events) {
+			hi = len(events)
+		}
+		for _, ev := range events[lo:hi] {
+			p, err := packet.Decode(ev.frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.Feed(ev.ts, p)
+		}
+		feedSharded(t, f, events[lo:hi])
+		now := events[hi-1].ts
+		want := ref.Drain(now)
+		got := s.Drain(now)
+		diffSessions(t, got, want)
+	}
+	ref.Flush()
+	diffSessions(t, s.FlushSessions(), ref.Sessions())
+	f.Close()
+	if leftover := s.Wait(); len(leftover) != 0 {
+		t.Fatalf("sessions after final flush: %d", len(leftover))
+	}
+}
+
+// TestShardedStatsAndRace hammers the sharded assembler from several feeders
+// while polling the monitoring surface from another goroutine; run with
+// -race this doubles as the concurrency soundness check.
+func TestShardedStatsAndRace(t *testing.T) {
+	events := genTraffic(t, 5, 64)
+	cfg := Config{IdleTimeout: 2 * time.Second, Shards: 4}
+	s := NewSharded(cfg, 4)
+
+	stop := make(chan struct{})
+	var poller sync.WaitGroup
+	poller.Add(1)
+	go func() {
+		defer poller.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, st := range s.ShardStats() {
+				if st.Queued < 0 {
+					t.Errorf("shard %d: negative queue depth %d", st.Shard, st.Queued)
+					return
+				}
+			}
+			_ = s.OpenConns()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	chunk := (len(events) + 3) / 4
+	for i := 0; i < 4; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(events) {
+			hi = len(events)
+		}
+		wg.Add(1)
+		go func(f *Feeder, evs []feedEvent) {
+			defer wg.Done()
+			feedSharded(t, f, evs)
+			f.Close()
+		}(s.Feeder(i), events[lo:hi])
+	}
+	wg.Wait()
+	got := s.Wait()
+	close(stop)
+	poller.Wait()
+
+	var applied uint64
+	for _, st := range s.ShardStats() {
+		if st.Queued != 0 || st.OpenConns != 0 {
+			t.Errorf("shard %d not drained: %+v", st.Shard, st)
+		}
+		applied += st.Packets
+	}
+	if applied != uint64(len(events)) {
+		t.Errorf("applied %d packets, want %d", applied, len(events))
+	}
+	if len(got) == 0 {
+		t.Error("no sessions out")
+	}
+}
+
+// TestShardOfStable pins the flow→shard mapping properties: affinity for
+// both directions of a flow and full use of the shard space.
+func TestShardOfStable(t *testing.T) {
+	used := make(map[int]bool)
+	for i := 0; i < 256; i++ {
+		c := packet.Endpoint{Addr: packet.MustAddr(fmt.Sprintf("10.0.%d.%d", i/16, i%16+1)), Port: uint16(1024 + i)}
+		s := packet.Endpoint{Addr: packet.MustAddr("203.0.113.9"), Port: 80}
+		fwd := packet.Flow{Src: c, Dst: s}.Canonical()
+		rev := packet.Flow{Src: s, Dst: c}.Canonical()
+		a, b := shardOf(fwd, 8), shardOf(rev, 8)
+		if a != b {
+			t.Fatalf("flow %v: directions map to shards %d and %d", c, a, b)
+		}
+		used[a] = true
+	}
+	if len(used) != 8 {
+		t.Errorf("256 flows hit only %d of 8 shards", len(used))
+	}
+}
+
+// BenchmarkAssemblerFeed compares the serial assembler against the sharded
+// front-end over the same pre-built capture.
+func BenchmarkAssemblerFeed(b *testing.B) {
+	events := genTraffic(b, 42, 64)
+	var total int64
+	for _, ev := range events {
+		total += int64(len(ev.frame))
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		b.SetBytes(total)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a := NewAssembler(Config{})
+			var p packet.Packet
+			for _, ev := range events {
+				if err := packet.DecodeInto(&p, ev.frame); err != nil {
+					b.Fatal(err)
+				}
+				a.Feed(ev.ts, &p)
+			}
+			a.Flush()
+			if len(a.Sessions()) == 0 {
+				b.Fatal("no sessions")
+			}
+		}
+	})
+	for _, shards := range []int{2, 4} {
+		b.Run(fmt.Sprintf("sharded%d", shards), func(b *testing.B) {
+			b.SetBytes(total)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := NewSharded(Config{Shards: shards}, 1)
+				f := s.Feeder(0)
+				for _, ev := range events {
+					it := f.Get()
+					it.TS = ev.ts
+					it.Buf = append(it.Buf[:0], ev.frame...)
+					if err := packet.DecodeInto(&it.Pkt, it.Buf); err != nil {
+						b.Fatal(err)
+					}
+					f.Feed(it)
+				}
+				f.Close()
+				if len(s.Wait()) == 0 {
+					b.Fatal("no sessions")
+				}
+			}
+		})
+	}
+}

@@ -16,6 +16,7 @@
 package tcpasm
 
 import (
+	"runtime"
 	"sort"
 	"time"
 
@@ -63,6 +64,11 @@ type Config struct {
 	// MaxPending caps buffered out-of-order segments per direction. Zero
 	// means the default of 64.
 	MaxPending int
+	// Shards is how many independent assembler shards the parallel
+	// front-end (NewSharded) fans flows across. The serial Assembler
+	// ignores it. Zero means min(8, GOMAXPROCS); session output is
+	// identical for every value (see Sharded).
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +80,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPending == 0 {
 		c.MaxPending = 64
+	}
+	if c.Shards == 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 8 {
+			c.Shards = 8
+		}
 	}
 	return c
 }
@@ -129,6 +141,15 @@ func (a *Assembler) Feed(ts time.Time, p *packet.Packet) {
 	flow := p.Flow()
 	key := flow.Canonical()
 	c, ok := a.conns[key]
+	if ok && ts.Sub(c.last) >= a.cfg.IdleTimeout {
+		// The gap alone ends the old conversation: an Advance at any moment
+		// inside it would have idled the connection out, so splitting here
+		// makes session output independent of Advance cadence. That
+		// invariance is what lets the sharded front-end advance each shard
+		// on its own schedule and still emit byte-identical sessions.
+		a.finish(key, c)
+		ok = false
+	}
 	if !ok {
 		c = &conn{start: ts, last: ts}
 		if p.TCP.SYN() && !p.TCP.ACK() {
@@ -325,13 +346,34 @@ func (a *Assembler) Flush() {
 func (a *Assembler) Sessions() []Session {
 	s := a.out
 	a.out = nil
-	sort.Slice(s, func(i, j int) bool {
-		if !s[i].End.Equal(s[j].End) {
-			return s[i].End.Before(s[j].End)
-		}
-		return s[i].Start.Before(s[j].Start)
-	})
+	sortSessions(s)
 	return s
+}
+
+// sortSessions orders sessions by (End, Start, Client, Server) — a total
+// order over distinct conversations, so the serial path and any merge of
+// per-shard outputs land in exactly the same order.
+func sortSessions(s []Session) {
+	sort.Slice(s, func(i, j int) bool { return lessSession(&s[i], &s[j]) })
+}
+
+func lessSession(a, b *Session) bool {
+	if !a.End.Equal(b.End) {
+		return a.End.Before(b.End)
+	}
+	if !a.Start.Equal(b.Start) {
+		return a.Start.Before(b.Start)
+	}
+	if c := a.Client.Addr.Compare(b.Client.Addr); c != 0 {
+		return c < 0
+	}
+	if a.Client.Port != b.Client.Port {
+		return a.Client.Port < b.Client.Port
+	}
+	if c := a.Server.Addr.Compare(b.Server.Addr); c != 0 {
+		return c < 0
+	}
+	return a.Server.Port < b.Server.Port
 }
 
 // OpenConns reports the number of connections still being tracked.

@@ -63,6 +63,13 @@ type Config struct {
 	// legacy CVEs appear in the attributed events (the filtering
 	// ablation). Default false: the paper's methodology.
 	UnfilteredRules bool
+	// ReasmShards is the flow-sharded reassembly width for the UsePcap path
+	// (ids.ScanCaptureSharded). Zero picks min(8, GOMAXPROCS); every value
+	// yields identical events.
+	ReasmShards int
+	// MatchWorkers sizes the signature-matching pool for both capture
+	// paths. Zero picks GOMAXPROCS.
+	MatchWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -151,7 +158,12 @@ func (s *Study) Run() (*Results, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.Events, res.Stats, err = ids.ScanCapture(r, s.engine)
+		// The parallel front-end is proven byte-identical to ids.ScanCapture
+		// (parity tests in packages ids and wayback), so the fast path is
+		// the only path.
+		res.Events, res.Stats, err = ids.ScanCaptureSharded(
+			[]pcapio.PacketSource{r}, s.engine,
+			ids.ScanConfig{Shards: s.cfg.ReasmShards, MatchWorkers: s.cfg.MatchWorkers})
 		if err != nil {
 			return nil, fmt.Errorf("wayback: scanning capture: %w", err)
 		}
@@ -160,7 +172,7 @@ func (s *Study) Run() (*Results, error) {
 		res.Coverage = telescope.Coverage(sessions)
 		// Parallel matching preserves session order, so results are
 		// byte-identical to the serial path (tested in package ids).
-		res.Events = ids.MatchSessionsParallel(sessions, s.engine, &res.Stats, 0)
+		res.Events = ids.MatchSessionsParallel(sessions, s.engine, &res.Stats, s.cfg.MatchWorkers)
 	}
 
 	res.finish(s)
