@@ -9,7 +9,12 @@
 // reassembly (tcpasm.Sharded), and per-segment pcap fan-out
 // (ids.ScanCaptureSharded) — and provably output-identical to the serial
 // path: scan_parity_test.go asserts byte-identical events and Table 4 for
-// every shard width. See README.md for the architecture and EXPERIMENTS.md
-// for paper-vs-measured results; bench_test.go regenerates every table and
-// figure of the paper's evaluation.
+// every shard width. Durability is tested by simulation: internal/fault is
+// the seeded fault-injection substrate (a VFS with torn writes, ENOSPC,
+// lying fsyncs and crash points, plus a partitioning network), and
+// internal/simtest replays the whole sensor-fleet pipeline under seeded
+// crash schedules, asserting exactly-once ingest and byte-identical output
+// after every recovery. See README.md for the architecture and
+// EXPERIMENTS.md for paper-vs-measured results; bench_test.go regenerates
+// every table and figure of the paper's evaluation.
 package repro

@@ -1,10 +1,13 @@
 package eventstore
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"repro/internal/fault"
 )
 
 // The commit journal is what turns the store's per-shard fsyncs into one
@@ -44,29 +47,39 @@ type commitRecord struct {
 }
 
 type commitJournal struct {
-	f    *os.File
+	fs   fault.FS
+	f    fault.File
 	path string
 	size int64
 	last *commitRecord // newest recovered or appended record, nil if none
+	bad  error         // set when a failed append could not be rolled back
 }
 
 // openCommitJournal opens (creating if needed) the journal in dir and
 // recovers the newest intact record, truncating any torn tail.
-func openCommitJournal(dir string) (*commitJournal, error) {
+func openCommitJournal(fs fault.FS, dir string) (*commitJournal, error) {
 	path := filepath.Join(dir, commitLogName)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	raw, err := os.ReadFile(path)
+	raw, err := fs.ReadFile(path)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	j := &commitJournal{f: f, path: path}
+	j := &commitJournal{fs: fs, f: f, path: path}
 	switch {
-	case len(raw) == 0:
+	case len(raw) < len(commitMagic) && bytes.Equal(raw, commitMagic[:len(raw)]):
+		// Empty, or a strict prefix of the magic: a crash tore the file's
+		// creation before the header fully reached disk. Nothing else can
+		// ever have been written, so reinitialize instead of refusing to
+		// open (which would wedge every restart until manual cleanup).
 		if _, err := f.Write(commitMagic[:]); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Truncate(int64(len(commitMagic))); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -136,16 +149,36 @@ func decodeCommitRecord(b []byte) (*commitRecord, error) {
 
 // append writes and fsyncs one record, making it the recovery point.
 func (j *commitJournal) append(sizes []int64, meta []byte) error {
+	if j.bad != nil {
+		return j.bad
+	}
 	rec := &commitRecord{sizes: append([]int64(nil), sizes...), meta: append([]byte(nil), meta...)}
 	frame := appendFrame(nil, encodeCommitRecord(rec.sizes, rec.meta))
+	// rollback restores the journal to its last good boundary after a failed
+	// append. Without it, a torn record write leaves garbage mid-file: the
+	// NEXT commit's record lands after the garbage and reports success, but
+	// recovery's frame scan stops at the tear and falls back to a stale
+	// record — truncating shards below sizes that later commits promised
+	// durable. If even the rollback fails, the journal is poisoned: no
+	// further commit may extend a chain whose tail is unknown.
+	rollback := func(cause error) error {
+		if terr := j.f.Truncate(j.size); terr != nil {
+			j.bad = fmt.Errorf("eventstore: commit journal poisoned: rollback of failed append: %w", terr)
+		} else if _, serr := j.f.Seek(j.size, 0); serr != nil {
+			j.bad = fmt.Errorf("eventstore: commit journal poisoned: seek after failed append: %w", serr)
+		}
+		return cause
+	}
 	if _, err := j.f.Write(frame); err != nil {
-		return fmt.Errorf("eventstore: appending commit record: %w", err)
+		return rollback(fmt.Errorf("eventstore: appending commit record: %w", err))
 	}
 	// The record is the durability promise for everything the shard fsyncs
 	// just covered — it must hit the disk, not the page cache, before the
-	// caller acts on it (acks a sensor, advances a checkpoint).
+	// caller acts on it (acks a sensor, advances a checkpoint). On failure
+	// the record may be partially durable; drop it from the chain so the
+	// next append never writes beyond a potential tear.
 	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("eventstore: syncing commit journal: %w", err)
+		return rollback(fmt.Errorf("eventstore: syncing commit journal: %w", err))
 	}
 	j.size += int64(len(frame))
 	j.last = rec
@@ -155,31 +188,37 @@ func (j *commitJournal) append(sizes []int64, meta []byte) error {
 	return nil
 }
 
-// compact rewrites the journal as its single newest record.
+// compact rewrites the journal as its single newest record. Every failure
+// path closes the tmp handle and removes the tmp file, so a full disk never
+// leaks descriptors or strands journal tmp files.
 func (j *commitJournal) compact() error {
 	buf := append([]byte(nil), commitMagic[:]...)
 	buf = appendFrame(buf, encodeCommitRecord(j.last.sizes, j.last.meta))
 	tmp := j.path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	if err := j.fs.WriteFile(tmp, buf, 0o644); err != nil {
+		j.fs.Remove(tmp)
 		return err
 	}
-	f, err := os.OpenFile(tmp, os.O_RDWR, 0o644)
+	f, err := j.fs.OpenFile(tmp, os.O_RDWR, 0o644)
 	if err != nil {
+		j.fs.Remove(tmp)
+		return err
+	}
+	abort := func(err error) error {
+		f.Close()
+		j.fs.Remove(tmp)
 		return err
 	}
 	// The rewrite replaces a record already promised durable; it must be on
 	// disk before it replaces the journal.
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
+		return abort(err)
 	}
 	if _, err := f.Seek(int64(len(buf)), 0); err != nil {
-		f.Close()
-		return err
+		return abort(err)
 	}
-	if err := os.Rename(tmp, j.path); err != nil {
-		f.Close()
-		return err
+	if err := j.fs.Rename(tmp, j.path); err != nil {
+		return abort(err)
 	}
 	old := j.f
 	j.f = f

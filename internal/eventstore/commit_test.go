@@ -2,11 +2,14 @@ package eventstore
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/ids"
 )
 
@@ -95,6 +98,48 @@ func TestCommitMetaSurvivesSyncAndClose(t *testing.T) {
 	}
 	if st2.Len() != 1 {
 		t.Fatalf("%d events after reopen", st2.Len())
+	}
+}
+
+// TestCrashBeforeFirstCommitDropsAppends: the recovery contract holds even
+// when the crash lands before the first commit record ever did. A fresh
+// store's journal is sealed at Open, so appended-but-uncommitted frames a
+// crash leaves on disk (the page cache flushes on its own schedule) are
+// truncated rather than adopted by the no-journal legacy fallback. Without
+// the seal, recovery resurrected those frames with no commit meta covering
+// them, and a redelivering sensor applied the batch twice.
+func TestCrashBeforeFirstCommitDropsAppends(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []ids.Event
+	for i := 0; i < 12; i++ {
+		batch = append(batch, testEvent(i))
+	}
+	if err := st.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no Commit, no Close. The appended frames are intact on disk but
+	// nothing ever promised them durable.
+	re, err := Open(dir, Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Len(); got != 0 {
+		t.Fatalf("recovered %d uncommitted events, want 0", got)
+	}
+	// Redelivery lands the batch exactly once.
+	if err := re.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Len(); got != len(batch) {
+		t.Fatalf("after redelivery: %d events, want %d", got, len(batch))
 	}
 }
 
@@ -243,5 +288,54 @@ func TestConcurrentShardAppendsAndCommits(t *testing.T) {
 	}
 	if got := st.Len(); got != writers*perWriter*per {
 		t.Fatalf("%d events, want %d", got, writers*perWriter*per)
+	}
+}
+
+// TestCommitJournalCompactAbortLeaksNothing drives journal compaction into
+// each failure branch (tmp write, reopen, fsync, rename) and asserts every
+// abort leaves no stranded COMMITS.log.tmp and no leaked handle, and that
+// the journal still accepts commits afterwards.
+func TestCommitJournalCompactAbortLeaksNothing(t *testing.T) {
+	fs := fault.NewSimFS(1, fault.Profile{})
+	st, err := Open("store", Options{Shards: 2, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Append(testEvent(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit([]byte("meta")); err != nil {
+		t.Fatal(err)
+	}
+	baseline := fs.OpenHandles()
+	for _, op := range []string{"writefile", "open", "sync", "rename"} {
+		fs.FailWith(func(o, name string) error {
+			if o == op && strings.HasSuffix(name, ".tmp") {
+				return fault.ErrInjected
+			}
+			return nil
+		})
+		if err := st.cj.compact(); !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("compact with %s fault: err=%v, want injected", op, err)
+		}
+		for _, name := range fs.Files() {
+			if strings.HasSuffix(name, ".tmp") {
+				t.Fatalf("compact aborted at %s stranded %s", op, name)
+			}
+		}
+		if got := fs.OpenHandles(); got != baseline {
+			t.Fatalf("compact aborted at %s leaked handles: %d, want %d", op, got, baseline)
+		}
+	}
+	fs.FailWith(nil)
+	if err := st.cj.compact(); err != nil {
+		t.Fatalf("compact after faults cleared: %v", err)
+	}
+	if err := st.Append(testEvent(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit([]byte("meta2")); err != nil {
+		t.Fatalf("commit after compaction: %v", err)
 	}
 }

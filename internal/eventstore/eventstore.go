@@ -33,6 +33,7 @@ import (
 	"bytes"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -41,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/ids"
 )
 
@@ -54,6 +56,10 @@ type Options struct {
 	// disables periodic commits (Close still commits); crash-safety then
 	// means "no corruption", not "no loss of the last moments".
 	SyncEvery int
+	// FS is the filesystem the store runs against. Nil means the real one
+	// (fault.OS); the simulation harness substitutes a fault.SimFS to
+	// search crash points and injected I/O errors.
+	FS fault.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +72,7 @@ func (o Options) withDefaults() Options {
 // Store is an on-disk event log open for appending and querying.
 type Store struct {
 	dir    string
+	fs     fault.FS
 	opts   Options
 	shards []*shard
 	gen    atomic.Uint64
@@ -95,8 +102,9 @@ type Store struct {
 
 type shard struct {
 	mu         sync.Mutex
-	f          *os.File
+	f          fault.File
 	size       int64
+	bad        error // set when a failed append could not be rolled back
 	synced     int64 // bytes covered by the last commit (guarded by Store.commitMu)
 	events     atomic.Pointer[[]ids.Event]
 	lastAppend atomic.Int64 // UnixNano of the most recent append; 0 = none since open
@@ -110,13 +118,14 @@ type shard struct {
 // every intact record, matching the old recovery contract.
 func Open(dir string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := fault.Or(opts.FS)
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	if err := checkShardCount(dir, &opts); err != nil {
+	if err := checkShardCount(fs, dir, &opts); err != nil {
 		return nil, err
 	}
-	cj, err := openCommitJournal(dir)
+	cj, err := openCommitJournal(fs, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +134,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("eventstore: commit journal in %s covers %d shards, store has %d",
 			dir, len(cj.last.sizes), opts.Shards)
 	}
-	s := &Store{dir: dir, opts: opts, cj: cj}
+	s := &Store{dir: dir, fs: fs, opts: opts, cj: cj}
 	if cj.last != nil {
 		s.meta = append([]byte(nil), cj.last.meta...)
 	}
@@ -134,7 +143,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		if cj.last != nil {
 			committed = cj.last.sizes[i]
 		}
-		sh, n, err := openShard(filepath.Join(dir, shardName(i)), committed)
+		sh, n, err := openShard(fs, filepath.Join(dir, shardName(i)), committed)
 		if err != nil {
 			for _, prev := range s.shards {
 				prev.f.Close()
@@ -147,6 +156,28 @@ func Open(dir string, opts Options) (*Store, error) {
 			s.gen.Add(1) // recovered data is generation 1+
 		}
 	}
+	if cj.last == nil {
+		// Seal the recovered state in an initial commit record before any
+		// append can happen. Without it, recovery's no-journal fallback (adopt
+		// every intact record) stays live after appends begin — and a crash
+		// before the first commit can then resurrect uncommitted frames that
+		// the page cache happened to flush on its own, events no commit meta
+		// accounts for. A redelivering sensor would apply them twice. With the
+		// record, every later recovery truncates to a real committed cut; the
+		// adopt-everything path runs only at this upgrade moment, on state no
+		// appender has touched.
+		sizes := make([]int64, len(s.shards))
+		for i, sh := range s.shards {
+			sizes[i] = sh.size
+		}
+		if err := cj.append(sizes, s.meta); err != nil {
+			for _, sh := range s.shards {
+				sh.f.Close()
+			}
+			cj.Close()
+			return nil, fmt.Errorf("eventstore: sealing recovered state: %w", err)
+		}
+	}
 	return s, nil
 }
 
@@ -154,11 +185,27 @@ func shardName(i int) string { return fmt.Sprintf("events-%02d.log", i) }
 
 // checkShardCount pins the shard count in a marker file so reopening with a
 // different Options.Shards (which would misroute CVEs) fails loudly.
-func checkShardCount(dir string, opts *Options) error {
+func checkShardCount(fs fault.FS, dir string, opts *Options) error {
 	marker := filepath.Join(dir, "SHARDS")
-	b, err := os.ReadFile(marker)
-	if os.IsNotExist(err) {
-		return os.WriteFile(marker, []byte(strconv.Itoa(opts.Shards)+"\n"), 0o644)
+	b, err := fs.ReadFile(marker)
+	if os.IsNotExist(err) || (err == nil && len(trimNL(b)) == 0) {
+		// An empty marker is a crash between create and durability (the only
+		// torn state a two-byte write can leave); it carries no information,
+		// so rewrite it rather than wedging recovery. The write goes through
+		// a synced handle — WriteFile alone is not durable.
+		f, ferr := fs.OpenFile(marker, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if ferr != nil {
+			return ferr
+		}
+		if _, ferr = f.Write([]byte(strconv.Itoa(opts.Shards) + "\n")); ferr != nil {
+			f.Close()
+			return ferr
+		}
+		if ferr = f.Sync(); ferr != nil {
+			f.Close()
+			return ferr
+		}
+		return f.Close()
 	}
 	if err != nil {
 		return err
@@ -189,12 +236,12 @@ func trimNL(b []byte) []byte {
 // below it recover frame by frame as before (a tear inside the committed
 // region means storage failure; recovery salvages the intact prefix rather
 // than refusing to open).
-func openShard(path string, committed int64) (*shard, int, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+func openShard(fs fault.FS, path string, committed int64) (*shard, int, error) {
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, 0, err
 	}
-	raw, err := os.ReadFile(path)
+	raw, err := fs.ReadFile(path)
 	if err != nil {
 		f.Close()
 		return nil, 0, err
@@ -202,8 +249,16 @@ func openShard(path string, committed int64) (*shard, int, error) {
 	var events []ids.Event
 	var size int64
 	switch {
-	case len(raw) == 0:
+	case len(raw) < len(fileMagic) && bytes.Equal(raw, fileMagic[:len(raw)]):
+		// Empty, or a strict prefix of the magic: a crash tore the shard's
+		// creation before the header fully reached disk. Nothing else can
+		// ever have been written, so reinitialize instead of refusing to
+		// open (which would wedge every restart until manual cleanup).
 		if _, err := f.Write(fileMagic[:]); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+		if err := f.Truncate(int64(len(fileMagic))); err != nil {
 			f.Close()
 			return nil, 0, err
 		}
@@ -270,8 +325,21 @@ func (s *Store) Append(ev ids.Event) error { return s.AppendBatch([]ids.Event{ev
 // Commit/Sync. Concurrent AppendBatch calls are safe — batches for
 // different shards write in parallel — and concurrent snapshots never block
 // on them.
-func (s *Store) AppendBatch(events []ids.Event) error {
+func (s *Store) AppendBatch(events []ids.Event) error { return s.AppendBatchFunc(events, nil) }
+
+// AppendBatchFunc is AppendBatch with a hook: applied (when non-nil) runs
+// after the batch's writes have succeeded and its events are published, while
+// the append locks are still held. A group committer uses it to register the
+// batch in its commit queue atomically with the append: any commit cut that
+// sees the batch's bytes then also sees its queue entry, so a commit record
+// can never promise bytes durable that its meta does not account for — the
+// gap that would otherwise let a crash turn a redelivery into a double apply.
+// The hook must be non-blocking and must not call back into the store.
+func (s *Store) AppendBatchFunc(events []ids.Event, applied func()) error {
 	if len(events) == 0 {
+		if applied != nil {
+			applied()
+		}
 		return nil
 	}
 	groups := make(map[int][]ids.Event)
@@ -279,18 +347,26 @@ func (s *Store) AppendBatch(events []ids.Event) error {
 		si := s.shardFor(&events[i])
 		groups[si] = append(groups[si], events[i])
 	}
-	// The shared hold spans the whole batch so the committer's exclusive cut
-	// always lands on a batch boundary — a commit record can never cover half
-	// a batch's shards.
-	s.appendMu.RLock()
-	for si, group := range groups {
-		if err := s.shards[si].append(group); err != nil {
-			s.appendMu.RUnlock()
-			return err
-		}
+	// Encode outside any lock: only the file writes and the publish need to
+	// serialize with other appenders.
+	order := make([]int, 0, len(groups))
+	for si := range groups {
+		order = append(order, si)
 	}
-	s.gen.Add(1)
-	s.appendMu.RUnlock()
+	sort.Ints(order)
+	bufs := make([][]byte, len(order))
+	var payload []byte
+	for k, si := range order {
+		var buf []byte
+		for i := range groups[si] {
+			payload = appendEvent(payload[:0], &groups[si][i])
+			buf = appendFrame(buf, payload)
+		}
+		bufs[k] = buf
+	}
+	if err := s.appendLocked(order, bufs, groups, applied); err != nil {
+		return err
+	}
 	if n := s.opts.SyncEvery; n > 0 && s.appended.Add(1)%uint64(n) == 0 {
 		if err := s.Sync(); err != nil {
 			return err
@@ -299,27 +375,75 @@ func (s *Store) AppendBatch(events []ids.Event) error {
 	return nil
 }
 
-func (sh *shard) append(events []ids.Event) error {
-	// Encode outside the lock: only the file write and the publish need to
-	// serialize with other appenders to this shard.
-	var buf []byte
-	var payload []byte
-	for i := range events {
-		payload = appendEvent(payload[:0], &events[i])
-		buf = appendFrame(buf, payload)
+// appendLocked writes one encoded batch under the append locks; the periodic
+// SyncEvery commit happens in the caller, after every lock is released (Sync
+// takes appendMu exclusively).
+func (s *Store) appendLocked(order []int, bufs [][]byte, groups map[int][]ids.Event, applied func()) error {
+	// The shared hold spans the whole batch so the committer's exclusive cut
+	// always lands on a batch boundary — a commit record can never cover half
+	// a batch's shards.
+	s.appendMu.RLock()
+	defer s.appendMu.RUnlock()
+	// Hold every involved shard for the whole batch, in index order so
+	// concurrent batches cannot deadlock. The batch is all-or-nothing: a
+	// failed write must roll every touched shard back to its pre-batch
+	// boundary with nothing interleaved in between — otherwise the caller
+	// sees an error, redelivers, and the shards that had already taken their
+	// group apply it twice.
+	for _, si := range order {
+		s.shards[si].mu.Lock()
 	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if _, err := sh.f.Write(buf); err != nil {
-		return fmt.Errorf("eventstore: appending: %w", err)
+	defer func() {
+		for _, si := range order {
+			s.shards[si].mu.Unlock()
+		}
+	}()
+	for _, si := range order {
+		if bad := s.shards[si].bad; bad != nil {
+			return bad
+		}
 	}
-	sh.size += int64(len(buf))
-	// Publish to readers: extending the slice only ever writes past every
-	// published length, so holders of older headers see a stable prefix.
-	cur := *sh.events.Load()
-	next := append(cur, events...)
-	sh.events.Store(&next)
-	sh.lastAppend.Store(time.Now().UnixNano())
+	written := -1 // index into order of the last shard whose write started
+	var werr error
+	for k, si := range order {
+		written = k
+		if _, werr = s.shards[si].f.Write(bufs[k]); werr != nil {
+			break
+		}
+	}
+	if werr != nil {
+		// A short write (ENOSPC, torn write) leaves a partial frame past
+		// sh.size while the handle offset has advanced. Without a rollback,
+		// the NEXT successful append lands after that garbage; a later commit
+		// then covers the garbage region, and recovery's frame scan stops
+		// there — truncating committed frames. Roll every touched shard back
+		// to its last good boundary; if even that fails, poison the shard so
+		// no further append can widen the damage.
+		for k := 0; k <= written; k++ {
+			sh := s.shards[order[k]]
+			if terr := sh.f.Truncate(sh.size); terr != nil {
+				sh.bad = fmt.Errorf("eventstore: shard poisoned: rollback of failed append: %w", terr)
+			} else if _, serr := sh.f.Seek(sh.size, io.SeekStart); serr != nil {
+				sh.bad = fmt.Errorf("eventstore: shard poisoned: seek after failed append: %w", serr)
+			}
+		}
+		return fmt.Errorf("eventstore: appending: %w", werr)
+	}
+	now := time.Now().UnixNano()
+	for k, si := range order {
+		sh := s.shards[si]
+		sh.size += int64(len(bufs[k]))
+		// Publish to readers: extending the slice only ever writes past every
+		// published length, so holders of older headers see a stable prefix.
+		cur := *sh.events.Load()
+		next := append(cur, groups[si]...)
+		sh.events.Store(&next)
+		sh.lastAppend.Store(now)
+	}
+	s.gen.Add(1)
+	if applied != nil {
+		applied() // inside the locks: visible to any cut that sees these bytes
+	}
 	return nil
 }
 
@@ -411,15 +535,37 @@ func (s *Store) Sync() error { return s.Commit(nil) }
 // previous commit's meta (Sync's behavior); pass an empty non-nil slice to
 // clear it. The last committed meta is recovered at Open via CommitMeta.
 func (s *Store) Commit(meta []byte) error {
+	if meta == nil {
+		return s.CommitFunc(nil)
+	}
+	return s.CommitFunc(func() []byte { return meta })
+}
+
+// CommitFunc is Commit with the meta computed at the cut: metaFn (when
+// non-nil) runs while the exclusive append lock is held, so the meta it
+// returns can account for exactly the batches whose bytes the recorded sizes
+// cover — no batch can slip in between the meta's computation and the size
+// snapshot. The fleet coordinator drains its commit queue there; combined
+// with AppendBatchFunc's in-lock enqueue this closes the window where a
+// commit record covered a batch's bytes while its watermark advance was
+// still in flight (after a crash, recovery would keep the bytes, the stale
+// watermark would invite redelivery, and the batch would apply twice).
+// metaFn returning nil preserves the previous record's meta, like
+// Commit(nil). metaFn must not call back into the store.
+func (s *Store) CommitFunc(metaFn func() []byte) error {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
+	// Consistent cut: exclusive hold waits out in-flight batches and blocks
+	// new ones for a few loads plus metaFn, nothing more. Fsyncs happen after
+	// release, concurrently with new appends — they cover at least the cut.
+	s.appendMu.Lock()
+	var meta []byte
+	if metaFn != nil {
+		meta = metaFn()
+	}
 	if meta == nil {
 		meta = s.meta
 	}
-	// Consistent cut: exclusive hold waits out in-flight batches and blocks
-	// new ones for a few loads, nothing more. Fsyncs happen after release,
-	// concurrently with new appends — they cover at least the cut.
-	s.appendMu.Lock()
 	sizes := make([]int64, len(s.shards))
 	for i, sh := range s.shards {
 		sizes[i] = sh.size

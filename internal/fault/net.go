@@ -1,0 +1,178 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// NetProfile tunes a Network's connection-fault schedule.
+type NetProfile struct {
+	// ResetProb is the per-connection probability that the connection is
+	// given a byte budget; once the budget is spent, the next write is cut
+	// (possibly mid-frame — byte-level truncation) and the connection dies.
+	ResetProb float64
+	// MinBudget/MaxBudget bound the seeded byte budget of a doomed
+	// connection. Zero means 512 / 64 KiB.
+	MinBudget, MaxBudget int
+	// MaxDelay, when > 0, injects a seeded delay of up to this duration
+	// before each write — reordering ack timing against commit timing.
+	MaxDelay time.Duration
+}
+
+func (p NetProfile) withDefaults() NetProfile {
+	if p.MinBudget == 0 {
+		p.MinBudget = 512
+	}
+	if p.MaxBudget == 0 {
+		p.MaxBudget = 64 << 10
+	}
+	return p
+}
+
+// Network injects seeded connection faults between the fleet shipper and
+// listener: resets after a byte budget, byte-level truncation of the final
+// frame, write delays, and asymmetric partitions. Wrap the sensor side with
+// Dial (it satisfies ShipperConfig.Dial) and the coordinator side with
+// WrapListener; partitions then cut each direction independently.
+type Network struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	prof  NetProfile
+	conns int
+
+	// Partition state: up blocks sensor->coordinator writes, down blocks
+	// coordinator->sensor writes. An asymmetric partition sets exactly one.
+	upBlocked, downBlocked bool
+
+	resets int
+}
+
+// NewNetwork creates a fault-injecting network with the given seed.
+func NewNetwork(seed int64, prof NetProfile) *Network {
+	return &Network{rng: rand.New(rand.NewSource(seed)), prof: prof.withDefaults()}
+}
+
+// Partition sets the partition state: up cuts the sensor->coordinator
+// direction, down the reverse. Partition(false, false) heals.
+func (n *Network) Partition(up, down bool) {
+	n.mu.Lock()
+	n.upBlocked, n.downBlocked = up, down
+	n.mu.Unlock()
+}
+
+// Resets reports how many connections the byte-budget schedule has killed.
+func (n *Network) Resets() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.resets
+}
+
+// newConn draws one connection's fault parameters.
+func (n *Network) newConn(inner net.Conn, up bool) *Conn {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.conns++
+	c := &Conn{Conn: inner, net: n, up: up, budget: -1}
+	if n.prof.ResetProb > 0 && n.rng.Float64() < n.prof.ResetProb {
+		c.budget = int64(n.prof.MinBudget)
+		if span := n.prof.MaxBudget - n.prof.MinBudget; span > 0 {
+			c.budget += int64(n.rng.Intn(span))
+		}
+	}
+	if n.prof.MaxDelay > 0 {
+		c.delay = time.Duration(n.rng.Int63n(int64(n.prof.MaxDelay) + 1))
+	}
+	return c
+}
+
+// Dial satisfies fleet.ShipperConfig.Dial: a TCP dial whose connection
+// carries this network's fault schedule on the sensor->coordinator
+// direction.
+func (n *Network) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	inner, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return n.newConn(inner, true), nil
+}
+
+// WrapListener wraps a net.Listener so accepted connections carry the
+// fault schedule on the coordinator->sensor direction.
+func (n *Network) WrapListener(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, net: n}
+}
+
+type faultListener struct {
+	net.Listener
+	net *Network
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	inner, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.net.newConn(inner, false), nil
+}
+
+// Conn is a net.Conn with seeded write faults. Reads pass through: faults
+// on the opposite direction are injected by the peer's own wrapper.
+type Conn struct {
+	net.Conn
+	net    *Network
+	up     bool // direction of this side's writes: sensor->coordinator?
+	budget int64
+	delay  time.Duration
+	wrote  int64
+}
+
+// errPartitioned looks like a link failure, not a protocol error.
+func errPartitioned(up bool) error {
+	dir := "coordinator->sensor"
+	if up {
+		dir = "sensor->coordinator"
+	}
+	return fmt.Errorf("fault: %s partitioned: %w", dir, ErrInjected)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.delay > 0 {
+		time.Sleep(c.delay)
+	}
+	c.net.mu.Lock()
+	blocked := (c.up && c.net.upBlocked) || (!c.up && c.net.downBlocked)
+	cut := int64(-1)
+	if !blocked && c.budget >= 0 && c.wrote+int64(len(p)) > c.budget {
+		cut = c.budget - c.wrote
+		if cut < 0 {
+			cut = 0
+		}
+		c.net.resets++
+	}
+	c.net.mu.Unlock()
+	if blocked {
+		// A partition drops the segment on the floor; the writer sees a
+		// failed connection (after the kernel's timeout in real life —
+		// immediately here, which just accelerates the reconnect loop).
+		c.Conn.Close()
+		return 0, errPartitioned(c.up)
+	}
+	if cut >= 0 {
+		// Byte-level truncation: a prefix of the frame escapes, then the
+		// connection dies — the torn-frame case the CRC framing must catch.
+		n := 0
+		if cut > 0 {
+			n, _ = c.Conn.Write(p[:cut])
+		}
+		c.Conn.Close()
+		return n, fmt.Errorf("fault: connection reset after %d bytes: %w", c.wrote+cut, ErrInjected)
+	}
+	n, err := c.Conn.Write(p)
+	c.net.mu.Lock()
+	c.wrote += int64(n)
+	c.net.mu.Unlock()
+	return n, err
+}

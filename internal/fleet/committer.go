@@ -52,94 +52,163 @@ type CommitStats struct {
 
 // CommitStats reports the committer's counters.
 func (l *Listener) CommitStats() CommitStats {
+	l.pendMu.Lock()
+	depth := len(l.pending)
+	l.pendMu.Unlock()
 	return CommitStats{
 		Commits:          l.commits.Load(),
 		CoalescedBatches: l.coalesced.Load(),
 		LastBatches:      l.lastBatches.Load(),
 		LastFsyncNanos:   l.lastFsyncNanos.Load(),
-		QueueDepth:       len(l.commitCh),
+		QueueDepth:       depth,
 	}
 }
 
-// commitLoop is the single committer goroutine. It exits when the queue is
-// closed, after committing whatever was still pending (so Close never drops
-// an applied-but-unacked batch's watermark).
-func (l *Listener) commitLoop() {
-	defer close(l.commitDone)
-	for {
-		first, ok := <-l.commitCh
-		if !ok {
-			return
-		}
-		reqs := l.collect(first)
-		if l.aborted() {
-			continue // test-only crash simulation: drain, never commit
-		}
-		l.commit(reqs)
+// enqueueCommit adds one request to the commit queue. It never blocks — apply
+// calls it from inside the sink's append locks (see hookAppender), where
+// blocking on the committer would deadlock.
+func (l *Listener) enqueueCommit(r commitReq) {
+	l.pendMu.Lock()
+	l.pending = append(l.pending, r)
+	l.pendMu.Unlock()
+	select {
+	case l.commitKick <- struct{}{}:
+	default:
 	}
 }
 
-// collect gathers the group for one commit: the first request plus everything
-// already queued (nonblocking drain, the adaptive policy — whatever piled up
-// during the previous fsync commits together) or, with CommitInterval set,
-// everything that arrives within the interval, capped at MaxCommitBatch.
-func (l *Listener) collect(first commitReq) []commitReq {
-	reqs := append(make([]commitReq, 0, 16), first)
-	var timeout <-chan time.Time
-	if l.cfg.CommitInterval > 0 {
-		t := time.NewTimer(l.cfg.CommitInterval)
-		defer t.Stop()
-		timeout = t.C
-	}
-	for len(reqs) < l.cfg.MaxCommitBatch {
-		if timeout != nil {
-			select {
-			case r, ok := <-l.commitCh:
-				if !ok {
-					return reqs
-				}
-				reqs = append(reqs, r)
-			case <-timeout:
-				return reqs
-			case <-l.abortCh:
-				return reqs
-			}
-			continue
-		}
-		select {
-		case r, ok := <-l.commitCh:
-			if !ok {
-				return reqs
-			}
-			reqs = append(reqs, r)
-		default:
-			return reqs
-		}
-	}
+// takePending drains the whole commit queue. During a commit this runs at the
+// sink's cut, under its exclusive append lock: every append that the cut's
+// sizes cover has already enqueued its request (the in-lock hook), so the
+// drain is complete by construction.
+func (l *Listener) takePending() []commitReq {
+	l.pendMu.Lock()
+	reqs := l.pending
+	l.pending = nil
+	l.pendMu.Unlock()
 	return reqs
 }
 
-// commit makes one group of batches durable and releases their acks.
-func (l *Listener) commit(reqs []commitReq) {
+func (l *Listener) pendingLen() int {
+	l.pendMu.Lock()
+	defer l.pendMu.Unlock()
+	return len(l.pending)
+}
+
+// commitLoop is the single committer goroutine. It exits when commitStop
+// closes, after one final commit of whatever was still pending plus every
+// sensor's applied position (so Close never drops an applied batch's
+// watermark — not even one whose own commit had failed).
+func (l *Listener) commitLoop() {
+	defer close(l.commitDone)
+	final := func() {
+		if !l.aborted() {
+			l.commit(l.closeAdvances())
+		}
+	}
+	for {
+		select {
+		case <-l.commitKick:
+		case <-l.commitStop:
+			final()
+			return
+		}
+		if l.cfg.CommitInterval > 0 {
+			// Gather: everything that arrives within the interval joins this
+			// group (the drain at the cut picks it up).
+			t := time.NewTimer(l.cfg.CommitInterval)
+			select {
+			case <-t.C:
+			case <-l.commitStop:
+				t.Stop()
+				final()
+				return
+			case <-l.abortCh:
+				t.Stop()
+			}
+		}
+		if l.aborted() {
+			l.takePending() // test-only crash simulation: drain, never commit
+			continue
+		}
+		if l.pendingLen() == 0 {
+			continue // drained by the previous commit; its kick was stale
+		}
+		l.commit(nil)
+	}
+}
+
+// closeAdvances is the final commit's extra watermark advances: every
+// sensor's applied position. Normally the queue drain already covers these,
+// but after a FAILED commit the dropped group's batches are applied — their
+// bytes sit in the shard files — with no request left to advance them. The
+// sink's own Close flushes everything appended, so the last record written
+// by this listener must account for those bytes or a restart would replay
+// them on top of themselves.
+func (l *Listener) closeAdvances() map[string]uint64 {
+	adv := make(map[string]uint64)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for id, st := range l.sensors {
+		st.applyMu.Lock()
+		if st.appliedInit && st.applied > l.wm.Get(id) {
+			adv[id] = st.applied
+		}
+		st.applyMu.Unlock()
+	}
+	return adv
+}
+
+// commit makes one group of batches durable and releases their acks. The
+// group is whatever the queue holds at the sink's commit cut, plus extra
+// watermark advances (the shutdown path's applied positions) and the carry
+// from failed commits. Non-appended (duplicate) requests advance the
+// watermark too: a duplicate is only queued when its batch is already
+// applied, so its bytes sit in the shard files and any cut covers them.
+func (l *Listener) commit(extra map[string]uint64) {
 	start := time.Now()
 	advances := make(map[string]uint64, 4)
-	for _, r := range reqs {
-		if r.appended && r.seq > advances[r.id] {
-			advances[r.id] = r.seq
+	// The carry re-folds advances from failed commits. Those groups' batches
+	// stay applied — their bytes are in the shard files, inside every future
+	// cut — but their requests are gone. A later record that covered the
+	// bytes without these advances would, after a crash, invite the sensor
+	// to redeliver on top of them: a double apply.
+	for id, seq := range l.carry {
+		advances[id] = seq
+	}
+	for id, seq := range extra {
+		if seq > advances[id] {
+			advances[id] = seq
+		}
+	}
+	var reqs []commitReq
+	drain := func() {
+		reqs = l.takePending()
+		for _, r := range reqs {
+			if r.seq > advances[r.id] {
+				advances[r.id] = r.seq
+			}
 		}
 	}
 	var err error
 	if l.metaSink != nil {
 		// The watermarks ride inside the sink's commit record, so "events
 		// durable" and "batches applied" are one atomic disk state — there is
-		// no crash window where one exists without the other.
-		if err = l.metaSink.Commit(l.wm.encodeWith(advances)); err == nil {
+		// no crash window where one exists without the other. The queue is
+		// drained at the cut itself, so the record's meta covers exactly the
+		// batches whose bytes its sizes promise durable.
+		err = l.metaSink.CommitFunc(func() []byte {
+			drain()
+			return l.wm.encodeWith(advances)
+		})
+		if err == nil {
 			l.wm.adopt(advances)
 		}
 	} else {
-		// No commit-record sink: fsync the sink (when it can) first, then the
-		// watermark journal, preserving the original ordering — a crash
-		// between the two costs redelivery, never loss.
+		// No commit-record sink: drain first, then fsync the sink (when it
+		// can), then the watermark journal, preserving the original ordering
+		// — a crash between the two costs redelivery, never loss.
+		drain()
 		if l.sinkSync != nil {
 			err = l.sinkSync.Sync()
 		}
@@ -150,13 +219,16 @@ func (l *Listener) commit(reqs []commitReq) {
 	if err != nil {
 		// Durability failed: nothing is acked, every involved connection is
 		// failed so its sensor resyncs and redelivers. That downgrade — acked
-		// exactly-once to unacked at-least-once — is the contract.
+		// exactly-once to unacked at-least-once — is the contract. The
+		// advances are carried into the next commit's record.
+		l.carry = advances
 		l.fail(fmt.Errorf("fleet: group commit of %d batches: %w", len(reqs), err))
 		for _, r := range reqs {
 			r.conn.Close()
 		}
 		return
 	}
+	l.carry = nil
 	l.commits.Add(1)
 	l.coalesced.Add(uint64(len(reqs)))
 	l.lastBatches.Store(uint64(len(reqs)))

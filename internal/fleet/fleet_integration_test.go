@@ -52,7 +52,7 @@ func TestShipperListenerHappyPath(t *testing.T) {
 
 	// Spool two batches before the shipper exists (sensor ahead of its link):
 	// recovery must deliver them.
-	sp, err := openSpool(stateDir)
+	sp, err := openSpool(nil, stateDir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/ids"
 )
 
@@ -30,8 +31,22 @@ type syncer interface{ Sync() error }
 // "these events exist" and "these batches are applied", closing the crash
 // window between them and halving the fsyncs per group commit.
 type metaCommitter interface {
-	Commit(meta []byte) error
+	// CommitFunc makes everything appended so far durable in one commit whose
+	// record carries metaFn's return value; metaFn runs at the commit's
+	// consistent cut (see eventstore.Store.CommitFunc).
+	CommitFunc(metaFn func() []byte) error
 	CommitMeta() []byte
+}
+
+// hookAppender is implemented by sinks (*eventstore.Store) that can run a
+// hook inside the append's critical section. When the Sink is a
+// metaCommitter the listener requires this too: enqueueing a batch's commit
+// request from inside its append is what guarantees the commit cut's meta
+// covers every batch whose bytes the cut includes — an enqueue after the
+// append returns could lose that race to a concurrent commit, and a crash
+// right after that commit would replay the batch on top of its own bytes.
+type hookAppender interface {
+	AppendBatchFunc(events []ids.Event, applied func()) error
 }
 
 // ListenerConfig wires a coordinator-side fleet listener.
@@ -65,6 +80,11 @@ type ListenerConfig struct {
 	// DecodeWorkers sizes the shared batch-decode pool. Zero means
 	// GOMAXPROCS.
 	DecodeWorkers int
+	// FS is the filesystem the watermark journal runs against. Nil means
+	// the real one; the simulation harness substitutes a fault.SimFS
+	// (typically the same one backing the sink eventstore, so store and
+	// journal crash together).
+	FS fault.FS
 }
 
 func (c ListenerConfig) withDefaults() ListenerConfig {
@@ -120,6 +140,7 @@ type Listener struct {
 	wm       *Watermarks
 	sinkSync syncer        // cfg.Sink when it can fsync, else nil
 	metaSink metaCommitter // cfg.Sink when watermarks can ride its commit record, else nil
+	sinkHook hookAppender  // cfg.Sink when appends take an in-lock hook, else nil
 
 	mu      sync.Mutex
 	sensors map[string]*sensorState
@@ -129,11 +150,21 @@ type Listener struct {
 	events  atomic.Uint64
 	dups    atomic.Uint64
 
-	commitCh   chan commitReq
+	// The commit queue. A mutex-guarded slice rather than a channel because
+	// enqueues happen inside the sink's append locks (see hookAppender) and
+	// must never block there: a full channel drained only by a committer that
+	// is itself waiting for those locks would deadlock.
+	pendMu     sync.Mutex
+	pending    []commitReq
+	commitKick chan struct{} // one-slot: "the queue is non-empty"
+	commitStop chan struct{} // closed by shutdown: final drain, then exit
 	commitDone chan struct{}
-	abortCh    chan struct{} // closed by abandon(): simulate a crash, commit nothing more
-	decodeCh   chan decodeJob
-	decodeWg   sync.WaitGroup
+	// carry holds watermark advances from failed commits, owned by the
+	// committer goroutine alone; see commit().
+	carry    map[string]uint64
+	abortCh  chan struct{} // closed by abandon(): simulate a crash, commit nothing more
+	decodeCh chan decodeJob
+	decodeWg sync.WaitGroup
 
 	commits        atomic.Uint64
 	coalesced      atomic.Uint64
@@ -178,7 +209,7 @@ func Listen(cfg ListenerConfig) (*Listener, error) {
 			return nil, err
 		}
 	}
-	wm, err := OpenWatermarks(cfg.Dir)
+	wm, err := OpenWatermarksFS(cfg.FS, cfg.Dir)
 	if err != nil {
 		ln.Close()
 		return nil, err
@@ -187,13 +218,15 @@ func Listen(cfg ListenerConfig) (*Listener, error) {
 		cfg: cfg, ln: ln, wm: wm,
 		sensors:    map[string]*sensorState{},
 		conns:      map[net.Conn]struct{}{},
-		commitCh:   make(chan commitReq, 2*cfg.MaxCommitBatch),
+		commitKick: make(chan struct{}, 1),
+		commitStop: make(chan struct{}),
 		commitDone: make(chan struct{}),
 		abortCh:    make(chan struct{}),
 		decodeCh:   make(chan decodeJob, 2*cfg.DecodeWorkers),
 	}
 	l.sinkSync, _ = cfg.Sink.(syncer)
 	l.metaSink, _ = cfg.Sink.(metaCommitter)
+	l.sinkHook, _ = cfg.Sink.(hookAppender)
 	if l.metaSink != nil {
 		// Watermarks written by a previous run live in the sink's commit
 		// record; merge them with any journal-file marks (from a pre-group-
@@ -306,7 +339,7 @@ func (l *Listener) shutdown(abort bool) error {
 	l.wg.Wait()
 	close(l.decodeCh)
 	l.decodeWg.Wait()
-	close(l.commitCh)
+	close(l.commitStop)
 	<-l.commitDone
 	if werr := l.wm.Close(); err == nil {
 		err = werr
@@ -456,13 +489,25 @@ func (l *Listener) apply(st *sensorState, id string, conn net.Conn, sender *ackS
 		} else {
 			// Applied but its group commit is still in flight; queue a waiter
 			// so the ack waits for durability like the original delivery did.
-			l.commitCh <- commitReq{id: id, seq: b.Seq, conn: conn, ack: sender}
+			l.enqueueCommit(commitReq{id: id, seq: b.Seq, conn: conn, ack: sender})
 		}
 		return true
 	case b.Seq != st.applied+1:
 		return false // gap: redelivery lost a batch; force a resync
 	}
-	if err := l.cfg.Sink.AppendBatch(b.Events); err != nil {
+	// Enqueued under applyMu so this sensor's requests enter the commit queue
+	// in sequence order; the ack is the committer's job now. With a
+	// hookAppender sink the enqueue runs inside the append's own locks — any
+	// commit cut that covers this batch's bytes is then guaranteed to drain
+	// its request and carry its watermark advance in the same record.
+	req := commitReq{id: id, seq: b.Seq, appended: true, conn: conn, ack: sender}
+	var err error
+	if l.sinkHook != nil {
+		err = l.sinkHook.AppendBatchFunc(b.Events, func() { l.enqueueCommit(req) })
+	} else {
+		err = l.cfg.Sink.AppendBatch(b.Events)
+	}
+	if err != nil {
 		l.fail(fmt.Errorf("fleet: applying batch %d from %s: %w", b.Seq, id, err))
 		return false
 	}
@@ -473,9 +518,9 @@ func (l *Listener) apply(st *sensorState, id string, conn net.Conn, sender *ackS
 	st.status.Batches++
 	st.status.Events += uint64(len(b.Events))
 	st.mu.Unlock()
-	// Enqueued under applyMu so this sensor's requests enter the commit
-	// queue in sequence order; the ack is the committer's job now.
-	l.commitCh <- commitReq{id: id, seq: b.Seq, appended: true, conn: conn, ack: sender}
+	if l.sinkHook == nil {
+		l.enqueueCommit(req)
+	}
 	return true
 }
 

@@ -327,6 +327,13 @@ func decodeBatchScratch(b, scratch []byte) (batchMsg, []byte, error) {
 	if rawLen > maxBatchRaw {
 		return m, scratch, fmt.Errorf("fleet: batch declares %d raw bytes, limit %d", rawLen, maxBatchRaw)
 	}
+	// Every event frame costs at least its 4-byte length prefix, so rawLen
+	// bytes cannot hold more than rawLen/4 events. The count is untrusted
+	// input and sizes an allocation — a lying header must not reserve
+	// gigabytes before the body is even decompressed (found by fuzzing).
+	if uint64(count) > uint64(rawLen)/4 {
+		return m, scratch, fmt.Errorf("fleet: batch declares %d events in %d raw bytes", count, rawLen)
+	}
 	var raw []byte
 	switch codec {
 	case CodecRaw:

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/ids"
 )
 
@@ -48,8 +49,12 @@ type ShipperConfig struct {
 	WriteTimeout time.Duration
 	// Lag, when set, reports local ingest backlog for heartbeats.
 	Lag func() int64
-	// Dial replaces net.DialTimeout (tests route through a flaky proxy).
+	// Dial replaces net.DialTimeout (tests route through a flaky proxy or
+	// a fault.Network).
 	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// FS is the filesystem the spool runs against. Nil means the real one;
+	// the simulation harness substitutes a fault.SimFS.
+	FS fault.FS
 }
 
 func (c ShipperConfig) withDefaults() ShipperConfig {
@@ -133,7 +138,7 @@ func StartShipper(cfg ShipperConfig) (*Shipper, error) {
 	if cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
 		return nil, fmt.Errorf("fleet: shard %d out of range of %d", cfg.Shard, cfg.Shards)
 	}
-	sp, err := openSpool(cfg.StateDir)
+	sp, err := openSpool(cfg.FS, cfg.StateDir)
 	if err != nil {
 		return nil, err
 	}

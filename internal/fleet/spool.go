@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -10,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/eventstore"
+	"repro/internal/fault"
 	"repro/internal/ids"
 )
 
@@ -27,7 +29,8 @@ import (
 // disk use tracks the unacked window, not history.
 type spool struct {
 	mu      sync.Mutex
-	f       *os.File
+	fs      fault.FS
+	f       fault.File
 	path    string
 	size    int64
 	pending []spoolBatch // unacked, ascending seq
@@ -61,24 +64,33 @@ const spoolCompactAt = 4 << 20
 const spoolMaxPayload = eventstore.MaxRecordLen
 
 // openSpool opens (creating if needed) the spool log in dir.
-func openSpool(dir string) (*spool, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func openSpool(fs fault.FS, dir string) (*spool, error) {
+	fs = fault.Or(fs)
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	path := filepath.Join(dir, "spool.log")
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	raw, err := os.ReadFile(path)
+	raw, err := fs.ReadFile(path)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	sp := &spool{f: f, path: path}
+	sp := &spool{fs: fs, f: f, path: path}
 	switch {
-	case len(raw) == 0:
+	case len(raw) < len(spoolMagic) && bytes.Equal(raw, spoolMagic[:len(raw)]):
+		// Empty, or a strict prefix of the magic: a crash tore the file's
+		// creation before the header fully reached disk. Nothing else can
+		// ever have been written, so reinitialize instead of refusing to
+		// open (which would wedge every restart until manual cleanup).
 		if _, err := f.Write(spoolMagic[:]); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Truncate(int64(len(spoolMagic))); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -278,32 +290,41 @@ func (sp *spool) AckTo(w uint64) error {
 // cumulative, so the pending batches are always a contiguous tail of the
 // file; the rewrite copies that byte range as-is rather than re-encoding
 // every pending event (which made deep-backlog compaction the hottest path
-// in the whole shipper).
+// in the whole shipper). Failure paths close the tmp handle and delete the
+// tmp file — a compaction abandoned to ENOSPC must not leak either.
 func (sp *spool) compactLocked() error {
 	var pendBytes int64
 	for _, b := range sp.pending {
 		pendBytes += b.bytes
 	}
 	tmp := sp.path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	f, err := sp.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(spoolMagic[:]); err != nil {
+	abort := func(err error) error {
 		f.Close()
+		sp.fs.Remove(tmp)
 		return err
+	}
+	if _, err := f.Write(spoolMagic[:]); err != nil {
+		return abort(err)
 	}
 	if pendBytes > 0 {
 		src := io.NewSectionReader(sp.f, sp.size-pendBytes, pendBytes)
 		if _, err := io.Copy(f, src); err != nil {
-			f.Close()
-			return err
+			return abort(err)
 		}
 	}
+	// Sync before rename: without it the rename can be journaled while the
+	// tmp's data blocks never reach the platter, and a power loss replaces
+	// the spool with an empty file — every unacked (undelivered) batch gone.
+	if err := f.Sync(); err != nil {
+		return abort(err)
+	}
 	size := int64(len(spoolMagic)) + pendBytes
-	if err := os.Rename(tmp, sp.path); err != nil {
-		f.Close()
-		return err
+	if err := sp.fs.Rename(tmp, sp.path); err != nil {
+		return abort(err)
 	}
 	old := sp.f
 	sp.f = f

@@ -1,18 +1,20 @@
 package fleet
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/eventstore"
+	"repro/internal/fault"
 	"repro/internal/ids"
 )
 
 func TestSpoolAddAckRecover(t *testing.T) {
 	dir := t.TempDir()
-	sp, err := openSpool(dir)
+	sp, err := openSpool(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +50,7 @@ func TestSpoolAddAckRecover(t *testing.T) {
 
 	// Reopen: acks are in-memory only, so all 10 batches replay; sequence
 	// numbering continues where it left off.
-	sp, err = openSpool(dir)
+	sp, err = openSpool(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +75,7 @@ func TestSpoolAddAckRecover(t *testing.T) {
 
 func TestSpoolTornTailTruncated(t *testing.T) {
 	dir := t.TempDir()
-	sp, err := openSpool(dir)
+	sp, err := openSpool(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +97,7 @@ func TestSpoolTornTailTruncated(t *testing.T) {
 	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	sp, err = openSpool(dir)
+	sp, err = openSpool(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +129,7 @@ func bigEvents(t testing.TB, n, sz int) []ids.Event {
 // dropping the batch and every later one.
 func TestSpoolSplitsOversizedAdd(t *testing.T) {
 	dir := t.TempDir()
-	sp, err := openSpool(dir)
+	sp, err := openSpool(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +150,7 @@ func TestSpoolSplitsOversizedAdd(t *testing.T) {
 	}
 
 	// Recovery must see every split frame and every event, in order.
-	sp, err = openSpool(dir)
+	sp, err = openSpool(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +181,7 @@ func TestSpoolSplitsOversizedAdd(t *testing.T) {
 // caller that reuses its batch slice must not corrupt pending batches.
 func TestSpoolAddDoesNotAliasCaller(t *testing.T) {
 	dir := t.TempDir()
-	sp, err := openSpool(dir)
+	sp, err := openSpool(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +203,7 @@ func TestSpoolAddDoesNotAliasCaller(t *testing.T) {
 // rather than truncate it (and everything after it) away.
 func TestSpoolRefusesIntactOversizedFrame(t *testing.T) {
 	dir := t.TempDir()
-	sp, err := openSpool(dir)
+	sp, err := openSpool(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,14 +222,14 @@ func TestSpoolRefusesIntactOversizedFrame(t *testing.T) {
 	if err := os.WriteFile(path, oversize, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := openSpool(dir); err == nil {
+	if _, err := openSpool(nil, dir); err == nil {
 		t.Fatal("spool with an intact oversized frame opened (and truncated it) silently")
 	}
 	// A torn oversize frame is still just a torn tail: recoverable.
 	if err := os.WriteFile(path, oversize[:len(oversize)-64], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	sp, err = openSpool(dir)
+	sp, err = openSpool(nil, dir)
 	if err != nil {
 		t.Fatalf("torn oversized tail not truncated: %v", err)
 	}
@@ -239,7 +241,7 @@ func TestSpoolRefusesIntactOversizedFrame(t *testing.T) {
 // that numbering — otherwise fresh batches would reuse applied sequences and
 // be dropped as duplicates forever.
 func TestSpoolAdoptsForeignWatermark(t *testing.T) {
-	sp, err := openSpool(t.TempDir())
+	sp, err := openSpool(nil, t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,14 +266,14 @@ func TestSpoolRejectsForeignFile(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "spool.log"), []byte("not a spool at all"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := openSpool(dir); err == nil {
+	if _, err := openSpool(nil, dir); err == nil {
 		t.Fatal("foreign file opened as spool")
 	}
 }
 
 func TestSpoolCompaction(t *testing.T) {
 	dir := t.TempDir()
-	sp, err := openSpool(dir)
+	sp, err := openSpool(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,5 +369,66 @@ func TestWatermarksAdvanceRecoverCompact(t *testing.T) {
 	// s2's single record was the tail and is gone — its batches redeliver.
 	if w.Get("s2") != 0 {
 		t.Fatalf("torn tail kept s2 at %d", w.Get("s2"))
+	}
+}
+
+// TestSpoolCompactAbortLeaksNothing drives compaction into every failure
+// branch (tmp create, copy, fsync, rename) on a simulated filesystem and
+// asserts each abort leaves no stranded spool.tmp and no leaked handle —
+// then that the spool still compacts and serves batches once the fault
+// clears. A leaked tmp would shadow the next compaction's rename; a leaked
+// handle is a descriptor exhausted per ENOSPC retry.
+func TestSpoolCompactAbortLeaksNothing(t *testing.T) {
+	fs := fault.NewSimFS(1, fault.Profile{})
+	sp, err := openSpool(fs, "spool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	events := testEvents(t, 50)
+	var last uint64
+	for i := 0; i < 4; i++ {
+		if last, err = sp.Add(events); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.AckTo(last - 1); err != nil {
+		t.Fatal(err)
+	}
+	baseline := fs.OpenHandles()
+	for _, op := range []string{"open", "write", "sync", "rename"} {
+		fs.FailWith(func(o, name string) error {
+			if o == op && strings.HasSuffix(name, ".tmp") {
+				return fault.ErrInjected
+			}
+			return nil
+		})
+		sp.mu.Lock()
+		err := sp.compactLocked()
+		sp.mu.Unlock()
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("compact with %s fault: err=%v, want injected", op, err)
+		}
+		for _, name := range fs.Files() {
+			if strings.HasSuffix(name, ".tmp") {
+				t.Fatalf("compact aborted at %s stranded %s", op, name)
+			}
+		}
+		if got := fs.OpenHandles(); got != baseline {
+			t.Fatalf("compact aborted at %s leaked handles: %d, want %d", op, got, baseline)
+		}
+	}
+	fs.FailWith(nil)
+	sp.mu.Lock()
+	err = sp.compactLocked()
+	sp.mu.Unlock()
+	if err != nil {
+		t.Fatalf("compact after faults cleared: %v", err)
+	}
+	if b, ok := sp.NextAfter(last - 1); !ok || b.seq != last || len(b.events) != len(events) {
+		t.Fatalf("post-compaction batch: ok=%v seq=%d n=%d", ok, b.seq, len(b.events))
+	}
+	if _, err := sp.Add(events[:1]); err != nil {
+		t.Fatalf("post-compaction Add: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/eventstore"
+	"repro/internal/fault"
 )
 
 // Watermarks is the coordinator's per-sensor high-watermark journal: the
@@ -28,7 +30,8 @@ import (
 // would ask for a sequence nobody can resend.
 type Watermarks struct {
 	mu    sync.Mutex
-	f     *os.File
+	fs    fault.FS
+	f     fault.File
 	path  string
 	size  int64
 	marks map[string]uint64
@@ -42,23 +45,38 @@ const wmCompactAt = 1 << 20
 // OpenWatermarks opens (creating if needed) the journal in dir — typically
 // the eventstore directory, so store and watermarks live or die together.
 func OpenWatermarks(dir string) (*Watermarks, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenWatermarksFS(nil, dir)
+}
+
+// OpenWatermarksFS is OpenWatermarks against an explicit filesystem; nil
+// means the real one.
+func OpenWatermarksFS(fs fault.FS, dir string) (*Watermarks, error) {
+	fs = fault.Or(fs)
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	path := filepath.Join(dir, "FLEET-WATERMARKS.log")
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	raw, err := os.ReadFile(path)
+	raw, err := fs.ReadFile(path)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	w := &Watermarks{f: f, path: path, marks: map[string]uint64{}}
+	w := &Watermarks{fs: fs, f: f, path: path, marks: map[string]uint64{}}
 	switch {
-	case len(raw) == 0:
+	case len(raw) < len(wmMagic) && bytes.Equal(raw, wmMagic[:len(raw)]):
+		// Empty, or a strict prefix of the magic: a crash tore the file's
+		// creation before the header fully reached disk. Nothing else can
+		// ever have been written, so reinitialize instead of refusing to
+		// open (which would wedge every restart until manual cleanup).
 		if _, err := f.Write(wmMagic[:]); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Truncate(int64(len(wmMagic))); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -247,7 +265,8 @@ func decodeMeta(b []byte) (map[string]uint64, error) {
 	return out, nil
 }
 
-// compactLocked rewrites the journal as one record per sensor.
+// compactLocked rewrites the journal as one record per sensor. Failure
+// paths close the tmp handle and delete the tmp file.
 func (w *Watermarks) compactLocked() error {
 	ids := make([]string, 0, len(w.marks))
 	for id := range w.marks {
@@ -259,26 +278,30 @@ func (w *Watermarks) compactLocked() error {
 		buf = eventstore.AppendFrame(buf, encodeMark(id, w.marks[id]))
 	}
 	tmp := w.path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	if err := w.fs.WriteFile(tmp, buf, 0o644); err != nil {
+		w.fs.Remove(tmp)
 		return err
 	}
-	f, err := os.OpenFile(tmp, os.O_RDWR, 0o644)
+	f, err := w.fs.OpenFile(tmp, os.O_RDWR, 0o644)
 	if err != nil {
+		w.fs.Remove(tmp)
+		return err
+	}
+	abort := func(err error) error {
+		f.Close()
+		w.fs.Remove(tmp)
 		return err
 	}
 	// The rewrite replaces records already acked as durable; it must hit the
 	// disk before it replaces the journal.
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
+		return abort(err)
 	}
 	if _, err := f.Seek(int64(len(buf)), 0); err != nil {
-		f.Close()
-		return err
+		return abort(err)
 	}
-	if err := os.Rename(tmp, w.path); err != nil {
-		f.Close()
-		return err
+	if err := w.fs.Rename(tmp, w.path); err != nil {
+		return abort(err)
 	}
 	old := w.f
 	w.f = f

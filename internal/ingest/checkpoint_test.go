@@ -1,0 +1,53 @@
+package ingest
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestSaveCheckpointAbortLeaksNothing drives the checkpoint's
+// write-tmp/fsync/rename dance into each failure branch and asserts every
+// abort leaves no stranded INGEST-*.tmp and no leaked handle, the previous
+// checkpoint still loads, and the save succeeds once the fault clears.
+func TestSaveCheckpointAbortLeaksNothing(t *testing.T) {
+	fs := fault.NewSimFS(1, fault.Profile{})
+	p := &Pipeline{cfg: Config{CheckpointDir: "ckpt", Prefix: "cap", FS: fs}}
+	prev := checkpoint{Segment: "cap-000.pcap", Offset: 24}
+	if err := p.saveCheckpoint(prev); err != nil {
+		t.Fatal(err)
+	}
+	next := checkpoint{Segment: "cap-001.pcap", Offset: 512}
+	for _, op := range []string{"open", "write", "sync", "rename"} {
+		fs.FailWith(func(o, name string) error {
+			if o == op && strings.HasSuffix(name, ".tmp") {
+				return fault.ErrInjected
+			}
+			return nil
+		})
+		if err := p.saveCheckpoint(next); !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("save with %s fault: err=%v, want injected", op, err)
+		}
+		for _, name := range fs.Files() {
+			if strings.HasSuffix(name, ".tmp") {
+				t.Fatalf("save aborted at %s stranded %s", op, name)
+			}
+		}
+		if got := fs.OpenHandles(); got != 0 {
+			t.Fatalf("save aborted at %s leaked %d handles", op, got)
+		}
+		// The failed save must not have clobbered the durable checkpoint.
+		if ck, ok := p.loadCheckpoint(); !ok || ck != prev {
+			t.Fatalf("after failed save at %s: loaded %+v ok=%v, want %+v", op, ck, ok, prev)
+		}
+	}
+	fs.FailWith(nil)
+	if err := p.saveCheckpoint(next); err != nil {
+		t.Fatalf("save after faults cleared: %v", err)
+	}
+	if ck, ok := p.loadCheckpoint(); !ok || ck != next {
+		t.Fatalf("loaded %+v ok=%v, want %+v", ck, ok, next)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/eventstore"
+	"repro/internal/fault"
 	"repro/internal/ids"
 	"repro/internal/packet"
 	"repro/internal/pcapio"
@@ -58,6 +59,11 @@ type Config struct {
 	// Store's directory (checkpointing is disabled for a Sink-only pipeline
 	// with no CheckpointDir).
 	CheckpointDir string
+	// FS is the filesystem checkpoints are written against. Nil means the
+	// real one; the simulation harness substitutes a fault.SimFS. Capture
+	// segments are always read from the real filesystem — they are the
+	// telescope's input, not this process's durable state.
+	FS fault.FS
 	// PollInterval is how often the tailer re-checks for new bytes when it
 	// has caught up. Zero means 100ms.
 	PollInterval time.Duration
@@ -336,7 +342,7 @@ func (p *Pipeline) loadCheckpoint() (checkpoint, bool) {
 	if path == "" {
 		return checkpoint{}, false
 	}
-	b, err := os.ReadFile(path)
+	b, err := fault.Or(p.cfg.FS).ReadFile(path)
 	if err != nil {
 		return checkpoint{}, false
 	}
@@ -351,17 +357,44 @@ func (p *Pipeline) loadCheckpoint() (checkpoint, bool) {
 	return checkpoint{Segment: seg, Offset: off}, true
 }
 
+// saveCheckpoint persists ck with write-to-tmp, fsync, rename. The fsync
+// before the rename is load-bearing: without it a crash shortly after the
+// rename can leave an empty checkpoint file, which reads as "no checkpoint"
+// and re-ingests the whole capture — every event since the beginning would
+// re-ship under fresh sequence numbers and apply twice. Failure paths close
+// the tmp handle and delete the tmp file.
 func (p *Pipeline) saveCheckpoint(ck checkpoint) error {
 	path := p.checkpointPath()
 	if ck.Segment == "" || path == "" {
 		return nil
 	}
+	fs := fault.Or(p.cfg.FS)
 	tmp := path + ".tmp"
 	data := fmt.Sprintf("%s %d\n", ck.Segment, ck.Offset)
-	if err := os.WriteFile(tmp, []byte(data), 0o644); err != nil {
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	abort := func(err error) error {
+		f.Close()
+		fs.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write([]byte(data)); err != nil {
+		return abort(err)
+	}
+	if err := f.Sync(); err != nil {
+		return abort(err)
+	}
+	if err := f.Close(); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // noteCheckpoint records a candidate position. The caller (the tailer)

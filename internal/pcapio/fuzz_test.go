@@ -1,0 +1,114 @@
+package pcapio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/fuzzcorpus"
+)
+
+// fuzzCaptures builds one valid classic-pcap and one valid pcapng capture,
+// each holding a few records, as fuzz seeds. Truncated and bit-flipped
+// variants are derived from them in the fuzz seeds below.
+func fuzzCaptures(f testing.TB) (pcap, pcapng []byte) {
+	f.Helper()
+	base := time.Date(2021, 11, 1, 0, 0, 0, 0, time.UTC)
+
+	var cb bytes.Buffer
+	w, err := NewWriter(&cb, LinkTypeEthernet, WithNanoPrecision(), WithSnaplen(4096))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		data := bytes.Repeat([]byte{byte('a' + i)}, 40+i*13)
+		if err := w.WritePacket(base.Add(time.Duration(i)*time.Millisecond), data); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+
+	var nb bytes.Buffer
+	nw, err := NewNgWriter(&nb, LinkTypeEthernet)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		data := bytes.Repeat([]byte{byte('p' + i)}, 60+i*7)
+		if err := nw.WritePacket(base.Add(time.Duration(i)*time.Millisecond), data); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := nw.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	return cb.Bytes(), nb.Bytes()
+}
+
+// FuzzOpenCapture throws arbitrary bytes at the format-sniffing entry point
+// the replayer uses on every capture file. Whatever the input — truncated
+// headers, lying length fields, corrupt blocks — the reader must either
+// return an error or deliver records whose sizes respect the allocation
+// bound; it must never panic and never allocate past maxRecordBytes.
+func fuzzOpenCaptureSeeds(tb testing.TB) [][]byte {
+	pcap, pcapng := fuzzCaptures(tb)
+	// Bit-flip seeds: corrupt a length field in each format.
+	flipped := append([]byte(nil), pcap...)
+	flipped[fileHeaderLen+8] ^= 0xff // pcap caplen
+	nflipped := append([]byte(nil), pcapng...)
+	nflipped[4] ^= 0xff // SHB total length
+	return [][]byte{
+		pcap,
+		pcapng,
+		pcap[:fileHeaderLen],           // header only
+		pcap[:fileHeaderLen+7],         // mid-record-header truncation
+		pcap[:len(pcap)-11],            // mid-record truncation
+		pcapng[:len(pcapng)-5],         // mid-block truncation
+		pcapng[:28],                    // SHB only
+		{},                             // empty
+		[]byte("not a capture at all"), // wrong magic
+		flipped,
+		nflipped,
+	}
+}
+
+func FuzzOpenCapture(f *testing.F) {
+	for _, seed := range fuzzOpenCaptureSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src, err := OpenCapture(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A capture no larger than the input cannot legitimately hold more
+		// records than bytes; anything past that means the reader is looping
+		// without consuming input.
+		for i := 0; i <= len(data); i++ {
+			p, err := src.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if len(p.Data) > maxRecordBytes {
+				t.Fatalf("record %d: %d bytes exceeds the allocation bound %d", i, len(p.Data), maxRecordBytes)
+			}
+		}
+		t.Fatalf("reader produced more records than input bytes (%d) without erroring", len(data))
+	})
+}
+
+// TestRegenFuzzCorpus rewrites this package's committed seed corpus from
+// the same seed list FuzzOpenCapture f.Adds. Run with REGEN_FUZZ_CORPUS=1
+// after changing the seeds.
+func TestRegenFuzzCorpus(t *testing.T) {
+	if !fuzzcorpus.Regen() {
+		t.Skip("set REGEN_FUZZ_CORPUS=1 to rewrite testdata/fuzz")
+	}
+	fuzzcorpus.Write(t, "FuzzOpenCapture", fuzzOpenCaptureSeeds(t))
+}

@@ -35,6 +35,11 @@ const (
 	recordHeaderLen = 16
 	versionMajor    = 2
 	versionMinor    = 4
+	// maxRecordBytes bounds one record's (pcap) or block's (pcapng)
+	// allocation regardless of what its length field claims — far above any
+	// real snaplen, and small enough that corrupt input fails as an error
+	// instead of a multi-gigabyte allocation.
+	maxRecordBytes = 16 << 20
 )
 
 // Errors returned by the reader.
@@ -223,6 +228,11 @@ func (r *Reader) NextInto(p *Packet) error {
 	origLen := r.order.Uint32(hdr[12:16])
 	if r.snaplen > 0 && capLen > r.snaplen {
 		return fmt.Errorf("%w: caplen %d > snaplen %d", ErrSnaplenAbuse, capLen, r.snaplen)
+	}
+	// A header with snaplen 0 leaves capLen otherwise unbounded; a corrupt or
+	// hostile length must fail here, not in a multi-gigabyte allocation.
+	if capLen > maxRecordBytes {
+		return fmt.Errorf("%w: caplen %d exceeds limit %d", ErrSnaplenAbuse, capLen, maxRecordBytes)
 	}
 	growData(p, int(capLen))
 	if _, err := io.ReadFull(r.r, p.Data); err != nil {

@@ -179,7 +179,7 @@ func (r *NgReader) NextInto(p *Packet) error {
 		}
 		blockType := r.order.Uint32(head[0:4])
 		blockLen := r.order.Uint32(head[4:8])
-		if blockLen < 12 || blockLen%4 != 0 {
+		if blockLen < 12 || blockLen%4 != 0 || blockLen > maxRecordBytes {
 			return fmt.Errorf("pcapio: block length %d invalid", blockLen)
 		}
 		bodyLen := int(blockLen - 12)

@@ -391,3 +391,192 @@ func BenchmarkAssemblerFeed(b *testing.B) {
 		})
 	}
 }
+
+// edgeFlow scripts one connection for the edge-case parity tests below:
+// handshake, then the given data segments, with per-segment time offsets so
+// a test can place an idle gap mid-flow.
+type edgeStep struct {
+	seg packet.Segment
+	dt  time.Duration // delay before this segment
+}
+
+// buildEdgeEvents merges per-flow scripts onto one non-decreasing timeline,
+// emitting each flow's next step round-robin so connections interleave (and
+// therefore spread across shards) the way a real capture does.
+func buildEdgeEvents(t *testing.T, bld *packet.Builder, flows [][]edgeStep) []feedEvent {
+	t.Helper()
+	ts := time.Date(2021, 5, 10, 9, 0, 0, 0, time.UTC)
+	next := make([]int, len(flows))
+	var events []feedEvent
+	for {
+		emitted := false
+		for i, fs := range flows {
+			if next[i] >= len(fs) {
+				continue
+			}
+			st := fs[next[i]]
+			next[i]++
+			emitted = true
+			ts = ts.Add(st.dt)
+			frame, err := bld.Build(st.seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events = append(events, feedEvent{ts: ts, frame: frame})
+		}
+		if !emitted {
+			return events
+		}
+	}
+}
+
+// edgeParity checks sharded output against the serial assembler for several
+// shard counts and returns the serial sessions for content assertions.
+func edgeParity(t *testing.T, cfg Config, events []feedEvent) []Session {
+	t.Helper()
+	want := serialSessions(t, cfg, events)
+	for _, shards := range []int{1, 2, 4, 8} {
+		scfg := cfg
+		scfg.Shards = shards
+		s := NewSharded(scfg, 1)
+		feedSharded(t, s.Feeder(0), events)
+		s.Feeder(0).Close()
+		got := s.Wait()
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: got %d sessions, want %d", shards, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("shards=%d: session %d differs:\n got %+v\nwant %+v", shards, i, got[i], want[i])
+			}
+		}
+	}
+	return want
+}
+
+// TestShardedZeroLengthPayloads: pure ACKs, zero-payload PSH frames, and
+// keepalive-style probes carry no stream bytes; they must not perturb
+// reassembly on either path, and the sharded output must stay identical.
+func TestShardedZeroLengthPayloads(t *testing.T) {
+	bld := packet.NewBuilder(21)
+	var flows [][]edgeStep
+	for i := 0; i < 6; i++ {
+		c := packet.Endpoint{Addr: packet.MustAddr(fmt.Sprintf("192.0.2.%d", 10+i)), Port: uint16(41000 + i)}
+		s := packet.Endpoint{Addr: packet.MustAddr("198.51.100.7"), Port: 23}
+		cseq, sseq := uint32(1000*i+1), uint32(7777*(i+1))
+		data := bytes.Repeat([]byte{byte('a' + i)}, 64)
+		step := func(seg packet.Segment) edgeStep { return edgeStep{seg: seg, dt: 15 * time.Millisecond} }
+		flows = append(flows, []edgeStep{
+			step(packet.Segment{Src: c, Dst: s, Seq: cseq, Flags: packet.FlagSYN}),
+			step(packet.Segment{Src: s, Dst: c, Seq: sseq, Ack: cseq + 1, Flags: packet.FlagSYN | packet.FlagACK}),
+			step(packet.Segment{Src: c, Dst: s, Seq: cseq + 1, Ack: sseq + 1, Flags: packet.FlagACK}),
+			// Zero-length PSH|ACK before any data.
+			step(packet.Segment{Src: c, Dst: s, Seq: cseq + 1, Ack: sseq + 1, Flags: packet.FlagPSH | packet.FlagACK}),
+			step(packet.Segment{Src: c, Dst: s, Seq: cseq + 1, Ack: sseq + 1, Flags: packet.FlagPSH | packet.FlagACK, Payload: data[:32]}),
+			// Pure ACK from the server mid-stream.
+			step(packet.Segment{Src: s, Dst: c, Seq: sseq + 1, Ack: cseq + 33, Flags: packet.FlagACK}),
+			// Keepalive-style zero-length probe one byte below the next seq.
+			step(packet.Segment{Src: c, Dst: s, Seq: cseq + 32, Ack: sseq + 1, Flags: packet.FlagACK}),
+			step(packet.Segment{Src: c, Dst: s, Seq: cseq + 33, Ack: sseq + 1, Flags: packet.FlagPSH | packet.FlagACK, Payload: data[32:]}),
+			step(packet.Segment{Src: c, Dst: s, Seq: cseq + 65, Ack: sseq + 1, Flags: packet.FlagFIN | packet.FlagACK}),
+			step(packet.Segment{Src: s, Dst: c, Seq: sseq + 1, Ack: cseq + 66, Flags: packet.FlagFIN | packet.FlagACK}),
+		})
+	}
+	events := buildEdgeEvents(t, bld, flows)
+	sessions := edgeParity(t, Config{IdleTimeout: 2 * time.Second}, events)
+	if len(sessions) != 6 {
+		t.Fatalf("got %d sessions, want 6", len(sessions))
+	}
+	for _, ses := range sessions {
+		if len(ses.ClientData) != 64 {
+			t.Fatalf("session %v->%v reassembled %d client bytes, want 64", ses.Client, ses.Server, len(ses.ClientData))
+		}
+	}
+}
+
+// TestShardedOverlappingRetransmits: exact duplicates, a retransmit
+// straddling old and new bytes, and a fully contained resend must reassemble
+// to the stream's bytes exactly once — identically on both paths.
+func TestShardedOverlappingRetransmits(t *testing.T) {
+	bld := packet.NewBuilder(22)
+	var flows [][]edgeStep
+	for i := 0; i < 5; i++ {
+		c := packet.Endpoint{Addr: packet.MustAddr(fmt.Sprintf("192.0.2.%d", 50+i)), Port: uint16(42000 + i)}
+		s := packet.Endpoint{Addr: packet.MustAddr("198.51.100.8"), Port: 80}
+		cseq, sseq := uint32(2000*i+5), uint32(911*(i+1))
+		payload := make([]byte, 200)
+		for j := range payload {
+			payload[j] = byte(i*31 + j)
+		}
+		step := func(seg packet.Segment) edgeStep { return edgeStep{seg: seg, dt: 10 * time.Millisecond} }
+		seg := func(off, n int) packet.Segment {
+			return packet.Segment{
+				Src: c, Dst: s, Seq: cseq + 1 + uint32(off), Ack: sseq + 1,
+				Flags: packet.FlagPSH | packet.FlagACK, Payload: payload[off : off+n],
+			}
+		}
+		flows = append(flows, []edgeStep{
+			step(packet.Segment{Src: c, Dst: s, Seq: cseq, Flags: packet.FlagSYN}),
+			step(packet.Segment{Src: s, Dst: c, Seq: sseq, Ack: cseq + 1, Flags: packet.FlagSYN | packet.FlagACK}),
+			step(packet.Segment{Src: c, Dst: s, Seq: cseq + 1, Ack: sseq + 1, Flags: packet.FlagACK}),
+			step(seg(0, 100)),  // [0,100)
+			step(seg(0, 100)),  // exact retransmit
+			step(seg(50, 100)), // [50,150): half old, half new
+			step(seg(60, 20)),  // [60,80): fully contained resend
+			step(seg(150, 50)), // [150,200)
+			step(packet.Segment{Src: c, Dst: s, Seq: cseq + 201, Ack: sseq + 1, Flags: packet.FlagFIN | packet.FlagACK}),
+			step(packet.Segment{Src: s, Dst: c, Seq: sseq + 1, Ack: cseq + 202, Flags: packet.FlagFIN | packet.FlagACK}),
+		})
+	}
+	events := buildEdgeEvents(t, bld, flows)
+	sessions := edgeParity(t, Config{IdleTimeout: 2 * time.Second}, events)
+	if len(sessions) != 5 {
+		t.Fatalf("got %d sessions, want 5", len(sessions))
+	}
+	for i, ses := range sessions {
+		if len(ses.ClientData) != 200 {
+			t.Fatalf("session %d reassembled %d client bytes, want 200", i, len(ses.ClientData))
+		}
+	}
+}
+
+// TestShardedIdleSplitParity: several flows go quiet past IdleTimeout and
+// resume on the same 4-tuple. The Feed-level split must cut each into two
+// sessions at the same point on every shard count, even though per-shard
+// Advance cadence differs from the serial scan's.
+func TestShardedIdleSplitParity(t *testing.T) {
+	bld := packet.NewBuilder(23)
+	const nFlows = 8
+	first := []byte("first-burst")
+	second := []byte("second-burst")
+	var burstA, burstB [][]edgeStep
+	for i := 0; i < nFlows; i++ {
+		c := packet.Endpoint{Addr: packet.MustAddr(fmt.Sprintf("192.0.2.%d", 100+i)), Port: uint16(43000 + i)}
+		s := packet.Endpoint{Addr: packet.MustAddr("198.51.100.9"), Port: 8080}
+		cseq, sseq := uint32(3000*i+9), uint32(517*(i+1))
+		step := func(seg packet.Segment) edgeStep { return edgeStep{seg: seg, dt: 12 * time.Millisecond} }
+		burstA = append(burstA, []edgeStep{
+			step(packet.Segment{Src: c, Dst: s, Seq: cseq, Flags: packet.FlagSYN}),
+			step(packet.Segment{Src: s, Dst: c, Seq: sseq, Ack: cseq + 1, Flags: packet.FlagSYN | packet.FlagACK}),
+			step(packet.Segment{Src: c, Dst: s, Seq: cseq + 1, Ack: sseq + 1, Flags: packet.FlagACK}),
+			step(packet.Segment{Src: c, Dst: s, Seq: cseq + 1, Ack: sseq + 1, Flags: packet.FlagPSH | packet.FlagACK, Payload: first}),
+		})
+		burstB = append(burstB, []edgeStep{
+			step(packet.Segment{Src: c, Dst: s, Seq: cseq + 1 + uint32(len(first)), Ack: sseq + 1, Flags: packet.FlagPSH | packet.FlagACK, Payload: second}),
+			step(packet.Segment{Src: c, Dst: s, Seq: cseq + 1 + uint32(len(first)+len(second)), Ack: sseq + 1, Flags: packet.FlagFIN | packet.FlagACK}),
+		})
+	}
+	// One shared quiet period between the bursts: every flow's gap exceeds
+	// IdleTimeout exactly once, so each must split into exactly two sessions.
+	events := buildEdgeEvents(t, bld, burstA)
+	resumed := buildEdgeEvents(t, bld, burstB)
+	gap := events[len(events)-1].ts.Add(3 * time.Second).Sub(resumed[0].ts)
+	for i := range resumed {
+		resumed[i].ts = resumed[i].ts.Add(gap)
+	}
+	events = append(events, resumed...)
+	sessions := edgeParity(t, Config{IdleTimeout: 2 * time.Second}, events)
+	if len(sessions) != 2*nFlows {
+		t.Fatalf("got %d sessions, want %d (each flow split in two)", len(sessions), 2*nFlows)
+	}
+}
