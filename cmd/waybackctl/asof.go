@@ -1,0 +1,182 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/timeline"
+	"repro/wayback"
+)
+
+// asof is the time-travel entry point: open a store, attach (or create) the
+// timeline engine next to it, seal whatever is committed but unsealed, and
+// answer the requested analysis as of a past instant.
+func asof(args []string, cfg wayback.Config) error {
+	fs := flag.NewFlagSet("waybackctl asof", flag.ContinueOnError)
+	storeDir := fs.String("store", "", "event store directory (required)")
+	tlDir := fs.String("timeline", "", "timeline directory (default STORE/timeline)")
+	date := fs.String("date", "", "as-of instant, RFC 3339 or YYYY-MM-DD (default: now)")
+	segment := fs.Int("segment-events", 0, "events per sealed segment (0 = engine default)")
+	ckpt := fs.Int("checkpoint-every", 1, "checkpoint every N sealed segments (negative = never)")
+	noSeal := fs.Bool("no-seal", false, "query existing segments only; do not seal the committed tail")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("asof needs -store DIR")
+	}
+
+	study, err := wayback.NewStudy(cfg)
+	if err != nil {
+		return err
+	}
+	store, err := wayback.OpenStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	if *tlDir == "" {
+		*tlDir = filepath.Join(*storeDir, "timeline")
+	}
+	eng, err := study.OpenTimeline(*tlDir, store, timeline.Config{
+		SegmentEvents:   *segment,
+		CheckpointEvery: *ckpt,
+	})
+	if err != nil {
+		return err
+	}
+	if !*noSeal {
+		if _, err := eng.Seal(); err != nil {
+			return err
+		}
+	}
+
+	cmd := fs.Arg(0)
+	if cmd == "" {
+		cmd = "summary"
+	}
+	switch cmd {
+	case "summary", "table", "figure":
+		at, err := parseAsOfDate(*date)
+		if err != nil {
+			return fmt.Errorf("bad -date: %w", err)
+		}
+		v, err := eng.AsOf(at)
+		if err != nil {
+			return err
+		}
+		res := study.ResultsFromView(v)
+		switch cmd {
+		case "summary":
+			return asofSummary(v, res)
+		case "table":
+			if fs.Arg(1) == "5" {
+				if err := res.MaterializeEvents(); err != nil {
+					return err
+				}
+			}
+			return table(res, fs.Arg(1))
+		default:
+			if err := res.MaterializeEvents(); err != nil {
+				return err
+			}
+			return figure(res, fs.Arg(1))
+		}
+	case "diff":
+		from, err := parseAsOfDate(fs.Arg(1))
+		if err != nil || fs.Arg(1) == "" {
+			return fmt.Errorf("diff wants FROM TO dates: %w", err)
+		}
+		to, err := parseAsOfDate(fs.Arg(2))
+		if err != nil || fs.Arg(2) == "" {
+			return fmt.Errorf("diff wants FROM TO dates: %w", err)
+		}
+		return asofDiff(eng, from, to)
+	case "skill":
+		from, err := parseAsOfDate(fs.Arg(1))
+		if err != nil || fs.Arg(1) == "" {
+			return fmt.Errorf("skill wants FROM TO dates: %w", err)
+		}
+		to, err := parseAsOfDate(fs.Arg(2))
+		if err != nil || fs.Arg(2) == "" {
+			return fmt.Errorf("skill wants FROM TO dates: %w", err)
+		}
+		stepDays := 30
+		if fs.Arg(3) != "" {
+			stepDays, err = strconv.Atoi(fs.Arg(3))
+			if err != nil || stepDays <= 0 {
+				return fmt.Errorf("skill step wants a positive day count, got %q", fs.Arg(3))
+			}
+		}
+		pts, err := eng.SkillSeries(from, to, time.Duration(stepDays)*24*time.Hour)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("coordination skill, %s .. %s (every %d days):\n",
+			from.Format("2006-01-02"), to.Format("2006-01-02"), stepDays)
+		for _, p := range pts {
+			fmt.Printf("  %s  %3d CVEs  %6d events  mean skill %.2f  skillful %d\n",
+				p.Date.Format("2006-01-02"), p.CVEs, p.Events, p.MeanSkill, p.Skillful)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown asof command %q (summary | table N | figure N | diff A B | skill A B [DAYS])", cmd)
+	}
+}
+
+func parseAsOfDate(v string) (time.Time, error) {
+	if v == "" {
+		return time.Now(), nil
+	}
+	if t, err := time.Parse(time.RFC3339, v); err == nil {
+		return t, nil
+	}
+	t, err := time.Parse("2006-01-02", v)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("want RFC 3339 or YYYY-MM-DD, got %q", v)
+	}
+	return t, nil
+}
+
+func asofSummary(v *timeline.View, res *wayback.Results) error {
+	fmt.Printf("study as of %s\n\n", v.Time().UTC().Format(time.RFC3339))
+	fmt.Printf("Events: %d (%d replayed beyond the nearest checkpoint)\n", v.EventCount(), v.Replayed())
+	fmt.Printf("CVEs with lifecycle data: %d\n\n", len(res.Timelines))
+	fmt.Print(res.Table4().String())
+	fmt.Printf("\nMean skill: %.2f\n", res.MeanSkill())
+	return nil
+}
+
+func asofDiff(eng *timeline.Engine, from, to time.Time) error {
+	vf, err := eng.AsOf(from)
+	if err != nil {
+		return err
+	}
+	vt, err := eng.AsOf(to)
+	if err != nil {
+		return err
+	}
+	diffs := timeline.DiffTimelines(vf.Timelines(), vt.Timelines())
+	fmt.Printf("%d CVEs changed, %s .. %s\n", len(diffs),
+		from.Format("2006-01-02"), to.Format("2006-01-02"))
+	fmtAt := func(t *time.Time) string {
+		if t == nil {
+			return "-"
+		}
+		return t.UTC().Format("2006-01-02")
+	}
+	for _, d := range diffs {
+		tag := ""
+		if d.New {
+			tag = "  (new)"
+		}
+		fmt.Printf("  CVE-%-14s events %d -> %d%s\n", d.CVE, d.EventsFrom, d.EventsTo, tag)
+		for _, ch := range d.Changed {
+			fmt.Printf("    %s: %s -> %s\n", ch.Letter, fmtAt(ch.From), fmtAt(ch.To))
+		}
+	}
+	return nil
+}

@@ -10,6 +10,12 @@
 //	waybackctl [flags] kev | audit | transfer | artifacts | kevfeed | trend | ci | report
 //	waybackctl [flags] all -out DIR       # every table/figure as CSV
 //	waybackctl [flags] replay FILE        # scan a pcap/pcapng capture with the dated ruleset
+//	waybackctl [flags] asof -store DIR [-date D] [summary|table N|figure N|diff A B|skill A B [DAYS]]
+//
+// The asof command time-travels a live event store: it opens (or creates) a
+// timeline of sealed segments and checkpoints next to the store and answers
+// tables, figures, lifecycle diffs, and skill-over-time series as the study
+// stood at -date, at the cost of the events since the nearest checkpoint.
 package main
 
 import (
@@ -56,6 +62,11 @@ func run(args []string) error {
 	}
 	if fs.Arg(0) == "replay" {
 		return replay(fs.Args()[1:], *rulesPath, *reasmShards, *matchWorkers)
+	}
+	if fs.Arg(0) == "asof" {
+		return asof(fs.Args()[1:], wayback.Config{
+			Seed: *seed, Scale: *scale, PipelineTimelines: *pipeline,
+		})
 	}
 
 	study, err := wayback.NewStudy(wayback.Config{

@@ -12,6 +12,15 @@
 //	         [-poll 100ms] [-flush-idle 2s] [-batch 256] [-workers 0]
 //	         [-fleet-listen :8417] [-stale-after 0] [-commit-interval 0]
 //	         [-pprof-listen localhost:6060]
+//	         [-timeline tl/] [-timeline-segment 4096] [-timeline-checkpoint 1]
+//	         [-timeline-seal 5s]
+//
+// With -timeline the daemon runs a time-travel engine over the store: a
+// background sealer cuts committed events into immutable time-partitioned
+// segments and snapshot checkpoints, and the HTTP API grows ?asof=DATE on the
+// table/figure/lifecycle endpoints plus /v1/diff and /v1/skill. On drain the
+// pending tail is sealed, so a restarted daemon answers as-of queries without
+// replaying the log.
 //
 // With -fleet-listen the daemon is also (or, without -watch, purely) a fleet
 // coordinator: waybacksensor nodes connect over the fleet wire protocol and
@@ -45,6 +54,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -52,6 +62,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/ingest"
 	"repro/internal/serve"
+	"repro/internal/timeline"
 	"repro/wayback"
 )
 
@@ -69,7 +80,12 @@ type daemon struct {
 	store    *eventstore.Store
 	pipeline *ingest.Pipeline // nil in coordinator-only mode
 	fleet    *fleet.Listener  // nil without -fleet-listen
+	timeline *timeline.Engine // nil without -timeline
 	server   *serve.Server
+
+	sealStop chan struct{}
+	sealDone chan struct{}
+	sealOnce sync.Once
 }
 
 type daemonConfig struct {
@@ -89,6 +105,12 @@ type daemonConfig struct {
 	// batches before one coalesced fsync; zero lets the fsync itself pace
 	// grouping (adaptive group commit).
 	commitInterval time.Duration
+	// timelineDir, when set, enables the time-travel engine: sealed segments
+	// and checkpoints live there, and the API grows as-of queries.
+	timelineDir  string
+	tlSegment    int           // events per sealed segment; 0 = engine default
+	tlCheckpoint int           // checkpoint every N segments; negative = never
+	tlSeal       time.Duration // sealer poll interval; 0 = 5s
 }
 
 func openDaemon(cfg daemonConfig) (*daemon, error) {
@@ -145,15 +167,7 @@ func openDaemon(cfg daemonConfig) (*daemon, error) {
 			return nil, err
 		}
 	}
-	srvCfg := serve.Config{
-		Study: study, Store: store, Ingest: pipeline,
-		StaleAfter: cfg.staleAfter,
-	}
-	if fl != nil {
-		srvCfg.Fleet = fl
-	}
-	server, err := serve.New(srvCfg)
-	if err != nil {
+	cleanup := func() {
 		if fl != nil {
 			fl.Close()
 		}
@@ -161,9 +175,72 @@ func openDaemon(cfg daemonConfig) (*daemon, error) {
 			pipeline.Close()
 		}
 		store.Close()
+	}
+	var tl *timeline.Engine
+	if cfg.timelineDir != "" {
+		tl, err = study.OpenTimeline(cfg.timelineDir, store, timeline.Config{
+			SegmentEvents:   cfg.tlSegment,
+			CheckpointEvery: cfg.tlCheckpoint,
+		})
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+	}
+	srvCfg := serve.Config{
+		Study: study, Store: store, Ingest: pipeline,
+		Timeline:   tl,
+		StaleAfter: cfg.staleAfter,
+	}
+	if fl != nil {
+		srvCfg.Fleet = fl
+	}
+	server, err := serve.New(srvCfg)
+	if err != nil {
+		cleanup()
 		return nil, err
 	}
-	return &daemon{study: study, store: store, pipeline: pipeline, fleet: fl, server: server}, nil
+	d := &daemon{study: study, store: store, pipeline: pipeline, fleet: fl, timeline: tl, server: server}
+	if tl != nil {
+		interval := cfg.tlSeal
+		if interval <= 0 {
+			interval = 5 * time.Second
+		}
+		d.sealStop = make(chan struct{})
+		d.sealDone = make(chan struct{})
+		go func() {
+			defer close(d.sealDone)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-d.sealStop:
+					return
+				case <-t.C:
+					if _, err := tl.Tick(); err != nil {
+						fmt.Fprintln(os.Stderr, "waybackd: timeline:", err)
+					}
+				}
+			}
+		}()
+	}
+	return d, nil
+}
+
+// stopTimeline halts the background sealer and seals the committed tail into
+// a final segment, so a restart can answer as-of queries from segments alone.
+// Idempotent; a nil engine makes it a no-op.
+func (d *daemon) stopTimeline() error {
+	var err error
+	d.sealOnce.Do(func() {
+		if d.timeline == nil {
+			return
+		}
+		close(d.sealStop)
+		<-d.sealDone
+		_, err = d.timeline.Seal()
+	})
+	return err
 }
 
 // close drains and shuts down in dependency order: stop ingesting (which
@@ -178,6 +255,9 @@ func (d *daemon) close() error {
 		if ferr := d.fleet.Close(); err == nil {
 			err = ferr
 		}
+	}
+	if terr := d.stopTimeline(); err == nil {
+		err = terr
 	}
 	if cerr := d.store.Close(); err == nil {
 		err = cerr
@@ -203,6 +283,10 @@ func run(args []string) error {
 	staleAfter := fs.Duration("stale-after", 0, "healthz answers 503 after this long without new events; 0 = never")
 	commitInterval := fs.Duration("commit-interval", 0, "fleet group-commit gather window; 0 = adaptive (fsync-paced)")
 	pprofListen := fs.String("pprof-listen", "", "serve net/http/pprof on this address (\"localhost:6060\"); empty = off")
+	timelineDir := fs.String("timeline", "", "time-travel engine directory (segments + checkpoints); empty = off")
+	tlSegment := fs.Int("timeline-segment", 0, "events per sealed segment (0 = engine default)")
+	tlCheckpoint := fs.Int("timeline-checkpoint", 1, "checkpoint every N sealed segments (negative = never)")
+	tlSeal := fs.Duration("timeline-seal", 5*time.Second, "background sealer poll interval")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -220,6 +304,8 @@ func run(args []string) error {
 		reasmShards: *reasmShards,
 		fleetListen: *fleetListen, staleAfter: *staleAfter,
 		commitInterval: *commitInterval,
+		timelineDir:    *timelineDir,
+		tlSegment:      *tlSegment, tlCheckpoint: *tlCheckpoint, tlSeal: *tlSeal,
 	})
 	if err != nil {
 		return err
@@ -284,6 +370,11 @@ func run(args []string) error {
 		if err := d.fleet.Close(); err != nil && drainErr == nil {
 			drainErr = err
 		}
+	}
+	// Seal the committed tail so the next start answers as-of queries from
+	// durable segments instead of replaying the store.
+	if err := d.stopTimeline(); err != nil && drainErr == nil {
+		drainErr = err
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -14,7 +14,13 @@
 // lying fsyncs and crash points, plus a partitioning network), and
 // internal/simtest replays the whole sensor-fleet pipeline under seeded
 // crash schedules, asserting exactly-once ingest and byte-identical output
-// after every recovery. See README.md for the architecture and
+// after every recovery. internal/timeline adds time travel over the event
+// log: committed events are sealed into immutable time-partitioned segments
+// with sparse time/CVE indexes, analysis aggregates are checkpointed, and
+// Engine.AsOf answers any table or figure as of an earlier instant in time
+// proportional to the events since the nearest checkpoint — served as
+// ?asof=, /v1/diff and /v1/skill by internal/serve, and as the waybackctl
+// asof subcommand offline. See README.md for the architecture and
 // EXPERIMENTS.md for paper-vs-measured results; bench_test.go regenerates
 // every table and figure of the paper's evaluation.
 package repro

@@ -107,6 +107,7 @@ type shard struct {
 	bad        error // set when a failed append could not be rolled back
 	synced     int64 // bytes covered by the last commit (guarded by Store.commitMu)
 	events     atomic.Pointer[[]ids.Event]
+	committed  atomic.Int64 // events covered by the last commit record
 	lastAppend atomic.Int64 // UnixNano of the most recent append; 0 = none since open
 }
 
@@ -298,6 +299,9 @@ func openShard(fs fault.FS, path string, committed int64) (*shard, int, error) {
 	}
 	sh := &shard{f: f, size: size, synced: size}
 	sh.events.Store(&events)
+	// Recovery truncated to the committed cut, so everything recovered is
+	// committed by definition.
+	sh.committed.Store(int64(len(events)))
 	return sh, len(events), nil
 }
 
@@ -567,8 +571,10 @@ func (s *Store) CommitFunc(metaFn func() []byte) error {
 		meta = s.meta
 	}
 	sizes := make([]int64, len(s.shards))
+	counts := make([]int64, len(s.shards))
 	for i, sh := range s.shards {
 		sizes[i] = sh.size
+		counts[i] = int64(len(*sh.events.Load()))
 	}
 	s.appendMu.Unlock()
 	dirty := false
@@ -589,6 +595,9 @@ func (s *Store) CommitFunc(metaFn func() []byte) error {
 	for i, sh := range s.shards {
 		if sizes[i] > sh.synced {
 			sh.synced = sizes[i]
+		}
+		if counts[i] > sh.committed.Load() {
+			sh.committed.Store(counts[i])
 		}
 	}
 	s.meta = append([]byte(nil), meta...)
@@ -628,6 +637,63 @@ func (s *Store) Close() error {
 	return first
 }
 
+// CommittedEvents returns, shard by shard, the event prefix covered by the
+// newest commit record — exactly what a crash right now is promised to
+// recover. Each returned slice is an immutable prefix of its shard's log
+// (appends only ever extend past every published length), so callers may
+// hold it indefinitely without copying. The timeline segmenter seals from
+// these prefixes: a sealed segment can then never contain an event a
+// recovered store would not.
+func (s *Store) CommittedEvents() [][]ids.Event {
+	out := make([][]ids.Event, len(s.shards))
+	for i, sh := range s.shards {
+		events := *sh.events.Load()
+		// The committed count is captured under the same exclusive cut as the
+		// committed sizes, so it can never exceed the published length; load
+		// order (events first) keeps that true even against a racing commit.
+		n := sh.committed.Load()
+		if n > int64(len(events)) {
+			n = int64(len(events))
+		}
+		out[i] = events[:n:n]
+	}
+	return out
+}
+
+// PublishedEvents returns, shard by shard, every readable event: the
+// committed prefix plus the appended-but-not-yet-committed tail (what
+// Snapshot merges). Slices are immutable prefixes, as for CommittedEvents.
+func (s *Store) PublishedEvents() [][]ids.Event {
+	out := make([][]ids.Event, len(s.shards))
+	for i, sh := range s.shards {
+		events := *sh.events.Load()
+		out[i] = events[:len(events):len(events)]
+	}
+	return out
+}
+
+// Less is the store's canonical event order — by time, then SID, then source
+// endpoint — the order Snapshot publishes and every downstream byte-parity
+// check depends on. SortEvents applies it.
+func Less(a, b *ids.Event) bool {
+	if !a.Time.Equal(b.Time) {
+		return a.Time.Before(b.Time)
+	}
+	if a.SID != b.SID {
+		return a.SID < b.SID
+	}
+	if a.Src.Addr != b.Src.Addr {
+		return a.Src.Addr.Less(b.Src.Addr)
+	}
+	return a.Src.Port < b.Src.Port
+}
+
+// SortEvents sorts events into the store's canonical order (see Less),
+// stably, so equal keys keep their incoming order exactly as Snapshot does.
+func SortEvents(events []ids.Event) {
+	sort.SliceStable(events, func(i, j int) bool { return Less(&events[i], &events[j]) })
+}
+
 // Snapshot returns a consistent point-in-time view of the store. Snapshots
 // are cheap when nothing changed (the previous one is reused) and immutable
 // forever; appends after the call are invisible to it.
@@ -655,19 +721,7 @@ func (s *Store) Snapshot() *Snapshot {
 		for _, p := range parts {
 			merged = append(merged, p...)
 		}
-		sort.SliceStable(merged, func(i, j int) bool {
-			a, b := &merged[i], &merged[j]
-			if !a.Time.Equal(b.Time) {
-				return a.Time.Before(b.Time)
-			}
-			if a.SID != b.SID {
-				return a.SID < b.SID
-			}
-			if a.Src.Addr != b.Src.Addr {
-				return a.Src.Addr.Less(b.Src.Addr)
-			}
-			return a.Src.Port < b.Src.Port
-		})
+		SortEvents(merged)
 		sn := &Snapshot{gen: gen, events: merged}
 		s.snap.Store(sn)
 		return sn

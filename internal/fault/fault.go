@@ -48,6 +48,11 @@ type FS interface {
 	WriteFile(name string, data []byte, perm os.FileMode) error
 	Rename(oldpath, newpath string) error
 	Remove(name string) error
+	// ReadDir returns the names (not paths) of the files in dir, sorted.
+	// A missing directory is not an error: it reads as empty, matching how
+	// the self-describing stores (timeline segments, checkpoints) treat a
+	// first open. Subdirectories are not listed.
+	ReadDir(dir string) ([]string, error)
 }
 
 // OS is the passthrough filesystem: production code's default.
@@ -73,6 +78,24 @@ func (osFS) WriteFile(name string, data []byte, perm os.FileMode) error {
 
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
 func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	return names, nil // os.ReadDir already sorts by name
+}
 
 // Or returns fs, or OS when fs is nil — the "zero Config means production"
 // helper every threaded component uses.

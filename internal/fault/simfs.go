@@ -340,6 +340,25 @@ func (fs *SimFS) Remove(name string) error {
 	return nil
 }
 
+// ReadDir lists the names of files directly inside dir, sorted. Like the OS
+// implementation, a missing directory reads as empty.
+func (fs *SimFS) ReadDir(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.op() {
+		return nil, ErrCrashed
+	}
+	dir = filepath.Clean(dir)
+	var names []string
+	for name := range fs.files {
+		if filepath.Dir(name) == dir {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
 // Quiescent reports whether every file's page cache matches its durable
 // content — a crash right now would lose nothing. The simulation driver
 // uses it as the safe-kill predicate for processes whose contract only

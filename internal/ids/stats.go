@@ -1,6 +1,11 @@
 package ids
 
-import "net/netip"
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"sort"
+)
 
 // StatsBuilder accumulates ScanStats incrementally. It is the one shared
 // aggregation used by MatchSessions, MatchSessionsParallel, and the
@@ -34,6 +39,124 @@ func (b *StatsBuilder) AddEvents(events []Event) {
 		}
 		b.srcs[events[i].Src.Addr] = struct{}{}
 	}
+}
+
+// Merge folds another builder's accumulated state into b, deduplicating
+// distinct CVEs and sources across both — the same result as feeding every
+// batch of both builders to one. o remains usable afterwards.
+func (b *StatsBuilder) Merge(o *StatsBuilder) {
+	b.sessions += o.sessions
+	b.matched += o.matched
+	for cve := range o.cves {
+		b.cves[cve] = struct{}{}
+	}
+	for src := range o.srcs {
+		b.srcs[src] = struct{}{}
+	}
+}
+
+// Clone returns an independent copy of the builder's state.
+func (b *StatsBuilder) Clone() *StatsBuilder {
+	c := NewStatsBuilder()
+	c.Merge(b)
+	return c
+}
+
+// AppendBinary appends a deterministic binary encoding of the builder's
+// state to buf — the timeline checkpoint format. Equal states encode to
+// equal bytes (sets are written sorted).
+func (b *StatsBuilder) AppendBinary(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(b.sessions))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(b.matched))
+	cves := make([]string, 0, len(b.cves))
+	for cve := range b.cves {
+		cves = append(cves, cve)
+	}
+	sort.Strings(cves)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(cves)))
+	for _, cve := range cves {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(cve)))
+		buf = append(buf, cve...)
+	}
+	srcs := make([][]byte, 0, len(b.srcs))
+	for src := range b.srcs {
+		srcs = append(srcs, src.AsSlice()) // nil for the zero Addr
+	}
+	sort.Slice(srcs, func(i, j int) bool {
+		if len(srcs[i]) != len(srcs[j]) {
+			return len(srcs[i]) < len(srcs[j])
+		}
+		for k := range srcs[i] {
+			if srcs[i][k] != srcs[j][k] {
+				return srcs[i][k] < srcs[j][k]
+			}
+		}
+		return false
+	})
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(srcs)))
+	for _, src := range srcs {
+		buf = append(buf, byte(len(src)))
+		buf = append(buf, src...)
+	}
+	return buf
+}
+
+// DecodeStatsBuilder decodes an AppendBinary encoding, returning the builder
+// and the remaining bytes. It returns an error (never panics) on malformed
+// input, since encodings come off disk.
+func DecodeStatsBuilder(b []byte) (*StatsBuilder, []byte, error) {
+	sb := NewStatsBuilder()
+	need := func(n int) ([]byte, error) {
+		if len(b) < n {
+			return nil, fmt.Errorf("ids: stats encoding truncated (%d of %d bytes)", len(b), n)
+		}
+		out := b[:n]
+		b = b[n:]
+		return out, nil
+	}
+	hdr, err := need(16)
+	if err != nil {
+		return nil, nil, err
+	}
+	sb.sessions = int(binary.LittleEndian.Uint64(hdr[0:8]))
+	sb.matched = int(binary.LittleEndian.Uint64(hdr[8:16]))
+	nb, err := need(4)
+	if err != nil {
+		return nil, nil, err
+	}
+	for n := binary.LittleEndian.Uint32(nb); n > 0; n-- {
+		lb, err := need(2)
+		if err != nil {
+			return nil, nil, err
+		}
+		cb, err := need(int(binary.LittleEndian.Uint16(lb)))
+		if err != nil {
+			return nil, nil, err
+		}
+		sb.cves[string(cb)] = struct{}{}
+	}
+	if nb, err = need(4); err != nil {
+		return nil, nil, err
+	}
+	for n := binary.LittleEndian.Uint32(nb); n > 0; n-- {
+		lb, err := need(1)
+		if err != nil {
+			return nil, nil, err
+		}
+		ab, err := need(int(lb[0]))
+		if err != nil {
+			return nil, nil, err
+		}
+		var src netip.Addr
+		if len(ab) > 0 {
+			var ok bool
+			if src, ok = netip.AddrFromSlice(ab); !ok {
+				return nil, nil, fmt.Errorf("ids: stats encoding has bad address length %d", len(ab))
+			}
+		}
+		sb.srcs[src] = struct{}{}
+	}
+	return sb, b, nil
 }
 
 // Stats returns the aggregate. The builder remains usable afterwards.

@@ -17,6 +17,7 @@
 package lifecycle
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"time"
@@ -177,22 +178,52 @@ func StudyTimelines() []Timeline {
 // FromPipeline builds timelines from measured pipeline outputs: exploit
 // events attributed by the IDS plus rule-publication times, joined with the
 // study metadata for P and X. Only CVEs with observed traffic appear.
+//
+// It is a thin wrapper over Builder, so batch, incremental, and
+// merged-partial aggregations cannot drift: any way of splitting events
+// across builders yields the identical timeline set.
 func FromPipeline(events []ids.Event, rulePub map[int]time.Time) []Timeline {
-	type acc struct {
-		firstAttack time.Time
-		count       int
-		firstRule   time.Time
-		hasRule     bool
-	}
-	byCVE := map[string]*acc{}
-	for _, ev := range events {
+	b := NewBuilder()
+	b.AddEvents(events, rulePub)
+	return b.Timelines()
+}
+
+// Builder accumulates the per-CVE lifecycle aggregate incrementally: first
+// attack time, event count, and earliest matched-rule publication. It is the
+// event-derived half of FromPipeline in a form that supports streaming
+// (AddEvents per batch), merging (partial aggregates combine), and
+// checkpointing (AppendBinary/DecodeBuilder round-trip the state byte-
+// deterministically) — the machinery the timeline subsystem's as-of
+// snapshots are built on. The aggregate is a commutative monoid over event
+// multisets: counts add, first-times take the minimum, so event order and
+// batch boundaries never change the result.
+type Builder struct {
+	byCVE map[string]*pipelineAcc
+}
+
+type pipelineAcc struct {
+	firstAttack time.Time
+	count       int
+	firstRule   time.Time
+	hasRule     bool
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{byCVE: map[string]*pipelineAcc{}} }
+
+// AddEvents folds a batch of attributed events into the aggregate. rulePub
+// maps SIDs to publication times, as in FromPipeline; unattributed events
+// (no CVE) are ignored.
+func (b *Builder) AddEvents(events []ids.Event, rulePub map[int]time.Time) {
+	for i := range events {
+		ev := &events[i]
 		if ev.CVE == "" {
 			continue
 		}
-		a, ok := byCVE[ev.CVE]
+		a, ok := b.byCVE[ev.CVE]
 		if !ok {
-			a = &acc{firstAttack: ev.Time}
-			byCVE[ev.CVE] = a
+			a = &pipelineAcc{firstAttack: ev.Time}
+			b.byCVE[ev.CVE] = a
 		}
 		if ev.Time.Before(a.firstAttack) {
 			a.firstAttack = ev.Time
@@ -205,8 +236,51 @@ func FromPipeline(events []ids.Event, rulePub map[int]time.Time) []Timeline {
 			}
 		}
 	}
+}
+
+// Merge folds another builder's aggregate into b — the result equals
+// feeding both builders' events to one. o remains usable afterwards.
+func (b *Builder) Merge(o *Builder) {
+	for cve, oa := range o.byCVE {
+		a, ok := b.byCVE[cve]
+		if !ok {
+			cp := *oa
+			b.byCVE[cve] = &cp
+			continue
+		}
+		if oa.firstAttack.Before(a.firstAttack) {
+			a.firstAttack = oa.firstAttack
+		}
+		a.count += oa.count
+		if oa.hasRule && (!a.hasRule || oa.firstRule.Before(a.firstRule)) {
+			a.firstRule = oa.firstRule
+			a.hasRule = true
+		}
+	}
+}
+
+// Clone returns an independent copy of the builder's state.
+func (b *Builder) Clone() *Builder {
+	c := NewBuilder()
+	c.Merge(b)
+	return c
+}
+
+// EventCount returns the number of attributed events folded in so far.
+func (b *Builder) EventCount() int {
+	n := 0
+	for _, a := range b.byCVE {
+		n += a.count
+	}
+	return n
+}
+
+// Timelines materializes the timeline set from the aggregate, applying the
+// paper's Section 5 heuristics and the study metadata join, sorted by CVE —
+// exactly FromPipeline's output for the accumulated events.
+func (b *Builder) Timelines() []Timeline {
 	var out []Timeline
-	for cve, a := range byCVE {
+	for cve, a := range b.byCVE {
 		t := Timeline{CVE: cve, EventCount: a.count}
 		if meta := datasets.StudyCVEByID(cve); meta != nil {
 			t.Impact = meta.Impact
@@ -232,6 +306,105 @@ func FromPipeline(events []ids.Event, rulePub map[int]time.Time) []Timeline {
 	}
 	sortTimelines(out)
 	return out
+}
+
+// AppendBinary appends a deterministic binary encoding of the aggregate to
+// buf (CVEs sorted; times as seconds+nanoseconds so the full time.Time range
+// round-trips). DecodeBuilder reverses it.
+func (b *Builder) AppendBinary(buf []byte) []byte {
+	cves := make([]string, 0, len(b.byCVE))
+	for cve := range b.byCVE {
+		cves = append(cves, cve)
+	}
+	sort.Strings(cves)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(cves)))
+	for _, cve := range cves {
+		a := b.byCVE[cve]
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(cve)))
+		buf = append(buf, cve...)
+		buf = appendBinTime(buf, a.firstAttack)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(a.count))
+		if a.hasRule {
+			buf = append(buf, 1)
+			buf = appendBinTime(buf, a.firstRule)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+// DecodeBuilder decodes an AppendBinary encoding, returning the builder and
+// the remaining bytes. It returns an error (never panics) on malformed
+// input, since encodings come off disk.
+func DecodeBuilder(raw []byte) (*Builder, []byte, error) {
+	b := NewBuilder()
+	need := func(n int) ([]byte, error) {
+		if len(raw) < n {
+			return nil, fmt.Errorf("lifecycle: aggregate encoding truncated (%d of %d bytes)", len(raw), n)
+		}
+		out := raw[:n]
+		raw = raw[n:]
+		return out, nil
+	}
+	nb, err := need(4)
+	if err != nil {
+		return nil, nil, err
+	}
+	for n := binary.LittleEndian.Uint32(nb); n > 0; n-- {
+		lb, err := need(2)
+		if err != nil {
+			return nil, nil, err
+		}
+		cb, err := need(int(binary.LittleEndian.Uint16(lb)))
+		if err != nil {
+			return nil, nil, err
+		}
+		cve := string(cb)
+		if _, dup := b.byCVE[cve]; dup {
+			return nil, nil, fmt.Errorf("lifecycle: aggregate encoding repeats CVE %q", cve)
+		}
+		a := &pipelineAcc{}
+		if a.firstAttack, err = decodeBinTime(need); err != nil {
+			return nil, nil, err
+		}
+		countB, err := need(8)
+		if err != nil {
+			return nil, nil, err
+		}
+		a.count = int(binary.LittleEndian.Uint64(countB))
+		hb, err := need(1)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch hb[0] {
+		case 1:
+			a.hasRule = true
+			if a.firstRule, err = decodeBinTime(need); err != nil {
+				return nil, nil, err
+			}
+		case 0:
+		default:
+			return nil, nil, fmt.Errorf("lifecycle: aggregate encoding has bad hasRule byte %d", hb[0])
+		}
+		b.byCVE[cve] = a
+	}
+	return b, raw, nil
+}
+
+func appendBinTime(buf []byte, t time.Time) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.Unix()))
+	return binary.LittleEndian.AppendUint32(buf, uint32(t.Nanosecond()))
+}
+
+func decodeBinTime(need func(int) ([]byte, error)) (time.Time, error) {
+	b, err := need(12)
+	if err != nil {
+		return time.Time{}, err
+	}
+	sec := int64(binary.LittleEndian.Uint64(b[0:8]))
+	nsec := binary.LittleEndian.Uint32(b[8:12])
+	return time.Unix(sec, int64(nsec)).UTC(), nil
 }
 
 // neverPublishedCutoff separates real rule publications from the

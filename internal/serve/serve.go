@@ -19,6 +19,17 @@
 //	GET /v1/lifecycles/{cve}     one CVE's lifecycle events
 //	GET /v1/tables/{n}           paper table n (1-6, E) as rendered text
 //	GET /v1/figures/{id}         paper figure id (1-18) as CSV
+//	GET /v1/diff                 lifecycle diff between two as-of cuts (from, to)
+//	GET /v1/skill                coordination-skill score over time (from, to, step_days)
+//
+// With a timeline engine configured (Config.Timeline), the lifecycle, table,
+// and figure endpoints accept ?asof=DATE (RFC 3339 or 2006-01-02) and answer
+// from the event log as it stood at that instant — a time-travel query whose
+// cost is the events since the nearest checkpoint, not a full replay.
+//
+// Analysis responses carry a strong ETag keyed on (store generation, as-of
+// date, endpoint); If-None-Match answers 304 with an empty body, so pollers
+// pay nothing while the store is quiet.
 package serve
 
 import (
@@ -40,6 +51,7 @@ import (
 	"repro/internal/lifecycle"
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/timeline"
 	"repro/wayback"
 )
 
@@ -54,6 +66,9 @@ type Config struct {
 	Ingest *ingest.Pipeline
 	// Fleet, when set, backs GET /v1/fleet and per-sensor /metrics gauges.
 	Fleet FleetSource
+	// Timeline, when set, enables time travel: ?asof= on the analysis
+	// endpoints, /v1/diff, /v1/skill, and the timeline /metrics gauges.
+	Timeline *timeline.Engine
 	// StaleAfter, when positive, makes /healthz answer 503 once the store
 	// has received nothing for this long (measured from the later of server
 	// start and the last append) — the signal a load balancer needs to
@@ -79,7 +94,13 @@ type Server struct {
 	resGen uint64
 	resSet bool
 
-	// Rendered response bodies, keyed by endpoint + generation.
+	// As-of Results, keyed by (generation, as-of instant). Bounded; reset
+	// whenever the generation moves.
+	asofMu  sync.Mutex
+	asofGen uint64
+	asofRes map[int64]*wayback.Results
+
+	// Rendered response bodies, keyed by endpoint + generation (+ as-of).
 	cacheMu sync.Mutex
 	cache   map[string]cacheEntry
 	hits    atomic.Uint64
@@ -91,6 +112,11 @@ type cacheEntry struct {
 	body  []byte
 	ctype string
 }
+
+// maxCacheEntries bounds the response cache: ?asof= makes the key space
+// unbounded, so past this size the whole cache is dropped and rebuilt on
+// demand (generations move rarely; a full drop is a handful of rebuilds).
+const maxCacheEntries = 1024
 
 // New builds a Server.
 func New(cfg Config) (*Server, error) {
@@ -105,6 +131,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/lifecycles/{cve}", s.handleLifecycle)
 	s.mux.HandleFunc("GET /v1/tables/{n}", s.handleTable)
 	s.mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
+	s.mux.HandleFunc("GET /v1/diff", s.handleDiff)
+	s.mux.HandleFunc("GET /v1/skill", s.handleSkill)
 	return s, nil
 }
 
@@ -129,16 +157,49 @@ func (s *Server) results() (*wayback.Results, uint64) {
 	return s.res, s.resGen
 }
 
-// serveCached answers from the response cache when the store generation has
-// not moved since the body was built.
-func (s *Server) serveCached(w http.ResponseWriter, key string, build func(res *wayback.Results) ([]byte, string, error)) {
-	res, gen := s.results()
+// serveCached answers from the response cache when the store generation (and
+// the as-of date, for time-travel requests) has not moved since the body was
+// built. Responses carry a strong ETag derived from (generation, as-of,
+// endpoint); a matching If-None-Match short-circuits to 304 before any
+// analysis runs.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, build func(res *wayback.Results) ([]byte, string, error)) {
+	asof, err := parseDateParam(r.URL.Query().Get("asof"))
+	if err != nil {
+		http.Error(w, "bad asof: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var (
+		res *wayback.Results
+		gen uint64
+	)
+	if asof.IsZero() {
+		res, gen = s.results()
+	} else {
+		if s.cfg.Timeline == nil {
+			http.Error(w, "time travel not enabled (no timeline engine)", http.StatusNotFound)
+			return
+		}
+		key += "?asof=" + asof.UTC().Format(time.RFC3339Nano)
+		res, gen, err = s.asofResults(asof)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	etag := responseETag(gen, key)
+	if notModified(r, etag) {
+		s.hits.Add(1)
+		w.Header().Set("ETag", etag)
+		w.Header().Set("X-Store-Generation", strconv.FormatUint(gen, 10))
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	s.cacheMu.Lock()
 	e, ok := s.cache[key]
 	s.cacheMu.Unlock()
 	if ok && e.gen == gen {
 		s.hits.Add(1)
-		s.write(w, gen, e.body, e.ctype)
+		s.write(w, gen, etag, e.body, e.ctype)
 		return
 	}
 	s.misses.Add(1)
@@ -153,14 +214,44 @@ func (s *Server) serveCached(w http.ResponseWriter, key string, build func(res *
 		return
 	}
 	s.cacheMu.Lock()
+	if len(s.cache) >= maxCacheEntries {
+		clear(s.cache)
+	}
 	s.cache[key] = cacheEntry{gen: gen, body: body, ctype: ctype}
 	s.cacheMu.Unlock()
-	s.write(w, gen, body, ctype)
+	s.write(w, gen, etag, body, ctype)
 }
 
-func (s *Server) write(w http.ResponseWriter, gen uint64, body []byte, ctype string) {
+// responseETag is the strong validator for a cached analysis body: exact for
+// a given (store generation, endpoint, as-of date) triple, all of which are
+// already folded into key by serveCached.
+func responseETag(gen uint64, key string) string {
+	return fmt.Sprintf("%q", fmt.Sprintf("%d/%s", gen, key))
+}
+
+// notModified reports whether the request's If-None-Match matches etag.
+// Weak-comparison: a W/ prefix on the client's validator is ignored, which is
+// safe here because a matching tag always denotes the identical body.
+func notModified(r *http.Request, etag string) bool {
+	inm := r.Header.Get("If-None-Match")
+	if inm == "" {
+		return false
+	}
+	for _, v := range strings.Split(inm, ",") {
+		v = strings.TrimPrefix(strings.TrimSpace(v), "W/")
+		if v == "*" || v == etag {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) write(w http.ResponseWriter, gen uint64, etag string, body []byte, ctype string) {
 	w.Header().Set("Content-Type", ctype)
 	w.Header().Set("X-Store-Generation", strconv.FormatUint(gen, 10))
+	if etag != "" {
+		w.Header().Set("ETag", etag)
+	}
 	w.Write(body)
 }
 
@@ -247,6 +338,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	g("cache_hits", s.hits.Load())
 	g("cache_misses", s.misses.Load())
+	if eng := s.cfg.Timeline; eng != nil {
+		m := eng.Metrics()
+		g("timeline_segments", m.Segments)
+		g("timeline_sealed_events", m.SealedEvents)
+		g("timeline_sealed_bytes", m.SealedBytes)
+		g("timeline_checkpoints", m.Checkpoints)
+		g("timeline_checkpoint_events", m.CheckpointEvents)
+		// -1 means "no checkpoint yet" — distinguishable from a fresh one.
+		age := -1.0
+		if !m.CheckpointAt.IsZero() {
+			age = time.Since(m.CheckpointAt).Seconds()
+		}
+		g("timeline_checkpoint_age_seconds", age)
+	}
 	if f := s.cfg.Fleet; f != nil {
 		sensors := f.Sensors()
 		batches, events, dups := f.Totals()
@@ -384,7 +489,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	s.write(w, sn.Generation(), body, "application/json")
+	s.write(w, sn.Generation(), "", body, "application/json")
 }
 
 func parseTimeParam(v string) (time.Time, error) {
@@ -394,6 +499,22 @@ func parseTimeParam(v string) (time.Time, error) {
 	return time.Parse(time.RFC3339, v)
 }
 
+// parseDateParam accepts either a full RFC 3339 instant or a bare
+// YYYY-MM-DD date (midnight UTC) — the forms ?asof=, ?from=, and ?to= take.
+func parseDateParam(v string) (time.Time, error) {
+	if v == "" {
+		return time.Time{}, nil
+	}
+	if t, err := time.Parse(time.RFC3339, v); err == nil {
+		return t, nil
+	}
+	t, err := time.Parse("2006-01-02", v)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("want RFC 3339 or YYYY-MM-DD, got %q", v)
+	}
+	return t, nil
+}
+
 // trimCVE normalizes "CVE-2021-44228" to the repo's bare "2021-44228" form.
 func trimCVE(cve string) string {
 	return strings.TrimPrefix(strings.TrimPrefix(cve, "CVE-"), "cve-")
@@ -401,7 +522,7 @@ func trimCVE(cve string) string {
 
 func (s *Server) handleLifecycle(w http.ResponseWriter, r *http.Request) {
 	cve := trimCVE(r.PathValue("cve"))
-	s.serveCached(w, "lifecycle/"+cve, func(res *wayback.Results) ([]byte, string, error) {
+	s.serveCached(w, r, "lifecycle/"+cve, func(res *wayback.Results) ([]byte, string, error) {
 		for i := range res.Timelines {
 			if res.Timelines[i].CVE == cve {
 				return marshalTimeline(&res.Timelines[i])
@@ -434,7 +555,14 @@ func marshalTimeline(tl *lifecycle.Timeline) ([]byte, string, error) {
 
 func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	n := r.PathValue("n")
-	s.serveCached(w, "table/"+n, func(res *wayback.Results) ([]byte, string, error) {
+	s.serveCached(w, r, "table/"+n, func(res *wayback.Results) ([]byte, string, error) {
+		// Table 5 ranks raw event volumes, so a lazy as-of Results must load
+		// its event set first; the others read aggregates already in hand.
+		if n == "5" {
+			if err := res.MaterializeEvents(); err != nil {
+				return nil, "", err
+			}
+		}
 		var text string
 		switch n {
 		case "1":
@@ -462,10 +590,15 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 // waybackctl's `all` command writes to disk.
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.serveCached(w, "figure/"+id, func(res *wayback.Results) ([]byte, string, error) {
+	s.serveCached(w, r, "figure/"+id, func(res *wayback.Results) ([]byte, string, error) {
 		n, err := strconv.Atoi(id)
 		if err != nil {
 			return nil, "", errNotFound{fmt.Sprintf("figure wants a number 1-18, got %q", id)}
+		}
+		// Figures are distributions over the raw events; force the lazy as-of
+		// event set so a segment read error surfaces as a 500, not a panic.
+		if err := res.MaterializeEvents(); err != nil {
+			return nil, "", err
 		}
 		switch n {
 		case 1:

@@ -1,0 +1,65 @@
+package timeline_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/timeline"
+)
+
+// BenchmarkAsOf measures a time-travel query at the head of a fully sealed
+// log, checkpointed (one checkpoint per segment, so a query replays only the
+// tail) versus cold (no checkpoints: every query replays every segment).
+// The acceptance gate is checkpointed >= 10x faster than cold replay; the
+// recorded baselines live in BENCH_analysis.json.
+func BenchmarkAsOf(b *testing.B) {
+	study, batch := studyFixture(b)
+	events := batch.Events
+	var last time.Time
+	for i := range events {
+		if events[i].Time.After(last) {
+			last = events[i].Time
+		}
+	}
+	cut := last.Add(time.Hour)
+
+	for _, mode := range []struct {
+		name string
+		ckpt int
+	}{
+		{"checkpointed", 1},
+		{"cold", -1},
+	} {
+		fs := fault.NewSimFS(1, fault.Profile{})
+		st := openStore(b, fs)
+		eng, err := study.OpenTimeline("tl", st, timeline.Config{FS: fs, CheckpointEvery: mode.ckpt})
+		if err != nil {
+			b.Fatal(err)
+		}
+		const chunks = 16
+		per := (len(events) + chunks - 1) / chunks
+		for i := 0; i < len(events); i += per {
+			end := min(i+per, len(events))
+			appendCommit(b, st, events[i:end])
+			if _, err := eng.Seal(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v, err := eng.AsOf(cut)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v.EventCount() != len(events) {
+					b.Fatalf("as-of view holds %d events, want %d", v.EventCount(), len(events))
+				}
+			}
+		})
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

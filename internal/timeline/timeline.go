@@ -1,0 +1,444 @@
+// Package timeline is the time-travel query engine layered on the event
+// store: it seals committed events into immutable time-partitioned segment
+// files, writes periodic snapshot checkpoints of the lifecycle and scan-stat
+// aggregates, and answers as-of queries — "what did the study know at time
+// t?" — in time proportional to the events since the nearest checkpoint
+// instead of a full log replay.
+//
+// # Design
+//
+// The store appends events in arrival order, which is not event-time order:
+// a sensor can deliver an event hours after it happened. The engine
+// therefore never assumes segments partition event time. Instead:
+//
+//   - Seal cuts are taken in arrival order from the store's *committed*
+//     per-shard prefixes (Store.CommittedEvents), so a sealed segment never
+//     contains an event a crash-recovered store would lack. Each segment is
+//     internally time-sorted and records its min/max event time; segments
+//     may overlap in time.
+//   - A checkpoint over the first k segments records cut = the maximum event
+//     time across those segments, and an aggregate covering all their
+//     events. Because the aggregate is a commutative monoid (order- and
+//     batch-insensitive), this is exact for any arrival order.
+//   - AsOf(t) picks the newest checkpoint with cut <= t, then replays only
+//     the delta: events in (cut, t] from checkpointed segments (usually
+//     none — their max times are <= cut), events <= t from newer segments,
+//     and the store's unsealed committed-and-published tail. Segments whose
+//     min time exceeds t are skipped without touching the file.
+//
+// All files become visible only by renaming a fully fsynced temp file, so
+// recovery is: list the directory, delete stranded *.tmp, trust every *.seg,
+// and drop any checkpoint that fails to parse (costing replay time, never
+// answers). The whole engine runs on a fault.FS and is exercised under
+// fault.SimFS crash profiles in its tests.
+package timeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/eventstore"
+	"repro/internal/fault"
+	"repro/internal/ids"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Dir is the segment/checkpoint directory.
+	Dir string
+	// FS is the filesystem to run on; nil means the real one.
+	FS fault.FS
+	// Store is the event store segments are sealed from.
+	Store *eventstore.Store
+	// RulePub maps rule SIDs to publication times; it parameterizes the
+	// lifecycle aggregate (FixReady evidence) and must match what the batch
+	// study uses (Study.RulePublications).
+	RulePub map[int]time.Time
+	// SegmentEvents is the seal threshold: Tick seals a segment once this
+	// many committed events are unsealed. 0 means 4096; the cap is 65536 so
+	// per-segment index frames stay well under the record size limit.
+	SegmentEvents int
+	// CheckpointEvery writes a checkpoint after every N new segments.
+	// 0 means every segment (N=1); negative disables checkpoints entirely
+	// (every as-of query replays the full log — the cold baseline).
+	CheckpointEvery int
+}
+
+const (
+	defaultSegmentEvents = 4096
+	maxSegmentEvents     = 65536
+	aggCacheSize         = 4
+)
+
+// Engine seals segments, maintains checkpoints, and serves as-of views.
+// All methods are safe for concurrent use; queries never block sealing.
+type Engine struct {
+	fs      fault.FS
+	dir     string
+	store   *eventstore.Store
+	rulePub map[int]time.Time
+	segSize int
+	ckEvery int
+
+	mu            sync.RWMutex
+	segments      []*segmentMeta
+	checkpoints   []*ckptMeta
+	sealed        []int64 // cumulative per-shard sealed counts (newest segment's header)
+	maxSealedTime time.Time
+	sinceCkpt     int
+
+	aggMu    sync.Mutex
+	aggCache map[uint64]*Aggregate // checkpoint seq -> aggregate, small LRU-ish
+}
+
+// Metrics is a point-in-time summary for the /metrics endpoint.
+type Metrics struct {
+	Segments         int
+	SealedEvents     int64
+	SealedBytes      int64
+	Checkpoints      int
+	CheckpointEvents int64     // events covered by the newest checkpoint
+	CheckpointAt     time.Time // wall time the newest checkpoint was written; zero if none
+}
+
+// Open attaches an engine to dir, recovering sealed state: stranded *.tmp
+// files from interrupted seals are removed, segments are loaded and
+// validated against each other and the store, and unreadable checkpoints
+// are discarded so queries fall back to the previous one.
+func Open(cfg Config) (*Engine, error) {
+	fs := cfg.FS
+	if fs == nil {
+		fs = fault.OS
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("timeline: Config.Store is required")
+	}
+	segSize := cfg.SegmentEvents
+	if segSize <= 0 {
+		segSize = defaultSegmentEvents
+	}
+	if segSize > maxSegmentEvents {
+		segSize = maxSegmentEvents
+	}
+	ckEvery := cfg.CheckpointEvery
+	if ckEvery == 0 {
+		ckEvery = 1
+	}
+	e := &Engine{
+		fs:       fs,
+		dir:      cfg.Dir,
+		store:    cfg.Store,
+		rulePub:  cfg.RulePub,
+		segSize:  segSize,
+		ckEvery:  ckEvery,
+		aggCache: map[uint64]*Aggregate{},
+	}
+	if err := fs.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("timeline: %w", err)
+	}
+	names, err := fs.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("timeline: %w", err)
+	}
+	var segPaths, ckptPaths []string
+	for _, name := range names {
+		path := e.dir + "/" + name
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// A crash between write and rename strands a temp file; it was
+			// never visible, so deleting it is the whole recovery story.
+			if err := fs.Remove(path); err != nil {
+				return nil, fmt.Errorf("timeline: removing stranded %s: %w", name, err)
+			}
+		case strings.HasSuffix(name, ".seg"):
+			segPaths = append(segPaths, path)
+		case strings.HasSuffix(name, ".ck"):
+			ckptPaths = append(ckptPaths, path)
+		}
+	}
+	for _, path := range segPaths {
+		raw, err := fs.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("timeline: %w", err)
+		}
+		m, err := parseSegment(path, raw)
+		if err != nil {
+			return nil, err
+		}
+		e.segments = append(e.segments, m)
+	}
+	sort.Slice(e.segments, func(i, j int) bool { return e.segments[i].Seq < e.segments[j].Seq })
+	for i, m := range e.segments {
+		if m.Seq != uint64(i) {
+			return nil, fmt.Errorf("timeline: segment sequence gap: have %s at position %d", m.path, i)
+		}
+		if m.Count > 0 && m.MaxTime.After(e.maxSealedTime) {
+			e.maxSealedTime = m.MaxTime
+		}
+		e.sealed = m.SealedCounts
+	}
+	if err := e.checkStoreCoverage(); err != nil {
+		return nil, err
+	}
+	for _, path := range ckptPaths {
+		raw, err := fs.ReadFile(path)
+		if err != nil {
+			continue // unreadable checkpoint: fall back, don't fail
+		}
+		meta, agg, err := parseCheckpoint(path, raw)
+		if err != nil || meta.K > len(e.segments) {
+			// Corrupt, or it references segments we don't have (possible
+			// only under storage reordering of the two renames). Either
+			// way it is not trustworthy; drop it and fall back.
+			fs.Remove(path)
+			continue
+		}
+		e.checkpoints = append(e.checkpoints, meta)
+		e.cacheAggregate(meta.Seq, agg)
+	}
+	sort.Slice(e.checkpoints, func(i, j int) bool { return e.checkpoints[i].Seq < e.checkpoints[j].Seq })
+	if n := len(e.checkpoints); n > 0 {
+		e.sinceCkpt = len(e.segments) - e.checkpoints[n-1].K
+	} else {
+		e.sinceCkpt = len(e.segments)
+	}
+	return e, nil
+}
+
+// checkStoreCoverage verifies the store still holds every event the
+// timeline sealed. Sealing only covers committed prefixes, so this can fail
+// only if the store directory was lost or swapped — which must be loud.
+func (e *Engine) checkStoreCoverage() error {
+	if e.sealed == nil {
+		return nil
+	}
+	committed := e.store.CommittedEvents()
+	if len(committed) != len(e.sealed) {
+		return fmt.Errorf("timeline: store has %d shards but segments were sealed from %d; store and timeline directories are mismatched", len(committed), len(e.sealed))
+	}
+	for i, n := range e.sealed {
+		if int64(len(committed[i])) < n {
+			return fmt.Errorf("timeline: store shard %d has %d committed events but %d are sealed; store lost data after sealing", i, len(committed[i]), n)
+		}
+	}
+	return nil
+}
+
+// Tick seals a segment if at least Config.SegmentEvents committed events are
+// unsealed, then writes a checkpoint if one is due. It reports whether a
+// segment was sealed. The daemon calls this periodically; tests call Seal
+// directly for exact control.
+func (e *Engine) Tick() (bool, error) {
+	e.mu.RLock()
+	sealed := e.sealed
+	e.mu.RUnlock()
+	pending := 0
+	for i, shard := range e.store.CommittedEvents() {
+		n := len(shard)
+		if sealed != nil && i < len(sealed) {
+			n -= int(sealed[i])
+		}
+		pending += n
+	}
+	if pending < e.segSize {
+		return false, nil
+	}
+	return e.Seal()
+}
+
+// Seal cuts every committed-but-unsealed event into one new segment file and
+// writes a checkpoint if one is due. It reports whether a segment was
+// written (false when nothing is pending). Seals are serialized; queries
+// proceed concurrently against the previous state until the new segment is
+// durably renamed in.
+func (e *Engine) Seal() (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	committed := e.store.CommittedEvents()
+	if e.sealed != nil && len(committed) != len(e.sealed) {
+		return false, fmt.Errorf("timeline: store shard count changed (%d -> %d)", len(e.sealed), len(committed))
+	}
+	var batch []ids.Event
+	counts := make([]int64, len(committed))
+	for i, shard := range committed {
+		from := int64(0)
+		if e.sealed != nil {
+			from = e.sealed[i]
+		}
+		counts[i] = int64(len(shard))
+		batch = append(batch, shard[from:]...)
+	}
+	if len(batch) == 0 {
+		return false, nil
+	}
+	eventstore.SortEvents(batch)
+
+	seq := uint64(len(e.segments))
+	path := e.dir + "/" + segmentName(seq)
+	tmp := e.dir + "/" + fmt.Sprintf("segment-%06d.tmp", seq)
+	data := encodeSegment(seq, counts, batch)
+	if err := writeFileAtomic(e.fs, tmp, path, data); err != nil {
+		return false, fmt.Errorf("timeline: sealing segment %d: %w", seq, err)
+	}
+	m, err := parseSegment(path, data)
+	if err != nil {
+		return false, err
+	}
+	e.segments = append(e.segments, m)
+	e.sealed = counts
+	if m.MaxTime.After(e.maxSealedTime) {
+		e.maxSealedTime = m.MaxTime
+	}
+	e.sinceCkpt++
+
+	if e.ckEvery > 0 && e.sinceCkpt >= e.ckEvery {
+		if err := e.writeCheckpointLocked(); err != nil {
+			// The segment is durable and counted; the checkpoint will be
+			// retried after the next seal. Queries fall back meanwhile.
+			return true, fmt.Errorf("timeline: checkpoint after segment %d: %w", seq, err)
+		}
+	}
+	return true, nil
+}
+
+// Checkpoint forces a checkpoint covering every sealed segment now,
+// regardless of CheckpointEvery. No-op if one already covers them all.
+func (e *Engine) Checkpoint() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n := len(e.checkpoints); len(e.segments) == 0 ||
+		(n > 0 && e.checkpoints[n-1].K == len(e.segments)) {
+		return nil
+	}
+	return e.writeCheckpointLocked()
+}
+
+// writeCheckpointLocked builds and durably writes a checkpoint covering all
+// current segments. Builds are incremental: start from the newest existing
+// checkpoint's aggregate and fold in only the segments (and late events)
+// past its cut. Caller holds e.mu.
+func (e *Engine) writeCheckpointLocked() error {
+	k := len(e.segments)
+	cut := e.maxSealedTime
+	agg := NewAggregate()
+	prevK := 0
+	var prevCut time.Time
+	hasPrev := false
+	if n := len(e.checkpoints); n > 0 {
+		prev := e.checkpoints[n-1]
+		pa, err := e.loadAggregate(prev)
+		if err != nil {
+			return err
+		}
+		agg = pa.Clone()
+		prevK, prevCut, hasPrev = prev.K, prev.Cut, true
+	}
+	fold := func(ev ids.Event) error {
+		agg.AddOne(ev, e.rulePub)
+		return nil
+	}
+	for i, m := range e.segments {
+		var err error
+		if hasPrev && i < prevK {
+			// Already covered up to prevCut; only late events count.
+			err = m.scanRange(e.fs, true, prevCut, cut, fold)
+		} else {
+			err = m.scanRange(e.fs, false, time.Time{}, cut, fold)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	seq := uint64(len(e.checkpoints))
+	if n := len(e.checkpoints); n > 0 {
+		seq = e.checkpoints[n-1].Seq + 1
+	}
+	path := e.dir + "/" + checkpointName(seq)
+	tmp := e.dir + "/" + fmt.Sprintf("ckpt-%06d.tmp", seq)
+	writtenAt := time.Now().UTC()
+	data := encodeCheckpoint(seq, k, cut, writtenAt, agg)
+	if err := writeFileAtomic(e.fs, tmp, path, data); err != nil {
+		return err
+	}
+	e.checkpoints = append(e.checkpoints, &ckptMeta{
+		Seq: seq, K: k, Cut: cut, WrittenAt: writtenAt,
+		SizeBytes: int64(len(data)), path: path,
+	})
+	e.cacheAggregate(seq, agg)
+	e.sinceCkpt = 0
+	return nil
+}
+
+func (e *Engine) cacheAggregate(seq uint64, agg *Aggregate) {
+	e.aggMu.Lock()
+	defer e.aggMu.Unlock()
+	e.aggCache[seq] = agg
+	for len(e.aggCache) > aggCacheSize {
+		lowest := seq
+		for s := range e.aggCache {
+			if s < lowest {
+				lowest = s
+			}
+		}
+		delete(e.aggCache, lowest)
+	}
+}
+
+// loadAggregate returns the aggregate for a checkpoint, from cache or disk.
+func (e *Engine) loadAggregate(c *ckptMeta) (*Aggregate, error) {
+	e.aggMu.Lock()
+	agg, ok := e.aggCache[c.Seq]
+	e.aggMu.Unlock()
+	if ok {
+		return agg, nil
+	}
+	raw, err := e.fs.ReadFile(c.path)
+	if err != nil {
+		return nil, fmt.Errorf("timeline: %w", err)
+	}
+	meta, agg, err := parseCheckpoint(c.path, raw)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Seq != c.Seq || meta.K != c.K {
+		return nil, fmt.Errorf("timeline: %s changed identity on disk (seq %d k %d, expected seq %d k %d)", c.path, meta.Seq, meta.K, c.Seq, c.K)
+	}
+	e.cacheAggregate(c.Seq, agg)
+	return agg, nil
+}
+
+// Metrics reports sealing and checkpoint state for monitoring.
+func (e *Engine) Metrics() Metrics {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	m := Metrics{Segments: len(e.segments), Checkpoints: len(e.checkpoints)}
+	for _, s := range e.segments {
+		m.SealedEvents += int64(s.Count)
+		m.SealedBytes += s.SizeBytes
+	}
+	if n := len(e.checkpoints); n > 0 {
+		m.CheckpointAt = e.checkpoints[n-1].WrittenAt
+		if agg, err := e.loadAggregateRLocked(e.checkpoints[n-1]); err == nil {
+			m.CheckpointEvents = int64(agg.EventCount())
+		}
+	}
+	return m
+}
+
+// loadAggregateRLocked is loadAggregate for callers holding only e.mu.RLock
+// (loadAggregate itself takes no engine lock, just the cache mutex).
+func (e *Engine) loadAggregateRLocked(c *ckptMeta) (*Aggregate, error) {
+	return e.loadAggregate(c)
+}
+
+// SegmentCount reports the number of sealed segments.
+func (e *Engine) SegmentCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.segments)
+}

@@ -1,0 +1,297 @@
+package timeline
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eventstore"
+	"repro/internal/ids"
+	"repro/internal/lifecycle"
+)
+
+// View is the study's state as of a fixed time t: every event with
+// Event.Time <= t, regardless of when it arrived. The aggregate (stats and
+// lifecycle timelines) is computed eagerly at AsOf time from a checkpoint
+// plus its delta; the raw event list is materialized only if Events is
+// called, since tables and lifecycles never need it.
+type View struct {
+	t   time.Time
+	eng *Engine
+	agg *Aggregate
+
+	// Snapshot of engine state at AsOf time, so the view stays consistent
+	// while new segments seal underneath it.
+	segs   []*segmentMeta
+	sealed []int64
+	tail   []ids.Event // unsealed published events with Time <= t
+
+	// replayed counts the delta events folded in on top of the checkpoint —
+	// the work AsOf actually did, surfaced for tests and logging.
+	replayed int
+	ckptSeq  uint64
+	hasCkpt  bool
+
+	eventsOnce sync.Once
+	events     []ids.Event
+	eventsErr  error
+}
+
+// AsOf returns the view of the log at time t. Cost is proportional to the
+// events after the nearest checkpoint at or before t (plus the unsealed
+// tail), not the full log.
+func (e *Engine) AsOf(t time.Time) (*View, error) {
+	e.mu.RLock()
+	segs := e.segments[:len(e.segments):len(e.segments)]
+	ckpts := e.checkpoints[:len(e.checkpoints):len(e.checkpoints)]
+	sealed := e.sealed
+	e.mu.RUnlock()
+
+	v := &View{t: t, eng: e, segs: segs, sealed: sealed}
+
+	// Newest checkpoint whose cut is at or before t. Its aggregate covers
+	// segments [0..K) completely (cut is their max event time).
+	var ckpt *ckptMeta
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		if !ckpts[i].Cut.After(t) {
+			ckpt = ckpts[i]
+			break
+		}
+	}
+	agg := NewAggregate()
+	prevK := 0
+	var prevCut time.Time
+	hasPrev := false
+	if ckpt != nil {
+		base, err := e.loadAggregate(ckpt)
+		if err != nil {
+			return nil, err
+		}
+		agg = base.Clone()
+		prevK, prevCut, hasPrev = ckpt.K, ckpt.Cut, true
+		v.ckptSeq, v.hasCkpt = ckpt.Seq, true
+	}
+
+	fold := func(ev ids.Event) error {
+		agg.AddOne(ev, e.rulePub)
+		v.replayed++
+		return nil
+	}
+	for i, m := range segs {
+		var err error
+		if hasPrev && i < prevK {
+			// Covered through prevCut; only late events in (prevCut, t]
+			// remain — usually none, and skipped on metadata alone.
+			err = m.scanRange(e.fs, true, prevCut, t, fold)
+		} else {
+			err = m.scanRange(e.fs, false, time.Time{}, t, fold)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Unsealed tail: published events beyond the sealed counts. Published
+	// slices are immutable prefixes, so this is safe without store locks.
+	for i, shard := range e.store.PublishedEvents() {
+		from := 0
+		if sealed != nil && i < len(sealed) {
+			from = int(sealed[i])
+		}
+		if from > len(shard) {
+			from = len(shard)
+		}
+		for _, ev := range shard[from:] {
+			if ev.Time.After(t) {
+				continue
+			}
+			v.tail = append(v.tail, ev)
+			if err := fold(ev); err != nil {
+				return nil, err
+			}
+		}
+	}
+	v.agg = agg
+	return v, nil
+}
+
+// Time returns the as-of instant.
+func (v *View) Time() time.Time { return v.t }
+
+// Replayed reports how many events were folded in beyond the checkpoint —
+// the incremental work this view cost.
+func (v *View) Replayed() int { return v.replayed }
+
+// EventCount returns the number of events in the view.
+func (v *View) EventCount() int { return v.agg.EventCount() }
+
+// Stats returns the scan statistics as of the view's time. Sessions and
+// packet counters are zero: the log records attributed events, not raw
+// traffic, matching wayback.ResultsFromEvents.
+func (v *View) Stats() ids.ScanStats { return v.agg.Stats.Stats() }
+
+// Timelines returns the per-CVE lifecycle timelines as of the view's time —
+// identical to running the batch pipeline over only the events with
+// Time <= t.
+func (v *View) Timelines() []lifecycle.Timeline { return v.agg.Life.Timelines() }
+
+// Events materializes every event in the view, canonically ordered
+// (eventstore.SortEvents). This is the slow path — figure endpoints need
+// the raw distribution — and is computed once per view, on demand.
+func (v *View) Events() ([]ids.Event, error) {
+	v.eventsOnce.Do(func() {
+		var out []ids.Event
+		collect := func(ev ids.Event) error {
+			out = append(out, ev)
+			return nil
+		}
+		for _, m := range v.segs {
+			if err := m.scanRange(v.eng.fs, false, time.Time{}, v.t, collect); err != nil {
+				v.eventsErr = err
+				return
+			}
+		}
+		out = append(out, v.tail...)
+		eventstore.SortEvents(out)
+		v.events = out
+	})
+	return v.events, v.eventsErr
+}
+
+// CVEEvents returns only the named CVE's events with Time <= t, canonically
+// ordered. Segments whose bloom filter rules the CVE out are skipped
+// without being read.
+func (v *View) CVEEvents(cve string) ([]ids.Event, error) {
+	var out []ids.Event
+	collect := func(ev ids.Event) error {
+		out = append(out, ev)
+		return nil
+	}
+	for _, m := range v.segs {
+		if err := m.scanCVE(v.eng.fs, cve, v.t, collect); err != nil {
+			return nil, err
+		}
+	}
+	for _, ev := range v.tail {
+		if ev.CVE == cve {
+			out = append(out, ev)
+		}
+	}
+	eventstore.SortEvents(out)
+	return out, nil
+}
+
+// EventChange describes one lifecycle event's movement between two views.
+type EventChange struct {
+	Type EventType `json:"type"`
+	// Letter is the paper's single-letter name for the event (V F D P X A).
+	Letter string     `json:"letter"`
+	From   *time.Time `json:"from,omitempty"` // nil when unknown at the from time
+	To     *time.Time `json:"to,omitempty"`   // nil when unknown at the to time
+}
+
+// EventType aliases lifecycle.EventType for JSON-facing diff output.
+type EventType = lifecycle.EventType
+
+// CVEDiff is one CVE's lifecycle delta between two as-of views.
+type CVEDiff struct {
+	CVE string `json:"cve"`
+	// New marks a CVE with no attributed events at the from time.
+	New bool `json:"new,omitempty"`
+	// EventsFrom/EventsTo are attributed exploit-event volumes.
+	EventsFrom int `json:"events_from"`
+	EventsTo   int `json:"events_to"`
+	// Changed lists lifecycle events that appeared or moved.
+	Changed []EventChange `json:"changed,omitempty"`
+}
+
+// DiffTimelines compares two sets of lifecycle timelines (from earlier and
+// later views) and reports, per CVE, which lifecycle events appeared or
+// moved and how the attributed event volume grew. CVEs with no change are
+// omitted; the result is sorted by CVE.
+func DiffTimelines(from, to []lifecycle.Timeline) []CVEDiff {
+	prev := make(map[string]*lifecycle.Timeline, len(from))
+	for i := range from {
+		prev[from[i].CVE] = &from[i]
+	}
+	var out []CVEDiff
+	for i := range to {
+		tl := &to[i]
+		p := prev[tl.CVE]
+		d := CVEDiff{CVE: tl.CVE, EventsTo: tl.EventCount}
+		if p == nil {
+			d.New = true
+		} else {
+			d.EventsFrom = p.EventCount
+		}
+		for et := lifecycle.EventType(0); int(et) < len(tl.Events); et++ {
+			toAt, toKnown := tl.Get(et)
+			var fromAt time.Time
+			fromKnown := false
+			if p != nil {
+				fromAt, fromKnown = p.Get(et)
+			}
+			if toKnown == fromKnown && (!toKnown || toAt.Equal(fromAt)) {
+				continue
+			}
+			ch := EventChange{Type: et, Letter: et.Letter()}
+			if fromKnown {
+				at := fromAt
+				ch.From = &at
+			}
+			if toKnown {
+				at := toAt
+				ch.To = &at
+			}
+			d.Changed = append(d.Changed, ch)
+		}
+		if d.New || len(d.Changed) > 0 || d.EventsTo != d.EventsFrom {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CVE < out[j].CVE })
+	return out
+}
+
+// SkillPoint is one sample of the disclosure skill score over time.
+type SkillPoint struct {
+	Date      time.Time `json:"date"`
+	CVEs      int       `json:"cves"`
+	Events    int       `json:"events"`
+	MeanSkill float64   `json:"mean_skill"`
+	Skillful  int       `json:"skillful"`
+}
+
+// SkillSeries evaluates the paper's coordination-skill score (Table 4's
+// mean skill against the published baselines) at each step between from and
+// to inclusive — the "how did measured skill evolve as evidence accrued"
+// series. Each sample is an as-of query, so a well-checkpointed log makes
+// the whole sweep cheap.
+func (e *Engine) SkillSeries(from, to time.Time, step time.Duration) ([]SkillPoint, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("timeline: skill series step must be positive")
+	}
+	if to.Before(from) {
+		return nil, fmt.Errorf("timeline: skill series range is inverted")
+	}
+	baselines := core.PublishedBaselines()
+	var out []SkillPoint
+	for t := from; !t.After(to); t = t.Add(step) {
+		v, err := e.AsOf(t)
+		if err != nil {
+			return nil, err
+		}
+		tls := v.Timelines()
+		res := core.EvaluateDesiderata(tls, baselines)
+		out = append(out, SkillPoint{
+			Date:      t,
+			CVEs:      len(tls),
+			Events:    v.EventCount(),
+			MeanSkill: core.MeanSkill(res),
+			Skillful:  core.SkillfulCount(res),
+		})
+	}
+	return out, nil
+}

@@ -23,7 +23,7 @@ func (r *Results) DisclosureArtifacts() ([]*artifacts.Artifact, error) {
 // publication — the inputs to the paper's Section 3.2 manual root-cause
 // review.
 func (r *Results) AuditLeadingMatches(rulePub map[int]time.Time) []ids.LeadingMatch {
-	return ids.AuditLeadingMatches(r.Events, rulePub)
+	return ids.AuditLeadingMatches(r.events(), rulePub)
 }
 
 // TransferScan runs the Finding-19 transferability detector over the study's

@@ -18,6 +18,7 @@ package wayback
 import (
 	"bytes"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -129,6 +130,35 @@ type Results struct {
 	KEV datasets.KEVCatalog
 
 	baselines map[core.Pair]float64
+
+	// eventsFn lazily materializes Events for Results built from an as-of
+	// view: tables and lifecycles come from checkpointed aggregates, so the
+	// raw event set is only loaded if a figure (or Table 5) needs the
+	// distribution. Guarded by eventsOnce; see events().
+	eventsFn   func() ([]ids.Event, error)
+	eventsOnce sync.Once
+	eventsErr  error
+}
+
+// events returns the event set, materializing it on first use when this
+// Results was built lazily (ResultsFromView). Safe for concurrent use — the
+// daemon serves one cached Results to many requests. A load failure leaves
+// the set empty; MaterializeEvents surfaces the error to callers that can
+// report it.
+func (r *Results) events() []ids.Event {
+	r.eventsOnce.Do(func() {
+		if r.Events == nil && r.eventsFn != nil {
+			r.Events, r.eventsErr = r.eventsFn()
+		}
+	})
+	return r.Events
+}
+
+// MaterializeEvents forces the lazy event set and reports any load error.
+// Results built eagerly (Run, ResultsFromEvents) always return nil.
+func (r *Results) MaterializeEvents() error {
+	r.events()
+	return r.eventsErr
 }
 
 // Run generates the workload, captures it, runs the IDS, and assembles
@@ -187,7 +217,7 @@ func newResults(cfg Config) *Results {
 // study configuration, and the KEV comparison catalog.
 func (r *Results) finish(s *Study) {
 	if s.cfg.PipelineTimelines {
-		r.Timelines = lifecycle.FromPipeline(r.Events, s.ruleset)
+		r.Timelines = lifecycle.FromPipeline(r.events(), s.ruleset)
 	} else {
 		r.Timelines = lifecycle.StudyTimelines()
 	}
@@ -231,7 +261,7 @@ func (r *Results) Table5() report.Table {
 
 // Table5Results returns the raw Table 5 rows.
 func (r *Results) Table5Results() []core.DesideratumResult {
-	return core.EvaluatePerEvent(r.Events, r.Timelines, r.baselines)
+	return core.EvaluatePerEvent(r.events(), r.Timelines, r.baselines)
 }
 
 // Table6 renders the Log4Shell variant table.
@@ -263,12 +293,12 @@ func (r *Results) Figure2() []report.Series {
 
 // Figure3 is the absolute exploit-event timeline (30-day bins).
 func (r *Results) Figure3() *stats.Histogram {
-	return core.EventTimeline(r.Events, 30, datasets.StudyWindow.Start, datasets.StudyWindow.End)
+	return core.EventTimeline(r.events(), 30, datasets.StudyWindow.Start, datasets.StudyWindow.End)
 }
 
 // Figure4 is the publication-relative event timeline (15-day bins).
 func (r *Results) Figure4() *stats.Histogram {
-	return core.RelativeEventTimeline(r.Events, r.Timelines, 15, -450, 450)
+	return core.RelativeEventTimeline(r.events(), r.Timelines, 15, -450, 450)
 }
 
 // Figure5 returns the three headline window CDFs (A−D, P−D, A−P).
@@ -285,22 +315,22 @@ func (r *Results) Figures13to18() []core.WindowCDF {
 
 // Figure6 is the mitigated/unmitigated CVE-per-bin histogram.
 func (r *Results) Figure6() core.ExposureBins {
-	return core.ExposureByBin(r.Events, r.Timelines, 5, -50, 200)
+	return core.ExposureByBin(r.events(), r.Timelines, 5, -50, 200)
 }
 
 // Figure7 is the mitigated/unmitigated cumulative exposure CDF.
 func (r *Results) Figure7() core.ExposureCDFs {
-	return core.ExposureCDF(r.Events, r.Timelines)
+	return core.ExposureCDF(r.events(), r.Timelines)
 }
 
 // Figure8 is the Log4Shell session CDF.
 func (r *Results) Figure8() core.SessionCDF {
-	return core.CaseStudyCDF(r.Events, "2021-44228", datasets.Log4ShellPublished)
+	return core.CaseStudyCDF(r.events(), "2021-44228", datasets.Log4ShellPublished)
 }
 
 // Figure9 is the Log4Shell variant-group series over the first month.
 func (r *Results) Figure9() []core.VariantSeries {
-	return core.Log4ShellVariantSeries(r.Events, 21)
+	return core.Log4ShellVariantSeries(r.events(), 21)
 }
 
 // Figure10 is the KEV A−P CDF.
@@ -318,7 +348,7 @@ func (r *Results) Figure11() report.Series {
 // Figure12 is the Confluence session CDF.
 func (r *Results) Figure12() core.SessionCDF {
 	meta := datasets.StudyCVEByID("2022-26134")
-	return core.CaseStudyCDF(r.Events, "2022-26134", meta.Published)
+	return core.CaseStudyCDF(r.events(), "2022-26134", meta.Published)
 }
 
 // ---- Findings ----
@@ -337,7 +367,7 @@ func (r *Results) KEVComparison() core.KEVComparison {
 
 // MitigatedShare is the Section 6 headline exposure number.
 func (r *Results) MitigatedShare() float64 {
-	return core.MitigatedShare(r.Events, r.Timelines)
+	return core.MitigatedShare(r.events(), r.Timelines)
 }
 
 // MeanSkill is Finding 3's headline.
