@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/datasets"
+	"repro/internal/netsim"
 	"repro/internal/rules"
 	"repro/internal/scanner"
 )
@@ -28,6 +29,7 @@ func run(args []string) error {
 	out := fs.String("out", "data", "output directory")
 	seed := fs.Int64("seed", 1, "generator seed")
 	popN := fs.Int("population", 50000, "synthetic all-CVE population size")
+	sigN := fs.Int("signatures", 0, "also write signatures.rules, a Talos-scale synthetic corpus with this many rules (0 = skip)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,6 +76,22 @@ func run(args []string) error {
 	// loss (the rendered Appendix E table truncates descriptions).
 	if err := datasets.WriteStudyCSV(csvFile, datasets.StudyCVEs()); err != nil {
 		return err
+	}
+
+	if *sigN > 0 {
+		sf, err := os.Create(filepath.Join(*out, "signatures.rules"))
+		if err != nil {
+			return err
+		}
+		defer sf.Close()
+		cfg := netsim.SignatureCorpusConfig{Seed: *seed, N: *sigN}
+		if err := netsim.WriteSignatureCorpus(sf, cfg); err != nil {
+			return err
+		}
+		if err := sf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote signatures.rules (%d synthetic rules)\n", *sigN)
 	}
 
 	fmt.Printf("wrote kev.json (%d entries), population.json (%d CVEs), study.rules (%d rules), appendixE.csv (63 rows) to %s\n",

@@ -11,6 +11,13 @@
 //	waybackctl [flags] all -out DIR       # every table/figure as CSV
 //	waybackctl [flags] replay FILE        # scan a pcap/pcapng capture with the dated ruleset
 //	waybackctl [flags] asof -store DIR [-date D] [summary|table N|figure N|diff A B|skill A B [DAYS]]
+//	waybackctl [flags] rules {publish -file F|show [-full]|rescan} {-addr URL|-dir DIR [-store DIR]}
+//
+// The rules command drives a versioned ruleset registry — publish a dated
+// delta (to a live daemon over /v1/ruleset, or straight into a registry
+// directory that daemons and sensors poll), inspect the current generation,
+// or trigger the retroactive rescan that re-attributes already-ingested
+// history under the earliest-published match.
 //
 // The asof command time-travels a live event store: it opens (or creates) a
 // timeline of sealed segments and checkpoints next to the store and answers
@@ -67,6 +74,9 @@ func run(args []string) error {
 		return asof(fs.Args()[1:], wayback.Config{
 			Seed: *seed, Scale: *scale, PipelineTimelines: *pipeline,
 		})
+	}
+	if fs.Arg(0) == "rules" {
+		return rulesCmd(fs.Args()[1:], wayback.Config{Seed: *seed, Scale: *scale})
 	}
 
 	study, err := wayback.NewStudy(wayback.Config{

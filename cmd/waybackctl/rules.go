@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/rules"
+	"repro/wayback"
+)
+
+// rulesCmd drives the versioned ruleset registry:
+//
+//	waybackctl rules publish -file delta.rules {-addr URL | -dir DIR}
+//	waybackctl rules show [-full] {-addr URL | -dir DIR}
+//	waybackctl rules rescan {-addr URL | -dir DIR -store DIR}
+//
+// With -addr the command talks to a running waybackd over /v1/ruleset — the
+// daemon hot-swaps its matcher and its rescan worker picks up the backlog.
+// With -dir it operates on the registry directory directly: publish appends
+// to the journal (a polling daemon or sensor adopts it within one reload
+// interval), and rescan re-attributes a store offline.
+func rulesCmd(args []string, studyCfg wayback.Config) error {
+	if len(args) == 0 {
+		return errors.New("rules wants a subcommand: publish | show | rescan")
+	}
+	sub, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("rules "+sub, flag.ContinueOnError)
+	addr := fs.String("addr", "", "waybackd base URL (\"http://host:8416\"); live mode")
+	dir := fs.String("dir", "", "registry directory; offline mode")
+	file := fs.String("file", "", "dated ruleset delta for publish (\"-\" = stdin)")
+	full := fs.Bool("full", false, "show: print the full dated ruleset text")
+	storeDir := fs.String("store", "", "event store directory for offline rescan")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if (*addr == "") == (*dir == "") {
+		return errors.New("rules wants exactly one of -addr (live daemon) or -dir (registry directory)")
+	}
+	if *addr != "" {
+		return rulesHTTP(sub, *addr, *file, *full)
+	}
+	return rulesOffline(sub, *dir, *file, *full, *storeDir, studyCfg)
+}
+
+// readDelta loads and parses a dated ruleset delta from -file.
+func readDelta(file string) ([]rules.DatedRule, []byte, error) {
+	if file == "" {
+		return nil, nil, errors.New("publish wants -file (\"-\" = stdin)")
+	}
+	var raw []byte
+	var err error
+	if file == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(file)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	delta, errs := rules.ParseDatedRuleset(bytes.NewReader(raw))
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "waybackctl: ruleset:", e)
+	}
+	if len(errs) > 0 {
+		return nil, nil, fmt.Errorf("delta has %d parse errors", len(errs))
+	}
+	if len(delta) == 0 {
+		return nil, nil, errors.New("delta has no rules")
+	}
+	return delta, raw, nil
+}
+
+// rulesetState mirrors the /v1/ruleset response shape.
+type rulesetState struct {
+	Generation      uint64 `json:"generation"`
+	Rules           int    `json:"rules"`
+	Digests         int64  `json:"digests"`
+	RescanNeeded    bool   `json:"rescan_needed"`
+	RescanPending   int64  `json:"rescan_pending"`
+	RescanDone      int64  `json:"rescan_done"`
+	AmendedSessions int64  `json:"amended_sessions"`
+	Ruleset         string `json:"ruleset,omitempty"`
+}
+
+func (st rulesetState) print(full bool) {
+	fmt.Printf("generation %d, %d rules, %d digests recorded\n", st.Generation, st.Rules, st.Digests)
+	fmt.Printf("rescan: needed=%v pending=%d done=%d, %d sessions amended\n",
+		st.RescanNeeded, st.RescanPending, st.RescanDone, st.AmendedSessions)
+	if full && st.Ruleset != "" {
+		fmt.Print(st.Ruleset)
+	}
+}
+
+func rulesHTTP(sub, addr, file string, full bool) error {
+	client := &http.Client{Timeout: 5 * time.Minute} // rescan is synchronous
+	get := func(path string) (*http.Response, error) { return client.Get(addr + path) }
+	var resp *http.Response
+	var err error
+	switch sub {
+	case "publish":
+		var raw []byte
+		if _, raw, err = readDelta(file); err != nil {
+			return err
+		}
+		resp, err = client.Post(addr+"/v1/ruleset", "text/plain", bytes.NewReader(raw))
+	case "show":
+		path := "/v1/ruleset"
+		if full {
+			path += "?full=1"
+		}
+		resp, err = get(path)
+	case "rescan":
+		resp, err = client.Post(addr+"/v1/ruleset/rescan", "text/plain", nil)
+	default:
+		return fmt.Errorf("unknown rules subcommand %q (publish | show | rescan)", sub)
+	}
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", resp.Request.URL, resp.Status, bytes.TrimSpace(body))
+	}
+	if sub == "rescan" {
+		var st struct {
+			Digests   int          `json:"digests"`
+			Amended   int          `json:"amended"`
+			Additions int          `json:"additions"`
+			Retracted int          `json:"retracted"`
+			Skipped   int          `json:"skipped_truncated"`
+			Ruleset   rulesetState `json:"ruleset"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			return err
+		}
+		fmt.Printf("rescan: %d digests, %d sessions re-attributed (%d additions, %d retracted, %d truncated skipped)\n",
+			st.Digests, st.Amended, st.Additions, st.Retracted, st.Skipped)
+		st.Ruleset.print(false)
+		return nil
+	}
+	var st rulesetState
+	if err := json.Unmarshal(body, &st); err != nil {
+		return err
+	}
+	st.print(full)
+	return nil
+}
+
+func rulesOffline(sub, dir, file string, full bool, storeDir string, studyCfg wayback.Config) error {
+	// The offline registry layers the journal on the same base the daemon
+	// compiles, so generation, rule counts, and rescan labels line up with a
+	// waybackd pointed at the same directory.
+	study, err := wayback.NewStudy(studyCfg)
+	if err != nil {
+		return err
+	}
+	reg, err := registry.Open(registry.Config{
+		Dir:    dir,
+		Base:   study.DatedRuleset(),
+		Engine: study.EngineConfig(),
+	})
+	if err != nil {
+		return err
+	}
+	defer reg.Close()
+
+	state := func() rulesetState {
+		return rulesetState{
+			Generation:    reg.Generation(),
+			Rules:         reg.NumRules(),
+			Digests:       reg.DigestCount(),
+			RescanNeeded:  reg.RescanNeeded(),
+			RescanPending: reg.RescanPending(),
+			RescanDone:    reg.RescanDone(),
+		}
+	}
+	switch sub {
+	case "publish":
+		delta, _, err := readDelta(file)
+		if err != nil {
+			return err
+		}
+		gen, err := reg.Publish(delta)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("published %d rules as generation %d\n", len(delta), gen)
+		state().print(false)
+		return nil
+	case "show":
+		st := state()
+		st.print(false)
+		if full {
+			return rules.WriteDatedRuleset(os.Stdout, reg.Ruleset())
+		}
+		return nil
+	case "rescan":
+		if storeDir == "" {
+			return errors.New("offline rescan wants -store (the event store directory)")
+		}
+		store, err := wayback.OpenStore(storeDir)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		stats, err := reg.Rescan(store)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rescan: %d digests, %d sessions re-attributed (%d additions, %d retracted, %d truncated skipped)\n",
+			stats.Digests, stats.Amended, stats.Additions, stats.Retracted, stats.SkippedCap)
+		state().print(false)
+		return nil
+	default:
+		return fmt.Errorf("unknown rules subcommand %q (publish | show | rescan)", sub)
+	}
+}

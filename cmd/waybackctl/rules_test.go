@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRulesOffline drives the -dir mode end to end: publish a dated delta
+// into a fresh registry directory, show it back, and check the journal
+// survives a second invocation (a new registry open).
+func TestRulesOffline(t *testing.T) {
+	dir := t.TempDir()
+	delta := filepath.Join(dir, "delta.rules")
+	text := "# published: 2021-09-01T00:00:00Z\n" +
+		`alert tcp any any -> any any (msg:"ctl"; content:"ctl-token"; reference:cve,2021-9000; sid:710001; rev:1;)` + "\n"
+	if err := os.WriteFile(delta, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	regDir := filepath.Join(dir, "rules")
+
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+	}()
+
+	for _, args := range [][]string{
+		{"-scale", "2000", "rules", "publish", "-dir", regDir, "-file", delta},
+		{"-scale", "2000", "rules", "show", "-dir", regDir},
+		{"-scale", "2000", "rules", "show", "-dir", regDir, "-full"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+	// The publish journaled durably: the directory has the journal and the
+	// publication left a pending-rescan marker for a daemon to pick up.
+	if _, err := os.Stat(filepath.Join(regDir, "ruleset.journal")); err != nil {
+		t.Errorf("journal missing after publish: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(regDir, "rescan.pending")); err != nil {
+		t.Errorf("rescan marker missing after publish: %v", err)
+	}
+
+	for _, args := range [][]string{
+		{"rules"},                               // missing subcommand
+		{"rules", "show"},                       // neither -addr nor -dir
+		{"rules", "publish", "-dir", regDir},    // missing -file
+		{"rules", "rescan", "-dir", regDir},     // missing -store
+		{"rules", "frobnicate", "-dir", regDir}, // unknown subcommand
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

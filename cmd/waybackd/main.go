@@ -14,6 +14,16 @@
 //	         [-pprof-listen localhost:6060]
 //	         [-timeline tl/] [-timeline-segment 4096] [-timeline-checkpoint 1]
 //	         [-timeline-seal 5s]
+//	         [-rules-dir rules/] [-rules-reload 5s] [-rescan-backlog 0]
+//
+// With -rules-dir the daemon keeps its ruleset in a versioned registry: rule
+// publications appended to the registry journal (POST /v1/ruleset, or
+// waybackctl rules publish) hot-swap the compiled matcher between batches
+// without dropping a session, per-session digests are persisted alongside the
+// events, and a background rescan worker re-attributes already-ingested
+// history under the earliest-published match whenever a publication demands
+// it. -rescan-backlog bounds how many pending digests healthz tolerates
+// before degrading to 503.
 //
 // With -timeline the daemon runs a time-travel engine over the store: a
 // background sealer cuts committed events into immutable time-partitioned
@@ -61,6 +71,7 @@ import (
 	"repro/internal/eventstore"
 	"repro/internal/fleet"
 	"repro/internal/ingest"
+	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/timeline"
 	"repro/wayback"
@@ -78,14 +89,19 @@ func main() {
 type daemon struct {
 	study    *wayback.Study
 	store    *eventstore.Store
-	pipeline *ingest.Pipeline // nil in coordinator-only mode
-	fleet    *fleet.Listener  // nil without -fleet-listen
-	timeline *timeline.Engine // nil without -timeline
+	pipeline *ingest.Pipeline   // nil in coordinator-only mode
+	fleet    *fleet.Listener    // nil without -fleet-listen
+	timeline *timeline.Engine   // nil without -timeline
+	registry *registry.Registry // nil without -rules-dir
 	server   *serve.Server
 
 	sealStop chan struct{}
 	sealDone chan struct{}
 	sealOnce sync.Once
+
+	rulesStop chan struct{}
+	rulesDone chan struct{}
+	rulesOnce sync.Once
 }
 
 type daemonConfig struct {
@@ -111,6 +127,13 @@ type daemonConfig struct {
 	tlSegment    int           // events per sealed segment; 0 = engine default
 	tlCheckpoint int           // checkpoint every N segments; negative = never
 	tlSeal       time.Duration // sealer poll interval; 0 = 5s
+	// rulesDir, when set, enables the versioned ruleset registry: the
+	// publication journal, session digests, and the compiled-automaton cache
+	// live there, the matcher hot-reloads between batches, and the HTTP API
+	// grows /v1/ruleset.
+	rulesDir      string
+	rulesReload   time.Duration // journal poll + rescan worker interval; 0 = 5s
+	rescanBacklog int           // healthz degrades past this many pending digests
 }
 
 func openDaemon(cfg daemonConfig) (*daemon, error) {
@@ -133,9 +156,21 @@ func openDaemon(cfg daemonConfig) (*daemon, error) {
 	if err != nil {
 		return nil, err
 	}
+	var reg *registry.Registry
+	if cfg.rulesDir != "" {
+		reg, err = registry.Open(registry.Config{
+			Dir:    cfg.rulesDir,
+			Base:   study.DatedRuleset(),
+			Engine: study.EngineConfig(),
+		})
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
 	var pipeline *ingest.Pipeline
 	if cfg.watchDir != "" {
-		pipeline, err = ingest.Start(ingest.Config{
+		icfg := ingest.Config{
 			Dir:           cfg.watchDir,
 			Prefix:        cfg.prefix,
 			Engine:        study.Engine(),
@@ -145,8 +180,19 @@ func openDaemon(cfg daemonConfig) (*daemon, error) {
 			BatchSessions: cfg.batch,
 			MatchWorkers:  cfg.workers,
 			DecodeShards:  cfg.reasmShards,
-		})
+		}
+		if reg != nil {
+			// Hot reload: the pipeline consults the registry's live engine
+			// pointer between batches, and records per-session digests so a
+			// later publication can re-attribute history.
+			icfg.EngineSource = reg.Engine
+			icfg.Digests = reg
+		}
+		pipeline, err = ingest.Start(icfg)
 		if err != nil {
+			if reg != nil {
+				reg.Close()
+			}
 			store.Close()
 			return nil, err
 		}
@@ -163,6 +209,9 @@ func openDaemon(cfg daemonConfig) (*daemon, error) {
 			if pipeline != nil {
 				pipeline.Close()
 			}
+			if reg != nil {
+				reg.Close()
+			}
 			store.Close()
 			return nil, err
 		}
@@ -173,6 +222,9 @@ func openDaemon(cfg daemonConfig) (*daemon, error) {
 		}
 		if pipeline != nil {
 			pipeline.Close()
+		}
+		if reg != nil {
+			reg.Close()
 		}
 		store.Close()
 	}
@@ -189,8 +241,10 @@ func openDaemon(cfg daemonConfig) (*daemon, error) {
 	}
 	srvCfg := serve.Config{
 		Study: study, Store: store, Ingest: pipeline,
-		Timeline:   tl,
-		StaleAfter: cfg.staleAfter,
+		Timeline:         tl,
+		StaleAfter:       cfg.staleAfter,
+		Registry:         reg,
+		RescanBacklogMax: cfg.rescanBacklog,
 	}
 	if fl != nil {
 		srvCfg.Fleet = fl
@@ -200,7 +254,7 @@ func openDaemon(cfg daemonConfig) (*daemon, error) {
 		cleanup()
 		return nil, err
 	}
-	d := &daemon{study: study, store: store, pipeline: pipeline, fleet: fl, timeline: tl, server: server}
+	d := &daemon{study: study, store: store, pipeline: pipeline, fleet: fl, timeline: tl, registry: reg, server: server}
 	if tl != nil {
 		interval := cfg.tlSeal
 		if interval <= 0 {
@@ -224,7 +278,58 @@ func openDaemon(cfg daemonConfig) (*daemon, error) {
 			}
 		}()
 	}
+	if reg != nil {
+		interval := cfg.rulesReload
+		if interval <= 0 {
+			interval = 5 * time.Second
+		}
+		d.rulesStop = make(chan struct{})
+		d.rulesDone = make(chan struct{})
+		go func() {
+			defer close(d.rulesDone)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-d.rulesStop:
+					return
+				case <-t.C:
+					// Pick up publications journaled by another process
+					// (waybackctl -dir against the same registry directory);
+					// in-process publishes over HTTP are already live.
+					if _, err := reg.Refresh(); err != nil {
+						fmt.Fprintln(os.Stderr, "waybackd: ruleset:", err)
+						continue
+					}
+					// Rescan worker: any publication — local or remote — that
+					// left a pending marker gets its retroactive
+					// re-attribution here, off the ingest path.
+					if reg.RescanNeeded() {
+						stats, err := reg.Rescan(store)
+						if err != nil {
+							fmt.Fprintln(os.Stderr, "waybackd: rescan:", err)
+							continue
+						}
+						fmt.Printf("waybackd: rescan gen %d: %d digests, %d sessions re-attributed\n",
+							reg.Generation(), stats.Digests, stats.Amended)
+					}
+				}
+			}
+		}()
+	}
 	return d, nil
+}
+
+// stopRules halts the ruleset reload poller and rescan worker. Idempotent;
+// a daemon without a registry makes it a no-op.
+func (d *daemon) stopRules() {
+	d.rulesOnce.Do(func() {
+		if d.rulesStop == nil {
+			return
+		}
+		close(d.rulesStop)
+		<-d.rulesDone
+	})
 }
 
 // stopTimeline halts the background sealer and seals the committed tail into
@@ -248,6 +353,7 @@ func (d *daemon) stopTimeline() error {
 // applied batch has its watermark recorded first), then close the store.
 func (d *daemon) close() error {
 	var err error
+	d.stopRules()
 	if d.pipeline != nil {
 		err = d.pipeline.Close()
 	}
@@ -258,6 +364,11 @@ func (d *daemon) close() error {
 	}
 	if terr := d.stopTimeline(); err == nil {
 		err = terr
+	}
+	if d.registry != nil {
+		if rerr := d.registry.Close(); err == nil {
+			err = rerr
+		}
 	}
 	if cerr := d.store.Close(); err == nil {
 		err = cerr
@@ -287,6 +398,9 @@ func run(args []string) error {
 	tlSegment := fs.Int("timeline-segment", 0, "events per sealed segment (0 = engine default)")
 	tlCheckpoint := fs.Int("timeline-checkpoint", 1, "checkpoint every N sealed segments (negative = never)")
 	tlSeal := fs.Duration("timeline-seal", 5*time.Second, "background sealer poll interval")
+	rulesDir := fs.String("rules-dir", "", "versioned ruleset registry directory (journal, digests, automaton cache); empty = off")
+	rulesReload := fs.Duration("rules-reload", 5*time.Second, "ruleset journal poll + rescan worker interval")
+	rescanBacklog := fs.Int("rescan-backlog", 0, "healthz degrades past this many pending rescan digests (0 = 65536, negative = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -306,6 +420,7 @@ func run(args []string) error {
 		commitInterval: *commitInterval,
 		timelineDir:    *timelineDir,
 		tlSegment:      *tlSegment, tlCheckpoint: *tlCheckpoint, tlSeal: *tlSeal,
+		rulesDir: *rulesDir, rulesReload: *rulesReload, rescanBacklog: *rescanBacklog,
 	})
 	if err != nil {
 		return err
@@ -363,6 +478,7 @@ func run(args []string) error {
 	// redeliver only what was never applied), then stop answering queries
 	// (the last answers see the fully drained store), then close.
 	var drainErr error
+	d.stopRules()
 	if d.pipeline != nil {
 		drainErr = d.pipeline.Close()
 	}
@@ -375,6 +491,11 @@ func run(args []string) error {
 	// durable segments instead of replaying the store.
 	if err := d.stopTimeline(); err != nil && drainErr == nil {
 		drainErr = err
+	}
+	if d.registry != nil {
+		if err := d.registry.Close(); err != nil && drainErr == nil {
+			drainErr = err
+		}
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -20,6 +20,13 @@
 //	              [-codec snappy] [-window 8] [-heartbeat 1s]
 //	              [-prefix dscope] [-poll 100ms] [-flush-idle 2s]
 //	              [-batch 256] [-workers 0]
+//	              [-rules-dir rules/] [-rules-reload 5s]
+//
+// With -rules-dir the sensor hot-reloads its matcher from a versioned
+// ruleset registry: publications appended to the journal (waybackctl rules
+// publish -dir) swap the compiled engine between batches without dropping a
+// session. Digest recording and retroactive rescans stay with the
+// coordinator, which owns the event store.
 //
 // Shutdown (SIGINT/SIGTERM) drains the capture already on disk through
 // matching into the spool, then waits briefly for the coordinator to ack;
@@ -40,6 +47,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/ids"
 	"repro/internal/ingest"
+	"repro/internal/registry"
 	"repro/wayback"
 )
 
@@ -55,6 +63,10 @@ func main() {
 type sensor struct {
 	pipeline *ingest.Pipeline
 	shipper  *fleet.Shipper
+	registry *registry.Registry // nil without -rules-dir
+
+	rulesStop chan struct{}
+	rulesDone chan struct{}
 }
 
 type sensorConfig struct {
@@ -73,7 +85,9 @@ type sensorConfig struct {
 	flushIdle   time.Duration
 	batch       int
 	workers     int
-	reasmShards int // flow-sharded reassembly width; 0 = default
+	reasmShards int           // flow-sharded reassembly width; 0 = default
+	rulesDir    string        // versioned ruleset registry directory; empty = off
+	rulesReload time.Duration // journal poll interval; 0 = 5s
 
 	// test knobs
 	backoffMin     time.Duration
@@ -120,7 +134,19 @@ func openSensor(cfg sensorConfig) (*sensor, error) {
 	if cfg.enforceShardOf && cfg.shards > 1 {
 		sink = &shardSink{inner: shipper, shard: cfg.shard, shards: cfg.shards}
 	}
-	pipeline, err := ingest.Start(ingest.Config{
+	var reg *registry.Registry
+	if cfg.rulesDir != "" {
+		reg, err = registry.Open(registry.Config{
+			Dir:    cfg.rulesDir,
+			Base:   study.DatedRuleset(),
+			Engine: study.EngineConfig(),
+		})
+		if err != nil {
+			shipper.Close()
+			return nil, err
+		}
+	}
+	icfg := ingest.Config{
 		Dir:           cfg.watchDir,
 		Prefix:        cfg.prefix,
 		Engine:        study.Engine(),
@@ -131,13 +157,47 @@ func openSensor(cfg sensorConfig) (*sensor, error) {
 		BatchSessions: cfg.batch,
 		MatchWorkers:  cfg.workers,
 		DecodeShards:  cfg.reasmShards,
-	})
+	}
+	if reg != nil {
+		// Hot reload only: the sensor matches with the registry's live
+		// engine, while digests and retroactive rescans stay with the
+		// coordinator that owns the event store.
+		icfg.EngineSource = reg.Engine
+	}
+	pipeline, err := ingest.Start(icfg)
 	if err != nil {
+		if reg != nil {
+			reg.Close()
+		}
 		shipper.Close()
 		return nil, err
 	}
 	lagSrc.Store(pipeline)
-	return &sensor{pipeline: pipeline, shipper: shipper}, nil
+	s := &sensor{pipeline: pipeline, shipper: shipper, registry: reg}
+	if reg != nil {
+		interval := cfg.rulesReload
+		if interval <= 0 {
+			interval = 5 * time.Second
+		}
+		s.rulesStop = make(chan struct{})
+		s.rulesDone = make(chan struct{})
+		go func() {
+			defer close(s.rulesDone)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.rulesStop:
+					return
+				case <-t.C:
+					if _, err := reg.Refresh(); err != nil {
+						fmt.Fprintln(os.Stderr, "waybacksensor: ruleset:", err)
+					}
+				}
+			}
+		}()
+	}
+	return s, nil
 }
 
 // shardSink drops events that belong to another sensor's address-space
@@ -167,7 +227,16 @@ func (s *shardSink) AppendBatch(events []ids.Event) error {
 // close drains capture into the spool, gives the shipper drainWait to flush
 // acks, then shuts down. Unacked batches stay spooled.
 func (s *sensor) close(drainWait time.Duration) error {
+	if s.rulesStop != nil {
+		close(s.rulesStop)
+		<-s.rulesDone
+	}
 	err := s.pipeline.Close()
+	if s.registry != nil {
+		if rerr := s.registry.Close(); err == nil {
+			err = rerr
+		}
+	}
 	if drainWait > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), drainWait)
 		s.shipper.WaitDrained(ctx)
@@ -198,6 +267,8 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "match workers (0 = GOMAXPROCS)")
 	fs.IntVar(workers, "match-workers", 0, "alias of -workers")
 	reasmShards := fs.Int("reasm-shards", 0, "flow-sharded reassembly width (0 = min(8, GOMAXPROCS))")
+	rulesDir := fs.String("rules-dir", "", "versioned ruleset registry directory to hot-reload from; empty = off")
+	rulesReload := fs.Duration("rules-reload", 5*time.Second, "ruleset journal poll interval")
 	filter := fs.Bool("shard-filter", true, "drop events outside this sensor's shard (lets sensors share one capture)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -215,6 +286,7 @@ func run(args []string) error {
 		codec: *codec, window: *window, heartbeat: *heartbeat,
 		prefix: *prefix, poll: *poll, flushIdle: *flushIdle,
 		batch: *batch, workers: *workers, reasmShards: *reasmShards,
+		rulesDir: *rulesDir, rulesReload: *rulesReload,
 		enforceShardOf: *filter,
 	})
 	if err != nil {

@@ -20,7 +20,15 @@
 // Engine.AsOf answers any table or figure as of an earlier instant in time
 // proportional to the events since the nearest checkpoint — served as
 // ?asof=, /v1/diff and /v1/skill by internal/serve, and as the waybackctl
-// asof subcommand offline. See README.md for the architecture and
+// asof subcommand offline. internal/registry makes the ruleset itself a
+// versioned, hot-reloadable input: publications append dated deltas to a
+// CRC-framed journal, each generation compiles (with an on-disk
+// double-array automaton cache) into an engine the pipelines adopt by
+// RCU-style swap between batches, and per-session digests let a rescan
+// retroactively re-attribute history under earliest-published-match — so
+// the store converges to what a cold run over the final ruleset would have
+// produced (served as /v1/ruleset and the waybackctl rules subcommand).
+// See README.md for the architecture and
 // EXPERIMENTS.md for paper-vs-measured results; bench_test.go regenerates
 // every table and figure of the paper's evaluation.
 package repro

@@ -87,8 +87,22 @@ func appendString16(buf []byte, s string) []byte {
 // decodeEvent decodes one payload. It returns an error (never panics) on
 // any malformed input, since payloads come off disk.
 func decodeEvent(b []byte) (ids.Event, error) {
-	var ev ids.Event
 	d := decoder{b: b}
+	ev := decodeEventFields(&d)
+	if d.err != nil {
+		return ids.Event{}, d.err
+	}
+	if len(d.b) != 0 {
+		return ids.Event{}, fmt.Errorf("eventstore: %d stray bytes after event", len(d.b))
+	}
+	return ev, nil
+}
+
+// decodeEventFields consumes one event's fields from d, leaving any
+// remaining bytes for composite payloads (the amendment log embeds an event
+// before its own fields).
+func decodeEventFields(d *decoder) ids.Event {
+	var ev ids.Event
 	ev.Time = d.time()
 	ev.Src = d.endpoint()
 	ev.Dst = d.endpoint()
@@ -97,13 +111,7 @@ func decodeEvent(b []byte) (ids.Event, error) {
 	ev.CVE = d.string16()
 	ev.Msg = d.string16()
 	ev.Bytes = int(d.u32())
-	if d.err != nil {
-		return ids.Event{}, d.err
-	}
-	if len(d.b) != 0 {
-		return ids.Event{}, fmt.Errorf("eventstore: %d stray bytes after event", len(d.b))
-	}
-	return ev, nil
+	return ev
 }
 
 type decoder struct {
@@ -138,6 +146,14 @@ func (d *decoder) u32() uint32 {
 		return 0
 	}
 	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
 }
 
 func (d *decoder) time() time.Time {

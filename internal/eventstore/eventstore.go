@@ -96,6 +96,14 @@ type Store struct {
 	snapMu sync.Mutex
 	snap   atomic.Pointer[Snapshot]
 
+	// Amendment log state (see amend.go). amendMu serializes appends; the
+	// published slice is lock-free for readers like the shard event slices.
+	amendMu   sync.Mutex
+	amendF    fault.File
+	amendSize int64
+	amendBad  error
+	amends    atomic.Pointer[[]Amendment]
+
 	closeMu sync.Mutex
 	closed  bool
 }
@@ -156,6 +164,13 @@ func Open(dir string, opts Options) (*Store, error) {
 		if n > 0 {
 			s.gen.Add(1) // recovered data is generation 1+
 		}
+	}
+	if err := s.openAmendLog(); err != nil {
+		for _, sh := range s.shards {
+			sh.f.Close()
+		}
+		cj.Close()
+		return nil, err
 	}
 	if cj.last == nil {
 		// Seal the recovered state in an initial commit record before any
@@ -629,6 +644,11 @@ func (s *Store) Close() error {
 		}
 		sh.mu.Unlock()
 	}
+	s.amendMu.Lock()
+	if err := s.amendF.Close(); err != nil && first == nil {
+		first = err
+	}
+	s.amendMu.Unlock()
 	s.commitMu.Lock()
 	if err := s.cj.Close(); err != nil && first == nil {
 		first = err
@@ -714,6 +734,7 @@ func (s *Store) Snapshot() *Snapshot {
 			parts[i] = *sh.events.Load()
 			total += len(parts[i])
 		}
+		amends := *s.amends.Load()
 		if s.gen.Load() != gen {
 			continue // an append raced the reads; retry for a stable view
 		}
@@ -722,6 +743,10 @@ func (s *Store) Snapshot() *Snapshot {
 			merged = append(merged, p...)
 		}
 		SortEvents(merged)
+		// Re-attribution: resolved amendments overlay the raw log, so every
+		// snapshot consumer sees post-rescan labels without the shard files
+		// ever rewriting. With no amendments this is a no-op passthrough.
+		merged = applyAmendments(merged, amends)
 		sn := &Snapshot{gen: gen, events: merged}
 		s.snap.Store(sn)
 		return sn

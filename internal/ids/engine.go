@@ -2,8 +2,12 @@ package ids
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"net/netip"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/packet"
@@ -31,17 +35,34 @@ type Config struct {
 	// evaluates every rule against every session. Used by the ablation
 	// bench; the results must be identical either way.
 	DisablePrefilter bool
+	// AutomatonCache, when non-nil, caches the compiled prefilter automaton
+	// across engine builds, keyed by the (case-normalized) pattern set. The
+	// ruleset registry points this at its generation directory so republishing
+	// a ruleset reuses the compiled form instead of rebuilding 48k patterns.
+	AutomatonCache AutomatonCache
+}
+
+// AutomatonCache stores serialized compiled automatons. Load returns nil on
+// a miss; a corrupt entry is simply ignored (and overwritten) by the engine.
+type AutomatonCache interface {
+	Load(key string) []byte
+	Store(key string, data []byte)
 }
 
 // Engine evaluates a dated ruleset over sessions.
 type Engine struct {
 	cfg      Config
 	ruleset  []rules.DatedRule
-	prefilt  *Matcher
+	prefilt  *CompiledMatcher
 	byPat    [][]int // pattern id -> rule indices
 	noFastPS []int   // rules without a usable fast pattern: always candidates
 	counters []ruleCounters
 }
+
+// scanScratchPool shares prefilter scratch between concurrent Match calls;
+// every Engine's sessions go through it, so a steady-state pipeline scans
+// without per-session allocations in the automaton.
+var scanScratchPool = sync.Pool{New: func() any { return new(ScanScratch) }}
 
 // NewEngine compiles the ruleset. Rules are copied; callers may mutate their
 // slice afterwards.
@@ -76,9 +97,41 @@ func NewEngine(ruleset []rules.DatedRule, cfg Config) *Engine {
 		}
 		e.byPat[found] = append(e.byPat[found], i)
 	}
-	e.prefilt = NewMatcher(patterns)
+	e.prefilt = compilePrefilter(patterns, cfg.AutomatonCache)
 	e.counters = make([]ruleCounters, len(e.ruleset))
 	return e
+}
+
+// compilePrefilter builds (or loads from cache) the compiled double-array
+// automaton over the fast-pattern set.
+func compilePrefilter(patterns [][]byte, cache AutomatonCache) *CompiledMatcher {
+	if cache == nil {
+		return Compile(patterns)
+	}
+	key := automatonKey(patterns)
+	if raw := cache.Load(key); raw != nil {
+		if m, err := LoadCompiledMatcher(raw); err == nil && m.NumPatterns() == len(patterns) {
+			return m
+		}
+	}
+	m := Compile(patterns)
+	cache.Store(key, m.AppendBinary(nil))
+	return m
+}
+
+// automatonKey hashes the pattern sequence (case-normalized, as the
+// automaton matches) into a cache key. Pattern order matters: prefilter IDs
+// are positional.
+func automatonKey(patterns [][]byte) string {
+	h := sha256.New()
+	var lenb [8]byte
+	for _, p := range patterns {
+		lp := toLowerBytes(p)
+		binary.LittleEndian.PutUint64(lenb[:], uint64(len(lp)))
+		h.Write(lenb[:])
+		h.Write(lp)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // NumRules returns the number of compiled rules.
@@ -104,10 +157,11 @@ func (e *Engine) Match(s *tcpasm.Session) []Match {
 			seen[id] = struct{}{}
 			candidates = append(candidates, e.byPat[id]...)
 		}
-		e.prefilt.Scan(s.ClientData, hit)
+		scratch := scanScratchPool.Get().(*ScanScratch)
+		e.prefilt.Scan(s.ClientData, scratch, hit)
 		if len(s.ServerData) > 0 {
 			// to_client rules inspect the server stream.
-			e.prefilt.Scan(s.ServerData, hit)
+			e.prefilt.Scan(s.ServerData, scratch, hit)
 		}
 		// Decoded views must reach the full evaluation too: a percent-
 		// encoded URI or a chunk-split body hides its fast pattern from the
@@ -115,12 +169,13 @@ func (e *Engine) Match(s *tcpasm.Session) []Match {
 		for i := range bufs.Requests {
 			req := &bufs.Requests[i]
 			if norm := NormalizeURI(req.URI); norm != req.URI {
-				e.prefilt.Scan([]byte(norm), hit)
+				e.prefilt.Scan([]byte(norm), scratch, hit)
 			}
 			if req.Body != "" && !bytes.Contains(s.ClientData, []byte(req.Body)) {
-				e.prefilt.Scan([]byte(req.Body), hit)
+				e.prefilt.Scan([]byte(req.Body), scratch, hit)
 			}
 		}
+		scanScratchPool.Put(scratch)
 	}
 	var out []Match
 	for _, ri := range candidates {

@@ -19,12 +19,34 @@ func MatchSessionsParallel(sessions []tcpasm.Session, e *Engine, stats *ScanStat
 	if workers == 1 || len(sessions) < 2*workers {
 		return MatchSessions(sessions, e, stats)
 	}
-
-	type slot struct {
-		ev Event
-		ok bool
+	evs, oks := MatchSessionsEach(sessions, e, workers)
+	events := make([]Event, 0, len(sessions))
+	for i := range oks {
+		if oks[i] {
+			events = append(events, evs[i])
+		}
 	}
-	slots := make([]slot, len(sessions))
+	setMatchStats(stats, len(sessions), events)
+	return events
+}
+
+// MatchSessionsEach evaluates every session and returns one slot per session
+// (oks[i] false = no rule fired), preserving the session↔event pairing that
+// the flattened MatchSessionsParallel result discards. The digest-recording
+// ingest path needs the pairing: each session's digest stores its own
+// ingest-time label. workers <= 0 selects GOMAXPROCS.
+func MatchSessionsEach(sessions []tcpasm.Session, e *Engine, workers int) ([]Event, []bool) {
+	evs := make([]Event, len(sessions))
+	oks := make([]bool, len(sessions))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(sessions) < 2*workers {
+		for i := range sessions {
+			evs[i], oks[i] = matchSession(&sessions[i], e)
+		}
+		return evs, oks
+	}
 	var wg sync.WaitGroup
 	next := make(chan int, workers)
 	for w := 0; w < workers; w++ {
@@ -32,11 +54,7 @@ func MatchSessionsParallel(sessions []tcpasm.Session, e *Engine, stats *ScanStat
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				ev, ok := matchSession(&sessions[i], e)
-				if !ok {
-					continue
-				}
-				slots[i] = slot{ev: ev, ok: true}
+				evs[i], oks[i] = matchSession(&sessions[i], e)
 			}
 		}()
 	}
@@ -45,13 +63,5 @@ func MatchSessionsParallel(sessions []tcpasm.Session, e *Engine, stats *ScanStat
 	}
 	close(next)
 	wg.Wait()
-
-	events := make([]Event, 0, len(sessions))
-	for i := range slots {
-		if slots[i].ok {
-			events = append(events, slots[i].ev)
-		}
-	}
-	setMatchStats(stats, len(sessions), events)
-	return events
+	return evs, oks
 }

@@ -90,6 +90,12 @@ func MatchSessions(sessions []tcpasm.Session, e *Engine, stats *ScanStats) []Eve
 	return events
 }
 
+// MatchSession evaluates one session, returning its attributed event when a
+// rule fires — the exact event the batch pipelines produce. The registry's
+// retroactive rescan uses it so re-derived labels are byte-identical to what
+// a cold ingest over the same ruleset would have written.
+func MatchSession(s *tcpasm.Session, e *Engine) (Event, bool) { return matchSession(s, e) }
+
 // matchSession evaluates one session, returning its attributed event when a
 // rule fires. Both the serial and parallel paths build events here, so the
 // attribution (earliest-published rule, primary CVE) cannot diverge.

@@ -36,6 +36,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/packet"
 	"repro/internal/pcapio"
+	"repro/internal/registry"
 	"repro/internal/tcpasm"
 )
 
@@ -46,8 +47,19 @@ type Config struct {
 	// "dscope".
 	Dir    string
 	Prefix string
-	// Engine evaluates sessions. Required.
+	// Engine evaluates sessions. Required unless EngineSource is set.
 	Engine *ids.Engine
+	// EngineSource, when set, is consulted at each batch boundary for the
+	// engine to evaluate against — the registry's hot-reload hook. The swap
+	// is batch-atomic: a batch is matched entirely under one engine, so no
+	// session is dropped or double-matched across a reload. A nil return
+	// falls back to Engine.
+	EngineSource func() *ids.Engine
+	// Digests, when set, receives one digest per session — matched or not —
+	// so a later ruleset publication can re-attribute stored history.
+	// Digest durability rides the checkpoint cadence: the sink is synced
+	// before a checkpoint persists.
+	Digests DigestSink
 	// Store receives the events. Either Store or Sink is required; when both
 	// are set, Sink wins.
 	Store *eventstore.Store
@@ -92,6 +104,14 @@ type Config struct {
 // does the fleet shipper.
 type Sink interface {
 	AppendBatch(events []ids.Event) error
+}
+
+// DigestSink receives per-session digests at match time. *registry.Registry
+// satisfies it.
+type DigestSink interface {
+	RecordDigests(ds []registry.Digest) error
+	SyncDigests() error
+	SampleLimit() int
 }
 
 // syncer is implemented by sinks with durable state (*eventstore.Store, the
@@ -199,8 +219,8 @@ type Pipeline struct {
 // Start begins tailing. The returned Pipeline runs until Close.
 func Start(cfg Config) (*Pipeline, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Engine == nil || cfg.Sink == nil {
-		return nil, errors.New("ingest: Config needs Engine and a Store or Sink")
+	if (cfg.Engine == nil && cfg.EngineSource == nil) || cfg.Sink == nil {
+		return nil, errors.New("ingest: Config needs an Engine (or EngineSource) and a Store or Sink")
 	}
 	if cfg.Dir == "" {
 		return nil, errors.New("ingest: Config needs a watch Dir")
@@ -430,6 +450,12 @@ func (p *Pipeline) maybeCheckpoint() {
 	}
 	if s, ok := p.cfg.Sink.(syncer); ok {
 		if err := s.Sync(); err != nil {
+			p.fail(err)
+			return
+		}
+	}
+	if p.cfg.Digests != nil {
+		if err := p.cfg.Digests.SyncDigests(); err != nil {
 			p.fail(err)
 			return
 		}
@@ -689,11 +715,42 @@ func (p *Pipeline) flushPending(st *tailState, min int) {
 	}
 }
 
+// engine resolves the engine for the next batch: the EngineSource (hot
+// reload) when present, the static Engine otherwise.
+func (p *Pipeline) engine() *ids.Engine {
+	if p.cfg.EngineSource != nil {
+		if e := p.cfg.EngineSource(); e != nil {
+			return e
+		}
+	}
+	return p.cfg.Engine
+}
+
 func (p *Pipeline) matcher() {
 	defer close(p.matchD)
 	for batch := range p.batchCh {
 		start := time.Now()
-		events := ids.MatchSessionsParallel(batch, p.cfg.Engine, nil, p.cfg.MatchWorkers)
+		eng := p.engine()
+		var events []ids.Event
+		if p.cfg.Digests != nil {
+			evs, oks := ids.MatchSessionsEach(batch, eng, p.cfg.MatchWorkers)
+			digests := make([]registry.Digest, len(batch))
+			limit := p.cfg.Digests.SampleLimit()
+			events = events[:0]
+			for i := range batch {
+				var evp *ids.Event
+				if oks[i] {
+					events = append(events, evs[i])
+					evp = &evs[i]
+				}
+				digests[i] = registry.DigestOf(&batch[i], evp, limit)
+			}
+			if err := p.cfg.Digests.RecordDigests(digests); err != nil {
+				p.fail(err)
+			}
+		} else {
+			events = ids.MatchSessionsParallel(batch, eng, nil, p.cfg.MatchWorkers)
+		}
 		if len(events) > 0 {
 			if err := p.cfg.Sink.AppendBatch(events); err != nil {
 				p.fail(err)

@@ -213,7 +213,9 @@ func NewBuilder() *Builder { return &Builder{byCVE: map[string]*pipelineAcc{}} }
 
 // AddEvents folds a batch of attributed events into the aggregate. rulePub
 // maps SIDs to publication times, as in FromPipeline; unattributed events
-// (no CVE) are ignored.
+// (no CVE) are ignored. A SID absent from rulePub falls back to the event's
+// own Published stamp when set — registry-published rules are not in the
+// static study map, but their events carry the journal's publication time.
 func (b *Builder) AddEvents(events []ids.Event, rulePub map[int]time.Time) {
 	for i := range events {
 		ev := &events[i]
@@ -229,7 +231,11 @@ func (b *Builder) AddEvents(events []ids.Event, rulePub map[int]time.Time) {
 			a.firstAttack = ev.Time
 		}
 		a.count++
-		if pub, ok := rulePub[ev.SID]; ok {
+		pub, ok := rulePub[ev.SID]
+		if !ok && !ev.Published.IsZero() {
+			pub, ok = ev.Published, true
+		}
+		if ok {
 			if !a.hasRule || pub.Before(a.firstRule) {
 				a.firstRule = pub
 				a.hasRule = true

@@ -1,0 +1,49 @@
+package netsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSignatureCorpusDeterministic(t *testing.T) {
+	cfg := SignatureCorpusConfig{N: 500, Seed: 11}
+	a := SignatureCorpus(cfg)
+	b := SignatureCorpus(cfg)
+	if !bytes.Equal(a, b) {
+		t.Fatal("equal configs must write equal bytes")
+	}
+	c := SignatureCorpus(SignatureCorpusConfig{N: 500, Seed: 12})
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSignatureCorpusShape(t *testing.T) {
+	raw := string(SignatureCorpus(SignatureCorpusConfig{N: 2000, Seed: 3}))
+	lines := strings.Split(strings.TrimRight(raw, "\n"), "\n")
+	if len(lines) != 4000 {
+		t.Fatalf("want 2000 comment+rule pairs, got %d lines", len(lines))
+	}
+	var never, dated int
+	for i := 0; i < len(lines); i += 2 {
+		if !strings.HasPrefix(lines[i], "# published: ") {
+			t.Fatalf("line %d is not a publication comment: %q", i, lines[i])
+		}
+		if strings.Contains(lines[i], "never-during-study") {
+			never++
+		} else {
+			dated++
+		}
+		if !strings.HasPrefix(lines[i+1], "alert tcp ") {
+			t.Fatalf("line %d is not a rule: %q", i+1, lines[i+1])
+		}
+	}
+	// ~5% never-during-study; allow generous slack on 2000 draws.
+	if never < 40 || never > 250 {
+		t.Errorf("never-during-study count %d outside expected band", never)
+	}
+	if dated == 0 {
+		t.Error("no dated rules")
+	}
+}

@@ -1,0 +1,224 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fault"
+	"repro/internal/rules"
+)
+
+// The ruleset journal is the registry's source of truth: an append-only log
+// of ruleset deltas, one entry per publication. Each entry carries a
+// monotonic generation number and the delta in the dated-ruleset text format
+// (a publication comment per rule), so the journal is greppable with the
+// same tooling as the study ruleset and folds back through the one parser
+// everything else uses.
+//
+// Framing is the store family's length+CRC scheme but with its own payload
+// cap: a full Talos-scale delta is a few megabytes of text, far beyond the
+// event store's 1 MB record bound.
+//
+//	8-byte magic "RSJRNL\x01\n"
+//	repeated entries: u32 payload length | u32 CRC-32 (IEEE) of payload | payload
+//	payload: u64 generation | dated-ruleset text
+//
+// Recovery truncates at the first torn or corrupt frame — a crash mid-publish
+// costs that publish (the caller re-publishes), never the journal.
+
+var journalMagic = [8]byte{'R', 'S', 'J', 'R', 'N', 'L', 0x01, '\n'}
+
+const (
+	journalFrameLen = 8
+	// maxJournalEntry bounds one delta's encoded size. A 48k-rule full
+	// snapshot in text form is ~6 MB; 64 MB leaves an order of magnitude of
+	// headroom while still rejecting garbage length prefixes.
+	maxJournalEntry = 64 << 20
+)
+
+var journalCRC = crc32.MakeTable(crc32.IEEE)
+
+// journalEntry is one decoded publication.
+type journalEntry struct {
+	gen   uint64
+	delta []rules.DatedRule
+}
+
+// rulesetJournal is the open journal file plus its recovered entries' high
+// generation.
+type rulesetJournal struct {
+	fs   fault.FS
+	f    fault.File
+	path string
+	size int64
+	gen  uint64 // generation of the newest entry (0 = empty journal)
+	bad  error
+}
+
+// openJournal opens (creating if needed) dir/ruleset.journal, replays every
+// intact entry through apply in order, and truncates any torn tail.
+func openJournal(fs fault.FS, dir string, apply func(journalEntry)) (*rulesetJournal, error) {
+	path := filepath.Join(dir, "ruleset.journal")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &rulesetJournal{fs: fs, f: f, path: path}
+	if err := j.recover(apply); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+func (j *rulesetJournal) recover(apply func(journalEntry)) error {
+	raw, err := j.fs.ReadFile(j.path)
+	if err != nil {
+		return err
+	}
+	var size int64
+	switch {
+	case len(raw) < len(journalMagic) && bytes.Equal(raw, journalMagic[:len(raw)]):
+		// Empty or a torn header: nothing can have been published; rewrite.
+		if _, err := j.f.Write(journalMagic[:]); err != nil {
+			return err
+		}
+		if err := j.f.Truncate(int64(len(journalMagic))); err != nil {
+			return err
+		}
+		size = int64(len(journalMagic))
+	case [8]byte(raw[:8]) != journalMagic:
+		return fmt.Errorf("registry: %s is not a ruleset journal", j.path)
+	default:
+		good, err := j.scan(raw[len(journalMagic):], apply)
+		if err != nil {
+			return err
+		}
+		size = int64(len(journalMagic) + good)
+		if size < int64(len(raw)) {
+			if err := j.f.Truncate(size); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := j.f.Seek(size, 0); err != nil {
+		return err
+	}
+	j.size = size
+	return nil
+}
+
+// scan walks intact frames, applying each decoded entry. It returns the
+// clean byte count. Generations must be strictly increasing; a decreasing or
+// repeated generation means the file was spliced and recovery stops there.
+func (j *rulesetJournal) scan(b []byte, apply func(journalEntry)) (int, error) {
+	off := 0
+	for {
+		if len(b)-off < journalFrameLen {
+			return off, nil
+		}
+		length := binary.LittleEndian.Uint32(b[off : off+4])
+		sum := binary.LittleEndian.Uint32(b[off+4 : off+8])
+		if length > maxJournalEntry || len(b)-off-journalFrameLen < int(length) {
+			return off, nil
+		}
+		payload := b[off+journalFrameLen : off+journalFrameLen+int(length)]
+		if crc32.Checksum(payload, journalCRC) != sum {
+			return off, nil
+		}
+		entry, err := decodeEntry(payload)
+		if err != nil || entry.gen <= j.gen {
+			return off, nil
+		}
+		j.gen = entry.gen
+		if apply != nil {
+			apply(entry)
+		}
+		off += journalFrameLen + int(length)
+	}
+}
+
+func decodeEntry(payload []byte) (journalEntry, error) {
+	if len(payload) < 8 {
+		return journalEntry{}, fmt.Errorf("registry: journal entry shorter than its generation header")
+	}
+	e := journalEntry{gen: binary.LittleEndian.Uint64(payload[:8])}
+	parsed, errs := rules.ParseDatedSet(bytes.NewReader(payload[8:]))
+	for _, err := range errs {
+		// The journal only ever holds deltas that parsed cleanly at Publish
+		// time; an error here means corruption that beat the CRC, or a
+		// same-rev conflict from a splice. Either way the entry is not
+		// trustworthy.
+		return journalEntry{}, fmt.Errorf("registry: journal entry gen %d: %w", e.gen, err)
+	}
+	e.delta = parsed
+	return e, nil
+}
+
+// append durably writes one publication: the frame is written and fsynced
+// before append returns, so a returned generation is a promise.
+func (j *rulesetJournal) append(gen uint64, delta []rules.DatedRule) error {
+	if j.bad != nil {
+		return j.bad
+	}
+	var text bytes.Buffer
+	if err := rules.WriteDatedRuleset(&text, delta); err != nil {
+		return err
+	}
+	payload := make([]byte, 8, 8+text.Len())
+	binary.LittleEndian.PutUint64(payload, gen)
+	payload = append(payload, text.Bytes()...)
+	if len(payload) > maxJournalEntry {
+		return fmt.Errorf("registry: delta of %d bytes exceeds journal entry cap", len(payload))
+	}
+	frame := make([]byte, 0, journalFrameLen+len(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, journalCRC))
+	frame = append(frame, payload...)
+	if _, err := j.f.Write(frame); err != nil {
+		if terr := j.f.Truncate(j.size); terr != nil {
+			j.bad = fmt.Errorf("registry: journal poisoned after failed publish: %w", terr)
+		} else {
+			j.f.Seek(j.size, 0)
+		}
+		return fmt.Errorf("registry: appending publish: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("registry: syncing journal: %w", err)
+	}
+	j.size += int64(len(frame))
+	j.gen = gen
+	return nil
+}
+
+// tail re-reads the journal file and applies entries newer than j.gen — the
+// cross-process pickup path (waybackctl publishing into a directory a
+// running daemon also has open).
+func (j *rulesetJournal) tail(apply func(journalEntry)) error {
+	raw, err := j.fs.ReadFile(j.path)
+	if err != nil {
+		return err
+	}
+	if int64(len(raw)) <= j.size {
+		return nil
+	}
+	if int64(len(raw)) < j.size || len(raw) < len(journalMagic) {
+		return fmt.Errorf("registry: journal shrank underneath an open handle")
+	}
+	good, err := j.scan(raw[j.size:], apply)
+	if err != nil {
+		return err
+	}
+	newSize := j.size + int64(good)
+	if _, err := j.f.Seek(newSize, 0); err != nil {
+		return err
+	}
+	j.size = newSize
+	return nil
+}
+
+func (j *rulesetJournal) Close() error { return j.f.Close() }

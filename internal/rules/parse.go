@@ -173,6 +173,19 @@ func parseOptions(body string, r *Rule) error {
 			if err != nil {
 				return fmt.Errorf("rules: bad %s %q", o.key, o.value)
 			}
+			// Snort bounds the positional modifiers to a 16-bit payload
+			// window; values outside it are feed corruption, not intent, and
+			// would silently disable the window checks downstream.
+			switch o.key {
+			case "offset", "depth", "within":
+				if n < 0 || n > 65535 {
+					return fmt.Errorf("rules: %s %d out of range [0,65535]", o.key, n)
+				}
+			case "distance":
+				if n < -65535 || n > 65535 {
+					return fmt.Errorf("rules: distance %d out of range [-65535,65535]", n)
+				}
+			}
 			switch o.key {
 			case "offset":
 				lastContent.Offset = &n

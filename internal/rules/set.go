@@ -1,0 +1,148 @@
+package rules
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Feed-level parsing: a ruleset feed (a Talos snapshot, a registry delta) is
+// a multiset of rules in which the same SID may appear many times — older
+// revisions left in place, vendor re-releases, concatenated feeds. ParseSet
+// and ParseDatedSet resolve those duplicates deterministically so that the
+// compiled engine never depends on the order rules happened to appear in:
+//
+//   - a higher rev always supersedes a lower rev of the same SID;
+//   - byte-identical duplicates collapse silently;
+//   - two *different* definitions with the same sid and rev are a feed bug
+//     and are rejected loudly (an error naming the SID), while the output
+//     still picks a deterministic winner so callers that tolerate errors get
+//     order-independent behavior anyway.
+//
+// The resolved set is returned sorted by SID.
+
+// ParseSet parses a ruleset feed (one rule per line, '#' comments) and
+// resolves duplicate SIDs as described above. Per-line parse errors and
+// duplicate-conflict errors are collected, not fatal.
+func ParseSet(r io.Reader) ([]*Rule, []error) {
+	parsed, errs := ParseRuleset(r)
+	out, dupErrs := DedupSIDs(parsed)
+	return out, append(errs, dupErrs...)
+}
+
+// ParseDatedSet is ParseSet over the dated-ruleset format: publication
+// comments are parsed as in ParseDatedRuleset, then duplicate SIDs resolve by
+// the same rev-wins rule. When byte-identical duplicates carry different
+// publication dates the earliest date wins (publication is first
+// availability).
+func ParseDatedSet(r io.Reader) ([]DatedRule, []error) {
+	parsed, errs := ParseDatedRuleset(r)
+	out, dupErrs := DedupDatedSIDs(parsed)
+	return out, append(errs, dupErrs...)
+}
+
+// DedupSIDs resolves duplicate SIDs in a parsed rule list: higher rev wins;
+// identical same-rev duplicates collapse; conflicting same-sid same-rev
+// definitions produce an error (and a deterministic winner). The result is
+// sorted by SID, so the output never depends on input order.
+func DedupSIDs(in []*Rule) ([]*Rule, []error) {
+	var errs []error
+	bySID := make(map[int]*Rule, len(in))
+	for _, r := range in {
+		cur, ok := bySID[r.SID]
+		if !ok {
+			bySID[r.SID] = r
+			continue
+		}
+		winner, err := pickRule(cur, r)
+		if err != nil {
+			errs = append(errs, err)
+		}
+		bySID[r.SID] = winner
+	}
+	out := make([]*Rule, 0, len(bySID))
+	for _, r := range bySID {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SID < out[j].SID })
+	return out, errs
+}
+
+// DedupDatedSIDs is DedupSIDs over dated rules, keeping the winning rule's
+// publication date (the earliest one, for identical duplicates).
+func DedupDatedSIDs(in []DatedRule) ([]DatedRule, []error) {
+	var errs []error
+	bySID := make(map[int]DatedRule, len(in))
+	for _, dr := range in {
+		cur, ok := bySID[dr.Rule.SID]
+		if !ok {
+			bySID[dr.Rule.SID] = dr
+			continue
+		}
+		winner, err := pickRule(cur.Rule, dr.Rule)
+		if err != nil {
+			errs = append(errs, err)
+		}
+		switch {
+		case winner == cur.Rule && winner == dr.Rule:
+			// Identical text: same logical rule, keep the earliest date.
+			if dr.Published.Before(cur.Published) {
+				bySID[dr.Rule.SID] = dr
+			}
+		case winner == dr.Rule:
+			bySID[dr.Rule.SID] = dr
+		}
+	}
+	out := make([]DatedRule, 0, len(bySID))
+	for _, dr := range bySID {
+		out = append(out, dr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rule.SID < out[j].Rule.SID })
+	return out, errs
+}
+
+// pickRule chooses between two definitions of one SID. When both rules are
+// byte-identical it returns a (the call sites treat "winner == both" as the
+// identical case). A same-rev conflict returns the lexicographically smaller
+// Raw as the deterministic winner plus a loud error.
+func pickRule(a, b *Rule) (*Rule, error) {
+	if a.Rev != b.Rev {
+		if b.Rev > a.Rev {
+			return b, nil
+		}
+		return a, nil
+	}
+	if a.Raw == b.Raw {
+		return a, nil
+	}
+	winner := a
+	if b.Raw < a.Raw {
+		winner = b
+	}
+	return winner, fmt.Errorf("rules: conflicting definitions for sid %d rev %d: %q vs %q",
+		a.SID, a.Rev, truncate(a.Raw), truncate(b.Raw))
+}
+
+// MergeDated folds a delta (a later feed or registry journal entry) over a
+// base ruleset: a delta rule replaces the base definition of its SID unless
+// its rev is strictly lower (a later entry may re-date or amend the same
+// rev; a stale lower rev never rolls an upgrade back). SIDs only in the
+// delta are added. The result is sorted by SID.
+func MergeDated(base, delta []DatedRule) []DatedRule {
+	bySID := make(map[int]DatedRule, len(base)+len(delta))
+	for _, dr := range base {
+		bySID[dr.Rule.SID] = dr
+	}
+	for _, dr := range delta {
+		if cur, ok := bySID[dr.Rule.SID]; ok && dr.Rule.Rev < cur.Rule.Rev {
+			continue
+		}
+		bySID[dr.Rule.SID] = dr
+	}
+	out := make([]DatedRule, 0, len(bySID))
+	for _, dr := range bySID {
+		out = append(out, dr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rule.SID < out[j].Rule.SID })
+	return out
+}

@@ -1,0 +1,225 @@
+package rules
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+func mustRule(t *testing.T, raw string) *Rule {
+	t.Helper()
+	r, err := Parse(raw)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", raw, err)
+	}
+	return r
+}
+
+func ruleLine(msg, content string, sid, rev int) string {
+	return `alert tcp any any -> any any (msg:"` + msg + `"; content:"` + content +
+		`"; sid:` + itoa(sid) + `; rev:` + itoa(rev) + `;)`
+}
+
+func itoa(n int) string {
+	var b [12]byte
+	i := len(b)
+	for {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	return string(b[i:])
+}
+
+// TestDedupSIDsRevWins verifies the core resolution: higher rev supersedes,
+// regardless of feed order.
+func TestDedupSIDsRevWins(t *testing.T) {
+	old := mustRule(t, ruleLine("old", "aaa", 100, 1))
+	newer := mustRule(t, ruleLine("new", "bbb", 100, 2))
+	for _, in := range [][]*Rule{{old, newer}, {newer, old}} {
+		out, errs := DedupSIDs(in)
+		if len(errs) != 0 {
+			t.Fatalf("unexpected errors: %v", errs)
+		}
+		if len(out) != 1 || out[0].Rev != 2 || out[0].Msg != "new" {
+			t.Fatalf("DedupSIDs kept %+v, want rev 2", out[0])
+		}
+	}
+}
+
+// TestDedupSIDsIdenticalCollapse: byte-identical duplicates collapse with no
+// error.
+func TestDedupSIDsIdenticalCollapse(t *testing.T) {
+	a := mustRule(t, ruleLine("same", "xyz", 200, 3))
+	b := mustRule(t, ruleLine("same", "xyz", 200, 3))
+	out, errs := DedupSIDs([]*Rule{a, b})
+	if len(errs) != 0 {
+		t.Fatalf("identical dup raised errors: %v", errs)
+	}
+	if len(out) != 1 {
+		t.Fatalf("got %d rules", len(out))
+	}
+}
+
+// TestDedupSIDsConflictLoud: same sid + same rev + different text is a feed
+// bug — loud error, deterministic winner independent of order.
+func TestDedupSIDsConflictLoud(t *testing.T) {
+	a := mustRule(t, ruleLine("variant-a", "aaa", 300, 2))
+	b := mustRule(t, ruleLine("variant-b", "bbb", 300, 2))
+	var winners []*Rule
+	for _, in := range [][]*Rule{{a, b}, {b, a}} {
+		out, errs := DedupSIDs(in)
+		if len(errs) != 1 {
+			t.Fatalf("want exactly one conflict error, got %v", errs)
+		}
+		if !strings.Contains(errs[0].Error(), "sid 300") {
+			t.Errorf("conflict error should name the SID: %v", errs[0])
+		}
+		if len(out) != 1 {
+			t.Fatalf("got %d rules", len(out))
+		}
+		winners = append(winners, out[0])
+	}
+	if winners[0] != winners[1] {
+		t.Errorf("winner depends on input order: %q vs %q", winners[0].Raw, winners[1].Raw)
+	}
+}
+
+// TestDedupDatedSIDsEarliestDate: identical rule text published twice keeps
+// the earliest date (publication is first availability).
+func TestDedupDatedSIDsEarliestDate(t *testing.T) {
+	r := mustRule(t, ruleLine("dup", "ppp", 400, 1))
+	early := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	late := early.AddDate(0, 6, 0)
+	for _, in := range [][]DatedRule{
+		{{Rule: r, Published: late}, {Rule: r, Published: early}},
+		{{Rule: r, Published: early}, {Rule: r, Published: late}},
+	} {
+		out, errs := DedupDatedSIDs(in)
+		if len(errs) != 0 {
+			t.Fatalf("errors: %v", errs)
+		}
+		if len(out) != 1 || !out[0].Published.Equal(early) {
+			t.Fatalf("kept %v, want earliest %v", out[0].Published, early)
+		}
+	}
+}
+
+// TestMergeDated covers the registry fold: delta replaces base unless its
+// rev is strictly lower; new SIDs are added; output sorted by SID.
+func TestMergeDated(t *testing.T) {
+	t0 := time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC)
+	base := []DatedRule{
+		{Rule: mustRule(t, ruleLine("b1", "aaa", 10, 2)), Published: t0},
+		{Rule: mustRule(t, ruleLine("b2", "bbb", 20, 1)), Published: t0},
+	}
+	delta := []DatedRule{
+		{Rule: mustRule(t, ruleLine("d1", "ccc", 10, 1)), Published: t0},                  // stale: lower rev
+		{Rule: mustRule(t, ruleLine("d2", "ddd", 20, 1)), Published: t0.AddDate(0, 1, 0)}, // same rev: delta wins (re-date)
+		{Rule: mustRule(t, ruleLine("d3", "eee", 5, 1)), Published: t0},                   // new SID
+	}
+	out := MergeDated(base, delta)
+	if len(out) != 3 {
+		t.Fatalf("got %d rules", len(out))
+	}
+	if out[0].Rule.SID != 5 || out[1].Rule.SID != 10 || out[2].Rule.SID != 20 {
+		t.Fatalf("not sorted by SID: %d %d %d", out[0].Rule.SID, out[1].Rule.SID, out[2].Rule.SID)
+	}
+	if out[1].Rule.Msg != "b1" {
+		t.Errorf("stale lower rev rolled back sid 10: %q", out[1].Rule.Msg)
+	}
+	if out[2].Rule.Msg != "d2" {
+		t.Errorf("delta should re-date sid 20: %q", out[2].Rule.Msg)
+	}
+}
+
+// TestParseSetMalformed exercises the malformed-feed paths: each bad line
+// must produce an error (not a panic, not a silent drop of the whole feed)
+// while surrounding good rules still parse.
+func TestParseSetMalformed(t *testing.T) {
+	cases := []struct {
+		name, line, wantErr string
+	}{
+		{"truncated line", `alert tcp any any -> any any (msg:"cut off`, "option parentheses"},
+		{"truncated options", `alert tcp any any -> any any (msg:"cut off; sid:1; rev:1;)`, "unterminated quote"},
+		{"unterminated pcre", `alert tcp any any -> any any (msg:"x"; pcre:"/abc"; sid:2; rev:1;)`, "pcre"},
+		{"pcre no slashes", `alert tcp any any -> any any (msg:"x"; pcre:"abc"; sid:3; rev:1;)`, "pcre"},
+		{"unterminated hex", `alert tcp any any -> any any (msg:"x"; content:"|41 42"; sid:4; rev:1;)`, "unterminated hex"},
+		{"absurd depth", `alert tcp any any -> any any (msg:"x"; content:"a"; depth:99999999; sid:5; rev:1;)`, "out of range"},
+		{"absurd within", `alert tcp any any -> any any (msg:"x"; content:"a"; content:"b"; within:70000; sid:6; rev:1;)`, "out of range"},
+		{"negative offset", `alert tcp any any -> any any (msg:"x"; content:"a"; offset:-1; sid:7; rev:1;)`, "out of range"},
+		{"absurd distance", `alert tcp any any -> any any (msg:"x"; content:"a"; content:"b"; distance:1000000; sid:8; rev:1;)`, "out of range"},
+		{"missing sid", `alert tcp any any -> any any (msg:"x"; rev:1;)`, "missing sid"},
+	}
+	good := ruleLine("good", "ok", 9000, 1)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			feed := good + "\n" + tc.line + "\n" + ruleLine("good2", "ok2", 9001, 1) + "\n"
+			out, errs := ParseSet(strings.NewReader(feed))
+			if len(out) != 2 {
+				t.Fatalf("good rules lost: got %d, want 2", len(out))
+			}
+			if len(errs) != 1 {
+				t.Fatalf("want one error, got %v", errs)
+			}
+			if !strings.Contains(errs[0].Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", errs[0], tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestBoundedModifiersAccepted: the 16-bit window edge values are legal.
+func TestBoundedModifiersAccepted(t *testing.T) {
+	for _, line := range []string{
+		`alert tcp any any -> any any (msg:"x"; content:"a"; depth:65535; sid:1; rev:1;)`,
+		`alert tcp any any -> any any (msg:"x"; content:"a"; offset:0; sid:2; rev:1;)`,
+		`alert tcp any any -> any any (msg:"x"; content:"a"; content:"b"; distance:-65535; sid:3; rev:1;)`,
+		`alert tcp any any -> any any (msg:"x"; content:"a"; content:"b"; within:65535; sid:4; rev:1;)`,
+	} {
+		if _, err := Parse(line); err != nil {
+			t.Errorf("Parse(%q): %v", line, err)
+		}
+	}
+}
+
+// TestParseSet48kSmoke parses the full-scale synthetic corpus under a memory
+// ceiling: the feed parser must stay linear at Talos scale.
+func TestParseSet48kSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("48k parse in -short mode")
+	}
+	corpus := netsim.SignatureCorpus(netsim.SignatureCorpusConfig{N: 48000, Seed: 1})
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	set, errs := ParseDatedSet(bytes.NewReader(corpus))
+	for _, err := range errs {
+		t.Fatalf("corpus parse error: %v", err)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if len(set) < 46000 {
+		// Deduped duplicates shrink it slightly below N; dropping below ~46k
+		// means whole swathes failed to parse.
+		t.Fatalf("only %d rules survived", len(set))
+	}
+	for i := 1; i < len(set); i++ {
+		if set[i-1].Rule.SID >= set[i].Rule.SID {
+			t.Fatalf("output not strictly SID-sorted at %d", i)
+		}
+	}
+	grown := int64(after.HeapInuse) - int64(before.HeapInuse)
+	const ceiling = 512 << 20
+	if grown > ceiling {
+		t.Fatalf("48k parse retained %d MiB, ceiling %d MiB", grown>>20, int64(ceiling)>>20)
+	}
+	t.Logf("48k parse: %d rules, heap growth %d MiB", len(set), grown>>20)
+}

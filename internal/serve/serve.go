@@ -21,6 +21,11 @@
 //	GET /v1/figures/{id}         paper figure id (1-18) as CSV
 //	GET /v1/diff                 lifecycle diff between two as-of cuts (from, to)
 //	GET /v1/skill                coordination-skill score over time (from, to, step_days)
+//	GET /v1/ruleset              ruleset generation, rule count, rescan progress
+//	                             (?full=1 appends the dated ruleset text)
+//	POST /v1/ruleset             publish a ruleset delta (body: dated ruleset text);
+//	                             swaps the live engine and queues re-attribution
+//	POST /v1/ruleset/rescan      run the queued rescan now; responds with its stats
 //
 // With a timeline engine configured (Config.Timeline), the lifecycle, table,
 // and figure endpoints accept ?asof=DATE (RFC 3339 or 2006-01-02) and answer
@@ -49,7 +54,9 @@ import (
 	"repro/internal/ids"
 	"repro/internal/ingest"
 	"repro/internal/lifecycle"
+	"repro/internal/registry"
 	"repro/internal/report"
+	"repro/internal/rules"
 	"repro/internal/stats"
 	"repro/internal/timeline"
 	"repro/wayback"
@@ -74,6 +81,16 @@ type Config struct {
 	// start and the last append) — the signal a load balancer needs to
 	// eject a coordinator whose ingest has stalled.
 	StaleAfter time.Duration
+	// Registry, when set, enables the ruleset lifecycle endpoints
+	// (GET/POST /v1/ruleset, POST /v1/ruleset/rescan) and the
+	// waybackd_ruleset_* /metrics gauges.
+	Registry *registry.Registry
+	// RescanBacklogMax makes /healthz answer 503 ("degraded") while the
+	// registry's rescan backlog — digests awaiting re-attribution after a
+	// publish — exceeds this many sessions: answers computed meanwhile may
+	// still carry superseded labels. 0 means 65536; negative disables the
+	// check.
+	RescanBacklogMax int
 }
 
 // FleetSource is the slice of *fleet.Listener the server reads.
@@ -133,6 +150,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
 	s.mux.HandleFunc("GET /v1/diff", s.handleDiff)
 	s.mux.HandleFunc("GET /v1/skill", s.handleSkill)
+	s.mux.HandleFunc("GET /v1/ruleset", s.handleRulesetGet)
+	s.mux.HandleFunc("POST /v1/ruleset", s.handleRulesetPublish)
+	s.mux.HandleFunc("POST /v1/ruleset/rescan", s.handleRulesetRescan)
 	return s, nil
 }
 
@@ -278,17 +298,41 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	age := time.Since(last)
 	stale := s.cfg.StaleAfter > 0 && age > s.cfg.StaleAfter
 
+	// A rescan backlog past the threshold degrades the node: the store is
+	// healthy, but answers may still carry labels a publish has superseded.
+	var rescanBacklog int64
+	degraded := false
+	if reg := s.cfg.Registry; reg != nil && s.cfg.RescanBacklogMax >= 0 {
+		limit := s.cfg.RescanBacklogMax
+		if limit == 0 {
+			limit = defaultRescanBacklogMax
+		}
+		rescanBacklog = reg.RescanPending()
+		degraded = rescanBacklog > int64(limit)
+	}
+
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if stale {
+	switch {
+	case stale:
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "stale")
-	} else {
+	case degraded:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "degraded")
+	default:
 		fmt.Fprintln(w, "ok")
 	}
 	fmt.Fprintf(w, "ingest_lag %d\n", ingestLag)
 	fmt.Fprintf(w, "fleet_lag %d\n", fleetLag)
 	fmt.Fprintf(w, "store_age_seconds %.3f\n", age.Seconds())
+	if s.cfg.Registry != nil {
+		fmt.Fprintf(w, "rescan_backlog %d\n", rescanBacklog)
+	}
 }
+
+// defaultRescanBacklogMax is the rescan backlog above which /healthz
+// degrades when Config.RescanBacklogMax is zero.
+const defaultRescanBacklogMax = 65536
 
 // handleFleet serves per-sensor liveness and progress. Never cached: the
 // gauges (connectedness, lag, heartbeat age) move without the store
@@ -338,6 +382,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	g("cache_hits", s.hits.Load())
 	g("cache_misses", s.misses.Load())
+	if reg := s.cfg.Registry; reg != nil {
+		g("ruleset_generation", reg.Generation())
+		g("ruleset_rules", reg.NumRules())
+		g("ruleset_rescan_pending", reg.RescanPending())
+		g("ruleset_rescan_done", reg.RescanDone())
+		g("ruleset_digests", reg.DigestCount())
+		as := s.cfg.Store.AmendmentStats()
+		g("store_amendment_records", as.Records)
+		g("store_amended_sessions", as.Sessions)
+	}
 	if eng := s.cfg.Timeline; eng != nil {
 		m := eng.Metrics()
 		g("timeline_segments", m.Segments)
@@ -417,6 +471,124 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write(b.Bytes())
+}
+
+// rulesetJSON is the wire form of the registry's state.
+type rulesetJSON struct {
+	Generation      uint64 `json:"generation"`
+	Rules           int    `json:"rules"`
+	Digests         int64  `json:"digests"`
+	RescanNeeded    bool   `json:"rescan_needed"`
+	RescanPending   int64  `json:"rescan_pending"`
+	RescanDone      int64  `json:"rescan_done"`
+	AmendedSessions int    `json:"amended_sessions"`
+	// Ruleset carries the dated ruleset text when ?full=1 is given.
+	Ruleset string `json:"ruleset,omitempty"`
+}
+
+func (s *Server) rulesetState() rulesetJSON {
+	reg := s.cfg.Registry
+	return rulesetJSON{
+		Generation:      reg.Generation(),
+		Rules:           reg.NumRules(),
+		Digests:         reg.DigestCount(),
+		RescanNeeded:    reg.RescanNeeded(),
+		RescanPending:   reg.RescanPending(),
+		RescanDone:      reg.RescanDone(),
+		AmendedSessions: s.cfg.Store.AmendmentStats().Sessions,
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// handleRulesetGet reports the registry's state: generation, rule count, and
+// re-attribution progress. Never cached: rescan gauges move without the
+// store generation changing.
+func (s *Server) handleRulesetGet(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Registry == nil {
+		http.Error(w, "ruleset registry not enabled", http.StatusNotFound)
+		return
+	}
+	out := s.rulesetState()
+	if v := r.URL.Query().Get("full"); v == "1" || v == "true" {
+		var b bytes.Buffer
+		if err := rules.WriteDatedRuleset(&b, s.cfg.Registry.Ruleset()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		out.Ruleset = b.String()
+	}
+	s.writeJSON(w, out)
+}
+
+// handleRulesetPublish appends a ruleset delta (request body: dated ruleset
+// text, a publication comment per rule) to the journal and swaps the live
+// engine. The response reports the new generation; re-attribution of stored
+// history is queued, not yet run — POST /v1/ruleset/rescan drives it.
+func (s *Server) handleRulesetPublish(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Registry == nil {
+		http.Error(w, "ruleset registry not enabled", http.StatusNotFound)
+		return
+	}
+	delta, errs := rules.ParseDatedSet(r.Body)
+	if len(errs) > 0 {
+		msgs := make([]string, 0, len(errs))
+		for _, err := range errs {
+			msgs = append(msgs, err.Error())
+		}
+		http.Error(w, "bad ruleset delta:\n"+strings.Join(msgs, "\n"), http.StatusBadRequest)
+		return
+	}
+	if len(delta) == 0 {
+		http.Error(w, "empty ruleset delta", http.StatusBadRequest)
+		return
+	}
+	if _, err := s.cfg.Registry.Publish(delta); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.writeJSON(w, s.rulesetState())
+}
+
+// rescanStatsJSON is the wire form of one rescan run's outcome.
+type rescanStatsJSON struct {
+	Digests    int         `json:"digests"`
+	Amended    int         `json:"amended"`
+	Additions  int         `json:"additions"`
+	Retracted  int         `json:"retracted"`
+	SkippedCap int         `json:"skipped_truncated"`
+	Ruleset    rulesetJSON `json:"ruleset"`
+}
+
+// handleRulesetRescan runs the queued re-attribution pass synchronously and
+// reports what it amended. Rescans are serialized inside the registry, so a
+// concurrent POST waits rather than doubling work.
+func (s *Server) handleRulesetRescan(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Registry == nil {
+		http.Error(w, "ruleset registry not enabled", http.StatusNotFound)
+		return
+	}
+	st, err := s.cfg.Registry.Rescan(s.cfg.Store)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.writeJSON(w, rescanStatsJSON{
+		Digests:    st.Digests,
+		Amended:    st.Amended,
+		Additions:  st.Additions,
+		Retracted:  st.Retracted,
+		SkippedCap: st.SkippedCap,
+		Ruleset:    s.rulesetState(),
+	})
 }
 
 // eventJSON is the wire form of an attributed event.

@@ -34,6 +34,12 @@ type View struct {
 	ckptSeq  uint64
 	hasCkpt  bool
 
+	// amended counts distinct sessions whose labels at this view's time
+	// differ from the sealed raw history; resolved holds the full re-labeled
+	// event list when any amendments apply (nil otherwise).
+	amended  int
+	resolved []ids.Event
+
 	eventsOnce sync.Once
 	events     []ids.Event
 	eventsErr  error
@@ -114,7 +120,51 @@ func (e *Engine) AsOf(t time.Time) (*View, error) {
 		}
 	}
 	v.agg = agg
+	if err := v.overlayAmendments(); err != nil {
+		return nil, err
+	}
 	return v, nil
+}
+
+// overlayAmendments re-labels the view under the store's amendment log. When
+// a retroactive rescan has re-attributed sessions at or before t, the
+// aggregate assembled above (which covers sealed raw history) is discarded
+// and rebuilt from the resolved event list, so Stats, Timelines, and diffs
+// all answer under earliest-published-match over the current ruleset.
+//
+// Views over unamended history pay nothing. Views that do intersect
+// amendments pay one full materialization: sealed segments stay raw — the
+// original record is never rewritten — so exactness has to come from a
+// replay. Re-attribution is an operator-triggered exception, not the steady
+// state, and the cost is the same full scan Events() already performs.
+func (v *View) overlayAmendments() error {
+	all := v.eng.store.Amendments()
+	if len(all) == 0 {
+		return nil
+	}
+	var appl []eventstore.Amendment
+	for _, a := range all {
+		// An amendment's Event.Time is the session start even for
+		// retractions, so the time filter is exact.
+		if !a.Event.Time.After(v.t) {
+			appl = append(appl, a)
+		}
+	}
+	if len(appl) == 0 {
+		return nil
+	}
+	raw, err := v.rawEvents()
+	if err != nil {
+		return err
+	}
+	resolved := eventstore.ApplyAmendments(raw, appl)
+	agg := NewAggregate()
+	agg.Stats.AddSessions(v.agg.Stats.Stats().Sessions)
+	agg.Add(resolved, v.eng.rulePub)
+	v.agg = agg
+	v.resolved = resolved
+	v.amended = len(eventstore.ResolveAmendments(appl))
+	return nil
 }
 
 // Time returns the as-of instant.
@@ -123,6 +173,10 @@ func (v *View) Time() time.Time { return v.t }
 // Replayed reports how many events were folded in beyond the checkpoint —
 // the incremental work this view cost.
 func (v *View) Replayed() int { return v.replayed }
+
+// Amended reports the distinct sessions whose labels at this view's time
+// differ from the sealed raw history — zero when no re-attribution applies.
+func (v *View) Amended() int { return v.amended }
 
 // EventCount returns the number of events in the view.
 func (v *View) EventCount() int { return v.agg.EventCount() }
@@ -142,28 +196,48 @@ func (v *View) Timelines() []lifecycle.Timeline { return v.agg.Life.Timelines() 
 // the raw distribution — and is computed once per view, on demand.
 func (v *View) Events() ([]ids.Event, error) {
 	v.eventsOnce.Do(func() {
-		var out []ids.Event
-		collect := func(ev ids.Event) error {
-			out = append(out, ev)
-			return nil
+		if v.resolved != nil {
+			v.events = v.resolved
+			return
 		}
-		for _, m := range v.segs {
-			if err := m.scanRange(v.eng.fs, false, time.Time{}, v.t, collect); err != nil {
-				v.eventsErr = err
-				return
-			}
-		}
-		out = append(out, v.tail...)
-		eventstore.SortEvents(out)
-		v.events = out
+		v.events, v.eventsErr = v.rawEvents()
 	})
 	return v.events, v.eventsErr
+}
+
+// rawEvents materializes the sealed-history event list with Time <= t,
+// before any amendment overlay, canonically ordered.
+func (v *View) rawEvents() ([]ids.Event, error) {
+	var out []ids.Event
+	collect := func(ev ids.Event) error {
+		out = append(out, ev)
+		return nil
+	}
+	for _, m := range v.segs {
+		if err := m.scanRange(v.eng.fs, false, time.Time{}, v.t, collect); err != nil {
+			return nil, err
+		}
+	}
+	out = append(out, v.tail...)
+	eventstore.SortEvents(out)
+	return out, nil
 }
 
 // CVEEvents returns only the named CVE's events with Time <= t, canonically
 // ordered. Segments whose bloom filter rules the CVE out are skipped
 // without being read.
 func (v *View) CVEEvents(cve string) ([]ids.Event, error) {
+	if v.resolved != nil {
+		// Amended view: the resolved list is already materialized and
+		// sorted; segment bloom filters cannot answer for re-labeled events.
+		var out []ids.Event
+		for _, ev := range v.resolved {
+			if ev.CVE == cve {
+				out = append(out, ev)
+			}
+		}
+		return out, nil
+	}
 	var out []ids.Event
 	collect := func(ev ids.Event) error {
 		out = append(out, ev)

@@ -84,6 +84,7 @@ func (c Config) withDefaults() Config {
 type Study struct {
 	cfg     Config
 	engine  *ids.Engine
+	rules   []rules.DatedRule
 	ruleset map[int]time.Time
 	tel     *telescope.Telescope
 }
@@ -110,6 +111,7 @@ func NewStudy(cfg Config) (*Study, error) {
 	return &Study{
 		cfg:     cfg,
 		engine:  ids.NewEngine(rs, ids.Config{PortInsensitive: !cfg.PortSensitive}),
+		rules:   rs,
 		ruleset: pub,
 		tel:     telescope.NewSim(telescope.SimConfig{Seed: cfg.Seed}),
 	}, nil
@@ -230,6 +232,16 @@ func (s *Study) Engine() *ids.Engine { return s.engine }
 
 // RulePublications exposes the SID → publication-time map.
 func (s *Study) RulePublications() map[int]time.Time { return s.ruleset }
+
+// DatedRuleset exposes the compiled study ruleset with per-rule publication
+// times — the base generation a versioned ruleset registry layers deltas on.
+func (s *Study) DatedRuleset() []rules.DatedRule { return s.rules }
+
+// EngineConfig returns the ids.Config the study's engine was compiled with,
+// so a registry rebuilding the engine per generation matches its semantics.
+func (s *Study) EngineConfig() ids.Config {
+	return ids.Config{PortInsensitive: !s.cfg.PortSensitive}
+}
 
 // ---- Tables ----
 
