@@ -15,6 +15,7 @@
 //	         [-timeline tl/] [-timeline-segment 4096] [-timeline-checkpoint 1]
 //	         [-timeline-seal 5s]
 //	         [-rules-dir rules/] [-rules-reload 5s] [-rescan-backlog 0]
+//	         [-replica-listen :8418] [-replica-of host:8418] [-replica-id r1]
 //
 // With -rules-dir the daemon keeps its ruleset in a versioned registry: rule
 // publications appended to the registry journal (POST /v1/ruleset, or
@@ -50,6 +51,16 @@
 // -pprof-listen exposes net/http/pprof on its own address (never on -addr),
 // for profiling a live coordinator.
 //
+// With -replica-listen the daemon also serves its committed event log to
+// read replicas. A second waybackd started with -replica-of (and nothing
+// else to ingest) tails that feed into its own store and serves the full
+// read API from it: every analysis endpoint answers byte-for-byte what the
+// coordinator answers at the same replication cut, replication lag is on
+// /metrics, and /healthz degrades on lost coordinator contact (staleness
+// from the feed's heartbeat, not local appends) or terminal divergence. A
+// restarted replica resumes from its own committed cut — only the delta is
+// re-shipped, never the full log.
+//
 // Shutdown (SIGINT/SIGTERM) drains: every byte already captured flows
 // through to the store before the process exits, so a restart resumes with
 // nothing lost but traffic recorded after the signal.
@@ -72,6 +83,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/ingest"
 	"repro/internal/registry"
+	"repro/internal/replica"
 	"repro/internal/serve"
 	"repro/internal/timeline"
 	"repro/wayback"
@@ -93,6 +105,8 @@ type daemon struct {
 	fleet    *fleet.Listener    // nil without -fleet-listen
 	timeline *timeline.Engine   // nil without -timeline
 	registry *registry.Registry // nil without -rules-dir
+	replica  *replica.Replica   // nil without -replica-of
+	feed     *replica.Feed      // nil without -replica-listen
 	server   *serve.Server
 
 	sealStop chan struct{}
@@ -134,6 +148,14 @@ type daemonConfig struct {
 	rulesDir      string
 	rulesReload   time.Duration // journal poll + rescan worker interval; 0 = 5s
 	rescanBacklog int           // healthz degrades past this many pending digests
+	// replicaOf, when set, runs the daemon as a read replica: no local
+	// capture, no fleet, no ruleset registry — the store tails the named
+	// coordinator's replication feed and the HTTP API serves from it.
+	replicaOf string
+	replicaID string // replica identity at the feed; default hostname
+	// replicaListen, when set, serves this store's committed log to read
+	// replicas.
+	replicaListen string
 }
 
 func openDaemon(cfg daemonConfig) (*daemon, error) {
@@ -149,8 +171,12 @@ func openDaemon(cfg daemonConfig) (*daemon, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.watchDir == "" && cfg.fleetListen == "" {
-		return nil, errors.New("need -watch, -fleet-listen, or both")
+	if cfg.replicaOf != "" {
+		if cfg.watchDir != "" || cfg.fleetListen != "" || cfg.rulesDir != "" || cfg.replicaListen != "" {
+			return nil, errors.New("-replica-of is exclusive with -watch, -fleet-listen, -rules-dir, and -replica-listen: a read replica only tails its coordinator")
+		}
+	} else if cfg.watchDir == "" && cfg.fleetListen == "" {
+		return nil, errors.New("need -watch, -fleet-listen, or -replica-of")
 	}
 	store, err := wayback.OpenStore(cfg.storeDir)
 	if err != nil {
@@ -216,7 +242,46 @@ func openDaemon(cfg daemonConfig) (*daemon, error) {
 			return nil, err
 		}
 	}
+	var rep *replica.Replica
+	if cfg.replicaOf != "" {
+		id := cfg.replicaID
+		if id == "" {
+			if h, herr := os.Hostname(); herr == nil && h != "" {
+				id = h
+			} else {
+				id = "replica"
+			}
+		}
+		rep, err = replica.Start(replica.Config{Addr: cfg.replicaOf, Store: store, ID: id})
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
+	var feed *replica.Feed
+	if cfg.replicaListen != "" {
+		feed, err = replica.ListenFeed(replica.FeedConfig{Addr: cfg.replicaListen, Store: store, Sync: true})
+		if err != nil {
+			if fl != nil {
+				fl.Close()
+			}
+			if pipeline != nil {
+				pipeline.Close()
+			}
+			if reg != nil {
+				reg.Close()
+			}
+			store.Close()
+			return nil, err
+		}
+	}
 	cleanup := func() {
+		if feed != nil {
+			feed.Close()
+		}
+		if rep != nil {
+			rep.Close()
+		}
 		if fl != nil {
 			fl.Close()
 		}
@@ -249,12 +314,18 @@ func openDaemon(cfg daemonConfig) (*daemon, error) {
 	if fl != nil {
 		srvCfg.Fleet = fl
 	}
+	if rep != nil {
+		srvCfg.Replica = rep
+	}
+	if feed != nil {
+		srvCfg.ReplicaFeed = feed
+	}
 	server, err := serve.New(srvCfg)
 	if err != nil {
 		cleanup()
 		return nil, err
 	}
-	d := &daemon{study: study, store: store, pipeline: pipeline, fleet: fl, timeline: tl, registry: reg, server: server}
+	d := &daemon{study: study, store: store, pipeline: pipeline, fleet: fl, timeline: tl, registry: reg, replica: rep, feed: feed, server: server}
 	if tl != nil {
 		interval := cfg.tlSeal
 		if interval <= 0 {
@@ -362,6 +433,16 @@ func (d *daemon) close() error {
 			err = ferr
 		}
 	}
+	if d.feed != nil {
+		if ferr := d.feed.Close(); err == nil {
+			err = ferr
+		}
+	}
+	if d.replica != nil {
+		if rerr := d.replica.Close(); err == nil {
+			err = rerr
+		}
+	}
 	if terr := d.stopTimeline(); err == nil {
 		err = terr
 	}
@@ -401,14 +482,17 @@ func run(args []string) error {
 	rulesDir := fs.String("rules-dir", "", "versioned ruleset registry directory (journal, digests, automaton cache); empty = off")
 	rulesReload := fs.Duration("rules-reload", 5*time.Second, "ruleset journal poll + rescan worker interval")
 	rescanBacklog := fs.Int("rescan-backlog", 0, "healthz degrades past this many pending rescan digests (0 = 65536, negative = never)")
+	replicaOf := fs.String("replica-of", "", "run as a read replica tailing this coordinator's -replica-listen address; exclusive with -watch/-fleet-listen/-rules-dir")
+	replicaID := fs.String("replica-id", "", "replica identity reported to the coordinator (default: hostname)")
+	replicaListen := fs.String("replica-listen", "", "serve the committed log to read replicas on this address (\":8418\"); empty = off")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *storeDir == "" {
 		return errors.New("-store is required")
 	}
-	if *watch == "" && *fleetListen == "" {
-		return errors.New("need -watch (local capture), -fleet-listen (coordinator), or both")
+	if *watch == "" && *fleetListen == "" && *replicaOf == "" {
+		return errors.New("need -watch (local capture), -fleet-listen (coordinator), or -replica-of (read replica)")
 	}
 
 	d, err := openDaemon(daemonConfig{
@@ -421,6 +505,7 @@ func run(args []string) error {
 		timelineDir:    *timelineDir,
 		tlSegment:      *tlSegment, tlCheckpoint: *tlCheckpoint, tlSeal: *tlSeal,
 		rulesDir: *rulesDir, rulesReload: *rulesReload, rescanBacklog: *rescanBacklog,
+		replicaOf: *replicaOf, replicaID: *replicaID, replicaListen: *replicaListen,
 	})
 	if err != nil {
 		return err
@@ -453,6 +538,9 @@ func run(args []string) error {
 		}
 	}()
 	switch {
+	case *replicaOf != "":
+		fmt.Printf("waybackd: read replica of %s, store %s, listening on %s\n",
+			*replicaOf, *storeDir, *addr)
 	case *watch != "" && *fleetListen != "":
 		fmt.Printf("waybackd: tailing %s, fleet on %s, store %s, listening on %s\n",
 			*watch, *fleetListen, *storeDir, *addr)
@@ -462,6 +550,9 @@ func run(args []string) error {
 	default:
 		fmt.Printf("waybackd: tailing %s (prefix %s), store %s, listening on %s\n",
 			*watch, *prefix, *storeDir, *addr)
+	}
+	if *replicaListen != "" {
+		fmt.Printf("waybackd: replication feed on %s\n", *replicaListen)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -487,6 +578,16 @@ func run(args []string) error {
 			drainErr = err
 		}
 	}
+	if d.feed != nil {
+		if err := d.feed.Close(); err != nil && drainErr == nil {
+			drainErr = err
+		}
+	}
+	if d.replica != nil {
+		if err := d.replica.Close(); err != nil && drainErr == nil {
+			drainErr = err
+		}
+	}
 	// Seal the committed tail so the next start answers as-of queries from
 	// durable segments instead of replaying the store.
 	if err := d.stopTimeline(); err != nil && drainErr == nil {
@@ -505,14 +606,19 @@ func run(args []string) error {
 	if err := d.store.Close(); err != nil && drainErr == nil {
 		drainErr = err
 	}
-	if d.pipeline != nil {
+	switch {
+	case d.pipeline != nil:
 		m := d.pipeline.Metrics()
 		fmt.Printf("waybackd: drained (%d packets, %d sessions, %d events, %d segments)\n",
 			m.Packets, m.Sessions, m.Events, m.SegmentsDone)
-	} else {
+	case d.fleet != nil:
 		batches, events, dups := d.fleet.Totals()
 		fmt.Printf("waybackd: drained (%d fleet batches, %d events, %d duplicates dropped)\n",
 			batches, events, dups)
+	case d.replica != nil:
+		st := d.replica.Status()
+		fmt.Printf("waybackd: drained (replica applied %d events, %d amendments, lag %d)\n",
+			st.EventsApplied, st.AmendsApplied, st.LagEvents)
 	}
 	return drainErr
 }

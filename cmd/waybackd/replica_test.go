@@ -1,0 +1,122 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/wayback"
+)
+
+// TestDaemonReplicaMode drives the production wiring for a coordinator/
+// replica pair: one daemon serving the replication feed, a second daemon in
+// -replica-of mode tailing it. The replica's Table 4 must equal the
+// coordinator's byte for byte once caught up, and its /metrics must carry the
+// replication gauges.
+func TestDaemonReplicaMode(t *testing.T) {
+	const seed, scale = 1, 20
+	study, err := wayback.NewStudy(wayback.Config{Seed: seed, Scale: scale, PipelineTimelines: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := study.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Coordinator: no local capture needed — seed its store directly and let
+	// the feed's own Sync commit it.
+	coordStore := t.TempDir()
+	coord, err := openDaemon(daemonConfig{
+		storeDir: coordStore, seed: seed, timelines: "pipeline",
+		fleetListen:   "127.0.0.1:0",
+		replicaListen: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.close()
+	if err := coord.store.AppendBatch(batch.Events); err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := openDaemon(daemonConfig{
+		storeDir: t.TempDir(), seed: seed, timelines: "pipeline",
+		replicaOf: coord.feed.Addr(), replicaID: "r1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.close()
+
+	coordTS := httptest.NewServer(coord.server.Handler())
+	defer coordTS.Close()
+	repTS := httptest.NewServer(rd.server.Handler())
+	defer repTS.Close()
+	get := func(base, path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := rd.replica.Status()
+		if st.Rounds > 0 && st.LocalEvents == uint64(len(batch.Events)) && st.LagEvents == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never caught up: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	_, want := get(coordTS.URL, "/v1/tables/4")
+	code, got := get(repTS.URL, "/v1/tables/4")
+	if code != http.StatusOK {
+		t.Fatalf("replica tables/4: %d: %s", code, got)
+	}
+	if got != want {
+		t.Errorf("replica Table 4 differs from coordinator:\n--- replica ---\n%s--- coordinator ---\n%s", got, want)
+	}
+	if want != batch.Table4().String() {
+		t.Error("coordinator Table 4 differs from the batch run")
+	}
+
+	if code, body := get(repTS.URL, "/healthz"); code != http.StatusOK || !strings.HasPrefix(body, "ok\n") {
+		t.Fatalf("replica healthz: %d %q", code, body)
+	}
+	_, metrics := get(repTS.URL, "/metrics")
+	for _, want := range []string{"waybackd_replica_connected 1", "waybackd_replica_lag_events 0"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("replica metrics missing %q", want)
+		}
+	}
+	_, coordMetrics := get(coordTS.URL, "/metrics")
+	if !strings.Contains(coordMetrics, `waybackd_replica_feed_connected{replica="r1"} 1`) {
+		t.Errorf("coordinator metrics missing the feed gauge:\n%s", coordMetrics)
+	}
+}
+
+// TestReplicaFlagValidation: replica mode excludes every ingest source.
+func TestReplicaFlagValidation(t *testing.T) {
+	if err := run([]string{"-store", t.TempDir(), "-replica-of", "localhost:1", "-watch", t.TempDir()}); err == nil ||
+		!strings.Contains(err.Error(), "exclusive") {
+		t.Errorf("replica+watch accepted: %v", err)
+	}
+	if err := run([]string{"-store", t.TempDir(), "-replica-of", "localhost:1", "-fleet-listen", "127.0.0.1:0"}); err == nil ||
+		!strings.Contains(err.Error(), "exclusive") {
+		t.Errorf("replica+fleet accepted: %v", err)
+	}
+}

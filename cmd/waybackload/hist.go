@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// hist is a log-linear latency histogram in the HDR style: values below 32
+// land in unit-width buckets; above that, each power-of-two octave is split
+// into 32 equal sub-buckets, bounding quantile error at ~3% of the reported
+// value while the whole structure stays a flat fixed-size array — recording
+// is one index computation and one increment, no allocation, so the load
+// generator's measurement cost cannot distort the latencies it measures.
+//
+// Values are recorded in nanoseconds. The top bucket index for any int64
+// nanosecond value is 1887, so histBuckets covers the full range.
+const histBuckets = 1888
+
+type hist struct {
+	counts [histBuckets]uint64
+	total  uint64
+	max    int64
+	sum    int64
+}
+
+// bucketOf maps a non-negative value to its bucket index.
+func bucketOf(u int64) int {
+	if u < 32 {
+		return int(u)
+	}
+	e := bits.Len64(uint64(u)) - 1 // 2^e <= u < 2^(e+1)
+	k := e - 4
+	return k*32 + int(u>>(k-1)) - 32
+}
+
+// bucketMax is the largest value that maps into bucket idx — quantiles report
+// this upper edge, so they never understate a latency.
+func bucketMax(idx int) int64 {
+	if idx < 32 {
+		return int64(idx)
+	}
+	k := (idx-32)/32 + 1
+	m := int64((idx - 32) % 32)
+	return (32+m+1)<<(k-1) - 1
+}
+
+func (h *hist) record(d time.Duration) {
+	u := int64(d)
+	if u < 0 {
+		u = 0
+	}
+	h.counts[bucketOf(u)]++
+	h.total++
+	h.sum += u
+	if u > h.max {
+		h.max = u
+	}
+}
+
+// merge folds other into h; each client records into its own hist so the hot
+// path is lock-free, and the report merges them once at the end.
+func (h *hist) merge(other *hist) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// quantile returns the upper edge of the bucket holding the q-th value
+// (0 < q <= 1). The true max is substituted for the top occupied bucket so
+// p100 is exact.
+func (h *hist) quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketMax(i)
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+func (h *hist) mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.total))
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", float64(d)/float64(time.Second))
+	}
+}

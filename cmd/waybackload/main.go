@@ -1,0 +1,347 @@
+// Command waybackload drives a waybackd read path with an open-loop,
+// QPS-ramped HTTP workload and reports latency quantiles per stage.
+//
+//	waybackload -addr 127.0.0.1:8080 -qps 50,200 -stage 10s -clients 8 \
+//	    -endpoints 'tables/4:4,tables/5:2,figures/3:1,figures/7:1' \
+//	    -asof 2021-07-01T00:00:00Z -asof-frac 0.25 \
+//	    -slo-p99 250ms -max-error-rate 0
+//
+// The load model is open-loop: a shared ticket counter assigns each request a
+// scheduled send time derived from the stage's target QPS, and latency is
+// measured from that *scheduled* time, not from when a worker finally got
+// around to sending. A server that stalls therefore shows the stall in the
+// tail quantiles instead of silently throttling the generator — the classic
+// coordinated-omission trap that closed-loop "send, wait, repeat" rigs fall
+// into.
+//
+// Each -qps entry is one stage of -stage duration; stages run in order, so
+// "50,200" ramps from a warm baseline to the stress level under one process.
+// -slo-p99 gates the worst per-stage p99 and -max-error-rate the overall
+// error fraction; a violated gate exits nonzero, which is what CI's loadsmoke
+// job keys off.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type endpoint struct {
+	path   string
+	weight int
+}
+
+type loadConfig struct {
+	base      string
+	endpoints []endpoint
+	asof      []string
+	asofFrac  float64
+	clients   int
+	qps       []float64
+	stage     time.Duration
+	warmup    time.Duration
+	timeout   time.Duration
+	seed      int64
+	sloP99    time.Duration
+	maxErrRat float64
+	jsonOut   string
+}
+
+// stageResult is one completed stage's merged measurement.
+type stageResult struct {
+	TargetQPS   float64 `json:"target_qps"`
+	Sent        uint64  `json:"sent"`
+	Errors      uint64  `json:"errors"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P90Ms       float64 `json:"p90_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+	MeanMs      float64 `json:"mean_ms"`
+
+	p50, p90, p99, max, mean time.Duration
+}
+
+type report struct {
+	Addr      string        `json:"addr"`
+	Stages    []stageResult `json:"stages"`
+	WorstP99  float64       `json:"worst_p99_ms"`
+	ErrorRate float64       `json:"error_rate"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "waybackload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+
+	client := &http.Client{
+		Timeout: cfg.timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.clients * 2,
+			MaxIdleConnsPerHost: cfg.clients * 2,
+		},
+	}
+
+	if cfg.warmup > 0 {
+		fmt.Fprintf(stdout, "warmup: %s at %g qps\n", cfg.warmup, cfg.qps[0])
+		runStage(cfg, client, cfg.qps[0], cfg.warmup)
+	}
+
+	rep := report{Addr: cfg.base}
+	var totalSent, totalErr uint64
+	for _, qps := range cfg.qps {
+		res := runStage(cfg, client, qps, cfg.stage)
+		rep.Stages = append(rep.Stages, res)
+		totalSent += res.Sent
+		totalErr += res.Errors
+		if res.P99Ms > rep.WorstP99 {
+			rep.WorstP99 = res.P99Ms
+		}
+		fmt.Fprintf(stdout,
+			"stage %6g qps: sent %6d  errors %d  achieved %7.1f qps  p50 %s  p90 %s  p99 %s  max %s\n",
+			qps, res.Sent, res.Errors, res.AchievedQPS,
+			fmtDur(res.p50), fmtDur(res.p90), fmtDur(res.p99), fmtDur(res.max))
+	}
+	if totalSent > 0 {
+		rep.ErrorRate = float64(totalErr) / float64(totalSent)
+	}
+
+	if cfg.jsonOut != "" {
+		enc, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		enc = append(enc, '\n')
+		if cfg.jsonOut == "-" {
+			stdout.Write(enc)
+		} else if err := os.WriteFile(cfg.jsonOut, enc, 0o644); err != nil {
+			return err
+		}
+	}
+
+	// Gates: worst per-stage p99 against the SLO, then overall error rate.
+	// Both reported together so a failing run names everything wrong at once.
+	var fails []string
+	if cfg.sloP99 > 0 && rep.WorstP99 > float64(cfg.sloP99)/float64(time.Millisecond) {
+		fails = append(fails, fmt.Sprintf("p99 %.1fms exceeds SLO %s", rep.WorstP99, cfg.sloP99))
+	}
+	if rep.ErrorRate > cfg.maxErrRat {
+		fails = append(fails, fmt.Sprintf("error rate %.4f exceeds limit %.4f (%d/%d failed)",
+			rep.ErrorRate, cfg.maxErrRat, totalErr, totalSent))
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("%s", strings.Join(fails, "; "))
+	}
+	fmt.Fprintf(stdout, "pass: worst p99 %.1fms, error rate %.4f over %d requests\n",
+		rep.WorstP99, rep.ErrorRate, totalSent)
+	return nil
+}
+
+func parseFlags(args []string) (*loadConfig, error) {
+	fs := flag.NewFlagSet("waybackload", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "", "daemon address to load (host:port or http URL)")
+		endpoints = fs.String("endpoints", "tables/4:4,tables/5:2,figures/3:1,figures/7:1",
+			"comma-separated path:weight mix, paths relative to /v1/")
+		asof     = fs.String("asof", "", "comma-separated RFC 3339 cut times for ?asof= queries")
+		asofFrac = fs.Float64("asof-frac", 0.25, "fraction of requests carrying ?asof= (needs -asof)")
+		clients  = fs.Int("clients", 8, "concurrent workers draining the schedule")
+		qps      = fs.String("qps", "50", "comma-separated QPS ramp, one stage per entry")
+		stage    = fs.Duration("stage", 10*time.Second, "duration of each ramp stage")
+		warmup   = fs.Duration("warmup", time.Second, "unmeasured warmup at the first stage's QPS")
+		timeout  = fs.Duration("timeout", 5*time.Second, "per-request timeout")
+		seed     = fs.Int64("seed", 1, "workload mix RNG seed")
+		sloP99   = fs.Duration("slo-p99", 0, "fail if any stage's p99 exceeds this (0 disables)")
+		maxErr   = fs.Float64("max-error-rate", 0, "fail if overall error fraction exceeds this")
+		jsonOut  = fs.String("json", "", "write a JSON report to this path ('-' for stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if *addr == "" {
+		return nil, fmt.Errorf("need -addr")
+	}
+	base := *addr
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+
+	cfg := &loadConfig{
+		base: base, asofFrac: *asofFrac, clients: *clients,
+		stage: *stage, warmup: *warmup, timeout: *timeout, seed: *seed,
+		sloP99: *sloP99, maxErrRat: *maxErr, jsonOut: *jsonOut,
+	}
+	if cfg.clients < 1 {
+		return nil, fmt.Errorf("-clients must be >= 1")
+	}
+	if cfg.stage <= 0 {
+		return nil, fmt.Errorf("-stage must be positive")
+	}
+	for _, part := range strings.Split(*endpoints, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		path, weightStr, ok := strings.Cut(part, ":")
+		w := 1
+		if ok {
+			var err error
+			if w, err = strconv.Atoi(weightStr); err != nil || w < 1 {
+				return nil, fmt.Errorf("endpoint %q: weight must be a positive integer", part)
+			}
+		}
+		if !strings.HasPrefix(path, "/") {
+			path = "/v1/" + path
+		}
+		cfg.endpoints = append(cfg.endpoints, endpoint{path: path, weight: w})
+	}
+	if len(cfg.endpoints) == 0 {
+		return nil, fmt.Errorf("-endpoints is empty")
+	}
+	for _, part := range strings.Split(*asof, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			if _, err := time.Parse(time.RFC3339, part); err != nil {
+				return nil, fmt.Errorf("-asof %q: %v", part, err)
+			}
+			cfg.asof = append(cfg.asof, part)
+		}
+	}
+	if cfg.asofFrac < 0 || cfg.asofFrac > 1 {
+		return nil, fmt.Errorf("-asof-frac must be in [0,1]")
+	}
+	for _, part := range strings.Split(*qps, ",") {
+		q, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || q <= 0 {
+			return nil, fmt.Errorf("-qps %q: entries must be positive numbers", part)
+		}
+		cfg.qps = append(cfg.qps, q)
+	}
+	return cfg, nil
+}
+
+// runStage drives one open-loop stage at the target QPS and returns the
+// merged measurement. Workers pull tickets from a shared counter; ticket n's
+// scheduled send time is start + n/qps, and that schedule — not the worker's
+// actual send time — is the latency origin.
+func runStage(cfg *loadConfig, client *http.Client, qps float64, dur time.Duration) stageResult {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var tickets atomic.Uint64
+	interval := time.Duration(float64(time.Second) / qps)
+	start := time.Now()
+	end := start.Add(dur)
+
+	type workerState struct {
+		h    hist
+		errs uint64
+	}
+	states := make([]workerState, cfg.clients)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &states[w]
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)*7919))
+			for {
+				n := tickets.Add(1) - 1
+				sched := start.Add(time.Duration(n) * interval)
+				if sched.After(end) {
+					return
+				}
+				if d := time.Until(sched); d > 0 {
+					time.Sleep(d)
+				}
+				url := cfg.base + cfg.pickPath(rng)
+				ok := doRequest(ctx, client, url)
+				st.h.record(time.Since(sched))
+				if !ok {
+					st.errs++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var h hist
+	var errs uint64
+	for i := range states {
+		h.merge(&states[i].h)
+		errs += states[i].errs
+	}
+	res := stageResult{
+		TargetQPS: qps,
+		Sent:      h.total,
+		Errors:    errs,
+		p50:       h.quantile(0.50),
+		p90:       h.quantile(0.90),
+		p99:       h.quantile(0.99),
+		max:       time.Duration(h.max),
+		mean:      h.mean(),
+	}
+	if elapsed > 0 {
+		res.AchievedQPS = float64(h.total) / elapsed.Seconds()
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	res.P50Ms, res.P90Ms, res.P99Ms = ms(res.p50), ms(res.p90), ms(res.p99)
+	res.MaxMs, res.MeanMs = ms(res.max), ms(res.mean)
+	return res
+}
+
+// pickPath draws one request path from the weighted endpoint mix, appending
+// ?asof= for the configured fraction.
+func (cfg *loadConfig) pickPath(rng *rand.Rand) string {
+	total := 0
+	for _, e := range cfg.endpoints {
+		total += e.weight
+	}
+	n := rng.Intn(total)
+	path := cfg.endpoints[len(cfg.endpoints)-1].path
+	for _, e := range cfg.endpoints {
+		if n < e.weight {
+			path = e.path
+			break
+		}
+		n -= e.weight
+	}
+	if len(cfg.asof) > 0 && rng.Float64() < cfg.asofFrac {
+		path += "?asof=" + cfg.asof[rng.Intn(len(cfg.asof))]
+	}
+	return path
+}
+
+func doRequest(ctx context.Context, client *http.Client, url string) bool {
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHistBuckets: the log-linear index must be monotone, the bucket upper
+// edge must bound every value the bucket holds, and the relative error of the
+// upper edge stays under the 1/32 sub-bucket width.
+func TestHistBuckets(t *testing.T) {
+	prev := -1
+	for _, u := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 127, 128, 1 << 20, 1<<20 + 1, 1 << 40, 1<<62 + 12345, 1<<63 - 1} {
+		idx := bucketOf(u)
+		if idx < prev {
+			t.Fatalf("bucketOf(%d)=%d below previous %d: not monotone", u, idx, prev)
+		}
+		prev = idx
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketOf(%d)=%d out of range", u, idx)
+		}
+		upper := bucketMax(idx)
+		if upper < u {
+			t.Fatalf("bucketMax(%d)=%d < value %d it covers", idx, upper, u)
+		}
+		if u >= 32 {
+			if rel := float64(upper-u) / float64(u); rel > 1.0/16 {
+				t.Fatalf("bucketMax(%d)=%d overstates %d by %.3f", idx, upper, u, rel)
+			}
+		}
+	}
+	// Exhaustive adjacency: every bucket's max + 1 must land in the next one.
+	for idx := 0; idx < 100; idx++ {
+		if got := bucketOf(bucketMax(idx)); got != idx {
+			t.Fatalf("bucketOf(bucketMax(%d)) = %d", idx, got)
+		}
+		if got := bucketOf(bucketMax(idx) + 1); got != idx+1 {
+			t.Fatalf("bucketOf(bucketMax(%d)+1) = %d, want %d", idx, got, idx+1)
+		}
+	}
+}
+
+// TestHistQuantiles: against a uniform sample, the histogram's quantiles must
+// land within a sub-bucket of the exact ones.
+func TestHistQuantiles(t *testing.T) {
+	var h hist
+	rng := rand.New(rand.NewSource(42))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h.record(time.Duration(rng.Int63n(int64(100 * time.Millisecond))))
+	}
+	if h.total != n {
+		t.Fatalf("total %d, want %d", h.total, n)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := float64(h.quantile(q))
+		want := q * float64(100*time.Millisecond)
+		if got < want*0.93 || got > want*1.07 {
+			t.Errorf("quantile(%g) = %s, want ~%s", q, time.Duration(got), time.Duration(want))
+		}
+	}
+	if h.quantile(1) != time.Duration(h.max) {
+		t.Errorf("p100 %s != max %s", h.quantile(1), time.Duration(h.max))
+	}
+
+	var a, b hist
+	a.record(time.Millisecond)
+	b.record(3 * time.Millisecond)
+	a.merge(&b)
+	if a.total != 2 || time.Duration(a.max) != 3*time.Millisecond {
+		t.Errorf("merge: total %d max %s", a.total, time.Duration(a.max))
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-addr", "127.0.0.1:1", "-qps", "10,50", "-endpoints", "tables/4:3,/metrics",
+		"-asof", "2021-07-01T00:00:00Z", "-asof-frac", "0.5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.base != "http://127.0.0.1:1" {
+		t.Errorf("base %q", cfg.base)
+	}
+	if len(cfg.qps) != 2 || cfg.qps[1] != 50 {
+		t.Errorf("qps %v", cfg.qps)
+	}
+	if len(cfg.endpoints) != 2 || cfg.endpoints[0].path != "/v1/tables/4" ||
+		cfg.endpoints[0].weight != 3 || cfg.endpoints[1].path != "/metrics" || cfg.endpoints[1].weight != 1 {
+		t.Errorf("endpoints %+v", cfg.endpoints)
+	}
+
+	for _, bad := range [][]string{
+		{},
+		{"-addr", "x", "-qps", "0"},
+		{"-addr", "x", "-qps", "ten"},
+		{"-addr", "x", "-endpoints", "tables/4:-1"},
+		{"-addr", "x", "-asof", "yesterday"},
+		{"-addr", "x", "-asof-frac", "1.5"},
+		{"-addr", "x", "-clients", "0"},
+	} {
+		if _, err := parseFlags(bad); err == nil {
+			t.Errorf("parseFlags(%v) accepted", bad)
+		}
+	}
+}
+
+// TestWeightedMix: the picker respects weights and the asof fraction.
+func TestWeightedMix(t *testing.T) {
+	cfg := &loadConfig{
+		endpoints: []endpoint{{path: "/a", weight: 3}, {path: "/b", weight: 1}},
+		asof:      []string{"2021-07-01T00:00:00Z"},
+		asofFrac:  0.5,
+	}
+	rng := rand.New(rand.NewSource(7))
+	counts := map[string]int{}
+	asofs := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		p := cfg.pickPath(rng)
+		if strings.Contains(p, "?asof=") {
+			asofs++
+			p, _, _ = strings.Cut(p, "?")
+		}
+		counts[p]++
+	}
+	if frac := float64(counts["/a"]) / n; frac < 0.70 || frac > 0.80 {
+		t.Errorf("/a drawn %.3f of the time, want ~0.75", frac)
+	}
+	if frac := float64(asofs) / n; frac < 0.45 || frac > 0.55 {
+		t.Errorf("asof on %.3f of requests, want ~0.5", frac)
+	}
+}
+
+// TestRunAgainstServer: a full run against a live server passes its gates,
+// and a deliberately slow server trips the p99 gate with a nonzero result.
+func TestRunAgainstServer(t *testing.T) {
+	var hits atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	var out strings.Builder
+	err := run([]string{
+		"-addr", ts.URL, "-qps", "100,200", "-stage", "300ms", "-warmup", "100ms",
+		"-clients", "4", "-endpoints", "tables/4:1", "-slo-p99", "2s", "-max-error-rate", "0",
+		"-json", "-",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if hits.Load() == 0 {
+		t.Fatal("server never hit")
+	}
+	for _, want := range []string{"stage", "p99", "pass:", `"worst_p99_ms"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(30 * time.Millisecond)
+		w.Write([]byte("ok"))
+	}))
+	defer slow.Close()
+	out.Reset()
+	err = run([]string{
+		"-addr", slow.URL, "-qps", "50", "-stage", "200ms", "-warmup", "0s",
+		"-clients", "4", "-slo-p99", "1ms",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "exceeds SLO") {
+		t.Fatalf("slow server passed the p99 gate: %v", err)
+	}
+
+	// Errors trip the rate gate even with no SLO set.
+	failing := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer failing.Close()
+	out.Reset()
+	err = run([]string{
+		"-addr", failing.URL, "-qps", "50", "-stage", "200ms", "-warmup", "0s", "-clients", "2",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "error rate") {
+		t.Fatalf("failing server passed the error gate: %v", err)
+	}
+}

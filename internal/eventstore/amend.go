@@ -265,6 +265,18 @@ func ApplyAmendments(events []ids.Event, as []Amendment) []ids.Event {
 	return applyAmendments(events, as)
 }
 
+// EncodeAmendment appends a's wire encoding to buf — the same record format
+// amend.log frames on disk, exported so the replica protocol can ship
+// amendment records verbatim.
+func EncodeAmendment(buf []byte, a *Amendment) []byte {
+	return appendAmendment(buf, a)
+}
+
+// DecodeAmendment decodes one EncodeAmendment payload.
+func DecodeAmendment(b []byte) (Amendment, error) {
+	return decodeAmendment(b)
+}
+
 // AmendmentStats summarizes the resolved amendment set for metrics.
 type AmendmentStats struct {
 	Records  int // raw amendment records

@@ -499,6 +499,33 @@ func appendString16(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
+// The replica protocol (internal/replica) reuses this package's framing and
+// batch encoding for log shipping: same torn-frame detection, same
+// compression, different message vocabulary on a different listener. The
+// exported wrappers below are its surface.
+
+// WriteFrame writes one framed payload: u32 length | u32 CRC | payload.
+func WriteFrame(w io.Writer, payload []byte) error { return writeFrame(w, payload) }
+
+// ReadFrame reads one framed payload into buf's storage (growing it as
+// needed), verifying the length bound and CRC.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) { return readFrame(r, buf) }
+
+// MsgBatch is the wire type tag (first payload byte) of an event batch frame.
+const MsgBatch = msgBatch
+
+// EncodeEventBatch encodes and compresses one sequenced event batch frame
+// payload.
+func EncodeEventBatch(seq uint64, events []ids.Event, codec Codec) ([]byte, error) {
+	return encodeBatch(seq, events, codec)
+}
+
+// DecodeEventBatch decodes an EncodeEventBatch payload, whatever its codec.
+func DecodeEventBatch(b []byte) (seq uint64, events []ids.Event, err error) {
+	m, err := decodeBatch(b)
+	return m.Seq, m.Events, err
+}
+
 // ShardOf maps a telescope address onto one of n shards. Both the shard-aware
 // replayer (waybackfeed -shard) and sensors use it, so a session's events are
 // owned by exactly one sensor: the one whose shard its destination hashes to.

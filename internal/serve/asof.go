@@ -62,26 +62,16 @@ func (s *Server) serveTimeline(w http.ResponseWriter, r *http.Request, key strin
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	s.cacheMu.Lock()
-	e, ok := s.cache[key]
-	s.cacheMu.Unlock()
-	if ok && e.gen == gen {
+	body, ctype, hit, err := s.cachedBody(gen, key, build)
+	if hit {
 		s.hits.Add(1)
-		s.write(w, gen, etag, e.body, e.ctype)
-		return
+	} else {
+		s.misses.Add(1)
 	}
-	s.misses.Add(1)
-	body, ctype, err := build()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	s.cacheMu.Lock()
-	if len(s.cache) >= maxCacheEntries {
-		clear(s.cache)
-	}
-	s.cache[key] = cacheEntry{gen: gen, body: body, ctype: ctype}
-	s.cacheMu.Unlock()
 	s.write(w, gen, etag, body, ctype)
 }
 

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// httpLatencyBuckets are the cumulative histogram bounds (seconds) for
+// waybackd_http_request_seconds. The +Inf bucket is implicit. The range spans
+// a cache hit (sub-millisecond) to a cold analysis rebuild, so a load rig's
+// client-side percentiles can be cross-checked against server-side truth.
+var httpLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// httpStats accumulates per-(route, status) latency histograms. Routes are
+// the registered patterns ("/v1/tables/{n}"), not raw URLs, so cardinality is
+// bounded by the API surface times the handful of status codes it answers.
+type httpStats struct {
+	mu sync.Mutex
+	m  map[string]*routeStats
+}
+
+type routeStats struct {
+	path    string
+	code    string
+	count   uint64
+	sum     float64
+	buckets []uint64 // cumulative-at-emission counts per httpLatencyBuckets bound
+}
+
+func (h *httpStats) observe(path string, code int, seconds float64) {
+	key := path + " " + strconv.Itoa(code)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.m == nil {
+		h.m = make(map[string]*routeStats)
+	}
+	rs, ok := h.m[key]
+	if !ok {
+		rs = &routeStats{path: path, code: strconv.Itoa(code), buckets: make([]uint64, len(httpLatencyBuckets))}
+		h.m[key] = rs
+	}
+	rs.count++
+	rs.sum += seconds
+	for i, le := range httpLatencyBuckets {
+		if seconds <= le {
+			rs.buckets[i]++
+			break
+		}
+	}
+}
+
+// writeProm emits the histograms in Prometheus text exposition, routes sorted
+// for deterministic output. Bucket counts are written cumulatively (each le
+// bucket includes every faster request), per the exposition format.
+func (h *httpStats) writeProm(w io.Writer) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	keys := make([]string, 0, len(h.m))
+	for k := range h.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		rs := h.m[k]
+		var cum uint64
+		for i, le := range httpLatencyBuckets {
+			cum += rs.buckets[i]
+			fmt.Fprintf(w, "waybackd_http_request_seconds_bucket{path=%q,code=%q,le=%q} %d\n",
+				rs.path, rs.code, formatLE(le), cum)
+		}
+		fmt.Fprintf(w, "waybackd_http_request_seconds_bucket{path=%q,code=%q,le=\"+Inf\"} %d\n",
+			rs.path, rs.code, rs.count)
+		fmt.Fprintf(w, "waybackd_http_request_seconds_sum{path=%q,code=%q} %g\n", rs.path, rs.code, rs.sum)
+		fmt.Fprintf(w, "waybackd_http_request_seconds_count{path=%q,code=%q} %d\n", rs.path, rs.code, rs.count)
+	}
+}
+
+func formatLE(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// statusWriter captures the response status for the latency histograms.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler so its latency and status land in the
+// per-endpoint histograms. route is the registered pattern, passed explicitly
+// so the label set never depends on request contents.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.http.observe(route, sw.code, time.Since(start).Seconds())
+	}
+}

@@ -35,6 +35,23 @@
 // Analysis responses carry a strong ETag keyed on (store generation, as-of
 // date, endpoint); If-None-Match answers 304 with an empty body, so pollers
 // pay nothing while the store is quiet.
+//
+// When the store does move, the first read of each body is served by
+// wayback.Incremental, which folds only the newly appended events into the
+// running aggregates (O(new) per generation bump; amendments force a loud,
+// metered rebuild — see waybackd_results_rebuilds_total). Concurrent misses
+// for the same body are coalesced: one request computes, the rest wait and
+// share the bytes. Cache eviction is staged — stale-generation entries go
+// first, and only then the least-recently-used half of the current
+// generation, so a hot working set survives a busy poller.
+//
+// /metrics additionally exposes per-endpoint latency histograms
+// (waybackd_http_request_seconds{path,code}) — the serving-side view of the
+// same quantiles cmd/waybackload measures from outside — and, when the
+// daemon is a replica or a replication feed (Config.Replica /
+// Config.ReplicaFeed), the replication lag gauges. A replica's /healthz
+// degrades on replication staleness and answers 503 "diverged" if its
+// store and the coordinator's have split histories.
 package serve
 
 import (
@@ -43,6 +60,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -55,6 +73,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/lifecycle"
 	"repro/internal/registry"
+	"repro/internal/replica"
 	"repro/internal/report"
 	"repro/internal/rules"
 	"repro/internal/stats"
@@ -91,6 +110,25 @@ type Config struct {
 	// still carry superseded labels. 0 means 65536; negative disables the
 	// check.
 	RescanBacklogMax int
+	// Replica, when set, marks this server as a read replica: /metrics grows
+	// replication gauges and /healthz measures staleness from coordinator
+	// contact (not local appends) and answers 503 on a terminal replication
+	// error (divergence).
+	Replica ReplicaSource
+	// ReplicaFeed, when set, contributes per-replica shipping gauges to
+	// /metrics on a coordinator serving read replicas.
+	ReplicaFeed ReplicaFeedSource
+}
+
+// ReplicaSource is the replica-side state the server reads (*replica.Replica).
+type ReplicaSource interface {
+	Status() replica.Status
+}
+
+// ReplicaFeedSource is the coordinator-side replication state the server
+// reads (*replica.Feed).
+type ReplicaFeedSource interface {
+	Replicas() []replica.FeedStatus
 }
 
 // FleetSource is the slice of *fleet.Listener the server reads.
@@ -105,11 +143,9 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	// Results derived from the latest snapshot, keyed by generation.
-	resMu  sync.Mutex
-	res    *wayback.Results
-	resGen uint64
-	resSet bool
+	// Results maintained as deltas over the store: a generation bump folds
+	// only the new events (see wayback.Incremental).
+	inc *wayback.Incremental
 
 	// As-of Results, keyed by (generation, as-of instant). Bounded; reset
 	// whenever the generation moves.
@@ -117,22 +153,40 @@ type Server struct {
 	asofGen uint64
 	asofRes map[int64]*wayback.Results
 
-	// Rendered response bodies, keyed by endpoint + generation (+ as-of).
-	cacheMu sync.Mutex
-	cache   map[string]cacheEntry
-	hits    atomic.Uint64
-	misses  atomic.Uint64
+	// Rendered response bodies, keyed by endpoint + generation (+ as-of),
+	// plus the in-flight builds concurrent misses coalesce onto. cacheMu
+	// guards cache, flights, and cacheTick.
+	cacheMu   sync.Mutex
+	cache     map[string]cacheEntry
+	flights   map[string]*flight
+	cacheTick uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+
+	// http records per-endpoint latency histograms for /metrics.
+	http httpStats
 }
 
 type cacheEntry struct {
-	gen   uint64
+	gen      uint64
+	body     []byte
+	ctype    string
+	lastUsed uint64 // cacheTick at last hit or insert, for LRU eviction
+}
+
+// flight is one in-progress body build; concurrent misses on the same
+// (generation, key) wait on done instead of building again.
+type flight struct {
+	done  chan struct{}
 	body  []byte
 	ctype string
+	err   error
 }
 
 // maxCacheEntries bounds the response cache: ?asof= makes the key space
-// unbounded, so past this size the whole cache is dropped and rebuilt on
-// demand (generations move rarely; a full drop is a handful of rebuilds).
+// unbounded. At the cap, stale-generation entries are evicted first; if
+// current-generation bodies alone fill the cache, the least-recently-used
+// half goes — hot current bodies are never dropped wholesale.
 const maxCacheEntries = 1024
 
 // New builds a Server.
@@ -140,41 +194,113 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Study == nil || cfg.Store == nil {
 		return nil, fmt.Errorf("serve: Config needs Study and Store")
 	}
-	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now(), cache: make(map[string]cacheEntry)}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
-	s.mux.HandleFunc("GET /v1/fleet", s.handleFleet)
-	s.mux.HandleFunc("GET /v1/lifecycles/{cve}", s.handleLifecycle)
-	s.mux.HandleFunc("GET /v1/tables/{n}", s.handleTable)
-	s.mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
-	s.mux.HandleFunc("GET /v1/diff", s.handleDiff)
-	s.mux.HandleFunc("GET /v1/skill", s.handleSkill)
-	s.mux.HandleFunc("GET /v1/ruleset", s.handleRulesetGet)
-	s.mux.HandleFunc("POST /v1/ruleset", s.handleRulesetPublish)
-	s.mux.HandleFunc("POST /v1/ruleset/rescan", s.handleRulesetRescan)
+	s := &Server{
+		cfg: cfg, mux: http.NewServeMux(), start: time.Now(),
+		inc:     cfg.Study.NewIncremental(cfg.Store),
+		cache:   make(map[string]cacheEntry),
+		flights: make(map[string]*flight),
+	}
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.instrument(route, h))
+	}
+	handle("GET /healthz", "/healthz", s.handleHealthz)
+	handle("GET /metrics", "/metrics", s.handleMetrics)
+	handle("GET /v1/events", "/v1/events", s.handleEvents)
+	handle("GET /v1/fleet", "/v1/fleet", s.handleFleet)
+	handle("GET /v1/lifecycles/{cve}", "/v1/lifecycles/{cve}", s.handleLifecycle)
+	handle("GET /v1/tables/{n}", "/v1/tables/{n}", s.handleTable)
+	handle("GET /v1/figures/{id}", "/v1/figures/{id}", s.handleFigure)
+	handle("GET /v1/diff", "/v1/diff", s.handleDiff)
+	handle("GET /v1/skill", "/v1/skill", s.handleSkill)
+	handle("GET /v1/ruleset", "/v1/ruleset", s.handleRulesetGet)
+	handle("POST /v1/ruleset", "/v1/ruleset", s.handleRulesetPublish)
+	handle("POST /v1/ruleset/rescan", "/v1/ruleset/rescan", s.handleRulesetRescan)
 	return s, nil
 }
 
 // Handler returns the routable HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// CacheStats reports response-cache hits and misses since start.
+// CacheStats reports response-cache hits and misses since start. A miss is a
+// request that built a body; requests coalesced onto another request's build
+// count as hits (they got a body without paying for one).
 func (s *Server) CacheStats() (hits, misses uint64) {
 	return s.hits.Load(), s.misses.Load()
 }
 
-// results returns the Results for the store's current snapshot, recomputing
-// only when the generation moved.
+// results returns the Results for the store's current snapshot. The
+// incremental view folds only the events appended since the last call, so a
+// generation bump costs O(new events); amendments trigger its metered
+// fallback rebuild (see wayback.Incremental).
 func (s *Server) results() (*wayback.Results, uint64) {
-	s.resMu.Lock()
-	defer s.resMu.Unlock()
-	if s.resSet && s.resGen == s.cfg.Store.Generation() {
-		return s.res, s.resGen
+	return s.inc.Results()
+}
+
+// cachedBody returns the response body for key at generation gen, building it
+// at most once however many requests miss concurrently: the first miss runs
+// build, the rest wait for its result. hit reports whether this request
+// avoided building (cache hit or coalesced onto another build).
+func (s *Server) cachedBody(gen uint64, key string, build func() ([]byte, string, error)) (body []byte, ctype string, hit bool, err error) {
+	fkey := strconv.FormatUint(gen, 10) + "/" + key
+	s.cacheMu.Lock()
+	if e, ok := s.cache[key]; ok && e.gen == gen {
+		s.cacheTick++
+		e.lastUsed = s.cacheTick
+		s.cache[key] = e
+		s.cacheMu.Unlock()
+		return e.body, e.ctype, true, nil
 	}
-	s.res, s.resGen = s.cfg.Study.ResultsFromStore(s.cfg.Store)
-	s.resSet = true
-	return s.res, s.resGen
+	if f, ok := s.flights[fkey]; ok {
+		s.cacheMu.Unlock()
+		<-f.done
+		return f.body, f.ctype, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[fkey] = f
+	s.cacheMu.Unlock()
+
+	f.body, f.ctype, f.err = build()
+	close(f.done)
+
+	s.cacheMu.Lock()
+	delete(s.flights, fkey)
+	if f.err == nil {
+		s.storeCacheEntry(key, cacheEntry{gen: gen, body: f.body, ctype: f.ctype})
+	}
+	s.cacheMu.Unlock()
+	return f.body, f.ctype, false, f.err
+}
+
+// storeCacheEntry inserts a body under the size cap. Eviction at the cap is
+// staged: stale-generation entries go first (they can never hit again); if
+// the cache is still full — every entry current, an ?asof= key flood — the
+// least-recently-used half goes, keeping the hot current-generation bodies.
+// Callers hold cacheMu.
+func (s *Server) storeCacheEntry(key string, e cacheEntry) {
+	if len(s.cache) >= maxCacheEntries {
+		for k, old := range s.cache {
+			if old.gen != e.gen {
+				delete(s.cache, k)
+			}
+		}
+	}
+	if len(s.cache) >= maxCacheEntries {
+		type keyUse struct {
+			key  string
+			used uint64
+		}
+		all := make([]keyUse, 0, len(s.cache))
+		for k, old := range s.cache {
+			all = append(all, keyUse{k, old.lastUsed})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].used < all[j].used })
+		for _, x := range all[:len(all)/2] {
+			delete(s.cache, x.key)
+		}
+	}
+	s.cacheTick++
+	e.lastUsed = s.cacheTick
+	s.cache[key] = e
 }
 
 // serveCached answers from the response cache when the store generation (and
@@ -214,16 +340,14 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	s.cacheMu.Lock()
-	e, ok := s.cache[key]
-	s.cacheMu.Unlock()
-	if ok && e.gen == gen {
+	body, ctype, hit, err := s.cachedBody(gen, key, func() ([]byte, string, error) {
+		return build(res)
+	})
+	if hit {
 		s.hits.Add(1)
-		s.write(w, gen, etag, e.body, e.ctype)
-		return
+	} else {
+		s.misses.Add(1)
 	}
-	s.misses.Add(1)
-	body, ctype, err := build(res)
 	if err != nil {
 		var nf errNotFound
 		if errors.As(err, &nf) {
@@ -233,12 +357,6 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 		}
 		return
 	}
-	s.cacheMu.Lock()
-	if len(s.cache) >= maxCacheEntries {
-		clear(s.cache)
-	}
-	s.cache[key] = cacheEntry{gen: gen, body: body, ctype: ctype}
-	s.cacheMu.Unlock()
 	s.write(w, gen, etag, body, ctype)
 }
 
@@ -291,7 +409,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			fleetLag += int64(sensor.SpooledBatches) + sensor.IngestLag
 		}
 	}
+	// On a read replica, staleness means lost coordinator contact, not a
+	// quiet local store: the store only moves when replication ships
+	// something, and a healthy-but-idle coordinator still heartbeats. A
+	// terminal replication error (divergence, shard mismatch) makes the node
+	// unhealthy regardless of age.
+	var rep *replica.Status
+	if s.cfg.Replica != nil {
+		st := s.cfg.Replica.Status()
+		rep = &st
+	}
 	last := s.cfg.Store.LastAppend()
+	if rep != nil {
+		last = rep.LastContact
+	}
 	if last.IsZero() || last.Before(s.start) {
 		last = s.start
 	}
@@ -313,6 +444,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	switch {
+	case rep != nil && rep.Err != "":
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "diverged")
 	case stale:
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "stale")
@@ -327,6 +461,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "store_age_seconds %.3f\n", age.Seconds())
 	if s.cfg.Registry != nil {
 		fmt.Fprintf(w, "rescan_backlog %d\n", rescanBacklog)
+	}
+	if rep != nil {
+		connected := 0
+		if rep.Connected {
+			connected = 1
+		}
+		fmt.Fprintf(w, "replica_connected %d\n", connected)
+		fmt.Fprintf(w, "replica_lag_events %d\n", rep.LagEvents)
+		if rep.Err != "" {
+			fmt.Fprintf(w, "replica_error %s\n", rep.Err)
+		}
 	}
 }
 
@@ -382,6 +527,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	g("cache_hits", s.hits.Load())
 	g("cache_misses", s.misses.Load())
+	im := s.inc.Metrics()
+	g("results_folds_total", im.Folds)
+	g("results_folded_events_total", im.FoldedEvents)
+	g("results_rebuilds_total", im.Rebuilds)
 	if reg := s.cfg.Registry; reg != nil {
 		g("ruleset_generation", reg.Generation())
 		g("ruleset_rules", reg.NumRules())
@@ -469,6 +618,54 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			g("ingest_shard_packets"+label, sh.Packets)
 		}
 	}
+	if rs := s.cfg.Replica; rs != nil {
+		st := rs.Status()
+		connected := 0
+		if st.Connected {
+			connected = 1
+		}
+		g("replica_connected", connected)
+		g("replica_lag_events", st.LagEvents)
+		g("replica_lag_amendments", st.LagAmends)
+		g("replica_rounds_total", st.Rounds)
+		g("replica_events_applied_total", st.EventsApplied)
+		g("replica_amendments_applied_total", st.AmendsApplied)
+		g("replica_coordinator_events", st.CoordEvents)
+		g("replica_local_events", st.LocalEvents)
+		// -1 means "never heard from the coordinator".
+		contact := -1.0
+		if !st.LastContact.IsZero() {
+			contact = time.Since(st.LastContact).Seconds()
+		}
+		g("replica_last_contact_seconds", contact)
+		fatal := 0
+		if st.Err != "" {
+			fatal = 1
+		}
+		g("replica_fatal", fatal)
+	}
+	if ff := s.cfg.ReplicaFeed; ff != nil {
+		replicas := ff.Replicas()
+		g("replica_feed_replicas", len(replicas))
+		for _, st := range replicas {
+			label := fmt.Sprintf("{replica=%q}", st.ID)
+			connected := 0
+			if st.Connected {
+				connected = 1
+			}
+			g("replica_feed_connected"+label, connected)
+			g("replica_feed_events_sent_total"+label, st.EventsSent)
+			g("replica_feed_amendments_sent_total"+label, st.AmendsSent)
+			g("replica_feed_rounds_total"+label, st.Rounds)
+			g("replica_feed_lag_events"+label, st.LagEvents)
+			ack := -1.0
+			if !st.LastAck.IsZero() {
+				ack = time.Since(st.LastAck).Seconds()
+			}
+			g("replica_feed_last_ack_seconds"+label, ack)
+		}
+	}
+	s.http.writeProm(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write(b.Bytes())
 }
