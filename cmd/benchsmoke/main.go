@@ -15,6 +15,17 @@
 // Benchmarks present in the output but absent from the baseline (or the
 // reverse) are reported but never fatal, so adding a benchmark does not
 // break CI before the baseline is regenerated.
+//
+// Parallelism-sensitive baselines record the core count they were measured
+// at (a "gomaxprocs" metric in the bench output, or the -N name suffix); a
+// result whose core count differs from its baseline's is SKIPped, never
+// failed — absolute throughput recorded at one width says nothing about
+// another. Two flags serve multi-core CI: -min-gomaxprocs fails fast when
+// the runner has fewer cores than the job assumes, and -speedup NUM,DEN,MIN
+// gates the events/s ratio of two benchmarks from the same run (e.g. the
+// sharded pipeline must beat the serial one 3x) — a relative check that is
+// immune to runner speed. -baseline "" skips the baseline comparison
+// entirely, for jobs that only use -speedup/-min-gomaxprocs.
 package main
 
 import (
@@ -48,6 +59,10 @@ type benchSpec struct {
 	// demands the benchmark stay allocation-free, while an absent field
 	// skips the check entirely.
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// GOMAXPROCS is the core count the baseline was recorded at. When set,
+	// results measured at a different count are skipped, not compared:
+	// throughput numbers only transfer between equally-wide runners.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 }
 
 // result is one parsed benchmark output line.
@@ -57,15 +72,47 @@ type result struct {
 	eventsPerSec float64
 	allocsPerOp  float64
 	hasAllocs    bool
+	gomaxprocs   int
 }
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchsmoke", flag.ContinueOnError)
-	basePath := fs.String("baseline", "BENCH_fleet.json", "baseline JSON file")
+	basePath := fs.String("baseline", "BENCH_fleet.json", "baseline JSON file (empty skips the baseline comparison)")
 	threshold := fs.Float64("threshold", 0.30, "allowed fractional regression before failing")
+	minProcs := fs.Int("min-gomaxprocs", 0, "fail unless the benchmarks ran with at least this many cores")
+	speedup := fs.String("speedup", "", "NUM,DEN,MIN: require events/s of bench NUM >= MIN times bench DEN (within this run)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	results, err := parseBench(stdin)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+
+	if *minProcs > 0 {
+		procs := 0
+		for _, r := range results {
+			if r.gomaxprocs > procs {
+				procs = r.gomaxprocs
+			}
+		}
+		if procs < *minProcs {
+			return fmt.Errorf("benchmarks ran at GOMAXPROCS=%d, need at least %d", procs, *minProcs)
+		}
+	}
+	if *speedup != "" {
+		if err := checkSpeedup(*speedup, results, stdout); err != nil {
+			return err
+		}
+	}
+	if *basePath == "" {
+		return nil
+	}
+
 	raw, err := os.ReadFile(*basePath)
 	if err != nil {
 		return err
@@ -79,14 +126,6 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		want[b.Name] = b
 	}
 
-	results, err := parseBench(stdin)
-	if err != nil {
-		return err
-	}
-	if len(results) == 0 {
-		return fmt.Errorf("no benchmark lines on stdin")
-	}
-
 	failed := 0
 	seen := make(map[string]bool, len(results))
 	for _, r := range results {
@@ -94,6 +133,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		b, ok := want[r.name]
 		if !ok {
 			fmt.Fprintf(stdout, "SKIP %s: not in baseline\n", r.name)
+			continue
+		}
+		if b.GOMAXPROCS > 0 && r.gomaxprocs > 0 && b.GOMAXPROCS != r.gomaxprocs {
+			fmt.Fprintf(stdout, "SKIP %s: baseline recorded at GOMAXPROCS=%d, this run used %d; not comparable\n",
+				r.name, b.GOMAXPROCS, r.gomaxprocs)
 			continue
 		}
 		ok = true
@@ -135,14 +179,57 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	return nil
 }
 
+// checkSpeedup enforces a within-run throughput ratio: "NUM,DEN,MIN" demands
+// events/s(NUM) >= MIN * events/s(DEN). Both benchmarks must be present with
+// an events/s metric — a missing side is an error, not a skip, because the
+// whole point of the gate is that it cannot silently stop gating.
+func checkSpeedup(spec string, results []result, stdout io.Writer) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf("-speedup wants NUM,DEN,MIN, got %q", spec)
+	}
+	min, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || min <= 0 {
+		return fmt.Errorf("-speedup ratio %q: want a positive number", parts[2])
+	}
+	find := func(name string) (result, error) {
+		for _, r := range results {
+			if r.name == name {
+				if r.eventsPerSec <= 0 {
+					return r, fmt.Errorf("-speedup: %s reports no events/s", name)
+				}
+				return r, nil
+			}
+		}
+		return result{}, fmt.Errorf("-speedup: benchmark %s not in output", name)
+	}
+	num, err := find(parts[0])
+	if err != nil {
+		return err
+	}
+	den, err := find(parts[1])
+	if err != nil {
+		return err
+	}
+	ratio := num.eventsPerSec / den.eventsPerSec
+	if ratio < min {
+		return fmt.Errorf("speedup %s/%s = %.2fx, need >= %.2fx (%.0f vs %.0f events/s)",
+			parts[0], parts[1], ratio, min, num.eventsPerSec, den.eventsPerSec)
+	}
+	fmt.Fprintf(stdout, "ok   speedup %s/%s = %.2fx (>= %.2fx)\n", parts[0], parts[1], ratio, min)
+	return nil
+}
+
 // parseBench extracts results from `go test -bench` text output. A benchmark
 // line looks like:
 //
 //	BenchmarkFleetThroughput/sensors=4-8   112610   12252 ns/op   8.16 MB/s   326744 events/s
 //
 // The trailing -N on the name is the GOMAXPROCS suffix, stripped so names
-// match the baseline regardless of runner core count. Everything after the
-// iteration count is value/unit pairs.
+// match the baseline regardless of runner core count (the count is kept as
+// the result's gomaxprocs; an explicit "gomaxprocs" metric from
+// b.ReportMetric wins over the suffix). Everything after the iteration count
+// is value/unit pairs.
 func parseBench(r io.Reader) ([]result, error) {
 	var out []result
 	sc := bufio.NewScanner(r)
@@ -152,12 +239,14 @@ func parseBench(r io.Reader) ([]result, error) {
 			continue
 		}
 		name := fields[0]
+		suffixProcs := 0
 		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			if n, err := strconv.Atoi(name[i+1:]); err == nil {
 				name = name[:i]
+				suffixProcs = n
 			}
 		}
-		res := result{name: name}
+		res := result{name: name, gomaxprocs: suffixProcs}
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -171,6 +260,8 @@ func parseBench(r io.Reader) ([]result, error) {
 			case "allocs/op":
 				res.allocsPerOp = v
 				res.hasAllocs = true
+			case "gomaxprocs":
+				res.gomaxprocs = int(v)
 			}
 		}
 		if res.nsPerOp > 0 {

@@ -162,3 +162,95 @@ func TestRunRejectsEmptyInput(t *testing.T) {
 		t.Fatal("empty benchmark output accepted")
 	}
 }
+
+// streamOutput mimics the e2e streaming bench: an explicit gomaxprocs metric
+// (which wins over the -N name suffix) and events/s on each line.
+const streamOutput = `goos: linux
+BenchmarkStreamStudy/serial-8     	1	90000000 ns/op	     50000 events/s	         1.000 gomaxprocs
+BenchmarkStreamStudy/sharded-8    	1	20000000 ns/op	    220000 events/s	         8.000 gomaxprocs
+BenchmarkStreamStudy/stress-8     	1	95000000 ns/op	    210000 events/s	         8.000 gomaxprocs
+PASS
+`
+
+func TestParseBenchGomaxprocs(t *testing.T) {
+	got, err := parseBench(strings.NewReader(streamOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(got))
+	}
+	if got[0].gomaxprocs != 1 {
+		t.Errorf("serial: explicit gomaxprocs metric should win over -8 suffix, got %d", got[0].gomaxprocs)
+	}
+	if got[1].gomaxprocs != 8 {
+		t.Errorf("sharded: gomaxprocs = %d, want 8", got[1].gomaxprocs)
+	}
+	sample, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sample[0].gomaxprocs != 8 {
+		t.Errorf("without an explicit metric the -N suffix should be kept, got %d", sample[0].gomaxprocs)
+	}
+}
+
+// TestRunSkipsMismatchedGomaxprocs: a baseline recorded at one core count
+// must not fail a run at another — not comparable, so SKIP, not FAIL.
+func TestRunSkipsMismatchedGomaxprocs(t *testing.T) {
+	path := writeBaseline(t, []benchSpec{
+		// Recorded on a 1-core box with throughput far above what this
+		// (8-core-labelled) run reports: would fail if compared.
+		{Name: "BenchmarkStreamStudy/sharded", NsPerOp: 1, EventsPerSec: 10000000, GOMAXPROCS: 1},
+		{Name: "BenchmarkStreamStudy/serial", NsPerOp: 1 << 30, EventsPerSec: 1, GOMAXPROCS: 1},
+		{Name: "BenchmarkStreamStudy/stress", NsPerOp: 1 << 30, EventsPerSec: 1, GOMAXPROCS: 8},
+	})
+	var out strings.Builder
+	if err := run([]string{"-baseline", path}, strings.NewReader(streamOutput), &out); err != nil {
+		t.Fatalf("mismatched-GOMAXPROCS baseline failed the run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "SKIP BenchmarkStreamStudy/sharded") ||
+		!strings.Contains(out.String(), "not comparable") {
+		t.Errorf("missing not-comparable SKIP:\n%s", out.String())
+	}
+	// serial ran at 1 core matching its baseline, stress at 8 matching its
+	// baseline: both still compared.
+	if !strings.Contains(out.String(), "ok   BenchmarkStreamStudy/serial") ||
+		!strings.Contains(out.String(), "ok   BenchmarkStreamStudy/stress") {
+		t.Errorf("matching-GOMAXPROCS benches not compared:\n%s", out.String())
+	}
+}
+
+func TestRunMinGomaxprocs(t *testing.T) {
+	if err := run([]string{"-baseline", "", "-min-gomaxprocs", "4"}, strings.NewReader(streamOutput), &strings.Builder{}); err != nil {
+		t.Fatalf("8-core output failed -min-gomaxprocs 4: %v", err)
+	}
+	err := run([]string{"-baseline", "", "-min-gomaxprocs", "16"}, strings.NewReader(streamOutput), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "GOMAXPROCS") {
+		t.Fatalf("8-core output passed -min-gomaxprocs 16: %v", err)
+	}
+}
+
+func TestRunSpeedupGate(t *testing.T) {
+	spec := "BenchmarkStreamStudy/sharded,BenchmarkStreamStudy/serial,"
+	var out strings.Builder
+	// 220000/50000 = 4.4x: passes a 3x floor, fails a 5x floor.
+	if err := run([]string{"-baseline", "", "-speedup", spec + "3.0"}, strings.NewReader(streamOutput), &out); err != nil {
+		t.Fatalf("4.4x speedup failed a 3x gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "speedup") {
+		t.Errorf("passing gate not reported:\n%s", out.String())
+	}
+	err := run([]string{"-baseline", "", "-speedup", spec + "5.0"}, strings.NewReader(streamOutput), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "speedup") {
+		t.Fatalf("4.4x speedup passed a 5x gate: %v", err)
+	}
+	// A missing side is fatal: the gate must not silently stop gating.
+	err = run([]string{"-baseline", "", "-speedup", "BenchmarkNope,BenchmarkStreamStudy/serial,3.0"}, strings.NewReader(streamOutput), &strings.Builder{})
+	if err == nil {
+		t.Fatal("missing numerator accepted")
+	}
+	if err := run([]string{"-baseline", "", "-speedup", "a,b"}, strings.NewReader(streamOutput), &strings.Builder{}); err == nil {
+		t.Fatal("malformed -speedup spec accepted")
+	}
+}

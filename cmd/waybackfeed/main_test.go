@@ -2,12 +2,22 @@ package main
 
 import (
 	"errors"
+	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/fleet"
+	"repro/internal/ids"
 	"repro/internal/pcapio"
+	"repro/wayback"
 )
 
 func TestFeedWritesReplayableSegments(t *testing.T) {
@@ -63,5 +73,167 @@ func TestFeedWritesReplayableSegments(t *testing.T) {
 
 	if err := run([]string{}); err == nil {
 		t.Error("missing -dir accepted")
+	}
+}
+
+// memSink collects fleet-delivered batches in memory.
+type memSink struct {
+	mu     sync.Mutex
+	events []ids.Event
+}
+
+func (s *memSink) AppendBatch(evs []ids.Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, evs...)
+	return nil
+}
+
+func (s *memSink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// TestStreamShipsEventsToFleet runs two -stream sensors, one per address
+// shard, against one in-memory coordinator: together they must deliver
+// exactly the unsharded study's attributed events — with no pcap bytes ever
+// written anywhere.
+func TestStreamShipsEventsToFleet(t *testing.T) {
+	const seed, scale = 1, 800
+	ref, err := wayback.NewStudy(wayback.Config{Seed: seed, Scale: scale, Streaming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	if _, err := ref.RunStream(func(evs []ids.Event) error { want += len(evs); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if want == 0 {
+		t.Fatal("reference study attributed no events; weak test input")
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &memSink{}
+	l, err := fleet.Listen(fleet.ListenerConfig{Listener: ln, Sink: sink, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	stateRoot := t.TempDir()
+	for shard := 0; shard < 2; shard++ {
+		err := run([]string{
+			"-stream", "-seed", fmt.Sprint(seed), "-scale", fmt.Sprint(scale),
+			"-shards", "2", "-shard", fmt.Sprint(shard),
+			"-coordinator", ln.Addr().String(),
+			"-state", filepath.Join(stateRoot, fmt.Sprintf("s%d", shard)),
+			"-id", fmt.Sprintf("sensor-%d", shard),
+		})
+		if err != nil {
+			t.Fatalf("shard %d: %v", shard, err)
+		}
+	}
+
+	// run waits for acks, and acks only follow durable apply, so the sink is
+	// already complete; the brief poll just absorbs scheduling slack.
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.count() != want && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := sink.count(); got != want {
+		t.Fatalf("coordinator received %d events, want %d", got, want)
+	}
+
+	// The whole path must be pcap-free: nothing under the spool tree (the
+	// only directory the sensors may write) looks like a capture file.
+	err = filepath.WalkDir(stateRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if strings.Contains(strings.ToLower(d.Name()), "pcap") {
+			t.Errorf("stream mode wrote a capture-like file: %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamMetricsEndpoint exercises -metrics-listen through the flag path:
+// the endpoint must be up while the stream runs and expose the generator
+// gauges.
+func TestStreamMetricsEndpoint(t *testing.T) {
+	var body string
+	metricsReady = func(addr string) {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Errorf("scraping metrics: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Errorf("reading metrics: %v", err)
+			return
+		}
+		body = string(b)
+	}
+	defer func() { metricsReady = nil }()
+
+	if err := run([]string{"-stream", "-seed", "2", "-scale", "2000", "-metrics-listen", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"waybackd_stream_blueprints_total",
+		"waybackd_stream_packets_total",
+		"waybackd_stream_sessions_total",
+		"waybackd_stream_generator_lag",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("metrics output missing %s:\n%s", name, body)
+		}
+	}
+}
+
+// TestMetricsHandlerReportsProgress checks the gauge values: after a
+// streaming run the counters must reflect the completed capture.
+func TestMetricsHandlerReportsProgress(t *testing.T) {
+	study, err := wayback.NewStudy(wayback.Config{Seed: 1, Scale: 2000, Streaming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := study.RunStream(nil); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(metricsHandler(study))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"stream_blueprints_total", "stream_packets_total", "stream_sessions_total"} {
+		found := false
+		for _, line := range strings.Split(string(b), "\n") {
+			var v uint64
+			if n, _ := fmt.Sscanf(line, "waybackd_"+name+" %d", &v); n == 1 {
+				found = true
+				if v == 0 {
+					t.Errorf("%s is zero after a completed run", name)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("metrics output missing %s", name)
+		}
 	}
 }

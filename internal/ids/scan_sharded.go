@@ -26,6 +26,12 @@ type ScanConfig struct {
 	// MatchWorkers is the signature-matching pool size; zero means
 	// GOMAXPROCS (see MatchSessionsParallel).
 	MatchWorkers int
+	// DisjointSegments declares that srcs partition flows (no connection
+	// spans two segments) rather than being time-ordered slices of one
+	// capture — the streaming telescope's virtual segments. Maps to
+	// tcpasm.Config.FlowDisjointFeeders; required for such sources, wrong
+	// for rotated pcap files.
+	DisjointSegments bool
 	// Assembler overrides reassembly limits (idle timeout, stream caps).
 	// Its Shards field is superseded by ScanConfig.Shards when that is set.
 	Assembler tcpasm.Config
@@ -47,6 +53,9 @@ func ScanCaptureSharded(srcs []pcapio.PacketSource, e *Engine, cfg ScanConfig) (
 	acfg := cfg.Assembler
 	if cfg.Shards != 0 {
 		acfg.Shards = cfg.Shards
+	}
+	if cfg.DisjointSegments {
+		acfg.FlowDisjointFeeders = true
 	}
 	asm := tcpasm.NewSharded(acfg, len(srcs))
 

@@ -1,0 +1,88 @@
+package ids
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pcapio"
+	"repro/internal/tcpasm"
+)
+
+// ScanCaptureStreamed is ScanCaptureSharded with streaming emission: instead
+// of accumulating every session until the capture ends, completed sessions
+// flow straight from the shard workers through a matcher goroutine to sink,
+// so peak memory is bounded by the in-flight window rather than the capture
+// size. The trade: events reach sink in completion order, not the canonical
+// (End, Start, Client, Server) order, and no event slice is returned — exact
+// aggregate stats still are, via the order-independent StatsBuilder.
+//
+// sink is called from a single goroutine; each call owns its slice. A sink
+// error stops delivery (the capture is still drained to keep the pipeline
+// from deadlocking) and is returned after the scan's own errors.
+func ScanCaptureStreamed(srcs []pcapio.PacketSource, e *Engine, cfg ScanConfig, sink func([]Event) error) (ScanStats, error) {
+	var stats ScanStats
+	if len(srcs) == 0 {
+		return stats, fmt.Errorf("ids: no capture sources")
+	}
+	acfg := cfg.Assembler
+	if cfg.Shards != 0 {
+		acfg.Shards = cfg.Shards
+	}
+	if cfg.DisjointSegments {
+		acfg.FlowDisjointFeeders = true
+	}
+
+	// Shard workers hand session batches to the matcher goroutine over a
+	// bounded channel: matching overlaps with reassembly and decode, and
+	// backpressure from a slow sink propagates all the way to generation.
+	sessCh := make(chan []tcpasm.Session, 4)
+	acfg.Emit = func(batch []tcpasm.Session) { sessCh <- batch }
+
+	sb := NewStatsBuilder()
+	var sinkErr error
+	matcherDone := make(chan struct{})
+	go func() {
+		defer close(matcherDone)
+		for batch := range sessCh {
+			events := MatchSessionsParallel(batch, e, nil, cfg.MatchWorkers)
+			sb.AddSessions(len(batch))
+			sb.AddEvents(events)
+			if sinkErr == nil && len(events) > 0 {
+				sinkErr = sink(events)
+			}
+		}
+	}()
+
+	asm := tcpasm.NewSharded(acfg, len(srcs))
+	var packets, decodeErrs atomic.Int64
+	errs := make([]error, len(srcs))
+	var wg sync.WaitGroup
+	for i, src := range srcs {
+		wg.Add(1)
+		go func(i int, src pcapio.PacketSource) {
+			defer wg.Done()
+			f := asm.Feeder(i)
+			defer f.Close()
+			errs[i] = decodeLoop(src, f, &packets, &decodeErrs)
+		}(i, src)
+	}
+	wg.Wait()
+	asm.Wait() // returns nil under Emit; waits for the final flush batches
+	close(sessCh)
+	<-matcherDone
+
+	agg := sb.Stats()
+	stats.Packets = int(packets.Load())
+	stats.DecodeErrors = int(decodeErrs.Load())
+	stats.Sessions = agg.Sessions
+	stats.MatchedEvents = agg.MatchedEvents
+	stats.DistinctCVEs = agg.DistinctCVEs
+	stats.DistinctSrcIPs = agg.DistinctSrcIPs
+	for i, err := range errs {
+		if err != nil {
+			return stats, fmt.Errorf("ids: segment %d: %w", i, err)
+		}
+	}
+	return stats, sinkErr
+}

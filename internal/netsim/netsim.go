@@ -12,10 +12,8 @@ package netsim
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"net/netip"
-	"sort"
 	"time"
 )
 
@@ -197,49 +195,23 @@ func (c CampaignTimes) withDefaults() CampaignTimes {
 
 // Sample returns n event times in ascending order, the first exactly at
 // c.First. The rng must be dedicated to this campaign for reproducibility.
+// It is a thin wrapper over Stream (see stream.go), so the materialized and
+// streaming paths share one generator: the burst component samples the
+// truncated exponential exactly through its inverse CDF (no retry loop) and
+// the output needs no final sort.
 func (c CampaignTimes) Sample(rng *rand.Rand, n int) []time.Time {
-	c = c.withDefaults()
 	if n <= 0 {
 		return nil
 	}
+	st := c.Stream(rng, n)
 	out := make([]time.Time, 0, n)
-	out = append(out, c.First)
-	burstStart := c.BurstStart
-	if burstStart.IsZero() || burstStart.Before(c.First) {
-		burstStart = c.First
-	}
-	span := c.End.Sub(c.First)
-	if span <= 0 {
-		// Degenerate window: all events at the first instant.
-		for i := 1; i < n; i++ {
-			out = append(out, c.First)
+	for {
+		t, ok := st.Next()
+		if !ok {
+			return out
 		}
-		return out
+		out = append(out, t)
 	}
-	burstSpan := c.End.Sub(burstStart)
-	for i := 1; i < n; i++ {
-		if burstSpan > 0 && rng.Float64() < c.BurstWeight {
-			// Exponential decay from the burst anchor, truncated to window.
-			off := time.Duration(rng.ExpFloat64() * float64(c.BurstMean))
-			for tries := 0; off > burstSpan && tries <= 16; tries++ {
-				off = time.Duration(rng.ExpFloat64() * float64(c.BurstMean))
-			}
-			if off > burstSpan {
-				off = time.Duration(rng.Int63n(int64(burstSpan)))
-			}
-			out = append(out, burstStart.Add(off))
-			continue
-		}
-		// Sustained tail across the remaining window, with density shaped
-		// by TailPower.
-		u := rng.Float64()
-		if c.TailPower != 1 {
-			u = math.Pow(u, 1/c.TailPower)
-		}
-		out = append(out, c.First.Add(time.Duration(u*float64(span))))
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
-	return out
 }
 
 // PoissonTimes samples event times from a homogeneous Poisson process with

@@ -1,0 +1,215 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"net/netip"
+	"time"
+)
+
+// Streaming samplers: the temporal processes of this package, emitted as
+// ascending sequences in O(1) memory instead of one materialized slice.
+//
+// The trick is the classic sequential order-statistics recurrence: given the
+// (k-1)-th smallest of n Uniform(0,1) draws, the k-th smallest is
+//
+//	V_k = 1 − (1 − V_{k−1}) · U^(1/m)
+//
+// for fresh uniform U and m values remaining, because the m not-yet-emitted
+// values are i.i.d. Uniform(V_{k−1}, 1). Any continuous distribution then
+// streams in sorted order by pushing the uniform quantiles through its
+// inverse CDF. This is what lets a paper-scale workload generate lazily —
+// per-campaign state is a few words regardless of event count.
+
+// OrderedUniforms emits the ascending order statistics of n Uniform(0,1)
+// draws, one per Next call, using constant memory and exactly one rng draw
+// per emitted value.
+type OrderedUniforms struct {
+	rng  *rand.Rand
+	m    int // values not yet emitted
+	last float64
+}
+
+// NewOrderedUniforms returns a stream of n ascending uniforms drawn from rng.
+func NewOrderedUniforms(rng *rand.Rand, n int) *OrderedUniforms {
+	return &OrderedUniforms{rng: rng, m: n}
+}
+
+// Next returns the next order statistic, or false when all n are emitted.
+func (o *OrderedUniforms) Next() (float64, bool) {
+	if o.m <= 0 {
+		return 0, false
+	}
+	o.last = 1 - (1-o.last)*math.Pow(o.rng.Float64(), 1/float64(o.m))
+	o.m--
+	return o.last, true
+}
+
+// Remaining reports how many values are left to emit.
+func (o *OrderedUniforms) Remaining() int { return o.m }
+
+// UniformTimes emits n ascending times uniformly distributed over
+// [start, end) in constant memory.
+type UniformTimes struct {
+	ou    OrderedUniforms
+	start time.Time
+	span  float64 // nanoseconds
+}
+
+// NewUniformTimes returns the stream. A non-positive window emits every
+// event at start.
+func NewUniformTimes(rng *rand.Rand, start, end time.Time, n int) *UniformTimes {
+	span := float64(end.Sub(start))
+	if span < 0 {
+		span = 0
+	}
+	return &UniformTimes{ou: OrderedUniforms{rng: rng, m: n}, start: start, span: span}
+}
+
+// Next returns the next time, or false when exhausted.
+func (u *UniformTimes) Next() (time.Time, bool) {
+	q, ok := u.ou.Next()
+	if !ok {
+		return time.Time{}, false
+	}
+	return u.start.Add(time.Duration(q * u.span)), true
+}
+
+// TimeStream emits one campaign's event times in ascending order with
+// constant memory: the pinned first event, then a merge of two sorted
+// component streams — the truncated-exponential post-announcement burst and
+// the power-shaped sustained tail — each generated through the
+// order-statistics recurrence in quantile space. The component sizes are
+// fixed up front by n−1 Bernoulli(BurstWeight) draws, so the stream emits
+// exactly n events with the same mixture the materializing sampler uses.
+type TimeStream struct {
+	remaining int
+	first     time.Time
+	firstDone bool
+
+	burst     OrderedUniforms
+	burstNext time.Time
+	burstOK   bool
+	tail      OrderedUniforms
+	tailNext  time.Time
+	tailOK    bool
+
+	burstStart time.Time
+	burstSpan  float64 // ns
+	burstMean  float64 // ns
+	burstTrunc float64 // 1 − e^(−span/mean), the truncation mass
+	start      time.Time
+	span       float64 // ns
+	tailPower  float64
+}
+
+// Stream returns the lazy counterpart of Sample: n ascending event times,
+// the first exactly at c.First. The rng must be dedicated to this campaign.
+func (c CampaignTimes) Stream(rng *rand.Rand, n int) *TimeStream {
+	c = c.withDefaults()
+	ts := &TimeStream{remaining: n, first: c.First, tailPower: c.TailPower}
+	if n <= 0 {
+		return ts
+	}
+	ts.start = c.First
+	span := c.End.Sub(c.First)
+	if span <= 0 {
+		// Degenerate window: every event at the first instant.
+		return ts
+	}
+	ts.span = float64(span)
+	burstStart := c.BurstStart
+	if burstStart.IsZero() || burstStart.Before(c.First) {
+		burstStart = c.First
+	}
+	ts.burstStart = burstStart
+	burstSpan := c.End.Sub(burstStart)
+	nBurst := 0
+	if burstSpan > 0 {
+		ts.burstSpan = float64(burstSpan)
+		ts.burstMean = float64(c.BurstMean)
+		ts.burstTrunc = 1 - math.Exp(-ts.burstSpan/ts.burstMean)
+		for i := 1; i < n; i++ {
+			if rng.Float64() < c.BurstWeight {
+				nBurst++
+			}
+		}
+	}
+	ts.burst = OrderedUniforms{rng: rng, m: nBurst}
+	ts.tail = OrderedUniforms{rng: rng, m: n - 1 - nBurst}
+	ts.refillBurst()
+	ts.refillTail()
+	return ts
+}
+
+func (t *TimeStream) refillBurst() {
+	q, ok := t.burst.Next()
+	t.burstOK = ok
+	if !ok {
+		return
+	}
+	// Inverse CDF of the exponential truncated to [0, burstSpan]:
+	// F⁻¹(q) = −mean · ln(1 − q·(1 − e^(−span/mean))).
+	off := -t.burstMean * math.Log(1-q*t.burstTrunc)
+	if off < 0 {
+		off = 0
+	}
+	if off > t.burstSpan || math.IsInf(off, 1) || math.IsNaN(off) {
+		off = t.burstSpan
+	}
+	t.burstNext = t.burstStart.Add(time.Duration(off))
+}
+
+func (t *TimeStream) refillTail() {
+	q, ok := t.tail.Next()
+	t.tailOK = ok
+	if !ok {
+		return
+	}
+	// Tail density ∝ x^(p−1): CDF (x/span)^p, inverse span·q^(1/p).
+	if t.tailPower != 1 {
+		q = math.Pow(q, 1/t.tailPower)
+	}
+	t.tailNext = t.start.Add(time.Duration(q * t.span))
+}
+
+// Next returns the next event time, or false after n events.
+func (t *TimeStream) Next() (time.Time, bool) {
+	if t.remaining <= 0 {
+		return time.Time{}, false
+	}
+	t.remaining--
+	if !t.firstDone {
+		t.firstDone = true
+		return t.first, true
+	}
+	if t.span == 0 {
+		// Degenerate window.
+		return t.first, true
+	}
+	switch {
+	case t.burstOK && (!t.tailOK || !t.tailNext.Before(t.burstNext)):
+		out := t.burstNext
+		t.refillBurst()
+		return out, true
+	case t.tailOK:
+		out := t.tailNext
+		t.refillTail()
+		return out, true
+	default:
+		// Component streams exhausted but remaining > 0 cannot happen: the
+		// component sizes sum to n−1 by construction.
+		return t.first, true
+	}
+}
+
+// Remaining reports how many events are left to emit.
+func (t *TimeStream) Remaining() int { return t.remaining }
+
+// PickWith returns a pseudorandom member of the population drawn from the
+// caller's rng instead of the population's own — what lets independent
+// campaign streams share one source population without coupling their
+// random sequences.
+func (s *Sources) PickWith(rng *rand.Rand) netip.Addr {
+	return s.addrs[rng.Intn(len(s.addrs))]
+}

@@ -1,0 +1,158 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestOrderedUniformsAscendingAndUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	ou := NewOrderedUniforms(rng, n)
+	var prev float64
+	var sum float64
+	count := 0
+	for {
+		v, ok := ou.Next()
+		if !ok {
+			break
+		}
+		if v < prev {
+			t.Fatalf("value %d: %g < previous %g", count, v, prev)
+		}
+		if v < 0 || v >= 1.0000001 {
+			t.Fatalf("value %g outside [0,1]", v)
+		}
+		prev = v
+		sum += v
+		count++
+	}
+	if count != n {
+		t.Fatalf("emitted %d values, want %d", count, n)
+	}
+	if ou.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after exhaustion", ou.Remaining())
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("mean = %.3f, want ~0.5 (order statistics must still be uniform)", mean)
+	}
+}
+
+func TestCampaignTimesStreamMatchesSample(t *testing.T) {
+	first := time.Date(2022, 1, 5, 8, 0, 0, 0, time.UTC)
+	end := first.Add(400 * 24 * time.Hour)
+	c := CampaignTimes{First: first, BurstStart: first.Add(48 * time.Hour), End: end,
+		BurstWeight: 0.45, TailPower: 2}
+
+	want := c.Sample(rand.New(rand.NewSource(9)), 777)
+	st := c.Stream(rand.New(rand.NewSource(9)), 777)
+	for i, w := range want {
+		got, ok := st.Next()
+		if !ok {
+			t.Fatalf("stream ended at %d of %d", i, len(want))
+		}
+		if !got.Equal(w) {
+			t.Fatalf("event %d: stream %v != sample %v", i, got, w)
+		}
+	}
+	if _, ok := st.Next(); ok {
+		t.Fatal("stream emitted more than n events")
+	}
+}
+
+func TestCampaignTimesStreamShape(t *testing.T) {
+	first := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := first.Add(600 * 24 * time.Hour)
+	c := CampaignTimes{First: first, End: end, BurstWeight: 0.9, BurstMean: 10 * 24 * time.Hour}
+	st := c.Stream(rand.New(rand.NewSource(4)), 5000)
+	var prev time.Time
+	within30, n := 0, 0
+	for {
+		tm, ok := st.Next()
+		if !ok {
+			break
+		}
+		if n == 0 && !tm.Equal(first) {
+			t.Fatalf("first event %v, want pinned %v", tm, first)
+		}
+		if tm.Before(prev) {
+			t.Fatalf("event %d: %v before previous %v", n, tm, prev)
+		}
+		if tm.Before(first) || tm.After(end) {
+			t.Fatalf("event %v outside window", tm)
+		}
+		if tm.Sub(first) <= 30*24*time.Hour {
+			within30++
+		}
+		prev = tm
+		n++
+	}
+	if n != 5000 {
+		t.Fatalf("emitted %d, want 5000", n)
+	}
+	if frac := float64(within30) / float64(n); frac < 0.7 {
+		t.Errorf("first-30-day fraction = %.2f, want > 0.7 for a bursty campaign", frac)
+	}
+}
+
+func TestCampaignTimesStreamDegenerateWindow(t *testing.T) {
+	first := time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+	c := CampaignTimes{First: first, End: first} // zero-length window
+	st := c.Stream(rand.New(rand.NewSource(1)), 5)
+	for i := 0; i < 5; i++ {
+		tm, ok := st.Next()
+		if !ok || !tm.Equal(first) {
+			t.Fatalf("event %d: got (%v, %v), want pinned first", i, tm, ok)
+		}
+	}
+	if _, ok := st.Next(); ok {
+		t.Fatal("degenerate stream over-emitted")
+	}
+}
+
+func TestUniformTimesAscendingInRange(t *testing.T) {
+	start := time.Date(2021, 12, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(90 * 24 * time.Hour)
+	ut := NewUniformTimes(rand.New(rand.NewSource(2)), start, end, 1000)
+	var prev time.Time
+	n := 0
+	for {
+		tm, ok := ut.Next()
+		if !ok {
+			break
+		}
+		if tm.Before(start) || tm.After(end) {
+			t.Fatalf("time %v outside [%v, %v]", tm, start, end)
+		}
+		if tm.Before(prev) {
+			t.Fatal("times not ascending")
+		}
+		prev = tm
+		n++
+	}
+	if n != 1000 {
+		t.Fatalf("emitted %d, want 1000", n)
+	}
+}
+
+func TestPickWithIsIndependentOfPopulationRNG(t *testing.T) {
+	pool := MustPool(3, "203.0.113.0/24")
+	s := NewSources(3, pool, 50)
+	member := map[string]bool{}
+	for _, a := range s.Addrs() {
+		member[a.String()] = true
+	}
+	r1 := rand.New(rand.NewSource(11))
+	r2 := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		a, b := s.PickWith(r1), s.PickWith(r2)
+		if a != b {
+			t.Fatal("PickWith with equal rngs diverged")
+		}
+		if !member[a.String()] {
+			t.Fatalf("PickWith returned %s outside population", a)
+		}
+	}
+}

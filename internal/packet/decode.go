@@ -86,17 +86,34 @@ type Builder struct {
 	TTL uint8
 
 	ipID uint16
+	src  rand.Source
 	rng  *rand.Rand
+
+	// Scratch for the inner layers of BuildTo, reused across frames so the
+	// streaming synthesis path allocates nothing per packet.
+	tcpScratch []byte
+	ipScratch  []byte
 }
 
 // NewBuilder returns a Builder with deterministic IP IDs seeded from seed.
 func NewBuilder(seed int64) *Builder {
+	src := rand.NewSource(seed)
 	return &Builder{
 		SrcMAC: MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01},
 		DstMAC: MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x02},
 		TTL:    64,
-		rng:    rand.New(rand.NewSource(seed)),
+		src:    src,
+		rng:    rand.New(src),
 	}
+}
+
+// Reset rewinds the builder to its just-constructed state under a new seed:
+// IP IDs restart at one and RandomISN replays the seed's sequence. Streamed
+// synthesis reseeds one builder per session so frame bytes depend only on the
+// session, not on how sessions are interleaved across generators.
+func (b *Builder) Reset(seed int64) {
+	b.src.Seed(seed)
+	b.ipID = 0
 }
 
 // Segment describes one TCP segment to build.
@@ -112,6 +129,14 @@ type Segment struct {
 
 // Build serializes the segment into a complete Ethernet frame.
 func (b *Builder) Build(seg Segment) ([]byte, error) {
+	return b.BuildTo(nil, seg)
+}
+
+// BuildTo serializes the segment into a complete Ethernet frame appended to
+// dst (which may be nil). The inner layers serialize into builder-owned
+// scratch, so a reused dst makes frame synthesis allocation-free — the
+// streaming capture path lends the decoder's buffer here directly.
+func (b *Builder) BuildTo(dst []byte, seg Segment) ([]byte, error) {
 	if !seg.Src.Addr.Is4() || !seg.Dst.Addr.Is4() {
 		return nil, fmt.Errorf("packet: builder requires IPv4 addresses, got %s -> %s", seg.Src.Addr, seg.Dst.Addr)
 	}
@@ -119,7 +144,7 @@ func (b *Builder) Build(seg Segment) ([]byte, error) {
 	if window == 0 {
 		window = 65535
 	}
-	tcp := &TCP{
+	tcp := TCP{
 		SrcPort: seg.Src.Port,
 		DstPort: seg.Dst.Port,
 		Seq:     seg.Seq,
@@ -127,24 +152,25 @@ func (b *Builder) Build(seg Segment) ([]byte, error) {
 		Flags:   seg.Flags,
 		Window:  window,
 	}
-	tcpBytes, err := tcp.SerializeTo(nil, seg.Src.Addr, seg.Dst.Addr, seg.Payload)
+	var err error
+	b.tcpScratch, err = tcp.SerializeTo(b.tcpScratch[:0], seg.Src.Addr, seg.Dst.Addr, seg.Payload)
 	if err != nil {
 		return nil, err
 	}
 	b.ipID++
-	ip := &IPv4{
+	ip := IPv4{
 		ID:       b.ipID,
 		TTL:      b.ttl(),
 		Protocol: IPProtoTCP,
 		Src:      seg.Src.Addr,
 		Dst:      seg.Dst.Addr,
 	}
-	ipBytes, err := ip.SerializeTo(nil, tcpBytes)
+	b.ipScratch, err = ip.SerializeTo(b.ipScratch[:0], b.tcpScratch)
 	if err != nil {
 		return nil, err
 	}
-	eth := &Ethernet{Dst: b.DstMAC, Src: b.SrcMAC, EtherType: EtherTypeIPv4}
-	return eth.SerializeTo(nil, ipBytes), nil
+	eth := Ethernet{Dst: b.DstMAC, Src: b.SrcMAC, EtherType: EtherTypeIPv4}
+	return eth.SerializeTo(dst, b.ipScratch), nil
 }
 
 func (b *Builder) ttl() uint8 {

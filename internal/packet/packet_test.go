@@ -198,6 +198,60 @@ func TestBuilderDeterministic(t *testing.T) {
 	}
 }
 
+func TestBuilderResetReplaysSequence(t *testing.T) {
+	b := NewBuilder(7)
+	isn := b.RandomISN()
+	f1, err := b.Build(Segment{Src: srcEP, Dst: dstEP, Flags: FlagSYN, Payload: []byte("hello")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.RandomISN() // perturb the rng and ipID state
+	b.Build(Segment{Src: srcEP, Dst: dstEP, Flags: FlagACK})
+
+	b.Reset(7)
+	if got := b.RandomISN(); got != isn {
+		t.Errorf("post-Reset ISN = %d, want %d", got, isn)
+	}
+	f2, err := b.Build(Segment{Src: srcEP, Dst: dstEP, Flags: FlagSYN, Payload: []byte("hello")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f1, f2) {
+		t.Error("Reset did not replay the frame sequence (IP ID or rng state leaked)")
+	}
+}
+
+func TestBuildToAppendsAndMatchesBuild(t *testing.T) {
+	b1, b2 := NewBuilder(3), NewBuilder(3)
+	seg := Segment{Src: srcEP, Dst: dstEP, Flags: FlagPSH | FlagACK, Seq: 42, Payload: []byte("payload")}
+	want, err := b1.Build(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := []byte{0xde, 0xad}
+	got, err := b2.BuildTo(append([]byte(nil), prefix...), seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:2], prefix) {
+		t.Error("BuildTo clobbered the destination prefix")
+	}
+	if !bytes.Equal(got[2:], want) {
+		t.Error("BuildTo frame differs from Build frame")
+	}
+	// Scratch reuse across calls must not corrupt a second frame.
+	seg2 := seg
+	seg2.Payload = []byte("a different, longer payload entirely")
+	want2, _ := b1.Build(seg2)
+	got2, err := b2.BuildTo(nil, seg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, want2) {
+		t.Error("second BuildTo frame differs from Build (scratch reuse bug)")
+	}
+}
+
 func TestIPIDsIncrement(t *testing.T) {
 	b := NewBuilder(1)
 	f1, _ := b.Build(Segment{Src: srcEP, Dst: dstEP, Flags: FlagSYN})

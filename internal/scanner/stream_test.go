@@ -1,0 +1,81 @@
+package scanner
+
+import (
+	"reflect"
+	"testing"
+)
+
+func collectStream(t *testing.T, cfg Config) []Blueprint {
+	t.Helper()
+	st, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Blueprint
+	for {
+		bp, ok := st.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, bp)
+	}
+}
+
+// TestStreamDeterministic: two streams from the same config must emit the
+// exact same blueprint sequence — the streaming capture path depends on this
+// for byte parity with the materialized path.
+func TestStreamDeterministic(t *testing.T) {
+	cfg := Config{Seed: 3, Scale: 2000, LegacyScans: 25}
+	a := collectStream(t, cfg)
+	b := collectStream(t, cfg)
+	if len(a) == 0 {
+		t.Fatal("empty stream")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different blueprint sequences")
+	}
+}
+
+// TestStreamMatchesBuild: the lazy stream and the materialized Build must
+// agree element-for-element, and Total must predict the emitted count.
+func TestStreamMatchesBuild(t *testing.T) {
+	cfg := Config{Seed: 7, Scale: 2000, Noise: 30, LegacyScans: 25}
+	want, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectStream(t, cfg)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream diverges from Build: %d vs %d blueprints", len(got), len(want))
+	}
+	if st.Total() != len(want) {
+		t.Fatalf("Total() = %d, emitted %d", st.Total(), len(want))
+	}
+}
+
+// TestStreamAscendingTimes: the heap merge must yield a globally
+// non-decreasing timeline.
+func TestStreamAscendingTimes(t *testing.T) {
+	bps := collectStream(t, Config{Seed: 11, Scale: 1500, LegacyScans: 20})
+	for i := 1; i < len(bps); i++ {
+		if bps[i].Time.Before(bps[i-1].Time) {
+			t.Fatalf("blueprint %d at %v precedes %d at %v", i, bps[i].Time, i-1, bps[i-1].Time)
+		}
+	}
+}
+
+// TestStreamBoostMultipliesVolume: Boost scales per-CVE counts after the
+// Scale division, so the boosted stream must be close to Boost times larger.
+func TestStreamBoostMultipliesVolume(t *testing.T) {
+	base := collectStream(t, Config{Seed: 5, Scale: 2000})
+	boosted := collectStream(t, Config{Seed: 5, Scale: 2000, Boost: 4})
+	lo, hi := 3*len(base), 5*len(base)
+	if len(boosted) < lo || len(boosted) > hi {
+		t.Fatalf("Boost 4: %d events from a base of %d, want roughly 4x (between %d and %d)",
+			len(boosted), len(base), lo, hi)
+	}
+}

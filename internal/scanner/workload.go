@@ -1,15 +1,11 @@
 package scanner
 
 import (
-	"fmt"
-	"math"
 	"math/rand"
 	"net/netip"
-	"sort"
 	"time"
 
 	"repro/internal/datasets"
-	"repro/internal/netsim"
 )
 
 // Blueprint is one planned scanning session: who sends what, when, at which
@@ -62,6 +58,11 @@ type Config struct {
 	// End overrides the end of the generation window. Zero means the study
 	// window's end.
 	End time.Time
+	// Boost multiplies every per-CVE event count after the Scale division.
+	// Zero or one means off. Stress benchmarks use it to push volume past
+	// paper scale (Boost 10 at Scale 1 ≈ 10x the 115 k-event corpus)
+	// without disturbing Scale's minimum-one-event-per-CVE semantics.
+	Boost int
 }
 
 func (c Config) withDefaults() Config {
@@ -93,143 +94,22 @@ const defaultLog4ShellEvents = 6254
 
 // Build generates the full workload: every study CVE's campaign (Log4Shell
 // split across its Table 6 variants), plus background noise, sorted by time.
+// It is a thin wrapper that collects NewStream, so the materialized and
+// streaming generation paths share one generator and emit byte-identical
+// blueprint sequences.
 func Build(cfg Config) ([]Blueprint, error) {
-	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	pool := netsim.MustPool(cfg.Seed+1, scannerPoolPrefixes...)
-	scanners := netsim.NewSources(cfg.Seed+2, pool, cfg.ScannerSources)
-
-	exploits := Exploits()
-	exByCVE := make(map[string]*Exploit, len(exploits))
-	for i := range exploits {
-		exByCVE[exploits[i].CVE] = &exploits[i]
+	st, err := NewStream(cfg)
+	if err != nil {
+		return nil, err
 	}
-
-	var out []Blueprint
-	for _, c := range datasets.StudyCVEs() {
-		if c.ID == "2021-44228" {
-			continue // Log4Shell handled per variant below
-		}
-		ex, ok := exByCVE[c.ID]
+	out := make([]Blueprint, 0, st.Total())
+	for {
+		bp, ok := st.Next()
 		if !ok {
-			return nil, fmt.Errorf("scanner: no exploit definition for CVE-%s", c.ID)
+			return out, nil
 		}
-		n := scaledCount(c.Events, cfg.Scale)
-		first := clampToWindow(firstAttack(c))
-		burst := first
-		if c.Published.After(burst) {
-			// Pre-publication observations are sporadic; the campaign's
-			// burst follows the public announcement (Figure 5c).
-			burst = c.Published
-		}
-		// Announcement-driven bursts fade with how late exploitation began:
-		// a CVE first exploited months after disclosure is a sustained
-		// legacy-scanning target (Hikvision, routers), not a
-		// drop-everything campaign. The weight decays with the first
-		// attack's lag behind publication.
-		bw := cfg.BurstWeight
-		if bw == 0 {
-			bw = 0.45
-		}
-		if lag := first.Sub(c.Published); lag > 0 {
-			bw *= math.Exp(-lag.Hours() / 24 / 7)
-		}
-		times := netsim.CampaignTimes{
-			First:       first,
-			BurstStart:  burst,
-			End:         cfg.End,
-			BurstWeight: bw,
-			TailPower:   2, // rising legacy-scanning rate (Figure 3)
-		}.Sample(rng, n)
-		for _, t := range times {
-			out = append(out, Blueprint{
-				Time:    t,
-				Src:     scanners.Pick(),
-				DstPort: choosePort(rng, ex.Port, cfg.OffPortFraction),
-				Payload: ex.Craft(rng),
-				CVE:     c.ID,
-				SID:     ex.SID,
-			})
-		}
+		out = append(out, bp)
 	}
-
-	// Log4Shell variants.
-	groups := map[string]datasets.Log4ShellGroup{}
-	var sidMeta = map[int]datasets.Log4ShellSID{}
-	for _, g := range datasets.Log4ShellGroups() {
-		groups[g.Name] = g
-		for _, s := range g.SIDs {
-			sidMeta[s.SID] = s
-		}
-	}
-	for _, v := range log4ShellVariants() {
-		meta, ok := sidMeta[v.SID]
-		if !ok {
-			return nil, fmt.Errorf("scanner: Log4Shell sid %d missing from Table 6 data", v.SID)
-		}
-		n := scaledCount(int(float64(defaultLog4ShellEvents)*v.Weight), cfg.Scale)
-		first := groups[v.Group].Deployed().Add(meta.AMinusD.D)
-		times := netsim.CampaignTimes{
-			First:       clampToWindow(first),
-			End:         cfg.End,
-			BurstWeight: 0.6, // Log4Shell was front-loaded (Figure 8)
-			BurstMean:   20 * 24 * time.Hour,
-		}.Sample(rng, n)
-		for _, t := range times {
-			port := choosePort(rng, 8080, cfg.OffPortFraction)
-			if v.Context == datasets.CtxSMTP {
-				port = 25
-			}
-			out = append(out, Blueprint{
-				Time:    t,
-				Src:     scanners.Pick(),
-				DstPort: port,
-				Payload: craftLog4Shell(v, rng),
-				CVE:     "2021-44228",
-				SID:     v.SID,
-			})
-		}
-	}
-
-	// Legacy scanning: longstanding-CVE exploitation from the broad botnet
-	// population, spread over the whole window (Mirai-style persistence).
-	legacyPool := netsim.MustPool(cfg.Seed+5, "45.95.168.0/21", "92.255.85.0/24", "196.251.80.0/20")
-	legacySources := netsim.NewSources(cfg.Seed+6, legacyPool, 1500)
-	winSpan := cfg.End.Sub(datasets.StudyWindow.Start)
-	for i := 0; i < cfg.LegacyScans; i++ {
-		payload, port, cve, sid := craftLegacy(rng)
-		out = append(out, Blueprint{
-			Time:    datasets.StudyWindow.Start.Add(time.Duration(rng.Int63n(int64(winSpan)))),
-			Src:     legacySources.Pick(),
-			DstPort: choosePort(rng, port, cfg.OffPortFraction),
-			Payload: payload,
-			CVE:     cve,
-			SID:     sid,
-			Legacy:  true,
-		})
-	}
-
-	// Background radiation: high-volume, rule-free traffic from a much
-	// larger source population (the paper: 15 M contacts, 3.6 k exploiters).
-	noiseCount := cfg.Noise
-	if noiseCount == 0 {
-		noiseCount = len(out) / 10
-	}
-	noisePool := netsim.MustPool(cfg.Seed+3, "23.128.0.0/16", "162.142.0.0/16", "167.94.0.0/16")
-	noiseSources := netsim.NewSources(cfg.Seed+4, noisePool, 2000)
-	span := cfg.End.Sub(datasets.StudyWindow.Start)
-	for i := 0; i < noiseCount; i++ {
-		t := datasets.StudyWindow.Start.Add(time.Duration(rng.Int63n(int64(span))))
-		out = append(out, Blueprint{
-			Time:    t,
-			Src:     noiseSources.Pick(),
-			DstPort: noisePort(rng),
-			Payload: noisePayload(rng),
-		})
-	}
-
-	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
-	return out, nil
 }
 
 // firstAttack derives a CVE's first-event time. CVEs with an unmeasured A−P

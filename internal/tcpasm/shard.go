@@ -41,6 +41,10 @@ type Sharded struct {
 	fdrs   []*Feeder
 	pool   sync.Pool // *FeedItem
 	wg     sync.WaitGroup
+
+	// openFeeders counts unclosed feeders in flow-disjoint mode; the last
+	// Close closes the shared shard queues.
+	openFeeders atomic.Int32
 }
 
 const (
@@ -108,15 +112,27 @@ func NewSharded(cfg Config, feeders int) *Sharded {
 	}
 	s := &Sharded{cfg: cfg}
 	s.pool.New = func() any { return &FeedItem{Buf: make([]byte, 0, 2048)} }
+	s.openFeeders.Store(int32(feeders))
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{asm: NewAssembler(cfg)}
-		for f := 0; f < feeders; f++ {
-			sh.in = append(sh.in, make(chan shardMsg, queueBatches))
+		if cfg.FlowDisjointFeeders {
+			// One shared queue, consumed fairly: with flow-disjoint
+			// feeders no worker may wait on a specific feeder, or a
+			// single producer fanning out to the segments deadlocks.
+			sh.in = []chan shardMsg{make(chan shardMsg, queueBatches*feeders)}
+		} else {
+			for f := 0; f < feeders; f++ {
+				sh.in = append(sh.in, make(chan shardMsg, queueBatches))
+			}
 		}
 		s.shards = append(s.shards, sh)
 	}
 	for f := 0; f < feeders; f++ {
-		s.fdrs = append(s.fdrs, &Feeder{s: s, idx: f, pend: make([][]*FeedItem, len(s.shards))})
+		qidx := f
+		if cfg.FlowDisjointFeeders {
+			qidx = 0
+		}
+		s.fdrs = append(s.fdrs, &Feeder{s: s, idx: f, qidx: qidx, pend: make([][]*FeedItem, len(s.shards))})
 	}
 	for _, sh := range s.shards {
 		s.wg.Add(1)
@@ -145,7 +161,14 @@ func (s *Sharded) run(sh *shard) {
 		}
 	}
 	sh.asm.Flush()
-	sh.done = sh.asm.Sessions()
+	out := sh.asm.Sessions()
+	if s.cfg.Emit != nil {
+		if len(out) > 0 {
+			s.cfg.Emit(out)
+		}
+	} else {
+		sh.done = out
+	}
 	sh.open.Store(0)
 }
 
@@ -165,10 +188,26 @@ func (s *Sharded) apply(sh *shard, msg shardMsg) {
 		if sh.applied >= advanceEvery {
 			sh.applied = 0
 			// Content-neutral under the Feed-level idle split: this only
-			// reclaims memory and emits already-decided sessions early.
-			sh.asm.Advance(sh.maxTS)
+			// reclaims memory and emits already-decided sessions early. It
+			// requires applied timestamps non-decreasing per shard, which
+			// flow-disjoint (mutually unordered) segments do not give —
+			// there the horizon would idle out mid-flight connections, so
+			// the advance is skipped and undecided sessions wait for the
+			// end-of-capture flush.
+			if !s.cfg.FlowDisjointFeeders {
+				sh.asm.Advance(sh.maxTS)
+			}
 		}
 		putBatch(msg.items)
+		if s.cfg.Emit != nil {
+			// Streaming emission: hand over whatever this batch completed
+			// (closed connections plus anything the periodic Advance decided)
+			// so downstream matching overlaps with reassembly and no shard
+			// accumulates its whole output.
+			if out := sh.asm.Sessions(); len(out) > 0 {
+				s.cfg.Emit(out)
+			}
+		}
 	case opAdvance:
 		sh.asm.Advance(msg.now)
 		if msg.reply != nil {
@@ -268,6 +307,7 @@ func (s *Sharded) ShardStats() []ShardStat {
 type Feeder struct {
 	s      *Sharded
 	idx    int
+	qidx   int           // queue index: idx, or 0 when feeders share one queue
 	pend   [][]*FeedItem // per-shard batch being accumulated
 	closed bool
 }
@@ -297,7 +337,7 @@ func (f *Feeder) Feed(it *FeedItem) {
 func (f *Feeder) send(si int, b []*FeedItem) {
 	sh := f.s.shards[si]
 	sh.queued.Add(1)
-	sh.in[f.idx] <- shardMsg{op: opBatch, items: b}
+	sh.in[f.qidx] <- shardMsg{op: opBatch, items: b}
 }
 
 // FlushBatches pushes every partially-filled batch to its shard, so a
@@ -320,6 +360,15 @@ func (f *Feeder) Close() {
 	}
 	f.closed = true
 	f.FlushBatches()
+	if f.s.cfg.FlowDisjointFeeders {
+		// Shared queues close when the last feeder does.
+		if f.s.openFeeders.Add(-1) == 0 {
+			for _, sh := range f.s.shards {
+				close(sh.in[0])
+			}
+		}
+		return
+	}
 	for _, sh := range f.s.shards {
 		close(sh.in[f.idx])
 	}
@@ -339,6 +388,15 @@ func getBatch() []*FeedItem {
 func putBatch(b []*FeedItem) {
 	b = b[:0]
 	batchPool.Put(&b)
+}
+
+// FlowShard reports which of n shards the sharded front-end assigns the
+// given (directed) flow to. Exported so external segment routers — the
+// streaming telescope splits synthetic traffic into per-shard capture
+// segments — can align their partition with the assembler's and keep every
+// packet's decode local to the worker that will reassemble it.
+func FlowShard(flow packet.Flow, n int) int {
+	return shardOf(flow.Canonical(), n)
 }
 
 // shardOf hashes a canonical flow key to a shard with FNV-1a. The hash is

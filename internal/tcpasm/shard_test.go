@@ -580,3 +580,99 @@ func TestShardedIdleSplitParity(t *testing.T) {
 		t.Fatalf("got %d sessions, want %d (each flow split in two)", len(sessions), 2*nFlows)
 	}
 }
+
+// TestShardedEmitDeliversEveryFullSessionOnce: with Config.Emit set, the
+// sharded front-end streams batches out as workers complete sessions; the
+// union of all batches must equal the serial output exactly (after imposing
+// the canonical order, which streaming emission intentionally gives up), and
+// Wait must return nothing.
+func TestShardedEmitDeliversEveryFullSessionOnce(t *testing.T) {
+	events := genTraffic(t, 5, 48)
+	base := Config{IdleTimeout: 2 * time.Second}
+	want := serialSessions(t, base, events)
+
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			var mu sync.Mutex
+			var got []Session
+			cfg := base
+			cfg.Shards = shards
+			cfg.Emit = func(batch []Session) {
+				mu.Lock()
+				got = append(got, batch...)
+				mu.Unlock()
+			}
+			s := NewSharded(cfg, 1)
+			feedSharded(t, s.Feeder(0), events)
+			s.Feeder(0).Close()
+			if leftover := s.Wait(); len(leftover) != 0 {
+				t.Fatalf("Wait returned %d sessions despite Emit", len(leftover))
+			}
+			sortSessions(got)
+			diffSessions(t, got, want)
+		})
+	}
+}
+
+// TestShardedFlowDisjointFeedersParity: partition a capture by FlowShard so
+// no connection spans two feeders — the streaming telescope's virtual-segment
+// shape — and feed the partitions concurrently with FlowDisjointFeeders set.
+// Each partition covers the full capture window, so without the disjoint
+// mode's fair shared-queue consumption the strict feeder-order contract would
+// deadlock or premature-Advance; with it, the sorted output must still be
+// byte-identical to the serial scan.
+func TestShardedFlowDisjointFeedersParity(t *testing.T) {
+	events := genTraffic(t, 9, 48)
+	base := Config{IdleTimeout: 2 * time.Second, Shards: 4}
+	want := serialSessions(t, base, events)
+
+	for _, feeders := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("feeders%d", feeders), func(t *testing.T) {
+			parts := make([][]feedEvent, feeders)
+			for _, ev := range events {
+				p, err := packet.Decode(ev.frame)
+				if err != nil {
+					t.Fatal(err)
+				}
+				si := FlowShard(p.Flow(), feeders)
+				parts[si] = append(parts[si], ev)
+			}
+			cfg := base
+			cfg.FlowDisjointFeeders = true
+			s := NewSharded(cfg, feeders)
+			var wg sync.WaitGroup
+			for i := 0; i < feeders; i++ {
+				wg.Add(1)
+				go func(f *Feeder, evs []feedEvent) {
+					defer wg.Done()
+					feedSharded(t, f, evs)
+					f.Close()
+				}(s.Feeder(i), parts[i])
+			}
+			wg.Wait()
+			got := s.Wait()
+			sortSessions(got)
+			diffSessions(t, got, want)
+		})
+	}
+}
+
+func TestFlowShardMatchesInternalRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		f := packet.Flow{
+			Src: packet.Endpoint{Addr: packet.MustAddr(fmt.Sprintf("192.0.2.%d", rng.Intn(256))), Port: uint16(rng.Intn(65536))},
+			Dst: packet.Endpoint{Addr: packet.MustAddr(fmt.Sprintf("198.51.100.%d", rng.Intn(256))), Port: uint16(rng.Intn(65536))},
+		}
+		for _, n := range []int{1, 3, 8} {
+			if got, want := FlowShard(f, n), shardOf(f.Canonical(), n); got != want {
+				t.Fatalf("FlowShard(%v, %d) = %d, internal routing %d", f, n, got, want)
+			}
+			// Both directions of a conversation must land together.
+			rev := packet.Flow{Src: f.Dst, Dst: f.Src}
+			if FlowShard(f, n) != FlowShard(rev, n) {
+				t.Fatalf("flow %v and its reverse map to different shards", f)
+			}
+		}
+	}
+}

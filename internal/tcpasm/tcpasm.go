@@ -69,6 +69,27 @@ type Config struct {
 	// ignores it. Zero means min(8, GOMAXPROCS); session output is
 	// identical for every value (see Sharded).
 	Shards int
+	// FlowDisjointFeeders declares that the capture segments feeding the
+	// sharded front-end partition connections — no flow spans two feeders —
+	// instead of mapping to time-ordered slices of one capture. The
+	// streaming telescope's flow-hashed virtual segments are the canonical
+	// case. Workers then consume feeder queues fairly through one shared
+	// queue per shard, which is required to avoid deadlock when a single
+	// producer fans out to live segments, and skip the periodic idle
+	// Advance, whose horizon is meaningless across mutually unordered
+	// segment timelines. Output is still byte-identical to a serial scan of
+	// the time-ordered capture: the Feed-level gap split makes idle
+	// handling schedule-independent, and connections without a captured
+	// teardown are flushed (identical contents, later emission) at end of
+	// capture. The serial Assembler ignores it.
+	FlowDisjointFeeders bool
+	// Emit, when set, switches the sharded front-end to streaming emission:
+	// completed sessions are handed to Emit in batches as shard workers
+	// produce them instead of accumulating until Wait (which then returns
+	// nil). Emit is called concurrently from the shard workers with no
+	// cross-shard ordering guarantee; each call owns its slice. Every
+	// session is delivered exactly once. The serial Assembler ignores it.
+	Emit func([]Session)
 }
 
 func (c Config) withDefaults() Config {

@@ -1,17 +1,3 @@
-// Package telescope implements DSCOPE, the paper's cloud-based interactive
-// Internet telescope, in two modes:
-//
-//   - Simulated mode: a deterministic model of the deployment — a fleet of
-//     short-lived instances (10-minute lifetime) cycling pseudorandomly
-//     through cloud IPv4 space — that converts scanner blueprints into
-//     captured TCP sessions, either directly or as byte-exact pcap files
-//     (handshake, payload segments, teardown) for post-facto IDS replay.
-//   - Live mode (listener.go): real TCP listeners that accept connections,
-//     send no application-layer response, and record the client banner —
-//     the actual DSCOPE instance behaviour, runnable on loopback.
-//
-// Both modes yield the same session records, so everything downstream of
-// capture is mode-agnostic.
 package telescope
 
 import (
@@ -120,14 +106,82 @@ func (t *Telescope) Session(bp scanner.Blueprint) tcpasm.Session {
 	}
 }
 
-// Sessions materializes a whole workload (the fast path used by large
-// experiments; byte-identical analysis inputs to the pcap path).
-func (t *Telescope) Sessions(bps []scanner.Blueprint) []tcpasm.Session {
-	out := make([]tcpasm.Session, len(bps))
-	for i, bp := range bps {
-		out[i] = t.Session(bp)
+// BlueprintSource is a pull iterator over a workload. scanner.Stream
+// implements it natively; SliceSource adapts a materialized slice.
+type BlueprintSource interface {
+	// Next returns the next blueprint, or false when exhausted.
+	Next() (scanner.Blueprint, bool)
+}
+
+// SliceSource adapts a materialized workload to BlueprintSource.
+type SliceSource struct {
+	bps []scanner.Blueprint
+	i   int
+}
+
+// NewSliceSource returns a source that yields bps in order.
+func NewSliceSource(bps []scanner.Blueprint) *SliceSource {
+	return &SliceSource{bps: bps}
+}
+
+// Next implements BlueprintSource.
+func (s *SliceSource) Next() (scanner.Blueprint, bool) {
+	if s.i >= len(s.bps) {
+		return scanner.Blueprint{}, false
 	}
-	return out
+	bp := s.bps[s.i]
+	s.i++
+	return bp, true
+}
+
+// SessionSeq is a pull iterator of session records: each blueprint drawn
+// from the source, materialized through Session. This is the single
+// generator every session-consuming API drains.
+type SessionSeq struct {
+	t   *Telescope
+	src BlueprintSource
+}
+
+// SessionSeq returns the lazy session iterator over src.
+func (t *Telescope) SessionSeq(src BlueprintSource) *SessionSeq {
+	return &SessionSeq{t: t, src: src}
+}
+
+// Next returns the next session, or false when the source is exhausted.
+func (q *SessionSeq) Next() (tcpasm.Session, bool) {
+	bp, ok := q.src.Next()
+	if !ok {
+		return tcpasm.Session{}, false
+	}
+	return q.t.Session(bp), true
+}
+
+// EachSession drains src through yield, stopping at the first error.
+func (t *Telescope) EachSession(src BlueprintSource, yield func(tcpasm.Session) error) error {
+	for {
+		bp, ok := src.Next()
+		if !ok {
+			return nil
+		}
+		if err := yield(t.Session(bp)); err != nil {
+			return err
+		}
+	}
+}
+
+// Sessions materializes a whole workload (the fast path used by large
+// experiments; byte-identical analysis inputs to the pcap path). It is a
+// thin wrapper over SessionSeq.
+func (t *Telescope) Sessions(bps []scanner.Blueprint) []tcpasm.Session {
+	out := make([]tcpasm.Session, 0, len(bps))
+	seq := t.SessionSeq(NewSliceSource(bps))
+	for {
+		s, ok := seq.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, s)
+	}
 }
 
 func hash64(s string) uint64 {
@@ -147,65 +201,17 @@ type PacketWriter interface {
 // a three-way handshake, client payload segments (the instance never sends
 // application data), and a FIN teardown, all with valid checksums. The
 // result replays through packet decoding, TCP reassembly, and the IDS
-// exactly like a real capture.
+// exactly like a real capture. It is a thin wrapper over StreamPcap.
 func (t *Telescope) WritePcap(bps []scanner.Blueprint, w PacketWriter) error {
-	b := packet.NewBuilder(t.cfg.Seed)
-	const mss = 1200
-	for i := range bps {
-		bp := &bps[i]
-		s := t.Session(*bp)
-		cli := s.Client
-		srv := s.Server
-		isn := b.RandomISN()
-		srvISN := b.RandomISN()
-		ts := bp.Time
+	return t.StreamPcap(NewSliceSource(bps), w)
+}
 
-		write := func(seg packet.Segment) error {
-			frame, err := b.Build(seg)
-			if err != nil {
-				return err
-			}
-			if err := w.WritePacket(ts, frame); err != nil {
-				return err
-			}
-			ts = ts.Add(20 * time.Millisecond)
-			return nil
-		}
-
-		if err := write(packet.Segment{Src: cli, Dst: srv, Seq: isn, Flags: packet.FlagSYN}); err != nil {
-			return fmt.Errorf("telescope: session %d: %w", i, err)
-		}
-		if err := write(packet.Segment{Src: srv, Dst: cli, Seq: srvISN, Ack: isn + 1, Flags: packet.FlagSYN | packet.FlagACK}); err != nil {
-			return err
-		}
-		if err := write(packet.Segment{Src: cli, Dst: srv, Seq: isn + 1, Ack: srvISN + 1, Flags: packet.FlagACK}); err != nil {
-			return err
-		}
-		seq := isn + 1
-		payload := bp.Payload
-		for off := 0; off < len(payload); off += mss {
-			end := off + mss
-			if end > len(payload) {
-				end = len(payload)
-			}
-			if err := write(packet.Segment{
-				Src: cli, Dst: srv,
-				Seq: seq, Ack: srvISN + 1,
-				Flags:   packet.FlagPSH | packet.FlagACK,
-				Payload: payload[off:end],
-			}); err != nil {
-				return err
-			}
-			seq += uint32(end - off)
-		}
-		if err := write(packet.Segment{Src: cli, Dst: srv, Seq: seq, Ack: srvISN + 1, Flags: packet.FlagFIN | packet.FlagACK}); err != nil {
-			return err
-		}
-		if err := write(packet.Segment{Src: srv, Dst: cli, Seq: srvISN + 1, Ack: seq + 1, Flags: packet.FlagFIN | packet.FlagACK}); err != nil {
-			return err
-		}
-	}
-	return w.Flush()
+// StreamPcap is WritePcap over a lazy blueprint source: blueprints are drawn,
+// materialized into sessions, and synthesized into frames one at a time, so
+// the capture streams to w in constant memory regardless of workload size.
+func (t *Telescope) StreamPcap(src BlueprintSource, w PacketWriter) error {
+	seq := t.SessionSeq(src)
+	return writeSessions(seq.Next, w, t.cfg.Seed)
 }
 
 // CoverageStats summarizes address-space coverage of a captured workload,
@@ -236,57 +242,162 @@ func Coverage(sessions []tcpasm.Session) CoverageStats {
 // This is how live-mode captures — which exist only as session records —
 // enter the same post-facto replay path as simulated captures: the
 // reconstruction is lossless for everything the IDS inspects (endpoints,
-// timing, client bytes).
+// timing, client bytes). It is a thin wrapper over writeSessions, the one
+// generator behind every capture-producing API.
 func SessionsToPcap(sessions []tcpasm.Session, w PacketWriter, seed int64) error {
-	b := packet.NewBuilder(seed)
-	const mss = 1200
-	for i := range sessions {
-		s := &sessions[i]
-		isn := b.RandomISN()
-		srvISN := b.RandomISN()
-		ts := s.Start
-		write := func(seg packet.Segment) error {
-			frame, err := b.Build(seg)
+	i := 0
+	next := func() (tcpasm.Session, bool) {
+		if i >= len(sessions) {
+			return tcpasm.Session{}, false
+		}
+		s := sessions[i]
+		i++
+		return s, true
+	}
+	return writeSessions(next, w, seed)
+}
+
+// writeSessions drains a session iterator into a capture writer through one
+// reused frame generator and one reused frame buffer.
+func writeSessions(next func() (tcpasm.Session, bool), w PacketWriter, seed int64) error {
+	g := frameGen{b: packet.NewBuilder(seed)}
+	buf := make([]byte, 0, 2048)
+	for i := 0; ; i++ {
+		s, ok := next()
+		if !ok {
+			return w.Flush()
+		}
+		g.start(seed, &s)
+		for {
+			ts, frame, ok, err := g.next(buf[:0])
 			if err != nil {
-				return err
+				return fmt.Errorf("telescope: session %d: %w", i, err)
+			}
+			if !ok {
+				break
 			}
 			if err := w.WritePacket(ts, frame); err != nil {
 				return err
 			}
-			ts = ts.Add(20 * time.Millisecond)
-			return nil
-		}
-		if err := write(packet.Segment{Src: s.Client, Dst: s.Server, Seq: isn, Flags: packet.FlagSYN}); err != nil {
-			return fmt.Errorf("telescope: session %d: %w", i, err)
-		}
-		if err := write(packet.Segment{Src: s.Server, Dst: s.Client, Seq: srvISN, Ack: isn + 1, Flags: packet.FlagSYN | packet.FlagACK}); err != nil {
-			return err
-		}
-		if err := write(packet.Segment{Src: s.Client, Dst: s.Server, Seq: isn + 1, Ack: srvISN + 1, Flags: packet.FlagACK}); err != nil {
-			return err
-		}
-		seq := isn + 1
-		for off := 0; off < len(s.ClientData); off += mss {
-			end := off + mss
-			if end > len(s.ClientData) {
-				end = len(s.ClientData)
-			}
-			if err := write(packet.Segment{
-				Src: s.Client, Dst: s.Server,
-				Seq: seq, Ack: srvISN + 1,
-				Flags:   packet.FlagPSH | packet.FlagACK,
-				Payload: s.ClientData[off:end],
-			}); err != nil {
-				return err
-			}
-			seq += uint32(end - off)
-		}
-		if err := write(packet.Segment{Src: s.Client, Dst: s.Server, Seq: seq, Ack: srvISN + 1, Flags: packet.FlagFIN | packet.FlagACK}); err != nil {
-			return err
-		}
-		if err := write(packet.Segment{Src: s.Server, Dst: s.Client, Seq: srvISN + 1, Ack: seq + 1, Flags: packet.FlagFIN | packet.FlagACK}); err != nil {
-			return err
+			buf = frame // keep the (possibly grown) capacity
 		}
 	}
-	return w.Flush()
+}
+
+// frameMSS is the synthetic client's maximum segment size: payloads larger
+// than this split across PSH segments, as in the original capture writer.
+const frameMSS = 1200
+
+// sessionFrameSeed derives the per-session builder seed: FNV-1a over the
+// study seed and the session's identity (endpoints, start time). Reseeding
+// per session makes frame bytes a pure function of (seed, session), so any
+// partition of the workload across generators synthesizes identical frames.
+func sessionFrameSeed(seed int64, s *tcpasm.Session) int64 {
+	var buf [28]byte
+	put64(buf[0:8], uint64(seed))
+	ca, sa := s.Client.Addr.As4(), s.Server.Addr.As4()
+	copy(buf[8:12], ca[:])
+	buf[12] = byte(s.Client.Port >> 8)
+	buf[13] = byte(s.Client.Port)
+	copy(buf[14:18], sa[:])
+	buf[18] = byte(s.Server.Port >> 8)
+	buf[19] = byte(s.Server.Port)
+	put64(buf[20:28], uint64(s.Start.UnixNano()))
+	h := fnv.New64a()
+	h.Write(buf[:])
+	return int64(h.Sum64())
+}
+
+// Frame-generator stages, in wire order.
+const (
+	stageSYN = iota
+	stageSYNACK
+	stageACK
+	stageData
+	stageFIN
+	stageFINACK
+	stageDone
+)
+
+// frameGen emits one session's canonical wire frames — handshake, client
+// payload segments, teardown — one frame per next call, 20 ms apart,
+// synthesized into the caller's buffer. The builder is reseeded per session
+// (see sessionFrameSeed), so generators running in parallel over disjoint
+// session sets produce exactly the frames a single sequential writer would.
+type frameGen struct {
+	b      *packet.Builder
+	s      tcpasm.Session
+	isn    uint32
+	srvISN uint32
+	seq    uint32
+	ts     time.Time
+	stage  int
+	off    int
+}
+
+// start arms the generator for one session.
+func (g *frameGen) start(seed int64, s *tcpasm.Session) {
+	g.s = *s
+	g.b.Reset(sessionFrameSeed(seed, s))
+	g.isn = g.b.RandomISN()
+	g.srvISN = g.b.RandomISN()
+	g.seq = g.isn + 1
+	g.ts = s.Start
+	g.stage = stageSYN
+	g.off = 0
+}
+
+// next appends the session's next frame to dst and returns its capture
+// timestamp; ok is false once the teardown has been emitted.
+func (g *frameGen) next(dst []byte) (time.Time, []byte, bool, error) {
+	if g.stage == stageDone {
+		return time.Time{}, nil, false, nil
+	}
+	cli, srv := g.s.Client, g.s.Server
+	var seg packet.Segment
+	switch g.stage {
+	case stageSYN:
+		seg = packet.Segment{Src: cli, Dst: srv, Seq: g.isn, Flags: packet.FlagSYN}
+		g.stage = stageSYNACK
+	case stageSYNACK:
+		seg = packet.Segment{Src: srv, Dst: cli, Seq: g.srvISN, Ack: g.isn + 1, Flags: packet.FlagSYN | packet.FlagACK}
+		g.stage = stageACK
+	case stageACK:
+		seg = packet.Segment{Src: cli, Dst: srv, Seq: g.isn + 1, Ack: g.srvISN + 1, Flags: packet.FlagACK}
+		if len(g.s.ClientData) > 0 {
+			g.stage = stageData
+		} else {
+			g.stage = stageFIN
+		}
+	case stageData:
+		data := g.s.ClientData
+		end := g.off + frameMSS
+		if end > len(data) {
+			end = len(data)
+		}
+		seg = packet.Segment{
+			Src: cli, Dst: srv,
+			Seq: g.seq, Ack: g.srvISN + 1,
+			Flags:   packet.FlagPSH | packet.FlagACK,
+			Payload: data[g.off:end],
+		}
+		g.seq += uint32(end - g.off)
+		g.off = end
+		if g.off >= len(data) {
+			g.stage = stageFIN
+		}
+	case stageFIN:
+		seg = packet.Segment{Src: cli, Dst: srv, Seq: g.seq, Ack: g.srvISN + 1, Flags: packet.FlagFIN | packet.FlagACK}
+		g.stage = stageFINACK
+	case stageFINACK:
+		seg = packet.Segment{Src: srv, Dst: cli, Seq: g.srvISN + 1, Ack: g.seq + 1, Flags: packet.FlagFIN | packet.FlagACK}
+		g.stage = stageDone
+	}
+	frame, err := g.b.BuildTo(dst, seg)
+	if err != nil {
+		return time.Time{}, nil, false, err
+	}
+	ts := g.ts
+	g.ts = g.ts.Add(20 * time.Millisecond)
+	return ts, frame, true, nil
 }

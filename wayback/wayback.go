@@ -18,7 +18,9 @@ package wayback
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -71,6 +73,20 @@ type Config struct {
 	// MatchWorkers sizes the signature-matching pool for both capture
 	// paths. Zero picks GOMAXPROCS.
 	MatchWorkers int
+	// Streaming synthesizes the capture lazily straight into the sharded
+	// scan front-end: no pcap bytes are materialized in memory or on disk,
+	// yet events are byte-identical to the UsePcap path (parity-tested).
+	// Takes precedence over UsePcap.
+	Streaming bool
+	// StreamSegments is how many virtual capture segments the streamed
+	// capture splits into, one decode goroutine each. Zero means the
+	// reassembly shard default, min(8, GOMAXPROCS). Every value yields
+	// identical events.
+	StreamSegments int
+	// Boost multiplies per-CVE event counts after the Scale division
+	// (scanner.Config.Boost). Zero or one means off; stress benchmarks use
+	// it to push volume past paper scale.
+	Boost int
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +103,25 @@ type Study struct {
 	rules   []rules.DatedRule
 	ruleset map[int]time.Time
 	tel     *telescope.Telescope
+
+	// stream is the most recent streaming capture (Run with Streaming, or
+	// RunStream), kept after the run so monitoring surfaces can report final
+	// totals. See StreamMetrics.
+	stream atomic.Pointer[telescope.Stream]
+}
+
+// StreamMetrics snapshots the capture generator's progress — blueprints
+// drawn, sessions routed, frames synthesized, and the generator's lead over
+// the scan. ok is false until a streaming run has started. Safe from any
+// goroutine while a run is in flight; after the run it reports the final
+// totals. This is the /metrics feed for streaming deployments
+// (cmd/waybackfeed -stream).
+func (s *Study) StreamMetrics() (telescope.StreamMetrics, bool) {
+	st := s.stream.Load()
+	if st == nil {
+		return telescope.StreamMetrics{}, false
+	}
+	return st.Metrics(), true
 }
 
 // NewStudy compiles the study ruleset and telescope.
@@ -163,15 +198,64 @@ func (r *Results) MaterializeEvents() error {
 	return r.eventsErr
 }
 
-// Run generates the workload, captures it, runs the IDS, and assembles
-// lifecycles.
-func (s *Study) Run() (*Results, error) {
-	bps, err := scanner.Build(scanner.Config{
+// scannerConfig is the workload configuration every capture path shares.
+func (s *Study) scannerConfig() scanner.Config {
+	return scanner.Config{
 		Seed:        s.cfg.Seed,
 		Scale:       s.cfg.Scale,
 		Noise:       s.cfg.Noise,
 		LegacyScans: s.cfg.LegacyScans,
-	})
+		Boost:       s.cfg.Boost,
+	}
+}
+
+// streamSegments resolves the streamed capture's segment count.
+func (s *Study) streamSegments() int {
+	if s.cfg.StreamSegments > 0 {
+		return s.cfg.StreamSegments
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	return n
+}
+
+// StreamCapture starts the zero-materialization capture: a lazy blueprint
+// stream feeding per-flow-partitioned virtual capture segments whose frames
+// are synthesized on demand (see telescope.Stream). The caller owns the
+// stream and must drain every segment or Close it.
+func (s *Study) StreamCapture() (*telescope.Stream, error) {
+	src, err := scanner.NewStream(s.scannerConfig())
+	if err != nil {
+		return nil, fmt.Errorf("wayback: building workload stream: %w", err)
+	}
+	return s.tel.Stream(src, telescope.StreamConfig{Segments: s.streamSegments()}), nil
+}
+
+// Run generates the workload, captures it, runs the IDS, and assembles
+// lifecycles.
+func (s *Study) Run() (*Results, error) {
+	if s.cfg.Streaming {
+		st, err := s.StreamCapture()
+		if err != nil {
+			return nil, err
+		}
+		defer st.Close()
+		s.stream.Store(st)
+		res := newResults(s.cfg)
+		res.Events, res.Stats, err = ids.ScanCaptureSharded(
+			st.PacketSources(), s.engine,
+			ids.ScanConfig{Shards: s.cfg.ReasmShards, MatchWorkers: s.cfg.MatchWorkers,
+				DisjointSegments: true})
+		if err != nil {
+			return nil, fmt.Errorf("wayback: scanning streamed capture: %w", err)
+		}
+		res.finish(s)
+		return res, nil
+	}
+
+	bps, err := scanner.Build(s.scannerConfig())
 	if err != nil {
 		return nil, fmt.Errorf("wayback: building workload: %w", err)
 	}
@@ -207,6 +291,39 @@ func (s *Study) Run() (*Results, error) {
 		res.Events = ids.MatchSessionsParallel(sessions, s.engine, &res.Stats, s.cfg.MatchWorkers)
 	}
 
+	res.finish(s)
+	return res, nil
+}
+
+// RunStream is Run in full streaming mode: generation, frame synthesis,
+// reassembly, and matching all overlap, and attributed events flow to sink
+// in completion order (each call owns its slice; nil drops them) instead of
+// materializing. Results.Events stays nil — exact aggregate Stats and the
+// appendix-derived timelines are still filled in, so the tables that don't
+// need the raw event distribution work as usual. Configurations that need
+// the full event set (PipelineTimelines) must use Run.
+func (s *Study) RunStream(sink func([]ids.Event) error) (*Results, error) {
+	if s.cfg.PipelineTimelines {
+		return nil, fmt.Errorf("wayback: RunStream cannot derive pipeline timelines; use Run")
+	}
+	if sink == nil {
+		sink = func([]ids.Event) error { return nil }
+	}
+	st, err := s.StreamCapture()
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	s.stream.Store(st)
+	res := newResults(s.cfg)
+	res.Stats, err = ids.ScanCaptureStreamed(
+		st.PacketSources(), s.engine,
+		ids.ScanConfig{Shards: s.cfg.ReasmShards, MatchWorkers: s.cfg.MatchWorkers,
+			DisjointSegments: true},
+		sink)
+	if err != nil {
+		return nil, fmt.Errorf("wayback: streaming scan: %w", err)
+	}
 	res.finish(s)
 	return res, nil
 }
