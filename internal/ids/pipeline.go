@@ -30,6 +30,11 @@ type Event struct {
 	Msg string
 	// Bytes is the client payload length.
 	Bytes int
+	// Ambiguous marks an event whose session carried conflicting
+	// overlapping retransmits (tcpasm.Session.Ambiguous): the verdict rests
+	// on the overlap policy's choice of bytes, not on a uniquely determined
+	// stream, so downstream consumers should weigh it accordingly.
+	Ambiguous bool
 }
 
 // ScanStats summarizes a capture scan.
@@ -40,6 +45,10 @@ type ScanStats struct {
 	MatchedEvents  int
 	DistinctCVEs   int
 	DistinctSrcIPs int
+	// AmbiguousSessions counts scanned sessions (matched or not) flagged
+	// ambiguous by reassembly — the loud signal that someone played
+	// overlap games against the capture front-end.
+	AmbiguousSessions int
 }
 
 // ScanCapture replays a capture (classic pcap or pcapng — see
@@ -86,7 +95,7 @@ func MatchSessions(sessions []tcpasm.Session, e *Engine, stats *ScanStats) []Eve
 		}
 		events = append(events, ev)
 	}
-	setMatchStats(stats, len(sessions), events)
+	setMatchStats(stats, sessions, events)
 	return events
 }
 
@@ -112,6 +121,7 @@ func matchSession(s *tcpasm.Session, e *Engine) (Event, bool) {
 		Published: m.Published,
 		Msg:       m.Rule.Rule.Msg,
 		Bytes:     len(s.ClientData),
+		Ambiguous: s.Ambiguous,
 	}
 	if len(m.CVEs) > 0 {
 		ev.CVE = m.CVEs[0]

@@ -58,7 +58,7 @@ func buildCapture(t *testing.T) []byte {
 	return buf.Bytes()
 }
 
-func jndiEngine(t *testing.T) *Engine {
+func jndiEngine(t testing.TB) *Engine {
 	t.Helper()
 	r, err := rules.Parse(`alert tcp any any -> any any (msg:"jndi"; content:"${jndi:"; nocase; reference:cve,2021-44228; sid:58722;)`)
 	if err != nil {

@@ -46,7 +46,7 @@ func ScanCaptureStreamed(srcs []pcapio.PacketSource, e *Engine, cfg ScanConfig, 
 		defer close(matcherDone)
 		for batch := range sessCh {
 			events := MatchSessionsParallel(batch, e, nil, cfg.MatchWorkers)
-			sb.AddSessions(len(batch))
+			sb.AddSessionBatch(batch)
 			sb.AddEvents(events)
 			if sinkErr == nil && len(events) > 0 {
 				sinkErr = sink(events)
@@ -79,6 +79,7 @@ func ScanCaptureStreamed(srcs []pcapio.PacketSource, e *Engine, cfg ScanConfig, 
 	stats.MatchedEvents = agg.MatchedEvents
 	stats.DistinctCVEs = agg.DistinctCVEs
 	stats.DistinctSrcIPs = agg.DistinctSrcIPs
+	stats.AmbiguousSessions = agg.AmbiguousSessions
 	for i, err := range errs {
 		if err != nil {
 			return stats, fmt.Errorf("ids: segment %d: %w", i, err)

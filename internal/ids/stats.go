@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+
+	"repro/internal/tcpasm"
 )
 
 // StatsBuilder accumulates ScanStats incrementally. It is the one shared
@@ -13,10 +15,11 @@ import (
 // counts once, an event counts once, and distinct CVEs and source
 // addresses are deduplicated across every batch fed to the builder.
 type StatsBuilder struct {
-	sessions int
-	matched  int
-	cves     map[string]struct{}
-	srcs     map[netip.Addr]struct{}
+	sessions  int
+	matched   int
+	ambiguous int
+	cves      map[string]struct{}
+	srcs      map[netip.Addr]struct{}
 }
 
 // NewStatsBuilder returns an empty builder.
@@ -29,6 +32,21 @@ func NewStatsBuilder() *StatsBuilder {
 
 // AddSessions records n scanned sessions (matched or not).
 func (b *StatsBuilder) AddSessions(n int) { b.sessions += n }
+
+// AddAmbiguous records n ambiguous sessions among those already counted.
+func (b *StatsBuilder) AddAmbiguous(n int) { b.ambiguous += n }
+
+// AddSessionBatch records a batch of scanned sessions, counting the
+// ambiguous ones — the one-call form every scan path uses so the ambiguity
+// tally cannot be forgotten.
+func (b *StatsBuilder) AddSessionBatch(sessions []tcpasm.Session) {
+	b.sessions += len(sessions)
+	for i := range sessions {
+		if sessions[i].Ambiguous {
+			b.ambiguous++
+		}
+	}
+}
 
 // AddEvents folds a batch of attributed events into the totals.
 func (b *StatsBuilder) AddEvents(events []Event) {
@@ -47,6 +65,7 @@ func (b *StatsBuilder) AddEvents(events []Event) {
 func (b *StatsBuilder) Merge(o *StatsBuilder) {
 	b.sessions += o.sessions
 	b.matched += o.matched
+	b.ambiguous += o.ambiguous
 	for cve := range o.cves {
 		b.cves[cve] = struct{}{}
 	}
@@ -68,6 +87,7 @@ func (b *StatsBuilder) Clone() *StatsBuilder {
 func (b *StatsBuilder) AppendBinary(buf []byte) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(b.sessions))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(b.matched))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(b.ambiguous))
 	cves := make([]string, 0, len(b.cves))
 	for cve := range b.cves {
 		cves = append(cves, cve)
@@ -114,12 +134,13 @@ func DecodeStatsBuilder(b []byte) (*StatsBuilder, []byte, error) {
 		b = b[n:]
 		return out, nil
 	}
-	hdr, err := need(16)
+	hdr, err := need(24)
 	if err != nil {
 		return nil, nil, err
 	}
 	sb.sessions = int(binary.LittleEndian.Uint64(hdr[0:8]))
 	sb.matched = int(binary.LittleEndian.Uint64(hdr[8:16]))
+	sb.ambiguous = int(binary.LittleEndian.Uint64(hdr[16:24]))
 	nb, err := need(4)
 	if err != nil {
 		return nil, nil, err
@@ -162,25 +183,27 @@ func DecodeStatsBuilder(b []byte) (*StatsBuilder, []byte, error) {
 // Stats returns the aggregate. The builder remains usable afterwards.
 func (b *StatsBuilder) Stats() ScanStats {
 	return ScanStats{
-		Sessions:       b.sessions,
-		MatchedEvents:  b.matched,
-		DistinctCVEs:   len(b.cves),
-		DistinctSrcIPs: len(b.srcs),
+		Sessions:          b.sessions,
+		MatchedEvents:     b.matched,
+		DistinctCVEs:      len(b.cves),
+		DistinctSrcIPs:    len(b.srcs),
+		AmbiguousSessions: b.ambiguous,
 	}
 }
 
 // setMatchStats fills the match-derived fields of stats (leaving the
 // capture-derived Packets and DecodeErrors untouched). stats may be nil.
-func setMatchStats(stats *ScanStats, sessions int, events []Event) {
+func setMatchStats(stats *ScanStats, sessions []tcpasm.Session, events []Event) {
 	if stats == nil {
 		return
 	}
 	b := NewStatsBuilder()
-	b.AddSessions(sessions)
+	b.AddSessionBatch(sessions)
 	b.AddEvents(events)
 	agg := b.Stats()
 	stats.Sessions = agg.Sessions
 	stats.MatchedEvents = agg.MatchedEvents
 	stats.DistinctCVEs = agg.DistinctCVEs
 	stats.DistinctSrcIPs = agg.DistinctSrcIPs
+	stats.AmbiguousSessions = agg.AmbiguousSessions
 }

@@ -156,6 +156,10 @@ type Metrics struct {
 	Batches      uint64
 	SegmentsDone uint64
 	SkippedBytes uint64 // trailing garbage in completed segments
+	// AmbiguousSessions counts sessions the reassembler flagged for
+	// conflicting overlapping retransmits — evidence of evasion games
+	// against the capture front-end.
+	AmbiguousSessions uint64
 	// Gauges.
 	OpenConns       int   // connections still assembling
 	PendingSessions int   // assembled sessions not yet handed to the matcher
@@ -195,6 +199,7 @@ type Pipeline struct {
 	batches      atomic.Uint64 // batches fully matched and appended
 	segmentsDone atomic.Uint64
 	skippedBytes atomic.Uint64
+	ambiguous    atomic.Uint64
 	openConns    atomic.Int64
 	pendingSess  atomic.Int64
 	consumed     atomic.Int64 // bytes consumed across all segments
@@ -287,16 +292,17 @@ func (p *Pipeline) ShardStats() []tcpasm.ShardStat { return p.asm.ShardStats() }
 // appended after the last poll.
 func (p *Pipeline) Metrics() Metrics {
 	m := Metrics{
-		Packets:          p.packets.Load(),
-		DecodeErrors:     p.decodeErrs.Load(),
-		Sessions:         p.sessions.Load(),
-		Events:           p.events.Load(),
-		Batches:          p.batches.Load(),
-		SegmentsDone:     p.segmentsDone.Load(),
-		SkippedBytes:     p.skippedBytes.Load(),
-		OpenConns:        int(p.openConns.Load()),
-		PendingSessions:  int(p.pendingSess.Load()),
-		LastBatchLatency: time.Duration(p.lastBatchNs.Load()),
+		Packets:           p.packets.Load(),
+		DecodeErrors:      p.decodeErrs.Load(),
+		Sessions:          p.sessions.Load(),
+		Events:            p.events.Load(),
+		Batches:           p.batches.Load(),
+		SegmentsDone:      p.segmentsDone.Load(),
+		SkippedBytes:      p.skippedBytes.Load(),
+		AmbiguousSessions: p.ambiguous.Load(),
+		OpenConns:         int(p.openConns.Load()),
+		PendingSessions:   int(p.pendingSess.Load()),
+		LastBatchLatency:  time.Duration(p.lastBatchNs.Load()),
 	}
 	// Loading done before shipped keeps the difference non-negative; the
 	// counter pair (rather than len(batchCh)) also covers the batch the
@@ -731,6 +737,15 @@ func (p *Pipeline) matcher() {
 	for batch := range p.batchCh {
 		start := time.Now()
 		eng := p.engine()
+		var ambiguous uint64
+		for i := range batch {
+			if batch[i].Ambiguous {
+				ambiguous++
+			}
+		}
+		if ambiguous > 0 {
+			p.ambiguous.Add(ambiguous)
+		}
 		var events []ids.Event
 		if p.cfg.Digests != nil {
 			evs, oks := ids.MatchSessionsEach(batch, eng, p.cfg.MatchWorkers)

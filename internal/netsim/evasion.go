@@ -1,0 +1,392 @@
+package netsim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/pcapio"
+)
+
+// Evasion corpus: segment schedules aimed squarely at the reassembler.
+// Every case is one TCP session whose wire schedule tries to desynchronize
+// reassembly — conflicting overlapping retransmits, tiny-segment splits
+// placed across rule content boundaries, idle-split games, out-of-window
+// data — paired with the unimpaired baseline schedule carrying the same
+// logical stream. The contract a correct front-end must honor, and the one
+// the conformance suite asserts: scanning the evasion schedule yields
+// either verdicts byte-identical to the baseline, or a session flagged
+// tcpasm Ambiguous — never a silent wrong verdict. Impairments that
+// legitimately change what was captured (loss, MTU blackholes, mid-stream
+// aborts) live in Profile instead: they alter the session itself, so
+// equality against an unimpaired baseline is not the right oracle there.
+//
+// Cases are emitted in two forms from one resolved schedule: a lazy
+// blueprint (Stream, a pcapio.ZeroCopySource that synthesizes each frame on
+// demand into the decoder's buffer — the streaming path) and a materialized
+// pcap (WritePcap), byte-identical frame for frame.
+
+// EvasionCase is one scripted session against the reassembler.
+type EvasionCase struct {
+	// Name identifies the case in tables and test output.
+	Name string
+	// Info says what the trick is and what outcome is expected.
+	Info string
+	// ExpectAmbiguous: the schedule contains overlapping retransmits with
+	// conflicting bytes, so the capture does not uniquely determine the
+	// stream — a correct reassembler must flag the session Ambiguous.
+	// When false the schedule is merely hostile and the verdict must be
+	// byte-identical to the baseline's.
+	ExpectAmbiguous bool
+
+	steps []evStep // the evasion schedule (client data plan)
+	base  []evStep // the unimpaired baseline schedule
+}
+
+// evStep is one client data segment: payload placed at a signed offset into
+// the client byte stream (negative = below the ISN window), sent after gap
+// (zero = the default frame spacing).
+type evStep struct {
+	off     int32
+	payload []byte
+	gap     time.Duration
+}
+
+// evFrameGap is the default spacing between scheduled frames.
+const evFrameGap = 5 * time.Millisecond
+
+// EvasionCases builds the corpus around attack — a client payload the IDS
+// matches — and an equally long benign decoy it must not match. boundary is
+// an index interior to the attack's rule-content region, so tiny-segment
+// splits land across content boundaries; idle is the reassembler's idle
+// timeout, which the idle-split game ducks just under. Payloads are
+// referenced, not copied.
+func EvasionCases(attack, decoy []byte, boundary int, idle time.Duration) ([]EvasionCase, error) {
+	n := len(attack)
+	if n < 8 {
+		return nil, fmt.Errorf("netsim: evasion attack payload too short (%d bytes)", n)
+	}
+	if len(decoy) != n {
+		return nil, fmt.Errorf("netsim: evasion decoy length %d != attack length %d", len(decoy), n)
+	}
+	if boundary <= 0 || boundary >= n {
+		return nil, fmt.Errorf("netsim: evasion boundary %d outside (0,%d)", boundary, n)
+	}
+	if idle <= time.Second {
+		return nil, fmt.Errorf("netsim: evasion idle timeout %v too short", idle)
+	}
+	half := n / 2
+	base := []evStep{{off: 0, payload: attack}}
+
+	tiny := make([]evStep, 0, n)
+	for i := 0; i < n; i++ {
+		tiny = append(tiny, evStep{off: int32(i), payload: attack[i : i+1]})
+	}
+	const chunk = 3
+	var reversed []evStep
+	for i := 0; i < n; i += chunk {
+		end := i + chunk
+		if end > n {
+			end = n
+		}
+		reversed = append(reversed, evStep{off: int32(i), payload: attack[i:end]})
+	}
+	for i, j := 0, len(reversed)-1; i < j; i, j = i+1, j-1 {
+		reversed[i], reversed[j] = reversed[j], reversed[i]
+	}
+
+	return []EvasionCase{
+		{
+			Name: "conflicting-retransmit",
+			Info: "benign copy first, full retransmit with attack bytes second; " +
+				"a first-wins reassembler silently sees only the decoy — must flag ambiguous",
+			ExpectAmbiguous: true,
+			steps:           []evStep{{off: 0, payload: decoy}, {off: 0, payload: attack}},
+			base:            base,
+		},
+		{
+			Name: "conflicting-overlap-pending",
+			Info: "attack suffix buffered out-of-order, then a full benign segment fills the hole; " +
+				"the drained suffix conflicts with delivered bytes — must flag ambiguous",
+			ExpectAmbiguous: true,
+			steps:           []evStep{{off: int32(half), payload: attack[half:]}, {off: 0, payload: decoy}},
+			base:            base,
+		},
+		{
+			Name: "tiny-segments",
+			Info: "one byte per segment, splitting every rule content boundary; " +
+				"verdict must equal the baseline",
+			steps: tiny,
+			base:  base,
+		},
+		{
+			Name: "tiny-segments-reversed",
+			Info: "small segments sent in reverse order, all buffered until the stream head arrives; " +
+				"verdict must equal the baseline",
+			steps: reversed,
+			base:  base,
+		},
+		{
+			Name: "exact-duplicate",
+			Info: "every segment transmitted twice with identical bytes; agreement is not ambiguity",
+			steps: []evStep{
+				{off: 0, payload: attack[:half]}, {off: 0, payload: attack[:half]},
+				{off: int32(half), payload: attack[half:]}, {off: int32(half), payload: attack[half:]},
+			},
+			base: base,
+		},
+		{
+			Name: "overlap-agree-extend",
+			Info: "a full retransmit that extends an earlier prefix with agreeing overlap bytes; " +
+				"agreement is not ambiguity",
+			steps: []evStep{{off: 0, payload: attack[:boundary]}, {off: 0, payload: attack}},
+			base:  base,
+		},
+		{
+			Name: "out-of-window-junk",
+			Info: "attack in order plus attack-colored junk far above the window and below the ISN; " +
+				"junk must neither enter the stream nor flag ambiguity",
+			steps: []evStep{
+				{off: 0, payload: attack},
+				{off: 1 << 28, payload: attack[:8]},
+				{off: -4096, payload: attack[:8]},
+			},
+			base: base,
+		},
+		{
+			Name: "idle-split",
+			Info: "stream split by a silence one second under the idle horizon; " +
+				"the session must not be split and the verdict must equal the baseline",
+			steps: []evStep{
+				{off: 0, payload: attack[:half]},
+				{off: int32(half), payload: attack[half:], gap: idle - time.Second},
+			},
+			base: base,
+		},
+	}, nil
+}
+
+// wireStep is one fully resolved frame of a session schedule.
+type wireStep struct {
+	ts  time.Time
+	seg packet.Segment
+}
+
+// resolve expands a client data plan into the full wire schedule: handshake,
+// scheduled data segments, FIN teardown. streamLen is the true client
+// stream length (the FIN sits after it).
+func resolve(steps []evStep, streamLen int, seed int64, client, server packet.Endpoint, start time.Time) []wireStep {
+	bld := packet.NewBuilder(seed)
+	cISN := bld.RandomISN()
+	sISN := bld.RandomISN()
+	ts := start
+	out := make([]wireStep, 0, len(steps)+5)
+	add := func(gap time.Duration, seg packet.Segment) {
+		if gap == 0 {
+			gap = evFrameGap
+		}
+		if len(out) == 0 {
+			gap = 0 // the SYN sits exactly at start
+		}
+		ts = ts.Add(gap)
+		out = append(out, wireStep{ts: ts, seg: seg})
+	}
+	add(0, packet.Segment{Src: client, Dst: server, Seq: cISN, Flags: packet.FlagSYN})
+	add(0, packet.Segment{Src: server, Dst: client, Seq: sISN, Ack: cISN + 1, Flags: packet.FlagSYN | packet.FlagACK})
+	add(0, packet.Segment{Src: client, Dst: server, Seq: cISN + 1, Ack: sISN + 1, Flags: packet.FlagACK})
+	for _, st := range steps {
+		add(st.gap, packet.Segment{
+			Src: client, Dst: server,
+			Seq: cISN + 1 + uint32(st.off), Ack: sISN + 1,
+			Flags: packet.FlagPSH | packet.FlagACK, Payload: st.payload,
+		})
+	}
+	finSeq := cISN + 1 + uint32(streamLen)
+	add(0, packet.Segment{Src: client, Dst: server, Seq: finSeq, Ack: sISN + 1, Flags: packet.FlagFIN | packet.FlagACK})
+	add(0, packet.Segment{Src: server, Dst: client, Seq: sISN + 1, Ack: finSeq + 1, Flags: packet.FlagFIN | packet.FlagACK})
+	return out
+}
+
+// streamLen is the true client stream length of a plan: the furthest
+// in-window byte any step reaches (junk outside the window is excluded).
+func streamLen(steps []evStep) int {
+	max := 0
+	for _, st := range steps {
+		if st.off < 0 || st.off >= 1<<27 {
+			continue
+		}
+		if end := int(st.off) + len(st.payload); end > max {
+			max = end
+		}
+	}
+	return max
+}
+
+// Stream returns the case's evasion schedule as a lazy blueprint: a
+// pcapio.ZeroCopySource that synthesizes each frame on demand into the
+// reader's buffer. Frame bytes are a pure function of (seed, endpoints,
+// start), so the stream and WritePcap agree byte for byte.
+func (c *EvasionCase) Stream(seed int64, client, server packet.Endpoint, start time.Time) *ScheduleSource {
+	return newScheduleSource(c.steps, seed, client, server, start)
+}
+
+// BaselineStream is Stream for the unimpaired baseline schedule.
+func (c *EvasionCase) BaselineStream(seed int64, client, server packet.Endpoint, start time.Time) *ScheduleSource {
+	return newScheduleSource(c.base, seed, client, server, start)
+}
+
+// WritePcap materializes the evasion schedule as a classic pcap.
+func (c *EvasionCase) WritePcap(w io.Writer, seed int64, client, server packet.Endpoint, start time.Time) error {
+	return writeSchedule(w, c.Stream(seed, client, server, start))
+}
+
+// WriteBaselinePcap materializes the baseline schedule as a classic pcap.
+func (c *EvasionCase) WriteBaselinePcap(w io.Writer, seed int64, client, server packet.Endpoint, start time.Time) error {
+	return writeSchedule(w, c.BaselineStream(seed, client, server, start))
+}
+
+func writeSchedule(w io.Writer, src pcapio.PacketSource) error {
+	pw, err := pcapio.NewWriter(w, pcapio.LinkTypeEthernet, pcapio.WithNanoPrecision())
+	if err != nil {
+		return err
+	}
+	for {
+		p, err := src.Next()
+		if err == io.EOF {
+			return pw.Flush()
+		}
+		if err != nil {
+			return err
+		}
+		if err := pw.WritePacket(p.Timestamp, p.Data); err != nil {
+			return err
+		}
+	}
+}
+
+// ScheduleSource synthesizes a resolved wire schedule frame by frame. It
+// implements pcapio.PacketSource and pcapio.ZeroCopySource.
+type ScheduleSource struct {
+	bld   *packet.Builder
+	steps []wireStep
+	i     int
+}
+
+func newScheduleSource(steps []evStep, seed int64, client, server packet.Endpoint, start time.Time) *ScheduleSource {
+	return &ScheduleSource{
+		bld:   packet.NewBuilder(seed),
+		steps: resolve(steps, streamLen(steps), seed, client, server, start),
+	}
+}
+
+// Next returns the next frame; Data is owned by the caller.
+func (s *ScheduleSource) Next() (pcapio.Packet, error) {
+	var p pcapio.Packet
+	if err := s.NextInto(&p); err != nil {
+		return pcapio.Packet{}, err
+	}
+	return p, nil
+}
+
+// NextInto synthesizes the next frame into p, reusing p.Data's capacity.
+func (s *ScheduleSource) NextInto(p *pcapio.Packet) error {
+	if s.i >= len(s.steps) {
+		return io.EOF
+	}
+	st := s.steps[s.i]
+	s.i++
+	frame, err := s.bld.BuildTo(p.Data[:0], st.seg)
+	if err != nil {
+		return err
+	}
+	p.Data = frame
+	p.Timestamp = st.ts
+	p.OrigLen = len(frame)
+	return nil
+}
+
+// EvasionEndpoints derives the deterministic per-case endpoints the corpus
+// helpers use: each case gets a distinct client so the sessions land on
+// different reassembly shards when interleaved.
+func EvasionEndpoints(seed int64, caseIdx int) (client, server packet.Endpoint) {
+	host := ((seed % 250) + 250) % 250 // valid last octet for any seed
+	client = packet.Endpoint{
+		Addr: packet.MustAddr(fmt.Sprintf("203.0.%d.%d", 100+caseIdx%150, 1+host)),
+		Port: uint16(40000 + caseIdx),
+	}
+	server = packet.Endpoint{Addr: packet.MustAddr("10.0.0.1"), Port: 8080}
+	return client, server
+}
+
+// EvasionCapture interleaves every case's evasion session into one capture
+// (frames merged by timestamp), giving the sharded front-end genuinely
+// concurrent hostile flows. The companion BaselineCapture lays down the
+// same sessions unimpaired.
+func EvasionCapture(cases []EvasionCase, seed int64, start time.Time) ([]pcapio.Packet, error) {
+	return mergeCases(cases, seed, start, func(c *EvasionCase, s int64, cl, sv packet.Endpoint) *ScheduleSource {
+		return c.Stream(s, cl, sv, start)
+	})
+}
+
+// BaselineCapture is EvasionCapture over the unimpaired schedules.
+func BaselineCapture(cases []EvasionCase, seed int64, start time.Time) ([]pcapio.Packet, error) {
+	return mergeCases(cases, seed, start, func(c *EvasionCase, s int64, cl, sv packet.Endpoint) *ScheduleSource {
+		return c.BaselineStream(s, cl, sv, start)
+	})
+}
+
+func mergeCases(cases []EvasionCase, seed int64, start time.Time,
+	stream func(*EvasionCase, int64, packet.Endpoint, packet.Endpoint) *ScheduleSource) ([]pcapio.Packet, error) {
+	var all []pcapio.Packet
+	for i := range cases {
+		client, server := EvasionEndpoints(seed, i)
+		src := stream(&cases[i], seed+int64(i), client, server)
+		for {
+			p, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, p)
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Timestamp.Before(all[j].Timestamp) })
+	return all, nil
+}
+
+// FrameSource replays materialized frames as a capture source — the glue
+// between EvasionCapture/BaselineCapture and the scan entry points. It
+// implements pcapio.PacketSource and pcapio.ZeroCopySource.
+type FrameSource struct {
+	frames []pcapio.Packet
+	i      int
+}
+
+// NewFrameSource wraps the frames (referenced, not copied).
+func NewFrameSource(frames []pcapio.Packet) *FrameSource { return &FrameSource{frames: frames} }
+
+// Next returns the next frame. Data aliases the stored frame.
+func (s *FrameSource) Next() (pcapio.Packet, error) {
+	if s.i >= len(s.frames) {
+		return pcapio.Packet{}, io.EOF
+	}
+	p := s.frames[s.i]
+	s.i++
+	return p, nil
+}
+
+// NextInto copies the next frame into p, reusing p.Data's capacity.
+func (s *FrameSource) NextInto(p *pcapio.Packet) error {
+	next, err := s.Next()
+	if err != nil {
+		return err
+	}
+	p.Timestamp = next.Timestamp
+	p.OrigLen = next.OrigLen
+	p.Data = append(p.Data[:0], next.Data...)
+	return nil
+}

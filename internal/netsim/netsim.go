@@ -5,6 +5,14 @@
 // temporal processes that shape exploit campaigns (a post-publication burst
 // with a heavy sustained tail, per Figures 4 and 5c).
 //
+// The package also models the adversarial network (impair.go, evasion.go):
+// seeded impairment profiles — loss, reordering, duplication, MTU
+// blackholes, mid-stream aborts — composable onto any capture source and
+// onto fault.Network, plus an evasion corpus of segment schedules aimed at
+// the reassembler. Impairment decisions are content-addressed (a PRF of
+// seed and frame bytes), so the same frame meets the same fate on every
+// path through the system.
+//
 // Everything is seeded: the same configuration always yields the same
 // simulated Internet, which is what makes the downstream experiment harness
 // reproducible.

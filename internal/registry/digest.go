@@ -50,6 +50,11 @@ type Digest struct {
 	// sees less than the cold pipeline did, so label differences are
 	// advisory, not amendments.
 	Truncated bool
+	// Ambiguous carries the reassembler's overlap-conflict flag: the stored
+	// stream sample reflects one overlap-policy choice among several the
+	// wire permitted, so a rescan must weigh its verdict the same way the
+	// live pipeline did.
+	Ambiguous bool
 	// OrigSID/OrigCVE/OrigPublished record the ingest-time label (zero SID =
 	// no match).
 	OrigSID       int
@@ -68,6 +73,7 @@ func (d *Digest) Session() tcpasm.Session {
 		ClientData: d.ClientData,
 		ServerData: d.ServerData,
 		Complete:   d.Complete,
+		Ambiguous:  d.Ambiguous,
 	}
 }
 
@@ -84,6 +90,9 @@ func appendDigest(buf []byte, d *Digest) []byte {
 	}
 	if d.Truncated {
 		flags |= 2
+	}
+	if d.Ambiguous {
+		flags |= 4
 	}
 	buf = append(buf, flags)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(d.OrigSID))
@@ -181,6 +190,7 @@ func decodeDigest(payload []byte) (Digest, error) {
 	if fb := d.take(1); fb != nil {
 		dg.Complete = fb[0]&1 != 0
 		dg.Truncated = fb[0]&2 != 0
+		dg.Ambiguous = fb[0]&4 != 0
 	}
 	if sb := d.take(4); sb != nil {
 		dg.OrigSID = int(binary.LittleEndian.Uint32(sb))
@@ -337,10 +347,11 @@ func DigestOf(s *tcpasm.Session, ev *ids.Event, sampleLimit int) Digest {
 		sampleLimit = DefaultSampleLimit
 	}
 	d := Digest{
-		Start:    s.Start,
-		Client:   s.Client,
-		Server:   s.Server,
-		Complete: s.Complete,
+		Start:     s.Start,
+		Client:    s.Client,
+		Server:    s.Server,
+		Complete:  s.Complete,
+		Ambiguous: s.Ambiguous,
 	}
 	d.ClientData, d.Truncated = capSample(s.ClientData, sampleLimit, d.Truncated)
 	d.ServerData, d.Truncated = capSample(s.ServerData, sampleLimit, d.Truncated)

@@ -611,6 +611,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		// ingest_sessions gauge name predates it and is kept for
 		// compatibility).
 		g("ingest_sessions_total", m.Sessions)
+		g("ingest_ambiguous_sessions_total", m.AmbiguousSessions)
 		for _, sh := range p.ShardStats() {
 			label := fmt.Sprintf("{shard=\"%d\"}", sh.Shard)
 			g("ingest_shard_open_conns"+label, sh.OpenConns)
@@ -798,13 +799,14 @@ type eventJSON struct {
 	Published time.Time `json:"rule_published"`
 	Msg       string    `json:"msg"`
 	Bytes     int       `json:"bytes"`
+	Ambiguous bool      `json:"ambiguous,omitempty"`
 }
 
 func toEventJSON(ev ids.Event) eventJSON {
 	return eventJSON{
 		Time: ev.Time, Src: ev.Src.String(), Dst: ev.Dst.String(),
 		SID: ev.SID, CVE: ev.CVE, Published: ev.Published,
-		Msg: ev.Msg, Bytes: ev.Bytes,
+		Msg: ev.Msg, Bytes: ev.Bytes, Ambiguous: ev.Ambiguous,
 	}
 }
 

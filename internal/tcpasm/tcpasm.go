@@ -13,15 +13,63 @@
 // DSCOPE sends no application-layer response, so sessions are dominated by
 // client-to-server bytes ("client banner data"); the server stream is still
 // reassembled for generality.
+//
+// Overlap policy and ambiguity. Overlapping retransmits whose bytes agree
+// are ordinary TCP; overlapping retransmits whose bytes *disagree* are the
+// classic IDS-evasion primitive — the capture alone cannot say which copy
+// the endpoint accepted. The assembler always detects such conflicts by
+// comparing each overlapping prefix against the bytes already delivered:
+// any disagreement increments Session.OverlapConflicts and marks the
+// session Ambiguous, so downstream consumers see a loud flag instead of a
+// silently guessed stream. Config.OverlapPolicy only picks which copy's
+// bytes are retained (first-wins, the historical behavior and the default,
+// or last-wins); it never suppresses the flag. Detection is a pure function
+// of the per-flow segment sequence, so serial and sharded runs flag — and
+// resolve — identically.
 package tcpasm
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"time"
 
 	"repro/internal/packet"
 )
+
+// OverlapPolicy selects which copy of a byte is retained when overlapping
+// segments carry conflicting content. Either way the conflict itself is
+// surfaced via Session.OverlapConflicts and Session.Ambiguous.
+type OverlapPolicy uint8
+
+const (
+	// OverlapFirstWins keeps the first delivered copy of each byte — the
+	// assembler's historical behavior and the default.
+	OverlapFirstWins OverlapPolicy = iota
+	// OverlapLastWins lets a later overlapping segment overwrite retained
+	// bytes, modeling a receiver that honors the retransmission.
+	OverlapLastWins
+)
+
+// String returns the CLI spelling of the policy.
+func (p OverlapPolicy) String() string {
+	if p == OverlapLastWins {
+		return "last-wins"
+	}
+	return "first-wins"
+}
+
+// ParseOverlapPolicy parses the CLI spelling ("first-wins" or "last-wins";
+// empty selects the default).
+func ParseOverlapPolicy(s string) (OverlapPolicy, error) {
+	switch s {
+	case "", "first-wins", "first":
+		return OverlapFirstWins, nil
+	case "last-wins", "last":
+		return OverlapLastWins, nil
+	}
+	return 0, fmt.Errorf("tcpasm: unknown overlap policy %q (want first-wins or last-wins)", s)
+}
 
 // Session is a reassembled TCP conversation.
 type Session struct {
@@ -48,6 +96,16 @@ type Session struct {
 	// values mean ClientData/ServerData are incomplete — the IDS treats
 	// such sessions normally, but audits can weigh them differently.
 	DroppedBytes int
+	// OverlapConflicts counts segments (both directions) whose overlap with
+	// already-delivered bytes disagreed — the retransmission-with-different-
+	// content evasion primitive.
+	OverlapConflicts int
+	// Ambiguous reports that the capture does not uniquely determine the
+	// reassembled streams: at least one overlapping retransmit carried
+	// conflicting bytes, so an endpoint may have accepted either copy.
+	// ClientData/ServerData hold the copy the configured OverlapPolicy
+	// picked; verdicts derived from them should be treated as suspect.
+	Ambiguous bool
 }
 
 // Config tunes the assembler.
@@ -64,6 +122,11 @@ type Config struct {
 	// MaxPending caps buffered out-of-order segments per direction. Zero
 	// means the default of 64.
 	MaxPending int
+	// OverlapPolicy picks which copy is retained when overlapping segments
+	// conflict (see the package comment). The zero value is
+	// OverlapFirstWins. Conflict detection is unconditional — the policy
+	// only chooses the bytes, never whether the session is flagged.
+	OverlapPolicy OverlapPolicy
 	// Shards is how many independent assembler shards the parallel
 	// front-end (NewSharded) fans flows across. The serial Assembler
 	// ignores it. Zero means min(8, GOMAXPROCS); session output is
@@ -129,13 +192,14 @@ func NewAssembler(cfg Config) *Assembler {
 // halfStream is one direction of a connection.
 type halfStream struct {
 	// nextSeq is the next expected sequence number once initialized.
-	nextSeq  uint32
-	seqValid bool
-	data     []byte
-	dropped  int
-	pending  []pendingSeg
-	sawFin   bool
-	finSeq   uint32
+	nextSeq   uint32
+	seqValid  bool
+	data      []byte
+	dropped   int
+	pending   []pendingSeg
+	sawFin    bool
+	finSeq    uint32
+	conflicts int
 }
 
 type pendingSeg struct {
@@ -246,10 +310,11 @@ func (a *Assembler) insert(h *halfStream, seq uint32, payload []byte) {
 	case diff == 0:
 		a.deliver(h, payload)
 	case diff < 0:
-		// Retransmission or partial overlap: keep only the new suffix.
-		overlap := -diff
-		if int(overlap) < len(payload) {
-			a.deliver(h, payload[overlap:])
+		// Retransmission or partial overlap: compare the overlapping prefix
+		// against what was already delivered (flagging a conflict when they
+		// disagree), then deliver only the new suffix.
+		if rest := a.resolveOverlap(h, uint32(-diff), payload); len(rest) > 0 {
+			a.deliver(h, rest)
 		}
 		return
 	default:
@@ -264,6 +329,48 @@ func (a *Assembler) insert(h *halfStream, seq uint32, payload []byte) {
 		return
 	}
 	a.drainPending(h)
+}
+
+// resolveOverlap handles a segment whose first overlap bytes precede the
+// stream head: the overlapping prefix is compared byte-for-byte against the
+// retained stream, a disagreement counts one conflict (per segment) and the
+// overlap policy decides whether the new copy overwrites the old, and the
+// not-yet-delivered suffix (possibly empty) is returned. The comparison is
+// skipped — never misreported — when the overlapped bytes are not retained:
+// before a mid-stream anchor, or after any bytes were dropped (stream cap /
+// pending overflow), where delivered offsets no longer map into data.
+func (a *Assembler) resolveOverlap(h *halfStream, overlap uint32, payload []byte) []byte {
+	cmp := len(payload)
+	if uint32(cmp) > overlap {
+		cmp = int(overlap)
+	}
+	if h.dropped == 0 {
+		// payload[i] corresponds to h.data[idx+i]; idx < 0 means the
+		// segment reaches below the retained window (mid-stream pickup).
+		idx := len(h.data) - int(overlap)
+		off := 0
+		if idx < 0 {
+			off = -idx
+			idx = 0
+		}
+		conflict := false
+		for i := off; i < cmp; i++ {
+			if h.data[idx+i-off] != payload[i] {
+				conflict = true
+				if a.cfg.OverlapPolicy != OverlapLastWins {
+					break
+				}
+				h.data[idx+i-off] = payload[i]
+			}
+		}
+		if conflict {
+			h.conflicts++
+		}
+	}
+	if uint32(len(payload)) > overlap {
+		return payload[overlap:]
+	}
+	return nil
 }
 
 // deliver appends in-order bytes, honoring the per-stream cap, and advances
@@ -300,11 +407,12 @@ func (a *Assembler) drainPending(h *halfStream) {
 				a.deliver(h, seg.payload)
 				progress = true
 			case diff < 0:
-				if int(-diff) < len(seg.payload) {
-					a.deliver(h, seg.payload[-diff:])
+				// Same conflict check as the in-order path; fully duplicate
+				// data (after the check) is discarded.
+				if rest := a.resolveOverlap(h, uint32(-diff), seg.payload); len(rest) > 0 {
+					a.deliver(h, rest)
 					progress = true
 				}
-				// Fully duplicate data is discarded.
 			default:
 				remaining = append(remaining, seg)
 			}
@@ -319,16 +427,18 @@ func (a *Assembler) drainPending(h *halfStream) {
 // finish emits the session for c and forgets the connection.
 func (a *Assembler) finish(key packet.Flow, c *conn) {
 	a.out = append(a.out, Session{
-		Client:       c.client,
-		Server:       c.server,
-		Start:        c.start,
-		End:          c.last,
-		ClientData:   c.c2s.data,
-		ServerData:   c.s2c.data,
-		Packets:      c.packets,
-		Complete:     c.complete,
-		Closed:       c.closed,
-		DroppedBytes: c.c2s.dropped + c.s2c.dropped,
+		Client:           c.client,
+		Server:           c.server,
+		Start:            c.start,
+		End:              c.last,
+		ClientData:       c.c2s.data,
+		ServerData:       c.s2c.data,
+		Packets:          c.packets,
+		Complete:         c.complete,
+		Closed:           c.closed,
+		DroppedBytes:     c.c2s.dropped + c.s2c.dropped,
+		OverlapConflicts: c.c2s.conflicts + c.s2c.conflicts,
+		Ambiguous:        c.c2s.conflicts+c.s2c.conflicts > 0,
 	})
 	delete(a.conns, key)
 }

@@ -160,6 +160,7 @@ func (v *View) overlayAmendments() error {
 	resolved := eventstore.ApplyAmendments(raw, appl)
 	agg := NewAggregate()
 	agg.Stats.AddSessions(v.agg.Stats.Stats().Sessions)
+	agg.Stats.AddAmbiguous(v.agg.Stats.Stats().AmbiguousSessions)
 	agg.Add(resolved, v.eng.rulePub)
 	v.agg = agg
 	v.resolved = resolved

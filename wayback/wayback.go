@@ -32,6 +32,7 @@ import (
 	"repro/internal/rules"
 	"repro/internal/scanner"
 	"repro/internal/stats"
+	"repro/internal/tcpasm"
 	"repro/internal/telescope"
 )
 
@@ -87,6 +88,10 @@ type Config struct {
 	// (scanner.Config.Boost). Zero or one means off; stress benchmarks use
 	// it to push volume past paper scale.
 	Boost int
+	// OverlapPolicy selects how reassembly resolves conflicting overlapping
+	// retransmits on the capture paths (UsePcap, Streaming). Zero is
+	// first-wins; either way conflicting sessions are flagged Ambiguous.
+	OverlapPolicy tcpasm.OverlapPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -247,7 +252,8 @@ func (s *Study) Run() (*Results, error) {
 		res.Events, res.Stats, err = ids.ScanCaptureSharded(
 			st.PacketSources(), s.engine,
 			ids.ScanConfig{Shards: s.cfg.ReasmShards, MatchWorkers: s.cfg.MatchWorkers,
-				DisjointSegments: true})
+				DisjointSegments: true,
+				Assembler:        tcpasm.Config{OverlapPolicy: s.cfg.OverlapPolicy}})
 		if err != nil {
 			return nil, fmt.Errorf("wayback: scanning streamed capture: %w", err)
 		}
@@ -279,7 +285,8 @@ func (s *Study) Run() (*Results, error) {
 		// the only path.
 		res.Events, res.Stats, err = ids.ScanCaptureSharded(
 			[]pcapio.PacketSource{r}, s.engine,
-			ids.ScanConfig{Shards: s.cfg.ReasmShards, MatchWorkers: s.cfg.MatchWorkers})
+			ids.ScanConfig{Shards: s.cfg.ReasmShards, MatchWorkers: s.cfg.MatchWorkers,
+				Assembler: tcpasm.Config{OverlapPolicy: s.cfg.OverlapPolicy}})
 		if err != nil {
 			return nil, fmt.Errorf("wayback: scanning capture: %w", err)
 		}
@@ -319,7 +326,8 @@ func (s *Study) RunStream(sink func([]ids.Event) error) (*Results, error) {
 	res.Stats, err = ids.ScanCaptureStreamed(
 		st.PacketSources(), s.engine,
 		ids.ScanConfig{Shards: s.cfg.ReasmShards, MatchWorkers: s.cfg.MatchWorkers,
-			DisjointSegments: true},
+			DisjointSegments: true,
+			Assembler:        tcpasm.Config{OverlapPolicy: s.cfg.OverlapPolicy}},
 		sink)
 	if err != nil {
 		return nil, fmt.Errorf("wayback: streaming scan: %w", err)
